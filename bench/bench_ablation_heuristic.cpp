@@ -1,0 +1,73 @@
+// Ablation: OptiPart vs its predecessor, the coarse-grid heuristic of
+// paper ref. [35] (§3: "OptiPart addresses these shortcomings").
+//
+// The heuristic coarsens the octree and splits the coarse cells by fine
+// count; it does reduce the boundary, but (a) it offers no quality
+// guarantee and (b) it produces the same partition on every machine. The
+// table puts both (plus the ideal split) on the same mesh and machine and
+// reports the §5.5 quality metrics and the simulated matvec epoch.
+#include <cstdio>
+
+#include "common.hpp"
+#include "mesh/adjacency.hpp"
+#include "partition/heuristic.hpp"
+#include "partition/optipart.hpp"
+#include "sim/matvec_sim.hpp"
+
+using namespace amr;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const int p = static_cast<int>(args.get_int("p", 16));
+  const std::size_t n = static_cast<std::size_t>(args.get_int("elements", 150000));
+  const int iterations = static_cast<int>(args.get_int("iterations", 100));
+  const machine::PerfModel model = bench::perf_model(args, "wisconsin8");
+  const sfc::Curve curve(sfc::CurveKind::kHilbert, 3);
+
+  std::printf("Ablation: OptiPart vs coarse-grid heuristic [35], p=%d, N~%zu, "
+              "machine=%s\n\n",
+              p, n, model.machine().name.c_str());
+
+  // Larger leaves (default 6 points per leaf) keep the grain in the
+  // surface << volume regime where the trade-off is visible.
+  octree::GenerateOptions gen = bench::workload_options(args);
+  if (!args.has("leaf")) gen.max_points_per_leaf = 6;
+  const auto tree = bench::workload_tree(n, curve, gen);
+  const mesh::Adjacency adjacency = mesh::build_adjacency(tree, curve);
+
+  util::Table table({"partition", "lambda", "total boundary", "Cmax",
+                     "epoch (s, simulated)", "vs ideal"});
+  double ideal_epoch = 0.0;
+  const auto describe = [&](const std::string& name, const partition::Partition& part) {
+    const auto metrics = mesh::metrics_from_adjacency(adjacency, part);
+    const auto comm = mesh::comm_matrix_from_adjacency(adjacency, part);
+    sim::MatvecSimConfig config;
+    config.iterations = iterations;
+    const auto run = sim::simulate_matvec(metrics, comm, model, config);
+    if (ideal_epoch == 0.0) ideal_epoch = run.total_seconds;
+    table.add_row({name, util::Table::fmt(metrics.load_imbalance, 3),
+                   util::Table::fmt(metrics.total_boundary, 0),
+                   util::Table::fmt(metrics.c_max, 0),
+                   util::Table::fmt(run.total_seconds, 4),
+                   util::Table::fmt(run.total_seconds / ideal_epoch, 3) + "x"});
+  };
+
+  describe("ideal (SampleSort)", partition::ideal_partition(tree.size(), p));
+  for (const int levels : {1, 2, 3}) {
+    describe("heuristic [35], coarsen " + std::to_string(levels),
+             partition::heuristic_coarse_partition(tree, curve, p, {levels, 0.0}));
+  }
+  describe("OptiPart (Eq.3)", partition::optipart_partition(tree, curve, p, model));
+  {
+    machine::ApplicationProfile app;
+    app.include_latency_term = true;
+    const machine::PerfModel extended(model.machine(), app);
+    describe("OptiPart (Eq.3+latency)",
+             partition::optipart_partition(tree, curve, p, extended));
+  }
+  bench::emit(table, args, "ablation_heuristic", "");
+  std::printf("\nExpected: the heuristic lowers the total boundary but with\n"
+              "uncontrolled imbalance as coarsening deepens; OptiPart lands at the\n"
+              "model-optimal trade-off for the machine at hand.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation: the latency-aware model extension (paper §6 future work).
+//
+// Eq. 3 prices only byte volumes (alpha*tc*Wmax + tw*Cmax). On TCP/10GbE
+// clusters a large share of the exchange cost is per-message latency, so
+// the measured optimum sits at a higher tolerance than the volume-only
+// model predicts. The extension adds ts*Mmax (max per-rank peer count) to
+// the quality estimate. This bench compares, per machine: the tolerance
+// OptiPart chooses under each model, and the *simulated measured* epoch
+// time of both choices -- the extension should never lose, and should win
+// on the CloudLab machines.
+#include <cstdio>
+
+#include "common.hpp"
+#include "mesh/adjacency.hpp"
+#include "partition/optipart.hpp"
+#include "sim/matvec_sim.hpp"
+
+using namespace amr;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const int p = static_cast<int>(args.get_int("p", 128));
+  const std::size_t n = static_cast<std::size_t>(args.get_int("elements", 40000));
+  const int iterations = static_cast<int>(args.get_int("iterations", 100));
+  const sfc::Curve curve(sfc::CurveKind::kHilbert, 3);
+
+  std::printf("Ablation: Eq. 3 vs Eq. 3 + latency term, p=%d, N~%zu\n\n", p, n);
+
+  const auto tree = bench::workload_tree(n, curve, bench::workload_options(args));
+  const mesh::Adjacency adjacency = mesh::build_adjacency(tree, curve);
+
+  util::Table table({"machine", "model", "chosen tolerance", "lambda",
+                     "epoch (s, simulated)", "vs Eq.3"});
+  for (const std::string name : {"stampede", "wisconsin8", "clemson32"}) {
+    const machine::MachineModel machine = machine::machine_by_name(name);
+    double base_epoch = 0.0;
+    for (const bool latency : {false, true}) {
+      machine::ApplicationProfile app;
+      app.include_latency_term = latency;
+      const machine::PerfModel model(machine, app);
+      const auto part = partition::optipart_partition(tree, curve, p, model);
+      const auto metrics = mesh::metrics_from_adjacency(adjacency, part);
+      const auto comm = mesh::comm_matrix_from_adjacency(adjacency, part);
+      sim::MatvecSimConfig config;
+      config.iterations = iterations;
+      const auto run = sim::simulate_matvec(metrics, comm, model, config);
+      if (!latency) base_epoch = run.total_seconds;
+      table.add_row({name, latency ? "Eq.3+latency" : "Eq.3",
+                     util::Table::fmt(part.max_deviation(), 3),
+                     util::Table::fmt(metrics.load_imbalance, 3),
+                     util::Table::fmt(run.total_seconds, 4),
+                     util::Table::fmt(run.total_seconds / base_epoch, 3) + "x"});
+    }
+  }
+  bench::emit(table, args, "ablation_latency_model", "");
+  std::printf("\nExpected: identical or better simulated epochs with the latency\n"
+              "term, with the gain concentrated on the 10 GbE machines.\n");
+  return 0;
+}

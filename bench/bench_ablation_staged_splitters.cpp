@@ -1,0 +1,45 @@
+// Ablation: the staged splitter cap k <= p (paper §3.1, Eq. 2 vs Eq. 1).
+//
+// Limiting the number of splitters per reduction round bounds both the
+// O(p) auxiliary storage and the reduction cost, at no loss of partition
+// quality (the same cuts are found over more rounds). The table sweeps k
+// at fixed N and p and prices the splitter phase; the k = p row is Eq. 1.
+#include <cstdio>
+
+#include "common.hpp"
+#include "sim/splitter_sim.hpp"
+
+using namespace amr;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const int p = static_cast<int>(args.get_int("p", 262144));
+  const auto grain = static_cast<std::uint64_t>(args.get_int("grain", 1'000'000));
+  const machine::MachineModel machine =
+      machine::machine_by_name(args.get("machine", "titan"));
+
+  std::printf("Ablation: staged splitter count k (Eq. 2), p=%d, grain=%.0fM, "
+              "machine=%s\n\n",
+              p, static_cast<double>(grain) / 1e6, machine.name.c_str());
+
+  sim::SimConfig config;
+  config.p = p;
+  config.n = grain * static_cast<std::uint64_t>(p);
+  config.distribution = bench::workload_options(args);
+
+  util::Table table({"k", "splitter (s)", "total (s)", "vs k=p"});
+  config.staged_splitters = p;
+  const double full = sim::simulate_treesort(config, machine).time.total();
+  for (int k = 256; k <= p; k *= 4) {
+    config.staged_splitters = k;
+    const sim::SimResult r = sim::simulate_treesort(config, machine);
+    table.add_row({std::to_string(k), util::Table::fmt(r.time.splitter, 4),
+                   util::Table::fmt(r.time.total(), 4),
+                   util::Table::fmt(r.time.total() / full, 3) + "x"});
+  }
+  bench::emit(table, args, "ablation_staged_splitters", "");
+  std::printf("\nPaper: up to 8^6 = 262,144 buckets resolve within six levels, so a\n"
+              "modest k keeps splitter selection far cheaper than comparison-based\n"
+              "approaches while producing the same partition.\n");
+  return 0;
+}

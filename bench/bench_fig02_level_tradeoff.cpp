@@ -1,0 +1,81 @@
+// Figure 2: on a uniform 2D grid partitioned over p=3 processors, each
+// additional TreeSort level reduces the load imbalance (lambda -> 1) while
+// the total partition boundary s is non-decreasing.
+//
+// The paper draws the partitions at levels 1-4 and annotates
+// (l=1, lambda=2, s=16), (l=2, lambda=1.2, s=24), (l=3, lambda=1.05, s=28),
+// (l=4, lambda=1.01, s=30). We compute lambda and the boundary surface for
+// the same construction -- exact values depend on the curve variant, but
+// the monotone trade-off (lambda down, s up) must reproduce.
+#include <cstdio>
+
+#include "common.hpp"
+#include "octree/search.hpp"
+#include "partition/metrics.hpp"
+#include "partition/partition.hpp"
+
+using namespace amr;
+
+namespace {
+
+// Total boundary length: sum over leaves of edge length shared with a leaf
+// owned by another rank (2D perimeter between partitions, in cells of the
+// finest level).
+double boundary_length(const std::vector<octree::Octant>& tree,
+                       const sfc::Curve& curve, const partition::Partition& part,
+                       int level) {
+  double length = 0.0;
+  std::vector<std::size_t> neighbors;
+  for (int r = 0; r < part.num_ranks(); ++r) {
+    const std::size_t begin = part.offsets[static_cast<std::size_t>(r)];
+    const std::size_t end = part.offsets[static_cast<std::size_t>(r) + 1];
+    for (std::size_t i = begin; i < end; ++i) {
+      neighbors.clear();
+      for (int face = 0; face < 4; ++face) {
+        octree::face_neighbor_leaves(tree, curve, i, face, neighbors);
+      }
+      for (const std::size_t j : neighbors) {
+        if (j < begin || j >= end) length += 1.0;  // unit edge at this level
+      }
+    }
+  }
+  (void)level;
+  return length / 2.0;  // every shared edge counted from both sides
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const int p = static_cast<int>(args.get_int("p", 3));
+  const int max_level = static_cast<int>(args.get_int("levels", 5));
+
+  std::printf("Fig. 2 reproduction: uniform 2D grid, p=%d, level-by-level partition\n\n",
+              p);
+
+  for (const auto kind : {sfc::CurveKind::kHilbert, sfc::CurveKind::kMorton}) {
+    const sfc::Curve curve(kind, 2);
+    util::Table table({"level", "cells", "lambda (work max/min)",
+                       "boundary s (edges)", "lambda monotone", "s monotone"});
+    double prev_lambda = 1e30;
+    double prev_s = 0.0;
+    for (int level = 1; level <= max_level; ++level) {
+      const auto tree = octree::uniform_octree(level, curve);
+      const partition::BucketSearch search(tree, curve);
+      const auto part = partition::partition_at_depth(search, p, level);
+      const double lambda = part.load_imbalance();
+      const double s = boundary_length(tree, curve, part, level);
+      table.add_row({std::to_string(level), std::to_string(tree.size()),
+                     util::Table::fmt(lambda, 3), util::Table::fmt(s, 0),
+                     lambda <= prev_lambda + 1e-12 ? "yes" : "NO",
+                     s >= prev_s - 1e-12 ? "yes" : "NO"});
+      prev_lambda = lambda;
+      prev_s = s;
+    }
+    bench::emit(table, args, "fig02_" + sfc::to_string(kind),
+                "curve=" + sfc::to_string(kind));
+  }
+  std::printf("Paper values (their Hilbert variant): lambda 2 -> 1.2 -> 1.05 -> 1.01,"
+              " s 16 -> 24 -> 28 -> 30.\n");
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Figure 3: per-refinement surface-area cases.
+//
+// A quadrant that shares 1, 2 or 3 faces with the neighboring (blue)
+// partition is refined, and 1-3 of its children are added to that
+// partition. The paper tabulates the interface length of every case
+// (initial boundaries 2, 4, 6 child-edge units for 1, 2, 3 shared faces)
+// and identifies the single pathological configuration in which the
+// surface area *decreases* (bottom-right of their figure). We enumerate
+// all connected child assignments and report, per (shared faces, children
+// moved), the attainable interface lengths and whether a decrease exists.
+#include <array>
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+
+using namespace amr;
+
+namespace {
+
+// 4x4 child-cell neighborhood. The refined quadrant Q occupies cells
+// (1..2, 1..2); the blue partition B occupies the 2-cell strips adjacent
+// on the chosen sides. Interface = number of unit edges between blue and
+// non-blue cells.
+constexpr int kGrid = 4;
+
+using Mask = std::uint32_t;  // bit = cell y*kGrid+x
+
+constexpr int cell(int x, int y) { return y * kGrid + x; }
+
+constexpr Mask kQuadrant = (1U << cell(1, 1)) | (1U << cell(2, 1)) |
+                           (1U << cell(1, 2)) | (1U << cell(2, 2));
+
+// Interface between the blue partition and the rest, restricted to edges
+// touching the refined quadrant (the surface the paper's figure counts:
+// 2/4/6 child-edge units initially for 1/2/3 shared faces).
+int interface_edges(Mask blue) {
+  int edges = 0;
+  const auto in_q = [](int c) { return ((kQuadrant >> c) & 1U) != 0; };
+  for (int y = 0; y < kGrid; ++y) {
+    for (int x = 0; x < kGrid; ++x) {
+      const bool mine = (blue >> cell(x, y)) & 1U;
+      if (x + 1 < kGrid && mine != (((blue >> cell(x + 1, y)) & 1U) != 0) &&
+          (in_q(cell(x, y)) || in_q(cell(x + 1, y)))) {
+        ++edges;
+      }
+      if (y + 1 < kGrid && mine != (((blue >> cell(x, y + 1)) & 1U) != 0) &&
+          (in_q(cell(x, y)) || in_q(cell(x, y + 1)))) {
+        ++edges;
+      }
+    }
+  }
+  return edges;
+}
+
+Mask base_partition(int shared_faces) {
+  Mask blue = 0;
+  // Shared sides in order: left, bottom, right.
+  if (shared_faces >= 1) {
+    blue |= 1U << cell(0, 1);
+    blue |= 1U << cell(0, 2);
+  }
+  if (shared_faces >= 2) {
+    blue |= 1U << cell(1, 0);
+    blue |= 1U << cell(2, 0);
+    blue |= 1U << cell(0, 0);  // corner for connectivity
+  }
+  if (shared_faces >= 3) {
+    blue |= 1U << cell(3, 1);
+    blue |= 1U << cell(3, 2);
+    blue |= 1U << cell(3, 0);
+  }
+  return blue;
+}
+
+bool connected(Mask m) {
+  if (m == 0) return true;
+  // BFS over set cells.
+  int start = -1;
+  for (int c = 0; c < kGrid * kGrid; ++c) {
+    if ((m >> c) & 1U) {
+      start = c;
+      break;
+    }
+  }
+  Mask seen = 1U << start;
+  std::vector<int> stack{start};
+  while (!stack.empty()) {
+    const int c = stack.back();
+    stack.pop_back();
+    const int x = c % kGrid;
+    const int y = c / kGrid;
+    const std::array<int, 4> nbs{x > 0 ? cell(x - 1, y) : -1,
+                                 x + 1 < kGrid ? cell(x + 1, y) : -1,
+                                 y > 0 ? cell(x, y - 1) : -1,
+                                 y + 1 < kGrid ? cell(x, y + 1) : -1};
+    for (const int nb : nbs) {
+      if (nb >= 0 && ((m >> nb) & 1U) && !((seen >> nb) & 1U)) {
+        seen |= 1U << nb;
+        stack.push_back(nb);
+      }
+    }
+  }
+  return seen == m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  std::printf("Fig. 3 reproduction: interface length when 1-3 children of a refined\n"
+              "quadrant join the adjacent partition (child-edge units)\n\n");
+
+  const std::array<int, 4> q_cells{cell(1, 1), cell(2, 1), cell(1, 2), cell(2, 2)};
+
+  util::Table table({"shared faces", "initial s", "children moved", "s min", "s max",
+                     "cases", "decrease possible"});
+  int pathological = 0;
+  for (int faces = 1; faces <= 3; ++faces) {
+    const Mask base = base_partition(faces);
+    const int before = interface_edges(base);
+    for (int moved = 1; moved <= 3; ++moved) {
+      int best = 1 << 20;
+      int worst = 0;
+      int cases = 0;
+      // Enumerate subsets of Q's children of the given size whose union
+      // with the base stays connected (the SFC assigns contiguous runs).
+      for (int bits = 1; bits < 16; ++bits) {
+        if (__builtin_popcount(static_cast<unsigned>(bits)) != moved) continue;
+        Mask blue = base;
+        for (int k = 0; k < 4; ++k) {
+          if ((bits >> k) & 1) blue |= 1U << q_cells[static_cast<std::size_t>(k)];
+        }
+        if (!connected(blue)) continue;
+        const int s = interface_edges(blue);
+        best = std::min(best, s);
+        worst = std::max(worst, s);
+        ++cases;
+      }
+      const bool decrease = best < before;
+      if (decrease) ++pathological;
+      table.add_row({std::to_string(faces), std::to_string(before),
+                     std::to_string(moved), std::to_string(best),
+                     std::to_string(worst), std::to_string(cases),
+                     decrease ? "YES (pathological)" : "no"});
+    }
+  }
+  bench::emit(table, args, "fig03_surface_cases", "");
+  std::printf("\nPaper: the surface is non-decreasing for all refinements except the\n"
+              "extreme 3-shared-face case (their bottom-right); found %d decreasing\n"
+              "configuration group(s) here, all at 3 shared faces.\n",
+              pathological);
+  return 0;
+}

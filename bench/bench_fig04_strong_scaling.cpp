@@ -1,0 +1,56 @@
+// Figure 4: strong scaling of Hilbert & Morton based partitioning,
+// 16e6 elements, 16 -> 1024 cores on Titan, with parallel efficiency
+// labels per bar.
+//
+// Partitioning at these scales runs on the cluster simulator: the splitter
+// control flow executes exactly (per-target bucket descent against the
+// analytic density) and the machine model prices each phase. The paper's
+// shape to reproduce: execution time drops with cores, efficiency decays
+// from ~98% toward ~43% at 64x scale-up, and the two curves behave almost
+// identically (the algorithm is insensitive to the SFC choice).
+#include <cstdio>
+
+#include "common.hpp"
+#include "sim/splitter_sim.hpp"
+
+using namespace amr;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto n = static_cast<std::uint64_t>(args.get_int("n", 16'000'000));
+  const machine::MachineModel machine =
+      machine::machine_by_name(args.get("machine", "titan"));
+
+  std::printf("Fig. 4 reproduction: strong scaling, N=%.1fM elements, machine=%s\n\n",
+              static_cast<double>(n) / 1e6, machine.name.c_str());
+
+  for (const auto kind : {sfc::CurveKind::kMorton, sfc::CurveKind::kHilbert}) {
+    sim::SimConfig config;
+    config.n = n;
+    config.curve = kind;
+    config.distribution = bench::workload_options(args);
+    config.tolerance = 0.0;
+
+    util::Table table({"cores", "time (s)", "speedup", "efficiency (%)", "levels"});
+    double t_base = 0.0;
+    int p_base = 0;
+    for (int p = 16; p <= 1024; p *= 2) {
+      config.p = p;
+      const sim::SimResult r = sim::simulate_treesort(config, machine);
+      if (p_base == 0) {
+        p_base = p;
+        t_base = r.time.total();
+      }
+      const double speedup = t_base / r.time.total();
+      const double efficiency = 100.0 * speedup / (static_cast<double>(p) / p_base);
+      table.add_row({std::to_string(p), util::Table::fmt(r.time.total(), 4),
+                     util::Table::fmt(speedup, 2), util::Table::fmt(efficiency, 0),
+                     std::to_string(r.levels_used)});
+    }
+    bench::emit(table, args, "fig04_" + sfc::to_string(kind),
+                "curve=" + sfc::to_string(kind));
+  }
+  std::printf("Paper (Titan): efficiency 98%% at 32 cores decaying to ~43%% at 1024\n"
+              "(64x scale-up); Morton and Hilbert nearly indistinguishable.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 5: weak scaling of Hilbert & Morton partitioning with a grain of
+// 1e6 elements per rank, 16 -> 262,144 ranks on Titan, split into
+// partition time and Alltoallv exchange time.
+//
+// The paper's shape: total runtime grows slowly (to ~4 s at 262k ranks for
+// 262B elements) and the growth is dominated by the element exchange, not
+// the splitter computation.
+#include <cstdio>
+
+#include "common.hpp"
+#include "sim/splitter_sim.hpp"
+
+using namespace amr;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto grain = static_cast<std::uint64_t>(args.get_int("grain", 1'000'000));
+  const int max_p = static_cast<int>(args.get_int("max-p", 262144));
+  const machine::MachineModel machine =
+      machine::machine_by_name(args.get("machine", "titan"));
+
+  std::printf("Fig. 5 reproduction: weak scaling, grain=%.1fM elements/rank, "
+              "machine=%s\n\n",
+              static_cast<double>(grain) / 1e6, machine.name.c_str());
+
+  for (const auto kind : {sfc::CurveKind::kMorton, sfc::CurveKind::kHilbert}) {
+    sim::SimConfig config;
+    config.curve = kind;
+    config.distribution = bench::workload_options(args);
+    config.tolerance = 0.0;
+
+    util::Table table({"ranks", "N (elements)", "partition (s)", "all2all (s)",
+                       "total (s)", "levels"});
+    for (int p = 16; p <= max_p; p *= 2) {
+      config.p = p;
+      config.n = grain * static_cast<std::uint64_t>(p);
+      const sim::SimResult r = sim::simulate_treesort(config, machine);
+      const double partition_time = r.time.local_sort + r.time.splitter;
+      table.add_row({std::to_string(p),
+                     util::Table::fmt(static_cast<double>(config.n) / 1e9, 3) + "B",
+                     util::Table::fmt(partition_time, 4),
+                     util::Table::fmt(r.time.all2all, 4),
+                     util::Table::fmt(r.time.total(), 4), std::to_string(r.levels_used)});
+    }
+    bench::emit(table, args, "fig05_" + sfc::to_string(kind),
+                "curve=" + sfc::to_string(kind));
+  }
+  std::printf("Paper (Titan): 262B elements across 262,144 ranks partitioned in ~4 s;\n"
+              "the increase with scale comes from the Alltoallv, while the splitter\n"
+              "computation itself scales nearly flat.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 6: OptiPart vs the SampleSort-based SFC partitioning of Dendro,
+// weak scaling on Stampede (grain 1e6, up to 4096 ranks) and Titan (grain
+// 5e6, up to 32768 ranks), broken down into local sort / all2all /
+// splitter computation.
+//
+// Two layers reproduce the comparison:
+//  * the cluster simulator prices both algorithms' phases at the paper's
+//    scales (tables below) -- the shape to match: comparable totals at
+//    small p, with SampleSort's splitter phase (its p^2 sample gather and
+//    sort) growing much faster, so OptiPart scales better;
+//  * at thread scale the real implementations (simmpi dist_treesort vs
+//    dist_samplesort) run in the integration tests and the quickstart.
+#include <cstdio>
+
+#include "common.hpp"
+#include "sim/splitter_sim.hpp"
+
+using namespace amr;
+
+namespace {
+
+void run_machine(const util::Args& args, const std::string& machine_name,
+                 std::uint64_t grain, int max_p) {
+  const machine::MachineModel machine = machine::machine_by_name(machine_name);
+  std::printf("--- %s (grain %.0fM elements/rank) ---\n", machine.name.c_str(),
+              static_cast<double>(grain) / 1e6);
+
+  sim::SimConfig config;
+  config.curve = sfc::CurveKind::kMorton;  // Dendro's ordering
+  config.distribution = bench::workload_options(args);
+  config.tolerance = 0.0;
+
+  util::Table table({"ranks", "algo", "local (s)", "all2all (s)", "splitter (s)",
+                     "total (s)"});
+  for (int p = 16; p <= max_p; p *= 4) {
+    config.p = p;
+    config.n = grain * static_cast<std::uint64_t>(p);
+    const sim::SimResult opti = sim::simulate_treesort(config, machine);
+    const sim::SimResult sample = sim::simulate_samplesort(config, machine);
+    table.add_row({std::to_string(p), "OptiPart",
+                   util::Table::fmt(opti.time.local_sort, 4),
+                   util::Table::fmt(opti.time.all2all, 4),
+                   util::Table::fmt(opti.time.splitter, 4),
+                   util::Table::fmt(opti.time.total(), 4)});
+    table.add_row({"", "SampleSort", util::Table::fmt(sample.time.local_sort, 4),
+                   util::Table::fmt(sample.time.all2all, 4),
+                   util::Table::fmt(sample.time.splitter, 4),
+                   util::Table::fmt(sample.time.total(), 4)});
+  }
+  bench::emit(table, args, "fig06_" + machine.name, "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  std::printf("Fig. 6 reproduction: OptiPart vs SampleSort (Dendro) weak scaling\n\n");
+  run_machine(args, "stampede", static_cast<std::uint64_t>(args.get_int("grain-stampede", 1'000'000)),
+              static_cast<int>(args.get_int("max-p-stampede", 4096)));
+  std::printf("\n");
+  run_machine(args, "titan", static_cast<std::uint64_t>(args.get_int("grain-titan", 5'000'000)),
+              static_cast<int>(args.get_int("max-p-titan", 32768)));
+  std::printf("\nPaper: OptiPart shows a small performance/scalability edge over the\n"
+              "SampleSort implementation; the splitter phase is where the baseline\n"
+              "degrades at scale. Partitions are architecture-specific, hence the\n"
+              "different absolute numbers on the two machines.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 7: total energy (left) and runtime (right) of 100 matvec
+// iterations vs tolerance, Hilbert and Morton partitions, 1792 MPI tasks
+// on the Clemson-32 CloudLab cluster.
+//
+// Scaled workload: the paper used an initial grain of 1e5 elements per
+// rank (octree depth 30); the default here keeps 1792 ranks but shrinks
+// the grain so the sweep runs in seconds (--elements restores any size).
+// Shapes to reproduce: runtime and energy strongly correlated; both curves
+// dip below the tolerance-0 value for moderate tolerances (the paper's
+// headline up-to-22% saving); Hilbert at or below Morton throughout.
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/stats.hpp"
+
+using namespace amr;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const int p = static_cast<int>(args.get_int("p", 1792));
+  const std::size_t n = static_cast<std::size_t>(args.get_int("elements", 180000));
+  const int iterations = static_cast<int>(args.get_int("iterations", 100));
+  const machine::PerfModel model = bench::perf_model(args, "clemson32");
+
+  std::printf("Fig. 7 reproduction: 100-matvec epoch vs tolerance, p=%d, N~%zu,\n"
+              "machine=%s (paper: 1792 tasks on Clemson-32, grain 1e5)\n\n",
+              p, n, model.machine().name.c_str());
+
+  std::vector<double> tolerances;
+  for (double t = 0.0; t <= 0.7001; t += 0.05) tolerances.push_back(t);
+
+  for (const auto kind : {sfc::CurveKind::kMorton, sfc::CurveKind::kHilbert}) {
+    const sfc::Curve curve(kind, 3);
+    const auto tree = bench::workload_tree(n, curve, bench::workload_options(args));
+    const auto sweep =
+        bench::tolerance_sweep(tree, curve, p, model, tolerances, iterations, 1.0e4);
+
+    util::Table table({"tolerance", "energy (J)", "runtime (s)", "lambda", "Cmax"});
+    std::vector<double> times;
+    std::vector<double> energies;
+    for (const auto& point : sweep) {
+      table.add_row({util::Table::fmt(point.tolerance, 2),
+                     util::Table::fmt(point.epoch_joules, 1),
+                     util::Table::fmt(point.epoch_seconds, 4),
+                     util::Table::fmt(point.load_imbalance, 3),
+                     util::Table::fmt(point.c_max, 0)});
+      times.push_back(point.epoch_seconds);
+      energies.push_back(point.epoch_joules);
+    }
+    bench::emit(table, args, "fig07_" + sfc::to_string(kind),
+                "curve=" + sfc::to_string(kind));
+
+    const double base_t = times.front();
+    double best_t = base_t;
+    double best_tol = 0.0;
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      if (times[i] < best_t) {
+        best_t = times[i];
+        best_tol = tolerances[i];
+      }
+    }
+    std::printf("%s: best tolerance %.2f -> %.1f%% runtime saving vs tol=0; "
+                "energy-runtime correlation r=%.3f\n\n",
+                sfc::to_string(kind).c_str(), best_tol,
+                100.0 * (base_t - best_t) / base_t,
+                util::pearson(times, energies));
+  }
+  std::printf("Paper (Clemson-32): savings up to ~22%% at moderate tolerance; energy\n"
+              "and runtime strongly correlated; Hilbert below Morton.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 8: matvec energy and runtime vs load flexibility (tolerance) for
+// the smaller configuration -- 95M mesh nodes on 256 MPI tasks in the
+// CloudLab Wisconsin-8 cluster (scaled down by default; --elements
+// restores any size).
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/stats.hpp"
+
+using namespace amr;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const int p = static_cast<int>(args.get_int("p", 256));
+  const std::size_t n = static_cast<std::size_t>(args.get_int("elements", 120000));
+  const int iterations = static_cast<int>(args.get_int("iterations", 100));
+  const machine::PerfModel model = bench::perf_model(args, "wisconsin8");
+
+  std::printf("Fig. 8 reproduction: matvec epoch vs tolerance, p=%d, N~%zu,\n"
+              "machine=%s (paper: 95M nodes, 256 tasks on Wisconsin-8)\n\n",
+              p, n, model.machine().name.c_str());
+
+  std::vector<double> tolerances;
+  for (double t = 0.0; t <= 0.5001; t += 0.05) tolerances.push_back(t);
+
+  for (const auto kind : {sfc::CurveKind::kMorton, sfc::CurveKind::kHilbert}) {
+    const sfc::Curve curve(kind, 3);
+    const auto tree = bench::workload_tree(n, curve, bench::workload_options(args));
+    const auto sweep =
+        bench::tolerance_sweep(tree, curve, p, model, tolerances, iterations, 1.0e4);
+
+    util::Table table({"tolerance", "energy (J)", "runtime (s)", "lambda",
+                       "total data (elems)"});
+    for (const auto& point : sweep) {
+      table.add_row({util::Table::fmt(point.tolerance, 2),
+                     util::Table::fmt(point.epoch_joules, 1),
+                     util::Table::fmt(point.epoch_seconds, 4),
+                     util::Table::fmt(point.load_imbalance, 3),
+                     util::Table::fmt(point.total_data, 0)});
+    }
+    bench::emit(table, args, "fig08_" + sfc::to_string(kind),
+                "curve=" + sfc::to_string(kind));
+  }
+  std::printf("Paper (Wisconsin-8): the dip sits near tolerance ~0.3 for this\n"
+              "configuration; Hilbert consumes less than Morton throughout.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Microbenchmarks: the FEM matvec kernel -- the paper's test application
+// (§5.3). Also derives the measured alpha (memory accesses per element)
+// that feeds the performance model, by comparing the kernel's element rate
+// against a pure streaming pass.
+#include <benchmark/benchmark.h>
+
+#include "fem/laplacian.hpp"
+#include "machine/perf_model.hpp"
+#include "mesh/mesh.hpp"
+#include "octree/balance.hpp"
+#include "octree/generate.hpp"
+
+namespace {
+
+using namespace amr;
+
+mesh::GlobalMesh make_mesh(std::size_t points) {
+  const sfc::Curve curve(sfc::CurveKind::kHilbert, 3);
+  octree::GenerateOptions options;
+  options.max_level = 9;
+  options.distribution = octree::PointDistribution::kNormal;
+  auto tree = octree::balance_octree(octree::random_octree(points, curve, options),
+                                     curve);
+  return mesh::build_global_mesh(std::move(tree), curve);
+}
+
+void BM_GlobalMatvec(benchmark::State& state) {
+  const auto mesh = make_mesh(static_cast<std::size_t>(state.range(0)));
+  std::vector<double> u(mesh.elements.size(), 1.0);
+  std::vector<double> out(u.size());
+  for (auto _ : state) {
+    fem::apply_global(mesh, u, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(mesh.elements.size()));
+  state.counters["faces"] = static_cast<double>(mesh.faces.size());
+}
+BENCHMARK(BM_GlobalMatvec)->Arg(50000)->Arg(200000);
+
+void BM_StreamCopy(benchmark::State& state) {
+  std::vector<double> u(static_cast<std::size_t>(state.range(0)), 1.0);
+  std::vector<double> out(u.size());
+  for (auto _ : state) {
+    std::copy(u.begin(), u.end(), out.begin());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StreamCopy)->Arg(200000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Microbenchmarks: SFC primitive costs -- octant comparison, rank
+// computation, Skilling encode -- the inner loops of every partitioner.
+#include <benchmark/benchmark.h>
+
+#include "octree/octant.hpp"
+#include "sfc/curve.hpp"
+#include "sfc/skilling.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace amr;
+
+std::vector<octree::Octant> make_octants(std::size_t n) {
+  util::Rng rng = util::make_rng(3);
+  std::uniform_int_distribution<std::uint32_t> coord(0, (1U << octree::kMaxDepth) - 1);
+  std::uniform_int_distribution<int> lvl(2, 20);
+  std::vector<octree::Octant> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(octree::octant_from_point(coord(rng), coord(rng), coord(rng),
+                                            lvl(rng)));
+  }
+  return out;
+}
+
+void BM_Compare(benchmark::State& state) {
+  const auto kind = state.range(0) == 0 ? sfc::CurveKind::kMorton
+                                        : sfc::CurveKind::kHilbert;
+  const sfc::Curve curve(kind, 3);
+  const auto octants = make_octants(4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const int c = curve.compare(octants[i & 4095], octants[(i * 7 + 13) & 4095]);
+    benchmark::DoNotOptimize(c);
+    ++i;
+  }
+}
+BENCHMARK(BM_Compare)->Arg(0)->Arg(1);
+
+void BM_RankAtOwnLevel(benchmark::State& state) {
+  const auto kind = state.range(0) == 0 ? sfc::CurveKind::kMorton
+                                        : sfc::CurveKind::kHilbert;
+  const sfc::Curve curve(kind, 3);
+  auto octants = make_octants(4096);
+  for (auto& o : octants) o.level = 20;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.rank_at_own_level(octants[i & 4095]));
+    ++i;
+  }
+}
+BENCHMARK(BM_RankAtOwnLevel)->Arg(0)->Arg(1);
+
+void BM_SkillingEncode(benchmark::State& state) {
+  util::Rng rng = util::make_rng(9);
+  std::uniform_int_distribution<std::uint32_t> coord(0, (1U << 20) - 1);
+  std::array<std::uint32_t, 3> c{coord(rng), coord(rng), coord(rng)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sfc::hilbert_index<3>(c, 20));
+    c[0] = (c[0] * 1664525U + 1013904223U) & ((1U << 20) - 1);
+  }
+}
+BENCHMARK(BM_SkillingEncode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

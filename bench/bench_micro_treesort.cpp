@@ -1,0 +1,72 @@
+// Microbenchmarks (google-benchmark): TreeSort vs std::sort on octant
+// streams -- the §2.1 claim that the MSD-radix formulation is competitive
+// with comparison sorting while exposing the bucket structure for free.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "octree/generate.hpp"
+#include "octree/treesort.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace amr;
+
+std::vector<octree::Octant> make_octants(std::size_t n, std::uint64_t seed) {
+  util::Rng rng = util::make_rng(seed);
+  std::uniform_int_distribution<std::uint32_t> coord(0, (1U << octree::kMaxDepth) - 1);
+  std::uniform_int_distribution<int> lvl(2, 14);
+  std::vector<octree::Octant> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(octree::octant_from_point(coord(rng), coord(rng), coord(rng),
+                                            lvl(rng)));
+  }
+  return out;
+}
+
+void BM_TreeSort(benchmark::State& state) {
+  const auto kind = state.range(1) == 0 ? sfc::CurveKind::kMorton
+                                        : sfc::CurveKind::kHilbert;
+  const sfc::Curve curve(kind, 3);
+  const auto base = make_octants(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    auto data = base;
+    octree::tree_sort(data, curve);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TreeSort)->Args({100000, 0})->Args({100000, 1})->Args({400000, 1});
+
+void BM_ComparisonSort(benchmark::State& state) {
+  const auto kind = state.range(1) == 0 ? sfc::CurveKind::kMorton
+                                        : sfc::CurveKind::kHilbert;
+  const sfc::Curve curve(kind, 3);
+  const auto base = make_octants(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    auto data = base;
+    std::sort(data.begin(), data.end(), curve.comparator());
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ComparisonSort)->Args({100000, 0})->Args({100000, 1});
+
+void BM_OctreeGenerate(benchmark::State& state) {
+  const sfc::Curve curve(sfc::CurveKind::kHilbert, 3);
+  octree::GenerateOptions options;
+  options.max_level = 10;
+  for (auto _ : state) {
+    auto tree = octree::random_octree(static_cast<std::size_t>(state.range(0)), curve,
+                                      options);
+    benchmark::DoNotOptimize(tree.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OctreeGenerate)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

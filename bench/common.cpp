@@ -1,0 +1,52 @@
+#include "common.hpp"
+
+#include "mesh/adjacency.hpp"
+#include "mesh/comm_matrix.hpp"
+#include "partition/metrics.hpp"
+#include "sim/matvec_sim.hpp"
+
+namespace amr::bench {
+
+std::vector<SweepPoint> tolerance_sweep(const std::vector<octree::Octant>& tree,
+                                        const sfc::Curve& curve, int p,
+                                        const machine::PerfModel& model,
+                                        const std::vector<double>& tolerances,
+                                        int iterations, double sample_hz) {
+  // One neighbor enumeration serves every tolerance point.
+  const mesh::Adjacency adjacency = mesh::build_adjacency(tree, curve);
+
+  std::vector<SweepPoint> points;
+  points.reserve(tolerances.size());
+  for (const double tol : tolerances) {
+    partition::TreeSortPartitionOptions options;
+    options.tolerance = tol;
+    const partition::Partition part =
+        partition::treesort_partition(tree, curve, p, options);
+    const partition::Metrics metrics = mesh::metrics_from_adjacency(adjacency, part);
+    const mesh::CommMatrix comm = mesh::comm_matrix_from_adjacency(adjacency, part);
+
+    sim::MatvecSimConfig config;
+    config.iterations = iterations;
+    config.sampler.sample_hz = sample_hz;
+    const sim::MatvecSimResult run = sim::simulate_matvec(metrics, comm, model, config);
+
+    SweepPoint point;
+    point.tolerance = tol;
+    point.achieved_tolerance = part.max_deviation();
+    point.load_imbalance = metrics.load_imbalance;
+    point.comm_imbalance = metrics.comm_imbalance;
+    point.w_max = metrics.w_max;
+    point.c_max = metrics.c_max;
+    point.c_max_volume = comm.c_max();
+    point.nnz = comm.nnz();
+    point.total_data = comm.total_elements();
+    point.predicted_time = metrics.predicted_time(model);
+    point.epoch_seconds = run.total_seconds;
+    point.epoch_joules = run.energy.total_joules;
+    point.per_node_joules = run.energy.per_node_joules;
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+}  // namespace amr::bench

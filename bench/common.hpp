@@ -1,0 +1,88 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench binary:
+//  * accepts --scale overrides (element counts, rank counts, seed) so the
+//    paper's full-size parameters can be requested on a big machine while
+//    defaults stay laptop-sized,
+//  * prints one aligned table per figure panel with the same rows/series
+//    the paper plots, and
+//  * optionally mirrors each table to CSV via --csv-dir=<path>.
+#pragma once
+
+#include <string>
+
+#include "machine/perf_model.hpp"
+#include "octree/balance.hpp"
+#include "octree/generate.hpp"
+#include "octree/treesort.hpp"
+#include "sfc/curve.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+namespace amr::bench {
+
+inline octree::GenerateOptions workload_options(const util::Args& args,
+                                                std::uint64_t default_seed = 42) {
+  octree::GenerateOptions options;
+  options.distribution = octree::distribution_from_string(
+      args.get("distribution", "normal"));
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed",
+                                                         static_cast<std::int64_t>(default_seed)));
+  options.max_level = static_cast<int>(args.get_int("max-level", 9));
+  options.max_points_per_leaf = static_cast<std::size_t>(args.get_int("leaf", 1));
+  return options;
+}
+
+/// Adaptive, 2:1 balanced, SFC-sorted tree of roughly `points` elements.
+inline std::vector<octree::Octant> workload_tree(std::size_t points,
+                                                 const sfc::Curve& curve,
+                                                 const octree::GenerateOptions& options,
+                                                 bool balance = true) {
+  auto tree = octree::random_octree(points, curve, options);
+  if (balance) tree = octree::balance_octree(tree, curve);
+  return tree;
+}
+
+inline machine::PerfModel perf_model(const util::Args& args,
+                                     const std::string& default_machine) {
+  const machine::MachineModel machine =
+      machine::machine_by_name(args.get("machine", default_machine));
+  machine::ApplicationProfile app;
+  app.alpha = args.get_double("alpha", 8.0);
+  return machine::PerfModel(machine, app);
+}
+
+struct SweepPoint {
+  double tolerance = 0.0;         ///< requested load flexibility
+  double achieved_tolerance = 0.0;
+  double load_imbalance = 1.0;    ///< lambda = work max/min
+  double comm_imbalance = 1.0;    ///< boundary max/min
+  double w_max = 0.0;
+  double c_max = 0.0;             ///< Alg. 2 estimator: max boundary octants
+  double c_max_volume = 0.0;      ///< Table 1's Cmax: max per-rank data moved
+  std::size_t nnz = 0;            ///< comm-matrix non-zeros
+  double total_data = 0.0;        ///< ghost elements per exchange
+  double predicted_time = 0.0;    ///< Eq. 3
+  double epoch_seconds = 0.0;     ///< simulated matvec epoch
+  double epoch_joules = 0.0;
+  std::vector<double> per_node_joules;
+};
+
+/// Partition at each tolerance, compute the §5.5 quality metrics and
+/// simulate the matvec epoch (paper's 100 iterations by default).
+std::vector<SweepPoint> tolerance_sweep(const std::vector<octree::Octant>& tree,
+                                        const sfc::Curve& curve, int p,
+                                        const machine::PerfModel& model,
+                                        const std::vector<double>& tolerances,
+                                        int iterations, double sample_hz);
+
+/// Print the table and optionally mirror it to <csv-dir>/<name>.csv.
+inline void emit(const util::Table& table, const util::Args& args,
+                 const std::string& name, const std::string& caption) {
+  table.print(caption);
+  if (args.has("csv-dir")) {
+    (void)table.write_csv(args.get("csv-dir", ".") + "/" + name + ".csv");
+  }
+}
+
+}  // namespace amr::bench

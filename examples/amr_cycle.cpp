@@ -1,0 +1,149 @@
+// Example: a full AMR cycle -- the dynamic workload that motivates
+// SFC-based partitioning in the first place (paper §1: "applications
+// requiring repeated partitioning, such as Adaptive Mesh Refinement").
+//
+// A Gaussian feature sweeps across the unit cube. Every step:
+//   1. refine leaves near the feature, coarsen leaves far from it,
+//   2. re-establish the 2:1 balance,
+//   3. repartition with OptiPart for the target machine,
+//   4. account the migration volume (elements that change owner) and the
+//      partition quality for the step's matvec epoch.
+//
+// The output shows what makes SFC partitioning attractive here: the mesh
+// changes every step, yet repartitioning costs O(N/p + log p) and only a
+// small fraction of elements migrates.
+//
+// Run: ./examples/amr_cycle [--steps 8] [--p 32] [--machine clemson32]
+#include <cmath>
+#include <cstdio>
+
+#include "machine/perf_model.hpp"
+#include "mesh/adjacency.hpp"
+#include "octree/adapt.hpp"
+#include "octree/balance.hpp"
+#include "octree/generate.hpp"
+#include "octree/treesort.hpp"
+#include "partition/optipart.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace amr;
+
+namespace {
+
+double feature_distance(const octree::Octant& o, double t) {
+  // Feature center moves along the main diagonal.
+  const auto a = o.anchor_unit();
+  const double h = static_cast<double>(o.size()) /
+                   static_cast<double>(1U << octree::kMaxDepth);
+  const double cx = 0.2 + 0.6 * t;
+  const double dx = a[0] + 0.5 * h - cx;
+  const double dy = a[1] + 0.5 * h - cx;
+  const double dz = a[2] + 0.5 * h - 0.5;
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const int steps = static_cast<int>(args.get_int("steps", 8));
+  const int p = static_cast<int>(args.get_int("p", 32));
+  const int fine_level = static_cast<int>(args.get_int("fine-level", 7));
+  const machine::MachineModel machine =
+      machine::machine_by_name(args.get("machine", "clemson32"));
+  const machine::PerfModel model(machine, machine::ApplicationProfile{});
+  const sfc::Curve curve(sfc::CurveKind::kHilbert, 3);
+
+  // Repartition only when the drifted imbalance exceeds this trigger --
+  // what production AMR codes do to avoid paying migration every step.
+  const double repartition_trigger = args.get_double("trigger", 1.25);
+
+  // Start from a uniform coarse mesh.
+  auto tree = octree::uniform_octree(3, curve);
+  std::vector<octree::Octant> old_keys;
+
+  util::Table table({"step", "leaves", "refined+", "coarsened-", "drift lambda",
+                     "action", "lambda", "Cmax", "migrated", "migrated %",
+                     "partition ms"});
+  for (int step = 0; step < steps; ++step) {
+    const double t = static_cast<double>(step) / std::max(1, steps - 1);
+
+    // 1: adapt toward the moving feature.
+    std::size_t before = tree.size();
+    for (int round = 0; round < fine_level; ++round) {
+      auto refined = octree::refine_octree(tree, curve, [&](const octree::Octant& o) {
+        return static_cast<int>(o.level) < fine_level && feature_distance(o, t) < 0.15;
+      });
+      if (refined.size() == tree.size()) break;
+      tree = std::move(refined);
+    }
+    const std::size_t after_refine = tree.size();
+    tree = octree::coarsen_octree_if(tree, curve, [&](const octree::Octant& parent) {
+      return feature_distance(parent, t) > 0.3 && parent.level >= 3;
+    });
+    const std::size_t after_coarsen = tree.size();
+
+    // 2: restore 2:1 balance.
+    tree = octree::balance_octree(std::move(tree), curve);
+
+    // 3: measure how far the *old* partition has drifted on the adapted
+    // mesh; repartition only when the trigger is exceeded.
+    partition::Partition part;
+    double drift_lambda = 0.0;
+    bool repartitioned = false;
+    double partition_ms = 0.0;
+    if (!old_keys.empty()) {
+      part.offsets.assign(static_cast<std::size_t>(p) + 1, 0);
+      std::vector<std::size_t> counts(static_cast<std::size_t>(p), 0);
+      for (const octree::Octant& o : tree) {
+        counts[static_cast<std::size_t>(partition::owner_by_keys(old_keys, o, curve))]++;
+      }
+      for (int r = 0; r < p; ++r) {
+        part.offsets[static_cast<std::size_t>(r) + 1] =
+            part.offsets[static_cast<std::size_t>(r)] + counts[static_cast<std::size_t>(r)];
+      }
+      drift_lambda = part.load_imbalance();
+    }
+    if (old_keys.empty() || drift_lambda > repartition_trigger) {
+      util::Timer timer;
+      part = partition::optipart_partition(tree, curve, p, model,
+                                           {octree::kMaxDepth, 4, 0});
+      partition_ms = timer.seconds() * 1e3;
+      repartitioned = true;
+    }
+
+    // 4: quality + migration accounting.
+    const bool first_step = old_keys.empty();
+    const auto adjacency = mesh::build_adjacency(tree, curve);
+    const auto metrics = mesh::metrics_from_adjacency(adjacency, part);
+    const std::size_t migrated =
+        first_step ? tree.size()
+        : repartitioned ? partition::migration_volume(tree, curve, old_keys, part)
+                        : 0;
+    old_keys = partition::splitter_keys(tree, part);
+
+    table.add_row({std::to_string(step), std::to_string(tree.size()),
+                   std::to_string(after_refine - before),
+                   std::to_string(after_refine - after_coarsen),
+                   first_step ? "-" : util::Table::fmt(drift_lambda, 3),
+                   repartitioned ? "repartition" : "keep",
+                   util::Table::fmt(metrics.load_imbalance, 3),
+                   util::Table::fmt(metrics.c_max, 0), std::to_string(migrated),
+                   util::Table::fmt(100.0 * static_cast<double>(migrated) /
+                                        static_cast<double>(tree.size()),
+                                    1),
+                   util::Table::fmt(partition_ms, 1)});
+  }
+  table.print("AMR cycle on " + machine.name + " (moving feature, p=" +
+              std::to_string(p) + ", repartition trigger lambda>" +
+              util::Table::fmt(repartition_trigger, 2) + "):");
+  std::printf("\nA moving refinement front unbalances the old cuts at essentially every\n"
+              "adaptation (drift lambda >> trigger), which is precisely the paper's\n"
+              "motivation: AMR needs partitioning cheap enough to re-run each step --\n"
+              "the O(N/p + log p) SFC repartition (`partition ms` column) costs a\n"
+              "fraction of the remeshing itself. Raise --trigger (or slow the\n"
+              "feature with more --steps) to see the keep-partition path.\n");
+  return 0;
+}

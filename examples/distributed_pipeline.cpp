@@ -1,0 +1,127 @@
+// Example: the fully distributed pipeline -- no rank ever holds a global
+// structure, which is how the paper's algorithms run on a real cluster:
+//
+//   points  --dist_treesort-->  partitioned cells
+//           --range-restricted p2o-->  per-rank octree pieces
+//           --ripple rounds + shell exchange-->  2:1 balanced pieces
+//           --two-round ghost discovery-->  per-rank meshes
+//           --point-to-point halo exchange-->  matvec epoch
+//
+// The only shared knowledge between ranks is the splitter key vector
+// (p octants), exactly like an MPI production code. A final cross-check
+// gathers the pieces and verifies the epoch against the sequential engine.
+//
+// Run: ./examples/distributed_pipeline [--p 8] [--points-per-rank 4000]
+//      [--iterations 20]
+#include <cmath>
+#include <cstdio>
+
+#include "fem/laplacian.hpp"
+#include "mesh/mesh.hpp"
+#include "octree/treesort.hpp"
+#include "simmpi/dist_balance.hpp"
+#include "simmpi/dist_fem.hpp"
+#include "simmpi/dist_mesh.hpp"
+#include "simmpi/dist_octree.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/args.hpp"
+#include "util/timer.hpp"
+
+using namespace amr;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const int p = static_cast<int>(args.get_int("p", 8));
+  const std::size_t per_rank = static_cast<std::size_t>(args.get_int("points-per-rank", 4000));
+  const int iterations = static_cast<int>(args.get_int("iterations", 20));
+  const sfc::Curve curve(sfc::CurveKind::kHilbert, 3);
+
+  std::vector<std::vector<octree::Octant>> pieces(static_cast<std::size_t>(p));
+  std::vector<std::vector<double>> results(static_cast<std::size_t>(p));
+  std::vector<mesh::LocalMesh> meshes(static_cast<std::size_t>(p));
+
+  util::Timer timer;
+  simmpi::run_ranks(p, [&](simmpi::Comm& comm) {
+    // Stage 1-2: local points -> this rank's octree piece.
+    octree::GenerateOptions gen;
+    gen.seed = 100 + static_cast<std::uint64_t>(comm.rank());
+    gen.distribution = octree::PointDistribution::kNormal;
+    auto points = octree::generate_points(per_rank, gen);
+
+    simmpi::DistOctreeOptions build;
+    build.max_points_per_leaf = 4;
+    build.max_level = 8;
+    auto built = simmpi::dist_points_to_octree(std::move(points), comm, curve, build);
+
+    // Stage 3: distributed 2:1 balance (imbalance ripples across rank
+    // boundaries through the shell exchange).
+    simmpi::DistBalanceReport balance_report;
+    built.leaves = simmpi::dist_balance_octree(std::move(built.leaves),
+                                               built.splitters, comm, curve,
+                                               &balance_report);
+
+    // Stage 4: ghost discovery, two message rounds.
+    simmpi::DistMeshReport mesh_report;
+    const mesh::LocalMesh mesh =
+        simmpi::dist_build_local_mesh(built.leaves, built.splitters, comm, curve,
+                                      &mesh_report);
+
+    // Stage 5: matvec epoch over sparse point-to-point halo exchange.
+    std::vector<double> u(mesh.elements.size());
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      const auto a = mesh.elements[i].anchor_unit();
+      u[i] = std::sin(6.28 * a[0]) * std::cos(6.28 * a[1]);
+    }
+    const auto fem_report = simmpi::dist_matvec_loop_p2p(mesh, comm, iterations, u);
+
+    if (comm.rank() == 0) {
+      std::printf("rank 0: %zu leaves (balanced in %d rounds, %zu splits), "
+                  "%zu ghosts (%zu candidates screened), %llu ghost values "
+                  "shipped over %d iterations\n",
+                  mesh.elements.size(), balance_report.rounds,
+                  balance_report.local_splits, mesh.ghosts.size(),
+                  mesh_report.candidates_received,
+                  static_cast<unsigned long long>(fem_report.ghost_elements_sent),
+                  iterations);
+    }
+    pieces[static_cast<std::size_t>(comm.rank())] = std::move(built.leaves);
+    results[static_cast<std::size_t>(comm.rank())] = std::move(u);
+    meshes[static_cast<std::size_t>(comm.rank())] = mesh;
+  });
+  const double pipeline_s = timer.seconds();
+
+  // Cross-check: the gathered pieces form a complete tree, and the epoch
+  // matches the sequential engine bit for bit.
+  std::vector<octree::Octant> tree;
+  for (const auto& piece : pieces) tree.insert(tree.end(), piece.begin(), piece.end());
+  const bool complete = octree::is_complete(tree, curve);
+
+  const fem::DistributedLaplacian engine(meshes);
+  std::vector<std::vector<double>> ref(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    auto& u = ref[static_cast<std::size_t>(r)];
+    u.resize(meshes[static_cast<std::size_t>(r)].elements.size());
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      const auto a = meshes[static_cast<std::size_t>(r)].elements[i].anchor_unit();
+      u[i] = std::sin(6.28 * a[0]) * std::cos(6.28 * a[1]);
+    }
+  }
+  std::vector<std::vector<double>> out;
+  for (int it = 0; it < iterations; ++it) {
+    engine.matvec(ref, out);
+    std::swap(ref, out);
+  }
+  double worst = 0.0;
+  for (int r = 0; r < p; ++r) {
+    for (std::size_t i = 0; i < ref[static_cast<std::size_t>(r)].size(); ++i) {
+      worst = std::max(worst, std::abs(ref[static_cast<std::size_t>(r)][i] -
+                                       results[static_cast<std::size_t>(r)][i]));
+    }
+  }
+
+  std::printf("pipeline: %d ranks, %zu total leaves in %.2f s; gathered tree %s;"
+              " threaded-vs-sequential max divergence %.1e\n",
+              p, tree.size(), pipeline_s, complete ? "complete" : "NOT COMPLETE",
+              worst);
+  return complete && worst < 1e-12 ? 0 : 1;
+}

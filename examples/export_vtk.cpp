@@ -1,0 +1,62 @@
+// Example: export an adaptive mesh, its OptiPart partition and a Poisson
+// solution to a legacy VTK file for ParaView/VisIt.
+//
+// Run: ./examples/export_vtk [--elements 5000] [--p 16] [--out mesh.vtk]
+#include <cstdio>
+
+#include "fem/cg.hpp"
+#include "io/vtk.hpp"
+#include "machine/perf_model.hpp"
+#include "mesh/mesh.hpp"
+#include "octree/balance.hpp"
+#include "octree/generate.hpp"
+#include "partition/optipart.hpp"
+#include "util/args.hpp"
+
+using namespace amr;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const std::size_t n = static_cast<std::size_t>(args.get_int("elements", 5000));
+  const int p = static_cast<int>(args.get_int("p", 16));
+  const std::string out = args.get("out", "mesh.vtk");
+
+  const sfc::Curve curve(sfc::CurveKind::kHilbert, 3);
+  octree::GenerateOptions gen;
+  gen.distribution = octree::PointDistribution::kNormal;
+  gen.max_level = 7;
+  auto tree = octree::balance_octree(octree::random_octree(n, curve, gen), curve);
+
+  const machine::PerfModel model(machine::clemson32(), machine::ApplicationProfile{});
+  const auto part = partition::optipart_partition(tree, curve, p, model);
+
+  // Solve -lap u = 1 for a solution field worth looking at.
+  const mesh::GlobalMesh global = mesh::build_global_mesh(tree, curve);
+  std::vector<double> b(global.elements.size());
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const double h = static_cast<double>(global.elements[i].size()) /
+                     static_cast<double>(1U << octree::kMaxDepth);
+    b[i] = h * h * h;
+  }
+  std::vector<double> u;
+  const auto cg = fem::conjugate_gradient(global, b, u, {3000, 1e-7});
+
+  std::vector<io::CellField> fields(3);
+  fields[0].name = "level";
+  fields[1].name = "rank";
+  fields[2].name = "u";
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    fields[0].values.push_back(tree[i].level);
+    fields[1].values.push_back(part.owner_of(i));
+    fields[2].values.push_back(u[i]);
+  }
+
+  if (!io::write_vtk(out, tree, fields)) {
+    std::printf("failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu cells, fields level/rank/u (CG %s, %d iterations)\n",
+              out.c_str(), tree.size(), cg.converged ? "converged" : "not converged",
+              cg.iterations);
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Example: explicit time stepping of the heat equation du/dt = lap u on an
+// adaptive mesh -- "time-dependent problems ... can all be represented as
+// a series of matvecs" (paper §5.3). Each forward-Euler step is one
+// Laplacian matvec plus an axpy, executed with the distributed engine, so
+// the epoch has exactly the communication pattern the paper times.
+//
+// The demo also shows the footnote-1 point: the heat kernel (matvec +
+// 2 vector ops) has a different alpha than the bare matvec, and OptiPart
+// consumes that difference.
+//
+// Run: ./examples/heat_stepping [--elements 15000] [--p 8] [--steps 200]
+#include <cmath>
+#include <cstdio>
+
+#include "fem/laplacian.hpp"
+#include "fem/vector.hpp"
+#include "machine/perf_model.hpp"
+#include "mesh/mesh.hpp"
+#include "octree/balance.hpp"
+#include "octree/generate.hpp"
+#include "partition/optipart.hpp"
+#include "util/args.hpp"
+#include "util/timer.hpp"
+
+using namespace amr;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const std::size_t n = static_cast<std::size_t>(args.get_int("elements", 15000));
+  const int p = static_cast<int>(args.get_int("p", 8));
+  const int steps = static_cast<int>(args.get_int("steps", 200));
+
+  const sfc::Curve curve(sfc::CurveKind::kHilbert, 3);
+  octree::GenerateOptions gen;
+  gen.distribution = octree::PointDistribution::kNormal;
+  gen.normal_sigma = 0.1;
+  gen.max_level = 7;
+  auto tree = octree::balance_octree(octree::random_octree(n, curve, gen), curve);
+
+  // alpha for the heat kernel: the matvec touches the face list, the Euler
+  // update streams the vectors twice more.
+  machine::ApplicationProfile app;
+  app.alpha = args.get_double("alpha", 10.0);
+  const machine::PerfModel model(machine::wisconsin8(), app);
+  const auto part = partition::optipart_partition(tree, curve, p, model);
+  const auto meshes = mesh::build_local_meshes(tree, curve, part);
+  const fem::DistributedLaplacian engine(meshes);
+
+  // Initial condition: hot blob at the center.
+  std::vector<double> u(tree.size());
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const auto a = tree[i].anchor_unit();
+    const double r2 = (a[0] - 0.5) * (a[0] - 0.5) + (a[1] - 0.5) * (a[1] - 0.5) +
+                      (a[2] - 0.5) * (a[2] - 0.5);
+    u[i] = std::exp(-r2 / 0.01);
+  }
+
+  // The operator is the volume-integrated Laplacian; the pointwise update
+  // divides by cell volume. Forward Euler is stable while
+  // dt < 2 min_i V_i / diag_i; the diagonal gives the bound exactly, with
+  // graded faces and Dirichlet walls included.
+  const mesh::GlobalMesh global = mesh::build_global_mesh(tree, curve);
+  const std::vector<double> diag = fem::operator_diagonal(global);
+  std::vector<double> inv_volume(tree.size());
+  double dt = 1.0;
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const double h = static_cast<double>(tree[i].size()) /
+                     static_cast<double>(1U << octree::kMaxDepth);
+    const double volume = h * h * h;
+    inv_volume[i] = 1.0 / volume;
+    dt = std::min(dt, 0.9 * volume / diag[i]);
+  }
+
+  std::printf("heat stepping: %zu elements, %d ranks, dt=%.2e (CFL from the "
+              "operator diagonal), %d steps\n",
+              tree.size(), p, dt, steps);
+
+  auto pieces = engine.scatter(u);
+  std::vector<std::vector<double>> lap;
+  util::Timer timer;
+  double heat0 = 0.0;
+  for (const double v : u) heat0 += v;
+
+  for (int step = 0; step < steps; ++step) {
+    engine.matvec(pieces, lap);
+    for (int r = 0; r < p; ++r) {
+      auto& mine = pieces[static_cast<std::size_t>(r)];
+      const auto& flux = lap[static_cast<std::size_t>(r)];
+      const std::size_t base = meshes[static_cast<std::size_t>(r)].global_begin;
+      for (std::size_t i = 0; i < mine.size(); ++i) {
+        mine[i] -= dt * flux[i] * inv_volume[base + i];
+      }
+    }
+  }
+  const double elapsed = timer.seconds();
+  const auto u_final = engine.gather(pieces);
+
+  double heat1 = 0.0;
+  double u_max = 0.0;
+  bool finite = true;
+  for (const double v : u_final) {
+    heat1 += v;
+    u_max = std::max(u_max, std::abs(v));
+    finite = finite && std::isfinite(v);
+  }
+  std::printf("after %d steps (%.2f s): peak %.4f (from 1.0), total heat %.4f -> "
+              "%.4f (decays through the cold walls), %s\n",
+              steps, elapsed, u_max, heat0, heat1,
+              finite && u_max <= 1.0 + 1e-9 ? "stable" : "UNSTABLE");
+  return finite && u_max <= 1.0 + 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+// Example: the same mesh, the same application, four machines -- four
+// different partitions.
+//
+// This demonstrates the "machine aware" half of the paper's title: OptiPart
+// consumes tc/tw from the machine model, so on a fat-interconnect machine
+// (Titan, Stampede) it stays near the ideal equal split, while on a 10 GbE
+// CloudLab cluster it deliberately unbalances work to cut the boundary.
+//
+// Run: ./examples/machine_comparison [--elements 60000] [--p 64]
+#include <cstdio>
+
+#include "machine/perf_model.hpp"
+#include "mesh/comm_matrix.hpp"
+#include "octree/balance.hpp"
+#include "octree/generate.hpp"
+#include "partition/optipart.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+using namespace amr;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const std::size_t n = static_cast<std::size_t>(args.get_int("elements", 40000));
+  const int p = static_cast<int>(args.get_int("p", 192));
+
+  const sfc::Curve curve(sfc::CurveKind::kHilbert, 3);
+  octree::GenerateOptions gen;
+  gen.distribution = octree::PointDistribution::kLogNormal;
+  gen.seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
+  const auto tree = octree::balance_octree(octree::random_octree(n, curve, gen), curve);
+  std::printf("octree: %zu leaves (log-normal cluster), p=%d\n\n", tree.size(), p);
+
+  const auto ideal = partition::ideal_partition(tree.size(), p);
+  const auto ideal_metrics = partition::compute_metrics(tree, curve, ideal);
+
+  util::Table table({"machine", "model", "tw/tc", "chosen tolerance", "lambda",
+                     "Cmax", "modeled speedup vs ideal"});
+  for (const auto& machine : machine::all_machines()) {
+    for (const bool latency : {false, true}) {
+      machine::ApplicationProfile app;
+      app.include_latency_term = latency;
+      const machine::PerfModel model(machine, app);
+      const auto part = partition::optipart_partition(tree, curve, p, model);
+      const auto metrics = partition::compute_metrics(tree, curve, part);
+      const double t_opti = metrics.predicted_time(model);
+      const double t_ideal = ideal_metrics.predicted_time(model);
+      table.add_row({machine.name, latency ? "Eq.3+latency" : "Eq.3",
+                     util::Table::fmt(machine.tw / machine.tc, 1),
+                     util::Table::fmt(part.max_deviation(), 3),
+                     util::Table::fmt(metrics.load_imbalance, 3),
+                     util::Table::fmt(metrics.c_max, 0),
+                     util::Table::fmt(t_ideal / t_opti, 3) + "x"});
+    }
+  }
+  table.print("OptiPart on every machine preset (same mesh, alpha=8):");
+  std::printf("\nideal split for reference: lambda=%.3f, Cmax=%.0f, peers max=%.0f.\n"
+              "Expected pattern: higher tw/tc -> more accepted imbalance -> lower\n"
+              "Cmax -> larger modeled speedup over the equal split; the latency\n"
+              "extension (paper's future-work model refinement) amplifies the\n"
+              "effect on the TCP/Ethernet CloudLab machines.\n",
+              ideal_metrics.load_imbalance, ideal_metrics.c_max, ideal_metrics.m_max);
+  return 0;
+}

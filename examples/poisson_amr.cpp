@@ -1,0 +1,111 @@
+// Example: solving the 3D Poisson problem (-lap u = f, u = 0 on the walls
+// of the unit cube) on an adaptively refined octree -- the paper's test
+// application (§5.3) taken all the way to a solution.
+//
+// The mesh refines around a point source; CG drives the residual down
+// using the cell-centered Laplacian; the distributed matvec (the epoch the
+// paper times) then runs over real threads via simmpi with an OptiPart
+// partition, and the example cross-checks it against the sequential
+// reference.
+//
+// Run: ./examples/poisson_amr [--elements 20000] [--p 8] [--iterations 50]
+#include <cmath>
+#include <cstdio>
+
+#include "fem/cg.hpp"
+#include "fem/laplacian.hpp"
+#include "machine/perf_model.hpp"
+#include "mesh/mesh.hpp"
+#include "octree/balance.hpp"
+#include "octree/generate.hpp"
+#include "partition/optipart.hpp"
+#include "simmpi/dist_fem.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/args.hpp"
+#include "util/timer.hpp"
+
+using namespace amr;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const std::size_t n = static_cast<std::size_t>(args.get_int("elements", 20000));
+  const int p = static_cast<int>(args.get_int("p", 8));
+  const int iterations = static_cast<int>(args.get_int("iterations", 50));
+
+  const sfc::Curve curve(sfc::CurveKind::kHilbert, 3);
+  octree::GenerateOptions gen;
+  gen.distribution = octree::PointDistribution::kNormal;
+  gen.normal_sigma = 0.08;  // tight cluster: strong refinement at center
+  gen.max_level = 8;
+  auto tree = octree::balance_octree(octree::random_octree(n, curve, gen), curve);
+
+  const mesh::GlobalMesh global = mesh::build_global_mesh(tree, curve);
+  std::printf("mesh: %zu elements, %zu interior faces, %zu boundary faces\n",
+              global.elements.size(), global.faces.size(),
+              global.boundary_faces.size());
+
+  // Source: f = 1 near the center (scaled by cell volume for the FV form).
+  std::vector<double> b(global.elements.size(), 0.0);
+  for (std::size_t i = 0; i < global.elements.size(); ++i) {
+    const auto a = global.elements[i].anchor_unit();
+    const double r2 = (a[0] - 0.5) * (a[0] - 0.5) + (a[1] - 0.5) * (a[1] - 0.5) +
+                      (a[2] - 0.5) * (a[2] - 0.5);
+    if (r2 < 0.05) {
+      const double h = static_cast<double>(global.elements[i].size()) /
+                       static_cast<double>(1U << octree::kMaxDepth);
+      b[i] = h * h * h;
+    }
+  }
+
+  util::Timer timer;
+  std::vector<double> u;
+  const fem::CgResult cg = fem::conjugate_gradient(global, b, u, {4000, 1e-8});
+  std::printf("CG: %s in %d iterations, relative residual %.2e (%.2f s)\n",
+              cg.converged ? "converged" : "NOT converged", cg.iterations,
+              cg.relative_residual, timer.seconds());
+
+  double u_max = 0.0;
+  for (const double v : u) u_max = std::max(u_max, v);
+  std::printf("solution: max u = %.3e (positive interior peak, zero walls)\n\n", u_max);
+
+  // Distributed matvec epoch over real threads with an OptiPart partition.
+  const machine::PerfModel model(machine::wisconsin8(), machine::ApplicationProfile{});
+  const auto part = partition::optipart_partition(tree, curve, p, model);
+  const auto meshes = mesh::build_local_meshes(tree, curve, part);
+
+  std::vector<std::vector<double>> pieces(static_cast<std::size_t>(p));
+  std::uint64_t ghosts_sent = 0;
+  timer.reset();
+  simmpi::run_ranks(p, [&](simmpi::Comm& comm) {
+    const mesh::LocalMesh& m = meshes[static_cast<std::size_t>(comm.rank())];
+    std::vector<double> local(u.begin() + static_cast<std::ptrdiff_t>(m.global_begin),
+                              u.begin() + static_cast<std::ptrdiff_t>(
+                                              m.global_begin + m.elements.size()));
+    const auto report = simmpi::dist_matvec_loop(m, comm, iterations, local);
+    if (comm.rank() == 0) ghosts_sent = report.ghost_elements_sent;
+    pieces[static_cast<std::size_t>(comm.rank())] = std::move(local);
+  });
+  const double epoch_s = timer.seconds();
+
+  // Cross-check against the sequential engine.
+  const fem::DistributedLaplacian engine(meshes);
+  auto ref = engine.scatter(u);
+  std::vector<std::vector<double>> out;
+  for (int it = 0; it < iterations; ++it) {
+    engine.matvec(ref, out);
+    std::swap(ref, out);
+  }
+  double worst = 0.0;
+  for (int r = 0; r < p; ++r) {
+    for (std::size_t i = 0; i < ref[static_cast<std::size_t>(r)].size(); ++i) {
+      worst = std::max(worst, std::abs(ref[static_cast<std::size_t>(r)][i] -
+                                       pieces[static_cast<std::size_t>(r)][i]));
+    }
+  }
+  std::printf("distributed epoch: %d matvecs on %d threaded ranks in %.2f s\n"
+              "(rank 0 shipped %llu ghost values; threaded vs sequential max "
+              "divergence %.1e)\n",
+              iterations, p, epoch_s, static_cast<unsigned long long>(ghosts_sent),
+              worst);
+  return worst < 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,167 @@
+#include "alloc/placement.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+#include "octree/octant.hpp"
+#include "util/rng.hpp"
+
+namespace amr::alloc {
+
+std::string to_string(PlacementStrategy strategy) {
+  switch (strategy) {
+    case PlacementStrategy::kLinear: return "linear";
+    case PlacementStrategy::kRandom: return "random";
+    case PlacementStrategy::kSfc: return "sfc";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Torus nodes ordered along a space-filling curve: embed the grid in the
+/// smallest power-of-two cube, enumerate curve ranks of all in-range
+/// coordinates, and sort by rank (out-of-range cells are simply skipped,
+/// the standard treatment for non-power-of-two domains).
+std::vector<int> sfc_node_order(const TorusConfig& config, sfc::CurveKind kind) {
+  const sfc::Curve curve(kind, 3);
+  int level = 0;
+  while ((1 << level) < std::max({config.dims[0], config.dims[1], config.dims[2]})) {
+    ++level;
+  }
+  level = std::max(level, 1);
+
+  std::vector<std::pair<std::uint64_t, int>> ranked;
+  ranked.reserve(static_cast<std::size_t>(config.total_nodes()));
+  for (int n = 0; n < config.total_nodes(); ++n) {
+    const auto at = torus_coords(config, n);
+    octree::Octant cell;
+    cell.level = static_cast<std::uint8_t>(level);
+    cell.x = static_cast<std::uint32_t>(at[0]) << (octree::kMaxDepth - level);
+    cell.y = static_cast<std::uint32_t>(at[1]) << (octree::kMaxDepth - level);
+    cell.z = static_cast<std::uint32_t>(at[2]) << (octree::kMaxDepth - level);
+    ranked.emplace_back(curve.rank_at_own_level(cell), n);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<int> order;
+  order.reserve(ranked.size());
+  for (const auto& [rank, node] : ranked) order.push_back(node);
+  return order;
+}
+
+}  // namespace
+
+std::vector<int> node_order(int nodes_needed, const TorusConfig& config,
+                            PlacementStrategy strategy, sfc::CurveKind curve,
+                            std::uint64_t seed) {
+  if (nodes_needed > config.total_nodes()) {
+    throw std::invalid_argument("placement: more nodes needed than the torus has");
+  }
+  std::vector<int> order;
+  switch (strategy) {
+    case PlacementStrategy::kLinear: {
+      order.resize(static_cast<std::size_t>(config.total_nodes()));
+      std::iota(order.begin(), order.end(), 0);
+      break;
+    }
+    case PlacementStrategy::kRandom: {
+      order.resize(static_cast<std::size_t>(config.total_nodes()));
+      std::iota(order.begin(), order.end(), 0);
+      util::Rng rng = util::make_rng(seed);
+      std::shuffle(order.begin(), order.end(), rng);
+      break;
+    }
+    case PlacementStrategy::kSfc: {
+      order = sfc_node_order(config, curve);
+      break;
+    }
+  }
+  order.resize(static_cast<std::size_t>(nodes_needed));
+  return order;
+}
+
+std::vector<int> place_ranks(int p, const TorusConfig& config,
+                             PlacementStrategy strategy, sfc::CurveKind curve,
+                             std::uint64_t seed) {
+  const int nodes_needed =
+      (p + config.cores_per_node - 1) / config.cores_per_node;
+  const auto order = node_order(nodes_needed, config, strategy, curve, seed);
+  std::vector<int> placement(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    placement[static_cast<std::size_t>(r)] =
+        order[static_cast<std::size_t>(r / config.cores_per_node)];
+  }
+  return placement;
+}
+
+HopReport evaluate_placement(const mesh::CommMatrix& comm,
+                             const std::vector<int>& placement,
+                             const TorusConfig& config) {
+  HopReport report;
+  double total_elements = 0.0;
+  double weighted_hops = 0.0;
+  double on_node = 0.0;
+  for (const auto& [key, elements] : comm.entries()) {
+    const auto [needer, owner] = key;
+    assert(needer < static_cast<int>(placement.size()) &&
+           owner < static_cast<int>(placement.size()));
+    const int hops = torus_hops(config, placement[static_cast<std::size_t>(needer)],
+                                placement[static_cast<std::size_t>(owner)]);
+    total_elements += elements;
+    weighted_hops += elements * hops;
+    if (hops == 0) on_node += elements;
+    report.max_hops = std::max(report.max_hops, hops);
+  }
+  if (total_elements > 0.0) {
+    report.average_hops = weighted_hops / total_elements;
+    report.on_node_fraction = on_node / total_elements;
+  }
+  return report;
+}
+
+CongestionReport evaluate_congestion(const mesh::CommMatrix& comm,
+                                     const std::vector<int>& placement,
+                                     const TorusConfig& config) {
+  // Link id: (node, dimension, direction) -> flattened index.
+  const auto link_id = [&](int node, int dim, int positive) {
+    return (static_cast<std::size_t>(node) * 3 + static_cast<std::size_t>(dim)) * 2 +
+           static_cast<std::size_t>(positive);
+  };
+  std::vector<double> load(static_cast<std::size_t>(config.total_nodes()) * 6, 0.0);
+
+  for (const auto& [key, elements] : comm.entries()) {
+    const auto [needer, owner] = key;
+    auto at = torus_coords(config, placement[static_cast<std::size_t>(owner)]);
+    const auto to = torus_coords(config, placement[static_cast<std::size_t>(needer)]);
+    // Dimension-ordered routing, shortest wrap direction per dimension.
+    for (int d = 0; d < 3; ++d) {
+      const int span = config.dims[static_cast<std::size_t>(d)];
+      while (at[static_cast<std::size_t>(d)] != to[static_cast<std::size_t>(d)]) {
+        const int forward = (to[static_cast<std::size_t>(d)] -
+                             at[static_cast<std::size_t>(d)] + span) %
+                            span;
+        const bool positive = forward <= span - forward;
+        load[link_id(torus_index(config, at), d, positive ? 1 : 0)] += elements;
+        at[static_cast<std::size_t>(d)] =
+            (at[static_cast<std::size_t>(d)] + (positive ? 1 : span - 1)) % span;
+      }
+    }
+  }
+
+  CongestionReport report;
+  double total = 0.0;
+  for (const double l : load) {
+    if (l <= 0.0) continue;
+    report.max_link_load = std::max(report.max_link_load, l);
+    total += l;
+    ++report.links_used;
+  }
+  if (report.links_used > 0) {
+    report.mean_link_load = total / static_cast<double>(report.links_used);
+  }
+  return report;
+}
+
+}  // namespace amr::alloc

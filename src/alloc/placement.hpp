@@ -1,0 +1,67 @@
+// SFC-based rank placement (the paper's second SFC application, §1/§2:
+// "resource allocations [3, 32]").
+//
+// A partition decides *which elements* a rank owns; placement decides
+// *which node* the rank runs on. Because SFC partitions give geometrically
+// local ranks numerically close ids, walking the torus nodes along a
+// space-filling curve and assigning consecutive ranks to consecutive nodes
+// keeps communicating ranks physically close -- fewer hops per ghost
+// exchange than the scheduler's linear or scattered allocations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/torus.hpp"
+#include "mesh/comm_matrix.hpp"
+#include "sfc/curve.hpp"
+
+namespace amr::alloc {
+
+enum class PlacementStrategy {
+  kLinear,  ///< node = rank / cores_per_node in row-major node order
+  kRandom,  ///< nodes shuffled (a busy scheduler's scattered allocation)
+  kSfc,     ///< nodes ordered along a space-filling curve of the torus
+};
+
+[[nodiscard]] std::string to_string(PlacementStrategy strategy);
+
+/// Placement of `p` ranks: result[r] = node index hosting rank r. Ranks
+/// fill nodes in blocks of cores_per_node along the strategy's node order.
+[[nodiscard]] std::vector<int> place_ranks(int p, const TorusConfig& config,
+                                           PlacementStrategy strategy,
+                                           sfc::CurveKind curve = sfc::CurveKind::kHilbert,
+                                           std::uint64_t seed = 1);
+
+/// Node visit order of a strategy (length = nodes needed for p ranks).
+[[nodiscard]] std::vector<int> node_order(int nodes_needed, const TorusConfig& config,
+                                          PlacementStrategy strategy,
+                                          sfc::CurveKind curve, std::uint64_t seed);
+
+struct HopReport {
+  double average_hops = 0.0;  ///< ghost-element-weighted mean hop distance
+  int max_hops = 0;
+  double on_node_fraction = 0.0;  ///< traffic that never leaves a node
+};
+
+/// Evaluate a placement against the application's communication matrix.
+[[nodiscard]] HopReport evaluate_placement(const mesh::CommMatrix& comm,
+                                           const std::vector<int>& placement,
+                                           const TorusConfig& config);
+
+struct CongestionReport {
+  double max_link_load = 0.0;   ///< elements over the hottest link
+  double mean_link_load = 0.0;  ///< over links that carry any traffic
+  std::size_t links_used = 0;
+};
+
+/// Route every flow with dimension-ordered routing (X, then Y, then Z,
+/// shortest wrap direction -- the deterministic routing of torus networks
+/// like Gemini) and accumulate per-link loads. The hottest link bounds the
+/// exchange's completion time on a real torus; SFC placement should lower
+/// it along with the average hop count.
+[[nodiscard]] CongestionReport evaluate_congestion(const mesh::CommMatrix& comm,
+                                                   const std::vector<int>& placement,
+                                                   const TorusConfig& config);
+
+}  // namespace amr::alloc

@@ -1,0 +1,40 @@
+#include "alloc/torus.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace amr::alloc {
+
+std::array<int, 3> torus_coords(const TorusConfig& config, int index) {
+  assert(index >= 0 && index < config.total_nodes());
+  std::array<int, 3> at{};
+  at[0] = index % config.dims[0];
+  at[1] = (index / config.dims[0]) % config.dims[1];
+  at[2] = index / (config.dims[0] * config.dims[1]);
+  return at;
+}
+
+int torus_index(const TorusConfig& config, const std::array<int, 3>& at) {
+  return at[0] + config.dims[0] * (at[1] + config.dims[1] * at[2]);
+}
+
+int torus_hops(const TorusConfig& config, int node_a, int node_b) {
+  const auto a = torus_coords(config, node_a);
+  const auto b = torus_coords(config, node_b);
+  int hops = 0;
+  for (int d = 0; d < 3; ++d) {
+    const int span = config.dims[static_cast<std::size_t>(d)];
+    const int direct = std::abs(a[static_cast<std::size_t>(d)] - b[static_cast<std::size_t>(d)]);
+    hops += std::min(direct, span - direct);
+  }
+  return hops;
+}
+
+TorusConfig titan_torus() {
+  TorusConfig config;
+  config.dims = {25, 16, 48};
+  config.cores_per_node = 16;
+  return config;
+}
+
+}  // namespace amr::alloc

@@ -1,0 +1,38 @@
+// Torus interconnect geometry.
+//
+// Titan's Gemini network is a 3D torus; the distance messages travel --
+// and thus link congestion and effective latency -- depends on where the
+// communicating ranks' nodes sit in it. This header provides the geometry:
+// node coordinates in an (X, Y, Z) torus and minimal hop distances with
+// wraparound.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace amr::alloc {
+
+struct TorusConfig {
+  std::array<int, 3> dims{8, 8, 8};  ///< nodes per torus dimension
+  int cores_per_node = 16;
+
+  [[nodiscard]] int total_nodes() const { return dims[0] * dims[1] * dims[2]; }
+  [[nodiscard]] std::int64_t total_cores() const {
+    return static_cast<std::int64_t>(total_nodes()) * cores_per_node;
+  }
+};
+
+/// Coordinates of node `index` (row-major x-fastest).
+[[nodiscard]] std::array<int, 3> torus_coords(const TorusConfig& config, int index);
+
+/// Node index of coordinates.
+[[nodiscard]] int torus_index(const TorusConfig& config, const std::array<int, 3>& at);
+
+/// Minimal hop count between two nodes (per-dimension wraparound).
+[[nodiscard]] int torus_hops(const TorusConfig& config, int node_a, int node_b);
+
+/// ORNL Titan's Gemini torus (25x16x24 girdle, 2 nodes per Gemini ASIC --
+/// modeled here as a 25x16x48 node torus).
+[[nodiscard]] TorusConfig titan_torus();
+
+}  // namespace amr::alloc

@@ -1,0 +1,46 @@
+#include "energy/power_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace amr::energy {
+
+void NodeActivity::add(const Interval& interval) {
+  assert(interval.t1 >= interval.t0);
+  intervals_.push_back(interval);
+  end_time_ = std::max(end_time_, interval.t1);
+}
+
+void NodeActivity::add_compute(double t0, double t1, int cores) {
+  add(Interval{t0, t1, cores, 0.0, false});
+}
+
+void NodeActivity::add_comm(double t0, double t1, double bytes, int cores) {
+  const double duration = std::max(t1 - t0, 1e-12);
+  add(Interval{t0, t1, cores, bytes / duration, true});
+}
+
+double NodeActivity::watts_at(double t, const machine::MachineModel& machine) const {
+  double watts = machine.idle_watts;
+  int busy = 0;
+  double bytes_per_sec = 0.0;
+  for (const Interval& iv : intervals_) {
+    if (t >= iv.t0 && t < iv.t1) {
+      busy += iv.busy_cores;
+      bytes_per_sec += iv.net_bytes_per_sec;
+    }
+  }
+  busy = std::min(busy, machine.cores_per_node);
+  watts += machine.core_active_watts * busy;
+  watts += machine.nic_watts_per_gbps * (bytes_per_sec * 8.0 / 1.0e9);
+  return watts;
+}
+
+bool NodeActivity::comm_active_at(double t) const {
+  for (const Interval& iv : intervals_) {
+    if (iv.is_comm && t >= iv.t0 && t < iv.t1) return true;
+  }
+  return false;
+}
+
+}  // namespace amr::energy

@@ -1,0 +1,54 @@
+// Per-node power model and activity timelines (paper §4.1).
+//
+// The paper provisions CloudLab clusters, pins CPU frequency, samples each
+// machine's instantaneous power draw over IPMI at 1 Hz and integrates the
+// traces into per-job Joules. We reproduce the pipeline with a simulated
+// sensor: the execution engines emit per-node *activity timelines*
+// (busy cores and NIC traffic over time); the power model maps activity to
+// Watts; the sampler (sampler.hpp) discretizes at 1 Hz -- optionally with
+// sensor noise -- and integrates exactly like the paper's post-processing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/machine_model.hpp"
+
+namespace amr::energy {
+
+/// One homogeneous stretch of node activity.
+struct Interval {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  int busy_cores = 0;
+  double net_bytes_per_sec = 0.0;
+  bool is_comm = false;  ///< attribute this stretch to the communication phase
+};
+
+/// Activity of a single node over a job. Intervals may overlap (their
+/// contributions add), matching ranks that progress independently.
+class NodeActivity {
+ public:
+  void add(const Interval& interval);
+
+  /// Convenience: a compute stretch with `cores` busy cores.
+  void add_compute(double t0, double t1, int cores);
+
+  /// Convenience: a communication stretch moving `bytes` total.
+  void add_comm(double t0, double t1, double bytes, int cores);
+
+  [[nodiscard]] double end_time() const { return end_time_; }
+  [[nodiscard]] const std::vector<Interval>& intervals() const { return intervals_; }
+
+  /// Instantaneous draw (Watts) at time t under `machine`'s power model.
+  [[nodiscard]] double watts_at(double t, const machine::MachineModel& machine) const;
+
+  /// True if a communication interval is active at time t.
+  [[nodiscard]] bool comm_active_at(double t) const;
+
+ private:
+  std::vector<Interval> intervals_;
+  double end_time_ = 0.0;
+};
+
+}  // namespace amr::energy

@@ -1,0 +1,50 @@
+// Simulated IPMI sampling and trace integration (paper §4.1).
+//
+// The sampler reads each node's activity timeline at a fixed rate
+// (1 Hz like the paper's IPMI sensors), optionally perturbs samples with
+// Gaussian sensor noise, and integrates the trace with the trapezoid rule
+// to per-node and per-job energy, splitting out the Joules spent while a
+// communication phase was active (the paper's "energy consumed during the
+// communication phase").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "energy/power_model.hpp"
+
+namespace amr::energy {
+
+struct SamplerOptions {
+  double sample_hz = 1.0;
+  double noise_sd_watts = 0.0;
+  std::uint64_t seed = 1;
+};
+
+struct PowerTrace {
+  std::vector<double> times;
+  std::vector<double> watts;
+  std::vector<char> comm_active;
+};
+
+struct EnergyReport {
+  double duration_s = 0.0;
+  double total_joules = 0.0;
+  double comm_joules = 0.0;
+  std::vector<double> per_node_joules;
+  std::size_t samples = 0;
+};
+
+/// Sample one node's power trace over [0, horizon].
+[[nodiscard]] PowerTrace sample_node(const NodeActivity& node,
+                                     const machine::MachineModel& machine,
+                                     double horizon, const SamplerOptions& options,
+                                     int node_index);
+
+/// Sample and integrate all node traces of a job.
+[[nodiscard]] EnergyReport measure_energy(std::span<const NodeActivity> nodes,
+                                          const machine::MachineModel& machine,
+                                          const SamplerOptions& options = {});
+
+}  // namespace amr::energy

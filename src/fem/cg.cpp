@@ -1,0 +1,105 @@
+#include "fem/cg.hpp"
+
+#include <cmath>
+
+#include "fem/laplacian.hpp"
+#include "fem/vector.hpp"
+
+namespace amr::fem {
+
+CgResult conjugate_gradient(const mesh::GlobalMesh& mesh, std::span<const double> b,
+                            std::vector<double>& x, const CgOptions& options) {
+  const std::size_t n = mesh.elements.size();
+  x.resize(n, 0.0);
+
+  std::vector<double> r(n);
+  std::vector<double> p(n);
+  std::vector<double> ap(n);
+
+  apply_global(mesh, x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  p = r;
+
+  const double b_norm = norm2(b);
+  CgResult result;
+  if (b_norm == 0.0) {
+    fill(x, 0.0);
+    result.converged = true;
+    return result;
+  }
+
+  double rho = dot(r, r);
+  for (int it = 0; it < options.max_iterations; ++it) {
+    apply_global(mesh, p, ap);
+    const double denom = dot(p, ap);
+    if (denom <= 0.0) break;  // loss of positive-definiteness: bail out
+    const double alpha = rho / denom;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    const double rho_next = dot(r, r);
+    result.iterations = it + 1;
+    result.relative_residual = std::sqrt(rho_next) / b_norm;
+    if (result.relative_residual <= options.rel_tolerance) {
+      result.converged = true;
+      return result;
+    }
+    xpby(r, rho_next / rho, p);
+    rho = rho_next;
+  }
+  return result;
+}
+
+CgResult preconditioned_conjugate_gradient(const mesh::GlobalMesh& mesh,
+                                           std::span<const double> b,
+                                           std::vector<double>& x,
+                                           const CgOptions& options) {
+  const std::size_t n = mesh.elements.size();
+  x.resize(n, 0.0);
+
+  const std::vector<double> diag = operator_diagonal(mesh);
+  std::vector<double> inv_diag(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    inv_diag[i] = diag[i] > 0.0 ? 1.0 / diag[i] : 1.0;
+  }
+
+  std::vector<double> r(n);
+  std::vector<double> z(n);
+  std::vector<double> p(n);
+  std::vector<double> ap(n);
+
+  apply_global(mesh, x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+  p = z;
+
+  const double b_norm = norm2(b);
+  CgResult result;
+  if (b_norm == 0.0) {
+    fill(x, 0.0);
+    result.converged = true;
+    return result;
+  }
+
+  double rho = dot(r, z);
+  for (int it = 0; it < options.max_iterations; ++it) {
+    apply_global(mesh, p, ap);
+    const double denom = dot(p, ap);
+    if (denom <= 0.0) break;
+    const double alpha = rho / denom;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    result.iterations = it + 1;
+    result.relative_residual = norm2(r) / b_norm;
+    if (result.relative_residual <= options.rel_tolerance) {
+      result.converged = true;
+      return result;
+    }
+    for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+    const double rho_next = dot(r, z);
+    xpby(z, rho_next / rho, p);
+    rho = rho_next;
+  }
+  return result;
+}
+
+}  // namespace amr::fem

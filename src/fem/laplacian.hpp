@@ -1,0 +1,79 @@
+// Adaptive-mesh Laplacian matvec (paper §5.3).
+//
+// The test application is the discretized Laplacian on the adaptively
+// refined unit cube with zero Dirichlet boundary conditions (a 3D Poisson
+// operator): the matvec is the basic building block whose communication
+// and compute pattern characterizes FEM codes. We use a cell-centered
+// two-point flux discretization over the octree face list: for a face
+// (i, j) with shared area A and center distance d,
+//     (L u)_i += A/d * (u_i - u_j),
+// and a domain-boundary face contributes A/d * u_i (the u=0 wall). The
+// operator is symmetric positive definite, so CG (cg.hpp) applies.
+//
+// Two execution paths share the kernel:
+//  * apply_global  -- undistributed reference, used for correctness checks,
+//  * DistributedLaplacian -- per-rank matvec with explicit ghost exchange
+//    over the mesh's send/recv channels; ranks are advanced sequentially
+//    (the "global engine"), and the per-step work / traffic it records is
+//    what the machine & energy models consume. The simmpi engine runs the
+//    identical LocalMesh kernel with real threads.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace amr::fem {
+
+/// Reference matvec on the undistributed mesh.
+void apply_global(const mesh::GlobalMesh& mesh, std::span<const double> u,
+                  std::span<double> out);
+
+/// Variable-coefficient operator -div(kappa grad u) with one kappa per
+/// element; face transmissibility is the harmonic mean of the two cell
+/// coefficients (the standard finite-volume choice, exact for layered
+/// media). kappa must be positive; the operator stays SPD.
+void apply_global_varcoef(const mesh::GlobalMesh& mesh, std::span<const double> kappa,
+                          std::span<const double> u, std::span<double> out);
+
+/// Diagonal of the (constant-coefficient) operator -- the Jacobi
+/// preconditioner of cg.hpp.
+[[nodiscard]] std::vector<double> operator_diagonal(const mesh::GlobalMesh& mesh);
+
+/// One rank's matvec given its ghost values.
+void apply_local(const mesh::LocalMesh& mesh, std::span<const double> u,
+                 std::span<const double> ghost_u, std::span<double> out);
+
+/// Per-step cost record for the models: elements of work per rank and
+/// ghost elements sent per rank (the Alltoallv payload).
+struct StepCost {
+  std::vector<double> work;
+  std::vector<double> sent;
+  std::vector<double> messages;
+};
+
+/// Sequentially-executed distributed matvec over all ranks.
+class DistributedLaplacian {
+ public:
+  explicit DistributedLaplacian(const std::vector<mesh::LocalMesh>& meshes);
+
+  [[nodiscard]] int num_ranks() const { return static_cast<int>(meshes_->size()); }
+
+  /// Scatter a global vector into per-rank pieces.
+  [[nodiscard]] std::vector<std::vector<double>> scatter(
+      std::span<const double> global) const;
+  /// Gather per-rank pieces back into a global vector.
+  [[nodiscard]] std::vector<double> gather(
+      const std::vector<std::vector<double>>& pieces) const;
+
+  /// Ghost-exchange + matvec: out[r] = L u[r] for every rank.
+  void matvec(const std::vector<std::vector<double>>& u,
+              std::vector<std::vector<double>>& out, StepCost* cost = nullptr) const;
+
+ private:
+  const std::vector<mesh::LocalMesh>* meshes_;
+  mutable std::vector<std::vector<double>> ghost_values_;
+};
+
+}  // namespace amr::fem

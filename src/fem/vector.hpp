@@ -1,0 +1,21 @@
+// Dense vector helpers for the FEM solvers. One double per element
+// (cell-centered discretization); kept free-standing so both the global
+// reference path and the per-rank distributed path share them.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace amr::fem {
+
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
+[[nodiscard]] double norm2(std::span<const double> a);
+
+/// y += alpha * x
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+/// y = x + beta * y
+void xpby(std::span<const double> x, double beta, std::span<double> y);
+
+void fill(std::span<double> v, double value);
+
+}  // namespace amr::fem

@@ -1,0 +1,135 @@
+#include "io/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/log.hpp"
+
+namespace amr::io {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x414d5250;  // "AMRP"
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  std::uint32_t magic = kMagic;
+  std::uint32_t version = kVersion;
+  std::uint32_t dim = 3;
+  std::uint32_t reserved = 0;
+  std::uint64_t tree_count = 0;
+  std::uint64_t offsets_count = 0;
+  std::uint64_t field_count = 0;
+};
+
+template <typename T>
+void append(std::vector<std::byte>& out, const T* data, std::size_t count) {
+  const std::size_t bytes = count * sizeof(T);
+  const std::size_t at = out.size();
+  out.resize(at + bytes);
+  if (bytes > 0) std::memcpy(out.data() + at, data, bytes);
+}
+
+template <typename T>
+bool take(std::span<const std::byte>& in, T* data, std::size_t count) {
+  const std::size_t bytes = count * sizeof(T);
+  if (in.size() < bytes) return false;
+  if (bytes > 0) std::memcpy(data, in.data(), bytes);
+  in = in.subspan(bytes);
+  return true;
+}
+
+// Octants are stored field-by-field (not as the in-memory struct) so the
+// file layout does not depend on padding.
+struct PackedOctant {
+  std::uint32_t x;
+  std::uint32_t y;
+  std::uint32_t z;
+  std::uint32_t level;
+};
+
+}  // namespace
+
+std::vector<std::byte> checkpoint_to_bytes(const Checkpoint& checkpoint) {
+  Header header;
+  header.dim = static_cast<std::uint32_t>(checkpoint.dim);
+  header.tree_count = checkpoint.tree.size();
+  header.offsets_count = checkpoint.part.offsets.size();
+  header.field_count = checkpoint.field.size();
+
+  std::vector<std::byte> out;
+  append(out, &header, 1);
+  std::vector<PackedOctant> packed;
+  packed.reserve(checkpoint.tree.size());
+  for (const octree::Octant& o : checkpoint.tree) {
+    packed.push_back({o.x, o.y, o.z, o.level});
+  }
+  append(out, packed.data(), packed.size());
+  std::vector<std::uint64_t> offsets(checkpoint.part.offsets.begin(),
+                                     checkpoint.part.offsets.end());
+  append(out, offsets.data(), offsets.size());
+  append(out, checkpoint.field.data(), checkpoint.field.size());
+  return out;
+}
+
+std::optional<Checkpoint> checkpoint_from_bytes(std::span<const std::byte> bytes) {
+  Header header;
+  if (!take(bytes, &header, 1)) return std::nullopt;
+  if (header.magic != kMagic || header.version != kVersion) return std::nullopt;
+  if (header.dim != 2 && header.dim != 3) return std::nullopt;
+
+  Checkpoint checkpoint;
+  checkpoint.dim = static_cast<int>(header.dim);
+
+  std::vector<PackedOctant> packed(header.tree_count);
+  if (!take(bytes, packed.data(), packed.size())) return std::nullopt;
+  checkpoint.tree.reserve(packed.size());
+  for (const PackedOctant& o : packed) {
+    if (o.level > static_cast<std::uint32_t>(octree::kMaxDepth)) return std::nullopt;
+    checkpoint.tree.push_back(
+        {o.x, o.y, o.z, static_cast<std::uint8_t>(o.level)});
+  }
+
+  std::vector<std::uint64_t> offsets(header.offsets_count);
+  if (!take(bytes, offsets.data(), offsets.size())) return std::nullopt;
+  checkpoint.part.offsets.assign(offsets.begin(), offsets.end());
+  if (!offsets.empty() &&
+      (offsets.front() != 0 || offsets.back() != header.tree_count)) {
+    return std::nullopt;
+  }
+
+  checkpoint.field.resize(header.field_count);
+  if (!take(bytes, checkpoint.field.data(), checkpoint.field.size())) {
+    return std::nullopt;
+  }
+  if (!checkpoint.field.empty() && checkpoint.field.size() != checkpoint.tree.size()) {
+    return std::nullopt;
+  }
+  if (!bytes.empty()) return std::nullopt;  // trailing garbage
+  return checkpoint;
+}
+
+bool save_checkpoint(const std::string& path, const Checkpoint& checkpoint) {
+  const auto bytes = checkpoint_to_bytes(checkpoint);
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    AMR_LOG_WARN << "could not open " << path << " for writing";
+    return false;
+  }
+  file.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(file);
+}
+
+std::optional<Checkpoint> load_checkpoint(const std::string& path) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  if (!file) return std::nullopt;
+  const std::streamsize size = file.tellg();
+  file.seekg(0);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  file.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!file) return std::nullopt;
+  return checkpoint_from_bytes(bytes);
+}
+
+}  // namespace amr::io

@@ -1,0 +1,42 @@
+// Binary checkpointing of octrees, partitions, and solution fields.
+//
+// AMR runs are long; production frameworks checkpoint the mesh + partition
+// + fields and restart from them. Format: a small header (magic, version,
+// dim, counts) followed by raw little-endian arrays. Endianness of the
+// writer is assumed for the reader (documented limitation; these files are
+// restart files, not interchange files).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "octree/octant.hpp"
+#include "partition/partition.hpp"
+
+namespace amr::io {
+
+struct Checkpoint {
+  int dim = 3;
+  std::vector<octree::Octant> tree;
+  partition::Partition part;             ///< empty offsets if not saved
+  std::vector<double> field;             ///< empty if not saved
+
+  friend bool operator==(const Checkpoint&, const Checkpoint&) = default;
+};
+
+/// Serialize to a byte buffer (exposed for tests).
+[[nodiscard]] std::vector<std::byte> checkpoint_to_bytes(const Checkpoint& checkpoint);
+
+/// Parse a byte buffer; std::nullopt on malformed input (wrong magic,
+/// truncation, inconsistent counts).
+[[nodiscard]] std::optional<Checkpoint> checkpoint_from_bytes(
+    std::span<const std::byte> bytes);
+
+/// Write / read a checkpoint file. Readers validate sizes and magic.
+bool save_checkpoint(const std::string& path, const Checkpoint& checkpoint);
+[[nodiscard]] std::optional<Checkpoint> load_checkpoint(const std::string& path);
+
+}  // namespace amr::io

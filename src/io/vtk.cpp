@@ -1,0 +1,94 @@
+#include "io/vtk.hpp"
+
+#include <array>
+#include <fstream>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace amr::io {
+
+namespace {
+
+using Vertex = std::array<std::uint32_t, 3>;
+
+constexpr double kUnit = 1.0 / static_cast<double>(std::uint32_t{1} << octree::kMaxDepth);
+
+}  // namespace
+
+std::string vtk_to_string(std::span<const octree::Octant> tree,
+                          std::span<const CellField> fields) {
+  for (const CellField& field : fields) {
+    if (field.values.size() != tree.size()) {
+      AMR_LOG_WARN << "vtk field " << field.name << " has " << field.values.size()
+                   << " values for " << tree.size() << " cells";
+      return {};
+    }
+  }
+
+  // Deduplicate the 8 corner vertices of every voxel.
+  std::map<Vertex, std::size_t> vertex_ids;
+  std::vector<Vertex> vertices;
+  std::vector<std::array<std::size_t, 8>> cells;
+  cells.reserve(tree.size());
+  for (const octree::Octant& o : tree) {
+    const std::uint32_t s = o.size();
+    std::array<std::size_t, 8> cell{};
+    // VTK_VOXEL ordering: x fastest, then y, then z.
+    int corner = 0;
+    for (std::uint32_t dz = 0; dz <= 1; ++dz) {
+      for (std::uint32_t dy = 0; dy <= 1; ++dy) {
+        for (std::uint32_t dx = 0; dx <= 1; ++dx) {
+          const Vertex v{o.x + dx * s, o.y + dy * s, o.z + dz * s};
+          auto [it, inserted] = vertex_ids.emplace(v, vertices.size());
+          if (inserted) vertices.push_back(v);
+          cell[static_cast<std::size_t>(corner++)] = it->second;
+        }
+      }
+    }
+    cells.push_back(cell);
+  }
+
+  std::ostringstream os;
+  os << "# vtk DataFile Version 3.0\n";
+  os << "amrpart linear octree\n";
+  os << "ASCII\n";
+  os << "DATASET UNSTRUCTURED_GRID\n";
+  os << "POINTS " << vertices.size() << " double\n";
+  for (const Vertex& v : vertices) {
+    os << v[0] * kUnit << ' ' << v[1] * kUnit << ' ' << v[2] * kUnit << '\n';
+  }
+  os << "CELLS " << cells.size() << ' ' << cells.size() * 9 << '\n';
+  for (const auto& cell : cells) {
+    os << 8;
+    for (const std::size_t id : cell) os << ' ' << id;
+    os << '\n';
+  }
+  os << "CELL_TYPES " << cells.size() << '\n';
+  for (std::size_t i = 0; i < cells.size(); ++i) os << "11\n";  // VTK_VOXEL
+
+  if (!fields.empty()) {
+    os << "CELL_DATA " << cells.size() << '\n';
+    for (const CellField& field : fields) {
+      os << "SCALARS " << field.name << " double 1\n";
+      os << "LOOKUP_TABLE default\n";
+      for (const double v : field.values) os << v << '\n';
+    }
+  }
+  return os.str();
+}
+
+bool write_vtk(const std::string& path, std::span<const octree::Octant> tree,
+               std::span<const CellField> fields) {
+  const std::string contents = vtk_to_string(tree, fields);
+  if (contents.empty() && !tree.empty()) return false;
+  std::ofstream file(path);
+  if (!file) {
+    AMR_LOG_WARN << "could not open " << path << " for writing";
+    return false;
+  }
+  file << contents;
+  return static_cast<bool>(file);
+}
+
+}  // namespace amr::io

@@ -1,0 +1,34 @@
+// Legacy-VTK export of linear octrees.
+//
+// Writes an ASCII unstructured grid of voxel cells (one per leaf) with
+// per-cell scalar fields -- refinement level, owning rank, and any
+// user-supplied solution field -- so meshes, partitions and Poisson
+// solutions can be inspected in ParaView/VisIt. Vertices are deduplicated
+// across cells.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "octree/octant.hpp"
+
+namespace amr::io {
+
+struct CellField {
+  std::string name;
+  std::vector<double> values;  ///< one per leaf
+};
+
+/// Write `tree` as a legacy VTK unstructured grid. Every field must have
+/// one value per leaf. Returns false (and logs) on I/O failure or size
+/// mismatch.
+bool write_vtk(const std::string& path, std::span<const octree::Octant> tree,
+               std::span<const CellField> fields);
+
+/// Serialize to a string (the file contents); useful for tests.
+[[nodiscard]] std::string vtk_to_string(std::span<const octree::Octant> tree,
+                                        std::span<const CellField> fields);
+
+}  // namespace amr::io

@@ -1,0 +1,102 @@
+#include "machine/machine_model.hpp"
+
+#include <stdexcept>
+
+namespace amr::machine {
+
+// All tc/tw values are per *rank*: node memory / NIC bandwidth divided by
+// the ranks sharing it, which is how the paper's per-process model (Eq. 3)
+// consumes them. See DESIGN.md for the derivations from published specs.
+
+MachineModel titan() {
+  MachineModel m;
+  m.name = "titan";
+  // 16-core Opteron 6274, ~32 GB/s DDR3 per node -> ~2 GB/s per rank.
+  m.tc = 5.0e-10;
+  // Gemini: ~1.5 us latency, ~6 GB/s injection per node -> 0.375 GB/s/rank.
+  m.ts = 1.5e-6;
+  m.tw = 2.7e-9;
+  m.cores_per_node = 16;
+  m.total_nodes = 18688;
+  m.idle_watts = 110.0;
+  m.core_active_watts = 7.0;
+  m.nic_watts_per_gbps = 0.5;
+  return m;
+}
+
+MachineModel stampede() {
+  MachineModel m;
+  m.name = "stampede";
+  // 2x E5-2680, ~51 GB/s per node -> ~3.2 GB/s per rank.
+  m.tc = 3.1e-10;
+  // FDR InfiniBand: ~1 us latency, 56 Gb/s = 7 GB/s -> 0.44 GB/s/rank.
+  m.ts = 1.0e-6;
+  m.tw = 2.3e-9;
+  m.cores_per_node = 16;
+  m.total_nodes = 6400;
+  m.idle_watts = 95.0;
+  m.core_active_watts = 8.0;
+  m.nic_watts_per_gbps = 0.6;
+  return m;
+}
+
+MachineModel wisconsin8() {
+  MachineModel m;
+  m.name = "wisconsin8";
+  // 2x E5-2630 v3 (16 cores, 2.40 GHz pinned), ~59 GB/s -> 3.7 GB/s/rank.
+  m.tc = 2.7e-10;
+  // 10 GbE + TCP: ~30 us latency, 1.25 GB/s per node -> 78 MB/s per rank.
+  m.ts = 3.0e-5;
+  m.tw = 1.28e-8;
+  m.cores_per_node = 32;  // paper ran 256 tasks on 8 nodes (2 per core)
+  m.total_nodes = 8;
+  m.idle_watts = 88.0;
+  m.core_active_watts = 5.0;
+  m.nic_watts_per_gbps = 0.9;
+  return m;
+}
+
+MachineModel clemson32() {
+  MachineModel m;
+  m.name = "clemson32";
+  // 2x E5-2683 v3 (28 cores, 2.00 GHz pinned), ~68 GB/s; the paper placed
+  // 1792 ranks on 32 nodes = 56 ranks/node -> ~1.2 GB/s per rank.
+  m.tc = 8.3e-10;
+  m.ts = 3.0e-5;
+  m.tw = 4.5e-8;  // 1.25 GB/s per node / 56 ranks
+  m.cores_per_node = 56;
+  m.total_nodes = 32;
+  m.idle_watts = 105.0;
+  m.core_active_watts = 3.5;
+  m.nic_watts_per_gbps = 0.9;
+  return m;
+}
+
+MachineModel slow_network() {
+  MachineModel m;
+  m.name = "slow";
+  m.tc = 2.0e-10;
+  m.ts = 1.0e-4;
+  m.tw = 2.0e-7;  // deliberately 1000x slower than memory
+  m.cores_per_node = 8;
+  m.total_nodes = 16;
+  m.idle_watts = 80.0;
+  m.core_active_watts = 6.0;
+  m.nic_watts_per_gbps = 1.0;
+  return m;
+}
+
+MachineModel machine_by_name(const std::string& name) {
+  if (name == "titan") return titan();
+  if (name == "stampede") return stampede();
+  if (name == "wisconsin8") return wisconsin8();
+  if (name == "clemson32") return clemson32();
+  if (name == "slow") return slow_network();
+  throw std::invalid_argument("unknown machine: " + name);
+}
+
+std::vector<MachineModel> all_machines() {
+  return {titan(), stampede(), wisconsin8(), clemson32(), slow_network()};
+}
+
+}  // namespace amr::machine

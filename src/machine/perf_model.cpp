@@ -1,0 +1,39 @@
+#include "machine/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace amr::machine {
+
+double PerfModel::treesort_time(double n, double p, double k) const {
+  const double log_p = p > 1.0 ? std::log2(p) : 1.0;
+  const double grain_bytes = (n / p) * app_.bytes_per_element;
+  return machine_.tc * grain_bytes + (machine_.ts + machine_.tw * k * 8.0) * log_p +
+         machine_.tw * grain_bytes;
+}
+
+PerfModel::TreesortBreakdown PerfModel::treesort_breakdown(double n, double p, double k,
+                                                           double element_bytes,
+                                                           double levels) const {
+  TreesortBreakdown b;
+  const double grain_bytes = (n / p) * element_bytes;
+  // Each refinement level re-buckets the local grain once (Alg. 1 pass).
+  b.local_sort = machine_.tc * grain_bytes * std::max(1.0, levels);
+  const double log_p = p > 1.0 ? std::log2(p) : 1.0;
+  // One k-wide reduction (8-byte counts) per splitter round.
+  b.splitter = (machine_.ts + machine_.tw * k * 8.0) * log_p;
+  // The Alltoallv moves the whole grain across the network once (staged,
+  // so latency amortizes over log p stages).
+  b.all2all = machine_.tw * grain_bytes + machine_.ts * log_p;
+  return b;
+}
+
+double measure_alpha_from_rates(double kernel_bytes_per_second,
+                                double stream_bytes_per_second,
+                                double accesses_per_element_stream) {
+  if (kernel_bytes_per_second <= 0.0 || stream_bytes_per_second <= 0.0) return 1.0;
+  const double ratio = stream_bytes_per_second / kernel_bytes_per_second;
+  return std::max(1.0, ratio * accesses_per_element_stream);
+}
+
+}  // namespace amr::machine

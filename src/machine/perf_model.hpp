@@ -1,0 +1,93 @@
+// The paper's performance models.
+//
+//   Eq. 3 (application):  Tp = alpha * tc * Wmax + tw * Cmax
+//     -- the model OptiPart minimizes. Wmax is the maximum per-rank work
+//     (elements), Cmax the maximum per-rank communication (ghost elements).
+//
+//   Eq. 1/2 (partitioning): Tp = tc*N/p + (ts + tw*k) log p + tw*N/p
+//     -- expected runtime of distributed TreeSort with staged splitter
+//     count k <= p (k = p recovers Eq. 1).
+//
+// Work and communication are counted in elements; `bytes_per_element`
+// converts to the byte units of tc/tw. `alpha` is the application's memory
+// accesses per element (~8 for a 7-point stencil, §3.3) and can be
+// measured with ApplicationProfile::measure_alpha.
+#pragma once
+
+#include <cstdint>
+
+#include "machine/machine_model.hpp"
+
+namespace amr::machine {
+
+struct ApplicationProfile {
+  /// Memory accesses per unit of work (paper's alpha).
+  double alpha = 8.0;
+  /// Payload bytes per element (a double of solution data).
+  double bytes_per_element = 8.0;
+  /// Extension (paper §6 future work: "refine our performance model with
+  /// additional information"): when true, Eq. 3 gains a message-latency
+  /// term ts * Mmax, where Mmax is the largest per-rank peer count. On
+  /// latency-heavy interconnects (CloudLab 10 GbE + TCP) this is what
+  /// makes moderate tolerances win in the *measured* epochs even when the
+  /// byte-volume terms alone favor the ideal split.
+  bool include_latency_term = false;
+};
+
+class PerfModel {
+ public:
+  PerfModel(MachineModel machine, ApplicationProfile app)
+      : machine_(machine), app_(app) {}
+
+  [[nodiscard]] const MachineModel& machine() const { return machine_; }
+  [[nodiscard]] const ApplicationProfile& app() const { return app_; }
+
+  /// Eq. 3: predicted time of one application step (e.g. one matvec).
+  /// `m_max_messages` (max per-rank peer count) only contributes when the
+  /// profile enables the latency extension.
+  [[nodiscard]] double application_time(double w_max_elements, double c_max_elements,
+                                        double m_max_messages = 0.0) const {
+    double t = app_.alpha * machine_.tc * app_.bytes_per_element * w_max_elements +
+               machine_.tw * app_.bytes_per_element * c_max_elements;
+    if (app_.include_latency_term) t += machine_.ts * m_max_messages;
+    return t;
+  }
+
+  /// Compute-phase part of Eq. 3 (used by the energy timeline).
+  [[nodiscard]] double compute_time(double w_elements) const {
+    return app_.alpha * machine_.tc * app_.bytes_per_element * w_elements;
+  }
+
+  /// Communication-phase part of Eq. 3 for one rank.
+  [[nodiscard]] double comm_time(double c_elements, double messages = 0.0) const {
+    return machine_.tw * app_.bytes_per_element * c_elements + machine_.ts * messages;
+  }
+
+  /// Eq. 2: expected distributed TreeSort runtime for N elements over p
+  /// ranks with staged splitter count k (Eq. 1 when k == p).
+  [[nodiscard]] double treesort_time(double n, double p, double k) const;
+
+  /// Breakdown of Eq. 2 used by the Fig. 5/6 style stacked plots.
+  struct TreesortBreakdown {
+    double local_sort = 0.0;  ///< tc * N/p * levels touched
+    double splitter = 0.0;    ///< (ts + tw k) log p reductions
+    double all2all = 0.0;     ///< tw * N/p data exchange
+    [[nodiscard]] double total() const { return local_sort + splitter + all2all; }
+  };
+  [[nodiscard]] TreesortBreakdown treesort_breakdown(double n, double p, double k,
+                                                     double element_bytes,
+                                                     double levels) const;
+
+ private:
+  MachineModel machine_;
+  ApplicationProfile app_;
+};
+
+/// Measure alpha for a memory-bound kernel by timing it against a pure
+/// streaming pass over the same data (the "simple sequential profiling"
+/// of §3.3). Returns accesses-per-element; clamped to >= 1.
+[[nodiscard]] double measure_alpha_from_rates(double kernel_bytes_per_second,
+                                              double stream_bytes_per_second,
+                                              double accesses_per_element_stream = 1.0);
+
+}  // namespace amr::machine

@@ -1,0 +1,99 @@
+#include "mesh/adjacency.hpp"
+
+#include <algorithm>
+
+#include "octree/search.hpp"
+#include "util/stats.hpp"
+
+namespace amr::mesh {
+
+Adjacency build_adjacency(std::span<const octree::Octant> tree,
+                          const sfc::Curve& curve) {
+  Adjacency adjacency;
+  adjacency.row.resize(tree.size() + 1, 0);
+
+  std::vector<std::size_t> neighbors;
+  const int faces = curve.dim() == 3 ? 6 : 4;
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    neighbors.clear();
+    for (int face = 0; face < faces; ++face) {
+      octree::face_neighbor_leaves(tree, curve, i, face, neighbors);
+    }
+    std::sort(neighbors.begin(), neighbors.end());
+    neighbors.erase(std::unique(neighbors.begin(), neighbors.end()), neighbors.end());
+    for (const std::size_t j : neighbors) {
+      adjacency.neighbor_ids.push_back(static_cast<std::uint32_t>(j));
+    }
+    adjacency.row[i + 1] = adjacency.neighbor_ids.size();
+  }
+  return adjacency;
+}
+
+partition::Metrics metrics_from_adjacency(const Adjacency& adjacency,
+                                          const partition::Partition& part) {
+  const int p = part.num_ranks();
+  partition::Metrics m;
+  m.work.assign(static_cast<std::size_t>(p), 0.0);
+  m.boundary.assign(static_cast<std::size_t>(p), 0.0);
+  for (int r = 0; r < p; ++r) {
+    m.work[static_cast<std::size_t>(r)] = static_cast<double>(part.size_of(r));
+  }
+
+  m.degree.assign(static_cast<std::size_t>(p), 0.0);
+  std::vector<char> peer_seen(static_cast<std::size_t>(p), 0);
+  for (int r = 0; r < p; ++r) {
+    const std::size_t begin = part.offsets[static_cast<std::size_t>(r)];
+    const std::size_t end = part.offsets[static_cast<std::size_t>(r) + 1];
+    std::fill(peer_seen.begin(), peer_seen.end(), 0);
+    for (std::size_t i = begin; i < end; ++i) {
+      bool is_boundary = false;
+      for (const std::uint32_t j : adjacency.neighbors_of(i)) {
+        if (j < begin || j >= end) {
+          is_boundary = true;
+          peer_seen[static_cast<std::size_t>(part.owner_of(j))] = 1;
+        }
+      }
+      if (is_boundary) m.boundary[static_cast<std::size_t>(r)] += 1.0;
+    }
+    for (int q = 0; q < p; ++q) {
+      m.degree[static_cast<std::size_t>(r)] += peer_seen[static_cast<std::size_t>(q)];
+    }
+  }
+
+  for (int r = 0; r < p; ++r) {
+    m.w_max = std::max(m.w_max, m.work[static_cast<std::size_t>(r)]);
+    m.c_max = std::max(m.c_max, m.boundary[static_cast<std::size_t>(r)]);
+    m.m_max = std::max(m.m_max, m.degree[static_cast<std::size_t>(r)]);
+    m.total_boundary += m.boundary[static_cast<std::size_t>(r)];
+  }
+  m.load_imbalance = util::max_min_ratio(m.work);
+  m.comm_imbalance = util::max_min_ratio(m.boundary);
+  return m;
+}
+
+CommMatrix comm_matrix_from_adjacency(const Adjacency& adjacency,
+                                      const partition::Partition& part) {
+  CommMatrix matrix(part.num_ranks());
+  // Neighbor lists are deduplicated per element, so each (needer, remote
+  // element) pair appears exactly once per owning element i; dedup across
+  // i of the same rank via sort/unique as in build_comm_matrix.
+  std::vector<std::pair<int, std::uint32_t>> ghost_pairs;
+  for (int r = 0; r < part.num_ranks(); ++r) {
+    const std::size_t begin = part.offsets[static_cast<std::size_t>(r)];
+    const std::size_t end = part.offsets[static_cast<std::size_t>(r) + 1];
+    for (std::size_t i = begin; i < end; ++i) {
+      for (const std::uint32_t j : adjacency.neighbors_of(i)) {
+        if (j < begin || j >= end) ghost_pairs.emplace_back(r, j);
+      }
+    }
+  }
+  std::sort(ghost_pairs.begin(), ghost_pairs.end());
+  ghost_pairs.erase(std::unique(ghost_pairs.begin(), ghost_pairs.end()),
+                    ghost_pairs.end());
+  for (const auto& [needer, element] : ghost_pairs) {
+    matrix.add(needer, part.owner_of(element));
+  }
+  return matrix;
+}
+
+}  // namespace amr::mesh

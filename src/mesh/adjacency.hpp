@@ -1,0 +1,49 @@
+// Precomputed face adjacency of a complete linear octree (CSR layout).
+//
+// Partition-quality sweeps evaluate many partitions of the *same* tree
+// (tolerance sweeps, OptiPart refinement rounds, the Fig. 7-12 benches).
+// The face-neighbor structure does not depend on the partition, so it is
+// computed once here -- one O(N log N) pass -- after which per-partition
+// work/boundary metrics and communication matrices are pure integer
+// passes over the CSR arrays.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mesh/comm_matrix.hpp"
+#include "octree/octant.hpp"
+#include "partition/metrics.hpp"
+#include "partition/partition.hpp"
+#include "sfc/curve.hpp"
+
+namespace amr::mesh {
+
+struct Adjacency {
+  /// CSR: neighbors of element i are neighbor_ids[row[i] .. row[i+1]).
+  std::vector<std::uint64_t> row;
+  std::vector<std::uint32_t> neighbor_ids;
+
+  [[nodiscard]] std::size_t num_elements() const { return row.size() - 1; }
+  [[nodiscard]] std::span<const std::uint32_t> neighbors_of(std::size_t i) const {
+    return std::span<const std::uint32_t>(neighbor_ids)
+        .subspan(row[i], row[i + 1] - row[i]);
+  }
+};
+
+/// One-time neighbor enumeration over the whole tree.
+[[nodiscard]] Adjacency build_adjacency(std::span<const octree::Octant> tree,
+                                        const sfc::Curve& curve);
+
+/// Alg. 2 metrics from precomputed adjacency (identical to
+/// partition::compute_metrics with stride 1).
+[[nodiscard]] partition::Metrics metrics_from_adjacency(const Adjacency& adjacency,
+                                                        const partition::Partition& part);
+
+/// Communication matrix from precomputed adjacency (identical to
+/// build_comm_matrix).
+[[nodiscard]] CommMatrix comm_matrix_from_adjacency(const Adjacency& adjacency,
+                                                    const partition::Partition& part);
+
+}  // namespace amr::mesh

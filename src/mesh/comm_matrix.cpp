@@ -1,0 +1,92 @@
+#include "mesh/comm_matrix.hpp"
+
+#include <algorithm>
+
+#include "octree/search.hpp"
+
+namespace amr::mesh {
+
+void CommMatrix::add(int needer, int owner, double elements) {
+  entries_[{needer, owner}] += elements;
+}
+
+double CommMatrix::total_elements() const {
+  double total = 0.0;
+  for (const auto& [key, count] : entries_) total += count;
+  return total;
+}
+
+double CommMatrix::c_max() const {
+  std::vector<double> recv(static_cast<std::size_t>(num_ranks_), 0.0);
+  std::vector<double> send(static_cast<std::size_t>(num_ranks_), 0.0);
+  for (const auto& [key, count] : entries_) {
+    recv[static_cast<std::size_t>(key.first)] += count;
+    send[static_cast<std::size_t>(key.second)] += count;
+  }
+  double best = 0.0;
+  for (int r = 0; r < num_ranks_; ++r) {
+    best = std::max(best, std::max(recv[static_cast<std::size_t>(r)],
+                                   send[static_cast<std::size_t>(r)]));
+  }
+  return best;
+}
+
+double CommMatrix::recv_of(int rank) const {
+  double total = 0.0;
+  for (const auto& [key, count] : entries_) {
+    if (key.first == rank) total += count;
+  }
+  return total;
+}
+
+double CommMatrix::send_of(int rank) const {
+  double total = 0.0;
+  for (const auto& [key, count] : entries_) {
+    if (key.second == rank) total += count;
+  }
+  return total;
+}
+
+int CommMatrix::degree_of(int rank) const {
+  int degree = 0;
+  for (const auto& [key, count] : entries_) {
+    if (key.first == rank || key.second == rank) ++degree;
+  }
+  return degree;
+}
+
+CommMatrix build_comm_matrix(std::span<const octree::Octant> tree,
+                             const sfc::Curve& curve,
+                             const partition::Partition& part) {
+  CommMatrix matrix(part.num_ranks());
+
+  // Collect (needer rank, remote element) pairs, then deduplicate: an
+  // element adjacent to several of rank i's octants is still shipped once.
+  std::vector<std::pair<int, std::size_t>> ghost_pairs;
+  std::vector<std::size_t> neighbors;
+  const int faces = curve.dim() == 3 ? 6 : 4;
+
+  for (int r = 0; r < part.num_ranks(); ++r) {
+    const std::size_t begin = part.offsets[static_cast<std::size_t>(r)];
+    const std::size_t end = part.offsets[static_cast<std::size_t>(r) + 1];
+    for (std::size_t i = begin; i < end; ++i) {
+      neighbors.clear();
+      for (int face = 0; face < faces; ++face) {
+        octree::face_neighbor_leaves(tree, curve, i, face, neighbors);
+      }
+      for (const std::size_t j : neighbors) {
+        if (j < begin || j >= end) ghost_pairs.emplace_back(r, j);
+      }
+    }
+  }
+
+  std::sort(ghost_pairs.begin(), ghost_pairs.end());
+  ghost_pairs.erase(std::unique(ghost_pairs.begin(), ghost_pairs.end()),
+                    ghost_pairs.end());
+  for (const auto& [needer, element] : ghost_pairs) {
+    matrix.add(needer, part.owner_of(element));
+  }
+  return matrix;
+}
+
+}  // namespace amr::mesh

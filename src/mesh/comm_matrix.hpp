@@ -1,0 +1,61 @@
+// The communication matrix M (paper §5.5).
+//
+//   M[i][j] = number of elements rank i needs read-only (ghost/halo) access
+//   to on rank j; 0 when i and j share no data.
+//
+// The paper uses two metrics over M to characterize partition quality:
+// the number of non-zeros NNZ (total messages exchanged per matvec) and
+// the total amount of data communicated (sum of entries).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "octree/octant.hpp"
+#include "partition/partition.hpp"
+#include "sfc/curve.hpp"
+
+namespace amr::mesh {
+
+class CommMatrix {
+ public:
+  explicit CommMatrix(int num_ranks) : num_ranks_(num_ranks) {}
+
+  void add(int needer, int owner, double elements = 1.0);
+
+  [[nodiscard]] int num_ranks() const { return num_ranks_; }
+  /// Number of non-zero entries (the paper's NNZ metric).
+  [[nodiscard]] std::size_t nnz() const { return entries_.size(); }
+  /// Sum of all entries: total ghost elements moved per exchange.
+  [[nodiscard]] double total_elements() const;
+  /// Largest per-rank communication volume: max over i of
+  /// (ghosts received by i + elements i sends), the Cmax of Eq. 3.
+  [[nodiscard]] double c_max() const;
+  /// Ghost elements rank i receives (row sum).
+  [[nodiscard]] double recv_of(int rank) const;
+  /// Elements rank i sends to others (column sum).
+  [[nodiscard]] double send_of(int rank) const;
+  /// Number of peers rank i talks to (row + column non-zeros).
+  [[nodiscard]] int degree_of(int rank) const;
+
+  [[nodiscard]] const std::map<std::pair<int, int>, double>& entries() const {
+    return entries_;
+  }
+
+ private:
+  int num_ranks_;
+  std::map<std::pair<int, int>, double> entries_;
+};
+
+/// Build M for a partition of a complete linear octree: rank i needs every
+/// remote element that shares (part of) a face with one of its elements.
+/// Ghost elements are counted once per (needer, element) pair, exactly the
+/// halo a FEM matvec exchanges.
+[[nodiscard]] CommMatrix build_comm_matrix(std::span<const octree::Octant> tree,
+                                           const sfc::Curve& curve,
+                                           const partition::Partition& part);
+
+}  // namespace amr::mesh

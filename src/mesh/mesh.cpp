@@ -1,0 +1,183 @@
+#include "mesh/mesh.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "octree/search.hpp"
+
+namespace amr::mesh {
+
+namespace {
+
+constexpr double kUnit = 1.0 / static_cast<double>(std::uint32_t{1} << octree::kMaxDepth);
+
+double face_area_unit(const octree::Octant& a, const octree::Octant& b, int dim) {
+  const double area = octree::shared_face_area(a, b, dim);
+  return dim == 3 ? area * kUnit * kUnit : area * kUnit;
+}
+
+double center_dist_unit(const octree::Octant& a, const octree::Octant& b) {
+  return 0.5 * (static_cast<double>(a.size()) + static_cast<double>(b.size())) * kUnit;
+}
+
+/// Global face pair (i < elements of the lower side): enumerating only the
+/// positive-direction faces of every element discovers each interior face
+/// exactly once, including level jumps (the lower element sees all finer
+/// neighbors through face_neighbor_leaves).
+struct GlobalFace {
+  std::size_t i;
+  std::size_t j;
+  double area;
+  double dist;
+};
+
+template <typename FaceSink, typename BoundarySink>
+void enumerate_faces(std::span<const octree::Octant> tree, const sfc::Curve& curve,
+                     FaceSink&& face_sink, BoundarySink&& boundary_sink) {
+  const int faces = curve.dim() == 3 ? 6 : 4;
+  std::vector<std::size_t> neighbors;
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    for (int face = 0; face < faces; ++face) {
+      octree::Octant region;
+      if (!tree[i].face_neighbor(face, region)) {
+        boundary_sink(i, tree[i].face_area(curve.dim()) * (curve.dim() == 3
+                                                               ? kUnit * kUnit
+                                                               : kUnit),
+                      0.5 * static_cast<double>(tree[i].size()) * kUnit);
+        continue;
+      }
+      if ((face & 1) == 0) continue;  // interior faces found from the low side
+      neighbors.clear();
+      octree::face_neighbor_leaves(tree, curve, i, face, neighbors);
+      for (const std::size_t j : neighbors) {
+        face_sink(i, j, face_area_unit(tree[i], tree[j], curve.dim()),
+                  center_dist_unit(tree[i], tree[j]));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t LocalMesh::send_volume() const {
+  std::size_t total = 0;
+  for (const auto& list : send_lists) total += list.size();
+  return total;
+}
+
+std::vector<LocalMesh> build_local_meshes(std::span<const octree::Octant> tree,
+                                          const sfc::Curve& curve,
+                                          const partition::Partition& part) {
+  const int p = part.num_ranks();
+  std::vector<LocalMesh> meshes(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    LocalMesh& m = meshes[static_cast<std::size_t>(r)];
+    m.rank = r;
+    m.global_begin = part.offsets[static_cast<std::size_t>(r)];
+    const std::size_t end = part.offsets[static_cast<std::size_t>(r) + 1];
+    m.elements.assign(tree.begin() + static_cast<std::ptrdiff_t>(m.global_begin),
+                      tree.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+
+  // Pass 1: collect global faces and per-rank boundary faces; register
+  // ghost requirements as (needer, remote global index) pairs.
+  std::vector<GlobalFace> global_faces;
+  std::vector<std::pair<int, std::size_t>> ghost_pairs;
+  enumerate_faces(
+      tree, curve,
+      [&](std::size_t i, std::size_t j, double area, double dist) {
+        global_faces.push_back({i, j, area, dist});
+        const int ri = part.owner_of(i);
+        const int rj = part.owner_of(j);
+        if (ri != rj) {
+          ghost_pairs.emplace_back(ri, j);
+          ghost_pairs.emplace_back(rj, i);
+        }
+      },
+      [&](std::size_t i, double area, double dist) {
+        LocalMesh& m = meshes[static_cast<std::size_t>(part.owner_of(i))];
+        m.boundary_faces.push_back(
+            {static_cast<std::uint32_t>(i - m.global_begin), area, dist});
+      });
+
+  // Ghost slots in ascending global order per needer, and matched
+  // send/recv channel lists.
+  std::sort(ghost_pairs.begin(), ghost_pairs.end());
+  ghost_pairs.erase(std::unique(ghost_pairs.begin(), ghost_pairs.end()),
+                    ghost_pairs.end());
+
+  std::vector<std::unordered_map<std::size_t, std::uint32_t>> slot_of(
+      static_cast<std::size_t>(p));
+  auto channel_index = [](LocalMesh& m, int peer) {
+    const auto it = std::lower_bound(m.peers.begin(), m.peers.end(), peer);
+    if (it != m.peers.end() && *it == peer) {
+      return static_cast<std::size_t>(it - m.peers.begin());
+    }
+    const std::size_t at = static_cast<std::size_t>(it - m.peers.begin());
+    m.peers.insert(it, peer);
+    // Note: `insert(pos, {})` would pick the initializer_list overload and
+    // insert nothing; spell the empty element out.
+    m.send_lists.emplace(m.send_lists.begin() + static_cast<std::ptrdiff_t>(at));
+    m.recv_lists.emplace(m.recv_lists.begin() + static_cast<std::ptrdiff_t>(at));
+    return at;
+  };
+
+  for (const auto& [needer, global_idx] : ghost_pairs) {
+    const int owner = part.owner_of(global_idx);
+    LocalMesh& need_mesh = meshes[static_cast<std::size_t>(needer)];
+    LocalMesh& own_mesh = meshes[static_cast<std::size_t>(owner)];
+
+    const auto slot = static_cast<std::uint32_t>(need_mesh.ghosts.size());
+    slot_of[static_cast<std::size_t>(needer)][global_idx] = slot;
+    need_mesh.ghosts.push_back(tree[global_idx]);
+    need_mesh.ghost_global.push_back(global_idx);
+    need_mesh.ghost_owner.push_back(owner);
+
+    const std::size_t need_channel = channel_index(need_mesh, owner);
+    need_mesh.recv_lists[need_channel].push_back(slot);
+    const std::size_t own_channel = channel_index(own_mesh, needer);
+    own_mesh.send_lists[own_channel].push_back(
+        static_cast<std::uint32_t>(global_idx - own_mesh.global_begin));
+  }
+
+  // Pass 2: assign faces. Owned-owned faces are stored once on their rank;
+  // cross-rank faces appear on both ranks against the ghost copy.
+  for (const GlobalFace& f : global_faces) {
+    const int ri = part.owner_of(f.i);
+    const int rj = part.owner_of(f.j);
+    LocalMesh& mi = meshes[static_cast<std::size_t>(ri)];
+    if (ri == rj) {
+      mi.faces.push_back({static_cast<std::uint32_t>(f.i - mi.global_begin),
+                          static_cast<std::uint32_t>(f.j - mi.global_begin), false,
+                          f.area, f.dist});
+      continue;
+    }
+    LocalMesh& mj = meshes[static_cast<std::size_t>(rj)];
+    mi.faces.push_back({static_cast<std::uint32_t>(f.i - mi.global_begin),
+                        slot_of[static_cast<std::size_t>(ri)].at(f.j), true, f.area,
+                        f.dist});
+    mj.faces.push_back({static_cast<std::uint32_t>(f.j - mj.global_begin),
+                        slot_of[static_cast<std::size_t>(rj)].at(f.i), true, f.area,
+                        f.dist});
+  }
+
+  return meshes;
+}
+
+GlobalMesh build_global_mesh(std::vector<octree::Octant> tree, const sfc::Curve& curve) {
+  GlobalMesh mesh;
+  mesh.elements = std::move(tree);
+  enumerate_faces(
+      mesh.elements, curve,
+      [&](std::size_t i, std::size_t j, double area, double dist) {
+        mesh.faces.push_back({static_cast<std::uint32_t>(i),
+                              static_cast<std::uint32_t>(j), false, area, dist});
+      },
+      [&](std::size_t i, double area, double dist) {
+        mesh.boundary_faces.push_back({static_cast<std::uint32_t>(i), area, dist});
+      });
+  return mesh;
+}
+
+}  // namespace amr::mesh

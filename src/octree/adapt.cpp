@@ -1,0 +1,88 @@
+#include "octree/adapt.hpp"
+
+#include <cassert>
+
+namespace amr::octree {
+
+std::vector<Octant> refine_octree(std::span<const Octant> tree, const sfc::Curve& curve,
+                                  const std::function<bool(const Octant&)>& should_refine) {
+  std::vector<Octant> out;
+  out.reserve(tree.size());
+  for (const Octant& leaf : tree) {
+    if (static_cast<int>(leaf.level) < kMaxDepth && should_refine(leaf)) {
+      const int state = curve.state_at(leaf, leaf.level);
+      for (int j = 0; j < curve.num_children(); ++j) {
+        out.push_back(leaf.child(curve.child_at(state, j), curve.dim()));
+      }
+    } else {
+      out.push_back(leaf);
+    }
+  }
+  return out;
+}
+
+std::vector<Octant> coarsen_octree_if(std::span<const Octant> tree,
+                                      const sfc::Curve& curve,
+                                      const std::function<bool(const Octant&)>& may_coarsen) {
+  const auto children = static_cast<std::size_t>(curve.num_children());
+  std::vector<Octant> out;
+  out.reserve(tree.size());
+  std::size_t i = 0;
+  while (i < tree.size()) {
+    const Octant& leaf = tree[i];
+    // A complete sibling group is 2^dim consecutive leaves of equal level
+    // sharing a parent (they are consecutive in any SFC order).
+    bool merged = false;
+    if (leaf.level > 0 && i + children <= tree.size()) {
+      const Octant parent = leaf.parent();
+      bool group = true;
+      for (std::size_t k = 0; k < children && group; ++k) {
+        const Octant& sib = tree[i + k];
+        group = sib.level == leaf.level && sib.level > 0 && sib.parent() == parent;
+      }
+      if (group && may_coarsen(parent)) {
+        out.push_back(parent);
+        i += children;
+        merged = true;
+      }
+    }
+    if (!merged) {
+      out.push_back(leaf);
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<Octant> coarsen_octree(std::span<const Octant> tree, const sfc::Curve& curve,
+                                   int levels) {
+  std::vector<Octant> out(tree.begin(), tree.end());
+  for (int l = 0; l < levels; ++l) {
+    auto next = coarsen_octree_if(out, curve, [](const Octant&) { return true; });
+    if (next.size() == out.size()) break;  // nothing left to merge
+    out = std::move(next);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> coarse_to_fine_ranges(
+    std::span<const Octant> fine, std::span<const Octant> coarse,
+    const sfc::Curve& curve) {
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  ranges.reserve(coarse.size());
+  std::size_t cursor = 0;
+  for (const Octant& cell : coarse) {
+    const std::size_t begin = cursor;
+    while (cursor < fine.size() &&
+           (fine[cursor] == cell || cell.is_ancestor_of(fine[cursor]))) {
+      ++cursor;
+    }
+    assert(cursor > begin && "coarse cell covers no fine leaves");
+    ranges.emplace_back(begin, cursor);
+  }
+  assert(cursor == fine.size() && "fine leaves left uncovered");
+  (void)curve;
+  return ranges;
+}
+
+}  // namespace amr::octree

@@ -1,0 +1,48 @@
+// Mesh adaptation: refinement, coarsening, and whole-tree coarsening.
+//
+// AMR applications (the paper's motivating workload) evolve the mesh every
+// few timesteps: leaves where the solution demands resolution are split,
+// complete sibling groups whose resolution is no longer needed are merged.
+// Both operations preserve the complete/linear/curve-order invariants by
+// construction, so the adapted tree feeds straight back into balancing and
+// partitioning. `coarsen_octree` (merge every complete sibling group,
+// optionally repeated) is also the building block of the paper's
+// predecessor heuristic [35] (see partition/heuristic.hpp).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "octree/octant.hpp"
+#include "sfc/curve.hpp"
+
+namespace amr::octree {
+
+/// Split every leaf for which `should_refine` returns true (children are
+/// emitted in curve order; output stays complete, linear, sorted). Leaves
+/// at kMaxDepth are never split.
+[[nodiscard]] std::vector<Octant> refine_octree(
+    std::span<const Octant> tree, const sfc::Curve& curve,
+    const std::function<bool(const Octant&)>& should_refine);
+
+/// Merge every complete group of 2^dim sibling leaves for which
+/// `may_coarsen(parent)` returns true into its parent. One sweep; call
+/// repeatedly (or use coarsen_octree) for multi-level coarsening.
+[[nodiscard]] std::vector<Octant> coarsen_octree_if(
+    std::span<const Octant> tree, const sfc::Curve& curve,
+    const std::function<bool(const Octant&)>& may_coarsen);
+
+/// Merge complete sibling groups unconditionally, `levels` times.
+[[nodiscard]] std::vector<Octant> coarsen_octree(std::span<const Octant> tree,
+                                                 const sfc::Curve& curve, int levels);
+
+/// For each coarse cell, the index range [begin, end) of fine leaves it
+/// covers. Precondition: every fine leaf is contained in exactly one
+/// coarse cell (e.g. coarse = coarsen_octree(fine)). Both trees sorted by
+/// the same curve.
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> coarse_to_fine_ranges(
+    std::span<const Octant> fine, std::span<const Octant> coarse,
+    const sfc::Curve& curve);
+
+}  // namespace amr::octree

@@ -1,0 +1,58 @@
+// 2:1 balancing of complete linear octrees.
+//
+// A mesh is 2:1 balanced when any two adjacent leaves differ by at most
+// one refinement level; "adjacent" can mean sharing a face (enough for the
+// cell-centered ghost exchange of this library's FEM layer), a face or an
+// edge, or any touching cells including corners (required by vertex-based
+// discretizations, cf. Sundar et al. 2008, paper ref. [35]). We balance by
+// *ripple refinement*: repeatedly split any leaf more than one level
+// coarser than a neighbor. Refinement-only balancing preserves
+// completeness and linearity by construction and terminates because levels
+// only increase and are bounded by kMaxDepth.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "octree/octant.hpp"
+#include "sfc/curve.hpp"
+
+namespace amr::octree {
+
+enum class BalanceMode {
+  kFace,  ///< 6 neighbors in 3D (4 in 2D)
+  kEdge,  ///< + 12 edge neighbors (same as kFull in 2D)
+  kFull,  ///< + 8 corner neighbors: full 26-neighborhood (8 in 2D)
+};
+
+struct BalanceStats {
+  int passes = 0;
+  std::size_t leaves_split = 0;
+};
+
+/// Return a 2:1-balanced refinement of `leaves` (a complete linear octree
+/// in `curve` order). Output is again complete, linear and in curve order.
+[[nodiscard]] std::vector<Octant> balance_octree(std::vector<Octant> leaves,
+                                                 const sfc::Curve& curve,
+                                                 BalanceStats* stats = nullptr,
+                                                 BalanceMode mode = BalanceMode::kFace);
+
+/// True if every pair of face-adjacent leaves differs by at most one level.
+[[nodiscard]] bool is_face_balanced(std::span<const Octant> leaves,
+                                    const sfc::Curve& curve);
+
+/// True if every pair of mode-adjacent leaves differs by at most one level.
+[[nodiscard]] bool is_balanced(std::span<const Octant> leaves, const sfc::Curve& curve,
+                               BalanceMode mode);
+
+/// Same-level neighbor offsets for a mode: each entry is {dx, dy, dz} in
+/// units of the octant's own size. 2D modes drop the z axis.
+[[nodiscard]] std::vector<std::array<int, 3>> neighbor_offsets(BalanceMode mode,
+                                                               int dim);
+
+/// Same-level neighbor of `o` displaced by `offset` octant sizes; false if
+/// outside the unit cube.
+[[nodiscard]] bool neighbor_at_offset(const Octant& o, const std::array<int, 3>& offset,
+                                      Octant& out);
+
+}  // namespace amr::octree

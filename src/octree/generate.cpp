@@ -1,0 +1,183 @@
+#include "octree/generate.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace amr::octree {
+
+namespace {
+
+using Point = std::array<std::uint32_t, 3>;
+
+constexpr double kGrid = static_cast<double>(std::uint32_t{1} << kMaxDepth);
+
+std::uint32_t quantize(double unit) {
+  unit = std::clamp(unit, 0.0, std::nextafter(1.0, 0.0));
+  return static_cast<std::uint32_t>(unit * kGrid);
+}
+
+class Builder {
+ public:
+  Builder(const sfc::Curve& curve, const GenerateOptions& options)
+      : curve_(curve), options_(options), scratch_() {}
+
+  std::vector<Octant> build(std::vector<Point> points) {
+    scratch_.resize(points.size());
+    leaves_.clear();
+    descend(root_octant(), std::span<Point>(points), 1, 0);
+    return std::move(leaves_);
+  }
+
+ private:
+  // Recursively split `box` while it holds too many points. Children are
+  // visited in curve order so the emitted leaves are already SFC-sorted.
+  void descend(const Octant& box, std::span<Point> points, int depth, int state) {
+    if (points.size() <= options_.max_points_per_leaf ||
+        static_cast<int>(box.level) >= options_.max_level) {
+      leaves_.push_back(box);
+      return;
+    }
+
+    const int children = curve_.num_children();
+    std::array<std::size_t, 8> counts{};
+    for (const Point& p : points) {
+      counts[static_cast<std::size_t>(child_of(p, depth))]++;
+    }
+    // Lay children out in visit order so each child's points are contiguous.
+    std::size_t running = 0;
+    std::array<std::size_t, 8> start_of_child{};
+    for (int j = 0; j < children; ++j) {
+      const int c = curve_.child_at(state, j);
+      start_of_child[static_cast<std::size_t>(c)] = running;
+      running += counts[static_cast<std::size_t>(c)];
+    }
+    auto cursor = start_of_child;
+    auto scratch = std::span<Point>(scratch_).first(points.size());
+    for (const Point& p : points) {
+      scratch[cursor[static_cast<std::size_t>(child_of(p, depth))]++] = p;
+    }
+    std::copy(scratch.begin(), scratch.end(), points.begin());
+
+    for (int j = 0; j < children; ++j) {
+      const int c = curve_.child_at(state, j);
+      descend(box.child(c, curve_.dim()),
+              points.subspan(start_of_child[static_cast<std::size_t>(c)],
+                             counts[static_cast<std::size_t>(c)]),
+              depth + 1, curve_.next_state(state, c));
+    }
+  }
+
+  [[nodiscard]] int child_of(const Point& p, int depth) const {
+    const int shift = kMaxDepth - depth;
+    const std::uint32_t xb = (p[0] >> shift) & 1U;
+    const std::uint32_t yb = (p[1] >> shift) & 1U;
+    const std::uint32_t zb = curve_.dim() == 3 ? (p[2] >> shift) & 1U : 0U;
+    return static_cast<int>(xb | (yb << 1) | (zb << 2));
+  }
+
+  const sfc::Curve& curve_;
+  const GenerateOptions& options_;
+  std::vector<Point> scratch_;
+  std::vector<Octant> leaves_;
+};
+
+}  // namespace
+
+std::string to_string(PointDistribution dist) {
+  switch (dist) {
+    case PointDistribution::kUniform: return "uniform";
+    case PointDistribution::kNormal: return "normal";
+    case PointDistribution::kLogNormal: return "lognormal";
+  }
+  return "?";
+}
+
+PointDistribution distribution_from_string(const std::string& name) {
+  if (name == "uniform") return PointDistribution::kUniform;
+  if (name == "normal") return PointDistribution::kNormal;
+  if (name == "lognormal") return PointDistribution::kLogNormal;
+  throw std::invalid_argument("unknown distribution: " + name);
+}
+
+std::vector<std::array<std::uint32_t, 3>> generate_points(std::size_t count,
+                                                          const GenerateOptions& options) {
+  util::Rng rng = util::make_rng(options.seed);
+  std::vector<Point> points;
+  points.reserve(count);
+
+  const int dims = options.dim;
+  auto emit = [&](double x, double y, double z) {
+    points.push_back({quantize(x), quantize(y), dims == 3 ? quantize(z) : 0U});
+  };
+
+  switch (options.distribution) {
+    case PointDistribution::kUniform: {
+      std::uniform_real_distribution<double> u(0.0, 1.0);
+      for (std::size_t i = 0; i < count; ++i) emit(u(rng), u(rng), u(rng));
+      break;
+    }
+    case PointDistribution::kNormal: {
+      std::normal_distribution<double> n(options.normal_mean, options.normal_sigma);
+      for (std::size_t i = 0; i < count; ++i) emit(n(rng), n(rng), n(rng));
+      break;
+    }
+    case PointDistribution::kLogNormal: {
+      std::lognormal_distribution<double> ln(options.lognormal_m, options.lognormal_s);
+      // exp(N(m, s)) has median e^m = 1; scale so the bulk lies in [0, 1).
+      const double scale = 1.0 / (4.0 * std::exp(options.lognormal_m));
+      for (std::size_t i = 0; i < count; ++i) {
+        emit(ln(rng) * scale, ln(rng) * scale, ln(rng) * scale);
+      }
+      break;
+    }
+  }
+  return points;
+}
+
+std::vector<Octant> build_octree(std::vector<std::array<std::uint32_t, 3>> points,
+                                 const sfc::Curve& curve,
+                                 const GenerateOptions& options) {
+  if (options.max_level < 1 || options.max_level > kMaxDepth) {
+    throw std::invalid_argument("build_octree: max_level out of range");
+  }
+  Builder builder(curve, options);
+  return builder.build(std::move(points));
+}
+
+std::vector<Octant> random_octree(std::size_t point_count, const sfc::Curve& curve,
+                                  const GenerateOptions& options) {
+  return build_octree(generate_points(point_count, options), curve, options);
+}
+
+std::vector<Octant> uniform_octree(int level, const sfc::Curve& curve) {
+  assert(level >= 0 && level <= kMaxDepth);
+  std::vector<Octant> leaves;
+  leaves.reserve(static_cast<std::size_t>(1)
+                 << (static_cast<std::size_t>(curve.dim()) * static_cast<std::size_t>(level)));
+  // Depth-first emission in curve order.
+  struct Frame {
+    Octant box;
+    int state;
+  };
+  std::vector<Frame> stack{{root_octant(), 0}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    if (static_cast<int>(frame.box.level) == level) {
+      leaves.push_back(frame.box);
+      continue;
+    }
+    // Push children in reverse visit order so they pop in visit order.
+    for (int j = curve.num_children() - 1; j >= 0; --j) {
+      const int c = curve.child_at(frame.state, j);
+      stack.push_back({frame.box.child(c, curve.dim()), curve.next_state(frame.state, c)});
+    }
+  }
+  return leaves;
+}
+
+}  // namespace amr::octree

@@ -1,0 +1,62 @@
+// Random adaptive octree generation (paper §4.2).
+//
+// The paper evaluates on octrees generated from points drawn from uniform,
+// normal and log-normal distributions with the standard C++11 generators.
+// We reproduce that: points are drawn in the unit cube, quantized to the
+// finest grid, and a complete linear octree is built top-down by splitting
+// any box containing more than `max_points_per_leaf` points -- exactly the
+// TreeSort recursion, so the result is complete, linear and already in
+// curve order.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "octree/octant.hpp"
+#include "sfc/curve.hpp"
+
+namespace amr::octree {
+
+enum class PointDistribution { kUniform, kNormal, kLogNormal };
+
+[[nodiscard]] std::string to_string(PointDistribution dist);
+[[nodiscard]] PointDistribution distribution_from_string(const std::string& name);
+
+struct GenerateOptions {
+  PointDistribution distribution = PointDistribution::kNormal;
+  std::uint64_t seed = 42;
+  /// Split a box while it holds more than this many points.
+  std::size_t max_points_per_leaf = 1;
+  /// Refinement cap for generation (kept well below kMaxDepth by default so
+  /// meshes stay FEM-sized; the partitioners themselves go to kMaxDepth).
+  int max_level = 18;
+  int dim = 3;
+  /// Normal distribution parameters (fraction of the domain).
+  double normal_mean = 0.5;
+  double normal_sigma = 0.125;
+  /// Log-normal parameters (of the underlying normal).
+  double lognormal_m = 0.0;
+  double lognormal_s = 0.5;
+};
+
+/// Draw `count` quantized points on the finest grid.
+[[nodiscard]] std::vector<std::array<std::uint32_t, 3>> generate_points(
+    std::size_t count, const GenerateOptions& options);
+
+/// Build a complete linear octree adapted to `points`, returned in the
+/// order of `curve`. Empty regions become coarse leaves, refined regions
+/// follow the point density.
+[[nodiscard]] std::vector<Octant> build_octree(
+    std::vector<std::array<std::uint32_t, 3>> points, const sfc::Curve& curve,
+    const GenerateOptions& options);
+
+/// Convenience: points + octree in one call.
+[[nodiscard]] std::vector<Octant> random_octree(std::size_t point_count,
+                                                const sfc::Curve& curve,
+                                                const GenerateOptions& options);
+
+/// A uniformly refined octree at `level` (8^level leaves), in curve order.
+[[nodiscard]] std::vector<Octant> uniform_octree(int level, const sfc::Curve& curve);
+
+}  // namespace amr::octree

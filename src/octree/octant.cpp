@@ -1,0 +1,119 @@
+#include "octree/octant.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace amr::octree {
+
+Octant Octant::parent() const {
+  assert(level > 0);
+  Octant p;
+  p.level = static_cast<std::uint8_t>(level - 1);
+  const std::uint32_t mask = ~(p.size() - 1);
+  p.x = x & mask;
+  p.y = y & mask;
+  p.z = z & mask;
+  return p;
+}
+
+Octant Octant::child(int child_index, int dim) const {
+  assert(level < kMaxDepth);
+  Octant c;
+  c.level = static_cast<std::uint8_t>(level + 1);
+  const std::uint32_t half = c.size();
+  c.x = x + ((child_index & 1) != 0 ? half : 0);
+  c.y = y + ((child_index & 2) != 0 ? half : 0);
+  c.z = dim == 3 && (child_index & 4) != 0 ? z + half : z;
+  return c;
+}
+
+Octant Octant::ancestor_at(int ancestor_level) const {
+  assert(ancestor_level <= level);
+  Octant a;
+  a.level = static_cast<std::uint8_t>(ancestor_level);
+  const std::uint32_t mask = ancestor_level == 0 ? 0U : ~(a.size() - 1);
+  a.x = x & mask;
+  a.y = y & mask;
+  a.z = z & mask;
+  return a;
+}
+
+bool Octant::is_ancestor_of(const Octant& other) const {
+  if (other.level <= level) return false;
+  return other.ancestor_at(level) == *this;
+}
+
+bool Octant::contains_point(std::uint32_t px, std::uint32_t py, std::uint32_t pz) const {
+  const std::uint32_t s = size();
+  return px >= x && px < x + s && py >= y && py < y + s && pz >= z && pz < z + s;
+}
+
+bool Octant::face_neighbor(int face, Octant& out) const {
+  const std::uint32_t s = size();
+  constexpr std::uint32_t kDomain = std::uint32_t{1} << kMaxDepth;
+  out = *this;
+  switch (face) {
+    case 0:
+      if (x == 0) return false;
+      out.x = x - s;
+      return true;
+    case 1:
+      if (x + s >= kDomain) return false;
+      out.x = x + s;
+      return true;
+    case 2:
+      if (y == 0) return false;
+      out.y = y - s;
+      return true;
+    case 3:
+      if (y + s >= kDomain) return false;
+      out.y = y + s;
+      return true;
+    case 4:
+      if (z == 0) return false;
+      out.z = z - s;
+      return true;
+    case 5:
+      if (z + s >= kDomain) return false;
+      out.z = z + s;
+      return true;
+    default:
+      assert(false && "face out of range");
+      return false;
+  }
+}
+
+double Octant::face_area(int dim) const {
+  const double s = static_cast<double>(size());
+  return dim == 3 ? s * s : s;
+}
+
+std::array<double, 3> Octant::anchor_unit() const {
+  constexpr double kScale = 1.0 / static_cast<double>(std::uint32_t{1} << kMaxDepth);
+  return {static_cast<double>(x) * kScale, static_cast<double>(y) * kScale,
+          static_cast<double>(z) * kScale};
+}
+
+std::string Octant::to_string() const {
+  std::ostringstream os;
+  os << "(" << x << "," << y << "," << z << ")@" << static_cast<int>(level);
+  return os.str();
+}
+
+Octant octant_from_point(std::uint32_t px, std::uint32_t py, std::uint32_t pz,
+                         int level) {
+  Octant o;
+  o.level = static_cast<std::uint8_t>(level);
+  const std::uint32_t mask = level == 0 ? 0U : ~(o.size() - 1);
+  o.x = px & mask;
+  o.y = py & mask;
+  o.z = pz & mask;
+  return o;
+}
+
+bool overlaps(const Octant& a, const Octant& b) {
+  if (a == b) return true;
+  return a.is_ancestor_of(b) || b.is_ancestor_of(a);
+}
+
+}  // namespace amr::octree

@@ -1,0 +1,84 @@
+// Linear-octree octant (or quadrant) keys.
+//
+// Following the paper (§2), a region is identified by its anchor -- the
+// smallest corner along all dimensions, stored as unsigned integers on the
+// 2^kMaxDepth grid -- and its refinement level. The paper evaluates trees of
+// depth 30 so that coordinates fit in an unsigned int; we adopt the same
+// bound. 2D quadrants reuse the same type with z == 0.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace amr::octree {
+
+/// Maximum refinement depth (paper §3.1: trees of depth 30).
+inline constexpr int kMaxDepth = 30;
+
+/// Number of face neighbors / children in 3D.
+inline constexpr int kNumFaces3d = 6;
+inline constexpr int kNumChildren3d = 8;
+
+struct Octant {
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+  std::uint32_t z = 0;
+  std::uint8_t level = 0;
+
+  friend bool operator==(const Octant&, const Octant&) = default;
+
+  /// Edge length in units of the finest (level kMaxDepth) grid.
+  [[nodiscard]] std::uint32_t size() const {
+    return std::uint32_t{1} << (kMaxDepth - level);
+  }
+
+  /// Child index (bit pattern, x least significant) of this octant within
+  /// its ancestor chain at refinement step `depth` (1-based: depth 1 is the
+  /// root's children). `dim` selects 2D (xy) or 3D.
+  [[nodiscard]] int child_number(int depth, int dim = 3) const {
+    const int shift = kMaxDepth - depth;
+    const std::uint32_t xb = (x >> shift) & 1U;
+    const std::uint32_t yb = (y >> shift) & 1U;
+    const std::uint32_t zb = dim == 3 ? (z >> shift) & 1U : 0U;
+    return static_cast<int>(xb | (yb << 1) | (zb << 2));
+  }
+
+  [[nodiscard]] Octant parent() const;
+  [[nodiscard]] Octant child(int child_index, int dim = 3) const;
+  [[nodiscard]] Octant ancestor_at(int ancestor_level) const;
+
+  /// True if this octant strictly contains `other` (other is deeper and its
+  /// anchor lies inside this octant's extent).
+  [[nodiscard]] bool is_ancestor_of(const Octant& other) const;
+
+  /// True if `point` (finest-grid coordinates) lies inside this octant.
+  [[nodiscard]] bool contains_point(std::uint32_t px, std::uint32_t py,
+                                    std::uint32_t pz) const;
+
+  /// Same-level neighbor in face direction `face` (0:-x 1:+x 2:-y 3:+y
+  /// 4:-z 5:+z). Returns false if the neighbor falls outside the unit cube.
+  [[nodiscard]] bool face_neighbor(int face, Octant& out) const;
+
+  /// Geometric face area in finest-grid units squared (3D) -- the length in
+  /// 2D is size().
+  [[nodiscard]] double face_area(int dim = 3) const;
+
+  /// Anchor as normalized [0,1) coordinates; convenience for examples.
+  [[nodiscard]] std::array<double, 3> anchor_unit() const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Root octant covering the whole domain.
+[[nodiscard]] inline Octant root_octant() { return Octant{}; }
+
+/// Build an octant from a point on the finest grid at the given level
+/// (coordinates are truncated to the level's grid).
+[[nodiscard]] Octant octant_from_point(std::uint32_t px, std::uint32_t py,
+                                       std::uint32_t pz, int level);
+
+/// True if a and b overlap (one is an ancestor of, or equal to, the other).
+[[nodiscard]] bool overlaps(const Octant& a, const Octant& b);
+
+}  // namespace amr::octree

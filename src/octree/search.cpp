@@ -1,0 +1,104 @@
+#include "octree/search.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace amr::octree {
+
+std::size_t leaf_lookup(std::span<const Octant> tree, const sfc::Curve& curve,
+                        std::uint32_t px, std::uint32_t py, std::uint32_t pz) {
+  assert(!tree.empty());
+  // The containing leaf (when present) is the last octant <= the
+  // finest-level cell at the point: ancestors sort before descendants, the
+  // tree is overlap-free, and disjoint leaves compare identically against
+  // a cell and its ancestors.
+  Octant probe;
+  probe.x = px;
+  probe.y = py;
+  probe.z = pz;
+  probe.level = kMaxDepth;
+  auto it = std::upper_bound(tree.begin(), tree.end(), probe, curve.comparator());
+  if (it == tree.begin()) return 0;  // point precedes every leaf (partial tree)
+  return static_cast<std::size_t>(it - tree.begin()) - 1;
+}
+
+std::size_t leaf_containing(std::span<const Octant> tree, const sfc::Curve& curve,
+                            std::uint32_t px, std::uint32_t py, std::uint32_t pz) {
+  const std::size_t index = leaf_lookup(tree, curve, px, py, pz);
+  assert(tree[index].contains_point(px, py, pz));
+  return index;
+}
+
+namespace {
+
+// Visit all leaves overlapping `region` that touch the face of `region`
+// given by `region_face` (the side shared with the querying octant).
+//
+// The containment probe is a point *on the shared face* (not the region's
+// anchor): on a complete tree the two are equivalent, but probing the face
+// keeps the recursion correct on partial trees that only cover the layer
+// adjacent to the querying octant -- which is exactly what the distributed
+// ghost-discovery shell provides (simmpi/dist_mesh.cpp).
+void collect_on_face(std::span<const Octant> tree, const sfc::Curve& curve,
+                     const Octant& region, int region_face,
+                     std::vector<std::size_t>& found) {
+  std::uint32_t px = region.x;
+  std::uint32_t py = region.y;
+  std::uint32_t pz = region.z;
+  if ((region_face & 1) == 1) {  // high side: move the probe onto the face
+    const std::uint32_t last = region.size() - 1;
+    const int axis = region_face / 2;
+    if (axis == 0) px += last;
+    if (axis == 1) py += last;
+    if (axis == 2) pz += last;
+  }
+  const std::size_t idx = leaf_containing(tree, curve, px, py, pz);
+  if (static_cast<int>(tree[idx].level) <= static_cast<int>(region.level)) {
+    found.push_back(idx);  // single leaf covers the whole region
+    return;
+  }
+  // The region is subdivided in the tree: recurse into the children lying
+  // on the shared face. Axis and side of that face select 4 of 8 children
+  // (2 of 4 in 2D).
+  const int axis = region_face / 2;
+  const int side = region_face & 1;  // 0: low side, 1: high side
+  const int children = curve.num_children();
+  for (int c = 0; c < children; ++c) {
+    if (((c >> axis) & 1) != side) continue;
+    collect_on_face(tree, curve, region.child(c, curve.dim()), region_face, found);
+  }
+}
+
+}  // namespace
+
+void face_neighbor_leaves(std::span<const Octant> tree, const sfc::Curve& curve,
+                          std::size_t leaf, int face, std::vector<std::size_t>& out) {
+  Octant region;
+  if (!tree[leaf].face_neighbor(face, region)) return;  // domain boundary
+  // The neighbor region touches us on its opposite side.
+  const int region_face = face ^ 1;
+  std::vector<std::size_t> found;
+  collect_on_face(tree, curve, region, region_face, found);
+  std::sort(found.begin(), found.end());
+  found.erase(std::unique(found.begin(), found.end()), found.end());
+  out.insert(out.end(), found.begin(), found.end());
+}
+
+std::vector<std::size_t> all_face_neighbors(std::span<const Octant> tree,
+                                            const sfc::Curve& curve, std::size_t leaf) {
+  std::vector<std::size_t> out;
+  const int faces = curve.dim() == 3 ? 6 : 4;
+  for (int face = 0; face < faces; ++face) {
+    face_neighbor_leaves(tree, curve, leaf, face, out);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+double shared_face_area(const Octant& a, const Octant& b, int dim) {
+  const Octant& finer = a.level >= b.level ? a : b;
+  return finer.face_area(dim);
+}
+
+}  // namespace amr::octree

@@ -1,0 +1,46 @@
+// Queries over complete linear (SFC-sorted, overlap-free, covering)
+// octrees: leaf lookup by point and face-neighbor enumeration across
+// refinement levels. These underpin boundary-octant detection (paper
+// Alg. 2) and ghost-layer construction for the FEM mesh (§5.5).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "octree/octant.hpp"
+#include "sfc/curve.hpp"
+
+namespace amr::octree {
+
+/// Index of the leaf containing the finest-grid point (px,py,pz).
+/// Precondition: `tree` is complete and linear in `curve` order.
+[[nodiscard]] std::size_t leaf_containing(std::span<const Octant> tree,
+                                          const sfc::Curve& curve, std::uint32_t px,
+                                          std::uint32_t py, std::uint32_t pz);
+
+/// Like leaf_containing, but for *partial* linear trees (e.g. a rank's
+/// leaves plus a ghost shell): returns the candidate index -- the last
+/// octant <= the probe in curve order -- without asserting containment.
+/// If the point is covered at all, this is its covering leaf; callers must
+/// check contains_point themselves when coverage is not guaranteed.
+[[nodiscard]] std::size_t leaf_lookup(std::span<const Octant> tree,
+                                      const sfc::Curve& curve, std::uint32_t px,
+                                      std::uint32_t py, std::uint32_t pz);
+
+/// Indices of all leaves sharing (part of) the face `face` of `tree[leaf]`.
+/// Handles coarser and arbitrarily finer neighbors; returns nothing for
+/// domain-boundary faces. Appends to `out` (deduplicated).
+void face_neighbor_leaves(std::span<const Octant> tree, const sfc::Curve& curve,
+                          std::size_t leaf, int face, std::vector<std::size_t>& out);
+
+/// All distinct neighbor leaves across every face of `tree[leaf]`.
+[[nodiscard]] std::vector<std::size_t> all_face_neighbors(std::span<const Octant> tree,
+                                                          const sfc::Curve& curve,
+                                                          std::size_t leaf);
+
+/// Shared face area (finest-grid units^dim-1) between two overlapping-face
+/// leaves: the face area of the finer of the two.
+[[nodiscard]] double shared_face_area(const Octant& a, const Octant& b, int dim);
+
+}  // namespace amr::octree

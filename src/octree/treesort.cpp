@@ -1,0 +1,113 @@
+#include "octree/treesort.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+namespace amr::octree {
+
+namespace {
+
+class Sorter {
+ public:
+  Sorter(const sfc::Curve& curve, const TreeSortOptions& options, std::size_t n)
+      : curve_(curve), options_(options), scratch_(n) {}
+
+  void sort(std::span<Octant> range, int depth, int state) {
+    if (range.size() <= 1 || depth > options_.end_depth) return;
+    if (options_.small_cutoff > 1 && range.size() <= options_.small_cutoff) {
+      std::stable_sort(range.begin(), range.end(), curve_.comparator());
+      return;
+    }
+
+    const int children = curve_.num_children();
+
+    // Bucket 0 holds elements whose level is shallower than `depth`: they
+    // are ancestors of everything else in this range and sort first (by
+    // level). Buckets 1..children hold child ranks 0..children-1.
+    std::array<std::size_t, 10> counts{};
+    for (const Octant& o : range) {
+      counts[static_cast<std::size_t>(bucket_of(o, depth, state))]++;
+    }
+    std::array<std::size_t, 10> offsets{};
+    for (int b = 1; b <= children; ++b) {
+      offsets[static_cast<std::size_t>(b)] =
+          offsets[static_cast<std::size_t>(b - 1)] + counts[static_cast<std::size_t>(b - 1)];
+    }
+
+    auto scratch = std::span<Octant>(scratch_).first(range.size());
+    auto cursor = offsets;
+    for (const Octant& o : range) {
+      scratch[cursor[static_cast<std::size_t>(bucket_of(o, depth, state))]++] = o;
+    }
+    std::copy(scratch.begin(), scratch.end(), range.begin());
+
+    if (counts[0] > 1) {
+      // Nested ancestors of a common path: level order == SFC order.
+      std::stable_sort(range.begin(), range.begin() + static_cast<std::ptrdiff_t>(counts[0]),
+                       [](const Octant& a, const Octant& b) { return a.level < b.level; });
+    }
+
+    for (int j = 0; j < children; ++j) {
+      const std::size_t begin = offsets[static_cast<std::size_t>(j + 1)];
+      const std::size_t count = counts[static_cast<std::size_t>(j + 1)];
+      if (count <= 1) continue;
+      const int child = curve_.child_at(state, j);
+      sort(range.subspan(begin, count), depth + 1, curve_.next_state(state, child));
+    }
+  }
+
+ private:
+  /// 0 for ancestors (level < depth), 1 + curve rank otherwise.
+  [[nodiscard]] int bucket_of(const Octant& o, int depth, int state) const {
+    if (o.level < depth) return 0;
+    return 1 + curve_.rank_of(state, o.child_number(depth, curve_.dim()));
+  }
+
+  const sfc::Curve& curve_;
+  TreeSortOptions options_;
+  std::vector<Octant> scratch_;
+};
+
+}  // namespace
+
+void tree_sort(std::vector<Octant>& elements, const sfc::Curve& curve,
+               const TreeSortOptions& options) {
+  if (elements.size() <= 1) return;
+  Sorter sorter(curve, options, elements.size());
+  // The orientation state is only well-defined walking from the root, so we
+  // always bucket from depth 1. When the caller's range shares its leading
+  // digits (the start_depth > 1 case of Alg. 1), those passes see a single
+  // occupied bucket and cost one linear scan each.
+  sorter.sort(std::span<Octant>(elements), 1, 0);
+}
+
+bool is_sfc_sorted(std::span<const Octant> elements, const sfc::Curve& curve) {
+  for (std::size_t i = 1; i < elements.size(); ++i) {
+    if (curve.compare(elements[i - 1], elements[i]) > 0) return false;
+  }
+  return true;
+}
+
+bool is_linear(std::span<const Octant> elements, const sfc::Curve& curve) {
+  if (!is_sfc_sorted(elements, curve)) return false;
+  for (std::size_t i = 1; i < elements.size(); ++i) {
+    if (overlaps(elements[i - 1], elements[i])) return false;
+  }
+  return true;
+}
+
+bool is_complete(std::span<const Octant> elements, const sfc::Curve& curve) {
+  if (!is_linear(elements, curve)) return false;
+  unsigned __int128 total = 0;
+  const int dim = curve.dim();
+  for (const Octant& o : elements) {
+    total += static_cast<unsigned __int128>(1)
+             << (dim * (kMaxDepth - static_cast<int>(o.level)));
+  }
+  const unsigned __int128 domain = static_cast<unsigned __int128>(1)
+                                   << (dim * kMaxDepth);
+  return total == domain;
+}
+
+}  // namespace amr::octree

@@ -1,0 +1,49 @@
+// TreeSort (paper Algorithm 1): sequential Most-Significant-Digit radix
+// sort whose buckets are reordered by the space-filling curve, equivalent
+// to top-down octree construction (paper Fig. 1).
+//
+// Unlike comparison sorts, each pass buckets elements by their child index
+// at the current depth and permutes the buckets with R_h; recursion then
+// sorts each bucket at the next depth. The traversal is depth-first, which
+// is what gives the algorithm its cache friendliness (§2.1).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "octree/octant.hpp"
+#include "sfc/curve.hpp"
+
+namespace amr::octree {
+
+struct TreeSortOptions {
+  /// First refinement depth to bucket on (paper's l1). Depth 1 corresponds
+  /// to the root's children.
+  int start_depth = 1;
+  /// Last depth to bucket on (paper's l2); deeper ties are left in input
+  /// order (they are equal keys for sorting purposes).
+  int end_depth = kMaxDepth;
+  /// Buckets at or below this size fall back to insertion-style handling;
+  /// 0/1 disables the cutoff (pure Algorithm 1 recursion).
+  std::size_t small_cutoff = 16;
+};
+
+/// Reorder `elements` into SFC order (ancestors before descendants,
+/// siblings in curve order). Stable within equal keys.
+void tree_sort(std::vector<Octant>& elements, const sfc::Curve& curve,
+               const TreeSortOptions& options = {});
+
+/// True if `elements` is sorted according to the curve's SFC order.
+[[nodiscard]] bool is_sfc_sorted(std::span<const Octant> elements,
+                                 const sfc::Curve& curve);
+
+/// True if `elements` is a *linear* octree: sorted and overlap-free.
+[[nodiscard]] bool is_linear(std::span<const Octant> elements, const sfc::Curve& curve);
+
+/// True if `elements` is a complete linear octree: sorted, overlap-free and
+/// covering the whole domain (total measure = measure of the root).
+[[nodiscard]] bool is_complete(std::span<const Octant> elements,
+                               const sfc::Curve& curve);
+
+}  // namespace amr::octree

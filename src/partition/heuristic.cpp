@@ -1,0 +1,39 @@
+#include "partition/heuristic.hpp"
+
+#include "octree/adapt.hpp"
+#include "partition/weighted.hpp"
+
+namespace amr::partition {
+
+Partition heuristic_coarse_partition(std::span<const octree::Octant> tree,
+                                     const sfc::Curve& curve, int p,
+                                     const HeuristicOptions& options) {
+  // Coarse grid + fine-count weights.
+  const auto coarse = octree::coarsen_octree(tree, curve, options.coarsen_levels);
+  const auto ranges = octree::coarse_to_fine_ranges(tree, coarse, curve);
+  std::vector<double> weights(coarse.size());
+  for (std::size_t c = 0; c < coarse.size(); ++c) {
+    weights[c] = static_cast<double>(ranges[c].second - ranges[c].first);
+  }
+
+  // Weighted split of the coarse cells (the "second weighted partitioning"
+  // of [35]).
+  WeightedPartitionOptions coarse_options;
+  coarse_options.tolerance = options.tolerance;
+  const Partition coarse_part =
+      weighted_treesort_partition(coarse, curve, weights, p, coarse_options);
+
+  // Map coarse cuts to fine offsets: rank r's fine range starts where its
+  // first coarse cell's fine range starts.
+  Partition part;
+  part.offsets.resize(static_cast<std::size_t>(p) + 1);
+  part.offsets[static_cast<std::size_t>(p)] = tree.size();
+  for (int r = 0; r < p; ++r) {
+    const std::size_t coarse_begin = coarse_part.offsets[static_cast<std::size_t>(r)];
+    part.offsets[static_cast<std::size_t>(r)] =
+        coarse_begin < ranges.size() ? ranges[coarse_begin].first : tree.size();
+  }
+  return part;
+}
+
+}  // namespace amr::partition

@@ -1,0 +1,35 @@
+// The paper's predecessor scheme (§3, ref [35], Sundar-Sampath-Biros):
+// partition a *coarsened* octree, weighted by fine-element counts, on the
+// intuition that coarse-grid partitions have simpler (smaller-overlap)
+// boundaries than fine-grid ones.
+//
+// The paper lists its shortcomings -- it is a heuristic with no quality
+// guarantee, and it is oblivious to both machine and application -- and
+// those are exactly what OptiPart fixes. We implement it as a baseline so
+// the ablation bench can show the difference empirically.
+#pragma once
+
+#include <span>
+
+#include "octree/octant.hpp"
+#include "partition/partition.hpp"
+#include "sfc/curve.hpp"
+
+namespace amr::partition {
+
+struct HeuristicOptions {
+  /// How many levels to coarsen before partitioning (the [35] "coarse
+  /// grid"); the weighted split maps whole coarse cells to ranks.
+  int coarsen_levels = 2;
+  /// Weight-balance tolerance of the coarse split (fraction of W/p).
+  double tolerance = 0.0;
+};
+
+/// Partition `tree` by coarsening it `coarsen_levels` times, splitting the
+/// coarse cells by fine-element weight, and mapping each coarse cell's
+/// fine range to its rank. Returns offsets on the fine array.
+[[nodiscard]] Partition heuristic_coarse_partition(std::span<const octree::Octant> tree,
+                                                   const sfc::Curve& curve, int p,
+                                                   const HeuristicOptions& options = {});
+
+}  // namespace amr::partition

@@ -1,0 +1,67 @@
+#include "partition/metrics.hpp"
+
+#include <algorithm>
+
+#include "octree/search.hpp"
+#include "util/stats.hpp"
+
+namespace amr::partition {
+
+Metrics compute_metrics(std::span<const octree::Octant> tree, const sfc::Curve& curve,
+                        const Partition& part, const QualityOptions& options) {
+  const int p = part.num_ranks();
+  Metrics m;
+  m.work.assign(static_cast<std::size_t>(p), 0.0);
+  m.boundary.assign(static_cast<std::size_t>(p), 0.0);
+  for (int r = 0; r < p; ++r) {
+    m.work[static_cast<std::size_t>(r)] = static_cast<double>(part.size_of(r));
+  }
+
+  const int stride = std::max(1, options.sample_stride);
+  m.degree.assign(static_cast<std::size_t>(p), 0.0);
+  std::vector<std::size_t> neighbors;
+  std::vector<char> peer_seen(static_cast<std::size_t>(p), 0);
+  for (int r = 0; r < p; ++r) {
+    const std::size_t begin = part.offsets[static_cast<std::size_t>(r)];
+    const std::size_t end = part.offsets[static_cast<std::size_t>(r) + 1];
+    std::fill(peer_seen.begin(), peer_seen.end(), 0);
+    for (std::size_t i = begin; i < end; i += static_cast<std::size_t>(stride)) {
+      neighbors.clear();
+      const int faces = curve.dim() == 3 ? 6 : 4;
+      bool is_boundary = false;
+      for (int face = 0; face < faces; ++face) {
+        face_neighbor_leaves(tree, curve, i, face, neighbors);
+      }
+      for (const std::size_t j : neighbors) {
+        if (j < begin || j >= end) {
+          is_boundary = true;
+          peer_seen[static_cast<std::size_t>(part.owner_of(j))] = 1;
+        }
+      }
+      if (is_boundary) {
+        m.boundary[static_cast<std::size_t>(r)] += static_cast<double>(stride);
+      }
+    }
+    for (int q = 0; q < p; ++q) {
+      m.degree[static_cast<std::size_t>(r)] += peer_seen[static_cast<std::size_t>(q)];
+    }
+  }
+
+  for (int r = 0; r < p; ++r) {
+    m.w_max = std::max(m.w_max, m.work[static_cast<std::size_t>(r)]);
+    m.c_max = std::max(m.c_max, m.boundary[static_cast<std::size_t>(r)]);
+    m.m_max = std::max(m.m_max, m.degree[static_cast<std::size_t>(r)]);
+    m.total_boundary += m.boundary[static_cast<std::size_t>(r)];
+  }
+  m.load_imbalance = util::max_min_ratio(m.work);
+  m.comm_imbalance = util::max_min_ratio(m.boundary);
+  return m;
+}
+
+double partition_quality(std::span<const octree::Octant> tree, const sfc::Curve& curve,
+                         const Partition& part, const machine::PerfModel& model,
+                         const QualityOptions& options) {
+  return compute_metrics(tree, curve, part, options).predicted_time(model);
+}
+
+}  // namespace amr::partition

@@ -1,0 +1,57 @@
+// Partition-quality metrics (paper Alg. 2 and §5.5).
+//
+// PartitionQuality does a linear pass over the elements, counts each rank's
+// *boundary octants* (local elements with at least one face neighbor owned
+// by another rank), reduces to Wmax / Cmax and evaluates the performance
+// model Tp = alpha*tc*Wmax + tw*Cmax. The same pass also yields the
+// paper's imbalance metrics: lambda = work max/min (Fig. 11's "load
+// imbalance") and boundary max/min ("communication imbalance").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "machine/perf_model.hpp"
+#include "octree/octant.hpp"
+#include "partition/partition.hpp"
+#include "sfc/curve.hpp"
+
+namespace amr::partition {
+
+struct QualityOptions {
+  /// Evaluate every `stride`-th octant and scale counts: Alg. 2 is called
+  /// once per refinement round inside OptiPart, so an estimator is
+  /// permissible there; metrics reported by benches use stride 1 (exact).
+  int sample_stride = 1;
+};
+
+struct Metrics {
+  std::vector<double> work;      ///< per-rank owned elements
+  std::vector<double> boundary;  ///< per-rank boundary octants (Alg. 2)
+  std::vector<double> degree;    ///< per-rank distinct remote peers
+  double w_max = 0.0;
+  double c_max = 0.0;
+  double m_max = 0.0;            ///< max per-rank peer count (latency ext.)
+  double load_imbalance = 1.0;   ///< max/min work (lambda)
+  double comm_imbalance = 1.0;   ///< max/min boundary
+  double total_boundary = 0.0;
+
+  /// Eq. 3 under `model` (the peer count only matters when the model's
+  /// latency extension is enabled).
+  [[nodiscard]] double predicted_time(const machine::PerfModel& model) const {
+    return model.application_time(w_max, c_max, m_max);
+  }
+};
+
+/// Full metrics for `part` over the sorted complete linear octree.
+[[nodiscard]] Metrics compute_metrics(std::span<const octree::Octant> tree,
+                                      const sfc::Curve& curve, const Partition& part,
+                                      const QualityOptions& options = {});
+
+/// Alg. 2 as a single number: predicted execution time of the partition.
+[[nodiscard]] double partition_quality(std::span<const octree::Octant> tree,
+                                       const sfc::Curve& curve, const Partition& part,
+                                       const machine::PerfModel& model,
+                                       const QualityOptions& options = {});
+
+}  // namespace amr::partition

@@ -1,0 +1,71 @@
+#include "partition/optipart.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace amr::partition {
+
+Partition optipart_partition(std::span<const octree::Octant> tree,
+                             const sfc::Curve& curve, int p,
+                             const machine::PerfModel& model,
+                             const OptiPartOptions& options, OptiPartTrace* trace) {
+  const BucketSearch search(tree, curve);
+  QualityOptions quality{options.quality_sample_stride};
+
+  // Initial splitters: refine until at least p buckets exist
+  // (Alg. 3 line 2: log_{2^dim}(p) levels).
+  const int children = curve.num_children();
+  int depth = 1;
+  std::size_t buckets = static_cast<std::size_t>(children);
+  while (buckets < static_cast<std::size_t>(p) && depth < options.max_depth) {
+    ++depth;
+    buckets *= static_cast<std::size_t>(children);
+  }
+
+  Partition best = partition_at_depth(search, p, depth);
+  Metrics best_metrics = compute_metrics(tree, curve, best, quality);
+  double best_time = best_metrics.predicted_time(model);
+  int best_depth = depth;
+
+  if (trace != nullptr) {
+    trace->rounds.push_back({depth, best_metrics.w_max, best_metrics.c_max, best_time,
+                             best.max_deviation()});
+  }
+
+  int worse_rounds = 0;
+  int unchanged_rounds = 0;
+  Partition previous = best;
+  for (int d = depth + 1; d <= options.max_depth; ++d) {
+    Partition candidate = partition_at_depth(search, p, d);
+    // A round that exposes no new cuts cannot change the model estimate; a
+    // couple of those in a row means the splitters have converged (deeper
+    // buckets hold single elements).
+    if (candidate.offsets == previous.offsets) {
+      if (++unchanged_rounds >= 2) break;
+      continue;
+    }
+    unchanged_rounds = 0;
+    previous = candidate;
+    const Metrics m = compute_metrics(tree, curve, candidate, quality);
+    const double t = m.predicted_time(model);
+    if (trace != nullptr) {
+      trace->rounds.push_back({d, m.w_max, m.c_max, t, candidate.max_deviation()});
+    }
+    if (t <= best_time) {
+      best = std::move(candidate);
+      best_metrics = m;
+      best_time = t;
+      best_depth = d;
+      worse_rounds = 0;
+    } else {
+      // Alg. 3's `while default >= current` rule: a refinement that the
+      // model predicts to be slower terminates the loop.
+      if (++worse_rounds > options.patience) break;
+    }
+  }
+
+  if (trace != nullptr) trace->chosen_depth = best_depth;
+  return best;
+}
+
+}  // namespace amr::partition

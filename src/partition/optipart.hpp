@@ -1,0 +1,55 @@
+// OptiPart (paper Algorithm 3): architecture & data optimized partitioning.
+//
+// Proceeds like distributed TreeSort -- refining the splitter buckets one
+// level at a time, which monotonically reduces load imbalance (§3.2) --
+// but evaluates PartitionQuality (Alg. 2, the Eq. 3 performance model)
+// after every refinement and stops as soon as the predicted runtime for
+// the next refinement exceeds the current one. The result is the partition
+// at the model-optimal trade-off between Wmax and Cmax for the given
+// machine (tc, tw) and application (alpha), with no user-chosen tolerance.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "machine/perf_model.hpp"
+#include "octree/octant.hpp"
+#include "partition/metrics.hpp"
+#include "partition/partition.hpp"
+#include "sfc/curve.hpp"
+
+namespace amr::partition {
+
+struct OptiPartOptions {
+  int max_depth = octree::kMaxDepth;
+  /// Alg. 2 estimator stride used during the refinement loop (benches
+  /// report final metrics exactly regardless).
+  int quality_sample_stride = 1;
+  /// Keep refining this many extra levels past the first increase before
+  /// giving up (0 = stop at first increase, the paper's rule; >0 guards
+  /// against plateau noise).
+  int patience = 0;
+};
+
+struct OptiPartTrace {
+  struct Round {
+    int depth = 0;
+    double w_max = 0.0;
+    double c_max = 0.0;
+    double predicted_time = 0.0;
+    double effective_tolerance = 0.0;  ///< achieved max deviation, Fig. 10's x
+  };
+  std::vector<Round> rounds;
+  int chosen_depth = 0;
+};
+
+/// Run OptiPart over a sorted complete linear octree. `trace`, when
+/// non-null, records every refinement round (used by the Fig. 10 bench to
+/// plot predicted time vs tolerance and the chosen optimum).
+[[nodiscard]] Partition optipart_partition(std::span<const octree::Octant> tree,
+                                           const sfc::Curve& curve, int p,
+                                           const machine::PerfModel& model,
+                                           const OptiPartOptions& options = {},
+                                           OptiPartTrace* trace = nullptr);
+
+}  // namespace amr::partition

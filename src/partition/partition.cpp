@@ -1,0 +1,203 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace amr::partition {
+
+int Partition::owner_of(std::size_t i) const {
+  assert(i < total());
+  const auto it = std::upper_bound(offsets.begin(), offsets.end(), i);
+  return static_cast<int>(it - offsets.begin()) - 1;
+}
+
+double Partition::load_imbalance() const {
+  std::size_t max = 0;
+  std::size_t min = std::numeric_limits<std::size_t>::max();
+  for (int r = 0; r < num_ranks(); ++r) {
+    max = std::max(max, size_of(r));
+    min = std::min(min, size_of(r));
+  }
+  if (min == 0) return static_cast<double>(max);  // degenerate empty rank
+  return static_cast<double>(max) / static_cast<double>(min);
+}
+
+std::size_t Partition::w_max() const {
+  std::size_t max = 0;
+  for (int r = 0; r < num_ranks(); ++r) max = std::max(max, size_of(r));
+  return max;
+}
+
+double Partition::max_deviation() const {
+  const double ideal = static_cast<double>(total()) / num_ranks();
+  double worst = 0.0;
+  for (int r = 0; r < num_ranks(); ++r) {
+    worst = std::max(worst, std::abs(static_cast<double>(size_of(r)) - ideal));
+  }
+  return ideal > 0.0 ? worst / ideal : 0.0;
+}
+
+Partition ideal_partition(std::size_t n, int p) {
+  Partition part;
+  part.offsets.resize(static_cast<std::size_t>(p) + 1);
+  for (int r = 0; r <= p; ++r) {
+    part.offsets[static_cast<std::size_t>(r)] =
+        static_cast<std::size_t>(static_cast<unsigned __int128>(n) *
+                                 static_cast<unsigned>(r) / static_cast<unsigned>(p));
+  }
+  return part;
+}
+
+BucketSearch::BucketSearch(std::span<const octree::Octant> sorted,
+                           const sfc::Curve& curve)
+    : tree_(sorted), curve_(curve) {}
+
+BucketSearch::Cut BucketSearch::find(std::size_t target, int max_depth,
+                                     std::size_t tol_elements) const {
+  const std::size_t n = tree_.size();
+  Cut best;
+  // Range ends are always valid cuts.
+  best.position = target <= n - target ? 0 : n;
+  best.deviation = std::min(target, n - target);
+  best.depth_used = 0;
+  if (best.deviation <= tol_elements) return best;
+
+  std::size_t lo = 0;
+  std::size_t hi = n;
+  int state = 0;
+  for (int depth = 1; depth <= max_depth; ++depth) {
+    if (hi - lo <= 1) break;
+    // A leaf coarser than `depth` covers this whole bucket; in a linear
+    // tree it is then the only element, caught above -- but guard anyway.
+    if (static_cast<int>(tree_[lo].level) < depth) break;
+
+    // Child sub-ranges in visit order: boundary after visit-rank j is the
+    // first element whose rank exceeds j.
+    std::size_t child_lo = lo;
+    std::size_t descend_lo = lo;
+    std::size_t descend_hi = hi;
+    int descend_state = state;
+    bool found_descend = false;
+    const int children = curve_.num_children();
+    for (int j = 0; j < children; ++j) {
+      const auto begin_it = tree_.begin() + static_cast<std::ptrdiff_t>(child_lo);
+      const auto end_it = tree_.begin() + static_cast<std::ptrdiff_t>(hi);
+      const auto boundary = std::partition_point(
+          begin_it, end_it, [&](const octree::Octant& o) {
+            return curve_.rank_of(state, o.child_number(depth, curve_.dim())) <= j;
+          });
+      const std::size_t child_hi =
+          static_cast<std::size_t>(boundary - tree_.begin());
+      // child range is [child_lo, child_hi); its upper boundary is a cut.
+      const std::size_t cut = child_hi;
+      const std::size_t dev = cut >= target ? cut - target : target - cut;
+      if (dev < best.deviation) {
+        best.position = cut;
+        best.deviation = dev;
+        best.depth_used = depth;
+      }
+      if (!found_descend && target >= child_lo && target < child_hi) {
+        descend_lo = child_lo;
+        descend_hi = child_hi;
+        const int child = curve_.child_at(state, j);
+        descend_state = curve_.next_state(state, child);
+        found_descend = true;
+      }
+      child_lo = child_hi;
+    }
+    if (best.deviation <= tol_elements) break;
+    if (!found_descend) break;  // target sits exactly on this bucket's edge
+    lo = descend_lo;
+    hi = descend_hi;
+    state = descend_state;
+  }
+  return best;
+}
+
+namespace {
+
+Partition cuts_to_partition(const BucketSearch& search, int p, int max_depth,
+                            std::size_t tol_elements) {
+  Partition part;
+  part.offsets.resize(static_cast<std::size_t>(p) + 1);
+  const std::size_t n = search.size();
+  part.offsets[0] = 0;
+  part.offsets[static_cast<std::size_t>(p)] = n;
+  for (int r = 1; r < p; ++r) {
+    const std::size_t target = static_cast<std::size_t>(
+        static_cast<unsigned __int128>(n) * static_cast<unsigned>(r) /
+        static_cast<unsigned>(p));
+    part.offsets[static_cast<std::size_t>(r)] =
+        search.find(target, max_depth, tol_elements).position;
+  }
+  // Cuts chosen independently can cross for extreme tolerances; restore
+  // monotonicity the way the distributed algorithm's ordered splitter
+  // selection does.
+  for (int r = 1; r <= p; ++r) {
+    part.offsets[static_cast<std::size_t>(r)] = std::max(
+        part.offsets[static_cast<std::size_t>(r)], part.offsets[static_cast<std::size_t>(r - 1)]);
+  }
+  return part;
+}
+
+}  // namespace
+
+Partition treesort_partition(std::span<const octree::Octant> sorted,
+                             const sfc::Curve& curve, int p,
+                             const TreeSortPartitionOptions& options) {
+  const BucketSearch search(sorted, curve);
+  const double grain = static_cast<double>(sorted.size()) / p;
+  const auto tol_elements = static_cast<std::size_t>(options.tolerance * grain);
+  return cuts_to_partition(search, p, options.max_depth, tol_elements);
+}
+
+Partition partition_at_depth(const BucketSearch& search, int p, int depth) {
+  return cuts_to_partition(search, p, depth, 0);
+}
+
+std::vector<octree::Octant> splitter_keys(std::span<const octree::Octant> tree,
+                                          const Partition& part) {
+  std::vector<octree::Octant> keys(static_cast<std::size_t>(part.num_ranks()));
+  keys[0] = octree::root_octant();  // minus infinity: root precedes everything
+  for (int r = 1; r < part.num_ranks(); ++r) {
+    const std::size_t cut = part.offsets[static_cast<std::size_t>(r)];
+    // Empty trailing ranks inherit their predecessor's key (they own an
+    // empty SFC interval).
+    keys[static_cast<std::size_t>(r)] =
+        cut < tree.size() ? tree[cut] : keys[static_cast<std::size_t>(r) - 1];
+  }
+  return keys;
+}
+
+int owner_by_keys(std::span<const octree::Octant> keys, const octree::Octant& element,
+                  const sfc::Curve& curve) {
+  int lo = 0;
+  int hi = static_cast<int>(keys.size()) - 1;
+  while (hi > lo) {
+    const int mid = (lo + hi + 1) / 2;
+    if (curve.compare(keys[static_cast<std::size_t>(mid)], element) > 0) {
+      hi = mid - 1;
+    } else {
+      lo = mid;
+    }
+  }
+  return lo;
+}
+
+std::size_t migration_volume(std::span<const octree::Octant> tree,
+                             const sfc::Curve& curve,
+                             std::span<const octree::Octant> old_keys,
+                             const Partition& new_part) {
+  std::size_t moved = 0;
+  for (int r = 0; r < new_part.num_ranks(); ++r) {
+    const std::size_t begin = new_part.offsets[static_cast<std::size_t>(r)];
+    const std::size_t end = new_part.offsets[static_cast<std::size_t>(r) + 1];
+    for (std::size_t i = begin; i < end; ++i) {
+      if (owner_by_keys(old_keys, tree[i], curve) != r) ++moved;
+    }
+  }
+  return moved;
+}
+
+}  // namespace amr::partition

@@ -1,0 +1,118 @@
+// Partitions of a globally SFC-sorted element array.
+//
+// A partition of N elements over p ranks is the vector of range offsets
+// [o_0=0, o_1, ..., o_p=N]; rank r owns [o_r, o_{r+1}). All partitioners in
+// this library (ideal/SampleSort, TreeSort-with-tolerance, OptiPart)
+// produce this representation, so partition-quality metrics and the FEM
+// mesh builder are partitioner-agnostic.
+//
+// SFC-based partitioners may only cut at *bucket boundaries* -- positions
+// where the level-l ancestor changes -- because the distributed algorithm
+// assigns whole buckets to ranks. BucketSearch walks the induced bucket
+// tree of the sorted array top-down (exactly the refinement order of
+// distributed TreeSort, §3.1) and reports, for a target rank boundary
+// r*N/p, the closest available cut at each refinement depth.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "octree/octant.hpp"
+#include "sfc/curve.hpp"
+
+namespace amr::partition {
+
+struct Partition {
+  std::vector<std::size_t> offsets;  ///< size p+1; offsets[0]=0, offsets[p]=N
+
+  friend bool operator==(const Partition&, const Partition&) = default;
+
+  [[nodiscard]] int num_ranks() const { return static_cast<int>(offsets.size()) - 1; }
+  [[nodiscard]] std::size_t total() const { return offsets.back(); }
+  [[nodiscard]] std::size_t size_of(int rank) const {
+    return offsets[static_cast<std::size_t>(rank) + 1] -
+           offsets[static_cast<std::size_t>(rank)];
+  }
+  /// Rank owning global element index `i` (binary search).
+  [[nodiscard]] int owner_of(std::size_t i) const;
+
+  /// max(|W_r|)/min(|W_r|), the paper's load imbalance lambda.
+  [[nodiscard]] double load_imbalance() const;
+
+  /// Largest |W_r|.
+  [[nodiscard]] std::size_t w_max() const;
+
+  /// Largest deviation |W_r - N/p| as a fraction of N/p (the achieved
+  /// tolerance of a flexible partition).
+  [[nodiscard]] double max_deviation() const;
+};
+
+/// The equal-split partition o_r = r*N/p (+-1). This is what SampleSort /
+/// Dendro-style SFC partitioning converges to, and the paper's "default".
+[[nodiscard]] Partition ideal_partition(std::size_t n, int p);
+
+/// Walks the bucket tree induced by a sorted element array.
+class BucketSearch {
+ public:
+  BucketSearch(std::span<const octree::Octant> sorted, const sfc::Curve& curve);
+
+  struct Cut {
+    std::size_t position = 0;  ///< element index of the chosen bucket boundary
+    int depth_used = 0;        ///< refinement depth at which it became available
+    std::size_t deviation = 0; ///< |position - target|
+  };
+
+  /// Best bucket boundary for `target`, refining at most to `max_depth` and
+  /// stopping early once the deviation is <= `tol_elements` (pass 0 to
+  /// always refine to max_depth). Boundaries of coarser levels remain
+  /// candidates -- the search keeps the closest cut seen at any depth.
+  [[nodiscard]] Cut find(std::size_t target, int max_depth,
+                         std::size_t tol_elements) const;
+
+  [[nodiscard]] std::size_t size() const { return tree_.size(); }
+
+ private:
+  std::span<const octree::Octant> tree_;
+  const sfc::Curve& curve_;
+};
+
+/// Partition by cutting at the coarsest bucket boundaries within
+/// `tolerance * N/p` elements of the ideal targets -- the user-tolerance
+/// mode of distributed TreeSort (§3.2). tolerance 0 reproduces the ideal
+/// partition up to indivisible-element rounding.
+struct TreeSortPartitionOptions {
+  double tolerance = 0.0;
+  int max_depth = octree::kMaxDepth;
+};
+
+[[nodiscard]] Partition treesort_partition(std::span<const octree::Octant> sorted,
+                                           const sfc::Curve& curve, int p,
+                                           const TreeSortPartitionOptions& options);
+
+/// Partition with every cut limited to depth <= `depth` (the level-
+/// synchronized refinement state of Alg. 3 after `depth` rounds).
+[[nodiscard]] Partition partition_at_depth(const BucketSearch& search, int p, int depth);
+
+/// Splitter keys of a partition: keys[r] is the first octant of rank r
+/// (keys[0] is the root, i.e. minus infinity). Together with
+/// owner_by_keys these let a partition of one tree be *evaluated against a
+/// different tree* -- e.g. to count how many elements migrate when the
+/// mesh adapts and is repartitioned (the AMR cycle).
+[[nodiscard]] std::vector<octree::Octant> splitter_keys(
+    std::span<const octree::Octant> tree, const Partition& part);
+
+/// Rank owning `element` under the given splitter keys: the largest r with
+/// keys[r] <= element in SFC order.
+[[nodiscard]] int owner_by_keys(std::span<const octree::Octant> keys,
+                                const octree::Octant& element, const sfc::Curve& curve);
+
+/// Elements of `tree` whose owner under `old_keys` differs from their
+/// owner in `new_part` -- the data volume an AMR repartitioning step must
+/// migrate.
+[[nodiscard]] std::size_t migration_volume(std::span<const octree::Octant> tree,
+                                           const sfc::Curve& curve,
+                                           std::span<const octree::Octant> old_keys,
+                                           const Partition& new_part);
+
+}  // namespace amr::partition

@@ -1,0 +1,223 @@
+#include "partition/weighted.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace amr::partition {
+
+WeightedBucketSearch::WeightedBucketSearch(std::span<const octree::Octant> sorted,
+                                           const sfc::Curve& curve,
+                                           std::span<const double> weights)
+    : tree_(sorted), curve_(curve) {
+  if (weights.size() != sorted.size()) {
+    throw std::invalid_argument("weighted search: weights size mismatch");
+  }
+  prefix_.resize(sorted.size() + 1, 0.0);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] < 0.0) {
+      throw std::invalid_argument("weighted search: negative weight");
+    }
+    prefix_[i + 1] = prefix_[i] + weights[i];
+  }
+}
+
+WeightedBucketSearch::Cut WeightedBucketSearch::find(double target_weight,
+                                                     int max_depth,
+                                                     double tol_weight) const {
+  const std::size_t n = tree_.size();
+  const double total = prefix_.back();
+
+  Cut best;
+  if (target_weight <= total - target_weight) {
+    best.position = 0;
+    best.deviation = target_weight;
+  } else {
+    best.position = n;
+    best.deviation = total - target_weight;
+  }
+  best.depth_used = 0;
+  if (best.deviation <= tol_weight) return best;
+
+  std::size_t lo = 0;
+  std::size_t hi = n;
+  int state = 0;
+  for (int depth = 1; depth <= max_depth; ++depth) {
+    if (hi - lo <= 1) break;
+    if (static_cast<int>(tree_[lo].level) < depth) break;
+
+    std::size_t child_lo = lo;
+    std::size_t descend_lo = lo;
+    std::size_t descend_hi = hi;
+    int descend_state = state;
+    bool found_descend = false;
+    const int children = curve_.num_children();
+    for (int j = 0; j < children; ++j) {
+      const auto begin_it = tree_.begin() + static_cast<std::ptrdiff_t>(child_lo);
+      const auto end_it = tree_.begin() + static_cast<std::ptrdiff_t>(hi);
+      const auto boundary = std::partition_point(
+          begin_it, end_it, [&](const octree::Octant& o) {
+            return curve_.rank_of(state, o.child_number(depth, curve_.dim())) <= j;
+          });
+      const std::size_t child_hi = static_cast<std::size_t>(boundary - tree_.begin());
+      const double cut_weight = prefix_[child_hi];
+      const double dev = std::abs(cut_weight - target_weight);
+      if (dev < best.deviation) {
+        best.position = child_hi;
+        best.deviation = dev;
+        best.depth_used = depth;
+      }
+      if (!found_descend && target_weight >= prefix_[child_lo] &&
+          target_weight < cut_weight) {
+        descend_lo = child_lo;
+        descend_hi = child_hi;
+        const int child = curve_.child_at(state, j);
+        descend_state = curve_.next_state(state, child);
+        found_descend = true;
+      }
+      child_lo = child_hi;
+    }
+    if (best.deviation <= tol_weight) break;
+    if (!found_descend) break;
+    lo = descend_lo;
+    hi = descend_hi;
+    state = descend_state;
+  }
+  return best;
+}
+
+namespace {
+
+Partition weighted_cuts(const WeightedBucketSearch& search, int p, int max_depth,
+                        double tol_weight) {
+  Partition part;
+  part.offsets.resize(static_cast<std::size_t>(p) + 1);
+  part.offsets[0] = 0;
+  part.offsets[static_cast<std::size_t>(p)] = search.size();
+  const double total = search.total_weight();
+  for (int r = 1; r < p; ++r) {
+    const double target = total * static_cast<double>(r) / static_cast<double>(p);
+    part.offsets[static_cast<std::size_t>(r)] =
+        search.find(target, max_depth, tol_weight).position;
+  }
+  for (int r = 1; r <= p; ++r) {
+    part.offsets[static_cast<std::size_t>(r)] =
+        std::max(part.offsets[static_cast<std::size_t>(r)],
+                 part.offsets[static_cast<std::size_t>(r - 1)]);
+  }
+  return part;
+}
+
+}  // namespace
+
+Partition weighted_treesort_partition(std::span<const octree::Octant> sorted,
+                                      const sfc::Curve& curve,
+                                      std::span<const double> weights, int p,
+                                      const WeightedPartitionOptions& options) {
+  const WeightedBucketSearch search(sorted, curve, weights);
+  const double grain = search.total_weight() / p;
+  return weighted_cuts(search, p, options.max_depth, options.tolerance * grain);
+}
+
+Partition weighted_partition_at_depth(const WeightedBucketSearch& search, int p,
+                                      int depth) {
+  return weighted_cuts(search, p, depth, 0.0);
+}
+
+std::vector<double> partition_weights(const WeightedBucketSearch& search,
+                                      const Partition& part) {
+  std::vector<double> shares(static_cast<std::size_t>(part.num_ranks()));
+  for (int r = 0; r < part.num_ranks(); ++r) {
+    shares[static_cast<std::size_t>(r)] =
+        search.weight_before(part.offsets[static_cast<std::size_t>(r) + 1]) -
+        search.weight_before(part.offsets[static_cast<std::size_t>(r)]);
+  }
+  return shares;
+}
+
+double weighted_load_imbalance(const WeightedBucketSearch& search,
+                               const Partition& part) {
+  const auto shares = partition_weights(search, part);
+  double max = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double min_positive = std::numeric_limits<double>::infinity();
+  for (const double w : shares) {
+    max = std::max(max, w);
+    min = std::min(min, w);
+    if (w > 0.0) min_positive = std::min(min_positive, w);
+  }
+  if (min > 0.0) return max / min;
+  if (std::isfinite(min_positive)) return max / min_positive;
+  return 1.0;
+}
+
+Partition weighted_optipart_partition(std::span<const octree::Octant> tree,
+                                      const sfc::Curve& curve,
+                                      std::span<const double> weights, int p,
+                                      const machine::PerfModel& model,
+                                      const OptiPartOptions& options,
+                                      OptiPartTrace* trace) {
+  const WeightedBucketSearch search(tree, curve, weights);
+  QualityOptions quality{options.quality_sample_stride};
+
+  const auto evaluate = [&](const Partition& part) {
+    Metrics metrics = compute_metrics(tree, curve, part, quality);
+    // Replace element-count work by weighted work (Cmax stays in boundary
+    // octants: ghost payload is per element, not per unit of work).
+    metrics.work = partition_weights(search, part);
+    metrics.w_max = 0.0;
+    for (const double w : metrics.work) metrics.w_max = std::max(metrics.w_max, w);
+    metrics.load_imbalance = weighted_load_imbalance(search, part);
+    return metrics;
+  };
+
+  const int children = curve.num_children();
+  int depth = 1;
+  std::size_t buckets = static_cast<std::size_t>(children);
+  while (buckets < static_cast<std::size_t>(p) && depth < options.max_depth) {
+    ++depth;
+    buckets *= static_cast<std::size_t>(children);
+  }
+
+  Partition best = weighted_partition_at_depth(search, p, depth);
+  Metrics best_metrics = evaluate(best);
+  double best_time = best_metrics.predicted_time(model);
+  int best_depth = depth;
+  if (trace != nullptr) {
+    trace->rounds.push_back({depth, best_metrics.w_max, best_metrics.c_max, best_time,
+                             best.max_deviation()});
+  }
+
+  int worse_rounds = 0;
+  int unchanged_rounds = 0;
+  Partition previous = best;
+  for (int d = depth + 1; d <= options.max_depth; ++d) {
+    Partition candidate = weighted_partition_at_depth(search, p, d);
+    if (candidate.offsets == previous.offsets) {
+      if (++unchanged_rounds >= 2) break;
+      continue;
+    }
+    unchanged_rounds = 0;
+    previous = candidate;
+    const Metrics m = evaluate(candidate);
+    const double t = m.predicted_time(model);
+    if (trace != nullptr) {
+      trace->rounds.push_back({d, m.w_max, m.c_max, t, candidate.max_deviation()});
+    }
+    if (t <= best_time) {
+      best = std::move(candidate);
+      best_metrics = m;
+      best_time = t;
+      best_depth = d;
+      worse_rounds = 0;
+    } else {
+      if (++worse_rounds > options.patience) break;
+    }
+  }
+  if (trace != nullptr) trace->chosen_depth = best_depth;
+  return best;
+}
+
+}  // namespace amr::partition

@@ -1,0 +1,85 @@
+// Weighted SFC partitioning.
+//
+// AMR applications rarely have uniform per-element cost: elements carry
+// work weights (higher-order elements, cut cells, particles per cell --
+// and the paper's predecessor scheme [35] partitions a *coarsened* octree
+// whose cells are weighted by their fine-element counts). This module
+// generalizes the bucket-boundary machinery of partition.hpp from element
+// counts to arbitrary non-negative weights: targets become r*W/p in weight
+// space, cuts still land on bucket boundaries, tolerances are fractions of
+// the ideal weight share, and OptiPart's model loop evaluates Wmax in
+// weight units.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "machine/perf_model.hpp"
+#include "octree/octant.hpp"
+#include "partition/metrics.hpp"
+#include "partition/optipart.hpp"
+#include "partition/partition.hpp"
+#include "sfc/curve.hpp"
+
+namespace amr::partition {
+
+/// Bucket-boundary search over a sorted element array with per-element
+/// weights. Positions are element indices; targets and deviations are in
+/// weight units (prefix sums are precomputed once).
+class WeightedBucketSearch {
+ public:
+  WeightedBucketSearch(std::span<const octree::Octant> sorted, const sfc::Curve& curve,
+                       std::span<const double> weights);
+
+  struct Cut {
+    std::size_t position = 0;
+    int depth_used = 0;
+    double deviation = 0.0;  ///< |weight_before(position) - target|
+  };
+
+  [[nodiscard]] Cut find(double target_weight, int max_depth,
+                         double tol_weight) const;
+
+  [[nodiscard]] std::size_t size() const { return tree_.size(); }
+  [[nodiscard]] double total_weight() const { return prefix_.back(); }
+  [[nodiscard]] double weight_before(std::size_t position) const {
+    return prefix_[position];
+  }
+
+ private:
+  std::span<const octree::Octant> tree_;
+  const sfc::Curve& curve_;
+  std::vector<double> prefix_;  ///< size n+1
+};
+
+struct WeightedPartitionOptions {
+  double tolerance = 0.0;
+  int max_depth = octree::kMaxDepth;
+};
+
+/// TreeSort partitioning by weight with a fixed tolerance.
+[[nodiscard]] Partition weighted_treesort_partition(
+    std::span<const octree::Octant> sorted, const sfc::Curve& curve,
+    std::span<const double> weights, int p, const WeightedPartitionOptions& options);
+
+/// Level-synchronized weighted partition (Alg. 3's state after `depth`).
+[[nodiscard]] Partition weighted_partition_at_depth(const WeightedBucketSearch& search,
+                                                    int p, int depth);
+
+/// Per-rank weight shares of a partition.
+[[nodiscard]] std::vector<double> partition_weights(const WeightedBucketSearch& search,
+                                                    const Partition& part);
+
+/// Weighted load imbalance: max/min of per-rank weight.
+[[nodiscard]] double weighted_load_imbalance(const WeightedBucketSearch& search,
+                                             const Partition& part);
+
+/// OptiPart over weighted elements: Wmax is measured in weight units,
+/// Cmax still in boundary octants (ghost payloads do not scale with work
+/// weight). `trace` as in optipart_partition.
+[[nodiscard]] Partition weighted_optipart_partition(
+    std::span<const octree::Octant> tree, const sfc::Curve& curve,
+    std::span<const double> weights, int p, const machine::PerfModel& model,
+    const OptiPartOptions& options = {}, OptiPartTrace* trace = nullptr);
+
+}  // namespace amr::partition

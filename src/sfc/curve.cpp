@@ -1,0 +1,96 @@
+#include "sfc/curve.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace amr::sfc {
+
+std::string to_string(CurveKind kind) {
+  switch (kind) {
+    case CurveKind::kMorton: return "morton";
+    case CurveKind::kHilbert: return "hilbert";
+    case CurveKind::kMoore: return "moore";
+  }
+  return "?";
+}
+
+CurveKind curve_kind_from_string(const std::string& name) {
+  if (name == "morton") return CurveKind::kMorton;
+  if (name == "hilbert") return CurveKind::kHilbert;
+  if (name == "moore") return CurveKind::kMoore;
+  throw std::invalid_argument("unknown curve kind: " + name);
+}
+
+Curve::Curve(CurveKind kind, int dim)
+    : kind_(kind),
+      dim_(dim),
+      tables_(kind == CurveKind::kMorton    ? &morton_tables(dim)
+              : kind == CurveKind::kHilbert ? &hilbert_tables(dim)
+                                            : &moore_tables(dim)) {}
+
+int Curve::compare(const octree::Octant& a, const octree::Octant& b) const {
+  const int common = std::min(a.level, b.level);
+  int state = 0;
+  for (int depth = 1; depth <= common; ++depth) {
+    const int ca = a.child_number(depth, dim_);
+    const int cb = b.child_number(depth, dim_);
+    if (ca != cb) {
+      return rank_of(state, ca) < rank_of(state, cb) ? -1 : 1;
+    }
+    state = next_state(state, ca);
+  }
+  if (a.level == b.level) return 0;
+  return a.level < b.level ? -1 : 1;  // ancestor first
+}
+
+bool Curve::less(const octree::Octant& a, const octree::Octant& b) const {
+  return compare(a, b) < 0;
+}
+
+std::uint64_t Curve::rank_at_own_level(const octree::Octant& o) const {
+  assert(dim_ * o.level <= 63);
+  std::uint64_t rank = 0;
+  int state = 0;
+  for (int depth = 1; depth <= o.level; ++depth) {
+    const int c = o.child_number(depth, dim_);
+    rank = (rank << dim_) | static_cast<std::uint64_t>(rank_of(state, c));
+    state = next_state(state, c);
+  }
+  return rank;
+}
+
+int Curve::state_at(const octree::Octant& o, int levels) const {
+  assert(levels <= o.level);
+  int state = 0;
+  for (int depth = 1; depth <= levels; ++depth) {
+    state = next_state(state, o.child_number(depth, dim_));
+  }
+  return state;
+}
+
+octree::Octant Curve::first_descendant(const octree::Octant& o, int depth) const {
+  assert(depth >= o.level);
+  octree::Octant cell = o;
+  int state = state_at(o, o.level);
+  while (static_cast<int>(cell.level) < depth) {
+    const int c = child_at(state, 0);
+    state = next_state(state, c);
+    cell = cell.child(c, dim_);
+  }
+  return cell;
+}
+
+octree::Octant Curve::last_descendant(const octree::Octant& o, int depth) const {
+  assert(depth >= o.level);
+  octree::Octant cell = o;
+  int state = state_at(o, o.level);
+  while (static_cast<int>(cell.level) < depth) {
+    const int c = child_at(state, num_children() - 1);
+    state = next_state(state, c);
+    cell = cell.child(c, dim_);
+  }
+  return cell;
+}
+
+}  // namespace amr::sfc

@@ -1,0 +1,85 @@
+// The Curve type: everything the partitioning algorithms need from a
+// space-filling curve, in one object.
+//
+//  * R_h(counts): the per-level permutation of child buckets (paper Alg. 1
+//    line 4) via rank_of / child_at / next_state,
+//  * a strict weak order over octants ("SFC order": ancestors precede
+//    descendants, siblings ordered by the curve), valid to the full
+//    kMaxDepth without materializing 90-bit keys,
+//  * truncated keys for bucketing / histogram use.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "octree/octant.hpp"
+#include "sfc/hilbert.hpp"
+
+namespace amr::sfc {
+
+enum class CurveKind { kMorton, kHilbert, kMoore };
+
+[[nodiscard]] std::string to_string(CurveKind kind);
+[[nodiscard]] CurveKind curve_kind_from_string(const std::string& name);
+
+class Curve {
+ public:
+  Curve(CurveKind kind, int dim);
+
+  [[nodiscard]] CurveKind kind() const { return kind_; }
+  [[nodiscard]] int dim() const { return dim_; }
+  [[nodiscard]] int num_children() const { return tables_->num_children; }
+
+  /// Rank of child `c` in the visit order of orientation `state`.
+  [[nodiscard]] int rank_of(int state, int c) const {
+    return tables_->rank_of[static_cast<std::size_t>(state)][static_cast<std::size_t>(c)];
+  }
+  /// Child visited at position `j` in orientation `state`.
+  [[nodiscard]] int child_at(int state, int j) const {
+    return tables_->child_at[static_cast<std::size_t>(state)][static_cast<std::size_t>(j)];
+  }
+  /// Orientation used when descending into child `c` from `state`.
+  [[nodiscard]] int next_state(int state, int c) const {
+    return tables_->next_state[static_cast<std::size_t>(state)][static_cast<std::size_t>(c)];
+  }
+
+  /// Strict SFC order over octants: walks the tree top-down comparing child
+  /// ranks; an ancestor sorts before its descendants.
+  [[nodiscard]] bool less(const octree::Octant& a, const octree::Octant& b) const;
+
+  /// Three-way form of less(): -1, 0 (equal), +1.
+  [[nodiscard]] int compare(const octree::Octant& a, const octree::Octant& b) const;
+
+  /// Curve rank of the octant among all cells of its own level
+  /// (dim*level <= 63). Used for compact keys, histogram trees and tests.
+  [[nodiscard]] std::uint64_t rank_at_own_level(const octree::Octant& o) const;
+
+  /// Orientation state reached after descending `levels` steps along the
+  /// ancestor chain of `o` starting at the root.
+  [[nodiscard]] int state_at(const octree::Octant& o, int levels) const;
+
+  /// First / last cell of `o`'s region in curve order, at `depth`. Note
+  /// that for Hilbert/Moore these are generally NOT the anchor and the
+  /// opposite corner -- the curve enters and exits a region at
+  /// orientation-dependent corners. These bound the region's contiguous
+  /// SFC interval, which is what owner-span computations need.
+  [[nodiscard]] octree::Octant first_descendant(const octree::Octant& o,
+                                                int depth = octree::kMaxDepth) const;
+  [[nodiscard]] octree::Octant last_descendant(const octree::Octant& o,
+                                               int depth = octree::kMaxDepth) const;
+
+  /// Comparator functor usable with std::sort and friends.
+  [[nodiscard]] auto comparator() const {
+    return [this](const octree::Octant& a, const octree::Octant& b) {
+      return less(a, b);
+    };
+  }
+
+ private:
+  CurveKind kind_;
+  int dim_;
+  const CurveTables* tables_;
+};
+
+}  // namespace amr::sfc

@@ -1,0 +1,456 @@
+#include "sfc/hilbert.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+#include "sfc/skilling.hpp"
+
+namespace amr::sfc {
+
+namespace {
+
+// A cell in the canonical curve is identified by its path from the root:
+// path[k] is the child index (bit pattern) taken at depth k.
+using Path = std::vector<std::uint8_t>;
+
+// Anchor coordinates (per axis) of the cell reached by `path`, expressed on
+// the 2^bits grid (bits >= path.size()). Child bit i of the child index is
+// the bit of axis i at that depth.
+template <int Dim>
+std::array<std::uint32_t, Dim> path_anchor(const Path& path, int bits) {
+  std::array<std::uint32_t, Dim> anchor{};
+  for (std::size_t depth = 0; depth < path.size(); ++depth) {
+    const int shift = bits - 1 - static_cast<int>(depth);
+    for (int axis = 0; axis < Dim; ++axis) {
+      const std::uint32_t bit = (path[depth] >> axis) & 1U;
+      anchor[static_cast<std::size_t>(axis)] |= bit << shift;
+    }
+  }
+  return anchor;
+}
+
+// Visit-order signature of the children of the cell at `path`: sig[j] is the
+// child index visited j-th by the canonical Hilbert curve.
+template <int Dim>
+std::array<std::uint8_t, 8> child_order(const Path& path) {
+  constexpr int kChildren = 1 << Dim;
+  const int bits = static_cast<int>(path.size()) + 1;
+  if (Dim * bits > 64) {
+    throw std::runtime_error("hilbert table generation exceeded 64-bit indices");
+  }
+  std::array<std::uint64_t, 8> index_of{};
+  for (int c = 0; c < kChildren; ++c) {
+    Path child_path = path;
+    child_path.push_back(static_cast<std::uint8_t>(c));
+    index_of[static_cast<std::size_t>(c)] =
+        hilbert_index<Dim>(path_anchor<Dim>(child_path, bits), bits);
+  }
+  // The children occupy a contiguous block of 2^Dim indices; normalize to
+  // ranks within the block.
+  const std::uint64_t base =
+      *std::min_element(index_of.begin(), index_of.begin() + kChildren);
+  std::array<std::uint8_t, 8> sig{};
+  for (int c = 0; c < kChildren; ++c) {
+    const std::uint64_t rank = index_of[static_cast<std::size_t>(c)] - base;
+    assert(rank < static_cast<std::uint64_t>(kChildren));
+    sig[rank] = static_cast<std::uint8_t>(c);
+  }
+  return sig;
+}
+
+template <int Dim>
+CurveTables build_hilbert_tables() {
+  constexpr int kChildren = 1 << Dim;
+  CurveTables tables;
+  tables.dim = Dim;
+  tables.num_children = kChildren;
+
+  // BFS over orientation states. A state is identified by its child visit
+  // order (a permutation of the 2^Dim children uniquely pins down the
+  // symmetry transform, since the order gives the image of every corner of
+  // the Gray path). For each discovered state we keep one witness path in
+  // the canonical curve so child states can be read off one level deeper.
+  std::map<std::array<std::uint8_t, 8>, int> state_of_sig;
+  std::vector<Path> witness;
+
+  const auto root_sig = child_order<Dim>(Path{});
+  state_of_sig.emplace(root_sig, 0);
+  tables.child_at.push_back(root_sig);
+  witness.push_back(Path{});
+
+  for (std::size_t s = 0; s < witness.size(); ++s) {
+    tables.next_state.emplace_back();
+    const Path base_path = witness[s];
+    for (int c = 0; c < kChildren; ++c) {
+      Path child_path = base_path;
+      child_path.push_back(static_cast<std::uint8_t>(c));
+      const auto sig = child_order<Dim>(child_path);
+      auto [it, inserted] = state_of_sig.emplace(sig, static_cast<int>(witness.size()));
+      if (inserted) {
+        tables.child_at.push_back(sig);
+        witness.push_back(child_path);
+      }
+      tables.next_state[s][static_cast<std::size_t>(c)] =
+          static_cast<std::uint8_t>(it->second);
+    }
+  }
+
+  tables.num_states = static_cast<int>(witness.size());
+  tables.rank_of.resize(static_cast<std::size_t>(tables.num_states));
+  for (int s = 0; s < tables.num_states; ++s) {
+    for (int j = 0; j < kChildren; ++j) {
+      const std::uint8_t c = tables.child_at[static_cast<std::size_t>(s)]
+                                            [static_cast<std::size_t>(j)];
+      tables.rank_of[static_cast<std::size_t>(s)][c] = static_cast<std::uint8_t>(j);
+    }
+  }
+  return tables;
+}
+
+CurveTables build_morton_tables(int dim) {
+  const int children = 1 << dim;
+  CurveTables tables;
+  tables.dim = dim;
+  tables.num_children = children;
+  tables.num_states = 1;
+  tables.child_at.emplace_back();
+  tables.rank_of.emplace_back();
+  tables.next_state.emplace_back();
+  for (int c = 0; c < children; ++c) {
+    tables.child_at[0][static_cast<std::size_t>(c)] = static_cast<std::uint8_t>(c);
+    tables.rank_of[0][static_cast<std::size_t>(c)] = static_cast<std::uint8_t>(c);
+    tables.next_state[0][static_cast<std::size_t>(c)] = 0;
+  }
+  return tables;
+}
+
+// ---------------------------------------------------------------------------
+// Moore curve construction.
+//
+// Orientation states are modeled explicitly as cube symmetries ("the curve
+// of state g is g applied to the canonical Hilbert curve"): an axis
+// permutation plus per-axis reflections. The canonical child orientations
+// h_c are recovered from the generated Hilbert tables by signature
+// matching; a transformed state g then has child g(sig0[j]) at visit
+// position j with orientation g o h_{sig0[j]}. The Moore root is found by
+// searching, for every child along a Gray-code Hamiltonian cycle of the
+// hypercube, an orientation whose sub-curve endpoints chain: the exit
+// point of child j must coincide with the entry point of child j+1
+// (cyclically -- which is exactly what closes the curve).
+// ---------------------------------------------------------------------------
+
+
+struct GroupElem {
+  std::array<int, 3> perm{0, 1, 2};  ///< output axis a reads input axis perm[a]
+  int flip = 0;                      ///< xor per output axis
+
+  [[nodiscard]] int apply(int corner, int dim) const {
+    int out = 0;
+    for (int a = 0; a < dim; ++a) {
+      const int bit = (corner >> perm[static_cast<std::size_t>(a)]) & 1;
+      out |= (bit ^ ((flip >> a) & 1)) << a;
+    }
+    return out;
+  }
+};
+
+GroupElem compose(const GroupElem& g1, const GroupElem& g2, int dim) {
+  // (g1 o g2)(c) = g1(g2(c)).
+  GroupElem out;
+  for (int a = 0; a < dim; ++a) {
+    out.perm[static_cast<std::size_t>(a)] =
+        g2.perm[static_cast<std::size_t>(g1.perm[static_cast<std::size_t>(a)])];
+    const int f = ((g1.flip >> a) & 1) ^
+                  ((g2.flip >> g1.perm[static_cast<std::size_t>(a)]) & 1);
+    out.flip |= f << a;
+  }
+  for (int a = dim; a < 3; ++a) out.perm[static_cast<std::size_t>(a)] = a;
+  return out;
+}
+
+std::vector<GroupElem> all_symmetries(int dim) {
+  std::vector<GroupElem> elems;
+  std::vector<int> axes(static_cast<std::size_t>(dim));
+  for (int a = 0; a < dim; ++a) axes[static_cast<std::size_t>(a)] = a;
+  do {
+    for (int flip = 0; flip < (1 << dim); ++flip) {
+      GroupElem g;
+      for (int a = 0; a < dim; ++a) {
+        g.perm[static_cast<std::size_t>(a)] = axes[static_cast<std::size_t>(a)];
+      }
+      for (int a = dim; a < 3; ++a) g.perm[static_cast<std::size_t>(a)] = a;
+      g.flip = flip;
+      elems.push_back(g);
+    }
+  } while (std::next_permutation(axes.begin(), axes.end()));
+  return elems;
+}
+
+/// Signature of the transformed state g (child visited j-th).
+std::array<std::uint8_t, 8> transformed_signature(const CurveTables& base,
+                                                  const GroupElem& g, int dim) {
+  std::array<std::uint8_t, 8> sig{};
+  for (int j = 0; j < base.num_children; ++j) {
+    sig[static_cast<std::size_t>(j)] = static_cast<std::uint8_t>(
+        g.apply(base.child_at[0][static_cast<std::size_t>(j)], dim));
+  }
+  return sig;
+}
+
+/// Canonical child orientations as group elements: h_c with
+/// sig_{state(c)}[j] == h_c(sig0[j]).
+std::vector<GroupElem> canonical_child_elems(const CurveTables& base, int dim) {
+  const auto symmetries = all_symmetries(dim);
+  std::vector<GroupElem> child_elems(static_cast<std::size_t>(base.num_children));
+  for (int c = 0; c < base.num_children; ++c) {
+    const int child_state = base.next_state[0][static_cast<std::size_t>(c)];
+    bool found = false;
+    for (const GroupElem& g : symmetries) {
+      bool match = true;
+      for (int j = 0; j < base.num_children && match; ++j) {
+        match = g.apply(base.child_at[0][static_cast<std::size_t>(j)], dim) ==
+                base.child_at[static_cast<std::size_t>(child_state)]
+                             [static_cast<std::size_t>(j)];
+      }
+      if (match) {
+        child_elems[static_cast<std::size_t>(c)] = g;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::runtime_error("moore: no symmetry matches a hilbert child state");
+    }
+  }
+  return child_elems;
+}
+
+/// Entry/exit corner of the canonical curve by fixpoint iteration.
+int canonical_end_corner(const CurveTables& base, bool exit_end, int dim) {
+  std::array<double, 3> pos{};
+  double weight = 0.5;
+  int state = 0;
+  for (int iter = 0; iter < 64; ++iter) {
+    const int c = base.child_at[static_cast<std::size_t>(state)]
+                               [exit_end ? static_cast<std::size_t>(base.num_children - 1)
+                                         : 0];
+    for (int a = 0; a < dim; ++a) {
+      pos[static_cast<std::size_t>(a)] += ((c >> a) & 1) * weight;
+    }
+    weight *= 0.5;
+    state = base.next_state[static_cast<std::size_t>(state)][static_cast<std::size_t>(c)];
+  }
+  int corner = 0;
+  for (int a = 0; a < dim; ++a) {
+    corner |= (pos[static_cast<std::size_t>(a)] > 0.5 ? 1 : 0) << a;
+  }
+  return corner;
+}
+
+CurveTables build_moore_tables(int dim) {
+  const CurveTables& base = hilbert_tables(dim);
+  const int children = base.num_children;
+  const auto symmetries = all_symmetries(dim);
+  const auto child_elems = canonical_child_elems(base, dim);
+  const int entry0 = canonical_end_corner(base, false, dim);
+  const int exit0 = canonical_end_corner(base, true, dim);
+
+  // Gray-code Hamiltonian cycle of the hypercube (wraps around).
+  std::vector<int> cycle(static_cast<std::size_t>(children));
+  for (int j = 0; j < children; ++j) cycle[static_cast<std::size_t>(j)] = j ^ (j >> 1);
+
+  // Chain search: orientation g_j for the child at cycle position j such
+  // that exit point of child j == entry point of child j+1 (cyclically).
+  // Points are corner sums (c + v) per axis in half-cell units.
+  const auto point_of = [&](int child, int corner) {
+    std::array<int, 3> point{};
+    for (int a = 0; a < dim; ++a) {
+      point[static_cast<std::size_t>(a)] = ((child >> a) & 1) + ((corner >> a) & 1);
+    }
+    return point;
+  };
+
+  std::vector<GroupElem> chosen(static_cast<std::size_t>(children));
+  std::vector<int> choice(static_cast<std::size_t>(children), -1);
+  const std::function<bool(int)> search = [&](int j) {
+    if (j == children) {
+      // Closure: exit of last child meets entry of first.
+      const auto exit_point = point_of(cycle[static_cast<std::size_t>(children - 1)],
+                                       chosen[static_cast<std::size_t>(children - 1)]
+                                           .apply(exit0, dim));
+      const auto entry_point =
+          point_of(cycle[0], chosen[0].apply(entry0, dim));
+      return exit_point == entry_point;
+    }
+    for (std::size_t s = 0; s < symmetries.size(); ++s) {
+      const GroupElem& g = symmetries[s];
+      if (j > 0) {
+        const auto prev_exit = point_of(cycle[static_cast<std::size_t>(j - 1)],
+                                        chosen[static_cast<std::size_t>(j - 1)]
+                                            .apply(exit0, dim));
+        const auto my_entry =
+            point_of(cycle[static_cast<std::size_t>(j)], g.apply(entry0, dim));
+        if (prev_exit != my_entry) continue;
+      }
+      chosen[static_cast<std::size_t>(j)] = g;
+      choice[static_cast<std::size_t>(j)] = static_cast<int>(s);
+      if (search(j + 1)) return true;
+    }
+    return false;
+  };
+  if (!search(0)) {
+    throw std::runtime_error("moore: no chainable orientation assignment found");
+  }
+
+  // Assemble tables: states are transformed Hilbert orientations
+  // (discovered lazily) plus the Moore root appended last.
+  CurveTables tables;
+  tables.dim = dim;
+  tables.num_children = children;
+
+  std::map<std::array<std::uint8_t, 8>, int> state_of_sig;
+  std::vector<GroupElem> state_elem;
+  const std::function<int(const GroupElem&)> intern = [&](const GroupElem& g) {
+    const auto sig = transformed_signature(base, g, dim);
+    const auto it = state_of_sig.find(sig);
+    if (it != state_of_sig.end()) return it->second;
+    const int id = static_cast<int>(state_elem.size());
+    state_of_sig.emplace(sig, id);
+    state_elem.push_back(g);
+    tables.child_at.push_back(sig);
+    tables.next_state.emplace_back();
+    // Fill transitions (may recurse into new states; child count bounded
+    // by the 48-element group, so this terminates).
+    for (int jj = 0; jj < children; ++jj) {
+      const int canon_child = base.child_at[0][static_cast<std::size_t>(jj)];
+      const int c = g.apply(canon_child, dim);
+      const int next = intern(compose(g, child_elems[static_cast<std::size_t>(canon_child)], dim));
+      tables.next_state[static_cast<std::size_t>(id)][static_cast<std::size_t>(c)] =
+          static_cast<std::uint8_t>(next);
+    }
+    return id;
+  };
+  for (int j = 0; j < children; ++j) {
+    intern(chosen[static_cast<std::size_t>(j)]);
+  }
+
+  // Root state.
+  const int root_id = static_cast<int>(state_elem.size());
+  tables.child_at.emplace_back();
+  tables.next_state.emplace_back();
+  for (int j = 0; j < children; ++j) {
+    const int c = cycle[static_cast<std::size_t>(j)];
+    tables.child_at[static_cast<std::size_t>(root_id)][static_cast<std::size_t>(j)] =
+        static_cast<std::uint8_t>(c);
+    tables.next_state[static_cast<std::size_t>(root_id)][static_cast<std::size_t>(c)] =
+        static_cast<std::uint8_t>(intern(chosen[static_cast<std::size_t>(j)]));
+  }
+
+  // The Moore root must be state 0 (Curve walks from state 0), so swap it
+  // to the front, remapping indices.
+  const int last = root_id;
+  std::swap(tables.child_at[0], tables.child_at[static_cast<std::size_t>(last)]);
+  std::swap(tables.next_state[0], tables.next_state[static_cast<std::size_t>(last)]);
+  for (auto& row : tables.next_state) {
+    for (int c = 0; c < children; ++c) {
+      if (row[static_cast<std::size_t>(c)] == 0) {
+        row[static_cast<std::size_t>(c)] = static_cast<std::uint8_t>(last);
+      } else if (row[static_cast<std::size_t>(c)] == last) {
+        row[static_cast<std::size_t>(c)] = 0;
+      }
+    }
+  }
+
+  tables.num_states = static_cast<int>(tables.child_at.size());
+  tables.rank_of.resize(static_cast<std::size_t>(tables.num_states));
+  for (int s = 0; s < tables.num_states; ++s) {
+    for (int j = 0; j < children; ++j) {
+      const std::uint8_t c =
+          tables.child_at[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)];
+      tables.rank_of[static_cast<std::size_t>(s)][c] = static_cast<std::uint8_t>(j);
+    }
+  }
+  return tables;
+}
+
+}  // namespace
+
+int curve_entry_corner(const CurveTables& tables, int state) {
+  std::array<double, 3> pos{};
+  double weight = 0.5;
+  int s = state;
+  for (int iter = 0; iter < 64; ++iter) {
+    const int c = tables.child_at[static_cast<std::size_t>(s)][0];
+    for (int a = 0; a < tables.dim; ++a) {
+      pos[static_cast<std::size_t>(a)] += ((c >> a) & 1) * weight;
+    }
+    weight *= 0.5;
+    s = tables.next_state[static_cast<std::size_t>(s)][static_cast<std::size_t>(c)];
+  }
+  int corner = 0;
+  for (int a = 0; a < tables.dim; ++a) {
+    corner |= (pos[static_cast<std::size_t>(a)] > 0.5 ? 1 : 0) << a;
+  }
+  return corner;
+}
+
+int curve_exit_corner(const CurveTables& tables, int state) {
+  std::array<double, 3> pos{};
+  double weight = 0.5;
+  int s = state;
+  for (int iter = 0; iter < 64; ++iter) {
+    const int c = tables.child_at[static_cast<std::size_t>(s)]
+                                 [static_cast<std::size_t>(tables.num_children - 1)];
+    for (int a = 0; a < tables.dim; ++a) {
+      pos[static_cast<std::size_t>(a)] += ((c >> a) & 1) * weight;
+    }
+    weight *= 0.5;
+    s = tables.next_state[static_cast<std::size_t>(s)][static_cast<std::size_t>(c)];
+  }
+  int corner = 0;
+  for (int a = 0; a < tables.dim; ++a) {
+    corner |= (pos[static_cast<std::size_t>(a)] > 0.5 ? 1 : 0) << a;
+  }
+  return corner;
+}
+
+const CurveTables& moore_tables(int dim) {
+  if (dim == 2) {
+    static const CurveTables tables = build_moore_tables(2);
+    return tables;
+  }
+  if (dim == 3) {
+    static const CurveTables tables = build_moore_tables(3);
+    return tables;
+  }
+  throw std::invalid_argument("moore_tables: dim must be 2 or 3");
+}
+
+const CurveTables& hilbert_tables(int dim) {
+  if (dim == 2) {
+    static const CurveTables tables = build_hilbert_tables<2>();
+    return tables;
+  }
+  if (dim == 3) {
+    static const CurveTables tables = build_hilbert_tables<3>();
+    return tables;
+  }
+  throw std::invalid_argument("hilbert_tables: dim must be 2 or 3");
+}
+
+const CurveTables& morton_tables(int dim) {
+  if (dim == 2) {
+    static const CurveTables tables = build_morton_tables(2);
+    return tables;
+  }
+  if (dim == 3) {
+    static const CurveTables tables = build_morton_tables(3);
+    return tables;
+  }
+  throw std::invalid_argument("morton_tables: dim must be 2 or 3");
+}
+
+}  // namespace amr::sfc

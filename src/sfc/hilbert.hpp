@@ -1,0 +1,60 @@
+// Table-driven space-filling-curve orderings.
+//
+// TreeSort (paper Alg. 1) needs, at every octree node, the permutation
+// R_h(counts) that reorders the 2^dim child buckets into curve order, plus
+// the child "state" to descend with. For Morton the permutation is the
+// identity and there is a single state; for Hilbert the visit order depends
+// on the orientation of the curve within the node.
+//
+// Rather than hard-coding the (error-prone) 3D Hilbert orientation tables,
+// we *derive* them at startup from Skilling's reference algorithm
+// (skilling.hpp): a breadth-first search over the canonical curve discovers
+// every orientation state that occurs, identifies each state by the order
+// in which it visits its children, and records the child-state transitions.
+// The unit tests then verify that walking the tables reproduces Skilling's
+// indices exactly at several depths.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace amr::sfc {
+
+/// One orientation state table set for a 2^dim-ary tree.
+struct CurveTables {
+  int dim = 3;
+  int num_children = 8;
+  int num_states = 1;
+
+  /// child_at[s][j]: child index (bit pattern, x lsb) visited j-th in state s.
+  std::vector<std::array<std::uint8_t, 8>> child_at;
+  /// rank_of[s][c]: position of child c in state s's visit order.
+  std::vector<std::array<std::uint8_t, 8>> rank_of;
+  /// next_state[s][c]: orientation state used when descending into child c.
+  std::vector<std::array<std::uint8_t, 8>> next_state;
+};
+
+/// Tables for the Hilbert curve in `dim` (2 or 3) dimensions, generated once
+/// and cached. Thread-safe (magic static).
+const CurveTables& hilbert_tables(int dim);
+
+/// Tables for the Morton curve: a single identity state.
+const CurveTables& morton_tables(int dim);
+
+/// Tables for the Moore curve (the *closed* Hilbert variant the paper's
+/// related work lists alongside Morton and Hilbert): the root visits the
+/// children along a Hamiltonian cycle of the hypercube and each child runs
+/// a Hilbert sub-curve oriented so consecutive sub-curves connect -- the
+/// first and last cells of the whole curve end up adjacent. Constructed by
+/// searching the Hilbert orientation states for a chainable assignment;
+/// all non-root states are shared with the Hilbert tables.
+const CurveTables& moore_tables(int dim);
+
+/// Entry corner of the curve within a cell of orientation `state`: the
+/// corner (bit pattern, x lsb) that an infinitely refined curve enters at.
+/// Exposed for tests and for the Moore construction.
+int curve_entry_corner(const CurveTables& tables, int state);
+int curve_exit_corner(const CurveTables& tables, int state);
+
+}  // namespace amr::sfc

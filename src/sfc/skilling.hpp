@@ -1,0 +1,138 @@
+// Skilling's algorithm for the Hilbert curve ("Programming the Hilbert
+// curve", AIP Conf. Proc. 707, 2004).
+//
+// This is the reference implementation of the coordinate <-> Hilbert-index
+// mapping. It is deliberately independent of the table-driven machinery in
+// hilbert.hpp: the state tables are *generated from* and *tested against*
+// these routines, so a bug in the fast path cannot hide.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+
+namespace amr::sfc {
+
+/// Maximum refinement depth supported by the 64-bit index routines below:
+/// dim * bits must be <= 64.
+inline constexpr int kSkillingMaxBits = 21;
+
+/// In-place conversion of axes to the "transposed" Hilbert representation.
+/// `x` holds one coordinate per dimension, each with `bits` significant bits.
+template <int Dim>
+constexpr void axes_to_transpose(std::array<std::uint32_t, Dim>& x, int bits) {
+  const std::uint32_t m = std::uint32_t{1} << (bits - 1);
+  // Inverse undo.
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = 0; i < Dim; ++i) {
+      if (x[static_cast<std::size_t>(i)] & q) {
+        x[0] ^= p;  // invert
+      } else {
+        const std::uint32_t t = (x[0] ^ x[static_cast<std::size_t>(i)]) & p;
+        x[0] ^= t;
+        x[static_cast<std::size_t>(i)] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < Dim; ++i) {
+    x[static_cast<std::size_t>(i)] ^= x[static_cast<std::size_t>(i - 1)];
+  }
+  std::uint32_t t = 0;
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    if (x[Dim - 1] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < Dim; ++i) x[static_cast<std::size_t>(i)] ^= t;
+}
+
+/// Inverse of axes_to_transpose.
+template <int Dim>
+constexpr void transpose_to_axes(std::array<std::uint32_t, Dim>& x, int bits) {
+  const std::uint32_t n = std::uint32_t{2} << (bits - 1);
+  // Gray decode by H ^ (H/2).
+  std::uint32_t t = x[Dim - 1] >> 1;
+  for (int i = Dim - 1; i > 0; --i) {
+    x[static_cast<std::size_t>(i)] ^= x[static_cast<std::size_t>(i - 1)];
+  }
+  x[0] ^= t;
+  // Undo excess work.
+  for (std::uint32_t q = 2; q != n; q <<= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = Dim - 1; i >= 0; --i) {
+      if (x[static_cast<std::size_t>(i)] & q) {
+        x[0] ^= p;
+      } else {
+        t = (x[0] ^ x[static_cast<std::size_t>(i)]) & p;
+        x[0] ^= t;
+        x[static_cast<std::size_t>(i)] ^= t;
+      }
+    }
+  }
+}
+
+/// Pack the transposed representation into a single index: the most
+/// significant bit of the index is bit (bits-1) of x[0], then bit (bits-1)
+/// of x[1], ... down to bit 0 of x[Dim-1].
+template <int Dim>
+[[nodiscard]] constexpr std::uint64_t transpose_to_index(
+    const std::array<std::uint32_t, Dim>& x, int bits) {
+  std::uint64_t index = 0;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < Dim; ++i) {
+      index = (index << 1) |
+              ((x[static_cast<std::size_t>(i)] >> b) & std::uint32_t{1});
+    }
+  }
+  return index;
+}
+
+/// Unpack a Hilbert index into the transposed representation.
+template <int Dim>
+[[nodiscard]] constexpr std::array<std::uint32_t, Dim> index_to_transpose(
+    std::uint64_t index, int bits) {
+  std::array<std::uint32_t, Dim> x{};
+  for (int b = 0; b < bits; ++b) {
+    for (int i = Dim - 1; i >= 0; --i) {
+      x[static_cast<std::size_t>(i)] |= static_cast<std::uint32_t>(index & 1U) << b;
+      index >>= 1;
+    }
+  }
+  return x;
+}
+
+/// Hilbert index of the point with the given coordinates on a 2^bits grid.
+template <int Dim>
+[[nodiscard]] constexpr std::uint64_t hilbert_index(std::array<std::uint32_t, Dim> coords,
+                                                    int bits) {
+  assert(bits >= 1 && Dim * bits <= 64);
+  axes_to_transpose<Dim>(coords, bits);
+  return transpose_to_index<Dim>(coords, bits);
+}
+
+/// Coordinates of the point with the given Hilbert index on a 2^bits grid.
+template <int Dim>
+[[nodiscard]] constexpr std::array<std::uint32_t, Dim> hilbert_coords(std::uint64_t index,
+                                                                      int bits) {
+  assert(bits >= 1 && Dim * bits <= 64);
+  auto x = index_to_transpose<Dim>(index, bits);
+  transpose_to_axes<Dim>(x, bits);
+  return x;
+}
+
+/// Morton (Z-order) index: plain bit interleaving, x least significant.
+template <int Dim>
+[[nodiscard]] constexpr std::uint64_t morton_index(
+    const std::array<std::uint32_t, Dim>& coords, int bits) {
+  assert(bits >= 1 && Dim * bits <= 64);
+  std::uint64_t index = 0;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = Dim - 1; i >= 0; --i) {
+      index = (index << 1) |
+              ((coords[static_cast<std::size_t>(i)] >> b) & std::uint32_t{1});
+    }
+  }
+  return index;
+}
+
+}  // namespace amr::sfc

@@ -1,0 +1,50 @@
+#include "sim/density.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace amr::sim {
+
+namespace {
+
+double normal_cdf(double x, double mean, double sigma) {
+  return 0.5 * (1.0 + std::erf((x - mean) / (sigma * std::numbers::sqrt2)));
+}
+
+}  // namespace
+
+double Density::axis_cdf(double x) const {
+  // Draws outside [0,1) are clamped by the generator, so all mass below 0
+  // sits at 0 and all mass above 1 sits just below 1: the in-domain CDF is
+  // simply the raw CDF clamped at the edges.
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  switch (options_.distribution) {
+    case octree::PointDistribution::kUniform:
+      return x;
+    case octree::PointDistribution::kNormal:
+      return normal_cdf(x, options_.normal_mean, options_.normal_sigma);
+    case octree::PointDistribution::kLogNormal: {
+      // Generator: value = lognormal(m, s) * scale with
+      // scale = 1 / (4 e^m); P(value <= x) = Phi((ln(x/scale) - m)/s).
+      const double scale = 1.0 / (4.0 * std::exp(options_.lognormal_m));
+      const double z = (std::log(x / scale) - options_.lognormal_m) / options_.lognormal_s;
+      return 0.5 * (1.0 + std::erf(z / std::numbers::sqrt2));
+    }
+  }
+  return x;
+}
+
+double Density::box_probability(const std::array<double, 3>& lo,
+                                const std::array<double, 3>& hi) const {
+  double probability = 1.0;
+  for (int axis = 0; axis < options_.dim; ++axis) {
+    const double p = axis_cdf(hi[static_cast<std::size_t>(axis)]) -
+                     axis_cdf(lo[static_cast<std::size_t>(axis)]);
+    probability *= std::max(0.0, p);
+  }
+  return probability;
+}
+
+}  // namespace amr::sim

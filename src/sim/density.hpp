@@ -1,0 +1,42 @@
+// Analytic element densities for the cluster simulator.
+//
+// The paper's weak-scaling runs partition up to 262 *billion* elements,
+// which cannot be materialized here. But the element distributions are
+// separable (each coordinate drawn independently: uniform, normal or
+// log-normal, §4.2), so the expected number of elements in any dyadic box
+// is N times a product of three 1D CDF differences. That is all the
+// splitter-selection control flow of TreeSort/OptiPart consumes -- bucket
+// counts per child per level -- so the simulator can run the *exact*
+// algorithm logic at full N and p and charge machine-model costs for each
+// round (see splitter_sim.hpp).
+#pragma once
+
+#include <array>
+
+#include "octree/generate.hpp"
+#include "octree/octant.hpp"
+
+namespace amr::sim {
+
+/// Probability mass of an axis-aligned box under the generator's (clamped)
+/// coordinate distribution.
+class Density {
+ public:
+  explicit Density(const octree::GenerateOptions& options) : options_(options) {}
+
+  /// Probability of a child box given we work in fractions of the unit
+  /// cube: [lo, hi) per axis.
+  [[nodiscard]] double box_probability(const std::array<double, 3>& lo,
+                                       const std::array<double, 3>& hi) const;
+
+  /// 1D CDF of a single coordinate at x in [0, 1], including the clamping
+  /// of out-of-range draws to the domain edges.
+  [[nodiscard]] double axis_cdf(double x) const;
+
+  [[nodiscard]] int dim() const { return options_.dim; }
+
+ private:
+  octree::GenerateOptions options_;
+};
+
+}  // namespace amr::sim

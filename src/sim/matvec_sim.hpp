@@ -1,0 +1,38 @@
+// Matvec-epoch simulation: turns partition quality (per-rank work and the
+// communication matrix) into a bulk-synchronous execution timeline, total
+// runtime, and sampled per-node energy (paper §5.4's 100-matvec jobs).
+//
+// Each iteration: every rank computes (alpha*tc*W_r), a barrier, then the
+// ghost exchange (tw*C_r + ts per message). Iteration time is
+// max(compute) + max(comm) -- the same Wmax/Cmax structure as Eq. 3, kept
+// per-rank so node-level energy differences (Fig. 9) are visible.
+#pragma once
+
+#include "energy/sampler.hpp"
+#include "machine/perf_model.hpp"
+#include "mesh/comm_matrix.hpp"
+#include "partition/metrics.hpp"
+
+namespace amr::sim {
+
+struct MatvecSimConfig {
+  int iterations = 100;
+  energy::SamplerOptions sampler;
+};
+
+struct MatvecSimResult {
+  double total_seconds = 0.0;
+  double compute_seconds = 0.0;  ///< sum over iterations of max compute
+  double comm_seconds = 0.0;     ///< sum over iterations of max comm
+  double total_data_elements = 0.0;  ///< ghost elements moved, all iterations
+  energy::EnergyReport energy;
+};
+
+/// Simulate `iterations` matvecs for a partition with the given per-rank
+/// work (metrics.work) and ghost traffic (comm matrix).
+[[nodiscard]] MatvecSimResult simulate_matvec(const partition::Metrics& metrics,
+                                              const mesh::CommMatrix& comm,
+                                              const machine::PerfModel& model,
+                                              const MatvecSimConfig& config = {});
+
+}  // namespace amr::sim

@@ -1,0 +1,61 @@
+// Cluster-scale simulation of the partitioning algorithms (paper §5.1/5.2).
+//
+// Executes the *control flow* of distributed TreeSort / OptiPart splitter
+// selection -- per-level bucket refinement of every target cut r*N/p --
+// against an analytic density (density.hpp) instead of materialized
+// elements, and charges each phase to the machine model:
+//
+//   local bucketing  : tc * (N/p) * element_bytes per refinement level
+//   splitter rounds  : (ts + tw * k * 8) * log2 p per level (Eq. 2, staged
+//                      splitter count k <= p)
+//   all-to-all       : tw * (N/p) * element_bytes, staged over log p steps
+//
+// The SampleSort baseline (Dendro) is modeled per the analysis cited in
+// §3.1/[34]: comparison local sort (log-factor on the grain), an
+// all-gather of p*(p-1) samples plus their sort, and the same exchange.
+// The p^2 sample term is what OptiPart's bucket-count selection avoids.
+#pragma once
+
+#include <cstdint>
+
+#include "machine/perf_model.hpp"
+#include "octree/generate.hpp"
+#include "sfc/curve.hpp"
+#include "sim/density.hpp"
+
+namespace amr::sim {
+
+struct SimConfig {
+  std::uint64_t n = 1'000'000;  ///< global element count
+  int p = 64;                   ///< ranks
+  int staged_splitters = 0;     ///< Eq. 2's k; 0 means min(p, 4096)
+  double tolerance = 0.0;       ///< stop refining a cut within tol*N/p
+  int max_depth = octree::kMaxDepth;
+  sfc::CurveKind curve = sfc::CurveKind::kHilbert;
+  octree::GenerateOptions distribution;  ///< density parameters
+  double element_bytes = 32.0;  ///< one octant key (x,y,z,level + padding)
+};
+
+struct SimBreakdown {
+  double local_sort = 0.0;
+  double splitter = 0.0;
+  double all2all = 0.0;
+  [[nodiscard]] double total() const { return local_sort + splitter + all2all; }
+};
+
+struct SimResult {
+  int levels_used = 0;
+  SimBreakdown time;
+  double max_deviation_elements = 0.0;  ///< worst |cut - target|
+  double achieved_tolerance = 0.0;      ///< as a fraction of N/p
+};
+
+/// Simulate distributed TreeSort splitter selection + exchange.
+[[nodiscard]] SimResult simulate_treesort(const SimConfig& config,
+                                          const machine::MachineModel& machine);
+
+/// Simulate the SampleSort (Dendro) baseline on the same workload.
+[[nodiscard]] SimResult simulate_samplesort(const SimConfig& config,
+                                            const machine::MachineModel& machine);
+
+}  // namespace amr::sim

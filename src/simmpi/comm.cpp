@@ -1,0 +1,44 @@
+#include "simmpi/comm.hpp"
+
+namespace amr::simmpi {
+
+Context::Context(int size)
+    : slots(static_cast<std::size_t>(size), nullptr),
+      counts(static_cast<std::size_t>(size), 0),
+      ledgers(static_cast<std::size_t>(size)),
+      size_(size) {}
+
+void Context::post(int src, int dst, int tag, std::vector<std::byte> payload) {
+  {
+    std::lock_guard<std::mutex> lock(mail_mutex_);
+    mailboxes_[{src, dst, tag}].push_back(std::move(payload));
+  }
+  mail_cv_.notify_all();
+}
+
+std::vector<std::byte> Context::take(int src, int dst, int tag) {
+  std::unique_lock<std::mutex> lock(mail_mutex_);
+  const std::tuple<int, int, int> channel{src, dst, tag};
+  mail_cv_.wait(lock, [&] {
+    const auto it = mailboxes_.find(channel);
+    return it != mailboxes_.end() && !it->second.empty();
+  });
+  auto& queue = mailboxes_[channel];
+  std::vector<std::byte> payload = std::move(queue.front());
+  queue.pop_front();
+  return payload;
+}
+
+void Context::barrier() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const bool my_sense = sense_;
+  if (++arrived_ == size_) {
+    arrived_ = 0;
+    sense_ = !sense_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return sense_ != my_sense; });
+}
+
+}  // namespace amr::simmpi

@@ -1,0 +1,237 @@
+// simmpi: a thread-backed message-passing substrate.
+//
+// The paper's algorithms are MPI programs; this repository has no cluster,
+// so simmpi provides the MPI subset they need -- barrier, broadcast,
+// (all)reduce, exclusive scan, (all)gather(v), alltoallv -- over
+// std::thread "ranks" sharing a Context. Every rank runs real code on a
+// real thread: the algorithms are exercised with genuine concurrency and
+// their collective traffic is metered into a per-rank CostLedger, which the
+// machine model converts to modeled time on the target interconnect.
+//
+// Collectives follow a publish/barrier/read/barrier discipline: each rank
+// publishes a pointer to its contribution, a sense-reversing barrier
+// establishes happens-before, peers read what they need, and a second
+// barrier releases the slots. That is O(p) work per rank per collective --
+// fine for the p <= 64 thread counts simmpi is used at (the cluster
+// simulator covers large p).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <numeric>
+#include <span>
+#include <tuple>
+#include <vector>
+
+namespace amr::simmpi {
+
+/// Per-rank communication accounting (fed to the machine model).
+struct CostLedger {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t collectives = 0;
+
+  void record(std::uint64_t bytes, std::uint64_t messages) {
+    bytes_sent += bytes;
+    messages_sent += messages;
+    ++collectives;
+  }
+};
+
+/// Shared state of one communicator. Constructed once per run_ranks call.
+class Context {
+ public:
+  explicit Context(int size);
+
+  [[nodiscard]] int size() const { return size_; }
+
+  /// Sense-reversing barrier over all ranks.
+  void barrier();
+
+  /// Publication slots (one per rank) used by the collectives.
+  std::vector<const void*> slots;
+  std::vector<std::size_t> counts;
+  std::vector<CostLedger> ledgers;
+
+  /// Point-to-point mailboxes: FIFO per (src, dst, tag).
+  void post(int src, int dst, int tag, std::vector<std::byte> payload);
+  [[nodiscard]] std::vector<std::byte> take(int src, int dst, int tag);
+
+ private:
+  int size_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  bool sense_ = false;
+
+  std::mutex mail_mutex_;
+  std::condition_variable mail_cv_;
+  std::map<std::tuple<int, int, int>, std::deque<std::vector<std::byte>>> mailboxes_;
+};
+
+enum class ReduceOp { kSum, kMax, kMin };
+
+/// One rank's view of the communicator.
+class Comm {
+ public:
+  Comm(Context& context, int rank) : context_(&context), rank_(rank) {}
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return context_->size(); }
+  [[nodiscard]] CostLedger& ledger() {
+    return context_->ledgers[static_cast<std::size_t>(rank_)];
+  }
+
+  void barrier() { context_->barrier(); }
+
+  /// Broadcast root's `data` (resized on non-roots).
+  template <typename T>
+  void bcast(std::vector<T>& data, int root) {
+    publish(data.data(), data.size());
+    if (rank_ != root) {
+      const auto* src = static_cast<const T*>(context_->slots[static_cast<std::size_t>(root)]);
+      data.assign(src, src + context_->counts[static_cast<std::size_t>(root)]);
+    } else {
+      ledger().record(data.size() * sizeof(T) * static_cast<std::size_t>(size() - 1),
+                      static_cast<std::size_t>(size() - 1));
+    }
+    barrier();
+  }
+
+  /// Element-wise allreduce of equal-length vectors.
+  template <typename T>
+  void allreduce(std::span<const T> in, std::span<T> out, ReduceOp op) {
+    publish(in.data(), in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) out[i] = in[i];
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) continue;
+      const auto* theirs = static_cast<const T*>(context_->slots[static_cast<std::size_t>(r)]);
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        out[i] = combine(out[i], theirs[i], op);
+      }
+    }
+    ledger().record(in.size() * sizeof(T), 1);
+    barrier();
+  }
+
+  template <typename T>
+  [[nodiscard]] T allreduce_one(T value, ReduceOp op) {
+    T out{};
+    allreduce(std::span<const T>(&value, 1), std::span<T>(&out, 1), op);
+    return out;
+  }
+
+  /// Exclusive prefix sum across ranks of a single value.
+  template <typename T>
+  [[nodiscard]] T exscan_sum(T value) {
+    publish(&value, 1);
+    T acc{};
+    for (int r = 0; r < rank_; ++r) {
+      acc += *static_cast<const T*>(context_->slots[static_cast<std::size_t>(r)]);
+    }
+    ledger().record(sizeof(T), 1);
+    barrier();
+    return acc;
+  }
+
+  /// Gather one value from every rank (available on all ranks).
+  template <typename T>
+  [[nodiscard]] std::vector<T> allgather_one(T value) {
+    publish(&value, 1);
+    std::vector<T> out(static_cast<std::size_t>(size()));
+    for (int r = 0; r < size(); ++r) {
+      out[static_cast<std::size_t>(r)] =
+          *static_cast<const T*>(context_->slots[static_cast<std::size_t>(r)]);
+    }
+    ledger().record(sizeof(T), 1);
+    barrier();
+    return out;
+  }
+
+  /// Variable-length allgather.
+  template <typename T>
+  [[nodiscard]] std::vector<T> allgatherv(std::span<const T> mine) {
+    publish(mine.data(), mine.size());
+    std::vector<T> out;
+    for (int r = 0; r < size(); ++r) {
+      const auto* src = static_cast<const T*>(context_->slots[static_cast<std::size_t>(r)]);
+      out.insert(out.end(), src, src + context_->counts[static_cast<std::size_t>(r)]);
+    }
+    ledger().record(mine.size() * sizeof(T), 1);
+    barrier();
+    return out;
+  }
+
+  /// Personalized all-to-all: send[q] goes to rank q; returns recv where
+  /// recv[q] came from rank q.
+  template <typename T>
+  [[nodiscard]] std::vector<std::vector<T>> alltoallv(
+      const std::vector<std::vector<T>>& send) {
+    publish(&send, 1);
+    std::vector<std::vector<T>> recv(static_cast<std::size_t>(size()));
+    for (int r = 0; r < size(); ++r) {
+      const auto* theirs = static_cast<const std::vector<std::vector<T>>*>(
+          context_->slots[static_cast<std::size_t>(r)]);
+      recv[static_cast<std::size_t>(r)] = (*theirs)[static_cast<std::size_t>(rank_)];
+    }
+    std::uint64_t bytes = 0;
+    std::uint64_t messages = 0;
+    for (int q = 0; q < size(); ++q) {
+      if (q == rank_ || send[static_cast<std::size_t>(q)].empty()) continue;
+      bytes += send[static_cast<std::size_t>(q)].size() * sizeof(T);
+      ++messages;
+    }
+    ledger().record(bytes, messages);
+    barrier();
+    return recv;
+  }
+
+  /// Asynchronous tagged point-to-point send (buffered: returns once the
+  /// payload is queued; no rendezvous). T must be trivially copyable.
+  template <typename T>
+  void send(std::span<const T> data, int dst, int tag = 0) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> payload(data.size() * sizeof(T));
+    if (!data.empty()) std::memcpy(payload.data(), data.data(), payload.size());
+    context_->post(rank_, dst, tag, std::move(payload));
+    ledger().record(data.size() * sizeof(T), 1);
+  }
+
+  /// Blocking tagged receive: waits for the next message from `src` with
+  /// `tag` (FIFO per channel, like MPI's non-overtaking rule).
+  template <typename T>
+  [[nodiscard]] std::vector<T> recv(int src, int tag = 0) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::vector<std::byte> payload = context_->take(src, rank_, tag);
+    std::vector<T> data(payload.size() / sizeof(T));
+    if (!data.empty()) std::memcpy(data.data(), payload.data(), payload.size());
+    return data;
+  }
+
+ private:
+  void publish(const void* data, std::size_t count) {
+    context_->slots[static_cast<std::size_t>(rank_)] = data;
+    context_->counts[static_cast<std::size_t>(rank_)] = count;
+    barrier();
+  }
+
+  template <typename T>
+  static T combine(T a, T b, ReduceOp op) {
+    switch (op) {
+      case ReduceOp::kSum: return a + b;
+      case ReduceOp::kMax: return a > b ? a : b;
+      case ReduceOp::kMin: return a < b ? a : b;
+    }
+    return a;
+  }
+
+  Context* context_;
+  int rank_;
+};
+
+}  // namespace amr::simmpi

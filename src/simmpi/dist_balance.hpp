@@ -1,0 +1,42 @@
+// Distributed 2:1 balancing: each rank ripple-refines its own leaves until
+// no leaf anywhere is more than one level coarser than an adjacent leaf --
+// without any rank holding the global tree.
+//
+// Each round: (1) every rank pushes its boundary leaves to the ranks their
+// neighbor regions touch (the dist_mesh shell protocol); (2) violations
+// are marked against the merged local+shell view -- a *remote* fine leaf in
+// the shell can force a local coarse leaf to split, which is exactly how
+// imbalance ripples across rank boundaries; (3) marked local leaves split
+// in curve order; (4) an allreduce counts global marks and the loop runs
+// until a quiet round. Because refinement-only 2:1 balancing has a unique
+// fixpoint (the closure of the input under the balance constraint), the
+// gathered result equals the sequential octree::balance_octree of the
+// gathered input -- which is what the tests assert.
+//
+// Note: ranks keep their original key intervals, so the balanced tree may
+// be load-imbalanced afterwards; re-partitioning after balancing is the
+// normal AMR sequence (see examples/distributed_pipeline).
+#pragma once
+
+#include <vector>
+
+#include "octree/balance.hpp"
+#include "octree/octant.hpp"
+#include "sfc/curve.hpp"
+#include "simmpi/comm.hpp"
+
+namespace amr::simmpi {
+
+struct DistBalanceReport {
+  int rounds = 0;
+  std::size_t local_splits = 0;
+};
+
+/// Balance this rank's piece (a contiguous curve interval of a globally
+/// complete linear octree, delimited by `splitters`). Face balance only,
+/// matching the mesh layer's requirement.
+std::vector<octree::Octant> dist_balance_octree(
+    std::vector<octree::Octant> local, const std::vector<octree::Octant>& splitters,
+    Comm& comm, const sfc::Curve& curve, DistBalanceReport* report = nullptr);
+
+}  // namespace amr::simmpi

@@ -1,0 +1,218 @@
+#include "simmpi/dist_mesh.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "octree/search.hpp"
+#include "partition/partition.hpp"
+
+namespace amr::simmpi {
+
+namespace {
+
+using octree::Octant;
+
+constexpr double kUnit = 1.0 / static_cast<double>(std::uint32_t{1} << octree::kMaxDepth);
+
+}  // namespace
+
+mesh::LocalMesh dist_build_local_mesh(const std::vector<Octant>& local,
+                                      const std::vector<Octant>& splitters,
+                                      Comm& comm, const sfc::Curve& curve,
+                                      DistMeshReport* report) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  const int faces = curve.dim() == 3 ? 6 : 4;
+  DistMeshReport stats;
+
+  mesh::LocalMesh out;
+  out.rank = me;
+  out.elements = local;
+  out.global_begin = comm.exscan_sum<std::uint64_t>(local.size());
+
+  const auto owner_of = [&](const Octant& o) {
+    return partition::owner_by_keys(splitters, o, curve);
+  };
+
+  // --- Round 1: push boundary leaves to every rank whose interval their
+  // face regions touch. ---
+  std::vector<std::vector<Octant>> push(static_cast<std::size_t>(p));
+  {
+    std::vector<std::vector<char>> already(static_cast<std::size_t>(p));
+    for (auto& flags : already) flags.assign(local.size(), 0);
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      for (int face = 0; face < faces; ++face) {
+        Octant region;
+        if (!local[i].face_neighbor(face, region)) continue;
+        // Owners whose SFC interval the region touches: the region's
+        // descendants are contiguous in curve order between its first and
+        // last descendant cells (NOT its geometric corners).
+        const int r_lo = owner_of(curve.first_descendant(region));
+        const int r_hi = owner_of(curve.last_descendant(region));
+        for (int q = r_lo; q <= r_hi; ++q) {
+          if (q == me || already[static_cast<std::size_t>(q)][i] != 0) continue;
+          already[static_cast<std::size_t>(q)][i] = 1;
+          push[static_cast<std::size_t>(q)].push_back(local[i]);
+          ++stats.candidates_sent;
+        }
+      }
+    }
+  }
+  const auto candidates = comm.alltoallv(push);
+
+  // Merged local + shell, sorted: the search structure for ghost
+  // filtering and face enumeration near the rank boundary.
+  std::vector<Octant> merged = local;
+  for (const auto& from_peer : candidates) {
+    stats.candidates_received += from_peer.size();
+    merged.insert(merged.end(), from_peer.begin(), from_peer.end());
+  }
+  std::sort(merged.begin(), merged.end(), curve.comparator());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+
+  // --- Filter: a shell octant is a ghost iff it is face-adjacent to one
+  // of our leaves. Also collect the faces while we are at it. ---
+  const auto is_local = [&](const Octant& o) { return owner_of(o) == me; };
+  std::vector<Octant> ghost_keys;
+  std::vector<std::pair<std::size_t, Octant>> ghost_faces;  // (local idx, ghost key)
+  std::vector<std::pair<std::size_t, std::size_t>> local_faces;  // local idx pairs
+  {
+    std::vector<std::size_t> neighbors;
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      const std::size_t mi = static_cast<std::size_t>(
+          std::lower_bound(merged.begin(), merged.end(), local[i],
+                           curve.comparator()) -
+          merged.begin());
+      assert(merged[mi] == local[i]);
+      for (int face = 0; face < faces; ++face) {
+        Octant region;
+        if (!local[i].face_neighbor(face, region)) {
+          out.boundary_faces.push_back(
+              {static_cast<std::uint32_t>(i),
+               local[i].face_area(curve.dim()) *
+                   (curve.dim() == 3 ? kUnit * kUnit : kUnit),
+               0.5 * static_cast<double>(local[i].size()) * kUnit});
+          continue;
+        }
+        neighbors.clear();
+        octree::face_neighbor_leaves(merged, curve, mi, face, neighbors);
+        for (const std::size_t mj : neighbors) {
+          const Octant& nb = merged[mj];
+          if (is_local(nb)) {
+            // Store each owned-owned face once (from the curve-lower side).
+            if (curve.compare(local[i], nb) < 0) {
+              const std::size_t j = static_cast<std::size_t>(
+                  std::lower_bound(local.begin(), local.end(), nb,
+                                   curve.comparator()) -
+                  local.begin());
+              local_faces.emplace_back(i, j);
+            }
+          } else {
+            ghost_faces.emplace_back(i, nb);
+            ghost_keys.push_back(nb);
+          }
+        }
+      }
+    }
+  }
+  std::sort(ghost_keys.begin(), ghost_keys.end(), curve.comparator());
+  ghost_keys.erase(std::unique(ghost_keys.begin(), ghost_keys.end()),
+                   ghost_keys.end());
+  stats.ghosts_kept = ghost_keys.size();
+
+  // Ghost bookkeeping: slots in curve order, grouped channels.
+  out.ghosts = ghost_keys;
+  out.ghost_owner.resize(ghost_keys.size());
+  out.ghost_global.assign(ghost_keys.size(), 0);
+  std::vector<std::vector<Octant>> keep(static_cast<std::size_t>(p));
+  for (std::size_t g = 0; g < ghost_keys.size(); ++g) {
+    const int owner = owner_of(ghost_keys[g]);
+    out.ghost_owner[g] = owner;
+    keep[static_cast<std::size_t>(owner)].push_back(ghost_keys[g]);
+  }
+  // recv channels: peers ascending; slots of that owner's ghosts in curve
+  // order (ghost_keys is already curve-sorted, so a linear pass groups
+  // them in order).
+  for (int q = 0; q < p; ++q) {
+    if (q == me || keep[static_cast<std::size_t>(q)].empty()) continue;
+    out.peers.push_back(q);
+    out.recv_lists.emplace_back();
+    out.send_lists.emplace_back();
+    auto& slots = out.recv_lists.back();
+    for (std::size_t g = 0; g < ghost_keys.size(); ++g) {
+      if (out.ghost_owner[g] == q) slots.push_back(static_cast<std::uint32_t>(g));
+    }
+  }
+
+  // --- Round 2: echo kept keys to their owners; owners reply with their
+  // global indices and assemble send lists. ---
+  const auto requests = comm.alltoallv(keep);
+  std::vector<std::vector<std::uint64_t>> reply(static_cast<std::size_t>(p));
+  std::vector<std::vector<std::uint32_t>> send_for(static_cast<std::size_t>(p));
+  for (int q = 0; q < p; ++q) {
+    for (const Octant& wanted : requests[static_cast<std::size_t>(q)]) {
+      const auto it = std::lower_bound(local.begin(), local.end(), wanted,
+                                       curve.comparator());
+      assert(it != local.end() && *it == wanted);
+      const auto idx = static_cast<std::uint32_t>(it - local.begin());
+      send_for[static_cast<std::size_t>(q)].push_back(idx);
+      reply[static_cast<std::size_t>(q)].push_back(out.global_begin + idx);
+    }
+  }
+  const auto global_ids = comm.alltoallv(reply);
+
+  // Attach send lists to channels (add channels for pure-send peers).
+  for (int q = 0; q < p; ++q) {
+    if (send_for[static_cast<std::size_t>(q)].empty()) continue;
+    const auto it = std::lower_bound(out.peers.begin(), out.peers.end(), q);
+    std::size_t k;
+    if (it != out.peers.end() && *it == q) {
+      k = static_cast<std::size_t>(it - out.peers.begin());
+    } else {
+      k = static_cast<std::size_t>(it - out.peers.begin());
+      out.peers.insert(it, q);
+      out.send_lists.emplace(out.send_lists.begin() + static_cast<std::ptrdiff_t>(k));
+      out.recv_lists.emplace(out.recv_lists.begin() + static_cast<std::ptrdiff_t>(k));
+    }
+    out.send_lists[k] = std::move(send_for[static_cast<std::size_t>(q)]);
+  }
+
+  // Fill ghost_global from the owners' replies (same per-channel order).
+  for (std::size_t k = 0; k < out.peers.size(); ++k) {
+    const auto& ids = global_ids[static_cast<std::size_t>(out.peers[k])];
+    assert(ids.size() == out.recv_lists[k].size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      out.ghost_global[out.recv_lists[k][i]] = static_cast<std::size_t>(ids[i]);
+    }
+  }
+
+  // --- Faces with proper areas/distances. ---
+  const auto slot_of = [&](const Octant& key) {
+    const auto it = std::lower_bound(out.ghosts.begin(), out.ghosts.end(), key,
+                                     curve.comparator());
+    assert(it != out.ghosts.end() && *it == key);
+    return static_cast<std::uint32_t>(it - out.ghosts.begin());
+  };
+  for (const auto& [i, j] : local_faces) {
+    out.faces.push_back({static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j),
+                         false,
+                         octree::shared_face_area(local[i], local[j], curve.dim()) *
+                             (curve.dim() == 3 ? kUnit * kUnit : kUnit),
+                         0.5 * (static_cast<double>(local[i].size()) +
+                                static_cast<double>(local[j].size())) *
+                             kUnit});
+  }
+  for (const auto& [i, key] : ghost_faces) {
+    out.faces.push_back({static_cast<std::uint32_t>(i), slot_of(key), true,
+                         octree::shared_face_area(local[i], key, curve.dim()) *
+                             (curve.dim() == 3 ? kUnit * kUnit : kUnit),
+                         0.5 * (static_cast<double>(local[i].size()) +
+                                static_cast<double>(key.size())) *
+                             kUnit});
+  }
+
+  if (report != nullptr) *report = stats;
+  return out;
+}
+
+}  // namespace amr::simmpi

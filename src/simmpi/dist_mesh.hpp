@@ -1,0 +1,45 @@
+// Distributed mesh construction: every rank builds its LocalMesh from its
+// own contiguous SFC range plus the agreed splitter keys -- no rank ever
+// sees the global tree (unlike mesh::build_local_meshes, which is the
+// sequential engine's shortcut). This is how Dendro-class AMR frameworks
+// actually operate, and the shape of §5.5's ghost/halo construction.
+//
+// Protocol (two message rounds over simmpi):
+//  1. Boundary push: every rank scans its leaves; a leaf whose same-level
+//     face region extends beyond the rank's key interval is sent to every
+//     rank whose interval that region touches (the owner span of the
+//     region's extreme descendants -- contiguous in rank space). Both
+//     sides push, so each rank receives a superset of its ghost layer.
+//  2. Keep-list reply: the receiver keeps exactly the candidates that are
+//     face-adjacent to one of its own leaves (checked against the merged
+//     local+shell tree) and echoes the kept keys to their owners, from
+//     which the owners assemble their send lists.
+//
+// Channels are ordered by octant key on both sides, so payloads exchange
+// positionally, exactly like the mesh:: construction orders by global
+// index. The result is verified in the tests to match the sequential
+// engine's LocalMesh element-for-element, face-for-face.
+#pragma once
+
+#include <vector>
+
+#include "mesh/mesh.hpp"
+#include "simmpi/comm.hpp"
+
+namespace amr::simmpi {
+
+struct DistMeshReport {
+  std::size_t candidates_sent = 0;
+  std::size_t candidates_received = 0;
+  std::size_t ghosts_kept = 0;
+};
+
+/// Build this rank's LocalMesh from its local (sorted, contiguous) element
+/// range and the splitter keys all ranks agreed on (e.g. from
+/// dist_treesort's report). `local` must be exactly the rank's range.
+mesh::LocalMesh dist_build_local_mesh(const std::vector<octree::Octant>& local,
+                                      const std::vector<octree::Octant>& splitters,
+                                      Comm& comm, const sfc::Curve& curve,
+                                      DistMeshReport* report = nullptr);
+
+}  // namespace amr::simmpi

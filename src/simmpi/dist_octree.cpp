@@ -1,0 +1,136 @@
+#include "simmpi/dist_octree.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "partition/partition.hpp"
+#include "simmpi/dist_treesort.hpp"
+
+namespace amr::simmpi {
+
+namespace {
+
+using octree::Octant;
+
+// Where a box sits relative to this rank's key interval [lo, hi)
+// (hi == nullptr for the last rank).
+enum class Overlap { kOutside, kInside, kStraddling };
+
+class RangeBuilder {
+ public:
+  RangeBuilder(const sfc::Curve& curve, const DistOctreeOptions& options,
+               const Octant& lo_key, const Octant* hi_key)
+      : curve_(curve), options_(options), lo_key_(lo_key), hi_key_(hi_key) {}
+
+  std::vector<Octant> build(std::vector<Octant>& cells) {
+    scratch_.resize(cells.size());
+    leaves_.clear();
+    descend(octree::root_octant(), std::span<Octant>(cells), 1, 0);
+    return std::move(leaves_);
+  }
+
+ private:
+  [[nodiscard]] Overlap classify(const Octant& box) const {
+    // The box's SFC interval is [first_descendant, last_descendant]; the
+    // rank owns [lo_key, hi_key) (hi_key == nullptr: unbounded above).
+    const Octant first = curve_.first_descendant(box);
+    const Octant last = curve_.last_descendant(box);
+    if (curve_.compare(last, lo_key_) < 0) return Overlap::kOutside;  // before
+    if (hi_key_ != nullptr && curve_.compare(first, *hi_key_) >= 0) {
+      return Overlap::kOutside;  // after
+    }
+    const bool starts_inside = curve_.compare(first, lo_key_) >= 0;
+    const bool ends_inside =
+        hi_key_ == nullptr || curve_.compare(last, *hi_key_) < 0;
+    return starts_inside && ends_inside ? Overlap::kInside : Overlap::kStraddling;
+  }
+
+  void descend(const Octant& box, std::span<Octant> cells, int depth, int state) {
+    const Overlap overlap = classify(box);
+    if (overlap == Overlap::kOutside) return;
+    const bool must_split = overlap == Overlap::kStraddling;
+    if (!must_split && (cells.size() <= options_.max_points_per_leaf ||
+                        static_cast<int>(box.level) >= options_.max_level)) {
+      leaves_.push_back(box);
+      return;
+    }
+    if (static_cast<int>(box.level) >= octree::kMaxDepth) {
+      // Cannot split further; the splitters are cell-granular, so a
+      // max-depth cell is never straddling -- emit defensively.
+      leaves_.push_back(box);
+      return;
+    }
+
+    // Bucket the cells by child in visit order (same as the sequential
+    // builder in octree/generate.cpp).
+    const int children = curve_.num_children();
+    std::array<std::size_t, 8> counts{};
+    for (const Octant& cell : cells) {
+      counts[static_cast<std::size_t>(cell.child_number(depth, curve_.dim()))]++;
+    }
+    std::array<std::size_t, 8> start{};
+    std::size_t running = 0;
+    for (int j = 0; j < children; ++j) {
+      const int c = curve_.child_at(state, j);
+      start[static_cast<std::size_t>(c)] = running;
+      running += counts[static_cast<std::size_t>(c)];
+    }
+    auto cursor = start;
+    auto scratch = std::span<Octant>(scratch_).first(cells.size());
+    for (const Octant& cell : cells) {
+      scratch[cursor[static_cast<std::size_t>(cell.child_number(depth, curve_.dim()))]++] =
+          cell;
+    }
+    std::copy(scratch.begin(), scratch.end(), cells.begin());
+
+    for (int j = 0; j < children; ++j) {
+      const int c = curve_.child_at(state, j);
+      descend(box.child(c, curve_.dim()),
+              cells.subspan(start[static_cast<std::size_t>(c)],
+                            counts[static_cast<std::size_t>(c)]),
+              depth + 1, curve_.next_state(state, c));
+    }
+  }
+
+  const sfc::Curve& curve_;
+  const DistOctreeOptions& options_;
+  Octant lo_key_;
+  const Octant* hi_key_;
+  std::vector<Octant> scratch_;
+  std::vector<Octant> leaves_;
+};
+
+}  // namespace
+
+DistOctreeResult dist_points_to_octree(std::vector<std::array<std::uint32_t, 3>> points,
+                                       Comm& comm, const sfc::Curve& curve,
+                                       const DistOctreeOptions& options) {
+  // 1: distribute the point cells by SFC order.
+  std::vector<Octant> cells;
+  cells.reserve(points.size());
+  for (const auto& point : points) {
+    cells.push_back(octree::octant_from_point(point[0], point[1], point[2],
+                                              octree::kMaxDepth));
+  }
+  points.clear();
+  points.shrink_to_fit();
+
+  DistSortOptions sort_options;
+  sort_options.tolerance = options.tolerance;
+  const DistSortReport sorted = dist_treesort(cells, comm, curve, sort_options);
+
+  // 2: range-restricted top-down construction.
+  DistOctreeResult result;
+  result.splitters = sorted.splitters;
+  result.local_points = cells.size();
+  const int me = comm.rank();
+  const Octant lo_key = sorted.splitters[static_cast<std::size_t>(me)];
+  const Octant* hi_key = me + 1 < comm.size()
+                             ? &sorted.splitters[static_cast<std::size_t>(me) + 1]
+                             : nullptr;
+  RangeBuilder builder(curve, options, lo_key, hi_key);
+  result.leaves = builder.build(cells);
+  return result;
+}
+
+}  // namespace amr::simmpi

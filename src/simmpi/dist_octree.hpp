@@ -1,0 +1,49 @@
+// Distributed octree construction from distributed points (the
+// points-to-octree step of Dendro-class pipelines, paper §4.2 at cluster
+// scale): no rank ever holds all points or the whole tree.
+//
+//  1. Points become max-depth cells and are partitioned by distributed
+//     TreeSort (with an optional load tolerance -- the paper's flexible
+//     partitioning applies from the very first step of the pipeline).
+//  2. Each rank runs the usual top-down construction over its own point
+//     range, but restricted to its SFC interval: a box fully inside the
+//     interval splits by point count as usual; a box straddling an
+//     interval edge is always split (recursively, until its pieces are
+//     fully owned); boxes outside are skipped. Interval tests use the
+//     curve's first/last descendants against the agreed splitter keys.
+//
+// The concatenation of all ranks' leaves is a complete linear octree of
+// the whole domain (verified in the tests), and each rank's piece is a
+// contiguous curve interval ready for dist_build_local_mesh.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "octree/generate.hpp"
+#include "octree/octant.hpp"
+#include "sfc/curve.hpp"
+#include "simmpi/comm.hpp"
+
+namespace amr::simmpi {
+
+struct DistOctreeOptions {
+  std::size_t max_points_per_leaf = 1;
+  int max_level = 18;
+  /// Load tolerance of the underlying distributed TreeSort.
+  double tolerance = 0.0;
+};
+
+struct DistOctreeResult {
+  std::vector<octree::Octant> leaves;     ///< this rank's contiguous piece
+  std::vector<octree::Octant> splitters;  ///< agreed rank interval keys
+  std::size_t local_points = 0;           ///< points after redistribution
+};
+
+/// Build this rank's piece of the global adaptive octree from its local
+/// point set (quantized finest-grid coordinates).
+DistOctreeResult dist_points_to_octree(
+    std::vector<std::array<std::uint32_t, 3>> points, Comm& comm,
+    const sfc::Curve& curve, const DistOctreeOptions& options = {});
+
+}  // namespace amr::simmpi

@@ -1,0 +1,71 @@
+#include "simmpi/dist_samplesort.hpp"
+
+#include <algorithm>
+
+#include "octree/treesort.hpp"
+#include "util/timer.hpp"
+
+namespace amr::simmpi {
+
+SampleSortReport dist_samplesort(std::vector<octree::Octant>& local, Comm& comm,
+                                 const sfc::Curve& curve) {
+  SampleSortReport report;
+  const int p = comm.size();
+
+  util::Timer timer;
+  std::sort(local.begin(), local.end(), curve.comparator());
+  report.local_sort_seconds = timer.seconds();
+
+  timer.reset();
+  report.global_elements = comm.allreduce_one<std::uint64_t>(local.size(), ReduceOp::kSum);
+
+  // p-1 equally spaced local samples; gathered everywhere.
+  std::vector<octree::Octant> samples;
+  if (!local.empty()) {
+    for (int s = 1; s < p; ++s) {
+      samples.push_back(
+          local[static_cast<std::size_t>(static_cast<unsigned __int128>(local.size()) *
+                                         static_cast<unsigned>(s) /
+                                         static_cast<unsigned>(p))]);
+    }
+  }
+  std::vector<octree::Octant> all_samples = comm.allgatherv<octree::Octant>(samples);
+  std::sort(all_samples.begin(), all_samples.end(), curve.comparator());
+
+  std::vector<octree::Octant> splitters;
+  if (!all_samples.empty()) {
+    for (int s = 1; s < p; ++s) {
+      splitters.push_back(
+          all_samples[static_cast<std::size_t>(
+              static_cast<unsigned __int128>(all_samples.size()) *
+              static_cast<unsigned>(s) / static_cast<unsigned>(p))]);
+    }
+  }
+  report.splitter_seconds = timer.seconds();
+
+  timer.reset();
+  std::vector<std::vector<octree::Octant>> send(static_cast<std::size_t>(p));
+  for (const octree::Octant& o : local) {
+    // Destination: number of splitters <= o.
+    const auto it = std::upper_bound(splitters.begin(), splitters.end(), o,
+                                     [&](const octree::Octant& probe,
+                                         const octree::Octant& key) {
+                                       return curve.compare(probe, key) < 0;
+                                     });
+    send[static_cast<std::size_t>(it - splitters.begin())].push_back(o);
+  }
+  auto recv = comm.alltoallv(send);
+  local.clear();
+  for (auto& part : recv) {
+    local.insert(local.end(), part.begin(), part.end());
+  }
+  report.exchange_seconds = timer.seconds();
+
+  timer.reset();
+  octree::tree_sort(local, curve);
+  report.local_sort_seconds += timer.seconds();
+  report.local_elements = local.size();
+  return report;
+}
+
+}  // namespace amr::simmpi

@@ -1,0 +1,31 @@
+// The baseline the paper compares against (§5.2): SFC partitioning via
+// parallel SampleSort with Morton/Hilbert ordering, as implemented in
+// Dendro [36]. Every rank sorts locally, contributes p-1 equally spaced
+// sample keys, the gathered samples are sorted and p-1 global splitters
+// picked, and an Alltoallv redistributes the elements. Comparison-based
+// splitter selection is the structural difference from TreeSort's
+// bucket-count selection; the partition it converges to is the ideal
+// equal split (no communication-awareness).
+#pragma once
+
+#include <vector>
+
+#include "octree/octant.hpp"
+#include "sfc/curve.hpp"
+#include "simmpi/comm.hpp"
+
+namespace amr::simmpi {
+
+struct SampleSortReport {
+  std::size_t global_elements = 0;
+  std::size_t local_elements = 0;
+  double local_sort_seconds = 0.0;
+  double splitter_seconds = 0.0;
+  double exchange_seconds = 0.0;
+};
+
+/// Sort/partition the distributed array by sample-based splitter selection.
+SampleSortReport dist_samplesort(std::vector<octree::Octant>& local, Comm& comm,
+                                 const sfc::Curve& curve);
+
+}  // namespace amr::simmpi

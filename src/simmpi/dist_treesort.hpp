@@ -1,0 +1,77 @@
+// Distributed TreeSort and distributed OptiPart over simmpi (paper §3.1,
+// §3.4, Algorithms 2 & 3).
+//
+// The splitter selection proceeds breadth-first: every rank buckets its
+// local (pre-sorted) elements at the current refinement depth, a single
+// allreduce yields the global bucket counts, and every rank -- running the
+// identical deterministic update -- advances each target cut r*N/p into
+// the bucket containing it, keeping the closest bucket boundary seen so
+// far as the candidate splitter. No comparisons cross ranks: ranks agree
+// on the splitters because they agree on the global counts (the property
+// that distinguishes TreeSort from SampleSort/HykSort, §3.1).
+//
+//  * dist_treesort: refine until every cut is within tolerance * N/p
+//    (tolerance 0 = fully load-balanced distributed sort).
+//  * dist_optipart: refine level-synchronously, evaluate PartitionQuality
+//    (Alg. 2) after each round from the same reduction, and stop when the
+//    model Tp = alpha*tc*Wmax + tw*Cmax predicts the next refinement to be
+//    slower.
+//
+// Both finish with the Alltoallv element exchange and a local TreeSort.
+#pragma once
+
+#include <vector>
+
+#include "machine/perf_model.hpp"
+#include "octree/octant.hpp"
+#include "sfc/curve.hpp"
+#include "simmpi/comm.hpp"
+
+namespace amr::simmpi {
+
+struct DistSortOptions {
+  double tolerance = 0.0;
+  int max_depth = octree::kMaxDepth;
+  /// Staged splitter cap k <= p (paper §3.1, Eq. 2): at most this many
+  /// splitter targets are refined per reduction round, bounding both the
+  /// auxiliary storage and each reduction's payload at the cost of more
+  /// rounds. 0 means no cap (Eq. 1 behavior). The resulting splitters are
+  /// identical; only the collective schedule changes.
+  int max_splitters_per_round = 0;
+};
+
+struct DistSortReport {
+  int levels_used = 0;
+  std::size_t global_elements = 0;
+  std::size_t local_elements = 0;  ///< after the exchange
+  double local_sort_seconds = 0.0;
+  double splitter_seconds = 0.0;
+  double exchange_seconds = 0.0;
+  /// Splitter keys agreed on (index r = first octant of rank r).
+  std::vector<octree::Octant> splitters;
+};
+
+/// Distributed TreeSort: on return `local` holds this rank's contiguous
+/// SFC range of the global array.
+DistSortReport dist_treesort(std::vector<octree::Octant>& local, Comm& comm,
+                             const sfc::Curve& curve,
+                             const DistSortOptions& options = {});
+
+/// Distributed OptiPart (Alg. 3). Quality rounds are recorded in the
+/// report of the bench that needs them via the returned trace.
+struct DistOptiPartTrace {
+  struct Round {
+    int depth = 0;
+    double w_max = 0.0;
+    double c_max = 0.0;
+    double predicted_time = 0.0;
+  };
+  std::vector<Round> rounds;
+};
+
+DistSortReport dist_optipart(std::vector<octree::Octant>& local, Comm& comm,
+                             const sfc::Curve& curve, const machine::PerfModel& model,
+                             int max_depth = octree::kMaxDepth,
+                             DistOptiPartTrace* trace = nullptr);
+
+}  // namespace amr::simmpi

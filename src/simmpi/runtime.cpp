@@ -1,0 +1,35 @@
+#include "simmpi/runtime.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+#include "util/log.hpp"
+
+namespace amr::simmpi {
+
+RunResult run_ranks(int num_ranks, const std::function<void(Comm&)>& body) {
+  if (num_ranks < 1) throw std::invalid_argument("run_ranks: num_ranks must be >= 1");
+
+  Context context(num_ranks);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_ranks));
+
+  for (int r = 0; r < num_ranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(context, r);
+      try {
+        body(comm);
+      } catch (const std::exception& e) {
+        // A throwing rank cannot keep its collective schedule, and peers
+        // would deadlock in the next barrier -- mirror MPI's abort-on-error
+        // semantics and take the process down loudly.
+        AMR_LOG_ERROR << "rank " << r << " aborted: " << e.what();
+        std::terminate();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return RunResult{context.ledgers};
+}
+
+}  // namespace amr::simmpi

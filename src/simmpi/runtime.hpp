@@ -1,0 +1,21 @@
+// Launches a cohort of simmpi ranks on real threads and joins them,
+// propagating the first exception any rank throws.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "simmpi/comm.hpp"
+
+namespace amr::simmpi {
+
+struct RunResult {
+  std::vector<CostLedger> ledgers;  ///< per-rank traffic accounting
+};
+
+/// Run `body(comm)` on `num_ranks` threads sharing one communicator.
+/// Blocks until every rank returns. Exceptions from rank bodies are
+/// rethrown (the first one, by rank order).
+RunResult run_ranks(int num_ranks, const std::function<void(Comm&)>& body);
+
+}  // namespace amr::simmpi

@@ -1,0 +1,38 @@
+// Tiny command-line argument parser for the benches and examples.
+//
+// Supports `--key=value`, `--key value` and boolean `--flag` forms. Every
+// bench accepts overrides (element count, rank count, seed, csv output) so
+// the paper's full-scale parameters can be requested explicitly while the
+// defaults stay laptop-sized.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace amr::util {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key, std::string fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Positional (non --key) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Name of the program (argv[0]).
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace amr::util

@@ -1,0 +1,53 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace amr::util {
+
+namespace {
+
+LogLevel initial_threshold() {
+  const char* env = std::getenv("AMR_LOG");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel>& threshold_storage() {
+  static std::atomic<LogLevel> threshold{initial_threshold()};
+  return threshold;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_threshold() noexcept { return threshold_storage().load(); }
+
+void set_log_threshold(LogLevel level) noexcept { threshold_storage().store(level); }
+
+void log_line(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(log_threshold())) return;
+  std::string line = "[";
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += "\n";
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace amr::util

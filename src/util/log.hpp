@@ -1,0 +1,49 @@
+// Minimal leveled logging for the library and the benchmark harnesses.
+//
+// The benches print machine-readable rows on stdout; diagnostics go to
+// stderr through this logger so the two streams never mix.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace amr::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Defaults to kInfo and
+/// can be overridden with the AMR_LOG environment variable
+/// (debug|info|warn|error).
+LogLevel log_threshold() noexcept;
+void set_log_threshold(LogLevel level) noexcept;
+
+/// Emit one formatted line ("[level] message") to stderr. Thread-safe:
+/// the line is assembled first and written with a single call.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace amr::util
+
+#define AMR_LOG_DEBUG ::amr::util::detail::LogStream(::amr::util::LogLevel::kDebug)
+#define AMR_LOG_INFO ::amr::util::detail::LogStream(::amr::util::LogLevel::kInfo)
+#define AMR_LOG_WARN ::amr::util::detail::LogStream(::amr::util::LogLevel::kWarn)
+#define AMR_LOG_ERROR ::amr::util::detail::LogStream(::amr::util::LogLevel::kError)

@@ -1,0 +1,30 @@
+// Deterministic random-number helpers.
+//
+// Every stochastic component in the library (octree generation, sampler
+// noise, workload jitter) takes an explicit seed so experiments are
+// reproducible run-to-run, matching the paper's use of the standard C++11
+// generators (§4.2).
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace amr::util {
+
+using Rng = std::mt19937_64;
+
+/// Derive an independent child seed from a parent seed and a stream index.
+/// SplitMix64 finalizer: good avalanche, cheap, and stable across platforms.
+[[nodiscard]] constexpr std::uint64_t split_seed(std::uint64_t seed,
+                                                 std::uint64_t stream) noexcept {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+[[nodiscard]] inline Rng make_rng(std::uint64_t seed, std::uint64_t stream = 0) {
+  return Rng(split_seed(seed, stream));
+}
+
+}  // namespace amr::util

@@ -1,0 +1,43 @@
+// Small statistics helpers shared by the partition-quality metrics, the
+// energy sampler and the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace amr::util {
+
+/// Summary of a sample: min/max/mean/stddev and simple quantiles.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;
+};
+
+/// Compute a Summary over `values`. Empty input yields a zeroed Summary.
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// max/min ratio used for the paper's imbalance metrics
+/// (lambda = max(W_r)/min(W_r), and the analogous communication imbalance).
+/// Returns 1.0 for empty input; if the minimum is zero the ratio is computed
+/// against the smallest positive value (and +inf if all values are zero-free
+/// impossible) to keep plots finite the way the paper's figures are.
+[[nodiscard]] double max_min_ratio(std::span<const double> values);
+
+/// Pearson correlation coefficient; returns 0 when either side is constant.
+[[nodiscard]] double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Linear interpolation of y(x) over a sampled piecewise-linear curve.
+/// xs must be strictly increasing; x outside the range clamps to the ends.
+[[nodiscard]] double lerp_curve(std::span<const double> xs, std::span<const double> ys,
+                                double x);
+
+/// Trapezoidal integral of y over x (used for energy = integral of power).
+[[nodiscard]] double trapezoid(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace amr::util

@@ -1,0 +1,99 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace amr::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+std::string Table::fmt_int(long long value) { return std::to_string(value); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << cells[c];
+      os << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = headers_.empty() ? 0 : 2 * (headers_.size() - 1);
+  for (std::size_t w : widths) total += w;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+namespace {
+std::string csv_cell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) os << ',';
+      os << csv_cell(cells[c]);
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::print(const std::string& caption) const {
+  std::string out;
+  if (!caption.empty()) out = caption + "\n";
+  out += to_string();
+  out += "\n";
+  std::fwrite(out.data(), 1, out.size(), stdout);
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    AMR_LOG_WARN << "could not open " << path << " for writing";
+    return false;
+  }
+  file << to_csv();
+  return static_cast<bool>(file);
+}
+
+}  // namespace amr::util

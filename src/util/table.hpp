@@ -1,0 +1,48 @@
+// Plain-text table and CSV emission for the benchmark harnesses.
+//
+// Every figure-reproduction bench prints one aligned table to stdout (the
+// rows the paper plots) and can optionally mirror it to a CSV file so the
+// series can be re-plotted.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace amr::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; missing cells are padded with "", extra cells dropped.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double value, int precision = 4);
+  static std::string fmt_int(long long value);
+
+  /// Render as an aligned ASCII table.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render as CSV (RFC-4180-ish: cells containing comma/quote are quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Print to stdout with an optional caption line before the table.
+  void print(const std::string& caption = "") const;
+
+  /// Write the CSV form to `path`; returns false (and logs) on failure.
+  bool write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const { return headers_; }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const {
+    return rows_[i];
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace amr::util

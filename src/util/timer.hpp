@@ -1,0 +1,32 @@
+// Wall-clock timing helpers used by benches and by the model calibration
+// step (measuring local sort / matvec throughput on the host machine).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace amr::util {
+
+/// Simple monotonic stopwatch. Constructed running.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] std::int64_t nanoseconds() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace amr::util

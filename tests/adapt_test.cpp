@@ -1,0 +1,133 @@
+// Mesh adaptation tests: refinement/coarsening preserve the complete/
+// linear/sorted invariants, round-trip correctly, and coarse-to-fine
+// range mapping is exact.
+#include <gtest/gtest.h>
+
+#include "octree/adapt.hpp"
+#include "octree/generate.hpp"
+#include "octree/treesort.hpp"
+
+namespace amr::octree {
+namespace {
+
+using sfc::Curve;
+using sfc::CurveKind;
+
+std::vector<Octant> make_tree(CurveKind kind, std::size_t points, std::uint64_t seed) {
+  const Curve curve(kind, 3);
+  GenerateOptions options;
+  options.seed = seed;
+  options.max_level = 8;
+  options.distribution = PointDistribution::kNormal;
+  return random_octree(points, curve, options);
+}
+
+class AdaptTest : public ::testing::TestWithParam<CurveKind> {};
+
+TEST_P(AdaptTest, RefineAllSplitsEveryLeaf) {
+  const Curve curve(GetParam(), 3);
+  const auto tree = uniform_octree(2, curve);
+  const auto refined = refine_octree(tree, curve, [](const Octant&) { return true; });
+  EXPECT_EQ(refined.size(), tree.size() * 8);
+  EXPECT_TRUE(is_complete(refined, curve));
+  EXPECT_TRUE(is_sfc_sorted(refined, curve));
+}
+
+TEST_P(AdaptTest, RefinePredicatePreservesInvariants) {
+  const Curve curve(GetParam(), 3);
+  const auto tree = make_tree(GetParam(), 3000, 3);
+  const auto refined = refine_octree(tree, curve, [](const Octant& o) {
+    const auto a = o.anchor_unit();
+    return a[0] < 0.5 && o.level < 9;  // refine one half-space
+  });
+  EXPECT_GT(refined.size(), tree.size());
+  EXPECT_TRUE(is_complete(refined, curve));
+  EXPECT_TRUE(is_linear(refined, curve));
+}
+
+TEST_P(AdaptTest, CoarsenUndoesUniformRefine) {
+  const Curve curve(GetParam(), 3);
+  const auto tree = make_tree(GetParam(), 2000, 7);
+  const auto refined = refine_octree(tree, curve, [](const Octant&) { return true; });
+  const auto coarsened =
+      coarsen_octree_if(refined, curve, [](const Octant&) { return true; });
+  EXPECT_EQ(coarsened, tree);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothCurves, AdaptTest,
+                         ::testing::Values(CurveKind::kMorton, CurveKind::kHilbert),
+                         [](const auto& info) { return sfc::to_string(info.param); });
+
+TEST(Adapt, RefineRespectsMaxDepth) {
+  const Curve curve(CurveKind::kMorton, 3);
+  std::vector<Octant> tree{root_octant()};
+  for (int i = 0; i < kMaxDepth + 5; ++i) {
+    tree = refine_octree(tree, curve, [](const Octant& o) {
+      return o.x == 0 && o.y == 0 && o.z == 0;  // refine the origin chain
+    });
+  }
+  for (const Octant& o : tree) EXPECT_LE(static_cast<int>(o.level), kMaxDepth);
+  EXPECT_TRUE(is_complete(tree, curve));
+}
+
+TEST(Adapt, CoarsenPredicateOnlyMergesWhereAllowed) {
+  const Curve curve(CurveKind::kMorton, 3);
+  const auto tree = uniform_octree(2, curve);  // 64 level-2 leaves
+  // Allow coarsening only in the z < 1/2 half.
+  const auto coarsened = coarsen_octree_if(tree, curve, [](const Octant& parent) {
+    return parent.z < (1U << (kMaxDepth - 1));
+  });
+  // 32 lower leaves merge into 4 parents; 32 upper leaves survive.
+  EXPECT_EQ(coarsened.size(), 4U + 32U);
+  EXPECT_TRUE(is_complete(coarsened, curve));
+}
+
+TEST(Adapt, CoarsenLevelsConvergesToRoot) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = uniform_octree(3, curve);
+  const auto once = coarsen_octree(tree, curve, 1);
+  EXPECT_EQ(once.size(), 64U);
+  const auto all = coarsen_octree(tree, curve, 10);
+  ASSERT_EQ(all.size(), 1U);
+  EXPECT_EQ(all[0], root_octant());
+}
+
+TEST(Adapt, CoarsenStopsAtIncompleteGroups) {
+  const Curve curve(CurveKind::kMorton, 3);
+  // Mixed levels: refine one leaf of a level-1 tree; its siblings cannot
+  // merge with it.
+  auto tree = uniform_octree(1, curve);
+  tree = refine_octree(tree, curve,
+                       [&](const Octant& o) { return o == root_octant().child(0); });
+  const auto coarsened = coarsen_octree_if(tree, curve, [](const Octant&) {
+    return true;
+  });
+  // The 8 level-2 children merge back; the 7 level-1 leaves plus the merged
+  // one then form a complete group only in a second sweep.
+  EXPECT_EQ(coarsened.size(), 8U);
+  const auto twice = coarsen_octree(tree, curve, 2);
+  EXPECT_EQ(twice.size(), 1U);
+}
+
+TEST(Adapt, CoarseToFineRangesCoverExactly) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto fine = make_tree(CurveKind::kHilbert, 4000, 11);
+  for (const int levels : {1, 2, 4}) {
+    const auto coarse = coarsen_octree(fine, curve, levels);
+    const auto ranges = coarse_to_fine_ranges(fine, coarse, curve);
+    ASSERT_EQ(ranges.size(), coarse.size());
+    std::size_t cursor = 0;
+    for (std::size_t c = 0; c < coarse.size(); ++c) {
+      EXPECT_EQ(ranges[c].first, cursor);
+      EXPECT_GT(ranges[c].second, ranges[c].first);
+      for (std::size_t i = ranges[c].first; i < ranges[c].second; ++i) {
+        EXPECT_TRUE(fine[i] == coarse[c] || coarse[c].is_ancestor_of(fine[i]));
+      }
+      cursor = ranges[c].second;
+    }
+    EXPECT_EQ(cursor, fine.size());
+  }
+}
+
+}  // namespace
+}  // namespace amr::octree

@@ -1,0 +1,130 @@
+// Adjacency (CSR neighbor cache) tests: equivalence with the direct
+// search-based metrics and communication matrices for arbitrary
+// partitions, which the sweep benches rely on.
+#include <gtest/gtest.h>
+
+#include "mesh/adjacency.hpp"
+#include "octree/generate.hpp"
+#include "octree/search.hpp"
+#include "partition/optipart.hpp"
+
+namespace amr::mesh {
+namespace {
+
+using partition::Partition;
+using sfc::Curve;
+using sfc::CurveKind;
+
+std::vector<octree::Octant> make_tree(CurveKind kind, std::size_t points,
+                                      std::uint64_t seed) {
+  const Curve curve(kind, 3);
+  octree::GenerateOptions options;
+  options.seed = seed;
+  options.max_level = 8;
+  options.max_points_per_leaf = 2;
+  options.distribution = octree::PointDistribution::kNormal;
+  return octree::random_octree(points, curve, options);
+}
+
+TEST(Adjacency, MatchesDirectNeighborSearch) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = make_tree(CurveKind::kHilbert, 3000, 5);
+  const Adjacency adjacency = build_adjacency(tree, curve);
+  ASSERT_EQ(adjacency.num_elements(), tree.size());
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const auto expected = octree::all_face_neighbors(tree, curve, i);
+    const auto got = adjacency.neighbors_of(i);
+    ASSERT_EQ(got.size(), expected.size()) << "element " << i;
+    for (std::size_t k = 0; k < expected.size(); ++k) {
+      EXPECT_EQ(static_cast<std::size_t>(got[k]), expected[k]);
+    }
+  }
+}
+
+class AdjacencyEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<CurveKind, int, double>> {};
+
+TEST_P(AdjacencyEquivalenceTest, MetricsAndCommMatrixMatchDirectPath) {
+  const auto [kind, p, tolerance] = GetParam();
+  const Curve curve(kind, 3);
+  const auto tree = make_tree(kind, 6000, 17);
+  partition::TreeSortPartitionOptions options;
+  options.tolerance = tolerance;
+  const Partition part = partition::treesort_partition(tree, curve, p, options);
+
+  const Adjacency adjacency = build_adjacency(tree, curve);
+  const auto m_fast = metrics_from_adjacency(adjacency, part);
+  const auto m_direct = partition::compute_metrics(tree, curve, part);
+  EXPECT_EQ(m_fast.work, m_direct.work);
+  EXPECT_EQ(m_fast.boundary, m_direct.boundary);
+  EXPECT_EQ(m_fast.degree, m_direct.degree);
+  EXPECT_DOUBLE_EQ(m_fast.c_max, m_direct.c_max);
+  EXPECT_DOUBLE_EQ(m_fast.m_max, m_direct.m_max);
+  EXPECT_DOUBLE_EQ(m_fast.load_imbalance, m_direct.load_imbalance);
+
+  const auto c_fast = comm_matrix_from_adjacency(adjacency, part);
+  const auto c_direct = build_comm_matrix(tree, curve, part);
+  EXPECT_EQ(c_fast.entries(), c_direct.entries());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AdjacencyEquivalenceTest,
+    ::testing::Combine(::testing::Values(CurveKind::kMorton, CurveKind::kHilbert),
+                       ::testing::Values(4, 16, 64),
+                       ::testing::Values(0.0, 0.3)),
+    [](const auto& info) {
+      return sfc::to_string(std::get<0>(info.param)) + "_p" +
+             std::to_string(std::get<1>(info.param)) + "_tol" +
+             std::to_string(static_cast<int>(std::get<2>(info.param) * 10));
+    });
+
+TEST(Adjacency, DegreeConsistentWithCommMatrix) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = make_tree(CurveKind::kHilbert, 4000, 9);
+  const Partition part = partition::ideal_partition(tree.size(), 8);
+  const Adjacency adjacency = build_adjacency(tree, curve);
+  const auto metrics = metrics_from_adjacency(adjacency, part);
+  const auto comm = comm_matrix_from_adjacency(adjacency, part);
+  // A rank's degree (distinct remote owners of its neighbors) equals its
+  // number of receive partners in M.
+  for (int r = 0; r < 8; ++r) {
+    int recv_partners = 0;
+    for (const auto& [key, count] : comm.entries()) {
+      if (key.first == r) ++recv_partners;
+    }
+    EXPECT_DOUBLE_EQ(metrics.degree[static_cast<std::size_t>(r)], recv_partners);
+  }
+}
+
+TEST(LatencyExtension, AddsTsTimesPeers) {
+  machine::MachineModel machine = machine::wisconsin8();
+  machine::ApplicationProfile plain;
+  machine::ApplicationProfile extended;
+  extended.include_latency_term = true;
+  const machine::PerfModel a(machine, plain);
+  const machine::PerfModel b(machine, extended);
+  EXPECT_DOUBLE_EQ(a.application_time(100.0, 10.0, 6.0),
+                   a.application_time(100.0, 10.0));
+  EXPECT_DOUBLE_EQ(b.application_time(100.0, 10.0, 6.0),
+                   a.application_time(100.0, 10.0) + machine.ts * 6.0);
+}
+
+TEST(LatencyExtension, NeverChoosesWorseSimulatedPartition) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = make_tree(CurveKind::kHilbert, 8000, 21);
+  const int p = 32;
+  const Adjacency adjacency = build_adjacency(tree, curve);
+
+  machine::ApplicationProfile extended;
+  extended.include_latency_term = true;
+  const machine::PerfModel model(machine::wisconsin8(), extended);
+  const auto part = partition::optipart_partition(tree, curve, p, model);
+  const auto metrics = metrics_from_adjacency(adjacency, part);
+  const auto ideal_metrics =
+      metrics_from_adjacency(adjacency, partition::ideal_partition(tree.size(), p));
+  EXPECT_LE(metrics.predicted_time(model),
+            ideal_metrics.predicted_time(model) * (1.0 + 1e-9));
+}
+
+}  // namespace
+}  // namespace amr::mesh

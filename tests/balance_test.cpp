@@ -1,0 +1,193 @@
+// 2:1 balancing tests: the ripple refinement must produce a face-balanced,
+// still complete and linear octree, only ever refining (never coarsening),
+// and must be idempotent.
+#include <gtest/gtest.h>
+
+#include "octree/balance.hpp"
+#include "octree/generate.hpp"
+#include "octree/search.hpp"
+#include "octree/treesort.hpp"
+
+namespace amr::octree {
+namespace {
+
+using sfc::Curve;
+using sfc::CurveKind;
+
+class BalanceTest : public ::testing::TestWithParam<CurveKind> {};
+
+TEST_P(BalanceTest, BalancesRandomAdaptiveTree) {
+  const Curve curve(GetParam(), 3);
+  GenerateOptions options;
+  options.seed = 12;
+  options.max_level = 9;
+  options.max_points_per_leaf = 1;
+  options.distribution = PointDistribution::kLogNormal;  // steep level jumps
+  auto tree = random_octree(4000, curve, options);
+  EXPECT_FALSE(is_face_balanced(tree, curve));  // log-normal clusters jump
+
+  BalanceStats stats;
+  const auto balanced = balance_octree(tree, curve, &stats);
+  EXPECT_GT(stats.leaves_split, 0U);
+  EXPECT_GE(balanced.size(), tree.size());
+  EXPECT_TRUE(is_sfc_sorted(balanced, curve));
+  EXPECT_TRUE(is_linear(balanced, curve));
+  EXPECT_TRUE(is_complete(balanced, curve));
+  EXPECT_TRUE(is_face_balanced(balanced, curve));
+}
+
+TEST_P(BalanceTest, IdempotentOnBalancedTree) {
+  const Curve curve(GetParam(), 3);
+  GenerateOptions options;
+  options.seed = 21;
+  options.max_level = 8;
+  auto tree = random_octree(2000, curve, options);
+  const auto once = balance_octree(tree, curve);
+  BalanceStats stats;
+  const auto twice = balance_octree(once, curve, &stats);
+  EXPECT_EQ(stats.leaves_split, 0U);
+  EXPECT_EQ(once, twice);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothCurves, BalanceTest,
+                         ::testing::Values(CurveKind::kMorton, CurveKind::kHilbert),
+                         [](const auto& info) { return sfc::to_string(info.param); });
+
+TEST(Balance, UniformTreeIsAlreadyBalanced) {
+  const Curve curve(CurveKind::kMorton, 3);
+  const auto tree = uniform_octree(3, curve);
+  BalanceStats stats;
+  const auto balanced = balance_octree(tree, curve, &stats);
+  EXPECT_EQ(stats.passes, 0);
+  EXPECT_EQ(balanced, tree);
+}
+
+TEST(Balance, SingleRefinedBlockRipples) {
+  // Refine one level-1 leaf uniformly to level 3 in an otherwise level-1
+  // tree: its level-3 boundary cells touch level-1 leaves (jump of 2), so
+  // balancing must refine the adjacent coarse leaves.
+  const Curve curve(CurveKind::kMorton, 3);
+  const auto coarse = uniform_octree(1, curve);
+  std::vector<Octant> refined;
+  const Octant target = coarse.front();  // origin octant under Morton
+  for (const Octant& o : coarse) {
+    if (o == target) continue;
+    refined.push_back(o);
+  }
+  for (int c = 0; c < 8; ++c) {
+    for (int cc = 0; cc < 8; ++cc) refined.push_back(target.child(c).child(cc));
+  }
+  tree_sort(refined, curve);
+  ASSERT_TRUE(is_complete(refined, curve));
+  ASSERT_FALSE(is_face_balanced(refined, curve));
+
+  const auto balanced = balance_octree(refined, curve);
+  EXPECT_TRUE(is_face_balanced(balanced, curve));
+  EXPECT_TRUE(is_complete(balanced, curve));
+  // Every level-3 cell of the refined block must survive (balancing never
+  // coarsens), and the neighboring coarse leaves must now be level >= 2.
+  for (int c = 0; c < 8; ++c) {
+    for (int cc = 0; cc < 8; ++cc) {
+      const Octant cell = target.child(c).child(cc);
+      const std::size_t idx = leaf_containing(balanced, curve, cell.x, cell.y, cell.z);
+      EXPECT_EQ(balanced[idx], cell);
+    }
+  }
+}
+
+TEST(Balance, NeverCoarsens) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  GenerateOptions options;
+  options.seed = 33;
+  options.max_level = 8;
+  options.distribution = PointDistribution::kNormal;
+  const auto tree = random_octree(3000, curve, options);
+  const auto balanced = balance_octree(tree, curve);
+  // Every original leaf is present or was refined: the leaf containing each
+  // original anchor is at least as deep.
+  for (const Octant& o : tree) {
+    const std::size_t idx = leaf_containing(balanced, curve, o.x, o.y, o.z);
+    EXPECT_GE(balanced[idx].level, o.level);
+  }
+}
+
+TEST(Balance, NeighborOffsetCounts) {
+  EXPECT_EQ(neighbor_offsets(BalanceMode::kFace, 3).size(), 6U);
+  EXPECT_EQ(neighbor_offsets(BalanceMode::kEdge, 3).size(), 18U);
+  EXPECT_EQ(neighbor_offsets(BalanceMode::kFull, 3).size(), 26U);
+  EXPECT_EQ(neighbor_offsets(BalanceMode::kFace, 2).size(), 4U);
+  EXPECT_EQ(neighbor_offsets(BalanceMode::kEdge, 2).size(), 8U);
+  EXPECT_EQ(neighbor_offsets(BalanceMode::kFull, 2).size(), 8U);
+}
+
+TEST(Balance, FullModeImpliesFaceMode) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  GenerateOptions options;
+  options.seed = 55;
+  options.max_level = 8;
+  options.max_points_per_leaf = 1;
+  options.distribution = PointDistribution::kLogNormal;
+  const auto tree = random_octree(3000, curve, options);
+
+  const auto full = balance_octree(tree, curve, nullptr, BalanceMode::kFull);
+  EXPECT_TRUE(is_balanced(full, curve, BalanceMode::kFull));
+  EXPECT_TRUE(is_balanced(full, curve, BalanceMode::kEdge));
+  EXPECT_TRUE(is_balanced(full, curve, BalanceMode::kFace));
+  EXPECT_TRUE(is_face_balanced(full, curve));
+  EXPECT_TRUE(is_complete(full, curve));
+
+  // Full balance refines at least as much as face balance.
+  const auto face = balance_octree(tree, curve, nullptr, BalanceMode::kFace);
+  EXPECT_GE(full.size(), face.size());
+}
+
+TEST(Balance, FaceBalanceDoesNotImplyCornerBalance) {
+  // Explicit edge-only violation (2D for clarity): the lower-left quadrant
+  // A stays level 1; the two quadrants sharing its upper-right corner's
+  // edges are refined to level 2 everywhere; the upper-right quadrant is
+  // refined to level 3 at the corner touching A. Every *face* pair then
+  // differs by <= 1 level, but the level-3 corner cell touches level-1 A
+  // diagonally.
+  const Curve curve(CurveKind::kMorton, 2);
+  std::vector<Octant> tree;
+  const Octant root = root_octant();
+  tree.push_back(root.child(0, 2));  // A: lower-left at level 1
+  for (const int q : {1, 2}) {       // lower-right, upper-left: level 2
+    for (int c = 0; c < 4; ++c) tree.push_back(root.child(q, 2).child(c, 2));
+  }
+  const Octant q4 = root.child(3, 2);  // upper-right
+  for (int c = 0; c < 4; ++c) {
+    if (c == 0) {
+      // The child at A's corner: refine once more (level 3).
+      for (int cc = 0; cc < 4; ++cc) tree.push_back(q4.child(0, 2).child(cc, 2));
+    } else {
+      tree.push_back(q4.child(c, 2));
+    }
+  }
+  tree_sort(tree, curve);
+  ASSERT_TRUE(is_complete(tree, curve));
+  ASSERT_TRUE(is_face_balanced(tree, curve));
+  ASSERT_TRUE(is_balanced(tree, curve, BalanceMode::kFace));
+  EXPECT_FALSE(is_balanced(tree, curve, BalanceMode::kFull));
+
+  const auto full = balance_octree(tree, curve, nullptr, BalanceMode::kFull);
+  EXPECT_TRUE(is_balanced(full, curve, BalanceMode::kFull));
+  EXPECT_GT(full.size(), tree.size());
+}
+
+TEST(Balance, Works2d) {
+  const Curve curve(CurveKind::kHilbert, 2);
+  GenerateOptions options;
+  options.seed = 44;
+  options.max_level = 9;
+  options.dim = 2;
+  options.max_points_per_leaf = 1;
+  options.distribution = PointDistribution::kLogNormal;
+  const auto tree = random_octree(2000, curve, options);
+  const auto balanced = balance_octree(tree, curve);
+  EXPECT_TRUE(is_face_balanced(balanced, curve));
+  EXPECT_TRUE(is_complete(balanced, curve));
+}
+
+}  // namespace
+}  // namespace amr::octree

@@ -1,0 +1,111 @@
+// Checkpoint I/O tests: byte-level round trip, file round trip, and
+// rejection of malformed inputs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "io/checkpoint.hpp"
+#include "octree/generate.hpp"
+#include "octree/treesort.hpp"
+#include "partition/partition.hpp"
+
+namespace amr::io {
+namespace {
+
+using sfc::Curve;
+using sfc::CurveKind;
+
+Checkpoint make_checkpoint(std::uint64_t seed) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  octree::GenerateOptions options;
+  options.seed = seed;
+  options.max_level = 7;
+  Checkpoint checkpoint;
+  checkpoint.tree = octree::random_octree(2000, curve, options);
+  checkpoint.part = partition::ideal_partition(checkpoint.tree.size(), 8);
+  checkpoint.field.resize(checkpoint.tree.size());
+  for (std::size_t i = 0; i < checkpoint.field.size(); ++i) {
+    checkpoint.field[i] = 0.5 * static_cast<double>(i);
+  }
+  return checkpoint;
+}
+
+TEST(Checkpoint, BytesRoundTrip) {
+  const Checkpoint original = make_checkpoint(3);
+  const auto bytes = checkpoint_to_bytes(original);
+  const auto restored = checkpoint_from_bytes(bytes);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, original);
+}
+
+TEST(Checkpoint, OptionalPartsCanBeEmpty) {
+  Checkpoint minimal;
+  minimal.tree = {octree::root_octant()};
+  const auto restored = checkpoint_from_bytes(checkpoint_to_bytes(minimal));
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, minimal);
+  EXPECT_TRUE(restored->part.offsets.empty());
+  EXPECT_TRUE(restored->field.empty());
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  const Checkpoint original = make_checkpoint(9);
+  const std::string path = "/tmp/amrpart_checkpoint_test.bin";
+  ASSERT_TRUE(save_checkpoint(path, original));
+  const auto restored = load_checkpoint(path);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, original);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsMalformedInput) {
+  const Checkpoint original = make_checkpoint(5);
+  auto bytes = checkpoint_to_bytes(original);
+
+  // Truncated payload.
+  auto truncated = bytes;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(checkpoint_from_bytes(truncated).has_value());
+
+  // Corrupted magic.
+  auto corrupted = bytes;
+  corrupted[0] = std::byte{0xFF};
+  EXPECT_FALSE(checkpoint_from_bytes(corrupted).has_value());
+
+  // Trailing garbage.
+  auto padded = bytes;
+  padded.push_back(std::byte{0});
+  EXPECT_FALSE(checkpoint_from_bytes(padded).has_value());
+
+  // Empty buffer.
+  EXPECT_FALSE(checkpoint_from_bytes({}).has_value());
+
+  // Missing file.
+  EXPECT_FALSE(load_checkpoint("/tmp/definitely_missing_amrpart.bin").has_value());
+}
+
+TEST(Checkpoint, RejectsInconsistentCounts) {
+  Checkpoint bad = make_checkpoint(7);
+  bad.field.resize(bad.field.size() / 2);  // field != tree size
+  EXPECT_FALSE(checkpoint_from_bytes(checkpoint_to_bytes(bad)).has_value());
+
+  Checkpoint bad_offsets = make_checkpoint(8);
+  bad_offsets.part.offsets.back() += 1;  // offsets do not end at N
+  EXPECT_FALSE(
+      checkpoint_from_bytes(checkpoint_to_bytes(bad_offsets)).has_value());
+}
+
+TEST(Checkpoint, RestartContinuesARun) {
+  // The intended use: partition state survives a save/load cycle intact
+  // enough to keep computing.
+  const Checkpoint original = make_checkpoint(11);
+  const auto restored = checkpoint_from_bytes(checkpoint_to_bytes(original));
+  ASSERT_TRUE(restored.has_value());
+  const Curve curve(CurveKind::kHilbert, 3);
+  EXPECT_TRUE(octree::is_complete(restored->tree, curve));
+  EXPECT_EQ(restored->part.num_ranks(), 8);
+  EXPECT_EQ(restored->part.total(), restored->tree.size());
+}
+
+}  // namespace
+}  // namespace amr::io

@@ -1,0 +1,123 @@
+// Distributed 2:1 balancing tests: the per-rank results must concatenate
+// to exactly the sequential balance of the gathered tree (refinement-only
+// balancing has a unique fixpoint), stay within rank intervals, and be
+// idempotent.
+#include <gtest/gtest.h>
+
+#include "octree/balance.hpp"
+#include "octree/generate.hpp"
+#include "octree/treesort.hpp"
+#include "partition/partition.hpp"
+#include "simmpi/dist_balance.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace amr::simmpi {
+namespace {
+
+using octree::Octant;
+using sfc::Curve;
+using sfc::CurveKind;
+
+struct Pieces {
+  std::vector<std::vector<Octant>> balanced;
+  std::vector<DistBalanceReport> reports;
+};
+
+Pieces run_balance(const std::vector<Octant>& tree, const partition::Partition& part,
+                   CurveKind kind, int p) {
+  const Curve curve(kind, 3);
+  const auto keys = partition::splitter_keys(tree, part);
+  Pieces result;
+  result.balanced.resize(static_cast<std::size_t>(p));
+  result.reports.resize(static_cast<std::size_t>(p));
+  run_ranks(p, [&](Comm& comm) {
+    std::vector<Octant> local(
+        tree.begin() + static_cast<std::ptrdiff_t>(
+                           part.offsets[static_cast<std::size_t>(comm.rank())]),
+        tree.begin() + static_cast<std::ptrdiff_t>(
+                           part.offsets[static_cast<std::size_t>(comm.rank()) + 1]));
+    result.balanced[static_cast<std::size_t>(comm.rank())] = dist_balance_octree(
+        std::move(local), keys, comm, curve,
+        &result.reports[static_cast<std::size_t>(comm.rank())]);
+  });
+  return result;
+}
+
+class DistBalanceTest : public ::testing::TestWithParam<std::tuple<CurveKind, int>> {};
+
+TEST_P(DistBalanceTest, MatchesSequentialBalanceExactly) {
+  const auto [kind, p] = GetParam();
+  const Curve curve(kind, 3);
+  octree::GenerateOptions options;
+  options.seed = 600 + static_cast<std::uint64_t>(p);
+  options.max_level = 9;
+  options.max_points_per_leaf = 1;
+  options.distribution = octree::PointDistribution::kLogNormal;  // steep jumps
+  const auto tree = octree::random_octree(4000, curve, options);
+  ASSERT_FALSE(octree::is_face_balanced(tree, curve));
+  const auto part = partition::ideal_partition(tree.size(), p);
+
+  const Pieces result = run_balance(tree, part, kind, p);
+  std::vector<Octant> gathered;
+  for (const auto& piece : result.balanced) {
+    gathered.insert(gathered.end(), piece.begin(), piece.end());
+  }
+
+  const auto sequential = octree::balance_octree(tree, curve);
+  EXPECT_EQ(gathered, sequential);
+  EXPECT_TRUE(octree::is_face_balanced(gathered, curve));
+  EXPECT_TRUE(octree::is_complete(gathered, curve));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DistBalanceTest,
+    ::testing::Combine(::testing::Values(CurveKind::kMorton, CurveKind::kHilbert),
+                       ::testing::Values(2, 4, 7)),
+    [](const auto& info) {
+      return sfc::to_string(std::get<0>(info.param)) + "_p" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(DistBalance, PiecesStayInTheirIntervals) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  octree::GenerateOptions options;
+  options.seed = 77;
+  options.max_level = 9;
+  options.max_points_per_leaf = 1;
+  options.distribution = octree::PointDistribution::kLogNormal;
+  const auto tree = octree::random_octree(3000, curve, options);
+  const int p = 5;
+  const auto part = partition::ideal_partition(tree.size(), p);
+  const auto keys = partition::splitter_keys(tree, part);
+
+  const Pieces result = run_balance(tree, part, CurveKind::kHilbert, p);
+  for (int r = 0; r < p; ++r) {
+    for (const Octant& leaf : result.balanced[static_cast<std::size_t>(r)]) {
+      EXPECT_EQ(partition::owner_by_keys(keys, curve.first_descendant(leaf), curve), r);
+      EXPECT_EQ(partition::owner_by_keys(keys, curve.last_descendant(leaf), curve), r);
+    }
+  }
+}
+
+TEST(DistBalance, IdempotentOnBalancedInput) {
+  const Curve curve(CurveKind::kMorton, 3);
+  octree::GenerateOptions options;
+  options.seed = 88;
+  options.max_level = 8;
+  const auto tree =
+      octree::balance_octree(octree::random_octree(2500, curve, options), curve);
+  const int p = 4;
+  const auto part = partition::ideal_partition(tree.size(), p);
+
+  const Pieces result = run_balance(tree, part, CurveKind::kMorton, p);
+  std::size_t total = 0;
+  for (int r = 0; r < p; ++r) {
+    total += result.balanced[static_cast<std::size_t>(r)].size();
+    EXPECT_EQ(result.reports[static_cast<std::size_t>(r)].local_splits, 0U);
+    EXPECT_EQ(result.reports[static_cast<std::size_t>(r)].rounds, 1);
+  }
+  EXPECT_EQ(total, tree.size());
+}
+
+}  // namespace
+}  // namespace amr::simmpi

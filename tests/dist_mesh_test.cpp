@@ -1,0 +1,171 @@
+// Distributed mesh construction tests: the two-round ghost-discovery
+// protocol must reproduce the sequential engine's LocalMesh exactly --
+// elements, ghosts, owners, global indices, matched channels, and faces
+// (as multisets) -- and the resulting matvec must equal the global one.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "fem/laplacian.hpp"
+#include "mesh/mesh.hpp"
+#include "octree/balance.hpp"
+#include "octree/generate.hpp"
+#include "partition/partition.hpp"
+#include "simmpi/dist_fem.hpp"
+#include "simmpi/dist_mesh.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace amr::simmpi {
+namespace {
+
+using mesh::LocalMesh;
+using octree::Octant;
+using sfc::Curve;
+using sfc::CurveKind;
+
+struct MeshSetup {
+  std::vector<Octant> tree;
+  partition::Partition part;
+  std::vector<Octant> keys;
+  std::vector<LocalMesh> reference;
+};
+
+MeshSetup make_setup(CurveKind kind, std::size_t points, int p, std::uint64_t seed) {
+  const Curve curve(kind, 3);
+  octree::GenerateOptions options;
+  options.seed = seed;
+  options.max_level = 7;
+  options.max_points_per_leaf = 2;
+  options.distribution = octree::PointDistribution::kNormal;
+  MeshSetup s;
+  s.tree = octree::balance_octree(octree::random_octree(points, curve, options), curve);
+  s.part = partition::ideal_partition(s.tree.size(), p);
+  s.keys = partition::splitter_keys(s.tree, s.part);
+  s.reference = mesh::build_local_meshes(s.tree, curve, s.part);
+  return s;
+}
+
+std::vector<LocalMesh> build_distributed(const MeshSetup& s, CurveKind kind, int p) {
+  const Curve curve(kind, 3);
+  std::vector<LocalMesh> meshes(static_cast<std::size_t>(p));
+  run_ranks(p, [&](Comm& comm) {
+    const std::size_t begin = s.part.offsets[static_cast<std::size_t>(comm.rank())];
+    const std::size_t end = s.part.offsets[static_cast<std::size_t>(comm.rank()) + 1];
+    const std::vector<Octant> local(s.tree.begin() + static_cast<std::ptrdiff_t>(begin),
+                                    s.tree.begin() + static_cast<std::ptrdiff_t>(end));
+    meshes[static_cast<std::size_t>(comm.rank())] =
+        dist_build_local_mesh(local, s.keys, comm, curve);
+  });
+  return meshes;
+}
+
+using FaceTuple = std::tuple<std::uint32_t, std::uint32_t, bool, double, double>;
+
+std::vector<FaceTuple> face_multiset(const LocalMesh& m) {
+  std::vector<FaceTuple> faces;
+  for (const mesh::Face& f : m.faces) {
+    auto a = f.a;
+    auto b = f.b;
+    if (!f.b_is_ghost && a > b) std::swap(a, b);
+    faces.emplace_back(a, b, f.b_is_ghost, f.area, f.dist);
+  }
+  std::sort(faces.begin(), faces.end());
+  return faces;
+}
+
+class DistMeshTest : public ::testing::TestWithParam<std::tuple<CurveKind, int>> {};
+
+TEST_P(DistMeshTest, MatchesSequentialConstruction) {
+  const auto [kind, p] = GetParam();
+  const MeshSetup s = make_setup(kind, 2500, p, 400 + static_cast<std::uint64_t>(p));
+  const auto distributed = build_distributed(s, kind, p);
+
+  for (int r = 0; r < p; ++r) {
+    const LocalMesh& got = distributed[static_cast<std::size_t>(r)];
+    const LocalMesh& want = s.reference[static_cast<std::size_t>(r)];
+    SCOPED_TRACE("rank " + std::to_string(r));
+
+    EXPECT_EQ(got.global_begin, want.global_begin);
+    EXPECT_EQ(got.elements, want.elements);
+    EXPECT_EQ(got.ghosts, want.ghosts);
+    EXPECT_EQ(got.ghost_owner, want.ghost_owner);
+    EXPECT_EQ(got.ghost_global, want.ghost_global);
+    EXPECT_EQ(got.peers, want.peers);
+    EXPECT_EQ(got.send_lists, want.send_lists);
+    EXPECT_EQ(got.recv_lists, want.recv_lists);
+    EXPECT_EQ(face_multiset(got), face_multiset(want));
+    EXPECT_EQ(got.boundary_faces.size(), want.boundary_faces.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DistMeshTest,
+    ::testing::Combine(::testing::Values(CurveKind::kMorton, CurveKind::kHilbert),
+                       ::testing::Values(2, 5, 8)),
+    [](const auto& info) {
+      return sfc::to_string(std::get<0>(info.param)) + "_p" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(DistMesh, MatvecOnDistributedMeshMatchesGlobal) {
+  const int p = 6;
+  const Curve curve(CurveKind::kHilbert, 3);
+  const MeshSetup s = make_setup(CurveKind::kHilbert, 2000, p, 900);
+  const auto meshes = build_distributed(s, CurveKind::kHilbert, p);
+
+  std::vector<double> u0(s.tree.size());
+  for (std::size_t i = 0; i < u0.size(); ++i) u0[i] = std::cos(0.01 * static_cast<double>(i));
+
+  const mesh::GlobalMesh global = mesh::build_global_mesh(s.tree, curve);
+  std::vector<double> expected(u0.size());
+  fem::apply_global(global, u0, expected);
+
+  std::vector<std::vector<double>> pieces(static_cast<std::size_t>(p));
+  run_ranks(p, [&](Comm& comm) {
+    const LocalMesh& m = meshes[static_cast<std::size_t>(comm.rank())];
+    std::vector<double> u(u0.begin() + static_cast<std::ptrdiff_t>(m.global_begin),
+                          u0.begin() + static_cast<std::ptrdiff_t>(m.global_begin +
+                                                                   m.elements.size()));
+    dist_matvec_loop(m, comm, 1, u);
+    pieces[static_cast<std::size_t>(comm.rank())] = std::move(u);
+  });
+
+  std::vector<double> actual;
+  for (const auto& piece : pieces) actual.insert(actual.end(), piece.begin(), piece.end());
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], 1e-9 * (std::abs(expected[i]) + 1.0)) << i;
+  }
+}
+
+TEST(DistMesh, ReportCountsAreConsistent) {
+  const int p = 4;
+  const Curve curve(CurveKind::kMorton, 3);
+  const MeshSetup s = make_setup(CurveKind::kMorton, 1500, p, 1234);
+  std::vector<DistMeshReport> reports(static_cast<std::size_t>(p));
+  std::vector<LocalMesh> meshes(static_cast<std::size_t>(p));
+  run_ranks(p, [&](Comm& comm) {
+    const std::size_t begin = s.part.offsets[static_cast<std::size_t>(comm.rank())];
+    const std::size_t end = s.part.offsets[static_cast<std::size_t>(comm.rank()) + 1];
+    const std::vector<Octant> local(s.tree.begin() + static_cast<std::ptrdiff_t>(begin),
+                                    s.tree.begin() + static_cast<std::ptrdiff_t>(end));
+    meshes[static_cast<std::size_t>(comm.rank())] = dist_build_local_mesh(
+        local, s.keys, comm, curve, &reports[static_cast<std::size_t>(comm.rank())]);
+  });
+  std::size_t sent = 0;
+  std::size_t received = 0;
+  for (const auto& report : reports) {
+    sent += report.candidates_sent;
+    received += report.candidates_received;
+    EXPECT_LE(report.ghosts_kept, report.candidates_received);
+  }
+  EXPECT_EQ(sent, received);
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(reports[static_cast<std::size_t>(r)].ghosts_kept,
+              meshes[static_cast<std::size_t>(r)].ghosts.size());
+  }
+}
+
+}  // namespace
+}  // namespace amr::simmpi

@@ -1,0 +1,154 @@
+// Distributed points-to-octree tests: the per-rank pieces must concatenate
+// to a complete linear curve-ordered octree, respect rank intervals, keep
+// every point, and honor the leaf-size bound away from interval edges.
+#include <gtest/gtest.h>
+
+#include "octree/search.hpp"
+#include "octree/treesort.hpp"
+#include "partition/partition.hpp"
+#include "simmpi/dist_octree.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace amr::simmpi {
+namespace {
+
+using octree::Octant;
+using sfc::Curve;
+using sfc::CurveKind;
+
+struct BuildResult {
+  std::vector<std::vector<Octant>> pieces;
+  std::vector<Octant> splitters;
+  std::vector<std::array<std::uint32_t, 3>> all_points;
+};
+
+BuildResult run_build(CurveKind kind, int p, std::size_t points_per_rank,
+                      const DistOctreeOptions& options, std::uint64_t seed) {
+  BuildResult result;
+  result.pieces.resize(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    octree::GenerateOptions gen;
+    gen.seed = seed + static_cast<std::uint64_t>(r);
+    gen.distribution = octree::PointDistribution::kNormal;
+    const auto points = octree::generate_points(points_per_rank, gen);
+    result.all_points.insert(result.all_points.end(), points.begin(), points.end());
+  }
+  run_ranks(p, [&](Comm& comm) {
+    octree::GenerateOptions gen;
+    gen.seed = seed + static_cast<std::uint64_t>(comm.rank());
+    gen.distribution = octree::PointDistribution::kNormal;
+    auto points = octree::generate_points(points_per_rank, gen);
+    const Curve curve(kind, 3);
+    auto built = dist_points_to_octree(std::move(points), comm, curve, options);
+    result.pieces[static_cast<std::size_t>(comm.rank())] = std::move(built.leaves);
+    if (comm.rank() == 0) result.splitters = built.splitters;
+  });
+  return result;
+}
+
+class DistOctreeTest : public ::testing::TestWithParam<std::tuple<CurveKind, int>> {};
+
+TEST_P(DistOctreeTest, PiecesConcatenateToACompleteTree) {
+  const auto [kind, p] = GetParam();
+  const Curve curve(kind, 3);
+  DistOctreeOptions options;
+  options.max_points_per_leaf = 4;
+  options.max_level = 10;
+  const auto result = run_build(kind, p, 3000, options, 500);
+
+  std::vector<Octant> all;
+  for (const auto& piece : result.pieces) {
+    all.insert(all.end(), piece.begin(), piece.end());
+  }
+  EXPECT_TRUE(octree::is_sfc_sorted(all, curve));
+  EXPECT_TRUE(octree::is_linear(all, curve));
+  EXPECT_TRUE(octree::is_complete(all, curve));
+
+  // Every original point lands in some leaf of its owner's piece.
+  for (const auto& point : result.all_points) {
+    const std::size_t idx =
+        octree::leaf_containing(all, curve, point[0], point[1], point[2]);
+    EXPECT_TRUE(all[idx].contains_point(point[0], point[1], point[2]));
+  }
+}
+
+TEST_P(DistOctreeTest, PiecesRespectRankIntervals) {
+  const auto [kind, p] = GetParam();
+  const Curve curve(kind, 3);
+  DistOctreeOptions options;
+  options.max_points_per_leaf = 2;
+  options.max_level = 10;
+  const auto result = run_build(kind, p, 2000, options, 700);
+  ASSERT_EQ(result.splitters.size(), static_cast<std::size_t>(p));
+
+  for (int r = 0; r < p; ++r) {
+    for (const Octant& leaf : result.pieces[static_cast<std::size_t>(r)]) {
+      EXPECT_EQ(partition::owner_by_keys(result.splitters,
+                                         curve.first_descendant(leaf), curve),
+                r);
+      EXPECT_EQ(partition::owner_by_keys(result.splitters,
+                                         curve.last_descendant(leaf), curve),
+                r);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DistOctreeTest,
+    ::testing::Combine(::testing::Values(CurveKind::kMorton, CurveKind::kHilbert),
+                       ::testing::Values(2, 4, 7)),
+    [](const auto& info) {
+      return sfc::to_string(std::get<0>(info.param)) + "_p" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(DistOctree, SingleRankMatchesSequentialBuilder) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  octree::GenerateOptions gen;
+  gen.seed = 42;
+  gen.distribution = octree::PointDistribution::kNormal;
+  const auto points = octree::generate_points(5000, gen);
+
+  DistOctreeOptions options;
+  options.max_points_per_leaf = 3;
+  options.max_level = 9;
+  std::vector<Octant> distributed;
+  run_ranks(1, [&](Comm& comm) {
+    auto mine = points;
+    distributed = dist_points_to_octree(std::move(mine), comm, curve, options).leaves;
+  });
+
+  octree::GenerateOptions seq;
+  seq.max_points_per_leaf = 3;
+  seq.max_level = 9;
+  const auto sequential = octree::build_octree(points, curve, seq);
+  EXPECT_EQ(distributed, sequential);
+}
+
+TEST(DistOctree, LeafBoundHolds) {
+  // Each rank's leaves hold at most max_points_per_leaf of the rank's
+  // points (interval-edge splits only make leaves finer).
+  const int p = 4;
+  const Curve curve(CurveKind::kHilbert, 3);
+  DistOctreeOptions options;
+  options.max_points_per_leaf = 5;
+  options.max_level = 12;
+  const auto result = run_build(CurveKind::kHilbert, p, 2500, options, 900);
+
+  std::vector<Octant> all;
+  for (const auto& piece : result.pieces) {
+    all.insert(all.end(), piece.begin(), piece.end());
+  }
+  std::vector<std::size_t> counts(all.size(), 0);
+  for (const auto& point : result.all_points) {
+    counts[octree::leaf_containing(all, curve, point[0], point[1], point[2])]++;
+  }
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (static_cast<int>(all[i].level) < options.max_level) {
+      EXPECT_LE(counts[i], options.max_points_per_leaf) << all[i].to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace amr::simmpi

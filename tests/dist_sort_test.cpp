@@ -1,0 +1,257 @@
+// Distributed TreeSort / OptiPart / SampleSort tests over simmpi: the
+// redistributed array must be a correct global sort, tolerances must be
+// honored, SampleSort and TreeSort must agree on the multiset, and
+// distributed OptiPart must match its machine-model semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+
+#include "octree/generate.hpp"
+#include "octree/treesort.hpp"
+#include "simmpi/dist_samplesort.hpp"
+#include "simmpi/dist_treesort.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace amr::simmpi {
+namespace {
+
+using octree::Octant;
+using sfc::Curve;
+using sfc::CurveKind;
+
+std::vector<Octant> random_octants(std::size_t n, std::uint64_t seed) {
+  util::Rng rng = util::make_rng(seed);
+  std::uniform_int_distribution<std::uint32_t> coord(0, (1U << octree::kMaxDepth) - 1);
+  std::uniform_int_distribution<int> lvl(2, 12);
+  std::vector<Octant> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(octree::octant_from_point(coord(rng), coord(rng), coord(rng),
+                                            lvl(rng)));
+  }
+  return out;
+}
+
+struct GatherResult {
+  std::vector<std::vector<Octant>> pieces;
+  std::vector<DistSortReport> reports;
+
+  [[nodiscard]] std::vector<Octant> concatenated() const {
+    std::vector<Octant> all;
+    for (const auto& piece : pieces) all.insert(all.end(), piece.begin(), piece.end());
+    return all;
+  }
+};
+
+GatherResult run_dist_treesort(int p, std::size_t per_rank, CurveKind kind,
+                               double tolerance, std::uint64_t seed) {
+  GatherResult result;
+  result.pieces.resize(static_cast<std::size_t>(p));
+  result.reports.resize(static_cast<std::size_t>(p));
+  run_ranks(p, [&](Comm& comm) {
+    const Curve curve(kind, 3);
+    auto local = random_octants(per_rank, seed + static_cast<std::uint64_t>(comm.rank()));
+    DistSortOptions options;
+    options.tolerance = tolerance;
+    const DistSortReport report = dist_treesort(local, comm, curve, options);
+    result.pieces[static_cast<std::size_t>(comm.rank())] = std::move(local);
+    result.reports[static_cast<std::size_t>(comm.rank())] = report;
+  });
+  return result;
+}
+
+bool same_multiset(std::vector<Octant> a, std::vector<Octant> b, const Curve& curve) {
+  if (a.size() != b.size()) return false;
+  std::sort(a.begin(), a.end(), curve.comparator());
+  std::sort(b.begin(), b.end(), curve.comparator());
+  return a == b;
+}
+
+struct DistCase {
+  int p;
+  CurveKind kind;
+  double tolerance;
+};
+
+class DistTreesortTest : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistTreesortTest, GloballySortsAndBalances) {
+  const auto [p, kind, tolerance] = GetParam();
+  const Curve curve(kind, 3);
+  const std::size_t per_rank = 2000;
+  const auto result = run_dist_treesort(p, per_rank, kind, tolerance, 1000);
+
+  // Global order: concatenation by rank is SFC-sorted, and the multiset of
+  // elements is preserved.
+  const auto all = result.concatenated();
+  EXPECT_EQ(all.size(), per_rank * static_cast<std::size_t>(p));
+  EXPECT_TRUE(octree::is_sfc_sorted(all, curve));
+
+  std::vector<Octant> input;
+  for (int r = 0; r < p; ++r) {
+    const auto piece = random_octants(per_rank, 1000 + static_cast<std::uint64_t>(r));
+    input.insert(input.end(), piece.begin(), piece.end());
+  }
+  EXPECT_TRUE(same_multiset(all, input, curve));
+
+  // Tolerance honored: every rank's share within tolerance*N/p of ideal
+  // (plus one element of slack for indivisibility).
+  const double grain = static_cast<double>(all.size()) / p;
+  for (int r = 0; r < p; ++r) {
+    const double dev =
+        std::abs(static_cast<double>(result.pieces[static_cast<std::size_t>(r)].size()) -
+                 grain);
+    EXPECT_LE(dev, 2.0 * std::max(1.0, tolerance * grain) + 2.0) << "rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DistTreesortTest,
+    ::testing::Values(DistCase{2, CurveKind::kMorton, 0.0},
+                      DistCase{4, CurveKind::kHilbert, 0.0},
+                      DistCase{8, CurveKind::kHilbert, 0.0},
+                      DistCase{4, CurveKind::kMorton, 0.3},
+                      DistCase{8, CurveKind::kHilbert, 0.3},
+                      DistCase{5, CurveKind::kHilbert, 0.1}),
+    [](const auto& info) {
+      return "p" + std::to_string(info.param.p) + "_" +
+             sfc::to_string(info.param.kind) + "_tol" +
+             std::to_string(static_cast<int>(info.param.tolerance * 100));
+    });
+
+TEST(DistTreesort, ReportsAreConsistent) {
+  const auto result = run_dist_treesort(4, 1000, CurveKind::kHilbert, 0.0, 7);
+  for (const auto& report : result.reports) {
+    EXPECT_EQ(report.global_elements, 4000U);
+    EXPECT_GT(report.levels_used, 0);
+    EXPECT_EQ(report.splitters.size(), 4U);
+  }
+  // All ranks agreed on the splitters.
+  for (int r = 1; r < 4; ++r) {
+    EXPECT_EQ(result.reports[static_cast<std::size_t>(r)].splitters,
+              result.reports[0].splitters);
+  }
+}
+
+TEST(DistSampleSort, SortsGloballyAndMatchesTreesortMultiset) {
+  const int p = 6;
+  const std::size_t per_rank = 1500;
+  const Curve curve(CurveKind::kHilbert, 3);
+
+  std::vector<std::vector<Octant>> pieces(static_cast<std::size_t>(p));
+  run_ranks(p, [&](Comm& comm) {
+    auto local = random_octants(per_rank, 500 + static_cast<std::uint64_t>(comm.rank()));
+    const SampleSortReport report = dist_samplesort(local, comm, curve);
+    EXPECT_EQ(report.global_elements, per_rank * static_cast<std::size_t>(p));
+    pieces[static_cast<std::size_t>(comm.rank())] = std::move(local);
+  });
+
+  std::vector<Octant> all;
+  for (const auto& piece : pieces) all.insert(all.end(), piece.begin(), piece.end());
+  EXPECT_TRUE(octree::is_sfc_sorted(all, curve));
+
+  std::vector<Octant> input;
+  for (int r = 0; r < p; ++r) {
+    const auto piece = random_octants(per_rank, 500 + static_cast<std::uint64_t>(r));
+    input.insert(input.end(), piece.begin(), piece.end());
+  }
+  EXPECT_TRUE(same_multiset(all, input, curve));
+}
+
+TEST(DistOptiPart, SortsAndTracksModel) {
+  const int p = 8;
+  const Curve curve(CurveKind::kHilbert, 3);
+  const machine::PerfModel model(machine::wisconsin8(), machine::ApplicationProfile{});
+
+  std::vector<std::vector<Octant>> pieces(static_cast<std::size_t>(p));
+  std::vector<DistOptiPartTrace> traces(static_cast<std::size_t>(p));
+  run_ranks(p, [&](Comm& comm) {
+    auto local = random_octants(2000, 900 + static_cast<std::uint64_t>(comm.rank()));
+    DistOptiPartTrace trace;
+    const DistSortReport report =
+        dist_optipart(local, comm, curve, model, octree::kMaxDepth, &trace);
+    EXPECT_EQ(report.global_elements, 16000U);
+    pieces[static_cast<std::size_t>(comm.rank())] = std::move(local);
+    traces[static_cast<std::size_t>(comm.rank())] = trace;
+  });
+
+  std::vector<Octant> all;
+  for (const auto& piece : pieces) all.insert(all.end(), piece.begin(), piece.end());
+  EXPECT_TRUE(octree::is_sfc_sorted(all, curve));
+  EXPECT_EQ(all.size(), 16000U);
+
+  // Every rank saw the identical quality trace (deterministic SPMD), and
+  // the final round is the first predicted-worse one (or the last overall).
+  ASSERT_FALSE(traces[0].rounds.empty());
+  for (int r = 1; r < p; ++r) {
+    ASSERT_EQ(traces[static_cast<std::size_t>(r)].rounds.size(), traces[0].rounds.size());
+    for (std::size_t i = 0; i < traces[0].rounds.size(); ++i) {
+      EXPECT_DOUBLE_EQ(traces[static_cast<std::size_t>(r)].rounds[i].predicted_time,
+                       traces[0].rounds[i].predicted_time);
+    }
+  }
+  for (std::size_t i = 0; i + 2 < traces[0].rounds.size(); ++i) {
+    EXPECT_LE(traces[0].rounds[i + 1].predicted_time,
+              traces[0].rounds[i].predicted_time * (1.0 + 1e-12))
+        << "non-final round got worse but loop continued";
+  }
+}
+
+TEST(DistTreesort, StagedSplitterCapSameResultMoreRounds) {
+  // Eq. 2's k <= p staging: identical splitters, identical distribution,
+  // but the reduction schedule splits into more, smaller collectives.
+  const int p = 8;
+  const Curve curve(CurveKind::kHilbert, 3);
+
+  auto run = [&](int k) {
+    std::vector<std::vector<Octant>> pieces(static_cast<std::size_t>(p));
+    std::vector<std::vector<Octant>> splitters(static_cast<std::size_t>(p));
+    const RunResult rr = run_ranks(p, [&](Comm& comm) {
+      auto local = random_octants(1500, 3000 + static_cast<std::uint64_t>(comm.rank()));
+      DistSortOptions options;
+      options.max_splitters_per_round = k;
+      const DistSortReport report = dist_treesort(local, comm, curve, options);
+      pieces[static_cast<std::size_t>(comm.rank())] = std::move(local);
+      splitters[static_cast<std::size_t>(comm.rank())] = report.splitters;
+    });
+    std::uint64_t collectives = 0;
+    for (const auto& ledger : rr.ledgers) collectives += ledger.collectives;
+    return std::make_tuple(pieces, splitters[0], collectives);
+  };
+
+  const auto [pieces_full, splitters_full, collectives_full] = run(0);
+  const auto [pieces_staged, splitters_staged, collectives_staged] = run(2);
+
+  EXPECT_EQ(splitters_full, splitters_staged);
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(pieces_full[static_cast<std::size_t>(r)],
+              pieces_staged[static_cast<std::size_t>(r)])
+        << "rank " << r;
+  }
+  EXPECT_GT(collectives_staged, collectives_full);
+}
+
+TEST(DistTreesort, WorksWithUnevenInputSizes) {
+  const int p = 4;
+  const Curve curve(CurveKind::kMorton, 3);
+  std::vector<std::vector<Octant>> pieces(static_cast<std::size_t>(p));
+  run_ranks(p, [&](Comm& comm) {
+    // Rank r starts with wildly different counts, including zero.
+    const std::size_t mine = static_cast<std::size_t>(comm.rank()) * 1000;
+    auto local = random_octants(mine, 77 + static_cast<std::uint64_t>(comm.rank()));
+    dist_treesort(local, comm, curve, {});
+    pieces[static_cast<std::size_t>(comm.rank())] = std::move(local);
+  });
+  std::size_t total = 0;
+  for (const auto& piece : pieces) total += piece.size();
+  EXPECT_EQ(total, 0U + 1000 + 2000 + 3000);
+  // Near-even redistribution.
+  for (const auto& piece : pieces) {
+    EXPECT_NEAR(static_cast<double>(piece.size()), 1500.0, 100.0);
+  }
+}
+
+}  // namespace
+}  // namespace amr::simmpi

@@ -1,0 +1,130 @@
+// Energy substrate tests: power model arithmetic, sampling, trace
+// integration, and the runtime-energy correlation the paper relies on.
+#include <gtest/gtest.h>
+
+#include "energy/power_model.hpp"
+#include "energy/sampler.hpp"
+#include "machine/machine_model.hpp"
+
+namespace amr::energy {
+namespace {
+
+machine::MachineModel test_machine() {
+  machine::MachineModel m = machine::wisconsin8();
+  m.idle_watts = 100.0;
+  m.core_active_watts = 10.0;
+  m.nic_watts_per_gbps = 1.0;
+  return m;
+}
+
+TEST(PowerModel, IdleNodeDrawsIdleWatts) {
+  const NodeActivity node;
+  EXPECT_DOUBLE_EQ(node.watts_at(0.0, test_machine()), 100.0);
+}
+
+TEST(PowerModel, ComputeAddsPerCoreDraw) {
+  NodeActivity node;
+  node.add_compute(0.0, 10.0, 4);
+  const auto m = test_machine();
+  EXPECT_DOUBLE_EQ(node.watts_at(5.0, m), 140.0);
+  EXPECT_DOUBLE_EQ(node.watts_at(15.0, m), 100.0);  // after the interval
+}
+
+TEST(PowerModel, BusyCoresClampToNodeSize) {
+  NodeActivity node;
+  node.add_compute(0.0, 1.0, 9999);
+  const auto m = test_machine();
+  EXPECT_DOUBLE_EQ(node.watts_at(0.5, m), 100.0 + 10.0 * m.cores_per_node);
+}
+
+TEST(PowerModel, NicDrawProportionalToRate) {
+  NodeActivity node;
+  // 1 GB over 8 seconds = 1 Gbit/s.
+  node.add_comm(0.0, 8.0, 1.0e9, 0);
+  EXPECT_NEAR(node.watts_at(1.0, test_machine()), 101.0, 1e-9);
+  EXPECT_TRUE(node.comm_active_at(1.0));
+  EXPECT_FALSE(node.comm_active_at(9.0));
+}
+
+TEST(PowerModel, OverlappingIntervalsAdd) {
+  NodeActivity node;
+  node.add_compute(0.0, 10.0, 2);
+  node.add_compute(5.0, 15.0, 3);
+  const auto m = test_machine();
+  EXPECT_DOUBLE_EQ(node.watts_at(2.0, m), 120.0);
+  EXPECT_DOUBLE_EQ(node.watts_at(7.0, m), 150.0);
+  EXPECT_DOUBLE_EQ(node.watts_at(12.0, m), 130.0);
+  EXPECT_DOUBLE_EQ(node.end_time(), 15.0);
+}
+
+TEST(Sampler, ConstantLoadIntegratesExactly) {
+  NodeActivity node;
+  node.add_compute(0.0, 100.0, 10);
+  std::vector<NodeActivity> nodes{node};
+  SamplerOptions options;
+  options.sample_hz = 1.0;
+  const EnergyReport report = measure_energy(nodes, test_machine(), options);
+  // 200 W for 100 s = 20 kJ; the final 1 Hz trapezoid segment straddles the
+  // falling edge of the load, so allow half a sample of slack.
+  EXPECT_NEAR(report.total_joules, 20000.0, 60.0);
+  EXPECT_EQ(report.per_node_joules.size(), 1U);
+  EXPECT_NEAR(report.duration_s, 100.0, 1e-9);
+}
+
+TEST(Sampler, CommJoulesAttributedToCommPhase) {
+  NodeActivity node;
+  node.add_compute(0.0, 50.0, 1);
+  node.add_comm(50.0, 100.0, 1.0e9, 1);
+  std::vector<NodeActivity> nodes{node};
+  const EnergyReport report = measure_energy(nodes, test_machine(), {});
+  EXPECT_GT(report.comm_joules, 0.0);
+  EXPECT_LT(report.comm_joules, report.total_joules);
+  // Roughly half the job is the comm phase.
+  EXPECT_NEAR(report.comm_joules / report.total_joules, 0.5, 0.05);
+}
+
+TEST(Sampler, NoiseIsZeroMeanAndDeterministic) {
+  NodeActivity node;
+  node.add_compute(0.0, 2000.0, 4);
+  std::vector<NodeActivity> nodes{node};
+  SamplerOptions noisy;
+  noisy.noise_sd_watts = 5.0;
+  noisy.seed = 7;
+  const EnergyReport a = measure_energy(nodes, test_machine(), noisy);
+  const EnergyReport b = measure_energy(nodes, test_machine(), noisy);
+  EXPECT_DOUBLE_EQ(a.total_joules, b.total_joules);  // same seed
+  const EnergyReport clean = measure_energy(nodes, test_machine(), {});
+  // Zero-mean noise: integrals agree within a fraction of a percent over
+  // 2000 samples.
+  EXPECT_NEAR(a.total_joules / clean.total_joules, 1.0, 0.01);
+}
+
+TEST(Sampler, HigherSampleRateConvergesToSameEnergy) {
+  NodeActivity node;
+  for (int i = 0; i < 20; ++i) {
+    node.add_compute(i * 1.0, i * 1.0 + 0.4, 8);  // sub-second bursts
+  }
+  std::vector<NodeActivity> nodes{node};
+  SamplerOptions coarse;
+  coarse.sample_hz = 100.0;
+  SamplerOptions fine;
+  fine.sample_hz = 1000.0;
+  const double e_coarse = measure_energy(nodes, test_machine(), coarse).total_joules;
+  const double e_fine = measure_energy(nodes, test_machine(), fine).total_joules;
+  EXPECT_NEAR(e_coarse / e_fine, 1.0, 0.02);
+}
+
+TEST(Sampler, LongerJobUsesMoreEnergy) {
+  // The paper's premise on frequency-pinned nodes: energy tracks runtime.
+  NodeActivity quick;
+  quick.add_compute(0.0, 50.0, 8);
+  NodeActivity slow;
+  slow.add_compute(0.0, 80.0, 8);
+  std::vector<NodeActivity> a{quick};
+  std::vector<NodeActivity> b{slow};
+  EXPECT_LT(measure_energy(a, test_machine(), {}).total_joules,
+            measure_energy(b, test_machine(), {}).total_joules);
+}
+
+}  // namespace
+}  // namespace amr::energy

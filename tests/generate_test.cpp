@@ -1,0 +1,148 @@
+// Octree generation tests: the built trees must be complete, linear,
+// curve-ordered, adaptive (deeper where points cluster) and reproducible.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "octree/generate.hpp"
+#include "octree/treesort.hpp"
+
+namespace amr::octree {
+namespace {
+
+using sfc::Curve;
+using sfc::CurveKind;
+
+struct GenCase {
+  PointDistribution dist;
+  CurveKind kind;
+};
+
+class GenerateTest : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(GenerateTest, ProducesCompleteLinearSortedOctree) {
+  const auto [dist, kind] = GetParam();
+  const Curve curve(kind, 3);
+  GenerateOptions options;
+  options.distribution = dist;
+  options.seed = 1234;
+  options.max_level = 12;
+  options.max_points_per_leaf = 4;
+
+  const auto tree = random_octree(5000, curve, options);
+  EXPECT_GT(tree.size(), 100U);
+  EXPECT_TRUE(is_sfc_sorted(tree, curve));
+  EXPECT_TRUE(is_linear(tree, curve));
+  EXPECT_TRUE(is_complete(tree, curve));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, GenerateTest,
+    ::testing::Values(GenCase{PointDistribution::kUniform, CurveKind::kMorton},
+                      GenCase{PointDistribution::kNormal, CurveKind::kMorton},
+                      GenCase{PointDistribution::kLogNormal, CurveKind::kMorton},
+                      GenCase{PointDistribution::kUniform, CurveKind::kHilbert},
+                      GenCase{PointDistribution::kNormal, CurveKind::kHilbert},
+                      GenCase{PointDistribution::kLogNormal, CurveKind::kHilbert}),
+    [](const auto& info) {
+      return to_string(info.param.dist) + "_" + sfc::to_string(info.param.kind);
+    });
+
+TEST(Generate, DeterministicForFixedSeed) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  GenerateOptions options;
+  options.seed = 99;
+  const auto a = random_octree(2000, curve, options);
+  const auto b = random_octree(2000, curve, options);
+  EXPECT_EQ(a, b);
+  options.seed = 100;
+  const auto c = random_octree(2000, curve, options);
+  EXPECT_NE(a, c);
+}
+
+TEST(Generate, NormalDistributionRefinesCenter) {
+  const Curve curve(CurveKind::kMorton, 3);
+  GenerateOptions options;
+  options.distribution = PointDistribution::kNormal;
+  options.max_level = 10;
+  options.max_points_per_leaf = 2;
+  const auto tree = random_octree(20000, curve, options);
+
+  // Leaves near the center must be finer (deeper) on average than near the
+  // corner: adaptivity follows the density.
+  double center_level = 0.0;
+  double corner_level = 0.0;
+  int center_count = 0;
+  int corner_count = 0;
+  for (const Octant& o : tree) {
+    const auto a = o.anchor_unit();
+    const double d =
+        std::abs(a[0] - 0.5) + std::abs(a[1] - 0.5) + std::abs(a[2] - 0.5);
+    if (d < 0.2) {
+      center_level += o.level;
+      ++center_count;
+    } else if (d > 1.0) {
+      corner_level += o.level;
+      ++corner_count;
+    }
+  }
+  ASSERT_GT(center_count, 0);
+  ASSERT_GT(corner_count, 0);
+  EXPECT_GT(center_level / center_count, corner_level / corner_count + 1.0);
+}
+
+TEST(Generate, MaxLevelRespected) {
+  const Curve curve(CurveKind::kMorton, 3);
+  GenerateOptions options;
+  options.max_level = 6;
+  options.max_points_per_leaf = 1;
+  const auto tree = random_octree(10000, curve, options);
+  for (const Octant& o : tree) EXPECT_LE(o.level, 6);
+}
+
+TEST(Generate, PointsAreQuantizedInDomain) {
+  GenerateOptions options;
+  options.distribution = PointDistribution::kLogNormal;
+  const auto points = generate_points(5000, options);
+  EXPECT_EQ(points.size(), 5000U);
+  for (const auto& p : points) {
+    EXPECT_LT(p[0], 1U << kMaxDepth);
+    EXPECT_LT(p[1], 1U << kMaxDepth);
+    EXPECT_LT(p[2], 1U << kMaxDepth);
+  }
+}
+
+TEST(Generate, UniformOctreeHasPowerOf8Leaves) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  for (int level = 0; level <= 3; ++level) {
+    const auto tree = uniform_octree(level, curve);
+    EXPECT_EQ(tree.size(), static_cast<std::size_t>(1) << (3 * level));
+    EXPECT_TRUE(is_complete(tree, curve));
+  }
+}
+
+TEST(Generate, UniformQuadtree2d) {
+  const Curve curve(CurveKind::kHilbert, 2);
+  const auto tree = uniform_octree(3, curve);
+  EXPECT_EQ(tree.size(), 64U);
+  EXPECT_TRUE(is_sfc_sorted(tree, curve));
+  EXPECT_TRUE(is_complete(tree, curve));
+}
+
+TEST(Generate, EmptyPointSetYieldsRootLeaf) {
+  const Curve curve(CurveKind::kMorton, 3);
+  const auto tree = build_octree({}, curve, GenerateOptions{});
+  ASSERT_EQ(tree.size(), 1U);
+  EXPECT_EQ(tree[0], root_octant());
+}
+
+TEST(Generate, DistributionNamesRoundTrip) {
+  for (const auto dist : {PointDistribution::kUniform, PointDistribution::kNormal,
+                          PointDistribution::kLogNormal}) {
+    EXPECT_EQ(distribution_from_string(to_string(dist)), dist);
+  }
+  EXPECT_THROW((void)distribution_from_string("cauchy"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace amr::octree

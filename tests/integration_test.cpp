@@ -1,0 +1,211 @@
+// End-to-end integration tests across modules: the full paper pipeline
+// (generate -> balance -> sort -> partition -> mesh -> matvec -> energy)
+// executed (a) by the sequential global engine and (b) by real threads via
+// simmpi, with the two agreeing exactly; plus the headline hypothesis test:
+// on a communication-bound machine, the OptiPart partition's simulated
+// matvec epoch is faster than the ideal equal split's.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fem/laplacian.hpp"
+#include "mesh/comm_matrix.hpp"
+#include "mesh/mesh.hpp"
+#include "octree/balance.hpp"
+#include "octree/generate.hpp"
+#include "octree/treesort.hpp"
+#include "partition/optipart.hpp"
+#include "sim/matvec_sim.hpp"
+#include "simmpi/dist_fem.hpp"
+#include "simmpi/dist_treesort.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace amr {
+namespace {
+
+using octree::Octant;
+using sfc::Curve;
+using sfc::CurveKind;
+
+std::vector<Octant> pipeline_tree(CurveKind kind, std::size_t points,
+                                  std::uint64_t seed) {
+  const Curve curve(kind, 3);
+  octree::GenerateOptions options;
+  options.seed = seed;
+  options.max_level = 7;
+  options.max_points_per_leaf = 2;
+  options.distribution = octree::PointDistribution::kNormal;
+  return octree::balance_octree(octree::random_octree(points, curve, options), curve);
+}
+
+TEST(Integration, ThreadedMatvecEqualsSequentialEngine) {
+  const int p = 6;
+  const int iterations = 5;
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = pipeline_tree(CurveKind::kHilbert, 2500, 42);
+  const auto part = partition::ideal_partition(tree.size(), p);
+  const auto meshes = mesh::build_local_meshes(tree, curve, part);
+
+  // Initial field: smooth bump.
+  std::vector<double> u0(tree.size());
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const auto a = tree[i].anchor_unit();
+    u0[i] = std::sin(3.14159 * a[0]) * std::sin(3.14159 * a[1]) * a[2];
+  }
+
+  // Sequential engine: iterate u <- L u.
+  const fem::DistributedLaplacian engine(meshes);
+  auto pieces = engine.scatter(u0);
+  std::vector<std::vector<double>> out;
+  for (int it = 0; it < iterations; ++it) {
+    engine.matvec(pieces, out);
+    std::swap(pieces, out);
+  }
+  const auto sequential = engine.gather(pieces);
+
+  // Threaded engine over simmpi.
+  std::vector<std::vector<double>> threaded_pieces(static_cast<std::size_t>(p));
+  simmpi::run_ranks(p, [&](simmpi::Comm& comm) {
+    const mesh::LocalMesh& m = meshes[static_cast<std::size_t>(comm.rank())];
+    std::vector<double> u(u0.begin() + static_cast<std::ptrdiff_t>(m.global_begin),
+                          u0.begin() + static_cast<std::ptrdiff_t>(m.global_begin +
+                                                                   m.elements.size()));
+    simmpi::dist_matvec_loop(m, comm, iterations, u);
+    threaded_pieces[static_cast<std::size_t>(comm.rank())] = std::move(u);
+  });
+
+  std::vector<double> threaded;
+  for (const auto& piece : threaded_pieces) {
+    threaded.insert(threaded.end(), piece.begin(), piece.end());
+  }
+
+  ASSERT_EQ(threaded.size(), sequential.size());
+  for (std::size_t i = 0; i < threaded.size(); ++i) {
+    EXPECT_DOUBLE_EQ(threaded[i], sequential[i]) << "element " << i;
+  }
+}
+
+TEST(Integration, P2pExchangeMatchesCollectiveExchange) {
+  const int p = 5;
+  const int iterations = 4;
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = pipeline_tree(CurveKind::kHilbert, 2000, 19);
+  const auto meshes =
+      mesh::build_local_meshes(tree, curve, partition::ideal_partition(tree.size(), p));
+
+  std::vector<double> u0(tree.size());
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    u0[i] = std::sin(static_cast<double>(i));
+  }
+
+  auto run_variant = [&](bool p2p) {
+    std::vector<std::vector<double>> pieces(static_cast<std::size_t>(p));
+    simmpi::run_ranks(p, [&](simmpi::Comm& comm) {
+      const mesh::LocalMesh& m = meshes[static_cast<std::size_t>(comm.rank())];
+      std::vector<double> u(u0.begin() + static_cast<std::ptrdiff_t>(m.global_begin),
+                            u0.begin() + static_cast<std::ptrdiff_t>(m.global_begin +
+                                                                     m.elements.size()));
+      if (p2p) {
+        simmpi::dist_matvec_loop_p2p(m, comm, iterations, u);
+      } else {
+        simmpi::dist_matvec_loop(m, comm, iterations, u);
+      }
+      pieces[static_cast<std::size_t>(comm.rank())] = std::move(u);
+    });
+    std::vector<double> all;
+    for (const auto& piece : pieces) all.insert(all.end(), piece.begin(), piece.end());
+    return all;
+  };
+
+  const auto collective = run_variant(false);
+  const auto p2p = run_variant(true);
+  ASSERT_EQ(collective.size(), p2p.size());
+  for (std::size_t i = 0; i < collective.size(); ++i) {
+    EXPECT_DOUBLE_EQ(collective[i], p2p[i]) << i;
+  }
+}
+
+TEST(Integration, OptiPartBeatsIdealOnCommBoundMachine) {
+  // The paper's hypothesis, end to end: build the mesh, partition with
+  // OptiPart vs the ideal split, build real comm matrices, simulate the
+  // 100-matvec epoch on the (comm-bound) CloudLab machine: OptiPart's
+  // partition must yield lower time AND energy.
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = pipeline_tree(CurveKind::kHilbert, 12000, 7);
+  const int p = 32;
+  const machine::PerfModel model(machine::wisconsin8(), machine::ApplicationProfile{});
+
+  const auto ideal = partition::ideal_partition(tree.size(), p);
+  const auto opti = partition::optipart_partition(tree, curve, p, model);
+
+  const auto metrics_ideal = partition::compute_metrics(tree, curve, ideal);
+  const auto metrics_opti = partition::compute_metrics(tree, curve, opti);
+  const auto comm_ideal = mesh::build_comm_matrix(tree, curve, ideal);
+  const auto comm_opti = mesh::build_comm_matrix(tree, curve, opti);
+
+  sim::MatvecSimConfig config;
+  config.iterations = 100;
+  config.sampler.sample_hz = 1e5;
+  const auto run_ideal = sim::simulate_matvec(metrics_ideal, comm_ideal, model, config);
+  const auto run_opti = sim::simulate_matvec(metrics_opti, comm_opti, model, config);
+
+  EXPECT_LE(run_opti.total_seconds, run_ideal.total_seconds * 1.001);
+  EXPECT_LE(run_opti.energy.total_joules, run_ideal.energy.total_joules * 1.001);
+  // And the flexible partition moves no more ghost data in total.
+  EXPECT_LE(comm_opti.total_elements(), comm_ideal.total_elements() * 1.001);
+}
+
+TEST(Integration, DistTreesortThenMeshThenMatvec) {
+  // Distributed pipeline: ranks generate disjoint random octant streams,
+  // dist_treesort partitions them, and the resulting per-rank trees tile a
+  // valid global linear octree whose mesh supports a matvec.
+  const int p = 4;
+  const Curve curve(CurveKind::kMorton, 3);
+
+  std::vector<std::vector<Octant>> pieces(static_cast<std::size_t>(p));
+  simmpi::run_ranks(p, [&](simmpi::Comm& comm) {
+    octree::GenerateOptions options;
+    options.seed = 1000 + static_cast<std::uint64_t>(comm.rank());
+    options.max_level = 6;
+    // Each rank contributes points; leaves of a *local* octree act as the
+    // element stream (duplicates across ranks are fine for sorting).
+    auto local = octree::random_octree(1000, curve, options);
+    simmpi::dist_treesort(local, comm, curve, {});
+    pieces[static_cast<std::size_t>(comm.rank())] = std::move(local);
+  });
+
+  std::vector<Octant> all;
+  for (const auto& piece : pieces) all.insert(all.end(), piece.begin(), piece.end());
+  EXPECT_TRUE(octree::is_sfc_sorted(all, curve));
+}
+
+TEST(Integration, EnergyRuntimeCorrelationAcrossTolerances) {
+  // Sweep tolerances like Fig. 7 and verify runtime and energy move
+  // together (strong positive correlation).
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = pipeline_tree(CurveKind::kHilbert, 8000, 3);
+  const int p = 16;
+  const machine::PerfModel model(machine::clemson32(), machine::ApplicationProfile{});
+
+  std::vector<double> times;
+  std::vector<double> energies;
+  for (const double tol : {0.0, 0.1, 0.2, 0.3, 0.5}) {
+    partition::TreeSortPartitionOptions options;
+    options.tolerance = tol;
+    const auto part = partition::treesort_partition(tree, curve, p, options);
+    const auto metrics = partition::compute_metrics(tree, curve, part);
+    const auto comm = mesh::build_comm_matrix(tree, curve, part);
+    sim::MatvecSimConfig config;
+    config.iterations = 20;
+    config.sampler.sample_hz = 1e5;
+    const auto run = sim::simulate_matvec(metrics, comm, model, config);
+    times.push_back(run.total_seconds);
+    energies.push_back(run.energy.total_joules);
+  }
+  EXPECT_GT(util::pearson(times, energies), 0.9);
+}
+
+}  // namespace
+}  // namespace amr

@@ -1,0 +1,101 @@
+// Machine-model and performance-model (Eq. 1-3) tests.
+#include <gtest/gtest.h>
+
+#include "machine/machine_model.hpp"
+#include "machine/perf_model.hpp"
+
+namespace amr::machine {
+namespace {
+
+TEST(MachineModel, PresetsAreWellFormed) {
+  for (const MachineModel& m : all_machines()) {
+    EXPECT_FALSE(m.name.empty());
+    EXPECT_GT(m.tc, 0.0);
+    EXPECT_GT(m.ts, 0.0);
+    EXPECT_GT(m.tw, 0.0);
+    EXPECT_GT(m.cores_per_node, 0);
+    EXPECT_GT(m.total_nodes, 0);
+    EXPECT_GT(m.idle_watts, 0.0);
+    // On every preset a byte over the network is slower than a byte from
+    // memory -- the premise of communication-minimizing partitioning.
+    EXPECT_GT(m.tw, m.tc) << m.name;
+  }
+}
+
+TEST(MachineModel, LookupByName) {
+  EXPECT_EQ(machine_by_name("titan").name, "titan");
+  EXPECT_EQ(machine_by_name("stampede").name, "stampede");
+  EXPECT_EQ(machine_by_name("wisconsin8").name, "wisconsin8");
+  EXPECT_EQ(machine_by_name("clemson32").name, "clemson32");
+  EXPECT_THROW(machine_by_name("summit"), std::invalid_argument);
+}
+
+TEST(MachineModel, CloudLabEthernetIsMoreCommBoundThanTitan) {
+  // The tw/tc ratio decides how much imbalance OptiPart will trade for
+  // lower communication; CloudLab's 10 GbE must be more communication
+  // bound than the HPC interconnects (which is where the paper measures
+  // the largest savings).
+  EXPECT_GT(wisconsin8().tw / wisconsin8().tc, titan().tw / titan().tc);
+  EXPECT_GT(clemson32().tw / clemson32().tc, stampede().tw / stampede().tc);
+}
+
+TEST(MachineModel, RankPlacement) {
+  const MachineModel m = wisconsin8();
+  EXPECT_EQ(m.node_of_rank(0), 0);
+  EXPECT_EQ(m.node_of_rank(m.cores_per_node - 1), 0);
+  EXPECT_EQ(m.node_of_rank(m.cores_per_node), 1);
+  EXPECT_EQ(m.total_cores(), static_cast<std::int64_t>(m.cores_per_node) * m.total_nodes);
+}
+
+TEST(PerfModel, Equation3Structure) {
+  MachineModel m = titan();
+  m.tc = 1.0e-9;
+  m.tw = 1.0e-8;
+  const PerfModel model(m, ApplicationProfile{8.0, 8.0});
+  // alpha*tc*W*bytes + tw*C*bytes.
+  EXPECT_DOUBLE_EQ(model.application_time(1000.0, 0.0), 8.0 * 1.0e-9 * 8.0 * 1000.0);
+  EXPECT_DOUBLE_EQ(model.application_time(0.0, 500.0), 1.0e-8 * 8.0 * 500.0);
+  EXPECT_DOUBLE_EQ(model.application_time(1000.0, 500.0),
+                   model.compute_time(1000.0) + model.comm_time(500.0));
+}
+
+TEST(PerfModel, MoreWorkOrCommNeverFaster) {
+  const PerfModel model(stampede(), ApplicationProfile{});
+  EXPECT_LT(model.application_time(100.0, 10.0), model.application_time(200.0, 10.0));
+  EXPECT_LT(model.application_time(100.0, 10.0), model.application_time(100.0, 20.0));
+}
+
+TEST(PerfModel, TreesortTimeDecreasesWithMoreRanks) {
+  const PerfModel model(titan(), ApplicationProfile{});
+  // Strong scaling: for fixed N the grain terms shrink with p.
+  const double t64 = model.treesort_time(1.0e8, 64, 64);
+  const double t1024 = model.treesort_time(1.0e8, 1024, 1024);
+  EXPECT_GT(t64, t1024);
+}
+
+TEST(PerfModel, StagedSplittersCheaperThanFull) {
+  const PerfModel model(titan(), ApplicationProfile{});
+  // Eq. 2 vs Eq. 1: capping k below p reduces the splitter term.
+  const double staged = model.treesort_time(1.0e9, 262144, 4096);
+  const double full = model.treesort_time(1.0e9, 262144, 262144);
+  EXPECT_LT(staged, full);
+}
+
+TEST(PerfModel, BreakdownSumsToTotal) {
+  const PerfModel model(stampede(), ApplicationProfile{});
+  const auto b = model.treesort_breakdown(1.0e7, 256, 256, 32.0, 10.0);
+  EXPECT_GT(b.local_sort, 0.0);
+  EXPECT_GT(b.splitter, 0.0);
+  EXPECT_GT(b.all2all, 0.0);
+  EXPECT_DOUBLE_EQ(b.total(), b.local_sort + b.splitter + b.all2all);
+}
+
+TEST(PerfModel, AlphaFromRates) {
+  // A kernel streaming at half the rate of pure copy touches ~2x the data.
+  EXPECT_DOUBLE_EQ(measure_alpha_from_rates(1.0e9, 2.0e9), 2.0);
+  EXPECT_DOUBLE_EQ(measure_alpha_from_rates(2.0e9, 1.0e9), 1.0);  // clamped
+  EXPECT_DOUBLE_EQ(measure_alpha_from_rates(0.0, 1.0e9), 1.0);    // guard
+}
+
+}  // namespace
+}  // namespace amr::machine

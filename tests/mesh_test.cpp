@@ -1,0 +1,156 @@
+// Distributed mesh construction tests: faces, ghosts, matched exchange
+// channels, and consistency between the global and per-rank views.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mesh/mesh.hpp"
+#include "octree/balance.hpp"
+#include "octree/generate.hpp"
+
+namespace amr::mesh {
+namespace {
+
+using octree::Octant;
+using partition::Partition;
+using partition::ideal_partition;
+using sfc::Curve;
+using sfc::CurveKind;
+
+std::vector<Octant> balanced_tree(CurveKind kind, std::size_t points,
+                                  std::uint64_t seed) {
+  const Curve curve(kind, 3);
+  octree::GenerateOptions options;
+  options.seed = seed;
+  options.max_level = 7;
+  options.max_points_per_leaf = 2;
+  options.distribution = octree::PointDistribution::kNormal;
+  return octree::balance_octree(octree::random_octree(points, curve, options), curve);
+}
+
+TEST(GlobalMesh, UniformGridFaceCount) {
+  const Curve curve(CurveKind::kMorton, 3);
+  const GlobalMesh mesh = build_global_mesh(octree::uniform_octree(2, curve), curve);
+  // 4x4x4 grid: interior faces = 3 axes * 3 planes/axis * 16 faces = 144;
+  // boundary faces = 6 sides * 16 = 96.
+  EXPECT_EQ(mesh.faces.size(), 144U);
+  EXPECT_EQ(mesh.boundary_faces.size(), 96U);
+  for (const Face& f : mesh.faces) {
+    EXPECT_FALSE(f.b_is_ghost);
+    EXPECT_GT(f.area, 0.0);
+    EXPECT_GT(f.dist, 0.0);
+  }
+}
+
+TEST(GlobalMesh, FaceAreasSumToSurfaceBudget) {
+  // Sum of interior face areas x2 plus boundary areas equals the total
+  // per-element surface: 6 unit faces per cell of a uniform grid.
+  const Curve curve(CurveKind::kHilbert, 3);
+  const GlobalMesh mesh = build_global_mesh(octree::uniform_octree(3, curve), curve);
+  double total = 0.0;
+  for (const Face& f : mesh.faces) total += 2.0 * f.area;
+  for (const BoundaryFace& f : mesh.boundary_faces) total += f.area;
+  const double per_cell = 6.0 * (1.0 / 8.0) * (1.0 / 8.0);
+  EXPECT_NEAR(total, per_cell * 512.0, 1e-9);
+}
+
+TEST(GlobalMesh, AdaptiveTreeFacesConserveArea) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = balanced_tree(CurveKind::kHilbert, 3000, 3);
+  const GlobalMesh mesh = build_global_mesh(tree, curve);
+  double per_element_surface = 0.0;
+  for (const Octant& o : tree) {
+    const double s = static_cast<double>(o.size()) /
+                     static_cast<double>(1U << octree::kMaxDepth);
+    per_element_surface += 6.0 * s * s;
+  }
+  double accounted = 0.0;
+  for (const Face& f : mesh.faces) accounted += 2.0 * f.area;
+  for (const BoundaryFace& f : mesh.boundary_faces) accounted += f.area;
+  EXPECT_NEAR(accounted / per_element_surface, 1.0, 1e-9);
+}
+
+class LocalMeshTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LocalMeshTest, LocalViewsTileTheGlobalMesh) {
+  const int p = GetParam();
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = balanced_tree(CurveKind::kHilbert, 4000, 9);
+  const Partition part = ideal_partition(tree.size(), p);
+  const auto meshes = build_local_meshes(tree, curve, part);
+  const GlobalMesh global = build_global_mesh(tree, curve);
+
+  ASSERT_EQ(meshes.size(), static_cast<std::size_t>(p));
+
+  std::size_t elements = 0;
+  std::size_t boundary_faces = 0;
+  std::size_t owned_faces = 0;
+  std::size_t ghost_faces = 0;
+  for (const LocalMesh& m : meshes) {
+    elements += m.elements.size();
+    boundary_faces += m.boundary_faces.size();
+    for (const Face& f : m.faces) {
+      (f.b_is_ghost ? ghost_faces : owned_faces)++;
+    }
+    // Channel sanity: peers strictly ascending, no self-channel.
+    for (std::size_t k = 0; k < m.peers.size(); ++k) {
+      EXPECT_NE(m.peers[k], m.rank);
+      if (k > 0) {
+        EXPECT_LT(m.peers[k - 1], m.peers[k]);
+      }
+    }
+    EXPECT_EQ(m.recv_volume(), m.ghosts.size());
+  }
+  EXPECT_EQ(elements, tree.size());
+  EXPECT_EQ(boundary_faces, global.boundary_faces.size());
+  // Every cross-rank face appears twice (once per side); owned faces once.
+  EXPECT_EQ(owned_faces + ghost_faces / 2, global.faces.size());
+  EXPECT_EQ(ghost_faces % 2, 0U);
+}
+
+TEST_P(LocalMeshTest, SendRecvChannelsMatch) {
+  const int p = GetParam();
+  const Curve curve(CurveKind::kMorton, 3);
+  const auto tree = balanced_tree(CurveKind::kMorton, 3000, 5);
+  const auto meshes = build_local_meshes(tree, curve, ideal_partition(tree.size(), p));
+
+  for (const LocalMesh& m : meshes) {
+    for (std::size_t k = 0; k < m.peers.size(); ++k) {
+      const LocalMesh& peer = meshes[static_cast<std::size_t>(m.peers[k])];
+      // Find the reciprocal channel.
+      const auto it = std::find(peer.peers.begin(), peer.peers.end(), m.rank);
+      ASSERT_NE(it, peer.peers.end());
+      const std::size_t pk = static_cast<std::size_t>(it - peer.peers.begin());
+      EXPECT_EQ(m.recv_lists[k].size(), peer.send_lists[pk].size());
+      // Payload agreement: the peer's send elements are exactly our ghosts
+      // in those slots.
+      for (std::size_t i = 0; i < m.recv_lists[k].size(); ++i) {
+        const Octant sent = peer.elements[peer.send_lists[pk][i]];
+        const Octant expected = m.ghosts[m.recv_lists[k][i]];
+        EXPECT_EQ(sent, expected);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, LocalMeshTest, ::testing::Values(1, 2, 5, 8, 16),
+                         [](const auto& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+TEST(LocalMesh, GhostOwnersAreCorrect) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = balanced_tree(CurveKind::kHilbert, 2000, 7);
+  const Partition part = ideal_partition(tree.size(), 6);
+  const auto meshes = build_local_meshes(tree, curve, part);
+  for (const LocalMesh& m : meshes) {
+    for (std::size_t g = 0; g < m.ghosts.size(); ++g) {
+      EXPECT_EQ(m.ghost_owner[g], part.owner_of(m.ghost_global[g]));
+      EXPECT_NE(m.ghost_owner[g], m.rank);
+      EXPECT_EQ(tree[m.ghost_global[g]], m.ghosts[g]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace amr::mesh

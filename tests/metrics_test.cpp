@@ -1,0 +1,129 @@
+// PartitionQuality (Alg. 2) metric tests: boundary octant counting,
+// imbalance measures, and the monotone communication-vs-level trade-off
+// of paper Figs. 2 and 11.
+#include <gtest/gtest.h>
+
+#include "machine/perf_model.hpp"
+#include "octree/generate.hpp"
+#include "partition/metrics.hpp"
+#include "partition/partition.hpp"
+
+namespace amr::partition {
+namespace {
+
+using octree::Octant;
+using sfc::Curve;
+using sfc::CurveKind;
+
+TEST(Metrics, UniformGridTwoRanks) {
+  // 4x4x4 grid split in half along the curve: work 32/32.
+  const Curve curve(CurveKind::kMorton, 3);
+  const auto tree = octree::uniform_octree(2, curve);
+  const Partition part = ideal_partition(tree.size(), 2);
+  const Metrics m = compute_metrics(tree, curve, part);
+  EXPECT_DOUBLE_EQ(m.work[0], 32.0);
+  EXPECT_DOUBLE_EQ(m.work[1], 32.0);
+  EXPECT_DOUBLE_EQ(m.load_imbalance, 1.0);
+  // Under Morton, the first 32 cells are the z < 1/2 half: the boundary is
+  // the full 4x4 plane of cells on each side.
+  EXPECT_DOUBLE_EQ(m.boundary[0], 16.0);
+  EXPECT_DOUBLE_EQ(m.boundary[1], 16.0);
+  EXPECT_DOUBLE_EQ(m.c_max, 16.0);
+}
+
+TEST(Metrics, SingleRankHasNoBoundary) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = octree::uniform_octree(2, curve);
+  const Partition part = ideal_partition(tree.size(), 1);
+  const Metrics m = compute_metrics(tree, curve, part);
+  EXPECT_DOUBLE_EQ(m.c_max, 0.0);
+  EXPECT_DOUBLE_EQ(m.total_boundary, 0.0);
+}
+
+TEST(Metrics, SampledEstimatorTracksExact) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  octree::GenerateOptions options;
+  options.seed = 17;
+  options.max_level = 9;
+  const auto tree = octree::random_octree(20000, curve, options);
+  const Partition part = ideal_partition(tree.size(), 8);
+  const Metrics exact = compute_metrics(tree, curve, part);
+  const Metrics sampled = compute_metrics(tree, curve, part, {4});
+  EXPECT_NEAR(sampled.c_max / exact.c_max, 1.0, 0.25);
+  EXPECT_DOUBLE_EQ(sampled.w_max, exact.w_max);  // work is exact regardless
+}
+
+TEST(Metrics, PredictedTimeMatchesEquation3) {
+  const Curve curve(CurveKind::kMorton, 3);
+  const auto tree = octree::uniform_octree(2, curve);
+  const Partition part = ideal_partition(tree.size(), 2);
+  const Metrics m = compute_metrics(tree, curve, part);
+  const machine::PerfModel model(machine::titan(), machine::ApplicationProfile{});
+  EXPECT_DOUBLE_EQ(m.predicted_time(model), model.application_time(m.w_max, m.c_max));
+  EXPECT_DOUBLE_EQ(partition_quality(tree, curve, part, model),
+                   m.predicted_time(model));
+}
+
+// Fig. 2's trade-off on the real metric: refining the partition toward the
+// ideal split must not decrease the boundary (communication), while the
+// imbalance shrinks.
+TEST(Metrics, BoundaryGrowsAsImbalanceShrinks) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  octree::GenerateOptions options;
+  options.seed = 23;
+  options.max_level = 9;
+  options.distribution = octree::PointDistribution::kNormal;
+  const auto tree = octree::random_octree(30000, curve, options);
+  const int p = 8;
+
+  // Coarse partition (high tolerance) vs fine partition (tolerance 0).
+  TreeSortPartitionOptions coarse_opt;
+  coarse_opt.tolerance = 0.4;
+  const Partition coarse = treesort_partition(tree, curve, p, coarse_opt);
+  const Partition fine = treesort_partition(tree, curve, p, {});
+
+  const Metrics m_coarse = compute_metrics(tree, curve, coarse);
+  const Metrics m_fine = compute_metrics(tree, curve, fine);
+
+  EXPECT_LE(m_fine.load_imbalance, m_coarse.load_imbalance + 1e-9);
+  // The total boundary surface of the flexible partition is no larger.
+  EXPECT_LE(m_coarse.total_boundary, m_fine.total_boundary * 1.02 + 1.0);
+}
+
+TEST(Metrics, ImbalanceGrowsWithTolerance) {
+  // Fig. 11: load imbalance increases with tolerance.
+  const Curve curve(CurveKind::kHilbert, 3);
+  octree::GenerateOptions options;
+  options.seed = 29;
+  options.max_level = 10;
+  const auto tree = octree::random_octree(40000, curve, options);
+  const int p = 16;
+
+  double prev_lambda = 0.0;
+  for (const double tol : {0.0, 0.2, 0.5}) {
+    TreeSortPartitionOptions opt;
+    opt.tolerance = tol;
+    const Partition part = treesort_partition(tree, curve, p, opt);
+    const double lambda = part.load_imbalance();
+    EXPECT_GE(lambda, prev_lambda - 1e-9) << "tol " << tol;
+    prev_lambda = lambda;
+  }
+  EXPECT_GT(prev_lambda, 1.05);  // tolerance 0.5 visibly imbalanced
+}
+
+TEST(Metrics, TwoDPartitionBoundary) {
+  const Curve curve(CurveKind::kHilbert, 2);
+  const auto tree = octree::uniform_octree(3, curve);  // 8x8 quadtree
+  const Partition part = ideal_partition(tree.size(), 4);
+  const Metrics m = compute_metrics(tree, curve, part);
+  // Hilbert splits an 8x8 grid over 4 ranks into four 4x4 quadrants, each
+  // exposing its 7 interior-facing cells... at minimum the boundary is the
+  // quadrant edge (7 cells), at most the full quadrant (16).
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_GE(m.boundary[static_cast<std::size_t>(r)], 4.0);
+    EXPECT_LE(m.boundary[static_cast<std::size_t>(r)], 16.0);
+  }
+}
+
+}  // namespace
+}  // namespace amr::partition

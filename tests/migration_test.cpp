@@ -1,0 +1,105 @@
+// Repartitioning/migration tests: splitter keys, cross-tree ownership, and
+// the locality property that makes SFC partitioning attractive for AMR --
+// local mesh changes cause only local ownership changes.
+#include <gtest/gtest.h>
+
+#include "octree/adapt.hpp"
+#include "octree/generate.hpp"
+#include "partition/partition.hpp"
+
+namespace amr::partition {
+namespace {
+
+using octree::Octant;
+using sfc::Curve;
+using sfc::CurveKind;
+
+TEST(SplitterKeys, OwnerByKeysMatchesPartitionOnSameTree) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  octree::GenerateOptions options;
+  options.seed = 3;
+  options.max_level = 8;
+  const auto tree = octree::random_octree(8000, curve, options);
+  for (const int p : {2, 7, 32}) {
+    const Partition part = ideal_partition(tree.size(), p);
+    const auto keys = splitter_keys(tree, part);
+    ASSERT_EQ(keys.size(), static_cast<std::size_t>(p));
+    for (std::size_t i = 0; i < tree.size(); ++i) {
+      EXPECT_EQ(owner_by_keys(keys, tree[i], curve), part.owner_of(i))
+          << "element " << i << " p " << p;
+    }
+  }
+}
+
+TEST(SplitterKeys, MigrationZeroWhenNothingChanges) {
+  const Curve curve(CurveKind::kMorton, 3);
+  octree::GenerateOptions options;
+  options.seed = 9;
+  const auto tree = octree::random_octree(5000, curve, options);
+  const Partition part = ideal_partition(tree.size(), 8);
+  const auto keys = splitter_keys(tree, part);
+  EXPECT_EQ(migration_volume(tree, curve, keys, part), 0U);
+}
+
+TEST(SplitterKeys, LocalRefinementCausesLocalMigration) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  octree::GenerateOptions options;
+  options.seed = 13;
+  options.max_level = 7;
+  const auto tree = octree::random_octree(10000, curve, options);
+  const int p = 16;
+  const Partition before = ideal_partition(tree.size(), p);
+  const auto keys = splitter_keys(tree, before);
+
+  // Refine a small ball of the domain, repartition, count migration.
+  const auto refined = octree::refine_octree(tree, curve, [](const Octant& o) {
+    const auto a = o.anchor_unit();
+    const double dx = a[0] - 0.5;
+    const double dy = a[1] - 0.5;
+    const double dz = a[2] - 0.5;
+    return dx * dx + dy * dy + dz * dz < 0.01 && o.level < 9;
+  });
+  ASSERT_GT(refined.size(), tree.size());
+  const Partition after = ideal_partition(refined.size(), p);
+  const std::size_t moved = migration_volume(refined, curve, keys, after);
+
+  // Ownership shifts are bounded: far less than a full redistribution.
+  EXPECT_GT(moved, 0U);
+  EXPECT_LT(moved, refined.size() / 2);
+}
+
+TEST(SplitterKeys, FullPerturbationMovesAlmostEverything) {
+  const Curve curve(CurveKind::kMorton, 3);
+  octree::GenerateOptions options;
+  options.seed = 17;
+  const auto tree = octree::random_octree(6000, curve, options);
+  const int p = 8;
+  const Partition part = ideal_partition(tree.size(), p);
+  const auto keys = splitter_keys(tree, part);
+
+  // Rotate ownership by one rank: everything migrates.
+  Partition rotated = part;
+  for (int r = 1; r < p; ++r) {
+    rotated.offsets[static_cast<std::size_t>(r)] =
+        part.offsets[static_cast<std::size_t>(r) - 1];
+  }
+  const std::size_t moved = migration_volume(tree, curve, keys, rotated);
+  EXPECT_GT(moved, tree.size() / 2);
+}
+
+TEST(SplitterKeys, EmptyRanksInheritPredecessorKey) {
+  const Curve curve(CurveKind::kMorton, 3);
+  const auto tree = octree::uniform_octree(1, curve);
+  Partition part;
+  part.offsets = {0, 8, 8, 8};  // ranks 1 and 2 own nothing
+  const auto keys = splitter_keys(tree, part);
+  ASSERT_EQ(keys.size(), 3U);
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    // owner_by_keys assigns the last rank whose key <= element; for an
+    // empty trailing range that is the last rank with the shared key.
+    EXPECT_GE(owner_by_keys(keys, tree[i], curve), 0);
+  }
+}
+
+}  // namespace
+}  // namespace amr::partition

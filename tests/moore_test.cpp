@@ -1,0 +1,156 @@
+// Moore curve tests: closedness (the defining property: first and last
+// cells of every level are neighbors), continuity, permutation validity,
+// and interoperability with TreeSort/partitioning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "octree/generate.hpp"
+#include "octree/treesort.hpp"
+#include "partition/partition.hpp"
+#include "sfc/curve.hpp"
+#include "sfc/hilbert.hpp"
+
+namespace amr::sfc {
+namespace {
+
+using octree::Octant;
+
+// Coordinates of the cell at curve position `rank` on a 2^level grid,
+// found by walking the tables (inverse of rank_at_own_level).
+std::array<std::uint32_t, 3> cell_at_rank(const Curve& curve, std::uint64_t rank,
+                                          int level) {
+  std::array<std::uint32_t, 3> coords{};
+  int state = 0;
+  for (int depth = 1; depth <= level; ++depth) {
+    const int j = static_cast<int>(
+        (rank >> (static_cast<std::uint64_t>(curve.dim()) *
+                  static_cast<std::uint64_t>(level - depth))) &
+        ((1U << curve.dim()) - 1));
+    const int c = curve.child_at(state, j);
+    for (int axis = 0; axis < curve.dim(); ++axis) {
+      coords[static_cast<std::size_t>(axis)] |=
+          static_cast<std::uint32_t>((c >> axis) & 1) << (level - depth);
+    }
+    state = curve.next_state(state, c);
+  }
+  return coords;
+}
+
+int manhattan(const std::array<std::uint32_t, 3>& a,
+              const std::array<std::uint32_t, 3>& b, int dim) {
+  int d = 0;
+  for (int axis = 0; axis < dim; ++axis) {
+    d += std::abs(static_cast<int>(a[static_cast<std::size_t>(axis)]) -
+                  static_cast<int>(b[static_cast<std::size_t>(axis)]));
+  }
+  return d;
+}
+
+class MooreTest : public ::testing::TestWithParam<int> {};  // dim
+
+TEST_P(MooreTest, TablesAreValidPermutations) {
+  const int dim = GetParam();
+  const auto& tables = moore_tables(dim);
+  const int children = 1 << dim;
+  EXPECT_EQ(tables.num_children, children);
+  for (int s = 0; s < tables.num_states; ++s) {
+    std::set<int> seen;
+    for (int j = 0; j < children; ++j) {
+      seen.insert(tables.child_at[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)]);
+      EXPECT_LT(tables.next_state[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)],
+                tables.num_states);
+    }
+    EXPECT_EQ(static_cast<int>(seen.size()), children);
+  }
+}
+
+TEST_P(MooreTest, CurveIsContinuous) {
+  // Consecutive cells differ by exactly one grid step (like Hilbert).
+  const int dim = GetParam();
+  const Curve curve(CurveKind::kMoore, dim);
+  const int level = dim == 2 ? 5 : 3;
+  const std::uint64_t cells = 1ULL << (dim * level);
+  auto prev = cell_at_rank(curve, 0, level);
+  for (std::uint64_t r = 1; r < cells; ++r) {
+    const auto cur = cell_at_rank(curve, r, level);
+    EXPECT_EQ(manhattan(prev, cur, dim), 1) << "jump at rank " << r;
+    prev = cur;
+  }
+}
+
+TEST_P(MooreTest, CurveIsClosed) {
+  // The Moore property: the last cell is one step from the first.
+  const int dim = GetParam();
+  const Curve curve(CurveKind::kMoore, dim);
+  for (int level = 1; level <= (dim == 2 ? 6 : 4); ++level) {
+    const std::uint64_t cells = 1ULL << (dim * level);
+    const auto first = cell_at_rank(curve, 0, level);
+    const auto last = cell_at_rank(curve, cells - 1, level);
+    EXPECT_EQ(manhattan(first, last, dim), 1) << "level " << level;
+  }
+}
+
+TEST_P(MooreTest, HilbertIsNotClosedForComparison) {
+  const int dim = GetParam();
+  const Curve curve(CurveKind::kHilbert, dim);
+  const int level = 4;
+  const std::uint64_t cells = 1ULL << (dim * level);
+  const auto first = cell_at_rank(curve, 0, level);
+  const auto last = cell_at_rank(curve, cells - 1, level);
+  EXPECT_GT(manhattan(first, last, dim), 1);
+}
+
+TEST_P(MooreTest, VisitsEveryCellOnce) {
+  const int dim = GetParam();
+  const Curve curve(CurveKind::kMoore, dim);
+  const int level = dim == 2 ? 4 : 2;
+  std::set<std::array<std::uint32_t, 3>> seen;
+  const std::uint64_t cells = 1ULL << (dim * level);
+  for (std::uint64_t r = 0; r < cells; ++r) {
+    seen.insert(cell_at_rank(curve, r, level));
+  }
+  EXPECT_EQ(seen.size(), cells);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, MooreTest, ::testing::Values(2, 3),
+                         [](const auto& info) {
+                           return "dim" + std::to_string(info.param);
+                         });
+
+TEST(Moore, EndCornersOfHilbertStatesAreCorners) {
+  // Helper sanity: entry/exit corners used by the Moore construction.
+  const auto& tables = hilbert_tables(3);
+  for (int s = 0; s < tables.num_states; ++s) {
+    const int entry = curve_entry_corner(tables, s);
+    const int exit = curve_exit_corner(tables, s);
+    EXPECT_GE(entry, 0);
+    EXPECT_LT(entry, 8);
+    EXPECT_GE(exit, 0);
+    EXPECT_LT(exit, 8);
+    EXPECT_NE(entry, exit);
+  }
+}
+
+TEST(Moore, WorksWithTreeSortAndPartitioning) {
+  const Curve curve(CurveKind::kMoore, 3);
+  octree::GenerateOptions options;
+  options.seed = 7;
+  options.max_level = 8;
+  const auto tree = octree::random_octree(10000, curve, options);
+  EXPECT_TRUE(octree::is_sfc_sorted(tree, curve));
+  EXPECT_TRUE(octree::is_complete(tree, curve));
+
+  const auto part = partition::treesort_partition(tree, curve, 16, {});
+  EXPECT_EQ(part.total(), tree.size());
+  EXPECT_LT(part.max_deviation(), 0.01);
+}
+
+TEST(Moore, NameRoundTrip) {
+  EXPECT_EQ(to_string(CurveKind::kMoore), "moore");
+  EXPECT_EQ(curve_kind_from_string("moore"), CurveKind::kMoore);
+}
+
+}  // namespace
+}  // namespace amr::sfc

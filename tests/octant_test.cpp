@@ -1,0 +1,133 @@
+// Octant geometry unit tests: parent/child algebra, containment, face
+// neighbors, and point quantization.
+#include <gtest/gtest.h>
+
+#include "octree/octant.hpp"
+#include "util/rng.hpp"
+
+namespace amr::octree {
+namespace {
+
+TEST(Octant, RootProperties) {
+  const Octant root = root_octant();
+  EXPECT_EQ(root.level, 0);
+  EXPECT_EQ(root.size(), 1U << kMaxDepth);
+  EXPECT_TRUE(root.contains_point(0, 0, 0));
+  EXPECT_TRUE(root.contains_point((1U << kMaxDepth) - 1, 5, 9));
+}
+
+TEST(Octant, ChildParentRoundTrip) {
+  util::Rng rng = util::make_rng(3);
+  std::uniform_int_distribution<int> lvl(0, kMaxDepth - 1);
+  std::uniform_int_distribution<std::uint32_t> coord(0, (1U << kMaxDepth) - 1);
+  for (int i = 0; i < 1000; ++i) {
+    const Octant o = octant_from_point(coord(rng), coord(rng), coord(rng), lvl(rng));
+    for (int c = 0; c < 8; ++c) {
+      const Octant child = o.child(c);
+      EXPECT_EQ(child.parent(), o);
+      EXPECT_TRUE(o.is_ancestor_of(child));
+      EXPECT_FALSE(child.is_ancestor_of(o));
+      EXPECT_EQ(child.child_number(child.level), c);
+    }
+  }
+}
+
+TEST(Octant, ChildrenTileParentExactly) {
+  const Octant o = octant_from_point(12345 << 8, 4567 << 8, 321 << 8, 10);
+  std::uint64_t child_volume = 0;
+  for (int c = 0; c < 8; ++c) {
+    const Octant child = o.child(c);
+    child_volume += static_cast<std::uint64_t>(child.size()) * child.size();
+    EXPECT_TRUE(o.contains_point(child.x, child.y, child.z));
+  }
+  // 8 children, each (s/2)^3: volumes checked indirectly via size.
+  for (int c = 0; c < 8; ++c) EXPECT_EQ(o.child(c).size(), o.size() / 2);
+}
+
+TEST(Octant, AncestorAtTruncates) {
+  const Octant leaf = octant_from_point(0x2ABCDEF0, 0x1234560, 0x0FEDCBA0, kMaxDepth);
+  for (int l = 0; l <= kMaxDepth; ++l) {
+    const Octant anc = leaf.ancestor_at(l);
+    EXPECT_EQ(anc.level, l);
+    EXPECT_TRUE(anc.contains_point(leaf.x, leaf.y, leaf.z));
+    if (l < kMaxDepth) {
+      EXPECT_TRUE(anc.is_ancestor_of(leaf));
+    }
+  }
+}
+
+TEST(Octant, FaceNeighborsInsideDomain) {
+  // Interior octant with coordinates aligned to its own (level 8) grid.
+  const Octant o = octant_from_point(1U << 23, 1U << 24, 1U << 25, 8);
+  for (int face = 0; face < 6; ++face) {
+    Octant nb;
+    ASSERT_TRUE(o.face_neighbor(face, nb)) << "face " << face;
+    EXPECT_EQ(nb.level, o.level);
+    const int axis = face / 2;
+    const std::uint32_t o_coord = axis == 0 ? o.x : axis == 1 ? o.y : o.z;
+    const std::uint32_t nb_coord = axis == 0 ? nb.x : axis == 1 ? nb.y : nb.z;
+    const std::int64_t delta =
+        static_cast<std::int64_t>(nb_coord) - static_cast<std::int64_t>(o_coord);
+    EXPECT_EQ(std::abs(delta), static_cast<std::int64_t>(o.size()));
+  }
+}
+
+TEST(Octant, FaceNeighborRespectsDomainBoundary) {
+  // Corner octant: three faces leave the domain.
+  const Octant corner = octant_from_point(0, 0, 0, 5);
+  Octant nb;
+  EXPECT_FALSE(corner.face_neighbor(0, nb));  // -x
+  EXPECT_FALSE(corner.face_neighbor(2, nb));  // -y
+  EXPECT_FALSE(corner.face_neighbor(4, nb));  // -z
+  EXPECT_TRUE(corner.face_neighbor(1, nb));
+  EXPECT_TRUE(corner.face_neighbor(3, nb));
+  EXPECT_TRUE(corner.face_neighbor(5, nb));
+
+  const std::uint32_t last = (1U << kMaxDepth) - (1U << (kMaxDepth - 5));
+  const Octant far = octant_from_point(last, last, last, 5);
+  EXPECT_FALSE(far.face_neighbor(1, nb));
+  EXPECT_FALSE(far.face_neighbor(3, nb));
+  EXPECT_FALSE(far.face_neighbor(5, nb));
+  EXPECT_TRUE(far.face_neighbor(0, nb));
+}
+
+TEST(Octant, OverlapsIsReflexiveAndAncestral) {
+  const Octant a = octant_from_point(7U << 24, 9U << 24, 3U << 24, 6);
+  EXPECT_TRUE(overlaps(a, a));
+  EXPECT_TRUE(overlaps(a, a.child(3)));
+  EXPECT_TRUE(overlaps(a.child(3), a));
+  Octant sibling;
+  ASSERT_TRUE(a.face_neighbor(1, sibling));
+  EXPECT_FALSE(overlaps(a, sibling));
+}
+
+TEST(Octant, ChildNumber2dIgnoresZ) {
+  Octant o = root_octant().child(3, 2);  // x=1, y=1 in 2D
+  EXPECT_EQ(o.z, 0U);
+  EXPECT_EQ(o.child_number(1, 2), 3);
+  EXPECT_EQ(o.child_number(1, 3), 3);  // z bit is zero anyway
+}
+
+TEST(Octant, FaceAreaScalesWithLevel) {
+  const Octant coarse = octant_from_point(0, 0, 0, 4);
+  const Octant fine = octant_from_point(0, 0, 0, 5);
+  EXPECT_DOUBLE_EQ(coarse.face_area(3), 4.0 * fine.face_area(3));
+  EXPECT_DOUBLE_EQ(coarse.face_area(2), 2.0 * fine.face_area(2));
+}
+
+TEST(Octant, AnchorUnitInUnitCube) {
+  const Octant o = octant_from_point((1U << kMaxDepth) - 1, 0, 1U << 29, kMaxDepth);
+  const auto a = o.anchor_unit();
+  EXPECT_GE(a[0], 0.0);
+  EXPECT_LT(a[0], 1.0);
+  EXPECT_DOUBLE_EQ(a[1], 0.0);
+  EXPECT_DOUBLE_EQ(a[2], 0.5);
+}
+
+TEST(Octant, ToStringIsHumanReadable) {
+  const Octant o = octant_from_point(0, 0, 0, 2);
+  EXPECT_EQ(o.to_string(), "(0,0,0)@2");
+}
+
+}  // namespace
+}  // namespace amr::octree

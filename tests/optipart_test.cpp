@@ -1,0 +1,127 @@
+// OptiPart (Alg. 3) tests: the model-chosen partition must never predict
+// worse than the ideal split, must adapt to the machine (comm-bound
+// machines accept more imbalance), and the trace must show the refinement
+// approaching the optimum from the right (Fig. 10).
+#include <gtest/gtest.h>
+
+#include "machine/perf_model.hpp"
+#include "octree/generate.hpp"
+#include "partition/optipart.hpp"
+
+namespace amr::partition {
+namespace {
+
+using machine::ApplicationProfile;
+using machine::MachineModel;
+using machine::PerfModel;
+using sfc::Curve;
+using sfc::CurveKind;
+
+std::vector<octree::Octant> adaptive_tree(CurveKind kind, std::size_t points,
+                                          std::uint64_t seed) {
+  const Curve curve(kind, 3);
+  octree::GenerateOptions options;
+  options.seed = seed;
+  options.max_level = 9;
+  options.max_points_per_leaf = 1;
+  options.distribution = octree::PointDistribution::kNormal;
+  return octree::random_octree(points, curve, options);
+}
+
+TEST(OptiPart, NeverWorseThanIdealUnderTheModel) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = adaptive_tree(CurveKind::kHilbert, 20000, 3);
+  const int p = 16;
+  for (const MachineModel& machine : machine::all_machines()) {
+    const PerfModel model(machine, ApplicationProfile{});
+    const Partition opti = optipart_partition(tree, curve, p, model);
+    const Partition ideal = ideal_partition(tree.size(), p);
+    EXPECT_LE(partition_quality(tree, curve, opti, model),
+              partition_quality(tree, curve, ideal, model) * (1.0 + 1e-9))
+        << machine.name;
+  }
+}
+
+TEST(OptiPart, CommBoundMachineAcceptsMoreImbalance) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = adaptive_tree(CurveKind::kHilbert, 20000, 7);
+  const int p = 16;
+
+  // Same application, two machines: a compute-bound one (tw ~ tc) and a
+  // heavily comm-bound one. The comm-bound machine's optimal partition
+  // tolerates at least as much load imbalance.
+  MachineModel balanced = machine::titan();
+  balanced.tw = balanced.tc * 2.0;
+  MachineModel commbound = machine::titan();
+  commbound.tw = commbound.tc * 2000.0;
+
+  const Partition a =
+      optipart_partition(tree, curve, p, PerfModel(balanced, ApplicationProfile{}));
+  const Partition b =
+      optipart_partition(tree, curve, p, PerfModel(commbound, ApplicationProfile{}));
+  EXPECT_LE(a.load_imbalance(), b.load_imbalance() + 1e-9);
+}
+
+TEST(OptiPart, ComputeBoundMachineConvergesToIdeal) {
+  const Curve curve(CurveKind::kMorton, 3);
+  const auto tree = adaptive_tree(CurveKind::kMorton, 15000, 11);
+  MachineModel machine = machine::titan();
+  machine.tw = machine.tc * 1e-3;  // network essentially free
+  const PerfModel model(machine, ApplicationProfile{});
+  const Partition part = optipart_partition(tree, curve, 8, model);
+  EXPECT_LT(part.max_deviation(), 0.05);
+}
+
+TEST(OptiPart, TraceApproachesOptimumFromTheRight) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = adaptive_tree(CurveKind::kHilbert, 25000, 13);
+  const PerfModel model(machine::wisconsin8(), ApplicationProfile{});
+
+  OptiPartTrace trace;
+  const Partition part = optipart_partition(tree, curve, 16, model, {}, &trace);
+  ASSERT_GE(trace.rounds.size(), 2U);
+
+  // Effective tolerance decreases (refinement), Wmax decreases, Cmax does
+  // not decrease (Fig. 2's monotone trade-off along the rounds).
+  for (std::size_t i = 1; i < trace.rounds.size(); ++i) {
+    EXPECT_LE(trace.rounds[i].effective_tolerance,
+              trace.rounds[i - 1].effective_tolerance + 1e-9);
+    EXPECT_LE(trace.rounds[i].w_max, trace.rounds[i - 1].w_max + 1e-9);
+  }
+  // The chosen depth minimizes the model estimate over the trace.
+  double best = trace.rounds.front().predicted_time;
+  for (const auto& round : trace.rounds) best = std::min(best, round.predicted_time);
+  const Metrics chosen = compute_metrics(tree, curve, part, {});
+  EXPECT_NEAR(chosen.predicted_time(model), best, best * 1e-9);
+}
+
+TEST(OptiPart, WorksForBothCurvesAndSmallP) {
+  for (const auto kind : {CurveKind::kMorton, CurveKind::kHilbert}) {
+    const Curve curve(kind, 3);
+    const auto tree = adaptive_tree(kind, 8000, 17);
+    const PerfModel model(machine::clemson32(), ApplicationProfile{});
+    for (const int p : {2, 3, 8}) {
+      const Partition part = optipart_partition(tree, curve, p, model);
+      EXPECT_EQ(part.num_ranks(), p);
+      EXPECT_EQ(part.total(), tree.size());
+    }
+  }
+}
+
+TEST(OptiPart, QualitySampleStrideStillReasonable) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = adaptive_tree(CurveKind::kHilbert, 20000, 19);
+  const PerfModel model(machine::wisconsin8(), ApplicationProfile{});
+  OptiPartOptions options;
+  options.quality_sample_stride = 4;
+  const Partition sampled = optipart_partition(tree, curve, 16, model, options);
+  const Partition exact = optipart_partition(tree, curve, 16, model, {});
+  // The estimator may pick a neighboring depth, but the resulting quality
+  // must be in the same ballpark.
+  const double q_sampled = partition_quality(tree, curve, sampled, model);
+  const double q_exact = partition_quality(tree, curve, exact, model);
+  EXPECT_LE(q_sampled, q_exact * 1.5);
+}
+
+}  // namespace
+}  // namespace amr::partition

@@ -1,0 +1,219 @@
+// Partition and BucketSearch tests: ideal splits, tolerance semantics
+// (§3.2), cut positions on bucket boundaries, and the monotone
+// imbalance-vs-level property the flexible partitioning exploits.
+#include <gtest/gtest.h>
+
+#include "octree/generate.hpp"
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+
+namespace amr::partition {
+namespace {
+
+using octree::Octant;
+using sfc::Curve;
+using sfc::CurveKind;
+
+std::vector<Octant> test_tree(CurveKind kind, std::size_t points, std::uint64_t seed) {
+  const Curve curve(kind, 3);
+  octree::GenerateOptions options;
+  options.seed = seed;
+  options.max_level = 10;
+  options.max_points_per_leaf = 1;
+  return octree::random_octree(points, curve, options);
+}
+
+TEST(IdealPartition, SplitsEvenly) {
+  const Partition part = ideal_partition(1000, 8);
+  EXPECT_EQ(part.num_ranks(), 8);
+  EXPECT_EQ(part.total(), 1000U);
+  for (int r = 0; r < 8; ++r) EXPECT_EQ(part.size_of(r), 125U);
+  EXPECT_DOUBLE_EQ(part.load_imbalance(), 1.0);
+  EXPECT_EQ(part.w_max(), 125U);
+  EXPECT_DOUBLE_EQ(part.max_deviation(), 0.0);
+}
+
+TEST(IdealPartition, HandlesRemainders) {
+  const Partition part = ideal_partition(10, 3);
+  std::size_t total = 0;
+  for (int r = 0; r < 3; ++r) total += part.size_of(r);
+  EXPECT_EQ(total, 10U);
+  EXPECT_LE(part.w_max(), 4U);
+}
+
+TEST(Partition, OwnerOfIsConsistentWithOffsets) {
+  const Partition part = ideal_partition(1003, 7);
+  for (std::size_t i = 0; i < part.total(); ++i) {
+    const int r = part.owner_of(i);
+    EXPECT_GE(i, part.offsets[static_cast<std::size_t>(r)]);
+    EXPECT_LT(i, part.offsets[static_cast<std::size_t>(r) + 1]);
+  }
+}
+
+class TolerancePartitionTest
+    : public ::testing::TestWithParam<std::tuple<CurveKind, double>> {};
+
+TEST_P(TolerancePartitionTest, RespectsTolerance) {
+  const auto [kind, tolerance] = GetParam();
+  const Curve curve(kind, 3);
+  const auto tree = test_tree(kind, 20000, 5);
+  const int p = 16;
+
+  TreeSortPartitionOptions options;
+  options.tolerance = tolerance;
+  const Partition part = treesort_partition(tree, curve, p, options);
+  EXPECT_EQ(part.total(), tree.size());
+
+  // Each cut lands within tolerance*N/p of its target (or at the nearest
+  // available element boundary when tolerance is 0).
+  const double grain = static_cast<double>(tree.size()) / p;
+  for (int r = 1; r < p; ++r) {
+    const double target = grain * r;
+    const double cut = static_cast<double>(part.offsets[static_cast<std::size_t>(r)]);
+    EXPECT_LE(std::abs(cut - target), std::max(1.0, tolerance * grain) + 1.0)
+        << "rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TolerancePartitionTest,
+    ::testing::Combine(::testing::Values(CurveKind::kMorton, CurveKind::kHilbert),
+                       ::testing::Values(0.0, 0.05, 0.1, 0.3, 0.5)),
+    [](const auto& info) {
+      return sfc::to_string(std::get<0>(info.param)) + "_tol" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+TEST(TreesortPartition, ZeroToleranceIsNearIdeal) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = test_tree(CurveKind::kHilbert, 30000, 9);
+  const Partition part = treesort_partition(tree, curve, 32, {});
+  EXPECT_LT(part.max_deviation(), 0.01);
+}
+
+TEST(BucketSearch, CutsLieOnBucketBoundaries) {
+  const Curve curve(CurveKind::kMorton, 3);
+  const auto tree = test_tree(CurveKind::kMorton, 5000, 3);
+  const BucketSearch search(tree, curve);
+
+  for (const std::size_t target : {100UL, 1234UL, 2500UL, 4990UL}) {
+    for (const int depth : {1, 2, 3, 5}) {
+      const auto cut = search.find(target, depth, 0);
+      ASSERT_LE(cut.position, tree.size());
+      if (cut.position == 0 || cut.position == tree.size()) continue;
+      // The element starting the right part differs from its predecessor in
+      // the ancestor chain at or above depth `cut.depth_used`.
+      const Octant& left = tree[cut.position - 1];
+      const Octant& right = tree[cut.position];
+      const int check = std::min(
+          {cut.depth_used, static_cast<int>(left.level), static_cast<int>(right.level)});
+      bool differs = false;
+      for (int d = 1; d <= check; ++d) {
+        differs = differs || left.child_number(d) != right.child_number(d);
+      }
+      EXPECT_TRUE(differs) << "cut at " << cut.position << " depth "
+                           << cut.depth_used;
+    }
+  }
+}
+
+TEST(BucketSearch, DeeperSearchNeverIncreasesDeviation) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = test_tree(CurveKind::kHilbert, 8000, 11);
+  const BucketSearch search(tree, curve);
+  for (std::size_t target = 500; target < tree.size(); target += 977) {
+    std::size_t prev_dev = tree.size();
+    for (int depth = 1; depth <= 12; ++depth) {
+      const auto cut = search.find(target, depth, 0);
+      EXPECT_LE(cut.deviation, prev_dev) << "target " << target << " depth " << depth;
+      prev_dev = cut.deviation;
+    }
+  }
+}
+
+// Paper §3.2 / Fig. 2: load imbalance decreases monotonically as the
+// partition is refined level by level.
+TEST(PartitionAtDepth, ImbalanceDecreasesWithDepth) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = test_tree(CurveKind::kHilbert, 30000, 21);
+  const BucketSearch search(tree, curve);
+  const int p = 12;
+  double prev = 1e18;
+  for (int depth = 2; depth <= 10; ++depth) {
+    const Partition part = partition_at_depth(search, p, depth);
+    const double dev = part.max_deviation();
+    EXPECT_LE(dev, prev + 1e-12) << "depth " << depth;
+    prev = dev;
+  }
+  // And at full depth it is essentially balanced.
+  EXPECT_LT(partition_at_depth(search, p, octree::kMaxDepth).max_deviation(), 0.01);
+}
+
+// Property: find() returns the *globally optimal* cut among all bucket
+// boundaries available at the depth cap, verified by brute force. A
+// position i is a valid cut at depth d iff the SFC paths of tree[i-1] and
+// tree[i] diverge at some depth <= d (plus the array ends).
+TEST(BucketSearch, FindIsOptimalVsBruteForce) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = test_tree(CurveKind::kHilbert, 4000, 77);
+  const BucketSearch search(tree, curve);
+
+  // Divergence depth of each adjacent pair.
+  std::vector<int> divergence(tree.size() + 1, 0);  // 0: always available
+  for (std::size_t i = 1; i < tree.size(); ++i) {
+    const Octant& a = tree[i - 1];
+    const Octant& b = tree[i];
+    const int common = std::min(a.level, b.level);
+    int depth = 1;
+    while (depth <= common && a.child_number(depth) == b.child_number(depth)) {
+      ++depth;
+    }
+    divergence[i] = depth;  // first differing digit
+  }
+
+  util::Rng rng = util::make_rng(99);
+  std::uniform_int_distribution<std::size_t> pick(1, tree.size() - 1);
+  for (const int depth_cap : {1, 2, 3, 4, 6}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      const std::size_t target = pick(rng);
+      std::size_t best = std::min(target, tree.size() - target);  // ends
+      for (std::size_t i = 1; i < tree.size(); ++i) {
+        if (divergence[i] <= depth_cap) {
+          const std::size_t dev = i > target ? i - target : target - i;
+          best = std::min(best, dev);
+        }
+      }
+      const auto cut = search.find(target, depth_cap, 0);
+      EXPECT_EQ(cut.deviation, best)
+          << "target " << target << " depth cap " << depth_cap;
+    }
+  }
+}
+
+TEST(Partition, LoadImbalanceLambda) {
+  Partition part;
+  part.offsets = {0, 10, 30, 40};
+  EXPECT_DOUBLE_EQ(part.load_imbalance(), 2.0);
+  EXPECT_EQ(part.w_max(), 20U);
+}
+
+TEST(TreesortPartition, SingleRankOwnsEverything) {
+  const Curve curve(CurveKind::kMorton, 3);
+  const auto tree = test_tree(CurveKind::kMorton, 1000, 2);
+  const Partition part = treesort_partition(tree, curve, 1, {});
+  EXPECT_EQ(part.num_ranks(), 1);
+  EXPECT_EQ(part.size_of(0), tree.size());
+}
+
+TEST(TreesortPartition, MoreRanksThanElements) {
+  const Curve curve(CurveKind::kMorton, 3);
+  std::vector<Octant> tree = octree::uniform_octree(1, curve);  // 8 leaves
+  const Partition part = treesort_partition(tree, curve, 16, {});
+  EXPECT_EQ(part.total(), 8U);
+  std::size_t total = 0;
+  for (int r = 0; r < 16; ++r) total += part.size_of(r);
+  EXPECT_EQ(total, 8U);
+}
+
+}  // namespace
+}  // namespace amr::partition

@@ -1,0 +1,139 @@
+// Linear-octree query tests: point-to-leaf lookup and cross-level face
+// neighbor enumeration, verified against brute force.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "octree/generate.hpp"
+#include "octree/search.hpp"
+#include "util/rng.hpp"
+
+namespace amr::octree {
+namespace {
+
+using sfc::Curve;
+using sfc::CurveKind;
+
+std::vector<Octant> make_tree(CurveKind kind, std::size_t points, std::uint64_t seed,
+                              int max_level = 8) {
+  const Curve curve(kind, 3);
+  GenerateOptions options;
+  options.seed = seed;
+  options.max_level = max_level;
+  options.max_points_per_leaf = 2;
+  return random_octree(points, curve, options);
+}
+
+TEST(LeafContaining, FindsTheCoveringLeafForRandomPoints) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = make_tree(CurveKind::kHilbert, 3000, 5);
+  util::Rng rng = util::make_rng(17);
+  std::uniform_int_distribution<std::uint32_t> coord(0, (1U << kMaxDepth) - 1);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint32_t x = coord(rng);
+    const std::uint32_t y = coord(rng);
+    const std::uint32_t z = coord(rng);
+    const std::size_t idx = leaf_containing(tree, curve, x, y, z);
+    EXPECT_TRUE(tree[idx].contains_point(x, y, z));
+  }
+}
+
+TEST(LeafContaining, EveryLeafFindsItself) {
+  const Curve curve(CurveKind::kMorton, 3);
+  const auto tree = make_tree(CurveKind::kMorton, 2000, 6);
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    EXPECT_EQ(leaf_containing(tree, curve, tree[i].x, tree[i].y, tree[i].z), i);
+  }
+}
+
+// Brute-force face adjacency: two octants share a face if they abut along
+// one axis and their projections overlap on the other two.
+bool faces_touch(const Octant& a, const Octant& b) {
+  const std::uint64_t ax0 = a.x;
+  const std::uint64_t ax1 = a.x + a.size();
+  const std::uint64_t ay0 = a.y;
+  const std::uint64_t ay1 = a.y + a.size();
+  const std::uint64_t az0 = a.z;
+  const std::uint64_t az1 = a.z + a.size();
+  const std::uint64_t bx0 = b.x;
+  const std::uint64_t bx1 = b.x + b.size();
+  const std::uint64_t by0 = b.y;
+  const std::uint64_t by1 = b.y + b.size();
+  const std::uint64_t bz0 = b.z;
+  const std::uint64_t bz1 = b.z + b.size();
+  auto overlap = [](std::uint64_t lo0, std::uint64_t hi0, std::uint64_t lo1,
+                    std::uint64_t hi1) {
+    return std::min(hi0, hi1) > std::max(lo0, lo1);
+  };
+  const bool xab = (ax1 == bx0 || bx1 == ax0) && overlap(ay0, ay1, by0, by1) &&
+                   overlap(az0, az1, bz0, bz1);
+  const bool yab = (ay1 == by0 || by1 == ay0) && overlap(ax0, ax1, bx0, bx1) &&
+                   overlap(az0, az1, bz0, bz1);
+  const bool zab = (az1 == bz0 || bz1 == az0) && overlap(ax0, ax1, bx0, bx1) &&
+                   overlap(ay0, ay1, by0, by1);
+  return xab || yab || zab;
+}
+
+class NeighborTest : public ::testing::TestWithParam<CurveKind> {};
+
+TEST_P(NeighborTest, MatchesBruteForceOnSmallTree) {
+  const Curve curve(GetParam(), 3);
+  GenerateOptions options;
+  options.seed = 31;
+  options.max_level = 5;
+  options.max_points_per_leaf = 1;
+  const auto tree = random_octree(300, curve, options);
+
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const auto found = all_face_neighbors(tree, curve, i);
+    std::vector<std::size_t> expected;
+    for (std::size_t j = 0; j < tree.size(); ++j) {
+      if (j != i && faces_touch(tree[i], tree[j])) expected.push_back(j);
+    }
+    EXPECT_EQ(found, expected) << "leaf " << i << " " << tree[i].to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothCurves, NeighborTest,
+                         ::testing::Values(CurveKind::kMorton, CurveKind::kHilbert),
+                         [](const auto& info) { return sfc::to_string(info.param); });
+
+TEST(Neighbors, UniformTreeHasSixInteriorNeighbors) {
+  const Curve curve(CurveKind::kMorton, 3);
+  const auto tree = uniform_octree(3, curve);
+  int interior = 0;
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const auto found = all_face_neighbors(tree, curve, i);
+    const Octant& o = tree[i];
+    int domain_faces = 0;
+    for (int face = 0; face < 6; ++face) {
+      Octant nb;
+      if (!o.face_neighbor(face, nb)) ++domain_faces;
+    }
+    EXPECT_EQ(found.size(), static_cast<std::size_t>(6 - domain_faces));
+    if (domain_faces == 0) ++interior;
+  }
+  EXPECT_EQ(interior, 6 * 6 * 6);  // 8^3 grid has 6^3 interior cells
+}
+
+TEST(Neighbors, SymmetricAdjacency) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = make_tree(CurveKind::kHilbert, 1000, 8, 6);
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    for (const std::size_t j : all_face_neighbors(tree, curve, i)) {
+      const auto back = all_face_neighbors(tree, curve, j);
+      EXPECT_TRUE(std::find(back.begin(), back.end(), i) != back.end())
+          << i << " -> " << j << " not symmetric";
+    }
+  }
+}
+
+TEST(Neighbors, SharedFaceAreaUsesFinerLevel) {
+  const Octant coarse = octant_from_point(0, 0, 0, 3);
+  const Octant fine = octant_from_point(coarse.size(), 0, 0, 5);
+  EXPECT_DOUBLE_EQ(shared_face_area(coarse, fine, 3), fine.face_area(3));
+  EXPECT_DOUBLE_EQ(shared_face_area(fine, coarse, 3), fine.face_area(3));
+}
+
+}  // namespace
+}  // namespace amr::octree

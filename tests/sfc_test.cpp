@@ -1,0 +1,291 @@
+// Space-filling-curve tests: Skilling reference round-trips, generated
+// Hilbert tables vs the reference, Morton identities, and SFC order
+// properties over octants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "octree/octant.hpp"
+#include "sfc/curve.hpp"
+#include "sfc/hilbert.hpp"
+#include "sfc/skilling.hpp"
+#include "util/rng.hpp"
+
+namespace amr {
+namespace {
+
+using octree::Octant;
+using sfc::Curve;
+using sfc::CurveKind;
+
+TEST(Skilling, RoundTrip2d) {
+  for (int bits = 1; bits <= 8; ++bits) {
+    const std::uint64_t cells = 1ULL << (2 * bits);
+    for (std::uint64_t index = 0; index < cells; ++index) {
+      const auto coords = sfc::hilbert_coords<2>(index, bits);
+      EXPECT_EQ(sfc::hilbert_index<2>(coords, bits), index);
+    }
+    if (bits >= 6) break;  // keep runtime bounded; low bits cover structure
+  }
+}
+
+TEST(Skilling, RoundTrip3d) {
+  for (int bits = 1; bits <= 4; ++bits) {
+    const std::uint64_t cells = 1ULL << (3 * bits);
+    for (std::uint64_t index = 0; index < cells; ++index) {
+      const auto coords = sfc::hilbert_coords<3>(index, bits);
+      EXPECT_EQ(sfc::hilbert_index<3>(coords, bits), index);
+    }
+  }
+}
+
+TEST(Skilling, VisitsEveryCellOnce3d) {
+  const int bits = 3;
+  std::set<std::array<std::uint32_t, 3>> seen;
+  for (std::uint64_t index = 0; index < (1ULL << (3 * bits)); ++index) {
+    seen.insert(sfc::hilbert_coords<3>(index, bits));
+  }
+  EXPECT_EQ(seen.size(), 1ULL << (3 * bits));
+}
+
+TEST(Skilling, ConsecutiveCellsAreFaceAdjacent3d) {
+  // The defining property of the Hilbert curve: consecutive cells differ
+  // by exactly one grid step in exactly one axis.
+  const int bits = 4;
+  auto prev = sfc::hilbert_coords<3>(0, bits);
+  for (std::uint64_t index = 1; index < (1ULL << (3 * bits)); ++index) {
+    const auto cur = sfc::hilbert_coords<3>(index, bits);
+    int moved = 0;
+    for (int axis = 0; axis < 3; ++axis) {
+      const int d = std::abs(static_cast<int>(cur[static_cast<std::size_t>(axis)]) -
+                             static_cast<int>(prev[static_cast<std::size_t>(axis)]));
+      moved += d;
+      EXPECT_LE(d, 1);
+    }
+    EXPECT_EQ(moved, 1) << "jump at index " << index;
+    prev = cur;
+  }
+}
+
+TEST(Skilling, MortonIndexInterleavesBits) {
+  EXPECT_EQ(sfc::morton_index<3>({0, 0, 0}, 1), 0U);
+  EXPECT_EQ(sfc::morton_index<3>({1, 0, 0}, 1), 1U);
+  EXPECT_EQ(sfc::morton_index<3>({0, 1, 0}, 1), 2U);
+  EXPECT_EQ(sfc::morton_index<3>({0, 0, 1}, 1), 4U);
+  EXPECT_EQ(sfc::morton_index<3>({1, 1, 1}, 1), 7U);
+  // Two-bit coordinates: (3,0,0) -> x bits in positions 0 and 3.
+  EXPECT_EQ(sfc::morton_index<3>({3, 0, 0}, 2), 0b001001U);
+}
+
+TEST(HilbertTables, StateCountsAreClosedAndSmall) {
+  const auto& t2 = sfc::hilbert_tables(2);
+  const auto& t3 = sfc::hilbert_tables(3);
+  EXPECT_EQ(t2.num_children, 4);
+  EXPECT_EQ(t3.num_children, 8);
+  // The 2D Hilbert curve has 4 orientation states; 3D variants have 12 or
+  // 24 depending on the base curve. Either way the BFS must close.
+  EXPECT_EQ(t2.num_states, 4);
+  EXPECT_GE(t3.num_states, 12);
+  EXPECT_LE(t3.num_states, 24);
+  for (int s = 0; s < t3.num_states; ++s) {
+    for (int c = 0; c < 8; ++c) {
+      EXPECT_LT(t3.next_state[static_cast<std::size_t>(s)][static_cast<std::size_t>(c)],
+                t3.num_states);
+    }
+  }
+}
+
+TEST(HilbertTables, EveryStateOrderIsAPermutation) {
+  for (const int dim : {2, 3}) {
+    const auto& tables = sfc::hilbert_tables(dim);
+    const int children = tables.num_children;
+    for (int s = 0; s < tables.num_states; ++s) {
+      std::set<int> seen;
+      for (int j = 0; j < children; ++j) {
+        seen.insert(tables.child_at[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)]);
+      }
+      EXPECT_EQ(static_cast<int>(seen.size()), children);
+      for (int c = 0; c < children; ++c) {
+        const int r =
+            tables.rank_of[static_cast<std::size_t>(s)][static_cast<std::size_t>(c)];
+        EXPECT_EQ(tables.child_at[static_cast<std::size_t>(s)][static_cast<std::size_t>(r)],
+                  c);
+      }
+    }
+  }
+}
+
+// Walking the generated tables must reproduce Skilling's ranks exactly.
+TEST(HilbertTables, TableWalkMatchesSkilling3d) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  const int level = 4;
+  const std::uint32_t cells = 1U << level;
+  for (std::uint32_t x = 0; x < cells; ++x) {
+    for (std::uint32_t y = 0; y < cells; ++y) {
+      for (std::uint32_t z = 0; z < cells; ++z) {
+        Octant o;
+        o.x = x << (octree::kMaxDepth - level);
+        o.y = y << (octree::kMaxDepth - level);
+        o.z = z << (octree::kMaxDepth - level);
+        o.level = level;
+        EXPECT_EQ(curve.rank_at_own_level(o), sfc::hilbert_index<3>({x, y, z}, level))
+            << "cell " << x << "," << y << "," << z;
+      }
+    }
+  }
+}
+
+TEST(HilbertTables, TableWalkMatchesSkilling2d) {
+  const Curve curve(CurveKind::kHilbert, 2);
+  const int level = 6;
+  const std::uint32_t cells = 1U << level;
+  for (std::uint32_t x = 0; x < cells; ++x) {
+    for (std::uint32_t y = 0; y < cells; ++y) {
+      Octant o;
+      o.x = x << (octree::kMaxDepth - level);
+      o.y = y << (octree::kMaxDepth - level);
+      o.level = level;
+      EXPECT_EQ(curve.rank_at_own_level(o), sfc::hilbert_index<2>({x, y}, level));
+    }
+  }
+}
+
+TEST(MortonCurve, RankMatchesBitInterleave) {
+  const Curve curve(CurveKind::kMorton, 3);
+  const int level = 4;
+  util::Rng rng = util::make_rng(7);
+  std::uniform_int_distribution<std::uint32_t> dist(0, (1U << level) - 1);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint32_t x = dist(rng);
+    const std::uint32_t y = dist(rng);
+    const std::uint32_t z = dist(rng);
+    Octant o{x << (octree::kMaxDepth - level), y << (octree::kMaxDepth - level),
+             z << (octree::kMaxDepth - level), static_cast<std::uint8_t>(level)};
+    EXPECT_EQ(curve.rank_at_own_level(o), sfc::morton_index<3>({x, y, z}, level));
+  }
+}
+
+class CurveOrderTest : public ::testing::TestWithParam<CurveKind> {};
+
+TEST_P(CurveOrderTest, CompareIsStrictWeakOrderOnRandomOctants) {
+  const Curve curve(GetParam(), 3);
+  util::Rng rng = util::make_rng(11);
+  std::uniform_int_distribution<std::uint32_t> coord(0, (1U << 10) - 1);
+  std::uniform_int_distribution<int> lvl(1, 10);
+  std::vector<Octant> octants;
+  for (int i = 0; i < 300; ++i) {
+    const int level = lvl(rng);
+    octants.push_back(octree::octant_from_point(coord(rng) << (octree::kMaxDepth - 10),
+                                                coord(rng) << (octree::kMaxDepth - 10),
+                                                coord(rng) << (octree::kMaxDepth - 10),
+                                                level));
+  }
+  for (const Octant& a : octants) {
+    EXPECT_EQ(curve.compare(a, a), 0);
+    for (const Octant& b : octants) {
+      EXPECT_EQ(curve.compare(a, b), -curve.compare(b, a));
+    }
+  }
+  // Transitivity via sort + pairwise verification.
+  std::sort(octants.begin(), octants.end(), curve.comparator());
+  for (std::size_t i = 1; i < octants.size(); ++i) {
+    EXPECT_LE(curve.compare(octants[i - 1], octants[i]), 0);
+  }
+}
+
+TEST_P(CurveOrderTest, AncestorsPrecedeDescendants) {
+  const Curve curve(GetParam(), 3);
+  util::Rng rng = util::make_rng(13);
+  std::uniform_int_distribution<std::uint32_t> coord(0, (1U << 12) - 1);
+  for (int i = 0; i < 200; ++i) {
+    const Octant leaf = octree::octant_from_point(
+        coord(rng) << (octree::kMaxDepth - 12), coord(rng) << (octree::kMaxDepth - 12),
+        coord(rng) << (octree::kMaxDepth - 12), 12);
+    for (int l = 0; l < 12; ++l) {
+      const Octant anc = leaf.ancestor_at(l);
+      EXPECT_LT(curve.compare(anc, leaf), 0);
+      EXPECT_TRUE(anc.is_ancestor_of(leaf));
+    }
+  }
+}
+
+TEST_P(CurveOrderTest, SiblingVisitOrderConsistentWithRank) {
+  const Curve curve(GetParam(), 3);
+  const Octant parent = octree::root_octant();
+  std::vector<Octant> children;
+  for (int c = 0; c < 8; ++c) children.push_back(parent.child(c));
+  std::sort(children.begin(), children.end(), curve.comparator());
+  for (std::size_t j = 0; j < children.size(); ++j) {
+    EXPECT_EQ(children[j], parent.child(curve.child_at(0, static_cast<int>(j))));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothCurves, CurveOrderTest,
+                         ::testing::Values(CurveKind::kMorton, CurveKind::kHilbert),
+                         [](const auto& info) { return sfc::to_string(info.param); });
+
+TEST(CurveNames, RoundTrip) {
+  EXPECT_EQ(sfc::to_string(CurveKind::kMorton), "morton");
+  EXPECT_EQ(sfc::to_string(CurveKind::kHilbert), "hilbert");
+  EXPECT_EQ(sfc::curve_kind_from_string("morton"), CurveKind::kMorton);
+  EXPECT_EQ(sfc::curve_kind_from_string("hilbert"), CurveKind::kHilbert);
+  EXPECT_THROW((void)sfc::curve_kind_from_string("peano"), std::invalid_argument);
+}
+
+TEST(CurveDescendants, FirstAndLastBoundTheRegionInterval) {
+  // Property: every cell inside a region compares within
+  // [first_descendant, last_descendant] in SFC order; cells outside fall
+  // outside. For Morton these are the geometric corners; for Hilbert and
+  // Moore they generally are not.
+  util::Rng rng = util::make_rng(31);
+  std::uniform_int_distribution<std::uint32_t> coord(0, (1U << 6) - 1);
+  for (const auto kind :
+       {CurveKind::kMorton, CurveKind::kHilbert, CurveKind::kMoore}) {
+    const Curve curve(kind, 3);
+    for (int trial = 0; trial < 30; ++trial) {
+      const Octant region = octree::octant_from_point(
+          coord(rng) << (octree::kMaxDepth - 6), coord(rng) << (octree::kMaxDepth - 6),
+          coord(rng) << (octree::kMaxDepth - 6), 6);
+      const int probe_level = 9;
+      const Octant first = curve.first_descendant(region, probe_level);
+      const Octant last = curve.last_descendant(region, probe_level);
+      EXPECT_TRUE(region.is_ancestor_of(first));
+      EXPECT_TRUE(region.is_ancestor_of(last));
+      EXPECT_LE(curve.compare(first, last), 0);
+      // All probe-level descendants sit within [first, last].
+      for (int c = 0; c < 27; ++c) {
+        const std::uint32_t step = region.size() / 4;
+        const Octant inside = octree::octant_from_point(
+            region.x + (static_cast<std::uint32_t>(c) % 3) * step,
+            region.y + ((static_cast<std::uint32_t>(c) / 3) % 3) * step,
+            region.z + (static_cast<std::uint32_t>(c) / 9) * step, probe_level);
+        EXPECT_LE(curve.compare(first, inside), 0);
+        EXPECT_LE(curve.compare(inside, last), 0);
+      }
+      // A cell outside the region is outside the interval.
+      Octant neighbor_region;
+      if (region.face_neighbor(1, neighbor_region)) {
+        const Octant outside = curve.first_descendant(neighbor_region, probe_level);
+        EXPECT_TRUE(curve.compare(outside, first) < 0 ||
+                    curve.compare(last, outside) < 0);
+      }
+    }
+  }
+}
+
+TEST(CurveStates, StateAtWalksAncestorChain) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  const Octant leaf = octree::octant_from_point(123456u << 10, 654321u << 10,
+                                                111111u << 10, 8);
+  int state = 0;
+  for (int depth = 1; depth <= 8; ++depth) {
+    state = curve.next_state(state, leaf.child_number(depth, 3));
+    EXPECT_EQ(curve.state_at(leaf, depth), state);
+  }
+}
+
+}  // namespace
+}  // namespace amr

@@ -1,0 +1,232 @@
+// Cluster-simulator tests: analytic densities vs empirical generation,
+// splitter-simulation convergence, cost-model shapes at scale, and the
+// matvec/energy simulation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mesh/comm_matrix.hpp"
+#include "octree/generate.hpp"
+#include "partition/metrics.hpp"
+#include "sim/density.hpp"
+#include "sim/matvec_sim.hpp"
+#include "sim/splitter_sim.hpp"
+#include "simmpi/dist_treesort.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace amr::sim {
+namespace {
+
+using octree::GenerateOptions;
+using octree::PointDistribution;
+
+TEST(Density, UniformMatchesVolume) {
+  GenerateOptions options;
+  options.distribution = PointDistribution::kUniform;
+  const Density density(options);
+  EXPECT_NEAR(density.box_probability({0, 0, 0}, {1, 1, 1}), 1.0, 1e-12);
+  EXPECT_NEAR(density.box_probability({0, 0, 0}, {0.5, 0.5, 0.5}), 0.125, 1e-12);
+  EXPECT_NEAR(density.box_probability({0.25, 0.25, 0.25}, {0.75, 0.75, 0.75}), 0.125,
+              1e-12);
+}
+
+TEST(Density, CdfIsMonotoneAndNormalized) {
+  for (const auto dist : {PointDistribution::kUniform, PointDistribution::kNormal,
+                          PointDistribution::kLogNormal}) {
+    GenerateOptions options;
+    options.distribution = dist;
+    const Density density(options);
+    EXPECT_DOUBLE_EQ(density.axis_cdf(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(density.axis_cdf(1.0), 1.0);
+    double prev = 0.0;
+    for (double x = 0.05; x < 1.0; x += 0.05) {
+      const double c = density.axis_cdf(x);
+      EXPECT_GE(c, prev - 1e-12);
+      EXPECT_LE(c, 1.0 + 1e-12);
+      prev = c;
+    }
+  }
+}
+
+TEST(Density, MatchesEmpiricalCounts) {
+  // The analytic box mass must agree with the fraction of generated points
+  // falling in the box, for each distribution.
+  for (const auto dist : {PointDistribution::kUniform, PointDistribution::kNormal,
+                          PointDistribution::kLogNormal}) {
+    GenerateOptions options;
+    options.distribution = dist;
+    options.seed = 5;
+    const Density density(options);
+    const auto points = octree::generate_points(200000, options);
+
+    const std::array<double, 3> lo{0.25, 0.25, 0.0};
+    const std::array<double, 3> hi{0.75, 0.75, 0.5};
+    const double grid = static_cast<double>(1U << octree::kMaxDepth);
+    std::size_t inside = 0;
+    for (const auto& p : points) {
+      const double x = p[0] / grid;
+      const double y = p[1] / grid;
+      const double z = p[2] / grid;
+      if (x >= lo[0] && x < hi[0] && y >= lo[1] && y < hi[1] && z >= lo[2] && z < hi[2]) {
+        ++inside;
+      }
+    }
+    const double expected = density.box_probability(lo, hi);
+    const double observed = static_cast<double>(inside) / points.size();
+    EXPECT_NEAR(observed, expected, 0.01) << to_string(dist);
+  }
+}
+
+TEST(SplitterSim, ToleranceReducesLevels) {
+  SimConfig config;
+  config.n = 100'000'000;
+  config.p = 1024;
+  config.distribution.distribution = PointDistribution::kNormal;
+  const auto machine = machine::titan();
+
+  config.tolerance = 0.0;
+  const SimResult exact = simulate_treesort(config, machine);
+  config.tolerance = 0.3;
+  const SimResult loose = simulate_treesort(config, machine);
+
+  EXPECT_GT(exact.levels_used, 0);
+  EXPECT_LT(loose.levels_used, exact.levels_used);
+  EXPECT_LE(loose.time.total(), exact.time.total());
+  // Achieved tolerance is honored.
+  EXPECT_LE(loose.achieved_tolerance, 0.3 + 1e-9);
+}
+
+TEST(SplitterSim, WeakScalingDominatedByExchange) {
+  // Fig. 5's shape: at fixed grain the all2all term stays put while the
+  // splitter term grows slowly with log p.
+  const auto machine = machine::titan();
+  SimConfig config;
+  config.distribution.distribution = PointDistribution::kNormal;
+  config.tolerance = 0.0;
+
+  double prev_total = 0.0;
+  for (const int p : {16, 256, 4096, 65536, 262144}) {
+    config.p = p;
+    config.n = static_cast<std::uint64_t>(p) * 1'000'000ULL;
+    const SimResult r = simulate_treesort(config, machine);
+    EXPECT_GT(r.time.all2all, r.time.splitter) << "p=" << p;
+    EXPECT_GE(r.time.total(), prev_total * 0.95) << "p=" << p;
+    prev_total = r.time.total();
+  }
+}
+
+TEST(SplitterSim, SampleSortSplitterCostBlowsUpWithP) {
+  const auto machine = machine::stampede();
+  SimConfig config;
+  config.n = 1'000'000ULL * 4096ULL;
+  config.p = 4096;
+  const SimResult treesort = simulate_treesort(config, machine);
+  const SimResult samplesort = simulate_samplesort(config, machine);
+  // The p^2 sample term dominates SampleSort's splitter phase at scale.
+  EXPECT_GT(samplesort.time.splitter, treesort.time.splitter * 10.0);
+}
+
+TEST(SplitterSim, StrongScalingImprovesWithRanks) {
+  const auto machine = machine::titan();
+  SimConfig config;
+  config.n = 16'000'000;
+  config.tolerance = 0.0;
+  config.p = 16;
+  const double t16 = simulate_treesort(config, machine).time.total();
+  config.p = 1024;
+  const double t1024 = simulate_treesort(config, machine).time.total();
+  EXPECT_LT(t1024, t16);
+  // Efficiency is below 100% (communication overhead) but meaningful.
+  const double speedup = t16 / t1024;
+  EXPECT_GT(speedup, 4.0);
+  EXPECT_LE(speedup, 64.0 * 1.05);
+}
+
+TEST(SplitterSim, LevelsMatchTheRealDistributedImplementation) {
+  // Cross-validation: the analytic simulator must predict the refinement
+  // depth the real simmpi implementation uses on a sampled workload of the
+  // same distribution (within the granularity noise of finite sampling).
+  const int p = 8;
+  const std::size_t per_rank = 4000;
+  const double tolerance = 0.1;
+
+  SimConfig config;
+  config.n = static_cast<std::uint64_t>(p) * per_rank;
+  config.p = p;
+  config.tolerance = tolerance;
+  config.distribution.distribution = PointDistribution::kNormal;
+  const SimResult predicted = simulate_treesort(config, machine::titan());
+
+  std::vector<int> levels(static_cast<std::size_t>(p), 0);
+  simmpi::run_ranks(p, [&](simmpi::Comm& comm) {
+    octree::GenerateOptions gen;
+    gen.distribution = PointDistribution::kNormal;
+    gen.seed = 7000 + static_cast<std::uint64_t>(comm.rank());
+    auto points = octree::generate_points(per_rank, gen);
+    std::vector<octree::Octant> local;
+    local.reserve(points.size());
+    for (const auto& point : points) {
+      local.push_back(
+          octree::octant_from_point(point[0], point[1], point[2], octree::kMaxDepth));
+    }
+    const sfc::Curve curve(sfc::CurveKind::kHilbert, 3);
+    simmpi::DistSortOptions options;
+    options.tolerance = tolerance;
+    const auto report = simmpi::dist_treesort(local, comm, curve, options);
+    levels[static_cast<std::size_t>(comm.rank())] = report.levels_used;
+  });
+
+  EXPECT_NEAR(levels[0], predicted.levels_used, 2) << "sim drifted from reality";
+}
+
+TEST(MatvecSim, EnergyTracksRuntime) {
+  // Two synthetic partitions with identical total work: the one with more
+  // communication must take longer AND use more energy (paper Fig. 7's
+  // correlation).
+  const machine::PerfModel model(machine::clemson32(), machine::ApplicationProfile{});
+  partition::Metrics balanced;
+  balanced.work = {1000.0, 1000.0, 1000.0, 1000.0};
+  balanced.w_max = 1000.0;
+
+  mesh::CommMatrix light(4);
+  light.add(0, 1, 50.0);
+  light.add(1, 0, 50.0);
+  mesh::CommMatrix heavy(4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i != j) heavy.add(i, j, 400.0);
+    }
+  }
+
+  MatvecSimConfig config;
+  config.iterations = 10;
+  config.sampler.sample_hz = 1e7;  // fine sampling for the tiny job
+  const MatvecSimResult a = simulate_matvec(balanced, light, model, config);
+  const MatvecSimResult b = simulate_matvec(balanced, heavy, model, config);
+  EXPECT_LT(a.total_seconds, b.total_seconds);
+  EXPECT_LT(a.energy.total_joules, b.energy.total_joules);
+  EXPECT_GT(b.total_data_elements, a.total_data_elements);
+  EXPECT_EQ(a.energy.per_node_joules.size(), 1U);  // 4 ranks on one node
+}
+
+TEST(MatvecSim, PerNodeEnergyReflectsPlacement) {
+  machine::MachineModel machine = machine::wisconsin8();
+  machine.cores_per_node = 2;
+  const machine::PerfModel model(machine, machine::ApplicationProfile{});
+  partition::Metrics metrics;
+  metrics.work = {4000.0, 4000.0, 100.0, 100.0};  // node 0 loaded, node 1 idle
+  metrics.w_max = 4000.0;
+  mesh::CommMatrix comm(4);
+  comm.add(0, 2, 10.0);
+  comm.add(2, 0, 10.0);
+
+  MatvecSimConfig config;
+  config.iterations = 5;
+  config.sampler.sample_hz = 1e7;
+  const MatvecSimResult r = simulate_matvec(metrics, comm, model, config);
+  ASSERT_EQ(r.energy.per_node_joules.size(), 2U);
+  EXPECT_GT(r.energy.per_node_joules[0], r.energy.per_node_joules[1]);
+}
+
+}  // namespace
+}  // namespace amr::sim

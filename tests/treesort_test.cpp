@@ -1,0 +1,174 @@
+// TreeSort (Alg. 1) tests: agreement with comparison sort under both
+// curves, stability, mixed-level inputs, and the radix/quadtree
+// equivalence of paper Fig. 1.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "octree/generate.hpp"
+#include "octree/octant.hpp"
+#include "octree/treesort.hpp"
+#include "sfc/curve.hpp"
+#include "util/rng.hpp"
+
+namespace amr::octree {
+namespace {
+
+using sfc::Curve;
+using sfc::CurveKind;
+
+std::vector<Octant> random_octants(std::size_t n, int max_level, std::uint64_t seed) {
+  util::Rng rng = util::make_rng(seed);
+  std::uniform_int_distribution<std::uint32_t> coord(0, (1U << kMaxDepth) - 1);
+  std::uniform_int_distribution<int> lvl(1, max_level);
+  std::vector<Octant> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(octant_from_point(coord(rng), coord(rng), coord(rng), lvl(rng)));
+  }
+  return out;
+}
+
+struct SortCase {
+  CurveKind kind;
+  std::size_t n;
+  std::size_t cutoff;
+};
+
+class TreeSortTest : public ::testing::TestWithParam<SortCase> {};
+
+TEST_P(TreeSortTest, MatchesComparisonSort) {
+  const auto [kind, n, cutoff] = GetParam();
+  const Curve curve(kind, 3);
+  std::vector<Octant> octants = random_octants(n, 12, 100 + n);
+  std::vector<Octant> reference = octants;
+
+  TreeSortOptions options;
+  options.small_cutoff = cutoff;
+  tree_sort(octants, curve, options);
+  std::stable_sort(reference.begin(), reference.end(), curve.comparator());
+
+  ASSERT_EQ(octants.size(), reference.size());
+  for (std::size_t i = 0; i < octants.size(); ++i) {
+    EXPECT_EQ(curve.compare(octants[i], reference[i]), 0) << "at " << i;
+  }
+  EXPECT_TRUE(is_sfc_sorted(octants, curve));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TreeSortTest,
+    ::testing::Values(SortCase{CurveKind::kMorton, 1000, 16},
+                      SortCase{CurveKind::kHilbert, 1000, 16},
+                      SortCase{CurveKind::kMorton, 5000, 1},
+                      SortCase{CurveKind::kHilbert, 5000, 1},
+                      SortCase{CurveKind::kMorton, 0, 16},
+                      SortCase{CurveKind::kHilbert, 1, 16},
+                      SortCase{CurveKind::kHilbert, 20000, 32}),
+    [](const auto& info) {
+      return sfc::to_string(info.param.kind) + "_n" + std::to_string(info.param.n) +
+             "_c" + std::to_string(info.param.cutoff);
+    });
+
+TEST(TreeSort, HandlesMixedLevelsWithAncestors) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  // A chain of nested octants plus scattered leaves.
+  std::vector<Octant> octants;
+  Octant o = root_octant();
+  for (int l = 1; l <= 10; ++l) {
+    o = o.child(l % 8);
+    octants.push_back(o);
+  }
+  auto extra = random_octants(500, 10, 77);
+  octants.insert(octants.end(), extra.begin(), extra.end());
+
+  std::vector<Octant> reference = octants;
+  tree_sort(octants, curve);
+  std::sort(reference.begin(), reference.end(), curve.comparator());
+  for (std::size_t i = 0; i < octants.size(); ++i) {
+    EXPECT_EQ(curve.compare(octants[i], reference[i]), 0);
+  }
+}
+
+TEST(TreeSort, DuplicatesSurvive) {
+  const Curve curve(CurveKind::kMorton, 3);
+  std::vector<Octant> octants(100, octant_from_point(123 << 20, 45 << 20, 67 << 20, 9));
+  auto extra = random_octants(100, 9, 5);
+  octants.insert(octants.end(), extra.begin(), extra.end());
+  const std::size_t before = octants.size();
+  tree_sort(octants, curve);
+  EXPECT_EQ(octants.size(), before);
+  EXPECT_TRUE(is_sfc_sorted(octants, curve));
+}
+
+TEST(TreeSort, WorksIn2d) {
+  const Curve curve(CurveKind::kHilbert, 2);
+  util::Rng rng = util::make_rng(21);
+  std::uniform_int_distribution<std::uint32_t> coord(0, (1U << kMaxDepth) - 1);
+  std::vector<Octant> octants;
+  for (int i = 0; i < 2000; ++i) {
+    Octant o = octant_from_point(coord(rng), coord(rng), 0, 10);
+    octants.push_back(o);
+  }
+  std::vector<Octant> reference = octants;
+  tree_sort(octants, curve);
+  std::sort(reference.begin(), reference.end(), curve.comparator());
+  for (std::size_t i = 0; i < octants.size(); ++i) {
+    EXPECT_EQ(curve.compare(octants[i], reference[i]), 0);
+  }
+}
+
+// Paper Fig. 1: bucketing by most-significant coordinate bits in curve
+// order is exactly a top-down quadtree construction -- after sorting,
+// elements of each level-l quadrant form a contiguous run whose order of
+// first appearance follows the curve.
+TEST(TreeSort, RadixEqualsTopDownQuadtree) {
+  const Curve curve(CurveKind::kHilbert, 2);
+  util::Rng rng = util::make_rng(42);
+  std::uniform_int_distribution<std::uint32_t> coord(0, (1U << kMaxDepth) - 1);
+  std::vector<Octant> points;
+  for (int i = 0; i < 4096; ++i) {
+    points.push_back(octant_from_point(coord(rng), coord(rng), 0, kMaxDepth));
+  }
+  tree_sort(points, curve);
+
+  for (int level = 1; level <= 3; ++level) {
+    // Quadrant of each point at this level must be non-repeating runs.
+    std::vector<std::uint64_t> run_ids;
+    for (const Octant& p : points) {
+      const std::uint64_t id = curve.rank_at_own_level(p.ancestor_at(level));
+      if (run_ids.empty() || run_ids.back() != id) run_ids.push_back(id);
+    }
+    // Runs are strictly increasing curve ranks: each quadrant appears once,
+    // in curve order.
+    for (std::size_t i = 1; i < run_ids.size(); ++i) {
+      EXPECT_LT(run_ids[i - 1], run_ids[i]);
+    }
+  }
+}
+
+TEST(TreeSortChecks, DetectorsWork) {
+  const Curve curve(CurveKind::kMorton, 3);
+  std::vector<Octant> tree = uniform_octree(2, curve);
+  EXPECT_TRUE(is_sfc_sorted(tree, curve));
+  EXPECT_TRUE(is_linear(tree, curve));
+  EXPECT_TRUE(is_complete(tree, curve));
+
+  std::swap(tree[3], tree[10]);
+  EXPECT_FALSE(is_sfc_sorted(tree, curve));
+  std::swap(tree[3], tree[10]);
+
+  // Overlap: replace one leaf with its parent (covers siblings).
+  auto broken = tree;
+  broken[8] = broken[8].parent();
+  tree_sort(broken, curve);
+  EXPECT_FALSE(is_linear(broken, curve));
+
+  // Missing leaf: not complete anymore.
+  auto missing = tree;
+  missing.pop_back();
+  EXPECT_TRUE(is_linear(missing, curve));
+  EXPECT_FALSE(is_complete(missing, curve));
+}
+
+}  // namespace
+}  // namespace amr::octree

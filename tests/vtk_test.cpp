@@ -1,0 +1,89 @@
+// VTK export tests: structural validity of the emitted legacy file,
+// vertex deduplication, field handling, and error paths.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/vtk.hpp"
+#include "octree/generate.hpp"
+
+namespace amr::io {
+namespace {
+
+using sfc::Curve;
+using sfc::CurveKind;
+
+TEST(Vtk, UniformGridStructure) {
+  const Curve curve(CurveKind::kMorton, 3);
+  const auto tree = octree::uniform_octree(1, curve);  // 2x2x2 = 8 voxels
+  const std::string vtk = vtk_to_string(tree, {});
+  // 8 cells share a 3x3x3 = 27 vertex lattice.
+  EXPECT_NE(vtk.find("POINTS 27 double"), std::string::npos);
+  EXPECT_NE(vtk.find("CELLS 8 72"), std::string::npos);
+  EXPECT_NE(vtk.find("CELL_TYPES 8"), std::string::npos);
+  EXPECT_EQ(vtk.find("CELL_DATA"), std::string::npos);  // no fields
+}
+
+TEST(Vtk, FieldsEmitted) {
+  const Curve curve(CurveKind::kMorton, 3);
+  const auto tree = octree::uniform_octree(1, curve);
+  std::vector<CellField> fields(2);
+  fields[0].name = "level";
+  fields[1].name = "rank";
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    fields[0].values.push_back(tree[i].level);
+    fields[1].values.push_back(static_cast<double>(i % 2));
+  }
+  const std::string vtk = vtk_to_string(tree, fields);
+  EXPECT_NE(vtk.find("CELL_DATA 8"), std::string::npos);
+  EXPECT_NE(vtk.find("SCALARS level double 1"), std::string::npos);
+  EXPECT_NE(vtk.find("SCALARS rank double 1"), std::string::npos);
+}
+
+TEST(Vtk, MismatchedFieldRejected) {
+  const Curve curve(CurveKind::kMorton, 3);
+  const auto tree = octree::uniform_octree(1, curve);
+  std::vector<CellField> fields(1);
+  fields[0].name = "bad";
+  fields[0].values = {1.0};  // 1 value for 8 cells
+  EXPECT_TRUE(vtk_to_string(tree, fields).empty());
+}
+
+TEST(Vtk, AdaptiveTreeVertexCountsAreConsistent) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  octree::GenerateOptions options;
+  options.seed = 3;
+  options.max_level = 5;
+  const auto tree = octree::random_octree(500, curve, options);
+  const std::string vtk = vtk_to_string(tree, {});
+
+  std::istringstream in(vtk);
+  std::string line;
+  std::size_t points = 0;
+  std::size_t cells = 0;
+  while (std::getline(in, line)) {
+    if (line.rfind("POINTS ", 0) == 0) points = std::stoul(line.substr(7));
+    if (line.rfind("CELLS ", 0) == 0) cells = std::stoul(line.substr(6));
+  }
+  EXPECT_EQ(cells, tree.size());
+  EXPECT_GT(points, tree.size());           // more vertices than cells
+  EXPECT_LE(points, tree.size() * 8);       // dedup keeps it below 8 per cell
+}
+
+TEST(Vtk, WritesFile) {
+  const Curve curve(CurveKind::kMorton, 3);
+  const auto tree = octree::uniform_octree(1, curve);
+  const std::string path = "/tmp/amrpart_vtk_test.vtk";
+  ASSERT_TRUE(write_vtk(path, tree, {}));
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::string first;
+  std::getline(file, first);
+  EXPECT_EQ(first, "# vtk DataFile Version 3.0");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace amr::io

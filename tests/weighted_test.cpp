@@ -1,0 +1,205 @@
+// Weighted partitioning tests: weight-balanced cuts, tolerance semantics
+// in weight space, degenerate weights, weighted OptiPart, and the [35]
+// coarse-grid heuristic baseline.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "octree/adapt.hpp"
+#include "octree/generate.hpp"
+#include "partition/heuristic.hpp"
+#include "partition/weighted.hpp"
+#include "util/rng.hpp"
+
+namespace amr::partition {
+namespace {
+
+using octree::Octant;
+using sfc::Curve;
+using sfc::CurveKind;
+
+std::vector<Octant> make_tree(CurveKind kind, std::size_t points, std::uint64_t seed) {
+  const Curve curve(kind, 3);
+  octree::GenerateOptions options;
+  options.seed = seed;
+  options.max_level = 9;
+  options.distribution = octree::PointDistribution::kNormal;
+  return octree::random_octree(points, curve, options);
+}
+
+std::vector<double> random_weights(std::size_t n, std::uint64_t seed) {
+  util::Rng rng = util::make_rng(seed);
+  std::uniform_real_distribution<double> dist(0.5, 4.0);
+  std::vector<double> weights(n);
+  for (double& w : weights) w = dist(rng);
+  return weights;
+}
+
+TEST(WeightedPartition, UnitWeightsMatchUnweighted) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = make_tree(CurveKind::kHilbert, 10000, 3);
+  const std::vector<double> ones(tree.size(), 1.0);
+  for (const double tol : {0.0, 0.2}) {
+    WeightedPartitionOptions w_opt;
+    w_opt.tolerance = tol;
+    TreeSortPartitionOptions u_opt;
+    u_opt.tolerance = tol;
+    const Partition weighted = weighted_treesort_partition(tree, curve, ones, 16, w_opt);
+    const Partition unweighted = treesort_partition(tree, curve, 16, u_opt);
+    // Targets r*W/p vs floor(r*N/p) differ by sub-element rounding, so the
+    // cuts may sit one element apart.
+    ASSERT_EQ(weighted.offsets.size(), unweighted.offsets.size());
+    for (std::size_t r = 0; r < weighted.offsets.size(); ++r) {
+      const auto a = static_cast<std::int64_t>(weighted.offsets[r]);
+      const auto b = static_cast<std::int64_t>(unweighted.offsets[r]);
+      EXPECT_LE(std::abs(a - b), 1) << "rank " << r << " tol " << tol;
+    }
+  }
+}
+
+class WeightedToleranceTest
+    : public ::testing::TestWithParam<std::tuple<CurveKind, double>> {};
+
+TEST_P(WeightedToleranceTest, SharesWithinToleranceOfIdeal) {
+  const auto [kind, tolerance] = GetParam();
+  const Curve curve(kind, 3);
+  const auto tree = make_tree(kind, 12000, 9);
+  const auto weights = random_weights(tree.size(), 17);
+  const int p = 12;
+
+  WeightedPartitionOptions options;
+  options.tolerance = tolerance;
+  const Partition part = weighted_treesort_partition(tree, curve, weights, p, options);
+  const WeightedBucketSearch search(tree, curve, weights);
+  const auto shares = partition_weights(search, part);
+
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  const double grain = total / p;
+  const double max_weight = 4.0;  // element indivisibility in weight units
+  for (int r = 1; r < p; ++r) {
+    // Each *cut* is within tolerance (or one element) of its target.
+    const double cut_weight = search.weight_before(part.offsets[static_cast<std::size_t>(r)]);
+    const double target = grain * r;
+    EXPECT_LE(std::abs(cut_weight - target),
+              std::max(max_weight, tolerance * grain) + 1e-9)
+        << "rank " << r;
+  }
+  EXPECT_NEAR(std::accumulate(shares.begin(), shares.end(), 0.0), total, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WeightedToleranceTest,
+    ::testing::Combine(::testing::Values(CurveKind::kMorton, CurveKind::kHilbert),
+                       ::testing::Values(0.0, 0.1, 0.4)),
+    [](const auto& info) {
+      return sfc::to_string(std::get<0>(info.param)) + "_tol" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+TEST(WeightedPartition, HeavyElementsGetSmallerCounts) {
+  // First half of the curve carries 10x weights: the element *count* of the
+  // ranks owning it must be ~10x smaller while weight shares balance.
+  const Curve curve(CurveKind::kMorton, 3);
+  const auto tree = make_tree(CurveKind::kMorton, 20000, 21);
+  std::vector<double> weights(tree.size(), 1.0);
+  for (std::size_t i = 0; i < tree.size() / 2; ++i) weights[i] = 10.0;
+
+  const Partition part = weighted_treesort_partition(tree, curve, weights, 2, {});
+  const WeightedBucketSearch search(tree, curve, weights);
+  EXPECT_LT(weighted_load_imbalance(search, part), 1.01);
+  // Rank 0's cut falls inside the heavy half (it owns only heavy
+  // elements), so it holds far fewer elements than rank 1.
+  EXPECT_LT(part.offsets[1], tree.size() / 2);
+  EXPECT_LT(part.size_of(0) * 2, part.size_of(1));
+}
+
+TEST(WeightedPartition, ZeroWeightElementsDoNotBreakCuts) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = make_tree(CurveKind::kHilbert, 5000, 25);
+  std::vector<double> weights(tree.size(), 0.0);
+  for (std::size_t i = 0; i < tree.size(); i += 7) weights[i] = 1.0;
+  const Partition part = weighted_treesort_partition(tree, curve, weights, 8, {});
+  EXPECT_EQ(part.total(), tree.size());
+  const WeightedBucketSearch search(tree, curve, weights);
+  EXPECT_LT(weighted_load_imbalance(search, part), 1.2);
+}
+
+TEST(WeightedPartition, RejectsBadWeights) {
+  const Curve curve(CurveKind::kMorton, 3);
+  const auto tree = make_tree(CurveKind::kMorton, 100, 1);
+  std::vector<double> short_weights(tree.size() - 1, 1.0);
+  EXPECT_THROW(WeightedBucketSearch(tree, curve, short_weights), std::invalid_argument);
+  std::vector<double> negative(tree.size(), 1.0);
+  negative[5] = -1.0;
+  EXPECT_THROW(WeightedBucketSearch(tree, curve, negative), std::invalid_argument);
+}
+
+TEST(WeightedOptiPart, NeverWorseThanWeightedIdealUnderModel) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = make_tree(CurveKind::kHilbert, 10000, 31);
+  const auto weights = random_weights(tree.size(), 33);
+  const int p = 8;
+  const machine::PerfModel model(machine::wisconsin8(), machine::ApplicationProfile{});
+
+  const Partition opti =
+      weighted_optipart_partition(tree, curve, weights, p, model);
+  const Partition ideal = weighted_treesort_partition(tree, curve, weights, p, {});
+
+  const WeightedBucketSearch search(tree, curve, weights);
+  const auto evaluate = [&](const Partition& part) {
+    Metrics m = compute_metrics(tree, curve, part);
+    m.work = partition_weights(search, part);
+    m.w_max = 0.0;
+    for (const double w : m.work) m.w_max = std::max(m.w_max, w);
+    return m.predicted_time(model);
+  };
+  EXPECT_LE(evaluate(opti), evaluate(ideal) * (1.0 + 1e-9));
+}
+
+TEST(HeuristicPartition, BalancesWithinCoarseGranularity) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = make_tree(CurveKind::kHilbert, 15000, 41);
+  const int p = 8;
+  HeuristicOptions options;
+  options.coarsen_levels = 2;
+  const Partition part = heuristic_coarse_partition(tree, curve, p, options);
+  EXPECT_EQ(part.total(), tree.size());
+  EXPECT_EQ(part.num_ranks(), p);
+  // Whole coarse cells per rank: imbalance bounded but not ideal.
+  EXPECT_LT(part.load_imbalance(), 3.0);
+}
+
+TEST(HeuristicPartition, CutsLieOnCoarseCellBoundaries) {
+  const Curve curve(CurveKind::kMorton, 3);
+  const auto tree = make_tree(CurveKind::kMorton, 8000, 43);
+  HeuristicOptions options;
+  options.coarsen_levels = 3;
+  const Partition part = heuristic_coarse_partition(tree, curve, 6, options);
+
+  const auto coarse = octree::coarsen_octree(tree, curve, options.coarsen_levels);
+  const auto ranges = octree::coarse_to_fine_ranges(tree, coarse, curve);
+  std::vector<std::size_t> starts;
+  for (const auto& range : ranges) starts.push_back(range.first);
+  for (int r = 1; r < part.num_ranks(); ++r) {
+    const std::size_t cut = part.offsets[static_cast<std::size_t>(r)];
+    EXPECT_TRUE(cut == tree.size() ||
+                std::find(starts.begin(), starts.end(), cut) != starts.end())
+        << "cut " << cut << " not on a coarse-cell boundary";
+  }
+}
+
+TEST(HeuristicPartition, ProducesSimplerBoundariesThanIdealSplit) {
+  // The [35] intuition: coarse-grid cuts give no *larger* total boundary
+  // than the fine ideal split (that is the reason the heuristic existed).
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = make_tree(CurveKind::kHilbert, 20000, 47);
+  const int p = 8;
+  const auto heuristic = heuristic_coarse_partition(tree, curve, p, {2, 0.0});
+  const auto ideal = ideal_partition(tree.size(), p);
+  const auto m_h = compute_metrics(tree, curve, heuristic);
+  const auto m_i = compute_metrics(tree, curve, ideal);
+  EXPECT_LE(m_h.total_boundary, m_i.total_boundary * 1.05);
+}
+
+}  // namespace
+}  // namespace amr::partition

@@ -1,0 +1,263 @@
+// amrpart: command-line driver over the library.
+//
+//   amrpart machines
+//       List the machine-model presets and their parameters.
+//   amrpart partition [--elements N] [--p P] [--machine M] [--curve C]
+//                     [--algo optipart|treesort|heuristic|ideal]
+//                     [--tolerance T] [--vtk out.vtk] [--csv out.csv]
+//       Generate an adaptive octree, partition it, print quality metrics.
+//   amrpart sweep     [--elements N] [--p P] [--machine M] [--curve C]
+//       Tolerance sweep: imbalance / NNZ / ghost volume / modeled time.
+//   amrpart simulate  [--n N] [--p P] [--machine M] [--tolerance T] [--k K]
+//       Cluster-scale TreeSort partitioning simulation (Eq. 1/2 costs).
+//   amrpart place     [--elements N] [--p P] [--torus-x/y/z D] [--cores-per-node C]
+//       Rank placement on a torus: SFC vs linear vs random, hops and
+//       link congestion against the real communication matrix.
+//
+// Everything the CLI does goes through the public library API; it exists
+// so the partitioner can be explored without writing a program.
+#include <cstdio>
+#include <string>
+
+#include "alloc/placement.hpp"
+#include "io/vtk.hpp"
+#include "machine/perf_model.hpp"
+#include "mesh/adjacency.hpp"
+#include "octree/balance.hpp"
+#include "octree/generate.hpp"
+#include "partition/heuristic.hpp"
+#include "partition/optipart.hpp"
+#include "sim/splitter_sim.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+using namespace amr;
+
+namespace {
+
+int usage() {
+  std::printf(
+      "usage: amrpart <command> [options]\n"
+      "commands:\n"
+      "  machines                         list machine presets\n"
+      "  partition [--elements N] [--p P] [--machine M] [--curve C]\n"
+      "            [--algo optipart|treesort|heuristic|ideal] [--tolerance T]\n"
+      "            [--seed S] [--distribution D] [--vtk F] [--csv F]\n"
+      "  sweep     [--elements N] [--p P] [--machine M] [--curve C]\n"
+      "  simulate  [--n N] [--p P] [--machine M] [--tolerance T] [--k K]\n"
+      "  place     [--elements N] [--p P] [--torus-x X ...] [--cores-per-node C]\n");
+  return 2;
+}
+
+int cmd_machines() {
+  util::Table table({"name", "tc (s/B)", "ts (s)", "tw (s/B)", "tw/tc",
+                     "cores/node", "nodes", "idle W", "W/core"});
+  for (const auto& m : machine::all_machines()) {
+    table.add_row({m.name, util::Table::fmt(m.tc, 12), util::Table::fmt(m.ts, 8),
+                   util::Table::fmt(m.tw, 12), util::Table::fmt(m.tw / m.tc, 1),
+                   std::to_string(m.cores_per_node), std::to_string(m.total_nodes),
+                   util::Table::fmt(m.idle_watts, 0),
+                   util::Table::fmt(m.core_active_watts, 1)});
+  }
+  table.print("machine presets:");
+  return 0;
+}
+
+struct Workload {
+  sfc::Curve curve;
+  std::vector<octree::Octant> tree;
+};
+
+Workload build_workload(const util::Args& args) {
+  const sfc::Curve curve(sfc::curve_kind_from_string(args.get("curve", "hilbert")), 3);
+  octree::GenerateOptions gen;
+  gen.distribution =
+      octree::distribution_from_string(args.get("distribution", "normal"));
+  gen.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  gen.max_level = static_cast<int>(args.get_int("max-level", 9));
+  gen.max_points_per_leaf = static_cast<std::size_t>(args.get_int("leaf", 1));
+  auto tree = octree::random_octree(
+      static_cast<std::size_t>(args.get_int("elements", 50000)), curve, gen);
+  if (args.get_bool("balance", true)) {
+    tree = octree::balance_octree(std::move(tree), curve);
+  }
+  return Workload{curve, std::move(tree)};
+}
+
+int cmd_partition(const util::Args& args) {
+  const Workload w = build_workload(args);
+  const int p = static_cast<int>(args.get_int("p", 32));
+  const machine::MachineModel machine =
+      machine::machine_by_name(args.get("machine", "clemson32"));
+  machine::ApplicationProfile app;
+  app.alpha = args.get_double("alpha", 8.0);
+  app.include_latency_term = args.get_bool("latency-term", false);
+  const machine::PerfModel model(machine, app);
+
+  const std::string algo = args.get("algo", "optipart");
+  partition::Partition part;
+  if (algo == "optipart") {
+    part = partition::optipart_partition(w.tree, w.curve, p, model);
+  } else if (algo == "treesort") {
+    partition::TreeSortPartitionOptions options;
+    options.tolerance = args.get_double("tolerance", 0.3);
+    part = partition::treesort_partition(w.tree, w.curve, p, options);
+  } else if (algo == "heuristic") {
+    partition::HeuristicOptions options;
+    options.coarsen_levels = static_cast<int>(args.get_int("coarsen", 2));
+    part = partition::heuristic_coarse_partition(w.tree, w.curve, p, options);
+  } else if (algo == "ideal") {
+    part = partition::ideal_partition(w.tree.size(), p);
+  } else {
+    std::printf("unknown --algo %s\n", algo.c_str());
+    return 2;
+  }
+
+  const auto adjacency = mesh::build_adjacency(w.tree, w.curve);
+  const auto metrics = mesh::metrics_from_adjacency(adjacency, part);
+  const auto comm = mesh::comm_matrix_from_adjacency(adjacency, part);
+
+  util::Table table({"metric", "value"});
+  table.add_row({"elements", std::to_string(w.tree.size())});
+  table.add_row({"ranks", std::to_string(p)});
+  table.add_row({"algorithm", algo});
+  table.add_row({"machine", machine.name});
+  table.add_row({"lambda (work max/min)", util::Table::fmt(metrics.load_imbalance, 4)});
+  table.add_row({"achieved tolerance", util::Table::fmt(part.max_deviation(), 4)});
+  table.add_row({"Wmax (elements)", util::Table::fmt(metrics.w_max, 0)});
+  table.add_row({"Cmax (boundary octants)", util::Table::fmt(metrics.c_max, 0)});
+  table.add_row({"comm matrix NNZ", std::to_string(comm.nnz())});
+  table.add_row({"ghost volume (elements)", util::Table::fmt(comm.total_elements(), 0)});
+  table.add_row({"max peers per rank", util::Table::fmt(metrics.m_max, 0)});
+  table.add_row(
+      {"modeled matvec (us)", util::Table::fmt(metrics.predicted_time(model) * 1e6, 3)});
+  table.print("partition quality:");
+
+  if (args.has("csv")) {
+    (void)table.write_csv(args.get("csv", "partition.csv"));
+  }
+  if (args.has("vtk")) {
+    std::vector<io::CellField> fields(2);
+    fields[0].name = "rank";
+    fields[1].name = "level";
+    for (std::size_t i = 0; i < w.tree.size(); ++i) {
+      fields[0].values.push_back(part.owner_of(i));
+      fields[1].values.push_back(w.tree[i].level);
+    }
+    const std::string path = args.get("vtk", "partition.vtk");
+    if (io::write_vtk(path, w.tree, fields)) {
+      std::printf("wrote %s\n", path.c_str());
+    }
+  }
+  return 0;
+}
+
+int cmd_sweep(const util::Args& args) {
+  const Workload w = build_workload(args);
+  const int p = static_cast<int>(args.get_int("p", 32));
+  const machine::MachineModel machine =
+      machine::machine_by_name(args.get("machine", "clemson32"));
+  const machine::PerfModel model(machine, machine::ApplicationProfile{});
+  const auto adjacency = mesh::build_adjacency(w.tree, w.curve);
+
+  util::Table table({"tolerance", "lambda", "Cmax", "NNZ", "ghost volume",
+                     "modeled matvec (us)"});
+  for (double tol = 0.0; tol <= 0.5001; tol += 0.05) {
+    partition::TreeSortPartitionOptions options;
+    options.tolerance = tol;
+    const auto part = partition::treesort_partition(w.tree, w.curve, p, options);
+    const auto metrics = mesh::metrics_from_adjacency(adjacency, part);
+    const auto comm = mesh::comm_matrix_from_adjacency(adjacency, part);
+    table.add_row({util::Table::fmt(tol, 2), util::Table::fmt(metrics.load_imbalance, 3),
+                   util::Table::fmt(metrics.c_max, 0), std::to_string(comm.nnz()),
+                   util::Table::fmt(comm.total_elements(), 0),
+                   util::Table::fmt(metrics.predicted_time(model) * 1e6, 2)});
+  }
+  table.print("tolerance sweep (" + std::string(sfc::to_string(w.curve.kind())) +
+              ", p=" + std::to_string(p) + ", " + machine.name + "):");
+  return 0;
+}
+
+int cmd_place(const util::Args& args) {
+  const Workload w = build_workload(args);
+  const int p = static_cast<int>(args.get_int("p", 256));
+  alloc::TorusConfig torus;
+  torus.dims = {static_cast<int>(args.get_int("torus-x", 8)),
+                static_cast<int>(args.get_int("torus-y", 8)),
+                static_cast<int>(args.get_int("torus-z", 8))};
+  torus.cores_per_node = static_cast<int>(args.get_int("cores-per-node", 16));
+
+  const auto part = partition::ideal_partition(w.tree.size(), p);
+  const auto adjacency = mesh::build_adjacency(w.tree, w.curve);
+  const auto comm = mesh::comm_matrix_from_adjacency(adjacency, part);
+
+  util::Table table({"placement", "avg hops", "max hops", "on-node (%)",
+                     "hot link (elems)", "links used"});
+  for (const auto strategy : {alloc::PlacementStrategy::kSfc,
+                              alloc::PlacementStrategy::kLinear,
+                              alloc::PlacementStrategy::kRandom}) {
+    const auto placement = alloc::place_ranks(p, torus, strategy, w.curve.kind(),
+                                              static_cast<std::uint64_t>(
+                                                  args.get_int("seed", 42)));
+    const auto hops = alloc::evaluate_placement(comm, placement, torus);
+    const auto congestion = alloc::evaluate_congestion(comm, placement, torus);
+    table.add_row({alloc::to_string(strategy), util::Table::fmt(hops.average_hops, 3),
+                   std::to_string(hops.max_hops),
+                   util::Table::fmt(100.0 * hops.on_node_fraction, 1),
+                   util::Table::fmt(congestion.max_link_load, 0),
+                   std::to_string(congestion.links_used)});
+  }
+  table.print("rank placement on " + std::to_string(torus.dims[0]) + "x" +
+              std::to_string(torus.dims[1]) + "x" + std::to_string(torus.dims[2]) +
+              " torus, p=" + std::to_string(p) + ":");
+  return 0;
+}
+
+int cmd_simulate(const util::Args& args) {
+  sim::SimConfig config;
+  config.n = static_cast<std::uint64_t>(args.get_int("n", 1'000'000'000));
+  config.p = static_cast<int>(args.get_int("p", 4096));
+  config.tolerance = args.get_double("tolerance", 0.0);
+  config.staged_splitters = static_cast<int>(args.get_int("k", 0));
+  config.curve = sfc::curve_kind_from_string(args.get("curve", "hilbert"));
+  const machine::MachineModel machine =
+      machine::machine_by_name(args.get("machine", "titan"));
+
+  const sim::SimResult treesort = sim::simulate_treesort(config, machine);
+  const sim::SimResult samplesort = sim::simulate_samplesort(config, machine);
+
+  util::Table table({"algorithm", "levels", "local (s)", "splitter (s)", "all2all (s)",
+                     "total (s)", "achieved tol"});
+  table.add_row({"TreeSort/OptiPart", std::to_string(treesort.levels_used),
+                 util::Table::fmt(treesort.time.local_sort, 4),
+                 util::Table::fmt(treesort.time.splitter, 4),
+                 util::Table::fmt(treesort.time.all2all, 4),
+                 util::Table::fmt(treesort.time.total(), 4),
+                 util::Table::fmt(treesort.achieved_tolerance, 4)});
+  table.add_row({"SampleSort", "-", util::Table::fmt(samplesort.time.local_sort, 4),
+                 util::Table::fmt(samplesort.time.splitter, 4),
+                 util::Table::fmt(samplesort.time.all2all, 4),
+                 util::Table::fmt(samplesort.time.total(), 4), "0"});
+  table.print("partitioning simulation: N=" + std::to_string(config.n) +
+              ", p=" + std::to_string(config.p) + ", machine=" + machine.name + ":");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  if (args.positional().empty()) return usage();
+  const std::string& command = args.positional().front();
+  try {
+    if (command == "machines") return cmd_machines();
+    if (command == "partition") return cmd_partition(args);
+    if (command == "sweep") return cmd_sweep(args);
+    if (command == "place") return cmd_place(args);
+    if (command == "simulate") return cmd_simulate(args);
+  } catch (const std::exception& e) {
+    std::printf("error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
