@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_staged_splitters"
+  "../bench/bench_ablation_staged_splitters.pdb"
+  "CMakeFiles/bench_ablation_staged_splitters.dir/bench_ablation_staged_splitters.cpp.o"
+  "CMakeFiles/bench_ablation_staged_splitters.dir/bench_ablation_staged_splitters.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_staged_splitters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

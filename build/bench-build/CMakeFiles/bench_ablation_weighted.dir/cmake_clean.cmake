@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_weighted"
+  "../bench/bench_ablation_weighted.pdb"
+  "CMakeFiles/bench_ablation_weighted.dir/bench_ablation_weighted.cpp.o"
+  "CMakeFiles/bench_ablation_weighted.dir/bench_ablation_weighted.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_weighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

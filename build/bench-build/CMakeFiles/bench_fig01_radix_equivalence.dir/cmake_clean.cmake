@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig01_radix_equivalence"
+  "../bench/bench_fig01_radix_equivalence.pdb"
+  "CMakeFiles/bench_fig01_radix_equivalence.dir/bench_fig01_radix_equivalence.cpp.o"
+  "CMakeFiles/bench_fig01_radix_equivalence.dir/bench_fig01_radix_equivalence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_radix_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_surface_cases"
+  "../bench/bench_fig03_surface_cases.pdb"
+  "CMakeFiles/bench_fig03_surface_cases.dir/bench_fig03_surface_cases.cpp.o"
+  "CMakeFiles/bench_fig03_surface_cases.dir/bench_fig03_surface_cases.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_surface_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

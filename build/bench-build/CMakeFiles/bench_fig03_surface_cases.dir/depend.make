@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig03_surface_cases.
+# This may be replaced when dependencies are built.

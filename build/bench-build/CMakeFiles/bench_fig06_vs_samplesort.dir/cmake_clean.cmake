@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_vs_samplesort"
+  "../bench/bench_fig06_vs_samplesort.pdb"
+  "CMakeFiles/bench_fig06_vs_samplesort.dir/bench_fig06_vs_samplesort.cpp.o"
+  "CMakeFiles/bench_fig06_vs_samplesort.dir/bench_fig06_vs_samplesort.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_vs_samplesort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

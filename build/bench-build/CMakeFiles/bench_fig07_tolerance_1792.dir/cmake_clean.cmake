@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_tolerance_1792"
+  "../bench/bench_fig07_tolerance_1792.pdb"
+  "CMakeFiles/bench_fig07_tolerance_1792.dir/bench_fig07_tolerance_1792.cpp.o"
+  "CMakeFiles/bench_fig07_tolerance_1792.dir/bench_fig07_tolerance_1792.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_tolerance_1792.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_tolerance_256"
+  "../bench/bench_fig08_tolerance_256.pdb"
+  "CMakeFiles/bench_fig08_tolerance_256.dir/bench_fig08_tolerance_256.cpp.o"
+  "CMakeFiles/bench_fig08_tolerance_256.dir/bench_fig08_tolerance_256.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_tolerance_256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_tolerance_256.
+# This may be replaced when dependencies are built.

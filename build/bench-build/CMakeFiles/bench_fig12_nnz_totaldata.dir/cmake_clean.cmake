@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_nnz_totaldata"
+  "../bench/bench_fig12_nnz_totaldata.pdb"
+  "CMakeFiles/bench_fig12_nnz_totaldata.dir/bench_fig12_nnz_totaldata.cpp.o"
+  "CMakeFiles/bench_fig12_nnz_totaldata.dir/bench_fig12_nnz_totaldata.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_nnz_totaldata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

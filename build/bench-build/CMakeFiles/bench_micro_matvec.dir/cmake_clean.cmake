@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_matvec"
+  "../bench/bench_micro_matvec.pdb"
+  "CMakeFiles/bench_micro_matvec.dir/bench_micro_matvec.cpp.o"
+  "CMakeFiles/bench_micro_matvec.dir/bench_micro_matvec.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_matvec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

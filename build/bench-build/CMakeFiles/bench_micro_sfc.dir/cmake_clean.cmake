@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_sfc"
+  "../bench/bench_micro_sfc.pdb"
+  "CMakeFiles/bench_micro_sfc.dir/bench_micro_sfc.cpp.o"
+  "CMakeFiles/bench_micro_sfc.dir/bench_micro_sfc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_sfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_treesort"
+  "../bench/bench_micro_treesort.pdb"
+  "CMakeFiles/bench_micro_treesort.dir/bench_micro_treesort.cpp.o"
+  "CMakeFiles/bench_micro_treesort.dir/bench_micro_treesort.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_treesort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

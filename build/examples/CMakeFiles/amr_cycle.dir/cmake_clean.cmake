@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_cycle.dir/amr_cycle.cpp.o"
+  "CMakeFiles/amr_cycle.dir/amr_cycle.cpp.o.d"
+  "amr_cycle"
+  "amr_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

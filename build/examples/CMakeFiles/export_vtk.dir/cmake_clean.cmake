@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_vtk.dir/export_vtk.cpp.o"
+  "CMakeFiles/export_vtk.dir/export_vtk.cpp.o.d"
+  "export_vtk"
+  "export_vtk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_vtk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_stepping.dir/heat_stepping.cpp.o"
+  "CMakeFiles/heat_stepping.dir/heat_stepping.cpp.o.d"
+  "heat_stepping"
+  "heat_stepping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_stepping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisson_amr.dir/poisson_amr.cpp.o"
+  "CMakeFiles/poisson_amr.dir/poisson_amr.cpp.o.d"
+  "poisson_amr"
+  "poisson_amr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisson_amr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

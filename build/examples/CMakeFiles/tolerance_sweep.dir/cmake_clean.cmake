@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tolerance_sweep.dir/tolerance_sweep.cpp.o"
+  "CMakeFiles/tolerance_sweep.dir/tolerance_sweep.cpp.o.d"
+  "tolerance_sweep"
+  "tolerance_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tolerance_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/placement.cpp" "src/CMakeFiles/amrpart.dir/alloc/placement.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/alloc/placement.cpp.o.d"
+  "/root/repo/src/alloc/torus.cpp" "src/CMakeFiles/amrpart.dir/alloc/torus.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/alloc/torus.cpp.o.d"
+  "/root/repo/src/energy/power_model.cpp" "src/CMakeFiles/amrpart.dir/energy/power_model.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/energy/power_model.cpp.o.d"
+  "/root/repo/src/energy/sampler.cpp" "src/CMakeFiles/amrpart.dir/energy/sampler.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/energy/sampler.cpp.o.d"
+  "/root/repo/src/fem/cg.cpp" "src/CMakeFiles/amrpart.dir/fem/cg.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/fem/cg.cpp.o.d"
+  "/root/repo/src/fem/laplacian.cpp" "src/CMakeFiles/amrpart.dir/fem/laplacian.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/fem/laplacian.cpp.o.d"
+  "/root/repo/src/fem/vector.cpp" "src/CMakeFiles/amrpart.dir/fem/vector.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/fem/vector.cpp.o.d"
+  "/root/repo/src/io/checkpoint.cpp" "src/CMakeFiles/amrpart.dir/io/checkpoint.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/io/checkpoint.cpp.o.d"
+  "/root/repo/src/io/vtk.cpp" "src/CMakeFiles/amrpart.dir/io/vtk.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/io/vtk.cpp.o.d"
+  "/root/repo/src/machine/machine_model.cpp" "src/CMakeFiles/amrpart.dir/machine/machine_model.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/machine/machine_model.cpp.o.d"
+  "/root/repo/src/machine/perf_model.cpp" "src/CMakeFiles/amrpart.dir/machine/perf_model.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/machine/perf_model.cpp.o.d"
+  "/root/repo/src/mesh/adjacency.cpp" "src/CMakeFiles/amrpart.dir/mesh/adjacency.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/mesh/adjacency.cpp.o.d"
+  "/root/repo/src/mesh/comm_matrix.cpp" "src/CMakeFiles/amrpart.dir/mesh/comm_matrix.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/mesh/comm_matrix.cpp.o.d"
+  "/root/repo/src/mesh/mesh.cpp" "src/CMakeFiles/amrpart.dir/mesh/mesh.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/mesh/mesh.cpp.o.d"
+  "/root/repo/src/octree/adapt.cpp" "src/CMakeFiles/amrpart.dir/octree/adapt.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/octree/adapt.cpp.o.d"
+  "/root/repo/src/octree/balance.cpp" "src/CMakeFiles/amrpart.dir/octree/balance.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/octree/balance.cpp.o.d"
+  "/root/repo/src/octree/generate.cpp" "src/CMakeFiles/amrpart.dir/octree/generate.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/octree/generate.cpp.o.d"
+  "/root/repo/src/octree/octant.cpp" "src/CMakeFiles/amrpart.dir/octree/octant.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/octree/octant.cpp.o.d"
+  "/root/repo/src/octree/search.cpp" "src/CMakeFiles/amrpart.dir/octree/search.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/octree/search.cpp.o.d"
+  "/root/repo/src/octree/treesort.cpp" "src/CMakeFiles/amrpart.dir/octree/treesort.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/octree/treesort.cpp.o.d"
+  "/root/repo/src/partition/heuristic.cpp" "src/CMakeFiles/amrpart.dir/partition/heuristic.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/partition/heuristic.cpp.o.d"
+  "/root/repo/src/partition/metrics.cpp" "src/CMakeFiles/amrpart.dir/partition/metrics.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/partition/metrics.cpp.o.d"
+  "/root/repo/src/partition/optipart.cpp" "src/CMakeFiles/amrpart.dir/partition/optipart.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/partition/optipart.cpp.o.d"
+  "/root/repo/src/partition/partition.cpp" "src/CMakeFiles/amrpart.dir/partition/partition.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/partition/partition.cpp.o.d"
+  "/root/repo/src/partition/weighted.cpp" "src/CMakeFiles/amrpart.dir/partition/weighted.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/partition/weighted.cpp.o.d"
+  "/root/repo/src/sfc/curve.cpp" "src/CMakeFiles/amrpart.dir/sfc/curve.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/sfc/curve.cpp.o.d"
+  "/root/repo/src/sfc/hilbert.cpp" "src/CMakeFiles/amrpart.dir/sfc/hilbert.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/sfc/hilbert.cpp.o.d"
+  "/root/repo/src/sim/density.cpp" "src/CMakeFiles/amrpart.dir/sim/density.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/sim/density.cpp.o.d"
+  "/root/repo/src/sim/matvec_sim.cpp" "src/CMakeFiles/amrpart.dir/sim/matvec_sim.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/sim/matvec_sim.cpp.o.d"
+  "/root/repo/src/sim/splitter_sim.cpp" "src/CMakeFiles/amrpart.dir/sim/splitter_sim.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/sim/splitter_sim.cpp.o.d"
+  "/root/repo/src/simmpi/comm.cpp" "src/CMakeFiles/amrpart.dir/simmpi/comm.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/simmpi/comm.cpp.o.d"
+  "/root/repo/src/simmpi/dist_balance.cpp" "src/CMakeFiles/amrpart.dir/simmpi/dist_balance.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/simmpi/dist_balance.cpp.o.d"
+  "/root/repo/src/simmpi/dist_fem.cpp" "src/CMakeFiles/amrpart.dir/simmpi/dist_fem.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/simmpi/dist_fem.cpp.o.d"
+  "/root/repo/src/simmpi/dist_mesh.cpp" "src/CMakeFiles/amrpart.dir/simmpi/dist_mesh.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/simmpi/dist_mesh.cpp.o.d"
+  "/root/repo/src/simmpi/dist_octree.cpp" "src/CMakeFiles/amrpart.dir/simmpi/dist_octree.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/simmpi/dist_octree.cpp.o.d"
+  "/root/repo/src/simmpi/dist_samplesort.cpp" "src/CMakeFiles/amrpart.dir/simmpi/dist_samplesort.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/simmpi/dist_samplesort.cpp.o.d"
+  "/root/repo/src/simmpi/dist_treesort.cpp" "src/CMakeFiles/amrpart.dir/simmpi/dist_treesort.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/simmpi/dist_treesort.cpp.o.d"
+  "/root/repo/src/simmpi/runtime.cpp" "src/CMakeFiles/amrpart.dir/simmpi/runtime.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/simmpi/runtime.cpp.o.d"
+  "/root/repo/src/util/args.cpp" "src/CMakeFiles/amrpart.dir/util/args.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/util/args.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/amrpart.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/amrpart.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/amrpart.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/amrpart.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adjacency_test.dir/adjacency_test.cpp.o"
+  "CMakeFiles/adjacency_test.dir/adjacency_test.cpp.o.d"
+  "adjacency_test"
+  "adjacency_test.pdb"
+  "adjacency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adjacency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

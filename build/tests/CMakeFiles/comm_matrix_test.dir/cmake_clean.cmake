@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_matrix_test.dir/comm_matrix_test.cpp.o"
+  "CMakeFiles/comm_matrix_test.dir/comm_matrix_test.cpp.o.d"
+  "comm_matrix_test"
+  "comm_matrix_test.pdb"
+  "comm_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

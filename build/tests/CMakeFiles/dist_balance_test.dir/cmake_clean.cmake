@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_balance_test.dir/dist_balance_test.cpp.o"
+  "CMakeFiles/dist_balance_test.dir/dist_balance_test.cpp.o.d"
+  "dist_balance_test"
+  "dist_balance_test.pdb"
+  "dist_balance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_balance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_mesh_test.dir/dist_mesh_test.cpp.o"
+  "CMakeFiles/dist_mesh_test.dir/dist_mesh_test.cpp.o.d"
+  "dist_mesh_test"
+  "dist_mesh_test.pdb"
+  "dist_mesh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_mesh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_octree_test.dir/dist_octree_test.cpp.o"
+  "CMakeFiles/dist_octree_test.dir/dist_octree_test.cpp.o.d"
+  "dist_octree_test"
+  "dist_octree_test.pdb"
+  "dist_octree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_octree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

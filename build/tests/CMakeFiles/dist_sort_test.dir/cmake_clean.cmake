@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_sort_test.dir/dist_sort_test.cpp.o"
+  "CMakeFiles/dist_sort_test.dir/dist_sort_test.cpp.o.d"
+  "dist_sort_test"
+  "dist_sort_test.pdb"
+  "dist_sort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moore_test.dir/moore_test.cpp.o"
+  "CMakeFiles/moore_test.dir/moore_test.cpp.o.d"
+  "moore_test"
+  "moore_test.pdb"
+  "moore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

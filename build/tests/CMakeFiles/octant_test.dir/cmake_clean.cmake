@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octant_test.dir/octant_test.cpp.o"
+  "CMakeFiles/octant_test.dir/octant_test.cpp.o.d"
+  "octant_test"
+  "octant_test.pdb"
+  "octant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optipart_test.dir/optipart_test.cpp.o"
+  "CMakeFiles/optipart_test.dir/optipart_test.cpp.o.d"
+  "optipart_test"
+  "optipart_test.pdb"
+  "optipart_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optipart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treesort_test.dir/treesort_test.cpp.o"
+  "CMakeFiles/treesort_test.dir/treesort_test.cpp.o.d"
+  "treesort_test"
+  "treesort_test.pdb"
+  "treesort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treesort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amrpart_cli.dir/amrpart_cli.cpp.o"
+  "CMakeFiles/amrpart_cli.dir/amrpart_cli.cpp.o.d"
+  "amrpart"
+  "amrpart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amrpart_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
