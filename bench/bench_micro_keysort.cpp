@@ -1,0 +1,163 @@
+// Key-cached sorting microbench: the seed's comparator-driven paths vs the
+// precomputed-128-bit-key TreeSort, sequential and parallel, across sizes
+// and point distributions. Emits a machine-readable BENCH_treesort.json so
+// successive PRs can track the sorting-hot-path trajectory.
+//
+//   methods
+//     comparator_std_sort   std::sort with Curve::less (per-comparison walks)
+//     treesort_tablewalk    seed TreeSort engine (per-element table walks)
+//     treesort_keyed_seq    keyed engine, num_threads = 1
+//     treesort_keyed_par    keyed engine, shared thread pool
+//
+// Usage: bench_micro_keysort [--elements N] [--repeats K] [--curve hilbert]
+//                            [--json PATH] [--csv-dir DIR]
+#include <algorithm>
+#include <functional>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "octree/treesort.hpp"
+#include "sfc/key.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace amr;
+
+std::vector<octree::Octant> make_octants(std::size_t n,
+                                         octree::PointDistribution distribution,
+                                         std::uint64_t seed) {
+  octree::GenerateOptions options;
+  options.distribution = distribution;
+  options.seed = seed;
+  const auto points = octree::generate_points(n, options);
+  util::Rng rng = util::make_rng(seed ^ 0xabcdef);
+  std::uniform_int_distribution<int> lvl(2, 14);
+  std::vector<octree::Octant> out;
+  out.reserve(n);
+  for (const auto& pt : points) {
+    out.push_back(octree::octant_from_point(pt[0], pt[1], pt[2], lvl(rng)));
+  }
+  return out;
+}
+
+struct Result {
+  std::string method;
+  std::string distribution;
+  std::size_t elements = 0;
+  double best_seconds = 0.0;
+  double elements_per_second = 0.0;
+  double speedup_vs_tablewalk = 0.0;
+  double speedup_vs_comparator = 0.0;
+};
+
+template <typename SortFn>
+double best_of(int repeats, const std::vector<octree::Octant>& base, SortFn sort_fn) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    auto data = base;
+    const util::Timer timer;
+    sort_fn(data);
+    best = std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const sfc::Curve curve(sfc::curve_kind_from_string(args.get("curve", "hilbert")), 3);
+  const auto n_max = static_cast<std::size_t>(args.get_int("elements", 1000000));
+  const int repeats = static_cast<int>(args.get_int("repeats", 3));
+  const std::string json_path = args.get("json", "BENCH_treesort.json");
+
+  std::vector<std::size_t> sizes;
+  for (std::size_t n = 10000; n < n_max; n *= 10) sizes.push_back(n);
+  sizes.push_back(n_max);
+
+  const std::vector<octree::PointDistribution> distributions = {
+      octree::PointDistribution::kUniform, octree::PointDistribution::kNormal,
+      octree::PointDistribution::kLogNormal};
+
+  octree::TreeSortOptions tablewalk;
+  tablewalk.engine = octree::TreeSortEngine::kTableWalk;
+  octree::TreeSortOptions keyed_seq;
+  keyed_seq.num_threads = 1;
+  const octree::TreeSortOptions keyed_par;  // defaults: shared pool width
+
+  std::vector<Result> results;
+  util::Table table({"distribution", "n", "method", "seconds", "Melem/s",
+                     "vs_tablewalk", "vs_comparator"});
+  for (const auto distribution : distributions) {
+    for (const std::size_t n : sizes) {
+      const auto base = make_octants(n, distribution, 7);
+      struct Method {
+        const char* name;
+        std::function<void(std::vector<octree::Octant>&)> run;
+      };
+      const std::vector<Method> methods = {
+          {"comparator_std_sort",
+           [&](auto& data) { std::sort(data.begin(), data.end(), curve.comparator()); }},
+          {"treesort_tablewalk",
+           [&](auto& data) { octree::tree_sort(data, curve, tablewalk); }},
+          {"treesort_keyed_seq",
+           [&](auto& data) { octree::tree_sort(data, curve, keyed_seq); }},
+          {"treesort_keyed_par",
+           [&](auto& data) { octree::tree_sort(data, curve, keyed_par); }},
+      };
+      // Time every method first, then express speedups against both
+      // baselines (the seed TreeSort engine and pure comparator sorting).
+      std::vector<double> seconds;
+      for (const Method& method : methods) {
+        seconds.push_back(best_of(repeats, base, method.run));
+      }
+      const double comparator_seconds = seconds[0];
+      const double tablewalk_seconds = seconds[1];
+      for (std::size_t m = 0; m < methods.size(); ++m) {
+        Result r;
+        r.method = methods[m].name;
+        r.distribution = octree::to_string(distribution);
+        r.elements = n;
+        r.best_seconds = seconds[m];
+        r.elements_per_second = static_cast<double>(n) / seconds[m];
+        r.speedup_vs_tablewalk = tablewalk_seconds / seconds[m];
+        r.speedup_vs_comparator = comparator_seconds / seconds[m];
+        results.push_back(r);
+        table.add_row({r.distribution, std::to_string(n), r.method,
+                       util::Table::fmt(r.best_seconds, 4),
+                       util::Table::fmt(r.elements_per_second / 1e6, 2),
+                       util::Table::fmt(r.speedup_vs_tablewalk, 2),
+                       util::Table::fmt(r.speedup_vs_comparator, 2)});
+      }
+    }
+  }
+  bench::emit(table, args, "micro_keysort",
+              "Key-cached TreeSort vs comparator sorting (best of " +
+                  std::to_string(repeats) + ", threads=" +
+                  std::to_string(util::ThreadPool::global().size()) + ")");
+
+  std::ofstream json(json_path);
+  json << "{\n  \"bench\": \"treesort_keysort\",\n  \"curve\": \""
+       << sfc::to_string(curve.kind()) << "\",\n  \"threads\": "
+       << util::ThreadPool::global().size() << ",\n  \"repeats\": " << repeats
+       << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    json << "    {\"method\": \"" << r.method << "\", \"distribution\": \""
+         << r.distribution << "\", \"elements\": " << r.elements
+         << ", \"seconds\": " << r.best_seconds
+         << ", \"elements_per_second\": " << r.elements_per_second
+         << ", \"speedup_vs_tablewalk\": " << r.speedup_vs_tablewalk
+         << ", \"speedup_vs_comparator\": " << r.speedup_vs_comparator << "}"
+         << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -3,14 +3,515 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <functional>
+#include <memory>
+
+#include "util/thread_pool.hpp"
 
 namespace amr::octree {
 
 namespace {
 
-class Sorter {
+/// Bucket tables hold the ancestor bucket plus one bucket per child; the
+/// fixed size must accommodate the widest supported tree (3D octree).
+constexpr std::size_t kBucketTableSize = 10;
+static_assert(kNumChildren3d + 2 <= kBucketTableSize,
+              "bucket tables too small for num_children + 1 buckets");
+
+// ---------------------------------------------------------------------------
+// Keyed engine: MSD digit-extraction radix over packed 128-bit integers.
+// ---------------------------------------------------------------------------
+
+/// A curve key shifted left by kIndexBits with the element's original index
+/// in the low bits. One 16-byte integer carries both the sort key and the
+/// permutation, so the radix passes move half the bytes of a (key, octant)
+/// pair and the whole sort is stable by construction: comparing packed
+/// values compares keys first and input positions on ties.
+using PackedKey = unsigned __int128;
+
+/// 2^30 elements per sort call; the 3D key occupies 98 bits, leaving
+/// exactly 30 for the index.
+constexpr int kIndexBits = 128 - (3 * kMaxDepth + sfc::kKeyLevelBits);
+constexpr PackedKey kIndexMask = (PackedKey{1} << kIndexBits) - 1;
+
+class KeySorter {
  public:
-  Sorter(const sfc::Curve& curve, const TreeSortOptions& options, std::size_t n)
+  KeySorter(int dim, int num_children, const TreeSortOptions& options)
+      : dim_(dim), num_children_(num_children), options_(options) {
+    assert(num_children_ + 1 <= static_cast<int>(kBucketTableSize) - 1);
+  }
+
+  /// Bucket index at `depth`: 0 for ancestors (level < depth), 1 + curve
+  /// digit otherwise. The digit already encodes the visit rank, so no
+  /// orientation state is tracked during the sort.
+  [[nodiscard]] int bucket_of(PackedKey packed, int depth) const {
+    const int level = static_cast<int>((packed >> kIndexBits) &
+                                       ((PackedKey{1} << sfc::kKeyLevelBits) - 1));
+    if (level < depth) return 0;
+    const int shift = kIndexBits + sfc::kKeyLevelBits + dim_ * (kMaxDepth - depth);
+    return 1 + static_cast<int>((packed >> shift) & ((PackedKey{1} << dim_) - 1));
+  }
+
+  /// One counting pass at `depth`: permute `range` into bucket order via
+  /// `scratch` (same extent) and report bucket offsets. offsets[b] is the
+  /// start of bucket b; offsets[num_children + 1] == range.size(). The
+  /// ancestor bucket is finished inline (nested chain, key order == level
+  /// order); child buckets still need deeper passes.
+  void partition_pass(std::span<PackedKey> range, std::span<PackedKey> scratch,
+                      int depth,
+                      std::array<std::size_t, kBucketTableSize>& offsets) const {
+    std::array<std::size_t, kBucketTableSize> counts{};
+    for (const PackedKey packed : range) {
+      counts[static_cast<std::size_t>(bucket_of(packed, depth))]++;
+    }
+    offsets[0] = 0;
+    for (int b = 1; b <= num_children_ + 1; ++b) {
+      offsets[static_cast<std::size_t>(b)] =
+          offsets[static_cast<std::size_t>(b - 1)] + counts[static_cast<std::size_t>(b - 1)];
+    }
+    auto cursor = offsets;
+    for (const PackedKey packed : range) {
+      scratch[cursor[static_cast<std::size_t>(bucket_of(packed, depth))]++] = packed;
+    }
+    std::copy(scratch.begin(), scratch.begin() + static_cast<std::ptrdiff_t>(range.size()),
+              range.begin());
+    if (counts[0] > 1) {
+      std::sort(range.begin(), range.begin() + static_cast<std::ptrdiff_t>(counts[0]));
+    }
+  }
+
+  void sort(std::span<PackedKey> range, std::span<PackedKey> scratch,
+            int depth) const {
+    if (range.size() <= 1 || depth > options_.end_depth) return;
+    if (options_.small_cutoff > 1 && range.size() <= options_.small_cutoff) {
+      std::sort(range.begin(), range.end());
+      return;
+    }
+    std::array<std::size_t, kBucketTableSize> offsets{};
+    partition_pass(range, scratch, depth, offsets);
+    for (int b = 1; b <= num_children_; ++b) {
+      const std::size_t begin = offsets[static_cast<std::size_t>(b)];
+      const std::size_t count = offsets[static_cast<std::size_t>(b + 1)] - begin;
+      if (count <= 1) continue;
+      sort(range.subspan(begin, count), scratch.subspan(begin, count), depth + 1);
+    }
+  }
+
+ private:
+  int dim_;
+  int num_children_;
+  TreeSortOptions options_;
+};
+
+/// Fast path for the default end_depth == kMaxDepth: since the packed
+/// integers order exactly like the tree (ancestors first, siblings in curve
+/// order, ties by input position), any MSD radix over the *integer* sorts
+/// the octree -- bucket boundaries need not align with refinement levels.
+/// 256-way fan-out reaches singleton buckets in ~2 passes for 1M elements
+/// where the 8-way level-aligned recursion needs ~7, and the buffers
+/// ping-pong instead of copying back after every scatter.
+class ByteRadix {
+ public:
+  /// Highest byte of the digit field (bits 120..127).
+  static constexpr int kTopShift = 120;
+  /// A chunk at a shift below this touches only element-index bits; ties
+  /// there are already in input order because every scatter pass is stable.
+  /// (Chunks covering a few index bits are harmless for the same reason.)
+  static constexpr int kStopShift = kIndexBits - 7;
+
+  explicit ByteRadix(std::size_t leaf_cutoff)
+      : leaf_cutoff_(std::max<std::size_t>(leaf_cutoff, 2)) {}
+
+  /// Insertion sort for leaf buckets: by the time a bucket is this small it
+  /// is L1-resident, and the quadratic scan beats std::sort's dispatch
+  /// overhead on 16-byte integers.
+  static void leaf_sort(PackedKey* a, std::size_t count) {
+    for (std::size_t i = 1; i < count; ++i) {
+      const PackedKey v = a[i];
+      std::size_t j = i;
+      for (; j > 0 && a[j - 1] > v; --j) a[j] = a[j - 1];
+      a[j] = v;
+    }
+  }
+
+  /// Sort `cur`; `other` is the co-buffer of the same extent. When
+  /// `cur_is_primary` is false the sorted range must be copied out to
+  /// `other` (the caller's storage) before returning.
+  void sort(std::span<PackedKey> cur, std::span<PackedKey> other, int shift,
+            bool cur_is_primary) const {
+    while (true) {
+      if (cur.size() <= 1 || shift < kStopShift) break;
+      if (cur.size() <= leaf_cutoff_) {
+        leaf_sort(cur.data(), cur.size());
+        break;
+      }
+      std::array<std::size_t, 256> counts{};
+      for (const PackedKey v : cur) {
+        counts[static_cast<std::size_t>((v >> shift) & 0xff)]++;
+      }
+      std::size_t occupied = 0;
+      for (std::size_t b = 0; b < 256 && occupied < 2; ++b) occupied += counts[b] > 0;
+      if (occupied < 2) {
+        // Degenerate pass (common: zero pad bytes, clustered data) -- skip
+        // the scatter entirely.
+        shift -= 8;
+        continue;
+      }
+      std::array<std::size_t, 257> offsets{};
+      for (std::size_t b = 0; b < 256; ++b) offsets[b + 1] = offsets[b] + counts[b];
+      auto cursor = offsets;
+      for (const PackedKey v : cur) {
+        other[cursor[static_cast<std::size_t>((v >> shift) & 0xff)]++] = v;
+      }
+      for (std::size_t b = 0; b < 256; ++b) {
+        const std::size_t begin = offsets[b];
+        const std::size_t count = offsets[b + 1] - begin;
+        if (count == 0) continue;
+        sort(other.subspan(begin, count), cur.subspan(begin, count), shift - 8,
+             !cur_is_primary);
+      }
+      return;
+    }
+    if (!cur_is_primary) {
+      std::copy(cur.begin(), cur.end(), other.begin());
+    }
+  }
+
+ private:
+  std::size_t leaf_cutoff_;
+};
+
+/// Reusable per-thread sort buffers. The partitioner re-sorts every
+/// load-balancing step, and glibc hands large blocks straight back to the
+/// kernel on free, so fresh new[] buffers would pay thousands of soft page
+/// faults per call; keeping them per thread amortizes that across calls.
+/// The storage is raw (uninitialized) on purpose -- every byte read is
+/// written first by the encode/scatter/gather passes.
+struct SortArena {
+  std::unique_ptr<PackedKey[]> keys[2];
+  std::size_t key_capacity = 0;
+  std::unique_ptr<Octant[]> octants;
+  std::size_t octant_capacity = 0;
+
+  void ensure(std::size_t n) {
+    if (key_capacity < n) {
+      keys[0].reset(new PackedKey[n]);
+      keys[1].reset(new PackedKey[n]);
+      key_capacity = n;
+    }
+    if (octant_capacity < n) {
+      octants.reset(new Octant[n]);
+      octant_capacity = n;
+    }
+  }
+};
+
+SortArena& sort_arena() {
+  static thread_local SortArena arena;
+  return arena;
+}
+
+/// Keyed tree sort; when `keys_out` is non-null the per-element keys of the
+/// sorted order are exported to it.
+void keyed_tree_sort(std::vector<Octant>& elements, const sfc::Curve& curve,
+                     const TreeSortOptions& options,
+                     std::vector<sfc::CurveKey>* keys_out) {
+  const std::size_t n = elements.size();
+  if (keys_out != nullptr) keys_out->resize(n);
+  if (n <= 1) {
+    if (n == 1 && keys_out != nullptr) (*keys_out)[0] = sfc::curve_key(curve, elements[0]);
+    return;
+  }
+
+  assert(n < (std::size_t{1} << kIndexBits) && "tree_sort input exceeds 2^30 elements");
+
+  util::ThreadPool& pool = util::ThreadPool::global();
+  const int width = options.num_threads > 0 ? options.num_threads : pool.size();
+  const bool parallel = width > 1 && n >= options.parallel_cutoff;
+  const std::size_t chunk = (n + static_cast<std::size_t>(width) - 1) /
+                            static_cast<std::size_t>(width);
+  const std::size_t num_chunks = (n + chunk - 1) / chunk;
+
+  const sfc::KeyEncoder encoder(curve);
+  SortArena& arena = sort_arena();
+  arena.ensure(n);
+  const std::span<PackedKey> items(arena.keys[0].get(), n);
+  const std::span<PackedKey> scratch(arena.keys[1].get(), n);
+  const std::span<Octant> sorted(arena.octants.get(), n);
+  // Gather octants (and exported keys) for [begin, end) of the sorted
+  // packed-key range `src`. Called per bucket right after that bucket is
+  // finished, while it is still cache-resident.
+  const auto gather = [&](std::span<const PackedKey> src, std::size_t begin,
+                          std::size_t end) {
+    // The indexed reads of `elements` are the only random access of the
+    // whole pipeline; prefetching a few iterations ahead overlaps their
+    // cache misses.
+    constexpr std::size_t kPrefetch = 8;
+    if (keys_out != nullptr) {
+      for (std::size_t i = begin; i < end; ++i) {
+        if (i + kPrefetch < end) {
+          __builtin_prefetch(&elements[static_cast<std::size_t>(src[i + kPrefetch] & kIndexMask)]);
+        }
+        const PackedKey packed = src[i];
+        sorted[i] = elements[static_cast<std::size_t>(packed & kIndexMask)];
+        (*keys_out)[i] = static_cast<sfc::CurveKey>(packed >> kIndexBits);
+      }
+    } else {
+      for (std::size_t i = begin; i < end; ++i) {
+        if (i + kPrefetch < end) {
+          __builtin_prefetch(&elements[static_cast<std::size_t>(src[i + kPrefetch] & kIndexMask)]);
+        }
+        sorted[i] = elements[static_cast<std::size_t>(src[i] & kIndexMask)];
+      }
+    }
+  };
+  // The arena owns `sorted`, so the result streams back into the caller's
+  // (already page-warm) storage instead of handing over a fresh vector.
+  const auto copy_back = [&] {
+    if (parallel) {
+      std::vector<std::function<void()>> copy_tasks;
+      for (std::size_t begin = 0; begin < n; begin += chunk) {
+        const std::size_t end = std::min(n, begin + chunk);
+        copy_tasks.push_back([&elements, sorted, begin, end] {
+          std::copy(sorted.begin() + static_cast<std::ptrdiff_t>(begin),
+                    sorted.begin() + static_cast<std::ptrdiff_t>(end),
+                    elements.begin() + static_cast<std::ptrdiff_t>(begin));
+        });
+      }
+      pool.run(std::move(copy_tasks));
+    } else {
+      std::copy(sorted.begin(), sorted.end(), elements.begin());
+    }
+  };
+
+  // One wide first pass (up to 16384 buckets) brings 1M-element inputs to
+  // near-leaf bucket sizes in a single scatter; 256-way recursion finishes
+  // whatever stays coarse. Small inputs skip straight to the 256-way
+  // recursion -- zeroing the wide counter table would dominate. Only the
+  // default end_depth uses this: limited depths go through KeySorter.
+  const bool generic = options.end_depth >= kMaxDepth;
+  const int top_bits = !generic                          ? 0
+                       : n >= (std::size_t{1} << 17)     ? 14
+                       : n >= (std::size_t{1} << 11)     ? 11
+                                                         : 0;
+  const int top_shift = 128 - top_bits;  // meaningful only when top_bits > 0
+  const std::size_t num_buckets = top_bits > 0 ? std::size_t{1} << top_bits : 0;
+
+  // Encode, fusing the wide-pass histogram into the same loop: the packed
+  // key is in a register anyway, so counting here saves a full re-read of
+  // the 16 MB items array.
+  std::vector<std::uint32_t> cursor;                 // sequential histogram
+  std::vector<std::vector<std::size_t>> cursors;     // per-chunk histograms
+  if (parallel) {
+    if (top_bits > 0) {
+      cursors.assign(num_chunks, std::vector<std::size_t>(num_buckets, 0));
+    }
+    std::vector<std::function<void()>> encode_tasks;
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      encode_tasks.push_back([&, c] {
+        const std::size_t end = std::min(n, (c + 1) * chunk);
+        if (top_bits > 0) {
+          auto& counts = cursors[c];
+          for (std::size_t i = c * chunk; i < end; ++i) {
+            const PackedKey v =
+                (static_cast<PackedKey>(encoder.key(elements[i])) << kIndexBits) | i;
+            items[i] = v;
+            counts[static_cast<std::size_t>(v >> top_shift)]++;
+          }
+        } else {
+          for (std::size_t i = c * chunk; i < end; ++i) {
+            items[i] = (static_cast<PackedKey>(encoder.key(elements[i])) << kIndexBits) | i;
+          }
+        }
+      });
+    }
+    pool.run(std::move(encode_tasks));
+  } else if (top_bits > 0) {
+    cursor.assign(num_buckets, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const PackedKey v =
+          (static_cast<PackedKey>(encoder.key(elements[i])) << kIndexBits) | i;
+      items[i] = v;
+      cursor[static_cast<std::size_t>(v >> top_shift)]++;
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      items[i] = (static_cast<PackedKey>(encoder.key(elements[i])) << kIndexBits) | i;
+    }
+  }
+
+  if (generic) {
+    // Default case: full-depth ordering == plain integer order of the
+    // packed keys, so use plain MSD radix. The leaf cutoff is an internal
+    // tuning knob here -- the output is the unique stable key order
+    // regardless of its value.
+    const ByteRadix radix(std::max<std::size_t>(options.small_cutoff, 48));
+    if (top_bits == 0) {
+      radix.sort(items, scratch, ByteRadix::kTopShift, true);
+      gather(items, 0, n);
+    } else if (!parallel) {
+      std::vector<std::size_t> offsets(num_buckets + 1, 0);
+      std::size_t sum = 0;
+      for (std::size_t b = 0; b < num_buckets; ++b) {
+        offsets[b] = sum;
+        sum += cursor[b];
+        cursor[b] = static_cast<std::uint32_t>(offsets[b]);
+      }
+      offsets[num_buckets] = sum;
+      for (const PackedKey v : items) {
+        scratch[cursor[static_cast<std::size_t>(v >> top_shift)]++] = v;
+      }
+      // Finish each bucket in `scratch` (no copy-back) and gather it
+      // immediately, while its lines are still hot.
+      for (std::size_t b = 0; b < num_buckets; ++b) {
+        const std::size_t count = offsets[b + 1] - offsets[b];
+        if (count == 0) continue;
+        if (count > 1) {
+          radix.sort(scratch.subspan(offsets[b], count),
+                     items.subspan(offsets[b], count), top_shift - 8, true);
+        }
+        gather(scratch, offsets[b], offsets[b + 1]);
+      }
+    } else {
+      // Parallel counting scatter: the per-chunk histograms from the encode
+      // tasks are turned into per-chunk write cursors by a sequential scan
+      // (chunk c's slice of bucket b starts after every earlier chunk's),
+      // then chunks scatter into disjoint slices. Chunk boundaries and
+      // cursors are scheduling-independent, so the permutation is stable
+      // and bit-identical to the sequential pass.
+      std::vector<std::size_t> offsets(num_buckets + 1, 0);
+      std::size_t sum = 0;
+      for (std::size_t b = 0; b < num_buckets; ++b) {
+        offsets[b] = sum;
+        for (std::size_t c = 0; c < num_chunks; ++c) {
+          const std::size_t count = cursors[c][b];
+          cursors[c][b] = sum;
+          sum += count;
+        }
+      }
+      offsets[num_buckets] = sum;
+      std::vector<std::function<void()>> scatter_tasks;
+      for (std::size_t c = 0; c < num_chunks; ++c) {
+        scatter_tasks.push_back([&, c] {
+          auto& cur = cursors[c];
+          const std::size_t end = std::min(n, (c + 1) * chunk);
+          for (std::size_t i = c * chunk; i < end; ++i) {
+            const PackedKey v = items[i];
+            scratch[cur[static_cast<std::size_t>(v >> top_shift)]++] = v;
+          }
+        });
+      }
+      pool.run(std::move(scatter_tasks));
+      // Finish buckets concurrently, grouped into ~grain-sized tasks; each
+      // task gathers its buckets right after sorting them (disjoint output
+      // ranges, so tasks never race).
+      const std::size_t grain =
+          std::max<std::size_t>(n / (4 * static_cast<std::size_t>(width)), 1);
+      std::vector<std::function<void()>> finish_tasks;
+      for (std::size_t b = 0; b < num_buckets;) {
+        std::size_t e = b;
+        std::size_t acc = 0;
+        while (e < num_buckets && (acc == 0 || acc + offsets[e + 1] - offsets[e] <= grain)) {
+          acc += offsets[e + 1] - offsets[e];
+          ++e;
+        }
+        finish_tasks.push_back([&radix, &offsets, &gather, items, scratch,
+                                top_shift, b, e] {
+          for (std::size_t k = b; k < e; ++k) {
+            const std::size_t count = offsets[k + 1] - offsets[k];
+            if (count == 0) continue;
+            if (count > 1) {
+              radix.sort(scratch.subspan(offsets[k], count),
+                         items.subspan(offsets[k], count), top_shift - 8, true);
+            }
+            gather(scratch, offsets[k], offsets[k + 1]);
+          }
+        });
+        b = e;
+      }
+      pool.run(std::move(finish_tasks));
+    }
+    copy_back();
+    return;
+  }
+
+  if (!parallel) {
+    const KeySorter sorter(curve.dim(), curve.num_children(), options);
+    sorter.sort(items, scratch, 1);
+  } else {
+    const KeySorter sorter(curve.dim(), curve.num_children(), options);
+    // Split the array into independent bucket ranges with a few sequential
+    // radix passes, then sort the ranges concurrently. The split schedule
+    // depends only on bucket sizes, and tasks write disjoint ranges, so the
+    // result is bit-identical to the sequential path regardless of thread
+    // scheduling.
+    struct Pending {
+      std::size_t begin = 0;
+      std::size_t size = 0;
+      int depth = 1;
+    };
+    std::vector<Pending> ranges{{0, n, 1}};
+    const std::size_t grain =
+        std::max<std::size_t>(n / (4 * static_cast<std::size_t>(width)), 1);
+    // Each split costs one pass over its range; clustered distributions may
+    // need several depths before buckets spread, so budget a handful.
+    for (int budget = std::max(8, 2 * width); budget > 0; --budget) {
+      std::size_t largest = ranges.size();
+      for (std::size_t i = 0; i < ranges.size(); ++i) {
+        const Pending& r = ranges[i];
+        if (r.size <= grain || r.size <= options.small_cutoff ||
+            r.depth > options.end_depth) {
+          continue;
+        }
+        if (largest == ranges.size() || r.size > ranges[largest].size) largest = i;
+      }
+      if (largest == ranges.size()) break;
+      const Pending split = ranges[largest];
+      ranges.erase(ranges.begin() + static_cast<std::ptrdiff_t>(largest));
+      std::array<std::size_t, kBucketTableSize> offsets{};
+      sorter.partition_pass(items.subspan(split.begin, split.size),
+                            scratch.subspan(split.begin, split.size), split.depth,
+                            offsets);
+      for (int b = 1; b <= curve.num_children(); ++b) {
+        const std::size_t count =
+            offsets[static_cast<std::size_t>(b + 1)] - offsets[static_cast<std::size_t>(b)];
+        if (count <= 1) continue;
+        ranges.push_back({split.begin + offsets[static_cast<std::size_t>(b)], count,
+                          split.depth + 1});
+      }
+    }
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(ranges.size());
+    for (const Pending& r : ranges) {
+      tasks.push_back([&sorter, items, scratch, r] {
+        sorter.sort(items.subspan(r.begin, r.size),
+                    scratch.subspan(r.begin, r.size), r.depth);
+      });
+    }
+    pool.run(std::move(tasks));
+  }
+
+  // Gather the octants through the permutation carried in the low bits.
+  if (parallel) {
+    std::vector<std::function<void()>> gather_tasks;
+    for (std::size_t begin = 0; begin < n; begin += chunk) {
+      const std::size_t end = std::min(n, begin + chunk);
+      gather_tasks.push_back([&gather, items, begin, end] { gather(items, begin, end); });
+    }
+    pool.run(std::move(gather_tasks));
+  } else {
+    gather(items, 0, n);
+  }
+  copy_back();
+}
+
+// ---------------------------------------------------------------------------
+// Table-walk engine (reference): the original per-element bucketing.
+// ---------------------------------------------------------------------------
+
+class TableWalkSorter {
+ public:
+  TableWalkSorter(const sfc::Curve& curve, const TreeSortOptions& options, std::size_t n)
       : curve_(curve), options_(options), scratch_(n) {}
 
   void sort(std::span<Octant> range, int depth, int state) {
@@ -25,11 +526,11 @@ class Sorter {
     // Bucket 0 holds elements whose level is shallower than `depth`: they
     // are ancestors of everything else in this range and sort first (by
     // level). Buckets 1..children hold child ranks 0..children-1.
-    std::array<std::size_t, 10> counts{};
+    std::array<std::size_t, kBucketTableSize> counts{};
     for (const Octant& o : range) {
       counts[static_cast<std::size_t>(bucket_of(o, depth, state))]++;
     }
-    std::array<std::size_t, 10> offsets{};
+    std::array<std::size_t, kBucketTableSize> offsets{};
     for (int b = 1; b <= children; ++b) {
       offsets[static_cast<std::size_t>(b)] =
           offsets[static_cast<std::size_t>(b - 1)] + counts[static_cast<std::size_t>(b - 1)];
@@ -74,7 +575,11 @@ class Sorter {
 void tree_sort(std::vector<Octant>& elements, const sfc::Curve& curve,
                const TreeSortOptions& options) {
   if (elements.size() <= 1) return;
-  Sorter sorter(curve, options, elements.size());
+  if (options.engine == TreeSortEngine::kKeyed) {
+    keyed_tree_sort(elements, curve, options, nullptr);
+    return;
+  }
+  TableWalkSorter sorter(curve, options, elements.size());
   // The orientation state is only well-defined walking from the root, so we
   // always bucket from depth 1. When the caller's range shares its leading
   // digits (the start_depth > 1 case of Alg. 1), those passes see a single
@@ -82,9 +587,22 @@ void tree_sort(std::vector<Octant>& elements, const sfc::Curve& curve,
   sorter.sort(std::span<Octant>(elements), 1, 0);
 }
 
+std::vector<sfc::CurveKey> tree_sort_with_keys(std::vector<Octant>& elements,
+                                               const sfc::Curve& curve,
+                                               const TreeSortOptions& options) {
+  std::vector<sfc::CurveKey> keys;
+  keyed_tree_sort(elements, curve, options, &keys);
+  return keys;
+}
+
 bool is_sfc_sorted(std::span<const Octant> elements, const sfc::Curve& curve) {
+  if (elements.empty()) return true;
+  const sfc::KeyEncoder encoder(curve);
+  sfc::CurveKey prev = encoder.key(elements[0]);
   for (std::size_t i = 1; i < elements.size(); ++i) {
-    if (curve.compare(elements[i - 1], elements[i]) > 0) return false;
+    const sfc::CurveKey key = encoder.key(elements[i]);
+    if (key < prev) return false;
+    prev = key;
   }
   return true;
 }

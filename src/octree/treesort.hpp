@@ -1,11 +1,23 @@
-// TreeSort (paper Algorithm 1): sequential Most-Significant-Digit radix
-// sort whose buckets are reordered by the space-filling curve, equivalent
-// to top-down octree construction (paper Fig. 1).
+// TreeSort (paper Algorithm 1): Most-Significant-Digit radix sort whose
+// buckets are reordered by the space-filling curve, equivalent to top-down
+// octree construction (paper Fig. 1).
 //
 // Unlike comparison sorts, each pass buckets elements by their child index
 // at the current depth and permutes the buckets with R_h; recursion then
 // sorts each bucket at the next depth. The traversal is depth-first, which
 // is what gives the algorithm its cache friendliness (§2.1).
+//
+// Two engines implement the recursion:
+//
+//  * kKeyed (default): every octant's full curve position is encoded once
+//    as a 128-bit key (sfc/key.hpp); bucketing is then a shift+mask digit
+//    extraction and the small-range fallback compares integers instead of
+//    re-walking the orientation tables per comparison. The independent
+//    top-level buckets are sorted in parallel on util::ThreadPool when the
+//    input is large enough. Output is bit-identical to the sequential and
+//    table-walk paths.
+//  * kTableWalk: the original per-element child_number/rank_of bucketing,
+//    kept as the reference implementation and benchmark baseline.
 #pragma once
 
 #include <cstddef>
@@ -14,8 +26,14 @@
 
 #include "octree/octant.hpp"
 #include "sfc/curve.hpp"
+#include "sfc/key.hpp"
 
 namespace amr::octree {
+
+enum class TreeSortEngine {
+  kKeyed,      ///< precomputed 128-bit curve keys, optionally multi-threaded
+  kTableWalk,  ///< per-comparison orientation-table walks (reference)
+};
 
 struct TreeSortOptions {
   /// First refinement depth to bucket on (paper's l1). Depth 1 corresponds
@@ -24,15 +42,33 @@ struct TreeSortOptions {
   /// Last depth to bucket on (paper's l2); deeper ties are left in input
   /// order (they are equal keys for sorting purposes).
   int end_depth = kMaxDepth;
-  /// Buckets at or below this size fall back to insertion-style handling;
-  /// 0/1 disables the cutoff (pure Algorithm 1 recursion).
+  /// Buckets at or below this size fall back to direct key (kKeyed) or
+  /// comparator (kTableWalk) sorting; 0/1 disables the cutoff (pure
+  /// Algorithm 1 recursion).
   std::size_t small_cutoff = 16;
+  /// Which recursion engine to use.
+  TreeSortEngine engine = TreeSortEngine::kKeyed;
+  /// Sorting width for the keyed engine: 1 forces sequential, 0 uses the
+  /// shared pool's width (AMR_SORT_THREADS or hardware concurrency, see
+  /// util/thread_pool.hpp). Ignored by kTableWalk.
+  int num_threads = 0;
+  /// Inputs smaller than this sort sequentially even when threads are
+  /// available (fork-join overhead dominates below it).
+  std::size_t parallel_cutoff = 1u << 15;
 };
 
 /// Reorder `elements` into SFC order (ancestors before descendants,
 /// siblings in curve order). Stable within equal keys.
 void tree_sort(std::vector<Octant>& elements, const sfc::Curve& curve,
                const TreeSortOptions& options = {});
+
+/// tree_sort that also returns the curve key of each element, aligned with
+/// the sorted order -- callers that bucket or binary-search afterwards
+/// (partitioning, splitter selection) reuse the keys instead of re-walking
+/// the tables. Always uses the keyed engine.
+[[nodiscard]] std::vector<sfc::CurveKey> tree_sort_with_keys(
+    std::vector<Octant>& elements, const sfc::Curve& curve,
+    const TreeSortOptions& options = {});
 
 /// True if `elements` is sorted according to the curve's SFC order.
 [[nodiscard]] bool is_sfc_sorted(std::span<const Octant> elements,

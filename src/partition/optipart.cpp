@@ -9,7 +9,10 @@ Partition optipart_partition(std::span<const octree::Octant> tree,
                              const sfc::Curve& curve, int p,
                              const machine::PerfModel& model,
                              const OptiPartOptions& options, OptiPartTrace* trace) {
-  const BucketSearch search(tree, curve);
+  // Encode the tree's curve keys once: every refinement round re-probes the
+  // bucket structure, and the key digits make each probe a shift+mask.
+  const std::vector<sfc::CurveKey> keys = sfc::keys_of(curve, tree);
+  const BucketSearch search(tree, keys, curve);
   QualityOptions quality{options.quality_sample_stride};
 
   // Initial splitters: refine until at least p buckets exist

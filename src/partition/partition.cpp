@@ -53,6 +53,31 @@ BucketSearch::BucketSearch(std::span<const octree::Octant> sorted,
                            const sfc::Curve& curve)
     : tree_(sorted), curve_(curve) {}
 
+BucketSearch::BucketSearch(std::span<const octree::Octant> sorted,
+                           std::span<const sfc::CurveKey> keys, const sfc::Curve& curve)
+    : tree_(sorted), keys_(keys), curve_(curve) {
+  assert(keys_.size() == tree_.size());
+}
+
+namespace {
+
+/// First index in [lo, hi) for which `pred` is false (all true-entries
+/// precede all false-entries, as in std::partition_point).
+template <typename Pred>
+std::size_t partition_point_index(std::size_t lo, std::size_t hi, Pred pred) {
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (pred(mid)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
 BucketSearch::Cut BucketSearch::find(std::size_t target, int max_depth,
                                      std::size_t tol_elements) const {
   const std::size_t n = tree_.size();
@@ -63,6 +88,7 @@ BucketSearch::Cut BucketSearch::find(std::size_t target, int max_depth,
   best.depth_used = 0;
   if (best.deviation <= tol_elements) return best;
 
+  const bool use_keys = !keys_.empty();
   std::size_t lo = 0;
   std::size_t hi = n;
   int state = 0;
@@ -73,7 +99,8 @@ BucketSearch::Cut BucketSearch::find(std::size_t target, int max_depth,
     if (static_cast<int>(tree_[lo].level) < depth) break;
 
     // Child sub-ranges in visit order: boundary after visit-rank j is the
-    // first element whose rank exceeds j.
+    // first element whose rank exceeds j. With cached keys the rank is the
+    // key digit (shift+mask); otherwise walk the orientation tables.
     std::size_t child_lo = lo;
     std::size_t descend_lo = lo;
     std::size_t descend_hi = hi;
@@ -81,14 +108,15 @@ BucketSearch::Cut BucketSearch::find(std::size_t target, int max_depth,
     bool found_descend = false;
     const int children = curve_.num_children();
     for (int j = 0; j < children; ++j) {
-      const auto begin_it = tree_.begin() + static_cast<std::ptrdiff_t>(child_lo);
-      const auto end_it = tree_.begin() + static_cast<std::ptrdiff_t>(hi);
-      const auto boundary = std::partition_point(
-          begin_it, end_it, [&](const octree::Octant& o) {
-            return curve_.rank_of(state, o.child_number(depth, curve_.dim())) <= j;
-          });
       const std::size_t child_hi =
-          static_cast<std::size_t>(boundary - tree_.begin());
+          use_keys
+              ? partition_point_index(child_lo, hi, [&](std::size_t i) {
+                  return sfc::key_digit(keys_[i], depth, curve_.dim()) <= j;
+                })
+              : partition_point_index(child_lo, hi, [&](std::size_t i) {
+                  return curve_.rank_of(
+                             state, tree_[i].child_number(depth, curve_.dim())) <= j;
+                });
       // child range is [child_lo, child_hi); its upper boundary is a cut.
       const std::size_t cut = child_hi;
       const std::size_t dev = cut >= target ? cut - target : target - cut;
@@ -152,6 +180,16 @@ Partition treesort_partition(std::span<const octree::Octant> sorted,
   return cuts_to_partition(search, p, options.max_depth, tol_elements);
 }
 
+Partition treesort_partition(std::span<const octree::Octant> sorted,
+                             std::span<const sfc::CurveKey> keys,
+                             const sfc::Curve& curve, int p,
+                             const TreeSortPartitionOptions& options) {
+  const BucketSearch search(sorted, keys, curve);
+  const double grain = static_cast<double>(sorted.size()) / p;
+  const auto tol_elements = static_cast<std::size_t>(options.tolerance * grain);
+  return cuts_to_partition(search, p, options.max_depth, tol_elements);
+}
+
 Partition partition_at_depth(const BucketSearch& search, int p, int depth) {
   return cuts_to_partition(search, p, depth, 0);
 }
@@ -185,16 +223,26 @@ int owner_by_keys(std::span<const octree::Octant> keys, const octree::Octant& el
   return lo;
 }
 
+int owner_by_key_codes(std::span<const sfc::CurveKey> key_codes,
+                       sfc::CurveKey element_key) {
+  // Largest r with key_codes[r] <= element_key; key_codes[0] is -infinity.
+  const auto it = std::upper_bound(key_codes.begin(), key_codes.end(), element_key);
+  return static_cast<int>(it - key_codes.begin()) - 1;
+}
+
 std::size_t migration_volume(std::span<const octree::Octant> tree,
                              const sfc::Curve& curve,
                              std::span<const octree::Octant> old_keys,
                              const Partition& new_part) {
+  // Encode the splitters once; each element then needs one key encoding and
+  // one integer binary search instead of log(p) table-walking comparisons.
+  const std::vector<sfc::CurveKey> codes = sfc::keys_of(curve, old_keys);
   std::size_t moved = 0;
   for (int r = 0; r < new_part.num_ranks(); ++r) {
     const std::size_t begin = new_part.offsets[static_cast<std::size_t>(r)];
     const std::size_t end = new_part.offsets[static_cast<std::size_t>(r) + 1];
     for (std::size_t i = begin; i < end; ++i) {
-      if (owner_by_keys(old_keys, tree[i], curve) != r) ++moved;
+      if (owner_by_key_codes(codes, sfc::curve_key(curve, tree[i])) != r) ++moved;
     }
   }
   return moved;

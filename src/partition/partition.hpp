@@ -20,6 +20,7 @@
 
 #include "octree/octant.hpp"
 #include "sfc/curve.hpp"
+#include "sfc/key.hpp"
 
 namespace amr::partition {
 
@@ -57,6 +58,13 @@ class BucketSearch {
  public:
   BucketSearch(std::span<const octree::Octant> sorted, const sfc::Curve& curve);
 
+  /// Key-cached variant: `keys` are the curve keys of `sorted` (typically
+  /// retained from tree_sort_with_keys). Bucket probes then extract digits
+  /// from the cached keys by shift+mask instead of walking the orientation
+  /// tables. `keys` must stay alive and aligned with `sorted`.
+  BucketSearch(std::span<const octree::Octant> sorted,
+               std::span<const sfc::CurveKey> keys, const sfc::Curve& curve);
+
   struct Cut {
     std::size_t position = 0;  ///< element index of the chosen bucket boundary
     int depth_used = 0;        ///< refinement depth at which it became available
@@ -74,6 +82,7 @@ class BucketSearch {
 
  private:
   std::span<const octree::Octant> tree_;
+  std::span<const sfc::CurveKey> keys_;  ///< empty unless the caller cached keys
   const sfc::Curve& curve_;
 };
 
@@ -87,6 +96,13 @@ struct TreeSortPartitionOptions {
 };
 
 [[nodiscard]] Partition treesort_partition(std::span<const octree::Octant> sorted,
+                                           const sfc::Curve& curve, int p,
+                                           const TreeSortPartitionOptions& options);
+
+/// Key-cached overload: reuses the curve keys of `sorted` (aligned, e.g.
+/// from tree_sort_with_keys) for the bucket probes.
+[[nodiscard]] Partition treesort_partition(std::span<const octree::Octant> sorted,
+                                           std::span<const sfc::CurveKey> keys,
                                            const sfc::Curve& curve, int p,
                                            const TreeSortPartitionOptions& options);
 
@@ -106,6 +122,13 @@ struct TreeSortPartitionOptions {
 /// keys[r] <= element in SFC order.
 [[nodiscard]] int owner_by_keys(std::span<const octree::Octant> keys,
                                 const octree::Octant& element, const sfc::Curve& curve);
+
+/// Integer-key form: `key_codes[r]` = curve_key of splitter r (key_codes[0]
+/// is minus infinity / the root key). One binary search over 128-bit words,
+/// no table walks -- precompute the codes once (sfc::keys_of) when classifying
+/// many elements against the same splitters.
+[[nodiscard]] int owner_by_key_codes(std::span<const sfc::CurveKey> key_codes,
+                                     sfc::CurveKey element_key);
 
 /// Elements of `tree` whose owner under `old_keys` differs from their
 /// owner in `new_part` -- the data volume an AMR repartitioning step must

@@ -30,6 +30,7 @@ class Curve {
   [[nodiscard]] CurveKind kind() const { return kind_; }
   [[nodiscard]] int dim() const { return dim_; }
   [[nodiscard]] int num_children() const { return tables_->num_children; }
+  [[nodiscard]] int num_states() const { return tables_->num_states; }
 
   /// Rank of child `c` in the visit order of orientation `state`.
   [[nodiscard]] int rank_of(int state, int c) const {

@@ -1,0 +1,127 @@
+#include "sfc/key.hpp"
+
+#include <cassert>
+
+namespace amr::sfc {
+
+CurveKey curve_key(const Curve& curve, const octree::Octant& o) {
+  const int dim = curve.dim();
+  CurveKey digits = 0;
+  int state = 0;
+  for (int depth = 1; depth <= o.level; ++depth) {
+    const int c = o.child_number(depth, dim);
+    digits = (digits << dim) | static_cast<unsigned>(curve.rank_of(state, c));
+    state = curve.next_state(state, c);
+  }
+  digits <<= dim * (octree::kMaxDepth - o.level);
+  return (digits << kKeyLevelBits) | static_cast<unsigned>(o.level);
+}
+
+KeyEncoder::KeyEncoder(const Curve& curve) : dim_(curve.dim()) {
+  // One flat row of 8 entries per state; rank < 8 fits the low nibble and
+  // every table set in use has < 4096 states (so next_state fits the
+  // packed upper bits of a u16 in both tables).
+  const int num_states = curve.num_states();
+  const int nc = curve.num_children();
+  assert(num_states < (1 << 12));
+  fused_.assign(static_cast<std::size_t>(num_states) * 8, 0);
+  for (int s = 0; s < num_states; ++s) {
+    for (int c = 0; c < nc; ++c) {
+      fused_[static_cast<std::size_t>(s) * 8 + static_cast<std::size_t>(c)] =
+          static_cast<std::uint16_t>(curve.rank_of(s, c) |
+                                     (curve.next_state(s, c) << 4));
+    }
+  }
+  // Two-level fusion: entry for (state, child at depth d, child at d+1) is
+  // the 2*dim digit bits to append plus the state two steps down.
+  const int pair_slots = nc * nc;  // 64 in 3D, 16 in 2D
+  fused2_.assign(static_cast<std::size_t>(num_states * pair_slots), 0);
+  for (int s = 0; s < num_states; ++s) {
+    for (int c1 = 0; c1 < nc; ++c1) {
+      const int mid = curve.next_state(s, c1);
+      for (int c2 = 0; c2 < nc; ++c2) {
+        const int digits = (curve.rank_of(s, c1) << dim_) | curve.rank_of(mid, c2);
+        fused2_[static_cast<std::size_t>(s * pair_slots + c1 * nc + c2)] =
+            static_cast<std::uint16_t>(digits |
+                                       (curve.next_state(mid, c2) << (2 * dim_)));
+      }
+    }
+  }
+}
+
+CurveKey KeyEncoder::deep_key(const octree::Octant& o) const {
+  // 3D octants deeper than level 21: digits overflow one u64 accumulator,
+  // so split the walk in two.
+  const int level = o.level;
+  unsigned state = 0;
+  std::uint64_t acc = 0;
+  int depth = 1;
+  for (; depth <= 21; ++depth) {
+    const std::uint16_t e = fused_[state * 8 + child_bits(o, depth)];
+    acc = (acc << 3) | (e & 0x7U);
+    state = e >> 4;
+  }
+  CurveKey digits = acc;
+  std::uint64_t lo = 0;
+  const int extra = level - 21;
+  for (; depth <= level; ++depth) {
+    const std::uint16_t e = fused_[state * 8 + child_bits(o, depth)];
+    lo = (lo << 3) | (e & 0x7U);
+    state = e >> 4;
+  }
+  digits = (digits << (3 * extra)) | lo;
+  digits <<= 3 * (octree::kMaxDepth - level);
+  return (digits << kKeyLevelBits) | static_cast<unsigned>(level);
+}
+
+void keys_of(const Curve& curve, std::span<const octree::Octant> octants,
+             std::span<CurveKey> out) {
+  assert(octants.size() == out.size());
+  const KeyEncoder encoder(curve);
+  for (std::size_t i = 0; i < octants.size(); ++i) {
+    out[i] = encoder.key(octants[i]);
+  }
+}
+
+std::vector<CurveKey> keys_of(const Curve& curve,
+                              std::span<const octree::Octant> octants) {
+  std::vector<CurveKey> out(octants.size());
+  keys_of(curve, octants, std::span<CurveKey>(out));
+  return out;
+}
+
+CurveKey key_min_descendant(const Curve& curve, const octree::Octant& o) {
+  // first_descendant repeatedly takes the child visited first, whose rank
+  // digit is 0 -- exactly the zero padding of the encoding. Only the level
+  // byte differs from curve_key(o).
+  const CurveKey region = curve_key(curve, o);
+  return (region & ~((CurveKey{1} << kKeyLevelBits) - 1)) |
+         static_cast<unsigned>(octree::kMaxDepth);
+}
+
+CurveKey key_max_descendant(const Curve& curve, const octree::Octant& o) {
+  // last_descendant takes the child visited last at every step: rank digit
+  // num_children-1, i.e. all ones across dim bits, down to kMaxDepth.
+  const int dim = curve.dim();
+  const CurveKey region = curve_key(curve, o);
+  const int pad_bits = dim * (octree::kMaxDepth - o.level);
+  const CurveKey ones = (CurveKey{1} << pad_bits) - 1;
+  return (region & ~((CurveKey{1} << kKeyLevelBits) - 1)) |
+         (ones << kKeyLevelBits) | static_cast<unsigned>(octree::kMaxDepth);
+}
+
+octree::Octant octant_of_key(const Curve& curve, CurveKey key) {
+  const int dim = curve.dim();
+  const int level = key_level(key);
+  assert(level <= octree::kMaxDepth);
+  octree::Octant o = octree::root_octant();
+  int state = 0;
+  for (int depth = 1; depth <= level; ++depth) {
+    const int c = curve.child_at(state, key_digit(key, depth, dim));
+    o = o.child(c, dim);
+    state = curve.next_state(state, c);
+  }
+  return o;
+}
+
+}  // namespace amr::sfc

@@ -1,0 +1,154 @@
+// 128-bit curve keys: an octant's full position on the space-filling curve
+// as a single integer, so the partitioning hot path can sort, bucket and
+// binary-search on machine words instead of re-walking the orientation
+// tables on every comparison (Curve::less is O(level) table lookups; a key
+// comparison is one 128-bit compare).
+//
+// Layout, most significant bit first:
+//
+//   [ unused | d_1 d_2 ... d_kMaxDepth | level ]
+//     <pad>    dim bits per digit         8 bits
+//
+// where d_i = rank_of(state_{i-1}, child_number(i)) is the octant's visit
+// rank among its siblings at refinement step i -- the curve digit, with the
+// orientation already folded in. Digits beyond the octant's own level are
+// zero-padded, and the trailing level byte breaks the tie so that an
+// ancestor (shorter digit string) sorts before any of its descendants:
+// either a descendant has a nonzero digit below the ancestor's level (then
+// the digit field already orders them), or all its extra digits are zero
+// and the smaller level wins. This makes
+//
+//   key(a) < key(b)  <=>  Curve::less(a, b)
+//
+// a total-order isomorphism, verified exhaustively for every curve kind in
+// key_test.cpp. 3D needs dim*kMaxDepth + 8 = 98 bits, 2D needs 68; both
+// fit a 128-bit word with room to spare (see DESIGN.md §"Curve keys").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "octree/octant.hpp"
+#include "sfc/curve.hpp"
+
+namespace amr::sfc {
+
+using CurveKey = unsigned __int128;
+
+/// Bits reserved for the level tiebreak at the bottom of the key.
+inline constexpr int kKeyLevelBits = 8;
+
+/// Refinement level encoded in `key`.
+[[nodiscard]] constexpr int key_level(CurveKey key) {
+  return static_cast<int>(key & ((CurveKey{1} << kKeyLevelBits) - 1));
+}
+
+/// Curve digit (visit rank among siblings) of `key` at refinement step
+/// `depth` (1-based, like Octant::child_number). Zero beyond the octant's
+/// own level.
+[[nodiscard]] constexpr int key_digit(CurveKey key, int depth, int dim) {
+  const int shift = kKeyLevelBits + dim * (octree::kMaxDepth - depth);
+  return static_cast<int>((key >> shift) & ((CurveKey{1} << dim) - 1));
+}
+
+/// A key strictly greater than every encodable octant key ("+infinity"
+/// splitter sentinel).
+[[nodiscard]] constexpr CurveKey key_supremum() { return ~CurveKey{0}; }
+
+/// Encode one octant. O(level) table lookups, done once; afterwards every
+/// comparison is a single integer compare.
+[[nodiscard]] CurveKey curve_key(const Curve& curve, const octree::Octant& o);
+
+/// Batch encoder: fuses the curve's rank_of/next_state tables into flat
+/// one- and two-level lookups and accumulates digits in 64-bit registers.
+/// The serial dependency of the encode loop is the orientation-state chain
+/// (one table load per step); consuming two refinement levels per step
+/// halves that chain, which is what makes batch encoding cheaper than the
+/// per-element table walks it replaces. Build once, encode many -- this is
+/// the hot loop of the keyed TreeSort.
+class KeyEncoder {
+ public:
+  explicit KeyEncoder(const Curve& curve);
+
+  [[nodiscard]] CurveKey key(const octree::Octant& o) const {
+    const int level = o.level;
+    // Digit pairs accumulate 2*dim bits per step; 3D overflows a u64 past
+    // level 21, so deep octants take the two-accumulator path.
+    if (dim_ == 3 && level > 21) return deep_key(o);
+    unsigned state = 0;
+    std::uint64_t acc = 0;
+    int depth = 1;
+    if (dim_ == 3) {
+      for (; depth + 1 <= level; depth += 2) {
+        // Two bits per coordinate spread into the (c1, c2) pair index.
+        const int shift = octree::kMaxDepth - 1 - depth;
+        const std::uint32_t xx = (o.x >> shift) & 3U;
+        const std::uint32_t yy = (o.y >> shift) & 3U;
+        const std::uint32_t zz = (o.z >> shift) & 3U;
+        const unsigned pair = (((xx & 2U) << 2) | (xx & 1U)) |
+                              ((((yy & 2U) << 2) | (yy & 1U)) << 1) |
+                              ((((zz & 2U) << 2) | (zz & 1U)) << 2);
+        const std::uint16_t e = fused2_[state * 64 + pair];
+        acc = (acc << 6) | (e & 0x3fU);
+        state = e >> 6;
+      }
+    } else {
+      for (; depth + 1 <= level; depth += 2) {
+        const int shift = octree::kMaxDepth - 1 - depth;
+        const std::uint32_t xx = (o.x >> shift) & 3U;
+        const std::uint32_t yy = (o.y >> shift) & 3U;
+        const unsigned pair = (((xx & 2U) << 1) | (xx & 1U)) |
+                              ((((yy & 2U) << 1) | (yy & 1U)) << 1);
+        const std::uint16_t e = fused2_[state * 16 + pair];
+        acc = (acc << 4) | (e & 0xfU);
+        state = e >> 4;
+      }
+    }
+    if (depth == level) {  // odd tail: one single-level step
+      const std::uint16_t e = fused_[state * 8 + child_bits(o, depth)];
+      acc = (acc << dim_) | (e & 0x7U);
+    }
+    CurveKey digits = acc;
+    digits <<= dim_ * (octree::kMaxDepth - level);
+    return (digits << kKeyLevelBits) | static_cast<unsigned>(level);
+  }
+
+ private:
+  [[nodiscard]] CurveKey deep_key(const octree::Octant& o) const;
+
+  [[nodiscard]] unsigned child_bits(const octree::Octant& o, int depth) const {
+    const int shift = octree::kMaxDepth - depth;
+    const std::uint32_t xb = (o.x >> shift) & 1U;
+    const std::uint32_t yb = (o.y >> shift) & 1U;
+    const std::uint32_t zb = dim_ == 3 ? (o.z >> shift) & 1U : 0U;
+    return xb | (yb << 1) | (zb << 2);
+  }
+
+  int dim_;
+  std::vector<std::uint16_t> fused_;   ///< [state*8 + c] = rank | next_state << 4
+  std::vector<std::uint16_t> fused2_;  ///< [state*4^dim + (c1,c2)] = digit pair | next << 2*dim
+};
+
+/// Batch encode: out[i] = curve_key(curve, octants[i]). `out` must have
+/// the same extent as `octants`.
+void keys_of(const Curve& curve, std::span<const octree::Octant> octants,
+             std::span<CurveKey> out);
+[[nodiscard]] std::vector<CurveKey> keys_of(const Curve& curve,
+                                            std::span<const octree::Octant> octants);
+
+/// Key of the first finest-level cell of `o`'s region in curve order --
+/// equal to curve_key(curve, curve.first_descendant(o)) but O(o.level):
+/// descending along rank-0 children only appends zero digits, which the
+/// zero padding already encodes.
+[[nodiscard]] CurveKey key_min_descendant(const Curve& curve, const octree::Octant& o);
+
+/// Key of the last finest-level cell of `o`'s region in curve order --
+/// equal to curve_key(curve, curve.last_descendant(o)): the region's digits
+/// followed by maximal digits down to kMaxDepth.
+[[nodiscard]] CurveKey key_max_descendant(const Curve& curve, const octree::Octant& o);
+
+/// Decode a key back to its octant (inverse of curve_key for valid keys).
+[[nodiscard]] octree::Octant octant_of_key(const Curve& curve, CurveKey key);
+
+}  // namespace amr::sfc

@@ -3,9 +3,38 @@
 #include <algorithm>
 
 #include "octree/treesort.hpp"
+#include "sfc/key.hpp"
 #include "util/timer.hpp"
 
 namespace amr::simmpi {
+
+namespace {
+
+/// Sort `octants` by curve order via precomputed 128-bit keys (one table
+/// walk per element instead of one per comparison) and return the keys
+/// aligned with the sorted order.
+std::vector<sfc::CurveKey> key_sort(std::vector<octree::Octant>& octants,
+                                    const sfc::Curve& curve) {
+  struct Item {
+    sfc::CurveKey key;
+    octree::Octant oct;
+  };
+  std::vector<Item> items;
+  items.reserve(octants.size());
+  for (const octree::Octant& o : octants) {
+    items.push_back({sfc::curve_key(curve, o), o});
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.key < b.key; });
+  std::vector<sfc::CurveKey> keys(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    octants[i] = items[i].oct;
+    keys[i] = items[i].key;
+  }
+  return keys;
+}
+
+}  // namespace
 
 SampleSortReport dist_samplesort(std::vector<octree::Octant>& local, Comm& comm,
                                  const sfc::Curve& curve) {
@@ -13,7 +42,7 @@ SampleSortReport dist_samplesort(std::vector<octree::Octant>& local, Comm& comm,
   const int p = comm.size();
 
   util::Timer timer;
-  std::sort(local.begin(), local.end(), curve.comparator());
+  const std::vector<sfc::CurveKey> local_keys = key_sort(local, curve);
   report.local_sort_seconds = timer.seconds();
 
   timer.reset();
@@ -30,13 +59,15 @@ SampleSortReport dist_samplesort(std::vector<octree::Octant>& local, Comm& comm,
     }
   }
   std::vector<octree::Octant> all_samples = comm.allgatherv<octree::Octant>(samples);
-  std::sort(all_samples.begin(), all_samples.end(), curve.comparator());
+  const std::vector<sfc::CurveKey> sample_keys = key_sort(all_samples, curve);
 
-  std::vector<octree::Octant> splitters;
+  // Splitter key codes: every destination search below is then a binary
+  // search over 128-bit integers.
+  std::vector<sfc::CurveKey> splitter_codes;
   if (!all_samples.empty()) {
     for (int s = 1; s < p; ++s) {
-      splitters.push_back(
-          all_samples[static_cast<std::size_t>(
+      splitter_codes.push_back(
+          sample_keys[static_cast<std::size_t>(
               static_cast<unsigned __int128>(all_samples.size()) *
               static_cast<unsigned>(s) / static_cast<unsigned>(p))]);
     }
@@ -45,14 +76,11 @@ SampleSortReport dist_samplesort(std::vector<octree::Octant>& local, Comm& comm,
 
   timer.reset();
   std::vector<std::vector<octree::Octant>> send(static_cast<std::size_t>(p));
-  for (const octree::Octant& o : local) {
-    // Destination: number of splitters <= o.
-    const auto it = std::upper_bound(splitters.begin(), splitters.end(), o,
-                                     [&](const octree::Octant& probe,
-                                         const octree::Octant& key) {
-                                       return curve.compare(probe, key) < 0;
-                                     });
-    send[static_cast<std::size_t>(it - splitters.begin())].push_back(o);
+  for (std::size_t i = 0; i < local.size(); ++i) {
+    // Destination: number of splitters <= element.
+    const auto it = std::upper_bound(splitter_codes.begin(), splitter_codes.end(),
+                                     local_keys[i]);
+    send[static_cast<std::size_t>(it - splitter_codes.begin())].push_back(local[i]);
   }
   auto recv = comm.alltoallv(send);
   local.clear();

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "octree/treesort.hpp"
+#include "sfc/key.hpp"
 #include "util/timer.hpp"
 
 namespace amr::simmpi {
@@ -36,30 +37,42 @@ struct TargetState {
 };
 
 struct Splitters {
-  std::vector<Octant> keys;       ///< size p; keys[0] is the root (-inf)
-  std::vector<char> infinite;     ///< trailing ranks that own nothing
-  std::vector<std::size_t> cuts;  ///< size p+1 global positions
+  std::vector<Octant> keys;         ///< size p; keys[0] is the root (-inf)
+  std::vector<char> infinite;       ///< trailing ranks that own nothing
+  std::vector<std::size_t> cuts;    ///< size p+1 global positions
+  std::vector<sfc::CurveKey> codes; ///< curve keys of `keys`; infinite -> supremum
 
-  [[nodiscard]] int dest_of(const Octant& o, const sfc::Curve& curve) const {
-    int lo = 0;
-    int hi = static_cast<int>(keys.size()) - 1;
-    while (hi > lo) {  // find last non-infinite key <= o
-      const int mid = (lo + hi + 1) / 2;
-      if (infinite[static_cast<std::size_t>(mid)] != 0 ||
-          curve.compare(keys[static_cast<std::size_t>(mid)], o) > 0) {
-        hi = mid - 1;
-      } else {
-        lo = mid;
-      }
-    }
-    return lo;
+  /// Destination rank of an element given its curve key: the last r with
+  /// codes[r] <= key. Infinite splitters encode as key_supremum(), which no
+  /// element key reaches, so those ranks receive nothing.
+  [[nodiscard]] int dest_of_key(sfc::CurveKey key) const {
+    const auto it = std::upper_bound(codes.begin(), codes.end(), key);
+    return static_cast<int>(it - codes.begin()) - 1;
   }
 };
 
+/// First index in [lo, hi) for which `pred` is false (std::partition_point
+/// over indices).
+template <typename Pred>
+std::size_t partition_point_index(std::size_t lo, std::size_t hi, Pred pred) {
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (pred(mid)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
 class SplitterSearch {
  public:
-  SplitterSearch(std::vector<Octant>& local, Comm& comm, const sfc::Curve& curve)
-      : local_(local), comm_(comm), curve_(curve) {
+  /// `keys` are the curve keys of the (sorted) local elements, aligned with
+  /// `local`; bucket boundaries are then found by key-digit probes.
+  SplitterSearch(std::vector<Octant>& local, std::span<const sfc::CurveKey> keys,
+                 Comm& comm, const sfc::Curve& curve)
+      : local_(local), keys_(keys), comm_(comm), curve_(curve) {
     n_global_ = comm_.allreduce_one<std::uint64_t>(local_.size(), ReduceOp::kSum);
   }
 
@@ -132,21 +145,22 @@ class SplitterSearch {
                                             static_cast<std::size_t>(fields));
     std::vector<std::size_t> local_bounds(unique_boxes.size() *
                                           static_cast<std::size_t>(fields + 1));
+    const int dim = curve_.dim();
     for (std::size_t b = 0; b < unique_boxes.size(); ++b) {
       const BoxState& box = targets_[unique_boxes[b]].cur;
-      const auto begin = local_.begin() + static_cast<std::ptrdiff_t>(box.llo);
-      const auto end = local_.begin() + static_cast<std::ptrdiff_t>(box.lhi);
-      auto cursor = std::partition_point(begin, end, [&](const Octant& o) {
-        return static_cast<int>(o.level) < depth;
-      });
+      // Bucket boundaries via cached key digits: the digit at `depth`
+      // already is the visit rank, so no orientation state is consulted.
+      std::size_t cursor = partition_point_index(
+          box.llo, box.lhi,
+          [&](std::size_t i) { return sfc::key_level(keys_[i]) < depth; });
       std::size_t* bounds = &local_bounds[b * static_cast<std::size_t>(fields + 1)];
       bounds[0] = box.llo;
-      bounds[1] = static_cast<std::size_t>(cursor - local_.begin());
+      bounds[1] = cursor;
       for (int j = 0; j < children; ++j) {
-        cursor = std::partition_point(cursor, end, [&](const Octant& o) {
-          return curve_.rank_of(box.state, o.child_number(depth, curve_.dim())) <= j;
+        cursor = partition_point_index(cursor, box.lhi, [&](std::size_t i) {
+          return sfc::key_digit(keys_[i], depth, dim) <= j;
         });
-        bounds[j + 2] = static_cast<std::size_t>(cursor - local_.begin());
+        bounds[j + 2] = cursor;
       }
       std::uint64_t* counts = &local_counts[b * static_cast<std::size_t>(fields)];
       for (int f = 0; f < fields; ++f) {
@@ -252,11 +266,19 @@ class SplitterSearch {
             s.infinite[static_cast<std::size_t>(r) - 1];
       }
     }
+    s.codes.resize(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      s.codes[static_cast<std::size_t>(r)] =
+          s.infinite[static_cast<std::size_t>(r)] != 0
+              ? sfc::key_supremum()
+              : sfc::curve_key(curve_, s.keys[static_cast<std::size_t>(r)]);
+    }
     return s;
   }
 
  private:
   std::vector<Octant>& local_;
+  std::span<const sfc::CurveKey> keys_;
   Comm& comm_;
   const sfc::Curve& curve_;
   std::uint64_t n_global_ = 0;
@@ -274,15 +296,17 @@ struct Quality {
   double time = 0.0;
 };
 
-Quality partition_quality(std::span<const Octant> local, Comm& comm,
+Quality partition_quality(std::span<const Octant> local,
+                          std::span<const sfc::CurveKey> local_keys, Comm& comm,
                           const sfc::Curve& curve, const Splitters& splitters,
                           const machine::PerfModel& model) {
   const int p = comm.size();
   std::vector<std::uint64_t> counts(2 * static_cast<std::size_t>(p), 0);
   const int faces = curve.dim() == 3 ? 6 : 4;
 
-  for (const Octant& o : local) {
-    const int r = splitters.dest_of(o, curve);
+  for (std::size_t i = 0; i < local.size(); ++i) {
+    const Octant& o = local[i];
+    const int r = splitters.dest_of_key(local_keys[i]);
     counts[static_cast<std::size_t>(r)]++;
     bool boundary = false;
     for (int face = 0; face < faces && !boundary; ++face) {
@@ -291,9 +315,10 @@ Quality partition_quality(std::span<const Octant> local, Comm& comm,
       // The neighbor region's first/last descendants in *curve order*
       // bracket its contiguous SFC interval; if either end falls outside
       // our prospective range the octant is (conservatively) a boundary
-      // octant.
-      if (splitters.dest_of(curve.first_descendant(region), curve) != r ||
-          splitters.dest_of(curve.last_descendant(region), curve) != r) {
+      // octant. Their keys come straight from the region's digit string
+      // (zero / maximal padding), no descent needed.
+      if (splitters.dest_of_key(sfc::key_min_descendant(curve, region)) != r ||
+          splitters.dest_of_key(sfc::key_max_descendant(curve, region)) != r) {
         boundary = true;
       }
     }
@@ -313,13 +338,17 @@ Quality partition_quality(std::span<const Octant> local, Comm& comm,
   return q;
 }
 
-/// The Alltoallv element exchange plus final local sort.
-void exchange_and_sort(std::vector<Octant>& local, Comm& comm, const sfc::Curve& curve,
-                       const Splitters& splitters, DistSortReport& report) {
+/// The Alltoallv element exchange plus final local sort. `local_keys` are
+/// the pre-exchange curve keys aligned with `local`.
+void exchange_and_sort(std::vector<Octant>& local,
+                       std::span<const sfc::CurveKey> local_keys, Comm& comm,
+                       const sfc::Curve& curve, const Splitters& splitters,
+                       DistSortReport& report) {
   util::Timer timer;
   std::vector<std::vector<Octant>> send(static_cast<std::size_t>(comm.size()));
-  for (const Octant& o : local) {
-    send[static_cast<std::size_t>(splitters.dest_of(o, curve))].push_back(o);
+  for (std::size_t i = 0; i < local.size(); ++i) {
+    send[static_cast<std::size_t>(splitters.dest_of_key(local_keys[i]))].push_back(
+        local[i]);
   }
   auto recv = comm.alltoallv(send);
   local.clear();
@@ -341,11 +370,11 @@ DistSortReport dist_treesort(std::vector<Octant>& local, Comm& comm,
                              const sfc::Curve& curve, const DistSortOptions& options) {
   DistSortReport report;
   util::Timer timer;
-  octree::tree_sort(local, curve);
+  const std::vector<sfc::CurveKey> local_keys = octree::tree_sort_with_keys(local, curve);
   report.local_sort_seconds = timer.seconds();
 
   timer.reset();
-  SplitterSearch search(local, comm, curve);
+  SplitterSearch search(local, local_keys, comm, curve);
   report.global_elements = search.global_elements();
   const double grain =
       static_cast<double>(search.global_elements()) / static_cast<double>(comm.size());
@@ -363,7 +392,7 @@ DistSortReport dist_treesort(std::vector<Octant>& local, Comm& comm,
   report.levels_used = depth - 1;
   report.splitter_seconds = timer.seconds();
 
-  exchange_and_sort(local, comm, curve, search.splitters(), report);
+  exchange_and_sort(local, local_keys, comm, curve, search.splitters(), report);
   return report;
 }
 
@@ -372,11 +401,11 @@ DistSortReport dist_optipart(std::vector<Octant>& local, Comm& comm,
                              int max_depth, DistOptiPartTrace* trace) {
   DistSortReport report;
   util::Timer timer;
-  octree::tree_sort(local, curve);
+  const std::vector<sfc::CurveKey> local_keys = octree::tree_sort_with_keys(local, curve);
   report.local_sort_seconds = timer.seconds();
 
   timer.reset();
-  SplitterSearch search(local, comm, curve);
+  SplitterSearch search(local, local_keys, comm, curve);
   report.global_elements = search.global_elements();
   search.set_tolerance(0);
   search.init_targets();
@@ -392,7 +421,7 @@ DistSortReport dist_optipart(std::vector<Octant>& local, Comm& comm,
   }
 
   Splitters best = search.splitters();
-  Quality best_quality = partition_quality(local, comm, curve, best, model);
+  Quality best_quality = partition_quality(local, local_keys, comm, curve, best, model);
   if (trace != nullptr) {
     trace->rounds.push_back(
         {depth, best_quality.w_max, best_quality.c_max, best_quality.time});
@@ -403,7 +432,7 @@ DistSortReport dist_optipart(std::vector<Octant>& local, Comm& comm,
     ++depth;
     if (!search.refine_round(depth)) break;
     const Splitters candidate = search.splitters();
-    const Quality q = partition_quality(local, comm, curve, candidate, model);
+    const Quality q = partition_quality(local, local_keys, comm, curve, candidate, model);
     if (trace != nullptr) {
       trace->rounds.push_back({depth, q.w_max, q.c_max, q.time});
     }
@@ -417,7 +446,7 @@ DistSortReport dist_optipart(std::vector<Octant>& local, Comm& comm,
   report.levels_used = depth;
   report.splitter_seconds = timer.seconds();
 
-  exchange_and_sort(local, comm, curve, best, report);
+  exchange_and_sort(local, local_keys, comm, curve, best, report);
   return report;
 }
 

@@ -1,0 +1,80 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace amr::util {
+
+int ThreadPool::default_num_threads() {
+  if (const char* env = std::getenv("AMR_SORT_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) num_threads = default_num_threads();
+  workers_.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int t = 1; t < num_threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::drain(std::unique_lock<std::mutex>& lock,
+                       const std::shared_ptr<Batch>& batch) {
+  while (batch->next < batch->tasks.size()) {
+    const std::size_t i = batch->next++;
+    if (batch->next == batch->tasks.size()) {
+      // Fully claimed: stop advertising the batch to other threads.
+      const auto it = std::find(batches_.begin(), batches_.end(), batch);
+      if (it != batches_.end()) batches_.erase(it);
+    }
+    lock.unlock();
+    batch->tasks[i]();
+    lock.lock();
+    if (--batch->remaining == 0) batch->done.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_available_.wait(lock, [this] { return stopping_ || !batches_.empty(); });
+    if (stopping_ && batches_.empty()) return;
+    drain(lock, batches_.front());
+  }
+}
+
+void ThreadPool::run(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (workers_.empty() || tasks.size() == 1) {
+    for (auto& task : tasks) task();
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->tasks = std::move(tasks);
+  batch->remaining = batch->tasks.size();
+  std::unique_lock<std::mutex> lock(mutex_);
+  batches_.push_back(batch);
+  work_available_.notify_all();
+  drain(lock, batch);
+  batch->done.wait(lock, [&] { return batch->remaining == 0; });
+}
+
+}  // namespace amr::util

@@ -1,0 +1,69 @@
+// A small reusable thread pool for fork-join batches.
+//
+// Built for TreeSort's parallel buckets: a caller hands run() a batch of
+// independent tasks, the calling thread participates in executing them, and
+// run() returns when the whole batch is done. Multiple threads may call
+// run() on the same pool concurrently (simmpi ranks are real threads and
+// each may tree_sort at the same time); batches are drained FIFO and each
+// caller blocks only on its own batch.
+//
+// The pool is sized once: explicit count, else the AMR_SORT_THREADS
+// environment variable, else std::thread::hardware_concurrency(). A size of
+// 1 means no worker threads at all -- run() executes inline, which keeps
+// the sequential path allocation- and synchronization-free.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace amr::util {
+
+class ThreadPool {
+ public:
+  /// `num_threads` <= 0 resolves via default_num_threads().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution width (workers + the participating caller).
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Run every task, using the workers plus the calling thread; returns
+  /// when all tasks in this batch have completed. Tasks must not call
+  /// run() on the same pool (no nested batches).
+  void run(std::vector<std::function<void()>> tasks);
+
+  /// Process-wide shared pool, created on first use.
+  static ThreadPool& global();
+
+  /// AMR_SORT_THREADS if set and positive, else hardware concurrency.
+  [[nodiscard]] static int default_num_threads();
+
+ private:
+  struct Batch {
+    std::vector<std::function<void()>> tasks;
+    std::size_t next = 0;       ///< index of the next unclaimed task
+    std::size_t remaining = 0;  ///< tasks not yet finished
+    std::condition_variable done;
+  };
+
+  void worker_loop();
+  /// Claim and execute tasks of `batch` until none are left unclaimed.
+  /// Called with `mutex_` held; releases it around each task.
+  void drain(std::unique_lock<std::mutex>& lock, const std::shared_ptr<Batch>& batch);
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::shared_ptr<Batch>> batches_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace amr::util

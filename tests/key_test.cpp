@@ -1,0 +1,261 @@
+// Property tests for the 128-bit curve-key codec (sfc/key.hpp): the key
+// order must be *isomorphic* to Curve::less for every curve kind in 2D and
+// 3D -- this is the invariant the whole key-cached sorting/partitioning
+// path (treesort, dist_treesort, dist_samplesort, BucketSearch) rests on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "octree/generate.hpp"
+#include "octree/octant.hpp"
+#include "octree/treesort.hpp"
+#include "sfc/curve.hpp"
+#include "sfc/key.hpp"
+#include "util/rng.hpp"
+
+namespace amr::sfc {
+namespace {
+
+using octree::kMaxDepth;
+using octree::Octant;
+
+struct KeyCase {
+  CurveKind kind;
+  int dim;
+  octree::PointDistribution distribution;
+};
+
+std::string case_name(const ::testing::TestParamInfo<KeyCase>& info) {
+  return to_string(info.param.kind) + "_" + std::to_string(info.param.dim) + "d_" +
+         octree::to_string(info.param.distribution);
+}
+
+/// Random octants of mixed levels following the case's point distribution.
+std::vector<Octant> random_octants(const KeyCase& c, std::size_t n,
+                                   std::uint64_t seed) {
+  octree::GenerateOptions options;
+  options.distribution = c.distribution;
+  options.seed = seed;
+  options.dim = c.dim;
+  const auto points = octree::generate_points(n, options);
+  util::Rng rng = util::make_rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  std::uniform_int_distribution<int> lvl(0, kMaxDepth);
+  std::vector<Octant> out;
+  out.reserve(n);
+  for (const auto& pt : points) {
+    out.push_back(octree::octant_from_point(pt[0], pt[1], c.dim == 3 ? pt[2] : 0,
+                                            lvl(rng)));
+  }
+  return out;
+}
+
+class KeyCodecTest : public ::testing::TestWithParam<KeyCase> {};
+
+int sign(int v) { return (v > 0) - (v < 0); }
+int sign_key(CurveKey a, CurveKey b) { return (a > b) - (a < b); }
+
+TEST_P(KeyCodecTest, KeyOrderIsCurveOrder) {
+  const KeyCase c = GetParam();
+  const Curve curve(c.kind, c.dim);
+  const auto octants = random_octants(c, 600, 1234);
+  const auto keys = keys_of(curve, octants);
+
+  for (std::size_t i = 0; i < octants.size(); ++i) {
+    for (std::size_t j = i; j < octants.size(); ++j) {
+      ASSERT_EQ(sign(curve.compare(octants[i], octants[j])),
+                sign_key(keys[i], keys[j]))
+          << octants[i].to_string() << " vs " << octants[j].to_string();
+    }
+  }
+}
+
+TEST_P(KeyCodecTest, KeyRoundTripsAndEncodesLevel) {
+  const KeyCase c = GetParam();
+  const Curve curve(c.kind, c.dim);
+  for (const Octant& o : random_octants(c, 500, 99)) {
+    const CurveKey key = curve_key(curve, o);
+    EXPECT_EQ(key_level(key), static_cast<int>(o.level));
+    EXPECT_EQ(octant_of_key(curve, key), o);
+    EXPECT_LT(key, key_supremum());
+  }
+}
+
+TEST_P(KeyCodecTest, DescendantKeysBracketTheRegion) {
+  const KeyCase c = GetParam();
+  const Curve curve(c.kind, c.dim);
+  util::Rng rng = util::make_rng(7);
+  std::uniform_int_distribution<std::uint32_t> coord(0, (1U << kMaxDepth) - 1);
+  std::uniform_int_distribution<int> lvl(0, 12);
+  for (int i = 0; i < 200; ++i) {
+    const Octant region = octree::octant_from_point(
+        coord(rng), coord(rng), c.dim == 3 ? coord(rng) : 0, lvl(rng));
+    EXPECT_EQ(key_min_descendant(curve, region),
+              curve_key(curve, curve.first_descendant(region)));
+    EXPECT_EQ(key_max_descendant(curve, region),
+              curve_key(curve, curve.last_descendant(region)));
+    // Every descendant's key lies in [key(region), key_max_descendant]:
+    // coarse descendants may precede the finest-level first descendant
+    // (ancestors sort first) but never the region itself, and nothing in
+    // the region sorts after the maximal finest-level cell.
+    Octant probe = region;
+    while (static_cast<int>(probe.level) < 16) {
+      probe = probe.child(static_cast<int>(probe.level) % curve.num_children(), c.dim);
+      const CurveKey k = curve_key(curve, probe);
+      EXPECT_GT(k, curve_key(curve, region));
+      EXPECT_LE(k, key_max_descendant(curve, region));
+      if (static_cast<int>(probe.level) == kMaxDepth) {
+        EXPECT_GE(k, key_min_descendant(curve, region));
+      }
+    }
+  }
+}
+
+TEST_P(KeyCodecTest, AncestorsSortFirst) {
+  const KeyCase c = GetParam();
+  const Curve curve(c.kind, c.dim);
+  util::Rng rng = util::make_rng(13);
+  std::uniform_int_distribution<std::uint32_t> coord(0, (1U << kMaxDepth) - 1);
+  for (int i = 0; i < 200; ++i) {
+    Octant o = octree::octant_from_point(coord(rng), coord(rng),
+                                         c.dim == 3 ? coord(rng) : 0, 14);
+    CurveKey child_key = curve_key(curve, o);
+    while (o.level > 0) {
+      o = o.parent();
+      const CurveKey parent_key = curve_key(curve, o);
+      EXPECT_LT(parent_key, child_key);
+      child_key = parent_key;
+    }
+  }
+}
+
+TEST_P(KeyCodecTest, SortingByKeyEqualsComparatorSort) {
+  const KeyCase c = GetParam();
+  const Curve curve(c.kind, c.dim);
+  auto octants = random_octants(c, 2000, 5150);
+  auto reference = octants;
+
+  std::stable_sort(reference.begin(), reference.end(), curve.comparator());
+  std::stable_sort(octants.begin(), octants.end(),
+                   [&](const Octant& a, const Octant& b) {
+                     return curve_key(curve, a) < curve_key(curve, b);
+                   });
+  EXPECT_EQ(octants, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCurves, KeyCodecTest,
+    ::testing::Values(
+        KeyCase{CurveKind::kMorton, 2, octree::PointDistribution::kUniform},
+        KeyCase{CurveKind::kMorton, 3, octree::PointDistribution::kNormal},
+        KeyCase{CurveKind::kHilbert, 2, octree::PointDistribution::kLogNormal},
+        KeyCase{CurveKind::kHilbert, 3, octree::PointDistribution::kUniform},
+        KeyCase{CurveKind::kMoore, 2, octree::PointDistribution::kNormal},
+        KeyCase{CurveKind::kMoore, 3, octree::PointDistribution::kLogNormal}),
+    case_name);
+
+// ---------------------------------------------------------------------------
+// Engine equivalence: keyed tree_sort (sequential and parallel) must be
+// bit-identical to the table-walk reference for every curve/dim/distribution.
+// ---------------------------------------------------------------------------
+
+class EngineEquivalenceTest : public ::testing::TestWithParam<KeyCase> {};
+
+TEST_P(EngineEquivalenceTest, KeyedMatchesTableWalkAndParallelMatchesSequential) {
+  const KeyCase c = GetParam();
+  const Curve curve(c.kind, c.dim);
+  const auto base = random_octants(c, 20000, 4242);
+
+  auto reference = base;
+  octree::TreeSortOptions table_walk;
+  table_walk.engine = octree::TreeSortEngine::kTableWalk;
+  octree::tree_sort(reference, curve, table_walk);
+
+  auto sequential = base;
+  octree::TreeSortOptions seq;
+  seq.num_threads = 1;
+  octree::tree_sort(sequential, curve, seq);
+  EXPECT_EQ(sequential, reference);
+
+  auto parallel = base;
+  octree::TreeSortOptions par;
+  par.num_threads = 8;
+  par.parallel_cutoff = 1;  // force the parallel path even at this size
+  octree::tree_sort(parallel, curve, par);
+  EXPECT_EQ(parallel, reference);
+
+  auto keyed = base;
+  const auto keys = octree::tree_sort_with_keys(keyed, curve);
+  EXPECT_EQ(keyed, reference);
+  ASSERT_EQ(keys.size(), keyed.size());
+  for (std::size_t i = 0; i < keyed.size(); ++i) {
+    ASSERT_EQ(keys[i], curve_key(curve, keyed[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCurves, EngineEquivalenceTest,
+    ::testing::Values(
+        KeyCase{CurveKind::kMorton, 2, octree::PointDistribution::kNormal},
+        KeyCase{CurveKind::kMorton, 3, octree::PointDistribution::kUniform},
+        KeyCase{CurveKind::kHilbert, 2, octree::PointDistribution::kUniform},
+        KeyCase{CurveKind::kHilbert, 3, octree::PointDistribution::kLogNormal},
+        KeyCase{CurveKind::kMoore, 2, octree::PointDistribution::kLogNormal},
+        KeyCase{CurveKind::kMoore, 3, octree::PointDistribution::kNormal}),
+    case_name);
+
+// Mixed ancestor chains exercise the level-tiebreak path of the codec and
+// the ancestor bucket of the keyed radix.
+TEST(KeyedTreeSort, AncestorChainsWithDuplicates) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  std::vector<Octant> octants;
+  Octant o = octree::root_octant();
+  for (int l = 1; l <= 12; ++l) {
+    o = o.child(l % 8);
+    octants.push_back(o);
+    octants.push_back(o);  // duplicates
+  }
+  util::Rng rng = util::make_rng(3);
+  std::uniform_int_distribution<std::uint32_t> coord(0, (1U << kMaxDepth) - 1);
+  for (int i = 0; i < 3000; ++i) {
+    octants.push_back(octree::octant_from_point(coord(rng), coord(rng), coord(rng), 9));
+  }
+
+  auto reference = octants;
+  octree::TreeSortOptions table_walk;
+  table_walk.engine = octree::TreeSortEngine::kTableWalk;
+  octree::tree_sort(reference, curve, table_walk);
+
+  octree::TreeSortOptions par;
+  par.parallel_cutoff = 1;
+  octree::tree_sort(octants, curve, par);
+  EXPECT_EQ(octants, reference);
+  EXPECT_TRUE(octree::is_sfc_sorted(octants, curve));
+}
+
+TEST(KeyedTreeSort, EndDepthLimitsRecursionIdentically) {
+  const Curve curve(CurveKind::kMorton, 3);
+  util::Rng rng = util::make_rng(11);
+  std::uniform_int_distribution<std::uint32_t> coord(0, (1U << kMaxDepth) - 1);
+  std::vector<Octant> base;
+  for (int i = 0; i < 4000; ++i) {
+    base.push_back(octree::octant_from_point(coord(rng), coord(rng), coord(rng), 10));
+  }
+  for (const std::size_t cutoff : {std::size_t{1}, std::size_t{16}}) {
+    octree::TreeSortOptions a;
+    a.end_depth = 4;
+    a.small_cutoff = cutoff;
+    a.engine = octree::TreeSortEngine::kTableWalk;
+    octree::TreeSortOptions b = a;
+    b.engine = octree::TreeSortEngine::kKeyed;
+    b.num_threads = 1;
+    auto table_walk = base;
+    auto keyed = base;
+    octree::tree_sort(table_walk, curve, a);
+    octree::tree_sort(keyed, curve, b);
+    EXPECT_EQ(keyed, table_walk) << "cutoff " << cutoff;
+  }
+}
+
+}  // namespace
+}  // namespace amr::sfc

@@ -1,0 +1,113 @@
+// util::ThreadPool: fork-join batches, caller participation, concurrent
+// callers (the simmpi pattern: many rank threads sorting at once), and the
+// pool-backed parallel TreeSort path. Built to run under -fsanitize=thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "octree/generate.hpp"
+#include "octree/treesort.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace amr::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::atomic<int>> hits(100);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    tasks.push_back([&hits, i] { hits[i]++; });
+  }
+  pool.run(std::move(tasks));
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SizeOneRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    tasks.push_back([&seen, i, caller] { seen[i] = std::this_thread::get_id(); });
+  }
+  pool.run(std::move(tasks));
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::function<void()>> tasks;
+    for (int t = 0; t < 7; ++t) {
+      tasks.push_back([&total] { total++; });
+    }
+    pool.run(std::move(tasks));
+  }
+  EXPECT_EQ(total.load(), 50 * 7);
+}
+
+TEST(ThreadPool, ConcurrentCallersEachSeeTheirBatchComplete) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  constexpr int kTasksPerBatch = 40;
+  std::vector<std::atomic<int>> per_caller(kCallers);
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &per_caller, c] {
+      for (int round = 0; round < 10; ++round) {
+        std::vector<std::function<void()>> tasks;
+        for (int t = 0; t < kTasksPerBatch; ++t) {
+          tasks.push_back([&per_caller, c] { per_caller[c]++; });
+        }
+        pool.run(std::move(tasks));
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (const auto& count : per_caller) EXPECT_EQ(count.load(), 10 * kTasksPerBatch);
+}
+
+TEST(ThreadPool, DefaultThreadsHonorsEnvironment) {
+  // The global pool is sized from AMR_SORT_THREADS; this only checks the
+  // parser, not the global singleton (which may already exist).
+  EXPECT_GE(ThreadPool::default_num_threads(), 1);
+}
+
+// The end-to-end consumer: parallel TreeSort on the shared pool from
+// several threads at once must produce the exact sequential result.
+TEST(ThreadPool, ParallelTreeSortFromManyThreads) {
+  const sfc::Curve curve(sfc::CurveKind::kHilbert, 3);
+  util::Rng rng = util::make_rng(77);
+  std::uniform_int_distribution<std::uint32_t> coord(0, (1U << octree::kMaxDepth) - 1);
+  std::vector<octree::Octant> base;
+  for (int i = 0; i < 50000; ++i) {
+    base.push_back(octree::octant_from_point(coord(rng), coord(rng), coord(rng), 12));
+  }
+  auto expected = base;
+  octree::TreeSortOptions seq;
+  seq.num_threads = 1;
+  octree::tree_sort(expected, curve, seq);
+
+  std::vector<std::thread> sorters;
+  std::vector<std::vector<octree::Octant>> results(4, base);
+  for (auto& result : results) {
+    sorters.emplace_back([&result, &curve] {
+      octree::TreeSortOptions par;
+      par.parallel_cutoff = 1;
+      octree::tree_sort(result, curve, par);
+    });
+  }
+  for (auto& t : sorters) t.join();
+  for (const auto& result : results) EXPECT_EQ(result, expected);
+}
+
+}  // namespace
+}  // namespace amr::util
