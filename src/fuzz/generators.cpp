@@ -1,0 +1,235 @@
+#include "fuzz/generators.hpp"
+
+#include <random>
+#include <sstream>
+
+#include "octree/balance.hpp"
+#include "octree/generate.hpp"
+
+namespace amr::fuzz {
+
+namespace {
+
+using octree::Octant;
+
+constexpr struct {
+  InputShape shape;
+  const char* name;
+} kShapeNames[] = {
+    {InputShape::kUniform, "uniform"},
+    {InputShape::kNormal, "normal"},
+    {InputShape::kLogNormal, "lognormal"},
+    {InputShape::kRandomOctants, "random_octants"},
+    {InputShape::kDuplicateHeavy, "duplicate_heavy"},
+    {InputShape::kSingleRankEmpty, "single_rank_empty"},
+    {InputShape::kAllOnOneRank, "all_on_one_rank"},
+    {InputShape::kIdenticalRanks, "identical_ranks"},
+    {InputShape::kBalancedTree, "balanced_tree"},
+};
+
+/// Random octants at random levels, quantized to their level grid. z is
+/// forced to 0 in 2D so the octants are valid quadrants.
+std::vector<Octant> random_octants(std::size_t n, int dim, std::uint64_t seed) {
+  util::Rng rng = util::make_rng(seed);
+  std::uniform_int_distribution<std::uint32_t> coord(0,
+                                                     (1U << octree::kMaxDepth) - 1);
+  std::uniform_int_distribution<int> lvl(1, 14);
+  std::vector<Octant> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(octree::octant_from_point(coord(rng), coord(rng),
+                                            dim == 3 ? coord(rng) : 0U, lvl(rng)));
+  }
+  return out;
+}
+
+std::vector<Octant> point_cloud_octree(const CaseSpec& spec,
+                                       octree::PointDistribution dist,
+                                       std::uint64_t seed) {
+  const sfc::Curve curve(spec.curve, spec.dim);
+  octree::GenerateOptions options;
+  options.distribution = dist;
+  options.seed = seed;
+  options.dim = spec.dim;
+  options.max_level = 10;
+  return octree::random_octree(spec.elements_per_rank, curve, options);
+}
+
+}  // namespace
+
+std::string to_string(InputShape shape) {
+  for (const auto& entry : kShapeNames) {
+    if (entry.shape == shape) return entry.name;
+  }
+  return "unknown";
+}
+
+std::optional<InputShape> shape_from_string(const std::string& name) {
+  for (const auto& entry : kShapeNames) {
+    if (name == entry.name) return entry.shape;
+  }
+  return std::nullopt;
+}
+
+std::string to_string(const CaseSpec& spec) {
+  std::ostringstream out;
+  out << "curve=" << sfc::to_string(spec.curve) << " dim=" << spec.dim
+      << " p=" << spec.ranks << " shape=" << to_string(spec.shape)
+      << " n=" << spec.elements_per_rank << " tol=" << spec.tolerance
+      << " stage=" << spec.max_splitters_per_round << " seed=" << spec.seed
+      << " perturb=" << spec.perturb_seed;
+  return out.str();
+}
+
+std::optional<CaseSpec> case_from_string(const std::string& line) {
+  const std::size_t hash = line.find('#');
+  std::istringstream in(hash == std::string::npos ? line : line.substr(0, hash));
+  CaseSpec spec;
+  bool any = false;
+  std::string token;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    try {
+      if (key == "curve") {
+        spec.curve = sfc::curve_kind_from_string(value);
+      } else if (key == "dim") {
+        spec.dim = std::stoi(value);
+      } else if (key == "p") {
+        spec.ranks = std::stoi(value);
+      } else if (key == "shape") {
+        const auto shape = shape_from_string(value);
+        if (!shape.has_value()) return std::nullopt;
+        spec.shape = *shape;
+      } else if (key == "n") {
+        spec.elements_per_rank = std::stoull(value);
+      } else if (key == "tol") {
+        spec.tolerance = std::stod(value);
+      } else if (key == "stage") {
+        spec.max_splitters_per_round = std::stoi(value);
+      } else if (key == "seed") {
+        spec.seed = std::stoull(value);
+      } else if (key == "perturb") {
+        spec.perturb_seed = std::stoull(value);
+      } else {
+        return std::nullopt;
+      }
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+    any = true;
+  }
+  if (!any) return std::nullopt;
+  if (spec.dim != 2 && spec.dim != 3) return std::nullopt;
+  if (spec.ranks < 1 || spec.ranks > 64) return std::nullopt;
+  return spec;
+}
+
+std::vector<std::vector<Octant>> make_inputs(const CaseSpec& spec) {
+  const std::size_t p = static_cast<std::size_t>(spec.ranks);
+  std::vector<std::vector<Octant>> inputs(p);
+  switch (spec.shape) {
+    case InputShape::kUniform:
+    case InputShape::kNormal:
+    case InputShape::kLogNormal: {
+      const octree::PointDistribution dist =
+          spec.shape == InputShape::kUniform ? octree::PointDistribution::kUniform
+          : spec.shape == InputShape::kNormal
+              ? octree::PointDistribution::kNormal
+              : octree::PointDistribution::kLogNormal;
+      for (std::size_t r = 0; r < p; ++r) {
+        inputs[r] = point_cloud_octree(spec, dist, util::split_seed(spec.seed, r));
+      }
+      break;
+    }
+    case InputShape::kRandomOctants:
+      for (std::size_t r = 0; r < p; ++r) {
+        inputs[r] = random_octants(spec.elements_per_rank, spec.dim,
+                                   util::split_seed(spec.seed, r));
+      }
+      break;
+    case InputShape::kDuplicateHeavy: {
+      // p >> distinct buckets: the whole cohort draws from a pool so small
+      // that most splitter targets collapse onto the same bucket boundary.
+      const std::size_t pool_size = 1 + spec.seed % 3;  // 1..3 distinct octants
+      const auto pool = random_octants(pool_size, spec.dim,
+                                       util::split_seed(spec.seed, 1000));
+      for (std::size_t r = 0; r < p; ++r) {
+        util::Rng rng = util::make_rng(spec.seed, r);
+        inputs[r].reserve(spec.elements_per_rank);
+        for (std::size_t i = 0; i < spec.elements_per_rank; ++i) {
+          inputs[r].push_back(pool[rng() % pool.size()]);
+        }
+      }
+      break;
+    }
+    case InputShape::kSingleRankEmpty:
+      for (std::size_t r = 1; r < p; ++r) {
+        inputs[r] = random_octants(spec.elements_per_rank, spec.dim,
+                                   util::split_seed(spec.seed, r));
+      }
+      break;
+    case InputShape::kAllOnOneRank:
+      inputs[p - 1] = random_octants(spec.elements_per_rank * p, spec.dim,
+                                     util::split_seed(spec.seed, 7));
+      break;
+    case InputShape::kIdenticalRanks: {
+      const auto shared = random_octants(spec.elements_per_rank, spec.dim,
+                                         util::split_seed(spec.seed, 11));
+      for (std::size_t r = 0; r < p; ++r) inputs[r] = shared;
+      break;
+    }
+    case InputShape::kBalancedTree: {
+      // One complete 2:1-balanced tree, dealt to ranks in contiguous
+      // slices: repartitioning must preserve completeness and balance of
+      // the union (it only moves elements).
+      const sfc::Curve curve(spec.curve, spec.dim);
+      octree::GenerateOptions options;
+      options.seed = spec.seed;
+      options.dim = spec.dim;
+      options.max_level = 8;
+      auto tree = octree::random_octree(spec.elements_per_rank * p, curve, options);
+      tree = octree::balance_octree(std::move(tree), curve);
+      const std::size_t chunk = tree.size() / p;
+      for (std::size_t r = 0; r < p; ++r) {
+        const std::size_t lo = r * chunk;
+        const std::size_t hi = r + 1 == p ? tree.size() : lo + chunk;
+        inputs[r].assign(tree.begin() + static_cast<std::ptrdiff_t>(lo),
+                         tree.begin() + static_cast<std::ptrdiff_t>(hi));
+      }
+      break;
+    }
+  }
+  return inputs;
+}
+
+CaseSpec random_case(util::Rng& rng) {
+  CaseSpec spec;
+  constexpr sfc::CurveKind kCurves[] = {sfc::CurveKind::kMorton,
+                                        sfc::CurveKind::kHilbert,
+                                        sfc::CurveKind::kMoore};
+  constexpr InputShape kShapes[] = {
+      InputShape::kUniform,        InputShape::kNormal,
+      InputShape::kLogNormal,      InputShape::kRandomOctants,
+      InputShape::kDuplicateHeavy, InputShape::kSingleRankEmpty,
+      InputShape::kAllOnOneRank,   InputShape::kIdenticalRanks,
+      InputShape::kBalancedTree,
+  };
+  constexpr int kRanks[] = {2, 3, 4, 5, 7, 8, 12, 16};
+  constexpr double kTolerances[] = {0.0, 0.0, 0.1, 0.3};
+  spec.curve = kCurves[rng() % std::size(kCurves)];
+  spec.dim = (rng() & 1U) != 0 ? 3 : 2;
+  spec.ranks = kRanks[rng() % std::size(kRanks)];
+  spec.shape = kShapes[rng() % std::size(kShapes)];
+  spec.elements_per_rank = 100 + rng() % 900;
+  spec.tolerance = kTolerances[rng() % std::size(kTolerances)];
+  spec.max_splitters_per_round =
+      (rng() & 3U) == 0 ? 1 + static_cast<int>(rng() % 4) : 0;
+  spec.seed = rng();
+  spec.perturb_seed = (rng() & 1U) != 0 ? rng() | 1U : 0;
+  return spec;
+}
+
+}  // namespace amr::fuzz

@@ -1,0 +1,72 @@
+// Randomized and adversarial input generators for the distributed-layer
+// fuzz harness.
+//
+// A CaseSpec fully determines one differential-fuzz case: the curve, the
+// dimension, the rank count, the shape of the per-rank input distribution,
+// sizes, algorithm knobs (tolerance, staged-splitter cap), the data seed,
+// and the simmpi schedule-perturbation seed. Specs serialize to a single
+// `key=value` line so failing cases can be recorded as corpus files and
+// replayed bit-for-bit.
+//
+// Shapes cover the paper's generator mix (uniform / normal / log-normal
+// point clouds, §4.2) plus the adversarial distributions that historically
+// break splitter selection: duplicate-heavy inputs where p far exceeds the
+// number of distinct buckets, empty ranks, everything on one rank, and
+// identical inputs on every rank.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "octree/octant.hpp"
+#include "sfc/curve.hpp"
+#include "util/rng.hpp"
+
+namespace amr::fuzz {
+
+enum class InputShape {
+  kUniform,         ///< octree from uniform points (paper §4.2)
+  kNormal,          ///< octree from normal points
+  kLogNormal,       ///< octree from log-normal points
+  kRandomOctants,   ///< independent random octants at random levels
+  kDuplicateHeavy,  ///< all ranks draw from a tiny pool of distinct octants
+  kSingleRankEmpty, ///< like kRandomOctants but rank 0 starts empty
+  kAllOnOneRank,    ///< every element starts on the last rank
+  kIdenticalRanks,  ///< the same element vector on every rank
+  kBalancedTree,    ///< a 2:1-balanced complete tree scattered across ranks
+};
+
+[[nodiscard]] std::string to_string(InputShape shape);
+[[nodiscard]] std::optional<InputShape> shape_from_string(const std::string& name);
+
+struct CaseSpec {
+  sfc::CurveKind curve = sfc::CurveKind::kHilbert;
+  int dim = 3;
+  int ranks = 4;
+  InputShape shape = InputShape::kRandomOctants;
+  std::size_t elements_per_rank = 1000;
+  double tolerance = 0.0;           ///< dist_treesort flexible tolerance
+  int max_splitters_per_round = 0;  ///< staged-splitter cap (0 = unstaged)
+  std::uint64_t seed = 1;
+  std::uint64_t perturb_seed = 0;   ///< 0 = no schedule perturbation
+};
+
+/// One-line `key=value` form, parseable by case_from_string.
+[[nodiscard]] std::string to_string(const CaseSpec& spec);
+
+/// Parse a corpus line; std::nullopt (never a crash) on malformed input.
+/// `#` starts a comment; blank lines yield nullopt.
+[[nodiscard]] std::optional<CaseSpec> case_from_string(const std::string& line);
+
+/// Per-rank starting arrays for the case. inputs[r] is rank r's local
+/// array before any distributed call. Point-cloud shapes adapt an octree
+/// per rank, so sizes track (not equal) elements_per_rank.
+[[nodiscard]] std::vector<std::vector<octree::Octant>> make_inputs(const CaseSpec& spec);
+
+/// Draw a random spec for the time-boxed fuzz mode: random curve x dim x
+/// p x shape x knobs, sized to stay fast, with data and perturbation
+/// seeds derived from `rng`.
+[[nodiscard]] CaseSpec random_case(util::Rng& rng);
+
+}  // namespace amr::fuzz

@@ -1,0 +1,238 @@
+#include "fuzz/harness.hpp"
+
+#include <utility>
+
+#include "machine/machine_model.hpp"
+#include "machine/perf_model.hpp"
+#include "partition/partition.hpp"
+#include "simmpi/dist_samplesort.hpp"
+#include "simmpi/dist_treesort.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace amr::fuzz {
+
+namespace {
+
+using octree::Octant;
+
+simmpi::ContextOptions context_options(const CaseSpec& spec) {
+  simmpi::ContextOptions options;
+  options.perturb_seed = spec.perturb_seed;
+  return options;
+}
+
+void run_treesort_case(const CaseSpec& spec,
+                       const std::vector<std::vector<Octant>>& inputs,
+                       const std::vector<Octant>& reference, CaseResult& result) {
+  const sfc::Curve curve(spec.curve, spec.dim);
+  const std::size_t p = inputs.size();
+  std::vector<std::vector<Octant>> outputs(p);
+  std::vector<simmpi::DistSortReport> reports(p);
+  try {
+    simmpi::run_ranks(spec.ranks, context_options(spec), [&](simmpi::Comm& comm) {
+      const std::size_t r = static_cast<std::size_t>(comm.rank());
+      auto local = inputs[r];
+      simmpi::DistSortOptions options;
+      options.tolerance = spec.tolerance;
+      options.max_splitters_per_round = spec.max_splitters_per_round;
+      reports[r] = simmpi::dist_treesort(local, comm, curve, options);
+      outputs[r] = std::move(local);
+    });
+  } catch (const simmpi::DeadlockError& e) {
+    result.oracles.fail(std::string("treesort: watchdog stall: ") + e.what());
+    return;
+  }
+
+  OracleResult o;
+  // tolerance == 0 means the cuts are the ideal split, so the concatenated
+  // output must equal the sequential sort element for element. With
+  // tolerance > 0 the cut positions may legally differ, so check order +
+  // multiset via the splitter oracle instead.
+  if (spec.tolerance == 0.0) {
+    check_matches_sequential(outputs, reference, curve, o);
+  }
+  check_conservation(inputs, outputs, o);
+  check_splitters(reports[0].splitter_set, reference, outputs, curve, o);
+  for (std::size_t r = 1; r < p; ++r) {
+    if (reports[r].splitter_set.cuts != reports[0].splitter_set.cuts ||
+        reports[r].splitter_set.codes != reports[0].splitter_set.codes) {
+      o.fail("ranks disagree on the splitter set (rank " + std::to_string(r) + ")");
+      break;
+    }
+  }
+  partition::Partition part;
+  part.offsets = reports[0].splitter_set.cuts;
+  check_partition_offsets(part, reference.size(), o);
+  check_balance_preserved(reference, outputs, curve, o);
+  for (std::string& f : o.failures) {
+    result.oracles.fail("treesort: " + std::move(f));
+  }
+}
+
+void run_samplesort_case(const CaseSpec& spec,
+                         const std::vector<std::vector<Octant>>& inputs,
+                         const std::vector<Octant>& reference, CaseResult& result) {
+  const sfc::Curve curve(spec.curve, spec.dim);
+  const std::size_t p = inputs.size();
+  std::vector<std::vector<Octant>> outputs(p);
+  try {
+    simmpi::run_ranks(spec.ranks, context_options(spec), [&](simmpi::Comm& comm) {
+      const std::size_t r = static_cast<std::size_t>(comm.rank());
+      auto local = inputs[r];
+      simmpi::dist_samplesort(local, comm, curve);
+      outputs[r] = std::move(local);
+    });
+  } catch (const simmpi::DeadlockError& e) {
+    result.oracles.fail(std::string("samplesort: watchdog stall: ") + e.what());
+    return;
+  }
+
+  OracleResult o;
+  // SampleSort's cuts depend on where the samples land, so only the
+  // differential (order + multiset) and conservation oracles apply.
+  check_matches_sequential(outputs, reference, curve, o);
+  check_conservation(inputs, outputs, o);
+  for (std::string& f : o.failures) {
+    result.oracles.fail("samplesort: " + std::move(f));
+  }
+}
+
+void run_optipart_case(const CaseSpec& spec,
+                       const std::vector<std::vector<Octant>>& inputs,
+                       const std::vector<Octant>& reference, CaseResult& result) {
+  const sfc::Curve curve(spec.curve, spec.dim);
+  const machine::PerfModel model(machine::wisconsin8(), machine::ApplicationProfile{});
+  const std::size_t p = inputs.size();
+  std::vector<std::vector<Octant>> outputs(p);
+  std::vector<simmpi::DistSortReport> reports(p);
+  std::vector<simmpi::DistOptiPartTrace> traces(p);
+  try {
+    simmpi::run_ranks(spec.ranks, context_options(spec), [&](simmpi::Comm& comm) {
+      const std::size_t r = static_cast<std::size_t>(comm.rank());
+      auto local = inputs[r];
+      reports[r] = simmpi::dist_optipart(local, comm, curve, model,
+                                         octree::kMaxDepth, &traces[r]);
+      outputs[r] = std::move(local);
+    });
+  } catch (const simmpi::DeadlockError& e) {
+    result.oracles.fail(std::string("optipart: watchdog stall: ") + e.what());
+    return;
+  }
+
+  OracleResult o;
+  check_conservation(inputs, outputs, o);
+  check_splitters(reports[0].splitter_set, reference, outputs, curve, o);
+  check_optipart_trace(traces[0], o);
+  for (std::size_t r = 1; r < p; ++r) {
+    if (traces[r].chosen_depth != traces[0].chosen_depth ||
+        traces[r].chosen_time != traces[0].chosen_time) {
+      o.fail("ranks disagree on the accepted OptiPart round (rank " +
+             std::to_string(r) + ")");
+      break;
+    }
+  }
+  check_balance_preserved(reference, outputs, curve, o);
+  for (std::string& f : o.failures) {
+    result.oracles.fail("optipart: " + std::move(f));
+  }
+}
+
+}  // namespace
+
+CaseResult run_case(const CaseSpec& spec) {
+  CaseResult result;
+  result.spec = spec;
+  const auto inputs = make_inputs(spec);
+  const sfc::Curve curve(spec.curve, spec.dim);
+  const auto reference = sorted_union(inputs, curve);
+  result.total_elements = reference.size();
+
+  run_treesort_case(spec, inputs, reference, result);
+  run_samplesort_case(spec, inputs, reference, result);
+  run_optipart_case(spec, inputs, reference, result);
+  return result;
+}
+
+std::vector<CaseSpec> seed_corpus() {
+  std::vector<CaseSpec> corpus;
+  constexpr sfc::CurveKind kCurves[] = {sfc::CurveKind::kMorton,
+                                        sfc::CurveKind::kHilbert,
+                                        sfc::CurveKind::kMoore};
+  constexpr InputShape kShapes[] = {
+      InputShape::kUniform,        InputShape::kNormal,
+      InputShape::kLogNormal,      InputShape::kRandomOctants,
+      InputShape::kDuplicateHeavy, InputShape::kSingleRankEmpty,
+      InputShape::kAllOnOneRank,   InputShape::kIdenticalRanks,
+      InputShape::kBalancedTree,
+  };
+  // Every shape under every curve, alternating dim and rank count so the
+  // matrix stays small but each (curve, dim) and (curve, p) pair occurs.
+  std::uint64_t seed = 100;
+  for (const sfc::CurveKind curve : kCurves) {
+    int i = 0;
+    for (const InputShape shape : kShapes) {
+      CaseSpec spec;
+      spec.curve = curve;
+      spec.dim = (i % 2 == 0) ? 3 : 2;
+      spec.ranks = (i % 3 == 0) ? 4 : (i % 3 == 1) ? 7 : 2;
+      spec.shape = shape;
+      spec.elements_per_rank = 400;
+      spec.seed = seed++;
+      ++i;
+      corpus.push_back(spec);
+    }
+  }
+  // Knob coverage: tolerance and staged-splitter cap on the shapes that
+  // exercise the cut fixup hardest.
+  {
+    CaseSpec spec;
+    spec.shape = InputShape::kRandomOctants;
+    spec.ranks = 8;
+    spec.tolerance = 0.3;
+    spec.seed = seed++;
+    corpus.push_back(spec);
+    spec.tolerance = 0.1;
+    spec.max_splitters_per_round = 2;
+    spec.seed = seed++;
+    corpus.push_back(spec);
+  }
+  // Pinned regressions. duplicate_heavy with p >> distinct buckets used to
+  // leave SplitterSet::codes non-monotone after the cut-only fixup, making
+  // dest_of_key (upper_bound) routing disagree with the cuts.
+  {
+    CaseSpec spec;
+    spec.shape = InputShape::kDuplicateHeavy;
+    spec.ranks = 8;
+    spec.elements_per_rank = 200;
+    spec.seed = 1;  // pool of 2 distinct octants
+    corpus.push_back(spec);
+    spec.ranks = 16;
+    spec.seed = 3;  // pool of 1 distinct octant: every splitter collapses
+    corpus.push_back(spec);
+  }
+  // Schedule-perturbed replays of the structurally hardest shapes: the
+  // same oracles must hold under adversarial interleavings (this is the
+  // mode that exposed the allreduce in==out aliasing race).
+  {
+    CaseSpec spec;
+    spec.shape = InputShape::kRandomOctants;
+    spec.ranks = 4;
+    spec.elements_per_rank = 300;
+    spec.seed = seed++;
+    spec.perturb_seed = 42;
+    corpus.push_back(spec);
+    spec.shape = InputShape::kSingleRankEmpty;
+    spec.perturb_seed = 43;
+    spec.seed = seed++;
+    corpus.push_back(spec);
+    spec.shape = InputShape::kDuplicateHeavy;
+    spec.ranks = 8;
+    spec.elements_per_rank = 150;
+    spec.perturb_seed = 44;
+    spec.seed = 2;
+    corpus.push_back(spec);
+  }
+  return corpus;
+}
+
+}  // namespace amr::fuzz

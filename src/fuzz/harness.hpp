@@ -1,0 +1,41 @@
+// Differential fuzz harness for the distributed layer.
+//
+// run_case executes one CaseSpec end to end: generate per-rank inputs,
+// compute the sequential reference (tree_sort of the union), run
+// dist_treesort, dist_samplesort, and dist_optipart over simmpi -- with
+// the case's schedule-perturbation seed applied to every barrier, publish,
+// and mailbox operation -- and check every applicable oracle. A stall
+// caught by the watchdog is reported as an oracle failure carrying the
+// per-rank diagnostic, not a hang.
+//
+// seed_corpus() is the deterministic built-in matrix (curves x dims x rank
+// counts x shapes) that CI runs on every push; the fuzz_dist tool adds a
+// time-boxed random mode on top via random_case().
+#pragma once
+
+#include <vector>
+
+#include "fuzz/generators.hpp"
+#include "fuzz/oracles.hpp"
+
+namespace amr::fuzz {
+
+struct CaseResult {
+  CaseSpec spec;
+  OracleResult oracles;
+  std::size_t total_elements = 0;
+
+  [[nodiscard]] bool ok() const { return oracles.ok(); }
+};
+
+/// Run one case under all applicable oracles. Never hangs (watchdog) and
+/// never throws for a distributed-layer defect: every violated invariant
+/// lands in the result's OracleResult tagged with the algorithm name.
+[[nodiscard]] CaseResult run_case(const CaseSpec& spec);
+
+/// The fixed seed corpus: a deterministic matrix over curves, dimensions,
+/// rank counts, and all input shapes, plus the pinned regression cases for
+/// previously fixed bugs. Small enough for CI (seconds, not minutes).
+[[nodiscard]] std::vector<CaseSpec> seed_corpus();
+
+}  // namespace amr::fuzz

@@ -1,0 +1,233 @@
+#include "fuzz/oracles.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "octree/balance.hpp"
+#include "octree/treesort.hpp"
+#include "sfc/key.hpp"
+
+namespace amr::fuzz {
+
+namespace {
+
+using octree::Octant;
+
+std::size_t total_size(const std::vector<std::vector<Octant>>& pieces) {
+  std::size_t n = 0;
+  for (const auto& piece : pieces) n += piece.size();
+  return n;
+}
+
+}  // namespace
+
+std::string OracleResult::summary() const {
+  if (failures.empty()) return "ok";
+  std::ostringstream out;
+  out << failures.size() << " oracle failure(s):";
+  for (const std::string& f : failures) out << "\n  - " << f;
+  return out.str();
+}
+
+std::vector<Octant> sorted_union(const std::vector<std::vector<Octant>>& pieces,
+                                 const sfc::Curve& curve) {
+  std::vector<Octant> all;
+  all.reserve(total_size(pieces));
+  for (const auto& piece : pieces) all.insert(all.end(), piece.begin(), piece.end());
+  octree::tree_sort(all, curve);
+  return all;
+}
+
+void check_matches_sequential(const std::vector<std::vector<Octant>>& outputs,
+                              const std::vector<Octant>& reference,
+                              const sfc::Curve& curve, OracleResult& result) {
+  std::vector<Octant> concatenated;
+  concatenated.reserve(reference.size());
+  for (const auto& piece : outputs) {
+    concatenated.insert(concatenated.end(), piece.begin(), piece.end());
+  }
+  if (concatenated.size() != reference.size()) {
+    std::ostringstream out;
+    out << "distributed output holds " << concatenated.size()
+        << " elements, sequential reference " << reference.size();
+    result.fail(out.str());
+    return;
+  }
+  if (!octree::is_sfc_sorted(concatenated, curve)) {
+    result.fail("concatenated output is not SFC-sorted");
+  }
+  // Equal octants are bit-identical, so ties cannot mask a mismatch:
+  // multiset equality + sortedness on both sides implies elementwise
+  // equality, and any difference pinpoints the first divergence.
+  for (std::size_t i = 0; i < concatenated.size(); ++i) {
+    if (!(concatenated[i] == reference[i])) {
+      std::ostringstream out;
+      out << "output diverges from sequential tree_sort at global index " << i
+          << ": got " << concatenated[i].to_string() << ", expected "
+          << reference[i].to_string();
+      result.fail(out.str());
+      return;
+    }
+  }
+}
+
+void check_conservation(const std::vector<std::vector<Octant>>& inputs,
+                        const std::vector<std::vector<Octant>>& outputs,
+                        OracleResult& result) {
+  const std::size_t in = total_size(inputs);
+  const std::size_t out = total_size(outputs);
+  if (in != out) {
+    std::ostringstream msg;
+    msg << "element count not conserved: " << in << " in, " << out << " out";
+    result.fail(msg.str());
+  }
+}
+
+void check_splitters(const simmpi::SplitterSet& splitters,
+                     const std::vector<Octant>& reference,
+                     const std::vector<std::vector<Octant>>& outputs,
+                     const sfc::Curve& curve, OracleResult& result) {
+  const std::size_t p = outputs.size();
+  const std::size_t n = reference.size();
+  if (splitters.keys.size() != p || splitters.codes.size() != p ||
+      splitters.infinite.size() != p || splitters.cuts.size() != p + 1) {
+    result.fail("splitter set has inconsistent sizes");
+    return;
+  }
+  for (std::size_t r = 1; r < p; ++r) {
+    if (splitters.codes[r] < splitters.codes[r - 1]) {
+      std::ostringstream out;
+      out << "splitter codes not monotone at rank " << r;
+      result.fail(out.str());
+    }
+  }
+  if (splitters.cuts.front() != 0 || splitters.cuts.back() != n) {
+    result.fail("splitter cuts do not span [0, N]");
+  }
+  for (std::size_t r = 1; r <= p; ++r) {
+    if (splitters.cuts[r] < splitters.cuts[r - 1]) {
+      std::ostringstream out;
+      out << "splitter cuts not monotone at rank " << r;
+      result.fail(out.str());
+    }
+  }
+  // Non-infinite splitter codes must be the curve keys of their octants.
+  for (std::size_t r = 0; r < p; ++r) {
+    const sfc::CurveKey expected = splitters.infinite[r] != 0
+                                       ? sfc::key_supremum()
+                                       : sfc::curve_key(curve, splitters.keys[r]);
+    if (splitters.codes[r] != expected) {
+      std::ostringstream out;
+      out << "splitter code of rank " << r << " does not encode its key";
+      result.fail(out.str());
+    }
+  }
+  // Routing / cut agreement: walking the sequential reference through
+  // dest_of_key must land exactly cuts[r+1]-cuts[r] elements on rank r,
+  // in non-decreasing destination order. This is the invariant that makes
+  // the reported cuts, partition_quality's Wmax, and the alltoallv
+  // exchange tell the same story.
+  std::vector<std::size_t> routed(p, 0);
+  int prev_dest = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int dest = splitters.dest_of_key(sfc::curve_key(curve, reference[i]));
+    if (dest < 0 || static_cast<std::size_t>(dest) >= p) {
+      std::ostringstream out;
+      out << "dest_of_key returned out-of-range rank " << dest << " at index " << i;
+      result.fail(out.str());
+      return;
+    }
+    if (dest < prev_dest) {
+      std::ostringstream out;
+      out << "dest_of_key not monotone over the sorted reference at index " << i;
+      result.fail(out.str());
+      return;
+    }
+    prev_dest = dest;
+    ++routed[static_cast<std::size_t>(dest)];
+  }
+  for (std::size_t r = 0; r < p; ++r) {
+    const std::size_t promised = splitters.cuts[r + 1] - splitters.cuts[r];
+    if (routed[r] != promised) {
+      std::ostringstream out;
+      out << "rank " << r << ": dest_of_key routes " << routed[r]
+          << " elements but cuts promise " << promised;
+      result.fail(out.str());
+    }
+    if (outputs[r].size() != promised) {
+      std::ostringstream out;
+      out << "rank " << r << ": exchange delivered " << outputs[r].size()
+          << " elements but cuts promise " << promised;
+      result.fail(out.str());
+    }
+  }
+}
+
+void check_partition_offsets(const partition::Partition& part, std::size_t n,
+                             OracleResult& result) {
+  if (part.offsets.empty()) {
+    result.fail("partition offsets empty");
+    return;
+  }
+  if (part.offsets.front() != 0) result.fail("partition offsets[0] != 0");
+  if (part.offsets.back() != n) {
+    std::ostringstream out;
+    out << "partition offsets end at " << part.offsets.back() << ", not N=" << n;
+    result.fail(out.str());
+  }
+  for (std::size_t r = 1; r < part.offsets.size(); ++r) {
+    if (part.offsets[r] < part.offsets[r - 1]) {
+      std::ostringstream out;
+      out << "partition offsets decrease at index " << r;
+      result.fail(out.str());
+      return;
+    }
+  }
+}
+
+void check_balance_preserved(const std::vector<Octant>& reference,
+                             const std::vector<std::vector<Octant>>& outputs,
+                             const sfc::Curve& curve, OracleResult& result) {
+  if (!octree::is_complete(reference, curve) ||
+      !octree::is_face_balanced(reference, curve)) {
+    return;  // precondition does not hold; nothing to preserve
+  }
+  std::vector<Octant> concatenated;
+  for (const auto& piece : outputs) {
+    concatenated.insert(concatenated.end(), piece.begin(), piece.end());
+  }
+  if (!octree::is_complete(concatenated, curve)) {
+    result.fail("complete input union became incomplete after repartitioning");
+  }
+  if (!octree::is_face_balanced(concatenated, curve)) {
+    result.fail("2:1-balanced input union lost balance after repartitioning");
+  }
+}
+
+void check_optipart_trace(const simmpi::DistOptiPartTrace& trace,
+                          OracleResult& result) {
+  if (trace.rounds.empty()) {
+    result.fail("optipart trace recorded no rounds");
+    return;
+  }
+  double running_min = trace.rounds.front().predicted_time;
+  for (const auto& round : trace.rounds) {
+    running_min = std::min(running_min, round.predicted_time);
+  }
+  const double eps = 1e-12 * (1.0 + std::abs(running_min));
+  if (trace.chosen_time > running_min + eps) {
+    std::ostringstream out;
+    out << "optipart chose Tp=" << trace.chosen_time
+        << " but a evaluated round modeled " << running_min;
+    result.fail(out.str());
+  }
+  if (trace.chosen_time > trace.rounds.front().predicted_time + eps) {
+    std::ostringstream out;
+    out << "optipart chose Tp=" << trace.chosen_time
+        << " worse than the equal-split baseline round Tp="
+        << trace.rounds.front().predicted_time;
+    result.fail(out.str());
+  }
+}
+
+}  // namespace amr::fuzz

@@ -1,0 +1,85 @@
+// Differential and invariant oracles for the distributed layer.
+//
+// Every oracle cross-checks a distributed result against a sequential
+// reference or a structural invariant of the algorithms (§3.1-3.4):
+//
+//  * the redistributed array, concatenated by rank, must equal the
+//    sequential tree_sort of the union of the inputs, element for element;
+//  * the element multiset is conserved across the alltoallv exchange;
+//  * splitter codes and cuts are monotone, mutually consistent, and
+//    dest_of_key routing reproduces exactly the per-rank counts the cuts
+//    promise;
+//  * Partition::offsets are well-formed;
+//  * a complete 2:1-balanced union stays complete and balanced across
+//    repartitioning;
+//  * OptiPart's accepted partition never models slower than its equal-split
+//    baseline round, and the achieved distribution matches the accepted
+//    splitters.
+//
+// Oracles append human-readable failure strings to an OracleResult instead
+// of asserting, so the fuzz driver can report every broken invariant of a
+// case at once together with the replay line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "octree/octant.hpp"
+#include "partition/partition.hpp"
+#include "sfc/curve.hpp"
+#include "simmpi/dist_treesort.hpp"
+
+namespace amr::fuzz {
+
+struct OracleResult {
+  std::vector<std::string> failures;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+  void fail(std::string message) { failures.push_back(std::move(message)); }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Sequential reference: the union of all per-rank inputs, tree_sorted.
+[[nodiscard]] std::vector<octree::Octant> sorted_union(
+    const std::vector<std::vector<octree::Octant>>& pieces, const sfc::Curve& curve);
+
+/// The distributed output (outputs[r] = rank r's final array) must
+/// concatenate, in rank order, to exactly `reference` (the sequential sort
+/// of the input union). Covers conservation, global order, and the
+/// distributed/sequential differential in one check.
+void check_matches_sequential(const std::vector<std::vector<octree::Octant>>& outputs,
+                              const std::vector<octree::Octant>& reference,
+                              const sfc::Curve& curve, OracleResult& result);
+
+/// Element-count conservation across the exchange (cheap standalone form,
+/// reported separately so a sort bug and a loss bug read differently).
+void check_conservation(const std::vector<std::vector<octree::Octant>>& inputs,
+                        const std::vector<std::vector<octree::Octant>>& outputs,
+                        OracleResult& result);
+
+/// Splitter invariants: sizes, code monotonicity, cut well-formedness,
+/// cut/dest_of_key agreement on the reference array, and per-rank output
+/// sizes equal to the cut ranges.
+void check_splitters(const simmpi::SplitterSet& splitters,
+                     const std::vector<octree::Octant>& reference,
+                     const std::vector<std::vector<octree::Octant>>& outputs,
+                     const sfc::Curve& curve, OracleResult& result);
+
+/// Partition::offsets well-formedness for `n` elements: size p+1, first 0,
+/// last n, non-decreasing.
+void check_partition_offsets(const partition::Partition& part, std::size_t n,
+                             OracleResult& result);
+
+/// If the input union was complete and 2:1 face-balanced, the output union
+/// must be too (repartitioning only moves elements).
+void check_balance_preserved(const std::vector<octree::Octant>& reference,
+                             const std::vector<std::vector<octree::Octant>>& outputs,
+                             const sfc::Curve& curve, OracleResult& result);
+
+/// OptiPart model invariants: the accepted round's modeled Tp is the
+/// running minimum of the trace and never exceeds the first (equal-split
+/// baseline) round.
+void check_optipart_trace(const simmpi::DistOptiPartTrace& trace,
+                          OracleResult& result);
+
+}  // namespace amr::fuzz

@@ -10,17 +10,28 @@ namespace amr::io {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x414d5250;  // "AMRP"
-constexpr std::uint32_t kVersion = 1;
+// v2 added the endianness tag (was a zero `reserved` word in v1, so v1
+// files fail the version check rather than being misread).
+constexpr std::uint32_t kVersion = 2;
+// Written in native byte order; reads back as 0x04030201 under a reader of
+// the opposite endianness.
+constexpr std::uint32_t kEndianTag = 0x01020304;
+constexpr std::uint32_t kEndianTagSwapped = 0x04030201;
 
 struct Header {
   std::uint32_t magic = kMagic;
   std::uint32_t version = kVersion;
   std::uint32_t dim = 3;
-  std::uint32_t reserved = 0;
+  std::uint32_t endian = kEndianTag;
   std::uint64_t tree_count = 0;
   std::uint64_t offsets_count = 0;
   std::uint64_t field_count = 0;
 };
+
+constexpr std::uint32_t byteswap32(std::uint32_t v) {
+  return ((v & 0x000000ffU) << 24) | ((v & 0x0000ff00U) << 8) |
+         ((v & 0x00ff0000U) >> 8) | ((v & 0xff000000U) >> 24);
+}
 
 template <typename T>
 void append(std::vector<std::byte>& out, const T* data, std::size_t count) {
@@ -75,7 +86,23 @@ std::vector<std::byte> checkpoint_to_bytes(const Checkpoint& checkpoint) {
 std::optional<Checkpoint> checkpoint_from_bytes(std::span<const std::byte> bytes) {
   Header header;
   if (!take(bytes, &header, 1)) return std::nullopt;
-  if (header.magic != kMagic || header.version != kVersion) return std::nullopt;
+  if (header.magic == byteswap32(kMagic) || header.endian == kEndianTagSwapped) {
+    AMR_LOG_WARN << "checkpoint written on a machine of the opposite byte order "
+                    "(endianness tag 0x" << std::hex << header.endian << std::dec
+                 << "); refusing to decode";
+    return std::nullopt;
+  }
+  if (header.magic != kMagic) return std::nullopt;
+  if (header.version != kVersion) {
+    AMR_LOG_WARN << "checkpoint format version " << header.version
+                 << " does not match reader version " << kVersion;
+    return std::nullopt;
+  }
+  if (header.endian != kEndianTag) {
+    AMR_LOG_WARN << "checkpoint endianness tag 0x" << std::hex << header.endian
+                 << std::dec << " is neither native nor swapped; corrupt header";
+    return std::nullopt;
+  }
   if (header.dim != 2 && header.dim != 3) return std::nullopt;
 
   Checkpoint checkpoint;

@@ -2,9 +2,12 @@
 //
 // AMR runs are long; production frameworks checkpoint the mesh + partition
 // + fields and restart from them. Format: a small header (magic, version,
-// dim, counts) followed by raw little-endian arrays. Endianness of the
-// writer is assumed for the reader (documented limitation; these files are
-// restart files, not interchange files).
+// endianness tag, dim, counts) followed by raw native-endian arrays. The
+// payload still uses the writer's byte order (these are restart files, not
+// interchange files), but the header's 0x01020304 endianness tag makes a
+// reader on a machine of the opposite byte order -- or one fed a file from
+// such a machine -- fail loudly at load instead of silently decoding
+// garbage coordinates. Version mismatches are rejected the same way.
 #pragma once
 
 #include <cstddef>

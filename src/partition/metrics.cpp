@@ -39,7 +39,12 @@ Metrics compute_metrics(std::span<const octree::Octant> tree, const sfc::Curve& 
         }
       }
       if (is_boundary) {
-        m.boundary[static_cast<std::size_t>(r)] += static_cast<double>(stride);
+        // The final sample of a chunk represents only the octants that
+        // remain, not a full stride -- without the clamp a small rank with
+        // stride > 1 can report more boundary octants than it owns.
+        const std::size_t represented =
+            std::min<std::size_t>(static_cast<std::size_t>(stride), end - i);
+        m.boundary[static_cast<std::size_t>(r)] += static_cast<double>(represented);
       }
     }
     for (int q = 0; q < p; ++q) {

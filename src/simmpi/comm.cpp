@@ -1,14 +1,121 @@
 #include "simmpi/comm.hpp"
 
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
 namespace amr::simmpi {
 
-Context::Context(int size)
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+std::int64_t env_i64(const char* name, std::int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoll(value, nullptr, 10);
+}
+
+}  // namespace
+
+ContextOptions ContextOptions::from_env() {
+  ContextOptions options;
+  options.perturb_seed = env_u64("AMR_SIMMPI_PERTURB_SEED", 0);
+  options.perturb_max_delay_us =
+      static_cast<int>(env_i64("AMR_SIMMPI_PERTURB_DELAY_US", 50));
+  options.watchdog =
+      std::chrono::milliseconds(env_i64("AMR_SIMMPI_WATCHDOG_MS", 120000));
+  return options;
+}
+
+Context::Context(int size, ContextOptions options)
     : slots(static_cast<std::size_t>(size), nullptr),
       counts(static_cast<std::size_t>(size), 0),
       ledgers(static_cast<std::size_t>(size)),
-      size_(size) {}
+      size_(size),
+      options_(options),
+      activity_(new std::atomic<std::uint64_t>[static_cast<std::size_t>(size)]) {
+  for (int r = 0; r < size; ++r) {
+    activity_[static_cast<std::size_t>(r)].store(kBody, std::memory_order_relaxed);
+  }
+  if (options_.perturb_seed != 0) {
+    perturb_rngs_.reserve(static_cast<std::size_t>(size));
+    for (int r = 0; r < size; ++r) {
+      perturb_rngs_.push_back(
+          util::make_rng(options_.perturb_seed, static_cast<std::uint64_t>(r)));
+    }
+  }
+}
+
+void Context::maybe_perturb(int rank) {
+  if (options_.perturb_seed == 0) return;
+  util::Rng& rng = perturb_rngs_[static_cast<std::size_t>(rank)];
+  const std::uint64_t draw = rng();
+  switch (draw & 3U) {
+    case 0:  // proceed unperturbed
+      break;
+    case 1:
+      std::this_thread::yield();
+      break;
+    default: {
+      const int max_us = options_.perturb_max_delay_us > 0 ? options_.perturb_max_delay_us : 1;
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          1 + static_cast<int>((draw >> 2) % static_cast<std::uint64_t>(max_us))));
+      break;
+    }
+  }
+}
+
+std::string Context::dump_state() {
+  std::ostringstream out;
+  for (int r = 0; r < size_; ++r) {
+    const std::uint64_t a =
+        activity_[static_cast<std::size_t>(r)].load(std::memory_order_relaxed);
+    out << "  rank " << r << ": ";
+    switch (a & 7U) {
+      case kBody: out << "running (not in a blocking primitive)"; break;
+      case kBarrier: out << "waiting at barrier"; break;
+      case kRecvWait:
+        out << "blocked in recv(src=" << static_cast<int>((a >> 3) & 0xffffU)
+            << ", tag=" << static_cast<int>((a >> 19) & 0xffffU) << ")";
+        break;
+      case kFinished: out << "finished (returned from rank body)"; break;
+      default: out << "unknown"; break;
+    }
+    out << "\n";
+  }
+  {
+    std::lock_guard<std::mutex> lock(mail_mutex_);
+    bool any = false;
+    for (const auto& [channel, queue] : mailboxes_) {
+      if (queue.empty()) continue;
+      if (!any) {
+        out << "  undelivered mailboxes:\n";
+        any = true;
+      }
+      out << "    src=" << std::get<0>(channel) << " dst=" << std::get<1>(channel)
+          << " tag=" << std::get<2>(channel) << ": " << queue.size()
+          << " message(s)\n";
+    }
+    if (!any) out << "  no undelivered point-to-point messages\n";
+  }
+  return out.str();
+}
+
+void Context::throw_deadlock(const char* where, int rank) {
+  std::ostringstream out;
+  out << "simmpi watchdog: rank " << rank << " stalled in " << where << " for "
+      << options_.watchdog.count() << " ms; cohort state:\n"
+      << dump_state();
+  throw DeadlockError(out.str());
+}
 
 void Context::post(int src, int dst, int tag, std::vector<std::byte> payload) {
+  maybe_perturb(src);
   {
     std::lock_guard<std::mutex> lock(mail_mutex_);
     mailboxes_[{src, dst, tag}].push_back(std::move(payload));
@@ -17,28 +124,47 @@ void Context::post(int src, int dst, int tag, std::vector<std::byte> payload) {
 }
 
 std::vector<std::byte> Context::take(int src, int dst, int tag) {
+  maybe_perturb(dst);
+  set_activity(dst, kRecvWait, src, tag);
   std::unique_lock<std::mutex> lock(mail_mutex_);
   const std::tuple<int, int, int> channel{src, dst, tag};
-  mail_cv_.wait(lock, [&] {
+  const auto ready = [&] {
     const auto it = mailboxes_.find(channel);
     return it != mailboxes_.end() && !it->second.empty();
-  });
+  };
+  if (options_.watchdog.count() <= 0) {
+    mail_cv_.wait(lock, ready);
+  } else if (!mail_cv_.wait_for(lock, options_.watchdog, ready)) {
+    lock.unlock();  // dump_state() re-takes mail_mutex_
+    throw_deadlock("recv", dst);
+  }
   auto& queue = mailboxes_[channel];
   std::vector<std::byte> payload = std::move(queue.front());
   queue.pop_front();
+  set_activity(dst, kBody);
   return payload;
 }
 
-void Context::barrier() {
+void Context::barrier(int rank) {
+  maybe_perturb(rank);
+  set_activity(rank, kBarrier);
   std::unique_lock<std::mutex> lock(mutex_);
   const bool my_sense = sense_;
   if (++arrived_ == size_) {
     arrived_ = 0;
     sense_ = !sense_;
     cv_.notify_all();
+    set_activity(rank, kBody);
     return;
   }
-  cv_.wait(lock, [&] { return sense_ != my_sense; });
+  const auto released = [&] { return sense_ != my_sense; };
+  if (options_.watchdog.count() <= 0) {
+    cv_.wait(lock, released);
+  } else if (!cv_.wait_for(lock, options_.watchdog, released)) {
+    lock.unlock();
+    throw_deadlock("barrier", rank);
+  }
+  set_activity(rank, kBody);
 }
 
 }  // namespace amr::simmpi

@@ -14,19 +14,38 @@
 // barrier releases the slots. That is O(p) work per rank per collective --
 // fine for the p <= 64 thread counts simmpi is used at (the cluster
 // simulator covers large p).
+//
+// Two correctness-tooling features live here (used by the amr::fuzz
+// harness and the TSan CI job):
+//
+//  * Schedule perturbation: with a nonzero perturb_seed, every blocking
+//    primitive (barrier entry, publish, mailbox post/take) first draws
+//    from a per-rank deterministic RNG and either proceeds, yields, or
+//    sleeps a few microseconds. The injected schedule is reproducible
+//    from the seed, so a failing interleaving can be replayed.
+//  * Stall watchdog: barriers and mailbox receives wait with a timeout;
+//    on expiry they throw DeadlockError carrying a per-rank activity dump
+//    (who is at a barrier, who is blocked receiving from whom, which
+//    mailboxes hold undelivered messages) instead of hanging forever.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstring>
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <numeric>
 #include <span>
+#include <stdexcept>
 #include <tuple>
 #include <vector>
+
+#include "util/rng.hpp"
 
 namespace amr::simmpi {
 
@@ -43,15 +62,39 @@ struct CostLedger {
   }
 };
 
+/// A blocking primitive stalled past the watchdog timeout. what() carries
+/// the per-rank activity dump at the moment of expiry.
+class DeadlockError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Knobs of one communicator, settable per run_ranks call. The defaults
+/// come from the environment so CI jobs can perturb every existing test
+/// without code changes:
+///   AMR_SIMMPI_PERTURB_SEED   nonzero enables schedule perturbation
+///   AMR_SIMMPI_PERTURB_DELAY_US  max injected sleep (default 50)
+///   AMR_SIMMPI_WATCHDOG_MS    stall watchdog (default 120000; <= 0 waits
+///                             forever, the pre-watchdog behavior)
+struct ContextOptions {
+  std::uint64_t perturb_seed = 0;  ///< 0 = no injected yields/sleeps
+  int perturb_max_delay_us = 50;
+  std::chrono::milliseconds watchdog{120000};
+
+  [[nodiscard]] static ContextOptions from_env();
+};
+
 /// Shared state of one communicator. Constructed once per run_ranks call.
 class Context {
  public:
-  explicit Context(int size);
+  explicit Context(int size, ContextOptions options = ContextOptions::from_env());
 
   [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] const ContextOptions& options() const { return options_; }
 
-  /// Sense-reversing barrier over all ranks.
-  void barrier();
+  /// Sense-reversing barrier over all ranks. Throws DeadlockError if the
+  /// cohort fails to assemble within the watchdog timeout.
+  void barrier(int rank);
 
   /// Publication slots (one per rank) used by the collectives.
   std::vector<const void*> slots;
@@ -62,8 +105,40 @@ class Context {
   void post(int src, int dst, int tag, std::vector<std::byte> payload);
   [[nodiscard]] std::vector<std::byte> take(int src, int dst, int tag);
 
+  /// Seeded random yield/sleep at a scheduling point of `rank`; no-op
+  /// unless perturbation is enabled. Exposed so layered code (e.g. the
+  /// fuzz harness) can add its own perturbation points.
+  void maybe_perturb(int rank);
+
+  /// Human-readable per-rank activity + pending-mailbox summary (what the
+  /// watchdog prints). Safe to call from any thread.
+  [[nodiscard]] std::string dump_state();
+
+  /// Called by the runtime when a rank's body returns, so a stall dump can
+  /// distinguish "never arrived" from "already gone".
+  void mark_finished(int rank) { set_activity(rank, kFinished); }
+
  private:
+  // Per-rank activity, encoded in one atomic word so the watchdog can read
+  // a consistent snapshot without taking locks: low 3 bits = kind, then
+  // 16 bits of peer rank and 16 bits of tag for receives.
+  enum Activity : std::uint64_t {
+    kBody = 0,
+    kBarrier = 1,
+    kRecvWait = 2,
+    kFinished = 3,
+  };
+  void set_activity(int rank, Activity a, int peer = 0, int tag = 0) {
+    activity_[static_cast<std::size_t>(rank)].store(
+        static_cast<std::uint64_t>(a) |
+            (static_cast<std::uint64_t>(static_cast<std::uint16_t>(peer)) << 3) |
+            (static_cast<std::uint64_t>(static_cast<std::uint16_t>(tag)) << 19),
+        std::memory_order_relaxed);
+  }
+  [[noreturn]] void throw_deadlock(const char* where, int rank);
+
   int size_;
+  ContextOptions options_;
   std::mutex mutex_;
   std::condition_variable cv_;
   int arrived_ = 0;
@@ -72,6 +147,9 @@ class Context {
   std::mutex mail_mutex_;
   std::condition_variable mail_cv_;
   std::map<std::tuple<int, int, int>, std::deque<std::vector<std::byte>>> mailboxes_;
+
+  std::unique_ptr<std::atomic<std::uint64_t>[]> activity_;
+  std::vector<util::Rng> perturb_rngs_;  ///< each touched only by its own rank
 };
 
 enum class ReduceOp { kSum, kMax, kMin };
@@ -87,7 +165,7 @@ class Comm {
     return context_->ledgers[static_cast<std::size_t>(rank_)];
   }
 
-  void barrier() { context_->barrier(); }
+  void barrier() { context_->barrier(rank_); }
 
   /// Broadcast root's `data` (resized on non-roots).
   template <typename T>
@@ -103,20 +181,24 @@ class Comm {
     barrier();
   }
 
-  /// Element-wise allreduce of equal-length vectors.
+  /// Element-wise allreduce of equal-length vectors. `out` may alias `in`
+  /// (MPI_IN_PLACE style): the combination is built in a local buffer and
+  /// only copied out after the closing barrier, when no peer can still be
+  /// reading our published input.
   template <typename T>
   void allreduce(std::span<const T> in, std::span<T> out, ReduceOp op) {
     publish(in.data(), in.size());
-    for (std::size_t i = 0; i < in.size(); ++i) out[i] = in[i];
+    std::vector<T> acc(in.begin(), in.end());
     for (int r = 0; r < size(); ++r) {
       if (r == rank_) continue;
       const auto* theirs = static_cast<const T*>(context_->slots[static_cast<std::size_t>(r)]);
-      for (std::size_t i = 0; i < in.size(); ++i) {
-        out[i] = combine(out[i], theirs[i], op);
+      for (std::size_t i = 0; i < acc.size(); ++i) {
+        acc[i] = combine(acc[i], theirs[i], op);
       }
     }
     ledger().record(in.size() * sizeof(T), 1);
     barrier();
+    std::copy(acc.begin(), acc.end(), out.begin());
   }
 
   template <typename T>
@@ -203,7 +285,8 @@ class Comm {
   }
 
   /// Blocking tagged receive: waits for the next message from `src` with
-  /// `tag` (FIFO per channel, like MPI's non-overtaking rule).
+  /// `tag` (FIFO per channel, like MPI's non-overtaking rule). Throws
+  /// DeadlockError if no message arrives within the watchdog timeout.
   template <typename T>
   [[nodiscard]] std::vector<T> recv(int src, int tag = 0) {
     static_assert(std::is_trivially_copyable_v<T>);
@@ -215,6 +298,7 @@ class Comm {
 
  private:
   void publish(const void* data, std::size_t count) {
+    context_->maybe_perturb(rank_);
     context_->slots[static_cast<std::size_t>(rank_)] = data;
     context_->counts[static_cast<std::size_t>(rank_)] = count;
     barrier();

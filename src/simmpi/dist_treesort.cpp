@@ -10,6 +10,11 @@
 
 namespace amr::simmpi {
 
+int SplitterSet::dest_of_key(sfc::CurveKey key) const {
+  const auto it = std::upper_bound(codes.begin(), codes.end(), key);
+  return static_cast<int>(it - codes.begin()) - 1;
+}
+
 namespace {
 
 using octree::Octant;
@@ -34,21 +39,6 @@ struct TargetState {
   Octant best_key;            ///< first octant of the right-hand side
   bool key_infinite = false;  ///< cut at N: nothing to the right
   BoxState cur;
-};
-
-struct Splitters {
-  std::vector<Octant> keys;         ///< size p; keys[0] is the root (-inf)
-  std::vector<char> infinite;       ///< trailing ranks that own nothing
-  std::vector<std::size_t> cuts;    ///< size p+1 global positions
-  std::vector<sfc::CurveKey> codes; ///< curve keys of `keys`; infinite -> supremum
-
-  /// Destination rank of an element given its curve key: the last r with
-  /// codes[r] <= key. Infinite splitters encode as key_supremum(), which no
-  /// element key reaches, so those ranks receive nothing.
-  [[nodiscard]] int dest_of_key(sfc::CurveKey key) const {
-    const auto it = std::upper_bound(codes.begin(), codes.end(), key);
-    return static_cast<int>(it - codes.begin()) - 1;
-  }
 };
 
 /// First index in [lo, hi) for which `pred` is false (std::partition_point
@@ -239,9 +229,9 @@ class SplitterSearch {
 
   /// Current splitters (monotonicity enforced, like the ordered selection
   /// of the real algorithm).
-  [[nodiscard]] Splitters splitters() const {
+  [[nodiscard]] SplitterSet splitters() const {
     const int p = comm_.size();
-    Splitters s;
+    SplitterSet s;
     s.keys.resize(static_cast<std::size_t>(p));
     s.infinite.assign(static_cast<std::size_t>(p), 0);
     s.cuts.resize(static_cast<std::size_t>(p) + 1);
@@ -258,20 +248,33 @@ class SplitterSearch {
       s.infinite[static_cast<std::size_t>(r)] = t.key_infinite ? 1 : 0;
       s.cuts[static_cast<std::size_t>(r)] = t.best_pos;
     }
-    for (int r = 1; r < p; ++r) {
-      if (s.cuts[static_cast<std::size_t>(r)] < s.cuts[static_cast<std::size_t>(r) - 1]) {
-        s.cuts[static_cast<std::size_t>(r)] = s.cuts[static_cast<std::size_t>(r) - 1];
-        s.keys[static_cast<std::size_t>(r)] = s.keys[static_cast<std::size_t>(r) - 1];
-        s.infinite[static_cast<std::size_t>(r)] =
-            s.infinite[static_cast<std::size_t>(r) - 1];
-      }
-    }
     s.codes.resize(static_cast<std::size_t>(p));
     for (int r = 0; r < p; ++r) {
       s.codes[static_cast<std::size_t>(r)] =
           s.infinite[static_cast<std::size_t>(r)] != 0
               ? sfc::key_supremum()
               : sfc::curve_key(curve_, s.keys[static_cast<std::size_t>(r)]);
+    }
+    // Ordered selection: cuts AND codes must both be non-decreasing.
+    // Targets converge independently, so two of them can settle on the
+    // same cut position with *different* keys (one stopped at a coarse
+    // bucket boundary, the other refined to a descendant boundary at the
+    // same position -- possible whenever a bucket is empty, a tolerance
+    // ends targets at different depths, or p exceeds the number of
+    // distinct buckets). Equal cuts with inverted codes leave `codes`
+    // unsorted, and dest_of_key's binary search is then undefined for
+    // probe keys in the inverted span -- partition_quality's boundary
+    // probes land there even though no element does. Collapse any such
+    // pair onto its predecessor; the position is identical, so ownership
+    // ranges are unchanged.
+    for (int r = 1; r < p; ++r) {
+      const std::size_t i = static_cast<std::size_t>(r);
+      if (s.cuts[i] < s.cuts[i - 1] || s.codes[i] < s.codes[i - 1]) {
+        s.cuts[i] = s.cuts[i - 1];
+        s.keys[i] = s.keys[i - 1];
+        s.infinite[i] = s.infinite[i - 1];
+        s.codes[i] = s.codes[i - 1];
+      }
     }
     return s;
   }
@@ -298,7 +301,7 @@ struct Quality {
 
 Quality partition_quality(std::span<const Octant> local,
                           std::span<const sfc::CurveKey> local_keys, Comm& comm,
-                          const sfc::Curve& curve, const Splitters& splitters,
+                          const sfc::Curve& curve, const SplitterSet& splitters,
                           const machine::PerfModel& model) {
   const int p = comm.size();
   std::vector<std::uint64_t> counts(2 * static_cast<std::size_t>(p), 0);
@@ -342,7 +345,7 @@ Quality partition_quality(std::span<const Octant> local,
 /// the pre-exchange curve keys aligned with `local`.
 void exchange_and_sort(std::vector<Octant>& local,
                        std::span<const sfc::CurveKey> local_keys, Comm& comm,
-                       const sfc::Curve& curve, const Splitters& splitters,
+                       const sfc::Curve& curve, const SplitterSet& splitters,
                        DistSortReport& report) {
   util::Timer timer;
   std::vector<std::vector<Octant>> send(static_cast<std::size_t>(comm.size()));
@@ -362,6 +365,7 @@ void exchange_and_sort(std::vector<Octant>& local,
   report.local_sort_seconds += timer.seconds();
   report.local_elements = local.size();
   report.splitters = splitters.keys;
+  report.splitter_set = splitters;
 }
 
 }  // namespace
@@ -420,8 +424,9 @@ DistSortReport dist_optipart(std::vector<Octant>& local, Comm& comm,
     search.refine_round(depth);
   }
 
-  Splitters best = search.splitters();
+  SplitterSet best = search.splitters();
   Quality best_quality = partition_quality(local, local_keys, comm, curve, best, model);
+  int best_depth = depth;
   if (trace != nullptr) {
     trace->rounds.push_back(
         {depth, best_quality.w_max, best_quality.c_max, best_quality.time});
@@ -431,7 +436,7 @@ DistSortReport dist_optipart(std::vector<Octant>& local, Comm& comm,
   while (depth < max_depth) {
     ++depth;
     if (!search.refine_round(depth)) break;
-    const Splitters candidate = search.splitters();
+    const SplitterSet candidate = search.splitters();
     const Quality q = partition_quality(local, local_keys, comm, curve, candidate, model);
     if (trace != nullptr) {
       trace->rounds.push_back({depth, q.w_max, q.c_max, q.time});
@@ -439,12 +444,17 @@ DistSortReport dist_optipart(std::vector<Octant>& local, Comm& comm,
     if (q.time <= best_quality.time) {
       best = candidate;
       best_quality = q;
+      best_depth = depth;
     } else {
       break;
     }
   }
   report.levels_used = depth;
   report.splitter_seconds = timer.seconds();
+  if (trace != nullptr) {
+    trace->chosen_depth = best_depth;
+    trace->chosen_time = best_quality.time;
+  }
 
   exchange_and_sort(local, local_keys, comm, curve, best, report);
   return report;

@@ -25,9 +25,28 @@
 #include "machine/perf_model.hpp"
 #include "octree/octant.hpp"
 #include "sfc/curve.hpp"
+#include "sfc/key.hpp"
 #include "simmpi/comm.hpp"
 
 namespace amr::simmpi {
+
+/// The splitters every rank agreed on, in the three aligned views the
+/// pipeline uses: octant keys (keys[0] is the root, i.e. minus infinity),
+/// global cut positions (cuts[r] is the first global index of rank r), and
+/// 128-bit curve-key codes for routing. Invariants (asserted by the fuzz
+/// oracles): codes and cuts are non-decreasing, and for every rank the
+/// number of elements dest_of_key routes to r equals cuts[r+1] - cuts[r].
+struct SplitterSet {
+  std::vector<octree::Octant> keys;  ///< size p
+  std::vector<char> infinite;        ///< 1 for trailing ranks that own nothing
+  std::vector<std::size_t> cuts;     ///< size p+1 global positions
+  std::vector<sfc::CurveKey> codes;  ///< curve keys of `keys`; infinite -> supremum
+
+  /// Destination rank of an element given its curve key: the last r with
+  /// codes[r] <= key. Infinite splitters encode as key_supremum(), which no
+  /// element key reaches, so those ranks receive nothing.
+  [[nodiscard]] int dest_of_key(sfc::CurveKey key) const;
+};
 
 struct DistSortOptions {
   double tolerance = 0.0;
@@ -49,6 +68,9 @@ struct DistSortReport {
   double exchange_seconds = 0.0;
   /// Splitter keys agreed on (index r = first octant of rank r).
   std::vector<octree::Octant> splitters;
+  /// Full splitter state used for the exchange (keys + cuts + codes);
+  /// identical on every rank.
+  SplitterSet splitter_set;
 };
 
 /// Distributed TreeSort: on return `local` holds this rank's contiguous
@@ -67,6 +89,12 @@ struct DistOptiPartTrace {
     double predicted_time = 0.0;
   };
   std::vector<Round> rounds;
+  /// Refinement depth / modeled Tp of the accepted partition. By Alg. 3's
+  /// `while default >= current` rule this is the running minimum of the
+  /// evaluated rounds, so chosen_time never exceeds rounds[0] (the >= p
+  /// buckets equal-split baseline) -- a fuzz-oracle invariant.
+  int chosen_depth = 0;
+  double chosen_time = 0.0;
 };
 
 DistSortReport dist_optipart(std::vector<octree::Octant>& local, Comm& comm,

@@ -7,18 +7,27 @@
 
 namespace amr::simmpi {
 
-RunResult run_ranks(int num_ranks, const std::function<void(Comm&)>& body) {
+RunResult run_ranks(int num_ranks, const ContextOptions& options,
+                    const std::function<void(Comm&)>& body) {
   if (num_ranks < 1) throw std::invalid_argument("run_ranks: num_ranks must be >= 1");
 
-  Context context(num_ranks);
+  Context context(num_ranks, options);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(num_ranks));
+  std::vector<std::string> stalls(static_cast<std::size_t>(num_ranks));
 
   for (int r = 0; r < num_ranks; ++r) {
     threads.emplace_back([&, r] {
       Comm comm(context, r);
       try {
         body(comm);
+        context.mark_finished(r);
+      } catch (const DeadlockError& e) {
+        // Watchdog expiry: peers stalled in the same cohort unwind on
+        // their own watchdogs, so recording and returning lets the join
+        // below complete and the stall surface as one thrown diagnostic.
+        stalls[static_cast<std::size_t>(r)] = e.what();
+        context.mark_finished(r);
       } catch (const std::exception& e) {
         // A throwing rank cannot keep its collective schedule, and peers
         // would deadlock in the next barrier -- mirror MPI's abort-on-error
@@ -29,7 +38,14 @@ RunResult run_ranks(int num_ranks, const std::function<void(Comm&)>& body) {
     });
   }
   for (std::thread& t : threads) t.join();
+  for (const std::string& stall : stalls) {
+    if (!stall.empty()) throw DeadlockError(stall);
+  }
   return RunResult{context.ledgers};
+}
+
+RunResult run_ranks(int num_ranks, const std::function<void(Comm&)>& body) {
+  return run_ranks(num_ranks, ContextOptions::from_env(), body);
 }
 
 }  // namespace amr::simmpi

@@ -14,8 +14,19 @@ struct RunResult {
 };
 
 /// Run `body(comm)` on `num_ranks` threads sharing one communicator.
-/// Blocks until every rank returns. Exceptions from rank bodies are
-/// rethrown (the first one, by rank order).
+/// Blocks until every rank returns.
+///
+/// A rank throwing DeadlockError (stall watchdog expiry) does not abort
+/// the process: every blocking primitive has the same watchdog, so all
+/// stalled peers unwind too, the cohort joins, and run_ranks rethrows one
+/// DeadlockError carrying the per-rank diagnostic -- a would-be hang
+/// becomes a testable failure. Any other exception mirrors MPI's
+/// abort-on-error semantics and terminates the process.
 RunResult run_ranks(int num_ranks, const std::function<void(Comm&)>& body);
+
+/// Same, with explicit communicator options (schedule perturbation seed,
+/// stall watchdog) instead of the environment defaults.
+RunResult run_ranks(int num_ranks, const ContextOptions& options,
+                    const std::function<void(Comm&)>& body);
 
 }  // namespace amr::simmpi

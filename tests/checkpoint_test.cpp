@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <utility>
 
 #include "io/checkpoint.hpp"
 #include "octree/generate.hpp"
@@ -82,6 +84,53 @@ TEST(Checkpoint, RejectsMalformedInput) {
 
   // Missing file.
   EXPECT_FALSE(load_checkpoint("/tmp/definitely_missing_amrpart.bin").has_value());
+}
+
+TEST(Checkpoint, RejectsForeignEndianness) {
+  // A file written on a machine of the opposite byte order has its header
+  // words byte-swapped. The reader must refuse it (loudly) instead of
+  // decoding garbage counts. Swap the first four u32 header words (magic,
+  // version, dim, endian tag) to fake such a file.
+  const Checkpoint original = make_checkpoint(13);
+  auto bytes = checkpoint_to_bytes(original);
+  ASSERT_GE(bytes.size(), 16U);
+  for (std::size_t word = 0; word < 4; ++word) {
+    std::swap(bytes[word * 4 + 0], bytes[word * 4 + 3]);
+    std::swap(bytes[word * 4 + 1], bytes[word * 4 + 2]);
+  }
+  EXPECT_FALSE(checkpoint_from_bytes(bytes).has_value());
+}
+
+TEST(Checkpoint, RejectsVersionMismatch) {
+  // Bump the version word (offset 4): a reader of a different format
+  // version must fail the header check, not attempt a decode.
+  const Checkpoint original = make_checkpoint(14);
+  auto bytes = checkpoint_to_bytes(original);
+  bytes[4] = std::byte{static_cast<unsigned char>(std::to_integer<unsigned>(bytes[4]) + 1)};
+  EXPECT_FALSE(checkpoint_from_bytes(bytes).has_value());
+}
+
+TEST(Checkpoint, RejectsCorruptEndianTag) {
+  // An endian tag that is neither native nor swapped means the header
+  // itself is damaged.
+  const Checkpoint original = make_checkpoint(15);
+  auto bytes = checkpoint_to_bytes(original);
+  bytes[12] = std::byte{0xAB};
+  bytes[13] = std::byte{0xCD};
+  EXPECT_FALSE(checkpoint_from_bytes(bytes).has_value());
+}
+
+TEST(Checkpoint, HeaderStartsWithMagicAndVersion) {
+  // The on-disk prefix is stable: "AMRP" magic then the format version,
+  // so external tools (and humans with xxd) can identify the file.
+  const auto bytes = checkpoint_to_bytes(make_checkpoint(16));
+  ASSERT_GE(bytes.size(), 8U);
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::memcpy(&magic, bytes.data(), 4);
+  std::memcpy(&version, bytes.data() + 4, 4);
+  EXPECT_EQ(magic, 0x414d5250U);
+  EXPECT_EQ(version, 2U);
 }
 
 TEST(Checkpoint, RejectsInconsistentCounts) {

@@ -233,6 +233,100 @@ TEST(DistTreesort, StagedSplitterCapSameResultMoreRounds) {
   EXPECT_GT(collectives_staged, collectives_full);
 }
 
+void expect_splitter_set_consistent(const SplitterSet& s,
+                                    const std::vector<std::vector<Octant>>& pieces,
+                                    const Curve& curve) {
+  const std::size_t p = pieces.size();
+  ASSERT_EQ(s.codes.size(), p);
+  ASSERT_EQ(s.cuts.size(), p + 1);
+  // codes must be non-decreasing or dest_of_key's upper_bound is undefined.
+  EXPECT_TRUE(std::is_sorted(s.codes.begin(), s.codes.end()));
+  EXPECT_TRUE(std::is_sorted(s.cuts.begin(), s.cuts.end()));
+  // Routing agrees with the cuts: classify every delivered element and the
+  // counts must reproduce the cut ranges exactly.
+  for (std::size_t r = 0; r < p; ++r) {
+    EXPECT_EQ(pieces[r].size(), s.cuts[r + 1] - s.cuts[r]) << "rank " << r;
+    for (const Octant& o : pieces[r]) {
+      EXPECT_EQ(s.dest_of_key(sfc::curve_key(curve, o)), static_cast<int>(r));
+    }
+  }
+}
+
+TEST(DistTreesort, CollapsedSplittersDuplicateHeavy) {
+  // Regression: with p far above the number of distinct keys (here 2),
+  // most splitter targets collapse onto the same cut position but can pick
+  // keys of different depths. The old monotonicity fixup repaired only the
+  // cuts, leaving SplitterSet::codes unsorted -- so dest_of_key
+  // (upper_bound over codes) disagreed with the cuts it shipped with.
+  const int p = 8;
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto pool = random_octants(2, 77);
+
+  std::vector<std::vector<Octant>> pieces(static_cast<std::size_t>(p));
+  std::vector<DistSortReport> reports(static_cast<std::size_t>(p));
+  run_ranks(p, [&](Comm& comm) {
+    util::Rng rng = util::make_rng(5, static_cast<std::uint64_t>(comm.rank()));
+    std::vector<Octant> local;
+    for (int i = 0; i < 300; ++i) local.push_back(pool[rng() % pool.size()]);
+    reports[static_cast<std::size_t>(comm.rank())] =
+        dist_treesort(local, comm, curve, {});
+    pieces[static_cast<std::size_t>(comm.rank())] = std::move(local);
+  });
+
+  std::size_t total = 0;
+  for (const auto& piece : pieces) total += piece.size();
+  EXPECT_EQ(total, 8U * 300U);
+  EXPECT_TRUE(octree::is_sfc_sorted(pieces[0], curve));
+  expect_splitter_set_consistent(reports[0].splitter_set, pieces, curve);
+}
+
+TEST(DistTreesort, RoutingMatchesCutsUnderTolerance) {
+  // Flexible partitions stop refining early, so splitters sit at coarse
+  // bucket boundaries -- the configuration where cut fixups happen. The
+  // published SplitterSet must still route exactly onto its own cuts.
+  const int p = 8;
+  const Curve curve(CurveKind::kMorton, 3);
+  std::vector<std::vector<Octant>> pieces(static_cast<std::size_t>(p));
+  std::vector<DistSortReport> reports(static_cast<std::size_t>(p));
+  run_ranks(p, [&](Comm& comm) {
+    auto local = random_octants(1200, 4000 + static_cast<std::uint64_t>(comm.rank()));
+    DistSortOptions options;
+    options.tolerance = 0.3;
+    reports[static_cast<std::size_t>(comm.rank())] =
+        dist_treesort(local, comm, curve, options);
+    pieces[static_cast<std::size_t>(comm.rank())] = std::move(local);
+  });
+  expect_splitter_set_consistent(reports[0].splitter_set, pieces, curve);
+  // All ranks shipped the identical set.
+  for (int r = 1; r < p; ++r) {
+    EXPECT_EQ(reports[static_cast<std::size_t>(r)].splitter_set.cuts,
+              reports[0].splitter_set.cuts);
+    EXPECT_EQ(reports[static_cast<std::size_t>(r)].splitter_set.codes,
+              reports[0].splitter_set.codes);
+  }
+}
+
+TEST(DistOptiPart, ChosenTimeIsRunningMinimum) {
+  const int p = 8;
+  const Curve curve(CurveKind::kHilbert, 3);
+  const machine::PerfModel model(machine::wisconsin8(), machine::ApplicationProfile{});
+  std::vector<DistOptiPartTrace> traces(static_cast<std::size_t>(p));
+  run_ranks(p, [&](Comm& comm) {
+    auto local = random_octants(1500, 600 + static_cast<std::uint64_t>(comm.rank()));
+    DistOptiPartTrace trace;
+    dist_optipart(local, comm, curve, model, octree::kMaxDepth, &trace);
+    traces[static_cast<std::size_t>(comm.rank())] = trace;
+  });
+  ASSERT_FALSE(traces[0].rounds.empty());
+  double running_min = traces[0].rounds.front().predicted_time;
+  for (const auto& round : traces[0].rounds) {
+    running_min = std::min(running_min, round.predicted_time);
+  }
+  EXPECT_DOUBLE_EQ(traces[0].chosen_time, running_min);
+  // Never worse than the >= p-buckets equal-split baseline round.
+  EXPECT_LE(traces[0].chosen_time, traces[0].rounds.front().predicted_time);
+}
+
 TEST(DistTreesort, WorksWithUnevenInputSizes) {
   const int p = 4;
   const Curve curve(CurveKind::kMorton, 3);

@@ -1,0 +1,188 @@
+// Fuzz-harness tests: the case-spec round trip, oracle sensitivity (every
+// oracle must actually detect the violation it claims to), the shipped
+// seed corpus, and the pinned regression corpus files under
+// tests/corpus/*.case (path baked in via AMR_FUZZ_CORPUS_DIR).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "fuzz/harness.hpp"
+#include "octree/treesort.hpp"
+
+namespace amr::fuzz {
+namespace {
+
+using octree::Octant;
+
+TEST(CaseSpec, RoundTripsThroughString) {
+  util::Rng rng = util::make_rng(2024);
+  for (int i = 0; i < 50; ++i) {
+    const CaseSpec spec = random_case(rng);
+    const auto parsed = case_from_string(to_string(spec));
+    ASSERT_TRUE(parsed.has_value()) << to_string(spec);
+    EXPECT_EQ(to_string(*parsed), to_string(spec));
+  }
+}
+
+TEST(CaseSpec, ParserRejectsMalformedLines) {
+  EXPECT_FALSE(case_from_string("").has_value());
+  EXPECT_FALSE(case_from_string("   # just a comment").has_value());
+  EXPECT_FALSE(case_from_string("curve=klein dim=3").has_value());
+  EXPECT_FALSE(case_from_string("shape=moebius").has_value());
+  EXPECT_FALSE(case_from_string("dim=4 p=2").has_value());
+  EXPECT_FALSE(case_from_string("p=0").has_value());
+  EXPECT_FALSE(case_from_string("p=9999").has_value());
+  EXPECT_FALSE(case_from_string("frobnicate=1").has_value());
+  EXPECT_FALSE(case_from_string("p").has_value());
+  EXPECT_FALSE(case_from_string("n=abc").has_value());
+  // Trailing comments on a valid line are fine.
+  EXPECT_TRUE(case_from_string("p=4 shape=uniform # pinned").has_value());
+}
+
+TEST(Generators, ShapesHaveTheirAdvertisedStructure) {
+  CaseSpec spec;
+  spec.ranks = 4;
+  spec.elements_per_rank = 100;
+
+  spec.shape = InputShape::kSingleRankEmpty;
+  auto inputs = make_inputs(spec);
+  EXPECT_TRUE(inputs[0].empty());
+  EXPECT_FALSE(inputs[1].empty());
+
+  spec.shape = InputShape::kAllOnOneRank;
+  inputs = make_inputs(spec);
+  EXPECT_TRUE(inputs[0].empty());
+  EXPECT_EQ(inputs[3].size(), 400U);
+
+  spec.shape = InputShape::kIdenticalRanks;
+  inputs = make_inputs(spec);
+  EXPECT_EQ(inputs[0], inputs[3]);
+
+  spec.shape = InputShape::kDuplicateHeavy;
+  spec.seed = 3;  // pool of 1 + 3 % 3 = 1 distinct octant
+  inputs = make_inputs(spec);
+  for (const auto& piece : inputs) {
+    for (const Octant& o : piece) EXPECT_EQ(o, inputs[0][0]);
+  }
+
+  spec.shape = InputShape::kBalancedTree;
+  spec.seed = 5;
+  inputs = make_inputs(spec);
+  const sfc::Curve curve(spec.curve, spec.dim);
+  const auto whole = sorted_union(inputs, curve);
+  EXPECT_TRUE(octree::is_complete(whole, curve));
+}
+
+TEST(Oracles, DetectTheViolationsTheyClaimTo) {
+  // An oracle that never fires is worse than none. Feed each one a
+  // minimally broken input and require a failure report.
+  const sfc::Curve curve(sfc::CurveKind::kHilbert, 3);
+  CaseSpec spec;
+  spec.ranks = 2;
+  spec.elements_per_rank = 50;
+  const auto inputs = make_inputs(spec);
+  const auto reference = sorted_union(inputs, curve);
+
+  {  // dropped element
+    auto outputs = inputs;
+    outputs[0].pop_back();
+    OracleResult r;
+    check_conservation(inputs, outputs, r);
+    EXPECT_FALSE(r.ok());
+  }
+  {  // swapped elements break the differential check
+    std::vector<std::vector<Octant>> outputs(2);
+    outputs[0].assign(reference.begin(), reference.begin() + 50);
+    outputs[1].assign(reference.begin() + 50, reference.end());
+    std::swap(outputs[0].front(), outputs[1].back());
+    OracleResult r;
+    check_matches_sequential(outputs, reference, curve, r);
+    EXPECT_FALSE(r.ok());
+  }
+  {  // malformed partition offsets
+    partition::Partition part;
+    part.offsets = {0, 60, 50, 100};
+    OracleResult r;
+    check_partition_offsets(part, 100, r);
+    EXPECT_FALSE(r.ok());
+  }
+  {  // optipart trace claiming a worse-than-baseline choice
+    simmpi::DistOptiPartTrace trace;
+    trace.rounds.push_back({0, 10.0, 1.0, 5.0});
+    trace.rounds.push_back({1, 8.0, 2.0, 4.0});
+    trace.chosen_time = 5.0;  // should be 4.0
+    OracleResult r;
+    check_optipart_trace(trace, r);
+    EXPECT_FALSE(r.ok());
+  }
+  {  // splitter set with non-monotone codes (the pre-fix defect)
+    simmpi::SplitterSet s;
+    s.keys = {octree::root_octant(), reference[20], reference[10]};
+    s.infinite = {0, 0, 0};
+    s.cuts = {0, 10, 20, reference.size()};
+    s.codes = {sfc::CurveKey{0}, sfc::curve_key(curve, reference[20]),
+               sfc::curve_key(curve, reference[10])};
+    std::vector<std::vector<Octant>> outputs(3);
+    OracleResult r;
+    check_splitters(s, reference, outputs, curve, r);
+    EXPECT_FALSE(r.ok());
+  }
+}
+
+TEST(Harness, SeedCorpusIsGreen) {
+  for (const CaseSpec& spec : seed_corpus()) {
+    const CaseResult result = run_case(spec);
+    EXPECT_TRUE(result.ok()) << "FUZZ-FAIL: " << to_string(spec) << "\n"
+                             << result.oracles.summary();
+    EXPECT_GT(result.total_elements, 0U);
+  }
+}
+
+TEST(Harness, PinnedCorpusFilesAreGreen) {
+  // The same files fuzz_dist --corpus runs in CI; failing them from the
+  // unit suite keeps the reproducers honest even without the tool.
+  const std::filesystem::path dir = AMR_FUZZ_CORPUS_DIR;
+  ASSERT_TRUE(std::filesystem::exists(dir)) << dir;
+  int cases = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".case") continue;
+    std::ifstream in(entry.path());
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto spec = case_from_string(line);
+      if (!spec.has_value()) {
+        // Must be a comment/blank line, not a typo silently skipped.
+        const std::size_t hash = line.find('#');
+        const std::string body =
+            hash == std::string::npos ? line : line.substr(0, hash);
+        EXPECT_EQ(body.find_first_not_of(" \t\r"), std::string::npos)
+            << entry.path() << ": unparseable non-comment line: " << line;
+        continue;
+      }
+      ++cases;
+      const CaseResult result = run_case(*spec);
+      EXPECT_TRUE(result.ok()) << "FUZZ-FAIL: " << to_string(*spec) << "\n"
+                               << result.oracles.summary();
+    }
+  }
+  EXPECT_GE(cases, 10) << "corpus unexpectedly small";
+}
+
+TEST(Harness, PerturbedCaseMatchesUnperturbed) {
+  // Schedule perturbation must never change the result, only the timing.
+  CaseSpec spec;
+  spec.ranks = 4;
+  spec.elements_per_rank = 200;
+  spec.shape = InputShape::kRandomOctants;
+  spec.seed = 321;
+  const CaseResult calm = run_case(spec);
+  spec.perturb_seed = 777;
+  const CaseResult shaken = run_case(spec);
+  EXPECT_TRUE(calm.ok()) << calm.oracles.summary();
+  EXPECT_TRUE(shaken.ok()) << shaken.oracles.summary();
+  EXPECT_EQ(calm.total_elements, shaken.total_elements);
+}
+
+}  // namespace
+}  // namespace amr::fuzz

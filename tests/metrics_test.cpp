@@ -3,6 +3,8 @@
 // of paper Figs. 2 and 11.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "machine/perf_model.hpp"
 #include "octree/generate.hpp"
 #include "partition/metrics.hpp"
@@ -51,6 +53,44 @@ TEST(Metrics, SampledEstimatorTracksExact) {
   const Metrics sampled = compute_metrics(tree, curve, part, {4});
   EXPECT_NEAR(sampled.c_max / exact.c_max, 1.0, 0.25);
   EXPECT_DOUBLE_EQ(sampled.w_max, exact.w_max);  // work is exact regardless
+}
+
+TEST(Metrics, SampledBoundaryClampedToRankSize) {
+  // 4x4x4 Morton grid over 8 ranks: each rank owns one 2x2x2 block (8
+  // cells), of which exactly 7 are boundary (the block's domain-corner
+  // cell has every in-domain neighbor inside its own block).
+  const Curve curve(CurveKind::kMorton, 3);
+  const auto tree = octree::uniform_octree(2, curve);
+  const Partition part = ideal_partition(tree.size(), 8);
+
+  const Metrics exact = compute_metrics(tree, curve, part);
+  const Metrics s1 = compute_metrics(tree, curve, part, {1});
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_DOUBLE_EQ(exact.boundary[static_cast<std::size_t>(r)], 7.0);
+    // stride 1 is the exact path, sample bookkeeping included.
+    EXPECT_DOUBLE_EQ(s1.boundary[static_cast<std::size_t>(r)],
+                     exact.boundary[static_cast<std::size_t>(r)]);
+  }
+
+  // Regression: a boundary sample used to be credited a full stride even
+  // when fewer elements remained in the rank. stride 3 on 8 elements put
+  // the estimate at 3+3+3 = 9 of 8 cells; stride 16 put it at 16. Clamped,
+  // the estimate can never exceed the rank size.
+  const Metrics s3 = compute_metrics(tree, curve, part, {3});
+  const Metrics s16 = compute_metrics(tree, curve, part, {16});
+  double max3 = 0.0;
+  double max16 = 0.0;
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_LE(s3.boundary[static_cast<std::size_t>(r)], 8.0) << "rank " << r;
+    EXPECT_LE(s16.boundary[static_cast<std::size_t>(r)], 8.0) << "rank " << r;
+    max3 = std::max(max3, s3.boundary[static_cast<std::size_t>(r)]);
+    max16 = std::max(max16, s16.boundary[static_cast<std::size_t>(r)]);
+  }
+  // The estimator still saturates at full rank size for ranks whose
+  // samples are all boundary, so the clamp is exercised, not vacuous.
+  EXPECT_DOUBLE_EQ(max3, 8.0);
+  EXPECT_DOUBLE_EQ(max16, 8.0);
+  EXPECT_DOUBLE_EQ(s16.c_max, 8.0);
 }
 
 TEST(Metrics, PredictedTimeMatchesEquation3) {

@@ -1,8 +1,10 @@
 // simmpi runtime tests: collectives against hand-computed results under
-// real thread concurrency, and the traffic ledger.
+// real thread concurrency, the traffic ledger, schedule perturbation, and
+// the stall watchdog.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 
 #include "simmpi/runtime.hpp"
@@ -210,6 +212,106 @@ TEST(PointToPoint, AllPairsExchange) {
       EXPECT_EQ(msg.at(0), q * 100 + comm.rank());
     }
   });
+}
+
+TEST(Collectives, AllreduceAliasedInOut) {
+  // Regression: allreduce used to combine directly into `out` between the
+  // publish and the closing barrier. With in == out (MPI_IN_PLACE style)
+  // that overwrote the published buffer while peers were still reading it.
+  // Perturbation widens the read window so the pre-fix race fails reliably.
+  ContextOptions options;
+  options.perturb_seed = 99;
+  run_ranks(6, options, [](Comm& comm) {
+    for (int round = 0; round < 25; ++round) {
+      std::vector<std::uint64_t> data(8);
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = static_cast<std::uint64_t>(comm.rank()) + i;
+      }
+      comm.allreduce<std::uint64_t>(data, data, ReduceOp::kSum);  // aliased
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        EXPECT_EQ(data[i], 15U + 6U * i);  // sum(0..5) + 6*i
+      }
+    }
+  });
+}
+
+TEST(Collectives, PerturbedSchedulesStayCorrect) {
+  // The same collectives as elsewhere in this file, but under seeded
+  // random yields/sleeps at every barrier, publish, and mailbox op.
+  for (const std::uint64_t seed : {1ULL, 7ULL, 12345ULL}) {
+    ContextOptions options;
+    options.perturb_seed = seed;
+    run_ranks(5, options, [](Comm& comm) {
+      const int prefix = comm.exscan_sum(comm.rank() + 1);
+      EXPECT_EQ(prefix, comm.rank() * (comm.rank() + 1) / 2);
+
+      std::vector<std::vector<int>> send(5);
+      for (int q = 0; q < 5; ++q) {
+        send[static_cast<std::size_t>(q)] = {comm.rank() * 10 + q};
+      }
+      const auto recv = comm.alltoallv(send);
+      for (int q = 0; q < 5; ++q) {
+        EXPECT_EQ(recv[static_cast<std::size_t>(q)].at(0), q * 10 + comm.rank());
+      }
+
+      EXPECT_EQ(comm.allreduce_one<std::uint64_t>(
+                    static_cast<std::uint64_t>(comm.rank()), ReduceOp::kMax),
+                4U);
+    });
+  }
+}
+
+TEST(Watchdog, RecvStallThrowsDiagnostic) {
+  // Rank 0 waits for a message nobody sends. The watchdog must turn the
+  // would-be hang into a DeadlockError naming the stalled receive.
+  ContextOptions options;
+  options.watchdog = std::chrono::milliseconds(200);
+  try {
+    run_ranks(2, options, [](Comm& comm) {
+      if (comm.rank() == 0) (void)comm.recv<int>(1, 5);
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("recv"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+  }
+}
+
+TEST(Watchdog, BarrierStallThrowsDiagnostic) {
+  // Rank 2 never reaches the barrier; everyone else is stuck in it. All
+  // waiting ranks unwind on the shared watchdog and the cohort joins.
+  ContextOptions options;
+  options.watchdog = std::chrono::milliseconds(200);
+  try {
+    run_ranks(4, options, [](Comm& comm) {
+      if (comm.rank() != 2) comm.barrier();
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("barrier"), std::string::npos) << what;
+  }
+}
+
+TEST(Watchdog, UndeliveredMailboxAppearsInDump) {
+  // A message sent to the wrong tag shows up in the stall dump, pointing
+  // at the mismatched send/recv pair.
+  ContextOptions options;
+  options.watchdog = std::chrono::milliseconds(200);
+  try {
+    run_ranks(2, options, [](Comm& comm) {
+      if (comm.rank() == 1) {
+        comm.send<int>(std::vector<int>{42}, 0, 3);  // tag 3...
+      } else {
+        (void)comm.recv<int>(1, 4);  // ...but rank 0 expects tag 4
+      }
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("undelivered"), std::string::npos) << what;
+  }
 }
 
 TEST(Runtime, ManyRanksStress) {

@@ -1,0 +1,126 @@
+// Differential fuzz driver for the distributed layer.
+//
+// Modes:
+//   fuzz_dist                          run the built-in seed corpus
+//   fuzz_dist --corpus DIR             run every case line in DIR/*.case
+//   fuzz_dist --random 20 --seed 7     time-boxed random fuzzing (seconds)
+//
+// Every case is printed as its one-line spec before it runs, so any
+// failure (including a crash) identifies the case to replay. Failures
+// print `FUZZ-FAIL: <spec line>` followed by the oracle summary -- paste
+// the line into a .case file to pin it as a regression. Exit code 0 iff
+// every case passed.
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fuzz/harness.hpp"
+#include "util/args.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using amr::fuzz::CaseResult;
+using amr::fuzz::CaseSpec;
+
+struct Totals {
+  int run = 0;
+  int failed = 0;
+};
+
+void report(const CaseResult& result, Totals& totals) {
+  ++totals.run;
+  if (result.ok()) return;
+  ++totals.failed;
+  std::cout << "FUZZ-FAIL: " << amr::fuzz::to_string(result.spec) << "\n"
+            << result.oracles.summary() << std::endl;
+}
+
+bool run_one(const CaseSpec& spec, bool verbose, Totals& totals) {
+  if (verbose) {
+    std::cout << "case: " << amr::fuzz::to_string(spec) << std::endl;
+  }
+  const CaseResult result = amr::fuzz::run_case(spec);
+  report(result, totals);
+  return result.ok();
+}
+
+int run_corpus_dir(const std::string& dir, bool verbose, Totals& totals) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".case") files.push_back(entry.path());
+  }
+  if (ec) {
+    std::cerr << "fuzz_dist: cannot read corpus directory " << dir << ": "
+              << ec.message() << std::endl;
+    return 1;
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::cerr << "fuzz_dist: no .case files in " << dir << std::endl;
+    return 1;
+  }
+  for (const fs::path& file : files) {
+    std::ifstream in(file);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      const std::size_t hash = line.find('#');
+      const std::string body = hash == std::string::npos ? line : line.substr(0, hash);
+      if (body.find_first_not_of(" \t\r") == std::string::npos) continue;
+      const auto spec = amr::fuzz::case_from_string(line);
+      if (!spec.has_value()) {
+        std::cerr << "fuzz_dist: " << file.string() << ":" << lineno
+                  << ": malformed case line: " << line << std::endl;
+        ++totals.run;
+        ++totals.failed;
+        continue;
+      }
+      run_one(*spec, verbose, totals);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const amr::util::Args args(argc, argv);
+  const bool verbose = args.get_bool("verbose", false);
+  Totals totals;
+
+  if (args.has("corpus")) {
+    const int rc = run_corpus_dir(args.get("corpus", ""), verbose, totals);
+    if (rc != 0) return rc;
+  } else if (args.has("random")) {
+    const double seconds = args.get_double("random", 10.0);
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(args.get_int("seed", 1));
+    amr::util::Rng rng = amr::util::make_rng(seed);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(seconds);
+    std::cout << "fuzz_dist: random mode, " << seconds << "s, seed " << seed
+              << std::endl;
+    while (std::chrono::steady_clock::now() < deadline) {
+      const CaseSpec spec = amr::fuzz::random_case(rng);
+      // Always announce random cases: if the process dies (sanitizer abort,
+      // crash), the last printed line is the reproducer.
+      if (!run_one(spec, /*verbose=*/true, totals)) break;
+    }
+  } else {
+    for (const CaseSpec& spec : amr::fuzz::seed_corpus()) {
+      run_one(spec, verbose, totals);
+    }
+  }
+
+  std::cout << "fuzz_dist: " << totals.run << " case(s), " << totals.failed
+            << " failure(s)" << std::endl;
+  return totals.failed == 0 ? 0 : 1;
+}
