@@ -1,54 +1,192 @@
-// Microbenchmarks: the FEM matvec kernel -- the paper's test application
-// (§5.3). Also derives the measured alpha (memory accesses per element)
-// that feeds the performance model, by comparing the kernel's element rate
-// against a pure streaming pass.
-#include <benchmark/benchmark.h>
+// Distributed matvec microbench: the three ghost-exchange variants --
+// collective Alltoallv, blocking point-to-point, and the overlapped
+// irecv/isend + interior-kernel schedule -- on a fig-4-style workload
+// (normal-distribution adaptive tree). Reports throughput and the
+// exposed-communication fraction (the share of exchange time the
+// overlapped schedule fails to hide), and emits a machine-readable
+// BENCH_matvec.json so successive PRs can track the exchange trajectory.
+//
+// The variants are required to agree bit-for-bit; the bench aborts if the
+// numbers it is timing are not the same numbers.
+//
+// Usage: bench_micro_matvec [--elements N] [--iterations K] [--repeats R]
+//                           [--ranks "4,8"] [--curve hilbert] [--json PATH]
+//                           [--csv-dir DIR]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
-#include "fem/laplacian.hpp"
-#include "machine/perf_model.hpp"
+#include "common.hpp"
 #include "mesh/mesh.hpp"
-#include "octree/balance.hpp"
-#include "octree/generate.hpp"
+#include "partition/partition.hpp"
+#include "simmpi/dist_fem.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
 using namespace amr;
 
-mesh::GlobalMesh make_mesh(std::size_t points) {
-  const sfc::Curve curve(sfc::CurveKind::kHilbert, 3);
-  octree::GenerateOptions options;
-  options.max_level = 9;
-  options.distribution = octree::PointDistribution::kNormal;
-  auto tree = octree::balance_octree(octree::random_octree(points, curve, options),
-                                     curve);
-  return mesh::build_global_mesh(std::move(tree), curve);
+using Variant = simmpi::DistFemReport (*)(const mesh::LocalMesh&, simmpi::Comm&,
+                                          int, std::vector<double>&);
+
+struct VariantSpec {
+  const char* name;
+  Variant run;
+};
+
+struct Result {
+  std::string variant;
+  int p = 0;
+  std::size_t elements = 0;
+  double best_seconds = 0.0;
+  double elements_per_second = 0.0;
+  double exposed_comm_fraction = 1.0;  ///< wait / total exchange, cohort-wide
+  double exchange_share = 0.0;         ///< exchange / (compute + exchange)
+};
+
+struct RunOutcome {
+  double seconds = 0.0;
+  double exposed_fraction = 1.0;
+  double exchange_share = 0.0;
+  std::vector<double> values;  ///< concatenated final u, for bit-identity
+};
+
+RunOutcome run_variant(const VariantSpec& spec, int p,
+                       const std::vector<mesh::LocalMesh>& meshes,
+                       const std::vector<double>& u0, int iterations) {
+  std::vector<std::vector<double>> pieces(static_cast<std::size_t>(p));
+  std::vector<simmpi::DistFemReport> reports(static_cast<std::size_t>(p));
+  const util::Timer timer;
+  simmpi::run_ranks(p, [&](simmpi::Comm& comm) {
+    const mesh::LocalMesh& m = meshes[static_cast<std::size_t>(comm.rank())];
+    std::vector<double> u(u0.begin() + static_cast<std::ptrdiff_t>(m.global_begin),
+                          u0.begin() + static_cast<std::ptrdiff_t>(m.global_begin +
+                                                                   m.elements.size()));
+    reports[static_cast<std::size_t>(comm.rank())] = spec.run(m, comm, iterations, u);
+    pieces[static_cast<std::size_t>(comm.rank())] = std::move(u);
+  });
+  RunOutcome outcome;
+  outcome.seconds = timer.seconds();
+  double exchange = 0.0;
+  double wait = 0.0;
+  double compute = 0.0;
+  for (const simmpi::DistFemReport& r : reports) {
+    exchange += r.exchange_seconds;
+    wait += r.exchange_wait_seconds;
+    compute += r.compute_seconds;
+  }
+  outcome.exposed_fraction = exchange > 0.0 ? wait / exchange : 0.0;
+  outcome.exchange_share =
+      compute + exchange > 0.0 ? exchange / (compute + exchange) : 0.0;
+  for (const auto& piece : pieces) {
+    outcome.values.insert(outcome.values.end(), piece.begin(), piece.end());
+  }
+  return outcome;
 }
 
-void BM_GlobalMatvec(benchmark::State& state) {
-  const auto mesh = make_mesh(static_cast<std::size_t>(state.range(0)));
-  std::vector<double> u(mesh.elements.size(), 1.0);
-  std::vector<double> out(u.size());
-  for (auto _ : state) {
-    fem::apply_global(mesh, u, out);
-    benchmark::DoNotOptimize(out.data());
+std::vector<int> parse_ranks(const std::string& list) {
+  std::vector<int> ranks;
+  std::istringstream in(list);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (!token.empty()) ranks.push_back(std::atoi(token.c_str()));
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(mesh.elements.size()));
-  state.counters["faces"] = static_cast<double>(mesh.faces.size());
+  return ranks;
 }
-BENCHMARK(BM_GlobalMatvec)->Arg(50000)->Arg(200000);
-
-void BM_StreamCopy(benchmark::State& state) {
-  std::vector<double> u(static_cast<std::size_t>(state.range(0)), 1.0);
-  std::vector<double> out(u.size());
-  for (auto _ : state) {
-    std::copy(u.begin(), u.end(), out.begin());
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_StreamCopy)->Arg(200000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const sfc::Curve curve(sfc::curve_kind_from_string(args.get("curve", "hilbert")), 3);
+  const auto elements = static_cast<std::size_t>(args.get_int("elements", 120000));
+  const int iterations = static_cast<int>(args.get_int("iterations", 40));
+  const int repeats = static_cast<int>(args.get_int("repeats", 3));
+  const std::vector<int> rank_counts = parse_ranks(args.get("ranks", "4,8"));
+  const std::string json_path = args.get("json", "BENCH_matvec.json");
+
+  const auto tree = bench::workload_tree(elements, curve, bench::workload_options(args));
+  std::vector<double> u0(tree.size());
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const auto a = tree[i].anchor_unit();
+    u0[i] = std::sin(6.28 * a[0]) * std::cos(6.28 * a[1]) + 0.25 * a[2];
+  }
+
+  const std::vector<VariantSpec> variants = {
+      {"collective", &simmpi::dist_matvec_loop},
+      {"p2p", &simmpi::dist_matvec_loop_p2p},
+      {"overlapped", &simmpi::dist_matvec_loop_overlapped},
+  };
+
+  std::vector<Result> results;
+  util::Table table({"p", "variant", "seconds", "Melem/s", "exposed_frac",
+                     "exchange_share", "vs_collective"});
+  for (const int p : rank_counts) {
+    const auto meshes =
+        mesh::build_local_meshes(tree, curve, partition::ideal_partition(tree.size(), p));
+    std::vector<Result> row(variants.size());
+    std::vector<double> reference;
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      RunOutcome best;
+      best.seconds = 1e300;
+      for (int rep = 0; rep < repeats; ++rep) {
+        RunOutcome outcome = run_variant(variants[v], p, meshes, u0, iterations);
+        if (outcome.seconds < best.seconds) best = std::move(outcome);
+      }
+      if (v == 0) {
+        reference = best.values;
+      } else if (best.values.size() != reference.size() ||
+                 std::memcmp(best.values.data(), reference.data(),
+                             reference.size() * sizeof(double)) != 0) {
+        std::fprintf(stderr, "FATAL: %s diverged from collective at p=%d\n",
+                     variants[v].name, p);
+        return 1;
+      }
+      Result& r = row[v];
+      r.variant = variants[v].name;
+      r.p = p;
+      r.elements = tree.size();
+      r.best_seconds = best.seconds;
+      r.elements_per_second =
+          static_cast<double>(tree.size()) * iterations / best.seconds;
+      r.exposed_comm_fraction = best.exposed_fraction;
+      r.exchange_share = best.exchange_share;
+    }
+    for (const Result& r : row) {
+      table.add_row({std::to_string(p), r.variant, util::Table::fmt(r.best_seconds, 4),
+                     util::Table::fmt(r.elements_per_second / 1e6, 2),
+                     util::Table::fmt(r.exposed_comm_fraction, 3),
+                     util::Table::fmt(r.exchange_share, 3),
+                     util::Table::fmt(row[0].best_seconds / r.best_seconds, 2)});
+      results.push_back(r);
+    }
+  }
+  bench::emit(table, args, "micro_matvec",
+              "Ghost-exchange variants, " + std::to_string(tree.size()) +
+                  " elements x " + std::to_string(iterations) +
+                  " iterations (best of " + std::to_string(repeats) + ")");
+
+  std::ofstream json(json_path);
+  json << "{\n  \"bench\": \"matvec_exchange\",\n  \"curve\": \""
+       << sfc::to_string(curve.kind()) << "\",\n  \"elements\": " << tree.size()
+       << ",\n  \"iterations\": " << iterations << ",\n  \"repeats\": " << repeats
+       << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    json << "    {\"variant\": \"" << r.variant << "\", \"p\": " << r.p
+         << ", \"elements\": " << r.elements << ", \"seconds\": " << r.best_seconds
+         << ", \"elements_per_second\": " << r.elements_per_second
+         << ", \"exposed_comm_fraction\": " << r.exposed_comm_fraction
+         << ", \"exchange_share\": " << r.exchange_share << "}"
+         << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

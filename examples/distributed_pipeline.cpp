@@ -5,7 +5,7 @@
 //           --range-restricted p2o-->  per-rank octree pieces
 //           --ripple rounds + shell exchange-->  2:1 balanced pieces
 //           --two-round ghost discovery-->  per-rank meshes
-//           --point-to-point halo exchange-->  matvec epoch
+//           --overlapped halo exchange-->  matvec epoch
 //
 // The only shared knowledge between ranks is the splitter key vector
 // (p octants), exactly like an MPI production code. A final cross-check
@@ -66,23 +66,28 @@ int main(int argc, char** argv) {
         simmpi::dist_build_local_mesh(built.leaves, built.splitters, comm, curve,
                                       &mesh_report);
 
-    // Stage 5: matvec epoch over sparse point-to-point halo exchange.
+    // Stage 5: matvec epoch with the overlapped halo exchange -- irecvs
+    // and isends posted, interior rows computed while the messages fly,
+    // boundary rows after the wait. Bit-identical to the blocking
+    // variants, so the sequential cross-check below still holds exactly.
     std::vector<double> u(mesh.elements.size());
     for (std::size_t i = 0; i < u.size(); ++i) {
       const auto a = mesh.elements[i].anchor_unit();
       u[i] = std::sin(6.28 * a[0]) * std::cos(6.28 * a[1]);
     }
-    const auto fem_report = simmpi::dist_matvec_loop_p2p(mesh, comm, iterations, u);
+    const auto fem_report =
+        simmpi::dist_matvec_loop_overlapped(mesh, comm, iterations, u);
 
     if (comm.rank() == 0) {
       std::printf("rank 0: %zu leaves (balanced in %d rounds, %zu splits), "
                   "%zu ghosts (%zu candidates screened), %llu ghost values "
-                  "shipped over %d iterations\n",
+                  "shipped over %d iterations, %.0f%% of exchange time "
+                  "exposed\n",
                   mesh.elements.size(), balance_report.rounds,
                   balance_report.local_splits, mesh.ghosts.size(),
                   mesh_report.candidates_received,
                   static_cast<unsigned long long>(fem_report.ghost_elements_sent),
-                  iterations);
+                  iterations, 100.0 * fem_report.exposed_comm_fraction());
     }
     pieces[static_cast<std::size_t>(comm.rank())] = std::move(built.leaves);
     results[static_cast<std::size_t>(comm.rank())] = std::move(u);

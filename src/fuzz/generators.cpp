@@ -77,7 +77,7 @@ std::string to_string(const CaseSpec& spec) {
       << " p=" << spec.ranks << " shape=" << to_string(spec.shape)
       << " n=" << spec.elements_per_rank << " tol=" << spec.tolerance
       << " stage=" << spec.max_splitters_per_round << " seed=" << spec.seed
-      << " perturb=" << spec.perturb_seed;
+      << " perturb=" << spec.perturb_seed << " matvec=" << spec.matvec_iterations;
   return out.str();
 }
 
@@ -113,6 +113,8 @@ std::optional<CaseSpec> case_from_string(const std::string& line) {
         spec.seed = std::stoull(value);
       } else if (key == "perturb") {
         spec.perturb_seed = std::stoull(value);
+      } else if (key == "matvec") {
+        spec.matvec_iterations = std::stoi(value);
       } else {
         return std::nullopt;
       }
@@ -229,6 +231,11 @@ CaseSpec random_case(util::Rng& rng) {
       (rng() & 3U) == 0 ? 1 + static_cast<int>(rng() % 4) : 0;
   spec.seed = rng();
   spec.perturb_seed = (rng() & 1U) != 0 ? rng() | 1U : 0;
+  // The matvec stage needs a complete union; only the balanced-tree shape
+  // guarantees one, so only those cases draw iterations.
+  if (spec.shape == InputShape::kBalancedTree && (rng() & 1U) != 0) {
+    spec.matvec_iterations = 1 + static_cast<int>(rng() % 4);
+  }
   return spec;
 }
 

@@ -50,6 +50,10 @@ struct CaseSpec {
   int max_splitters_per_round = 0;  ///< staged-splitter cap (0 = unstaged)
   std::uint64_t seed = 1;
   std::uint64_t perturb_seed = 0;   ///< 0 = no schedule perturbation
+  /// > 0 runs the overlapped-matvec differential stage for this many
+  /// iterations after the sort (needs a complete union; other shapes
+  /// skip the stage). Serialized as `matvec=`.
+  int matvec_iterations = 0;
 };
 
 /// One-line `key=value` form, parseable by case_from_string.

@@ -1,10 +1,17 @@
 #include "fuzz/harness.hpp"
 
+#include <cmath>
+#include <cstring>
 #include <utility>
 
+#include "fem/laplacian.hpp"
 #include "machine/machine_model.hpp"
 #include "machine/perf_model.hpp"
+#include "mesh/mesh.hpp"
+#include "octree/treesort.hpp"
 #include "partition/partition.hpp"
+#include "simmpi/dist_fem.hpp"
+#include "simmpi/dist_mesh.hpp"
 #include "simmpi/dist_samplesort.hpp"
 #include "simmpi/dist_treesort.hpp"
 #include "simmpi/runtime.hpp"
@@ -137,6 +144,116 @@ void run_optipart_case(const CaseSpec& spec,
   }
 }
 
+/// Differential matvec stage: sort + mesh the case's union, then run the
+/// collective, p2p, and overlapped matvec variants plus the sequential
+/// engine over the SAME per-rank meshes and demand bit-identical results
+/// (same perturbation seed applied to every run). Skipped unless the spec
+/// asks for iterations and the union is a complete tree (mesh construction
+/// resolves neighbors; overlapping or duplicate unions have no mesh).
+void run_matvec_case(const CaseSpec& spec,
+                     const std::vector<std::vector<Octant>>& inputs,
+                     const std::vector<Octant>& reference, CaseResult& result) {
+  if (spec.matvec_iterations <= 0) return;
+  const sfc::Curve curve(spec.curve, spec.dim);
+  if (!octree::is_complete(reference, curve)) return;
+
+  const std::size_t p = inputs.size();
+  std::vector<mesh::LocalMesh> meshes(p);
+  try {
+    simmpi::run_ranks(spec.ranks, context_options(spec), [&](simmpi::Comm& comm) {
+      const std::size_t r = static_cast<std::size_t>(comm.rank());
+      auto local = inputs[r];
+      const simmpi::DistSortOptions options;  // tolerance 0: same split always
+      const auto report = simmpi::dist_treesort(local, comm, curve, options);
+      meshes[r] =
+          simmpi::dist_build_local_mesh(local, report.splitters, comm, curve, nullptr);
+    });
+  } catch (const simmpi::DeadlockError& e) {
+    result.oracles.fail(std::string("matvec: watchdog stall in sort/mesh: ") +
+                        e.what());
+    return;
+  }
+
+  const auto init_u = [](const mesh::LocalMesh& m) {
+    std::vector<double> u(m.elements.size());
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      const auto a = m.elements[i].anchor_unit();
+      u[i] = std::sin(6.28 * a[0]) * std::cos(6.28 * a[1]);
+    }
+    return u;
+  };
+
+  using Variant = simmpi::DistFemReport (*)(const mesh::LocalMesh&, simmpi::Comm&,
+                                            int, std::vector<double>&);
+  const auto run_variant = [&](Variant fn, const char* name,
+                               std::vector<std::vector<double>>& out) {
+    out.assign(p, {});
+    try {
+      simmpi::run_ranks(spec.ranks, context_options(spec), [&](simmpi::Comm& comm) {
+        const std::size_t r = static_cast<std::size_t>(comm.rank());
+        std::vector<double> u = init_u(meshes[r]);
+        (void)fn(meshes[r], comm, spec.matvec_iterations, u);
+        out[r] = std::move(u);
+      });
+    } catch (const simmpi::DeadlockError& e) {
+      result.oracles.fail(std::string("matvec: watchdog stall in ") + name + ": " +
+                          e.what());
+      return false;
+    }
+    return true;
+  };
+
+  std::vector<std::vector<double>> overlapped;
+  std::vector<std::vector<double>> p2p;
+  std::vector<std::vector<double>> collective;
+  if (!run_variant(&simmpi::dist_matvec_loop_overlapped, "overlapped", overlapped) ||
+      !run_variant(&simmpi::dist_matvec_loop_p2p, "p2p", p2p) ||
+      !run_variant(&simmpi::dist_matvec_loop, "collective", collective)) {
+    return;
+  }
+
+  // Sequential engine over the gathered meshes: the ground truth every
+  // threaded variant must match bit for bit.
+  const fem::DistributedLaplacian engine(meshes);
+  std::vector<std::vector<double>> ref(p);
+  std::vector<std::vector<double>> tmp;
+  for (std::size_t r = 0; r < p; ++r) ref[r] = init_u(meshes[r]);
+  for (int it = 0; it < spec.matvec_iterations; ++it) {
+    engine.matvec(ref, tmp);
+    std::swap(ref, tmp);
+  }
+
+  OracleResult o;
+  const auto compare = [&](const std::vector<std::vector<double>>& got,
+                           const char* name) {
+    for (std::size_t r = 0; r < p; ++r) {
+      if (got[r].size() != ref[r].size()) {
+        o.fail(std::string(name) + ": rank " + std::to_string(r) +
+               " piece size mismatch");
+        return;
+      }
+      if (!got[r].empty() &&
+          std::memcmp(got[r].data(), ref[r].data(),
+                      got[r].size() * sizeof(double)) != 0) {
+        for (std::size_t i = 0; i < got[r].size(); ++i) {
+          if (std::memcmp(&got[r][i], &ref[r][i], sizeof(double)) != 0) {
+            o.fail(std::string(name) + ": rank " + std::to_string(r) +
+                   " diverges from the sequential engine at element " +
+                   std::to_string(i));
+            return;
+          }
+        }
+      }
+    }
+  };
+  compare(overlapped, "overlapped");
+  compare(p2p, "p2p");
+  compare(collective, "collective");
+  for (std::string& f : o.failures) {
+    result.oracles.fail("matvec: " + std::move(f));
+  }
+}
+
 }  // namespace
 
 CaseResult run_case(const CaseSpec& spec) {
@@ -150,6 +267,7 @@ CaseResult run_case(const CaseSpec& spec) {
   run_treesort_case(spec, inputs, reference, result);
   run_samplesort_case(spec, inputs, reference, result);
   run_optipart_case(spec, inputs, reference, result);
+  run_matvec_case(spec, inputs, reference, result);
   return result;
 }
 
@@ -230,6 +348,36 @@ std::vector<CaseSpec> seed_corpus() {
     spec.elements_per_rank = 150;
     spec.perturb_seed = 44;
     spec.seed = 2;
+    corpus.push_back(spec);
+  }
+  // Overlapped-matvec differential stage: balanced complete trees pushed
+  // through sort -> mesh -> all three matvec variants + the sequential
+  // engine, pinned bit-identical -- including under perturbed schedules,
+  // where the overlap window (irecv posted, interior kernel running,
+  // wait racing the peer's isend) gets adversarial interleavings.
+  {
+    CaseSpec spec;
+    spec.shape = InputShape::kBalancedTree;
+    spec.ranks = 4;
+    spec.dim = 3;
+    spec.elements_per_rank = 250;
+    spec.matvec_iterations = 3;
+    spec.seed = seed++;
+    corpus.push_back(spec);
+    spec.curve = sfc::CurveKind::kMorton;
+    spec.dim = 2;
+    spec.ranks = 6;
+    spec.matvec_iterations = 2;
+    spec.perturb_seed = 45;
+    spec.seed = seed++;
+    corpus.push_back(spec);
+    spec.curve = sfc::CurveKind::kMoore;
+    spec.dim = 3;
+    spec.ranks = 8;
+    spec.elements_per_rank = 150;
+    spec.matvec_iterations = 2;
+    spec.perturb_seed = 46;
+    spec.seed = seed++;
     corpus.push_back(spec);
   }
   return corpus;

@@ -4,7 +4,10 @@
 // compute the sequential reference (tree_sort of the union), run
 // dist_treesort, dist_samplesort, and dist_optipart over simmpi -- with
 // the case's schedule-perturbation seed applied to every barrier, publish,
-// and mailbox operation -- and check every applicable oracle. A stall
+// and mailbox operation -- and check every applicable oracle. Specs with
+// matvec_iterations > 0 additionally push complete-tree unions through
+// mesh construction and all three dist_fem matvec variants (collective,
+// p2p, overlapped), pinned bit-identical to the sequential engine. A stall
 // caught by the watchdog is reported as an oracle failure carrying the
 // per-rank diagnostic, not a hang.
 //

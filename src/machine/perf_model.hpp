@@ -63,6 +63,31 @@ class PerfModel {
     return machine_.tw * app_.bytes_per_element * c_elements + machine_.ts * messages;
   }
 
+  /// Overlap-aware extension of Eq. 3: with the ghost exchange running
+  /// concurrently with the interior kernel (dist_matvec_loop_overlapped),
+  /// one step costs max(interior_compute, exchange) + boundary_compute
+  /// instead of compute + exchange. exposed_comm is the exchange time not
+  /// hidden behind the interior kernel; hidden_comm the rest; Eq. 3 is
+  /// recovered when w_interior == 0.
+  struct OverlapStep {
+    double seconds = 0.0;
+    double exposed_comm = 0.0;
+    double hidden_comm = 0.0;
+  };
+  [[nodiscard]] OverlapStep application_time_overlapped(
+      double w_interior_elements, double w_boundary_elements, double c_max_elements,
+      double m_max_messages = 0.0) const {
+    const double interior = compute_time(w_interior_elements);
+    const double boundary = compute_time(w_boundary_elements);
+    const double comm = comm_time(
+        c_max_elements, app_.include_latency_term ? m_max_messages : 0.0);
+    OverlapStep step;
+    step.exposed_comm = comm > interior ? comm - interior : 0.0;
+    step.hidden_comm = comm - step.exposed_comm;
+    step.seconds = interior + step.exposed_comm + boundary;
+    return step;
+  }
+
   /// Eq. 2: expected distributed TreeSort runtime for N elements over p
   /// ranks with staged splitter count k (Eq. 1 when k == p).
   [[nodiscard]] double treesort_time(double n, double p, double k) const;

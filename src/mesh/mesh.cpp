@@ -66,6 +66,99 @@ std::size_t LocalMesh::send_volume() const {
   return total;
 }
 
+void LocalMesh::build_overlap_split() {
+  const std::size_t n = elements.size();
+  interior_elements.clear();
+  boundary_elements.clear();
+
+  // Stable partition: owned-owned faces first, ghost faces last. The
+  // overlapped matvec streams faces[0, num_owned_faces) before the halo
+  // lands and the ghost tail after; stability keeps each group in its
+  // original relative order, so every row still accumulates its owned
+  // fluxes before its ghost fluxes -- the same per-row order the fused
+  // kernel sees on this list -- and the phase split changes no bits.
+  {
+    std::vector<Face> reordered;
+    reordered.reserve(faces.size());
+    for (const Face& f : faces) {
+      if (!f.b_is_ghost) reordered.push_back(f);
+    }
+    num_owned_faces = reordered.size();
+    for (const Face& f : faces) {
+      if (f.b_is_ghost) reordered.push_back(f);
+    }
+    faces = std::move(reordered);
+  }
+
+  boundary_mask.assign(n, 0);
+  for (std::size_t i = num_owned_faces; i < faces.size(); ++i) {
+    boundary_mask[faces[i].a] = 1;
+  }
+
+  // Same treatment for the wall faces: interior-row walls belong to the
+  // interior phase, boundary-row walls to the boundary phase.
+  {
+    std::vector<BoundaryFace> reordered;
+    reordered.reserve(boundary_faces.size());
+    for (const BoundaryFace& f : boundary_faces) {
+      if (boundary_mask[f.a] == 0) reordered.push_back(f);
+    }
+    num_interior_walls = reordered.size();
+    for (const BoundaryFace& f : boundary_faces) {
+      if (boundary_mask[f.a] != 0) reordered.push_back(f);
+    }
+    boundary_faces = std::move(reordered);
+  }
+
+  face_ref_offsets.assign(n + 1, 0);
+  wall_offsets.assign(n + 1, 0);
+  for (const Face& f : faces) {
+    ++face_ref_offsets[f.a + 1];
+    if (!f.b_is_ghost) ++face_ref_offsets[f.b + 1];
+  }
+  for (const BoundaryFace& f : boundary_faces) ++wall_offsets[f.a + 1];
+  for (std::size_t e = 0; e < n; ++e) {
+    face_ref_offsets[e + 1] += face_ref_offsets[e];
+    wall_offsets[e + 1] += wall_offsets[e];
+  }
+
+  face_refs.resize(face_ref_offsets[n]);
+  gather_refs.resize(face_ref_offsets[n]);
+  wall_refs.resize(wall_offsets[n]);
+  wall_coeffs.resize(wall_offsets[n]);
+  // Fill by walking the (reordered) face lists in order, so each element's
+  // references stay in face-list order (the bit-identity contract of the
+  // CSR). The gather entry precomputes the same `area / dist` division
+  // apply_local performs, so reusing it in the kernel reproduces the bits
+  // exactly.
+  std::vector<std::uint32_t> cursor(face_ref_offsets.begin(),
+                                    face_ref_offsets.end() - 1);
+  for (std::size_t i = 0; i < faces.size(); ++i) {
+    const Face& f = faces[i];
+    const double k = f.area / f.dist;
+    const std::uint32_t pos_a = cursor[f.a]++;
+    face_refs[pos_a] = static_cast<std::uint32_t>(i << 1U);
+    gather_refs[pos_a] = {k, f.b, f.b_is_ghost ? 1U : 0U};
+    if (!f.b_is_ghost) {
+      const std::uint32_t pos_b = cursor[f.b]++;
+      face_refs[pos_b] = static_cast<std::uint32_t>((i << 1U) | 1U);
+      gather_refs[pos_b] = {k, f.a, 0U};
+    }
+  }
+  cursor.assign(wall_offsets.begin(), wall_offsets.end() - 1);
+  for (std::size_t i = 0; i < boundary_faces.size(); ++i) {
+    const BoundaryFace& f = boundary_faces[i];
+    const std::uint32_t pos = cursor[f.a]++;
+    wall_refs[pos] = static_cast<std::uint32_t>(i);
+    wall_coeffs[pos] = f.area / f.dist;
+  }
+
+  for (std::size_t e = 0; e < n; ++e) {
+    auto& bucket = boundary_mask[e] != 0 ? boundary_elements : interior_elements;
+    bucket.push_back(static_cast<std::uint32_t>(e));
+  }
+}
+
 std::vector<LocalMesh> build_local_meshes(std::span<const octree::Octant> tree,
                                           const sfc::Curve& curve,
                                           const partition::Partition& part) {
@@ -162,6 +255,7 @@ std::vector<LocalMesh> build_local_meshes(std::span<const octree::Octant> tree,
                         f.dist});
   }
 
+  for (LocalMesh& m : meshes) m.build_overlap_split();
   return meshes;
 }
 

@@ -48,7 +48,17 @@ struct LocalMesh {
   std::vector<std::size_t> ghost_global;
   std::vector<int> ghost_owner;
 
-  std::vector<Face> faces;  ///< owned-owned (stored once) and owned-ghost
+  /// Owned-owned faces (stored once) and owned-ghost faces. After
+  /// build_overlap_split() the list is stably partitioned: faces
+  /// [0, num_owned_faces) are owned-owned, the rest are ghost faces, with
+  /// relative order preserved inside each group -- so the overlapped
+  /// matvec's interior kernel streams the owned prefix branch-free and
+  /// the boundary kernel streams the ghost tail, and every per-row
+  /// accumulation order matches the fused apply_local bit for bit.
+  std::vector<Face> faces;
+  /// Domain-boundary (wall) faces. After build_overlap_split() the list is
+  /// stably partitioned: [0, num_interior_walls) sit on interior rows, the
+  /// rest on boundary rows (rows that touch a ghost face).
   std::vector<BoundaryFace> boundary_faces;
 
   std::vector<int> peers;  ///< ranks exchanged with, ascending
@@ -57,6 +67,56 @@ struct LocalMesh {
   /// recv_lists[k]: ghost slots filled by peers[k], matching the peer's
   /// send order.
   std::vector<std::vector<std::uint32_t>> recv_lists;
+
+  // --- Overlap split (build_overlap_split) -------------------------------
+  // Interior elements touch no ghost-backed face, so their matvec rows
+  // depend only on owned values and can be computed while the ghost
+  // exchange is in flight; boundary elements have at least one ghost face
+  // and must wait for it. Ghost faces always carry the owned element on
+  // the `a` side, so "boundary" means "appears as f.a of a ghost face".
+  std::vector<std::uint32_t> interior_elements;  ///< ascending local index
+  std::vector<std::uint32_t> boundary_elements;  ///< ascending local index
+
+  /// One precomputed gather term per face reference: the transmissibility
+  /// (the exact `area / dist` apply_local divides out per face) plus the
+  /// paired value index, so the overlap kernel never touches the 32-byte
+  /// Face records or re-divides in its inner loop.
+  struct GatherRef {
+    double k = 0.0;           ///< f.area / f.dist, computed once
+    std::uint32_t other = 0;  ///< paired element (owned index or ghost slot)
+    std::uint32_t ghost = 0;  ///< 1 if `other` indexes the ghost array
+  };
+
+
+  /// Element -> face references, CSR. A reference packs face_index * 2 +
+  /// side, side 1 meaning the element is the face's `b` (never a ghost).
+  /// Per element, references appear in face-list order: walking them
+  /// reproduces apply_local's per-element accumulation order bit-exactly,
+  /// which is what keeps the phase-split kernel identical to the fused one
+  /// under IEEE non-associativity.
+  std::vector<std::uint32_t> face_ref_offsets;  ///< size elements.size() + 1
+  std::vector<std::uint32_t> face_refs;
+  std::vector<GatherRef> gather_refs;  ///< parallel to face_refs
+  std::vector<std::uint32_t> wall_offsets;  ///< boundary_faces CSR, same shape
+  std::vector<std::uint32_t> wall_refs;
+  std::vector<double> wall_coeffs;  ///< area/dist per wall ref, parallel
+
+  /// 1 for elements that touch a ghost face (the boundary set), 0 for
+  /// interior.
+  std::vector<std::uint8_t> boundary_mask;
+  /// faces[0, num_owned_faces) are owned-owned; the rest are ghost faces.
+  std::size_t num_owned_faces = 0;
+  /// boundary_faces[0, num_interior_walls) sit on interior rows.
+  std::size_t num_interior_walls = 0;
+
+  /// Build the interior/boundary element split, stably partition `faces`
+  /// (owned-owned first, ghost last) and `boundary_faces` (interior rows
+  /// first), and build the element->face CSR over the new order. Called by
+  /// both mesh constructions once faces are final; idempotent.
+  void build_overlap_split();
+  [[nodiscard]] bool has_overlap_split() const {
+    return face_ref_offsets.size() == elements.size() + 1;
+  }
 
   [[nodiscard]] std::size_t send_volume() const;
   [[nodiscard]] std::size_t recv_volume() const { return ghosts.size(); }

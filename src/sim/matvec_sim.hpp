@@ -17,6 +17,15 @@ namespace amr::sim {
 
 struct MatvecSimConfig {
   int iterations = 100;
+  /// Model the overlapped exchange (dist_matvec_loop_overlapped): per rank
+  /// an iteration costs max(interior_compute, comm) + boundary_compute
+  /// instead of compute-then-exchange; only the exposed part of the
+  /// communication extends the timeline.
+  bool overlap = false;
+  /// Per-rank boundary work in elements (overlap mode). Empty derives it
+  /// from the comm matrix -- each ghost element a rank sends or receives
+  /// touches about one boundary element -- clamped to the rank's work.
+  std::vector<double> boundary_work;
   energy::SamplerOptions sampler;
 };
 
@@ -25,6 +34,14 @@ struct MatvecSimResult {
   double compute_seconds = 0.0;  ///< sum over iterations of max compute
   double comm_seconds = 0.0;     ///< sum over iterations of max comm
   double total_data_elements = 0.0;  ///< ghost elements moved, all iterations
+  /// Communication on the critical path (== comm_seconds when overlap is
+  /// off; the max-rank exposed remainder when it is on) and the hidden
+  /// complement.
+  double exposed_comm_seconds = 0.0;
+  double hidden_comm_seconds = 0.0;
+  /// Per rank: exposed / total comm time for one iteration (1.0 when
+  /// nothing is hidden; 0.0 for ranks with no communication).
+  std::vector<double> rank_exposed_fraction;
   energy::EnergyReport energy;
 };
 

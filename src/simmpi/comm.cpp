@@ -145,6 +145,56 @@ std::vector<std::byte> Context::take(int src, int dst, int tag) {
   return payload;
 }
 
+bool Context::try_take(int src, int dst, int tag, std::vector<std::byte>& out) {
+  maybe_perturb(dst);
+  std::lock_guard<std::mutex> lock(mail_mutex_);
+  const auto it = mailboxes_.find({src, dst, tag});
+  if (it == mailboxes_.end() || it->second.empty()) return false;
+  out = std::move(it->second.front());
+  it->second.pop_front();
+  return true;
+}
+
+bool Request::done() const {
+  for (const Op& op : ops_) {
+    if (!op.complete) return false;
+  }
+  return true;
+}
+
+void Request::complete_op(Op& op, std::vector<std::byte>&& payload) {
+  if (op.ledger != nullptr) op.ledger->record_p2p_recv(payload.size());
+  if (op.deliver) op.deliver(std::move(payload));
+  op.complete = true;
+}
+
+bool Request::test() {
+  for (Op& op : ops_) {
+    if (op.complete) continue;
+    std::vector<std::byte> payload;
+    if (!op.context->try_take(op.src, op.dst, op.tag, payload)) return false;
+    complete_op(op, std::move(payload));
+  }
+  return true;
+}
+
+void Request::wait() {
+  for (Op& op : ops_) {
+    if (op.complete) continue;
+    complete_op(op, op.context->take(op.src, op.dst, op.tag));
+  }
+}
+
+void wait_all(std::span<Request> requests) {
+  for (Request& r : requests) r.wait();
+}
+
+bool test_all(std::span<Request> requests) {
+  bool all = true;
+  for (Request& r : requests) all = r.test() && all;
+  return all;
+}
+
 void Context::barrier(int rank) {
   maybe_perturb(rank);
   set_activity(rank, kBarrier);

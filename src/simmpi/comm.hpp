@@ -30,6 +30,7 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -50,15 +51,38 @@
 namespace amr::simmpi {
 
 /// Per-rank communication accounting (fed to the machine model).
+/// Collective traffic (publish/barrier primitives) and point-to-point
+/// traffic (mailbox post/take) are metered separately: the machine model
+/// prices them differently, and the conservation invariant -- every p2p
+/// byte posted is eventually taken -- only holds for the p2p counters.
 struct CostLedger {
-  std::uint64_t bytes_sent = 0;
-  std::uint64_t messages_sent = 0;
-  std::uint64_t collectives = 0;
+  std::uint64_t bytes_sent = 0;      ///< collective payload bytes
+  std::uint64_t messages_sent = 0;   ///< collective point-to-point messages
+  std::uint64_t collectives = 0;     ///< number of collective operations
+
+  std::uint64_t p2p_bytes_sent = 0;
+  std::uint64_t p2p_messages_sent = 0;
+  std::uint64_t p2p_bytes_received = 0;
+  std::uint64_t p2p_messages_received = 0;
 
   void record(std::uint64_t bytes, std::uint64_t messages) {
     bytes_sent += bytes;
     messages_sent += messages;
     ++collectives;
+  }
+
+  void record_p2p_send(std::uint64_t bytes) {
+    p2p_bytes_sent += bytes;
+    ++p2p_messages_sent;
+  }
+
+  void record_p2p_recv(std::uint64_t bytes) {
+    p2p_bytes_received += bytes;
+    ++p2p_messages_received;
+  }
+
+  [[nodiscard]] std::uint64_t total_bytes_sent() const {
+    return bytes_sent + p2p_bytes_sent;
   }
 };
 
@@ -104,6 +128,11 @@ class Context {
   /// Point-to-point mailboxes: FIFO per (src, dst, tag).
   void post(int src, int dst, int tag, std::vector<std::byte> payload);
   [[nodiscard]] std::vector<std::byte> take(int src, int dst, int tag);
+
+  /// Nonblocking variant of take: pops the channel's front message into
+  /// `out` and returns true, or returns false immediately if the mailbox
+  /// is empty. Used by Request::test.
+  [[nodiscard]] bool try_take(int src, int dst, int tag, std::vector<std::byte>& out);
 
   /// Seeded random yield/sleep at a scheduling point of `rank`; no-op
   /// unless perturbation is enabled. Exposed so layered code (e.g. the
@@ -153,6 +182,61 @@ class Context {
 };
 
 enum class ReduceOp { kSum, kMax, kMin };
+
+/// Handle to one or more pending nonblocking operations (isend, irecv,
+/// ialltoallv). Move-only; completing an already-complete request is a
+/// no-op, so default-constructed and moved-from handles are safe to wait
+/// on.
+///
+/// Semantics (documented in DESIGN.md, "Nonblocking simmpi"):
+///  * isend is buffered: the payload is copied and posted before the call
+///    returns, so send requests are born complete.
+///  * irecv matches at completion time (wait/test), not at post time.
+///    Channels are FIFO, so multiple outstanding irecvs on the SAME
+///    (src, tag) channel must be completed in the order they were posted;
+///    requests on distinct channels may be completed in any order.
+///  * wait honors the context watchdog and throws DeadlockError with the
+///    cohort activity dump if the matching message never arrives.
+class Request {
+ public:
+  Request() = default;
+  Request(Request&&) noexcept = default;
+  Request& operator=(Request&&) noexcept = default;
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+
+  /// True once every constituent operation has completed.
+  [[nodiscard]] bool done() const;
+
+  /// Attempt to complete without blocking; returns done().
+  bool test();
+
+  /// Block until every constituent operation has completed (watchdogged).
+  void wait();
+
+ private:
+  friend class Comm;
+  struct Op {
+    Context* context = nullptr;
+    int src = 0;
+    int dst = 0;
+    int tag = 0;
+    bool complete = false;
+    CostLedger* ledger = nullptr;  ///< receiver ledger; null for sends
+    std::function<void(std::vector<std::byte>&&)> deliver;  ///< null for sends
+  };
+  void complete_op(Op& op, std::vector<std::byte>&& payload);
+
+  std::vector<Op> ops_;
+};
+
+/// Complete every request. Requests on distinct channels are drained in
+/// order with a blocking wait each -- progress does not require polling,
+/// because isend is buffered and cannot stall.
+void wait_all(std::span<Request> requests);
+
+/// Poll every request once; true when all are done.
+bool test_all(std::span<Request> requests);
 
 /// One rank's view of the communicator.
 class Comm {
@@ -281,7 +365,7 @@ class Comm {
     std::vector<std::byte> payload(data.size() * sizeof(T));
     if (!data.empty()) std::memcpy(payload.data(), data.data(), payload.size());
     context_->post(rank_, dst, tag, std::move(payload));
-    ledger().record(data.size() * sizeof(T), 1);
+    ledger().record_p2p_send(data.size() * sizeof(T));
   }
 
   /// Blocking tagged receive: waits for the next message from `src` with
@@ -291,9 +375,98 @@ class Comm {
   [[nodiscard]] std::vector<T> recv(int src, int tag = 0) {
     static_assert(std::is_trivially_copyable_v<T>);
     const std::vector<std::byte> payload = context_->take(src, rank_, tag);
+    ledger().record_p2p_recv(payload.size());
     std::vector<T> data(payload.size() / sizeof(T));
     if (!data.empty()) std::memcpy(data.data(), payload.data(), payload.size());
     return data;
+  }
+
+  /// Nonblocking send. Like send(), the payload is copied and posted
+  /// before returning (the transfer cannot stall), so the request is born
+  /// complete; it exists so call sites read symmetrically with irecv and
+  /// so mixed send/recv request lists can go through one wait_all.
+  template <typename T>
+  [[nodiscard]] Request isend(std::span<const T> data, int dst, int tag = 0) {
+    send(data, dst, tag);
+    Request r;
+    Request::Op op;
+    op.context = context_;
+    op.src = rank_;
+    op.dst = dst;
+    op.tag = tag;
+    op.complete = true;
+    r.ops_.push_back(std::move(op));
+    return r;
+  }
+
+  /// Nonblocking tagged receive into `out`. The message is matched and
+  /// deserialized when the request completes (wait or a successful test);
+  /// until then `out` must stay alive and must not be read.
+  template <typename T>
+  [[nodiscard]] Request irecv(std::vector<T>& out, int src, int tag = 0) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Request r;
+    Request::Op op;
+    op.context = context_;
+    op.src = src;
+    op.dst = rank_;
+    op.tag = tag;
+    op.ledger = &ledger();
+    op.deliver = [&out](std::vector<std::byte>&& payload) {
+      out.resize(payload.size() / sizeof(T));
+      if (!out.empty()) std::memcpy(out.data(), payload.data(), payload.size());
+    };
+    r.ops_.push_back(std::move(op));
+    return r;
+  }
+
+  /// Nonblocking tagged receive straight into caller-owned storage; the
+  /// message length must equal the span's. Skips the intermediate vector,
+  /// so a halo lands in its final slots in one copy -- the overlapped
+  /// matvec receives each peer's payload directly into the ghost array.
+  template <typename T>
+  [[nodiscard]] Request irecv_into(std::span<T> out, int src, int tag = 0) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Request r;
+    Request::Op op;
+    op.context = context_;
+    op.src = src;
+    op.dst = rank_;
+    op.tag = tag;
+    op.ledger = &ledger();
+    op.deliver = [out](std::vector<std::byte>&& payload) {
+      assert(payload.size() == out.size() * sizeof(T));
+      if (!out.empty()) std::memcpy(out.data(), payload.data(), payload.size());
+    };
+    r.ops_.push_back(std::move(op));
+    return r;
+  }
+
+  /// Nonblocking personalized all-to-all over the mailboxes: send[q] goes
+  /// to rank q, recv[q] (resized to size()) receives from rank q; the self
+  /// lane is copied at post time. Unlike the collective alltoallv there is
+  /// no barrier, so ranks can overlap the flight with local work -- the
+  /// price is that empty lanes still cost a (zero-byte) message, because a
+  /// receiver cannot know a peer had nothing to say without hearing so.
+  template <typename T>
+  [[nodiscard]] Request ialltoallv(const std::vector<std::vector<T>>& send_lanes,
+                                   std::vector<std::vector<T>>& recv_lanes,
+                                   int tag = 0) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    recv_lanes.assign(static_cast<std::size_t>(size()), {});
+    recv_lanes[static_cast<std::size_t>(rank_)] =
+        send_lanes[static_cast<std::size_t>(rank_)];
+    Request r;
+    for (int q = 0; q < size(); ++q) {
+      if (q == rank_) continue;
+      Request recv_part = irecv(recv_lanes[static_cast<std::size_t>(q)], q, tag);
+      r.ops_.push_back(std::move(recv_part.ops_.front()));
+    }
+    for (int q = 0; q < size(); ++q) {
+      if (q == rank_) continue;
+      send(std::span<const T>(send_lanes[static_cast<std::size_t>(q)]), q, tag);
+    }
+    return r;
   }
 
  private:

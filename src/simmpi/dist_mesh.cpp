@@ -14,6 +14,13 @@ using octree::Octant;
 
 constexpr double kUnit = 1.0 / static_cast<double>(std::uint32_t{1} << octree::kMaxDepth);
 
+// Tags of the construction's three nonblocking all-to-all rounds. Ranks
+// drift through the rounds without barriers, so each round needs its own
+// tag to never match a slower peer's earlier-round messages.
+constexpr int kTagMeshPush = 101;
+constexpr int kTagMeshKeep = 102;
+constexpr int kTagMeshIds = 103;
+
 }  // namespace
 
 mesh::LocalMesh dist_build_local_mesh(const std::vector<Octant>& local,
@@ -58,12 +65,18 @@ mesh::LocalMesh dist_build_local_mesh(const std::vector<Octant>& local,
       }
     }
   }
-  const auto candidates = comm.alltoallv(push);
+  std::vector<std::vector<Octant>> candidates;
+  Request push_round = comm.ialltoallv(push, candidates, kTagMeshPush);
 
   // Merged local + shell, sorted: the search structure for ghost
-  // filtering and face enumeration near the rank boundary.
+  // filtering and face enumeration near the rank boundary. Seed it with
+  // the local copy while the candidate messages are in flight.
   std::vector<Octant> merged = local;
-  for (const auto& from_peer : candidates) {
+  merged.reserve(2 * local.size());
+  push_round.wait();
+  for (std::size_t q = 0; q < candidates.size(); ++q) {
+    if (static_cast<int>(q) == me) continue;
+    const auto& from_peer = candidates[q];
     stats.candidates_received += from_peer.size();
     merged.insert(merged.end(), from_peer.begin(), from_peer.end());
   }
@@ -146,7 +159,8 @@ mesh::LocalMesh dist_build_local_mesh(const std::vector<Octant>& local,
 
   // --- Round 2: echo kept keys to their owners; owners reply with their
   // global indices and assemble send lists. ---
-  const auto requests = comm.alltoallv(keep);
+  std::vector<std::vector<Octant>> requests;
+  comm.ialltoallv(keep, requests, kTagMeshKeep).wait();
   std::vector<std::vector<std::uint64_t>> reply(static_cast<std::size_t>(p));
   std::vector<std::vector<std::uint32_t>> send_for(static_cast<std::size_t>(p));
   for (int q = 0; q < p; ++q) {
@@ -159,9 +173,11 @@ mesh::LocalMesh dist_build_local_mesh(const std::vector<Octant>& local,
       reply[static_cast<std::size_t>(q)].push_back(out.global_begin + idx);
     }
   }
-  const auto global_ids = comm.alltoallv(reply);
+  std::vector<std::vector<std::uint64_t>> global_ids;
+  Request id_round = comm.ialltoallv(reply, global_ids, kTagMeshIds);
 
-  // Attach send lists to channels (add channels for pure-send peers).
+  // Attach send lists to channels while the replies are in flight (they
+  // depend only on send_for; add channels for pure-send peers).
   for (int q = 0; q < p; ++q) {
     if (send_for[static_cast<std::size_t>(q)].empty()) continue;
     const auto it = std::lower_bound(out.peers.begin(), out.peers.end(), q);
@@ -176,6 +192,7 @@ mesh::LocalMesh dist_build_local_mesh(const std::vector<Octant>& local,
     }
     out.send_lists[k] = std::move(send_for[static_cast<std::size_t>(q)]);
   }
+  id_round.wait();
 
   // Fill ghost_global from the owners' replies (same per-channel order).
   for (std::size_t k = 0; k < out.peers.size(); ++k) {
@@ -211,6 +228,7 @@ mesh::LocalMesh dist_build_local_mesh(const std::vector<Octant>& local,
                              kUnit});
   }
 
+  out.build_overlap_split();
   if (report != nullptr) *report = stats;
   return out;
 }

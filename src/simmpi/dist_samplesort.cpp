@@ -10,6 +10,10 @@ namespace amr::simmpi {
 
 namespace {
 
+/// Tag of samplesort's element-exchange messages (distinct from the halo
+/// exchange and treesort's exchange; see kTagElementExchange there).
+constexpr int kTagSampleExchange = 104;
+
 /// Sort `octants` by curve order via precomputed 128-bit keys (one table
 /// walk per element instead of one per comparison) and return the keys
 /// aligned with the sorted order.
@@ -75,18 +79,61 @@ SampleSortReport dist_samplesort(std::vector<octree::Octant>& local, Comm& comm,
   report.splitter_seconds = timer.seconds();
 
   timer.reset();
-  std::vector<std::vector<octree::Octant>> send(static_cast<std::size_t>(p));
-  for (std::size_t i = 0; i < local.size(); ++i) {
-    // Destination: number of splitters <= element.
-    const auto it = std::upper_bound(splitter_codes.begin(), splitter_codes.end(),
-                                     local_keys[i]);
-    send[static_cast<std::size_t>(it - splitter_codes.begin())].push_back(local[i]);
+  // Nonblocking exchange without staging copies: `local` is key-sorted and
+  // the splitter codes are monotone, so destination q's elements are the
+  // contiguous slice [lower_bound(codes[q-1]), lower_bound(codes[q]))
+  // (destination of a key = number of splitters <= it). Receives go up
+  // first, slices are isent straight out of `local`, and pieces are
+  // concatenated in ascending source order -- the Alltoallv's assembly
+  // order, minus its two barriers.
+  const int me = comm.rank();
+  std::vector<std::vector<octree::Octant>> incoming(static_cast<std::size_t>(p));
+  std::vector<Request> recvs(static_cast<std::size_t>(p));
+  for (int q = 0; q < p; ++q) {
+    if (q == me) continue;
+    recvs[static_cast<std::size_t>(q)] = comm.irecv<octree::Octant>(
+        incoming[static_cast<std::size_t>(q)], q, kTagSampleExchange);
   }
-  auto recv = comm.alltoallv(send);
-  local.clear();
-  for (auto& part : recv) {
-    local.insert(local.end(), part.begin(), part.end());
+  std::size_t keep_lo = 0;
+  std::size_t keep_hi = 0;
+  std::size_t begin = 0;
+  for (int q = 0; q < p; ++q) {
+    // Slice for destination q ends at the first key >= splitter_codes[q];
+    // the last destination (and the no-samples case, where everything goes
+    // to rank 0) takes the rest.
+    const std::size_t end =
+        static_cast<std::size_t>(q) < splitter_codes.size()
+            ? static_cast<std::size_t>(
+                  std::lower_bound(local_keys.begin() +
+                                       static_cast<std::ptrdiff_t>(begin),
+                                   local_keys.end(),
+                                   splitter_codes[static_cast<std::size_t>(q)]) -
+                  local_keys.begin())
+            : local.size();
+    if (q == me) {
+      keep_lo = begin;
+      keep_hi = end;
+    } else {
+      Request sent = comm.isend<octree::Octant>(
+          std::span<const octree::Octant>(local.data() + begin, end - begin), q,
+          kTagSampleExchange);
+      (void)sent;  // buffered: complete at post
+    }
+    begin = end;
   }
+  std::vector<octree::Octant> merged;
+  for (int q = 0; q < p; ++q) {
+    if (q == me) {
+      merged.insert(merged.end(),
+                    local.begin() + static_cast<std::ptrdiff_t>(keep_lo),
+                    local.begin() + static_cast<std::ptrdiff_t>(keep_hi));
+      continue;
+    }
+    auto& piece = incoming[static_cast<std::size_t>(q)];
+    recvs[static_cast<std::size_t>(q)].wait();
+    merged.insert(merged.end(), piece.begin(), piece.end());
+  }
+  local = std::move(merged);
   report.exchange_seconds = timer.seconds();
 
   timer.reset();

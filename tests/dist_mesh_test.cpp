@@ -96,6 +96,14 @@ TEST_P(DistMeshTest, MatchesSequentialConstruction) {
     EXPECT_EQ(got.recv_lists, want.recv_lists);
     EXPECT_EQ(face_multiset(got), face_multiset(want));
     EXPECT_EQ(got.boundary_faces.size(), want.boundary_faces.size());
+
+    // The overlap split depends only on element/ghost adjacency, not on
+    // face order, so both constructions must classify elements the same
+    // way even though their face lists may be permuted.
+    ASSERT_TRUE(got.has_overlap_split());
+    ASSERT_TRUE(want.has_overlap_split());
+    EXPECT_EQ(got.interior_elements, want.interior_elements);
+    EXPECT_EQ(got.boundary_elements, want.boundary_elements);
   }
 }
 

@@ -127,6 +127,75 @@ TEST(Integration, P2pExchangeMatchesCollectiveExchange) {
   }
 }
 
+TEST(Integration, OverlappedMatvecEqualsBlockingVariants) {
+  // The overlapped variant (irecv/isend posted, interior rows computed
+  // while the halo is in flight, boundary rows after the wait) must stay
+  // bit-identical to both blocking variants and to the sequential engine
+  // -- the phase split may not change a single ulp.
+  const int p = 6;
+  const int iterations = 5;
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = pipeline_tree(CurveKind::kHilbert, 2200, 27);
+  const auto meshes =
+      mesh::build_local_meshes(tree, curve, partition::ideal_partition(tree.size(), p));
+
+  std::vector<double> u0(tree.size());
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const auto a = tree[i].anchor_unit();
+    u0[i] = std::cos(2.7 * a[0]) * std::sin(1.9 * a[1] + a[2]);
+  }
+
+  using Variant = simmpi::DistFemReport (*)(const mesh::LocalMesh&, simmpi::Comm&,
+                                            int, std::vector<double>&);
+  std::vector<simmpi::DistFemReport> reports(static_cast<std::size_t>(p));
+  auto run_variant = [&](Variant variant, bool keep_reports) {
+    std::vector<std::vector<double>> pieces(static_cast<std::size_t>(p));
+    simmpi::run_ranks(p, [&](simmpi::Comm& comm) {
+      const mesh::LocalMesh& m = meshes[static_cast<std::size_t>(comm.rank())];
+      std::vector<double> u(u0.begin() + static_cast<std::ptrdiff_t>(m.global_begin),
+                            u0.begin() + static_cast<std::ptrdiff_t>(m.global_begin +
+                                                                     m.elements.size()));
+      const simmpi::DistFemReport report = variant(m, comm, iterations, u);
+      if (keep_reports) reports[static_cast<std::size_t>(comm.rank())] = report;
+      pieces[static_cast<std::size_t>(comm.rank())] = std::move(u);
+    });
+    std::vector<double> all;
+    for (const auto& piece : pieces) all.insert(all.end(), piece.begin(), piece.end());
+    return all;
+  };
+
+  const auto overlapped = run_variant(&simmpi::dist_matvec_loop_overlapped, true);
+  const auto p2p = run_variant(&simmpi::dist_matvec_loop_p2p, false);
+  const auto collective = run_variant(&simmpi::dist_matvec_loop, false);
+
+  // Sequential engine reference.
+  const fem::DistributedLaplacian engine(meshes);
+  auto engine_pieces = engine.scatter(u0);
+  std::vector<std::vector<double>> out;
+  for (int it = 0; it < iterations; ++it) {
+    engine.matvec(engine_pieces, out);
+    std::swap(engine_pieces, out);
+  }
+  const auto sequential = engine.gather(engine_pieces);
+
+  ASSERT_EQ(overlapped.size(), sequential.size());
+  for (std::size_t i = 0; i < overlapped.size(); ++i) {
+    EXPECT_DOUBLE_EQ(overlapped[i], sequential[i]) << i;
+    EXPECT_DOUBLE_EQ(overlapped[i], p2p[i]) << i;
+    EXPECT_DOUBLE_EQ(overlapped[i], collective[i]) << i;
+  }
+
+  // Report accounting: phases sum into the totals and the exposed-comm
+  // fraction is a valid ratio (the blocking variants pin it at 1).
+  for (const simmpi::DistFemReport& r : reports) {
+    EXPECT_NEAR(r.compute_seconds,
+                r.interior_compute_seconds + r.boundary_compute_seconds, 1e-12);
+    EXPECT_NEAR(r.exchange_seconds, r.post_seconds + r.exchange_wait_seconds, 1e-12);
+    EXPECT_GE(r.exposed_comm_fraction(), 0.0);
+    EXPECT_LE(r.exposed_comm_fraction(), 1.0);
+  }
+}
+
 TEST(Integration, OptiPartBeatsIdealOnCommBoundMachine) {
   // The paper's hypothesis, end to end: build the mesh, partition with
   // OptiPart vs the ideal split, build real comm matrices, simulate the

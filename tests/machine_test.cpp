@@ -90,6 +90,38 @@ TEST(PerfModel, BreakdownSumsToTotal) {
   EXPECT_DOUBLE_EQ(b.total(), b.local_sort + b.splitter + b.all2all);
 }
 
+TEST(PerfModel, OverlappedStepHidesCommBehindInteriorWork) {
+  MachineModel m = titan();
+  m.tc = 1.0e-9;
+  m.tw = 1.0e-8;
+  const PerfModel model(m, ApplicationProfile{8.0, 8.0});
+
+  // Compute-bound: the exchange fits entirely under the interior kernel.
+  const auto hidden = model.application_time_overlapped(10000.0, 500.0, 100.0);
+  EXPECT_DOUBLE_EQ(hidden.exposed_comm, 0.0);
+  EXPECT_DOUBLE_EQ(hidden.hidden_comm, model.comm_time(100.0));
+  EXPECT_DOUBLE_EQ(hidden.seconds,
+                   model.compute_time(10000.0) + model.compute_time(500.0));
+
+  // Comm-bound: only the part of the exchange past the interior kernel is
+  // exposed; the split conserves the total exchange time.
+  const auto exposed = model.application_time_overlapped(100.0, 50.0, 10000.0);
+  EXPECT_GT(exposed.exposed_comm, 0.0);
+  EXPECT_DOUBLE_EQ(exposed.exposed_comm + exposed.hidden_comm,
+                   model.comm_time(10000.0));
+  EXPECT_DOUBLE_EQ(exposed.seconds, model.compute_time(100.0) +
+                                        exposed.exposed_comm +
+                                        model.compute_time(50.0));
+
+  // No interior work recovers Eq. 3 exactly.
+  const auto degenerate = model.application_time_overlapped(0.0, 1000.0, 500.0);
+  EXPECT_DOUBLE_EQ(degenerate.seconds, model.application_time(1000.0, 500.0));
+
+  // Overlap never costs more than the blocking schedule.
+  EXPECT_LE(exposed.seconds, model.application_time(150.0, 10000.0));
+  EXPECT_LE(hidden.seconds, model.application_time(10500.0, 100.0));
+}
+
 TEST(PerfModel, AlphaFromRates) {
   // A kernel streaming at half the rate of pure copy touches ~2x the data.
   EXPECT_DOUBLE_EQ(measure_alpha_from_rates(1.0e9, 2.0e9), 2.0);

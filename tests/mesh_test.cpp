@@ -138,6 +138,118 @@ INSTANTIATE_TEST_SUITE_P(RankCounts, LocalMeshTest, ::testing::Values(1, 2, 5, 8
                            return "p" + std::to_string(info.param);
                          });
 
+TEST(LocalMesh, OverlapSplitPartitionsElements) {
+  // build_local_meshes must leave every rank with a valid overlap split:
+  // interior + boundary is a disjoint cover of the owned elements, and
+  // membership matches "touches a ghost-backed face" recomputed here.
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = balanced_tree(CurveKind::kHilbert, 3000, 13);
+  const auto meshes = build_local_meshes(tree, curve, ideal_partition(tree.size(), 6));
+  for (const LocalMesh& m : meshes) {
+    ASSERT_TRUE(m.has_overlap_split());
+    EXPECT_EQ(m.interior_elements.size() + m.boundary_elements.size(),
+              m.elements.size());
+
+    std::vector<char> touches_ghost(m.elements.size(), 0);
+    for (const Face& f : m.faces) {
+      if (f.b_is_ghost) touches_ghost[f.a] = 1;
+    }
+    std::vector<char> seen(m.elements.size(), 0);
+    for (const std::uint32_t e : m.interior_elements) {
+      EXPECT_EQ(touches_ghost[e], 0);
+      EXPECT_EQ(seen[e]++, 0);
+    }
+    for (const std::uint32_t e : m.boundary_elements) {
+      EXPECT_EQ(touches_ghost[e], 1);
+      EXPECT_EQ(seen[e]++, 0);
+    }
+  }
+}
+
+TEST(LocalMesh, OverlapSplitFaceRefsCoverEveryFaceOnce) {
+  // The element->face CSR holds one reference per (face, owned side):
+  // ghost faces appear once (their `a` side), owned-owned faces twice.
+  // Per element, references must walk the face list in ascending order --
+  // that ordering is what makes the phase-split kernel bit-identical to
+  // the fused one.
+  const Curve curve(CurveKind::kMorton, 3);
+  const auto tree = balanced_tree(CurveKind::kMorton, 2500, 17);
+  const auto meshes = build_local_meshes(tree, curve, ideal_partition(tree.size(), 5));
+  for (const LocalMesh& m : meshes) {
+    ASSERT_TRUE(m.has_overlap_split());
+    std::size_t expected_refs = 0;
+    for (const Face& f : m.faces) expected_refs += f.b_is_ghost ? 1 : 2;
+    EXPECT_EQ(m.face_refs.size(), expected_refs);
+    EXPECT_EQ(m.face_ref_offsets.back(), expected_refs);
+    EXPECT_EQ(m.wall_refs.size(), m.boundary_faces.size());
+
+    std::map<std::uint32_t, int> ref_count;
+    for (std::size_t e = 0; e < m.elements.size(); ++e) {
+      std::uint32_t prev_face = 0;
+      for (std::uint32_t k = m.face_ref_offsets[e]; k < m.face_ref_offsets[e + 1];
+           ++k) {
+        const std::uint32_t face = m.face_refs[k] >> 1U;
+        const bool is_b_side = (m.face_refs[k] & 1U) != 0;
+        ASSERT_LT(face, m.faces.size());
+        const Face& f = m.faces[face];
+        if (is_b_side) {
+          EXPECT_FALSE(f.b_is_ghost);
+          EXPECT_EQ(f.b, e);
+        } else {
+          EXPECT_EQ(f.a, e);
+        }
+        if (k > m.face_ref_offsets[e]) EXPECT_GE(face, prev_face);
+        prev_face = face;
+        ++ref_count[m.face_refs[k]];
+
+        // The flattened gather entry must mirror the face record exactly:
+        // the same area/dist division and the opposite side's index.
+        ASSERT_EQ(m.gather_refs.size(), m.face_refs.size());
+        const LocalMesh::GatherRef& g = m.gather_refs[k];
+        EXPECT_EQ(g.k, f.area / f.dist);
+        if (is_b_side) {
+          EXPECT_EQ(g.other, f.a);
+          EXPECT_EQ(g.ghost, 0U);
+        } else {
+          EXPECT_EQ(g.other, f.b);
+          EXPECT_EQ(g.ghost, f.b_is_ghost ? 1U : 0U);
+        }
+      }
+    }
+    for (const auto& [ref, count] : ref_count) EXPECT_EQ(count, 1) << ref;
+
+    ASSERT_EQ(m.wall_coeffs.size(), m.wall_refs.size());
+    for (std::size_t w = 0; w < m.wall_refs.size(); ++w) {
+      const BoundaryFace& bf = m.boundary_faces[m.wall_refs[w]];
+      EXPECT_EQ(m.wall_coeffs[w], bf.area / bf.dist);
+    }
+  }
+}
+
+TEST(LocalMesh, OverlapSplitPartitionsFaceLists) {
+  // build_overlap_split must leave the face list stably partitioned:
+  // owned-owned faces in [0, num_owned_faces), ghost faces after, and the
+  // wall list split the same way by whether its row touches a ghost face.
+  // The overlapped matvec kernels stream these ranges directly.
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = balanced_tree(CurveKind::kHilbert, 2800, 23);
+  const auto meshes = build_local_meshes(tree, curve, ideal_partition(tree.size(), 5));
+  for (const LocalMesh& m : meshes) {
+    ASSERT_TRUE(m.has_overlap_split());
+    ASSERT_LE(m.num_owned_faces, m.faces.size());
+    for (std::size_t i = 0; i < m.faces.size(); ++i) {
+      EXPECT_EQ(m.faces[i].b_is_ghost, i >= m.num_owned_faces) << i;
+    }
+    ASSERT_EQ(m.boundary_mask.size(), m.elements.size());
+    ASSERT_LE(m.num_interior_walls, m.boundary_faces.size());
+    for (std::size_t i = 0; i < m.boundary_faces.size(); ++i) {
+      EXPECT_EQ(m.boundary_mask[m.boundary_faces[i].a] != 0,
+                i >= m.num_interior_walls)
+          << i;
+    }
+  }
+}
+
 TEST(LocalMesh, GhostOwnersAreCorrect) {
   const Curve curve(CurveKind::kHilbert, 3);
   const auto tree = balanced_tree(CurveKind::kHilbert, 2000, 7);

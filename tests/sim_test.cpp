@@ -209,6 +209,79 @@ TEST(MatvecSim, EnergyTracksRuntime) {
   EXPECT_EQ(a.energy.per_node_joules.size(), 1U);  // 4 ranks on one node
 }
 
+TEST(MatvecSim, OverlapShortensCommBoundEpochs) {
+  // Same partition, same machine: with overlap modeled, the epoch can only
+  // get shorter, exposed + hidden must conserve the total comm time, and
+  // on a comm-heavy partition some (not all) of the exchange stays exposed.
+  const machine::PerfModel model(machine::wisconsin8(), machine::ApplicationProfile{});
+  partition::Metrics metrics;
+  metrics.work = {2000.0, 2000.0, 2000.0, 2000.0};
+  metrics.w_max = 2000.0;
+  mesh::CommMatrix comm(4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i != j) comm.add(i, j, 300.0);
+    }
+  }
+
+  MatvecSimConfig blocking;
+  blocking.iterations = 10;
+  blocking.sampler.sample_hz = 1e7;
+  MatvecSimConfig overlapped = blocking;
+  overlapped.overlap = true;
+
+  const MatvecSimResult base = simulate_matvec(metrics, comm, model, blocking);
+  const MatvecSimResult over = simulate_matvec(metrics, comm, model, overlapped);
+
+  EXPECT_LE(over.total_seconds, base.total_seconds * (1.0 + 1e-12));
+  EXPECT_DOUBLE_EQ(base.exposed_comm_seconds, base.comm_seconds);  // all exposed
+  EXPECT_DOUBLE_EQ(base.hidden_comm_seconds, 0.0);
+  EXPECT_NEAR(over.exposed_comm_seconds + over.hidden_comm_seconds,
+              over.comm_seconds, 1e-12 * over.comm_seconds + 1e-15);
+  EXPECT_GT(over.hidden_comm_seconds, 0.0);
+
+  ASSERT_EQ(over.rank_exposed_fraction.size(), 4U);
+  for (const double f : over.rank_exposed_fraction) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+  for (const double f : base.rank_exposed_fraction) {
+    EXPECT_DOUBLE_EQ(f, 1.0);  // blocking exchange hides nothing
+  }
+}
+
+TEST(MatvecSim, ExplicitBoundaryWorkOverridesDerivedSplit) {
+  // Supplying measured boundary counts changes the overlap window: a rank
+  // with all of its work on the boundary cannot hide any communication.
+  const machine::PerfModel model(machine::wisconsin8(), machine::ApplicationProfile{});
+  partition::Metrics metrics;
+  metrics.work = {1000.0, 1000.0};
+  metrics.w_max = 1000.0;
+  mesh::CommMatrix comm(2);
+  comm.add(0, 1, 200.0);
+  comm.add(1, 0, 200.0);
+
+  MatvecSimConfig config;
+  config.iterations = 4;
+  config.overlap = true;
+  config.sampler.sample_hz = 1e7;
+  const MatvecSimResult derived = simulate_matvec(metrics, comm, model, config);
+
+  config.boundary_work = {1000.0, 1000.0};  // nothing interior anywhere
+  const MatvecSimResult all_boundary = simulate_matvec(metrics, comm, model, config);
+
+  EXPECT_GE(all_boundary.total_seconds, derived.total_seconds);
+  for (const double f : all_boundary.rank_exposed_fraction) {
+    EXPECT_DOUBLE_EQ(f, 1.0);  // no interior window to hide behind
+  }
+  // With zero interior the overlapped schedule degenerates to blocking.
+  config.overlap = false;
+  config.boundary_work.clear();
+  const MatvecSimResult blocking = simulate_matvec(metrics, comm, model, config);
+  EXPECT_NEAR(all_boundary.total_seconds, blocking.total_seconds,
+              1e-12 * blocking.total_seconds);
+}
+
 TEST(MatvecSim, PerNodeEnergyReflectsPlacement) {
   machine::MachineModel machine = machine::wisconsin8();
   machine.cores_per_node = 2;

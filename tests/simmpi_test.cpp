@@ -8,6 +8,7 @@
 #include <numeric>
 
 #include "simmpi/runtime.hpp"
+#include "util/thread_pool.hpp"
 
 namespace amr::simmpi {
 namespace {
@@ -312,6 +313,255 @@ TEST(Watchdog, UndeliveredMailboxAppearsInDump) {
     const std::string what = e.what();
     EXPECT_NE(what.find("undelivered"), std::string::npos) << what;
   }
+}
+
+TEST(CommRequests, IsendIrecvRoundTrip) {
+  run_ranks(2, [](Comm& comm) {
+    // Default-constructed handles are complete and safe to wait on.
+    Request idle;
+    EXPECT_TRUE(idle.done());
+    idle.wait();
+
+    if (comm.rank() == 0) {
+      const std::vector<int> payload{5, 6, 7};
+      Request s = comm.isend<int>(payload, 1, 4);
+      EXPECT_TRUE(s.done());  // buffered: send requests are born complete
+      s.wait();
+    } else {
+      std::vector<int> incoming;
+      Request r = comm.irecv(incoming, 0, 4);
+      r.wait();
+      EXPECT_TRUE(r.done());
+      ASSERT_EQ(incoming.size(), 3U);
+      EXPECT_EQ(incoming[0], 5);
+      EXPECT_EQ(incoming[2], 7);
+    }
+  });
+}
+
+TEST(CommRequests, TestPollsWithoutBlocking) {
+  run_ranks(2, [](Comm& comm) {
+    std::vector<double> incoming;
+    Request r;
+    if (comm.rank() == 1) {
+      r = comm.irecv(incoming, 0, 9);
+      EXPECT_FALSE(r.test());  // sender is still held at the first barrier
+      EXPECT_FALSE(r.done());
+    }
+    comm.barrier();  // releases the send
+    if (comm.rank() == 0) comm.send<double>(std::vector<double>{2.5}, 1, 9);
+    comm.barrier();  // the send happened-before this point on every rank
+    if (comm.rank() == 1) {
+      EXPECT_TRUE(r.test());  // must match without blocking now
+      EXPECT_TRUE(r.done());
+      ASSERT_EQ(incoming.size(), 1U);
+      EXPECT_DOUBLE_EQ(incoming[0], 2.5);
+    }
+  });
+}
+
+TEST(CommRequests, OutOfOrderWaitAcrossChannels) {
+  run_ranks(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send<int>(std::vector<int>{1}, 1, 1);
+      comm.send<int>(std::vector<int>{2}, 1, 2);
+    } else {
+      std::vector<int> a;
+      std::vector<int> b;
+      Request ra = comm.irecv(a, 0, 1);
+      Request rb = comm.irecv(b, 0, 2);
+      rb.wait();  // distinct channels may complete in any order
+      ra.wait();
+      EXPECT_EQ(a.at(0), 1);
+      EXPECT_EQ(b.at(0), 2);
+    }
+  });
+}
+
+TEST(CommRequests, IalltoallvMatchesAlltoallv) {
+  run_ranks(6, [](Comm& comm) {
+    std::vector<std::vector<int>> send(6);
+    for (int q = 0; q < 6; ++q) {
+      send[static_cast<std::size_t>(q)] = {comm.rank() * 100 + q, q};
+    }
+    const auto blocking = comm.alltoallv(send);
+    std::vector<std::vector<int>> nonblocking;
+    comm.ialltoallv(send, nonblocking, 11).wait();
+    EXPECT_EQ(nonblocking, blocking);
+  });
+}
+
+TEST(CommRequests, EmptyLanesStillComplete) {
+  // A receiver cannot know a peer had nothing to say without hearing so:
+  // ialltoallv posts zero-byte messages for empty lanes, and every rank's
+  // wait completes even when the whole exchange is (almost) empty.
+  run_ranks(4, [](Comm& comm) {
+    std::vector<std::vector<double>> send(4);
+    if (comm.rank() == 2) send[0] = {1.25};
+    std::vector<std::vector<double>> recv;
+    comm.ialltoallv(send, recv, 12).wait();
+    for (int q = 0; q < 4; ++q) {
+      if (comm.rank() == 0 && q == 2) {
+        ASSERT_EQ(recv[2].size(), 1U);
+        EXPECT_DOUBLE_EQ(recv[2][0], 1.25);
+      } else {
+        EXPECT_TRUE(recv[static_cast<std::size_t>(q)].empty());
+      }
+    }
+  });
+}
+
+TEST(CommRequests, PerturbedOverlapStaysCorrect) {
+  // The overlapped-exchange pattern (post irecvs, post isends, local work,
+  // wait_all) under seeded adversarial schedules at every mailbox op.
+  for (const std::uint64_t seed : {3ULL, 41ULL, 977ULL}) {
+    ContextOptions options;
+    options.perturb_seed = seed;
+    const int p = 5;
+    run_ranks(p, options, [&](Comm& comm) {
+      for (int round = 0; round < 8; ++round) {
+        std::vector<std::vector<int>> incoming(static_cast<std::size_t>(p));
+        std::vector<Request> requests;
+        for (int q = 0; q < p; ++q) {
+          if (q == comm.rank()) continue;
+          requests.push_back(comm.irecv(incoming[static_cast<std::size_t>(q)], q, 13));
+        }
+        for (int q = 0; q < p; ++q) {
+          if (q == comm.rank()) continue;
+          requests.push_back(comm.isend<int>(
+              std::vector<int>{round * 1000 + comm.rank() * 10 + q}, q, 13));
+        }
+        // "Interior" local work while the exchange is in flight.
+        long local = 0;
+        for (int i = 0; i < 1000; ++i) local += i;
+        EXPECT_EQ(local, 499500);
+        wait_all(requests);
+        for (int q = 0; q < p; ++q) {
+          if (q == comm.rank()) continue;
+          EXPECT_EQ(incoming[static_cast<std::size_t>(q)].at(0),
+                    round * 1000 + q * 10 + comm.rank());
+        }
+      }
+    });
+  }
+}
+
+TEST(CommRequests, WatchdogOnWaitStall) {
+  // A wait on an irecv nobody answers must unwind through the watchdog
+  // with the same diagnostic as a blocking recv stall.
+  ContextOptions options;
+  options.watchdog = std::chrono::milliseconds(200);
+  try {
+    run_ranks(2, options, [](Comm& comm) {
+      if (comm.rank() == 0) {
+        std::vector<int> buf;
+        comm.irecv(buf, 1, 6).wait();  // nobody sends
+      }
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("recv"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+  }
+}
+
+TEST(Ledger, PointToPointConservation) {
+  // Every p2p byte posted is eventually taken: over a run where each rank
+  // sends a differently-sized message to every peer (including zero-byte
+  // lanes), the cohort-wide posted and taken totals must agree -- and none
+  // of it may book as collective traffic.
+  const int p = 5;
+  const RunResult result = run_ranks(p, [&](Comm& comm) {
+    std::vector<std::vector<std::uint32_t>> incoming(static_cast<std::size_t>(p));
+    std::vector<Request> requests;
+    for (int q = 0; q < p; ++q) {
+      if (q == comm.rank()) continue;
+      requests.push_back(comm.irecv(incoming[static_cast<std::size_t>(q)], q, 2));
+    }
+    for (int q = 0; q < p; ++q) {
+      if (q == comm.rank()) continue;
+      // Every rank sends q elements to rank q (rank 0 gets empty messages).
+      const std::vector<std::uint32_t> payload(
+          static_cast<std::size_t>(q), static_cast<std::uint32_t>(comm.rank()));
+      requests.push_back(comm.isend<std::uint32_t>(payload, q, 2));
+    }
+    wait_all(requests);
+    for (int q = 0; q < p; ++q) {
+      if (q == comm.rank()) continue;
+      ASSERT_EQ(incoming[static_cast<std::size_t>(q)].size(),
+                static_cast<std::size_t>(comm.rank()));
+    }
+  });
+  std::uint64_t posted_bytes = 0;
+  std::uint64_t taken_bytes = 0;
+  std::uint64_t posted_messages = 0;
+  std::uint64_t taken_messages = 0;
+  for (const CostLedger& ledger : result.ledgers) {
+    posted_bytes += ledger.p2p_bytes_sent;
+    taken_bytes += ledger.p2p_bytes_received;
+    posted_messages += ledger.p2p_messages_sent;
+    taken_messages += ledger.p2p_messages_received;
+    EXPECT_EQ(ledger.collectives, 0U);
+    EXPECT_EQ(ledger.bytes_sent, 0U);
+    EXPECT_EQ(ledger.messages_sent, 0U);
+  }
+  EXPECT_EQ(posted_bytes, taken_bytes);
+  EXPECT_EQ(posted_messages, taken_messages);
+  EXPECT_EQ(posted_messages, static_cast<std::uint64_t>(p) * (p - 1));
+  // Rank q hears q elements from each of its p-1 peers.
+  std::uint64_t expected_bytes = 0;
+  for (int q = 0; q < p; ++q) {
+    expected_bytes +=
+        static_cast<std::uint64_t>(q) * (p - 1) * sizeof(std::uint32_t);
+  }
+  EXPECT_EQ(posted_bytes, expected_bytes);
+}
+
+TEST(ThreadPoolComm, InteriorKernelRunsWhileRequestsInFlight) {
+  // The overlapped-matvec shape: post the exchange, run the interior
+  // kernel as a fork-join batch on a shared thread pool while requests
+  // are in flight, then wait and consume. All ranks share one pool, so
+  // pool workers and mailbox wakeups interleave freely (the TSan job
+  // checks the synchronization between them).
+  util::ThreadPool pool(3);
+  const int p = 4;
+  run_ranks(p, [&](Comm& comm) {
+    for (int round = 0; round < 5; ++round) {
+      const int left = (comm.rank() + p - 1) % p;
+      const int right = (comm.rank() + 1) % p;
+      std::vector<int> from_left;
+      std::vector<int> from_right;
+      std::vector<Request> requests;
+      requests.push_back(comm.irecv(from_left, left, 21));
+      requests.push_back(comm.irecv(from_right, right, 21));
+      const std::vector<int> mine{comm.rank() * 7 + round};
+      requests.push_back(comm.isend<int>(mine, left, 21));
+      requests.push_back(comm.isend<int>(mine, right, 21));
+
+      // Interior kernel: strided partial sums joined on the pool.
+      std::vector<long> data(4096);
+      std::iota(data.begin(), data.end(), 0L);
+      std::vector<long> partial(4);
+      std::vector<std::function<void()>> tasks;
+      for (std::size_t t = 0; t < partial.size(); ++t) {
+        tasks.push_back([t, &data, &partial] {
+          long acc = 0;
+          for (std::size_t i = t; i < data.size(); i += 4) acc += data[i];
+          partial[t] = acc;
+        });
+      }
+      pool.run(std::move(tasks));
+      const long total = std::accumulate(partial.begin(), partial.end(), 0L);
+      EXPECT_EQ(total, 4096L * 4095L / 2);
+
+      wait_all(requests);
+      ASSERT_EQ(from_left.size(), 1U);
+      ASSERT_EQ(from_right.size(), 1U);
+      EXPECT_EQ(from_left[0], left * 7 + round);
+      EXPECT_EQ(from_right[0], right * 7 + round);
+    }
+  });
 }
 
 TEST(Runtime, ManyRanksStress) {
