@@ -15,6 +15,7 @@
 #include <functional>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,10 @@ struct Result {
   double elements_per_second = 0.0;
   double speedup_vs_tablewalk = 0.0;
   double speedup_vs_comparator = 0.0;
+  /// keysort.{encode,sort,copy_back} breakdown from one instrumented rep
+  /// (empty for methods that never enter the keyed engine). The timed
+  /// reps run with tracing disabled.
+  std::map<std::string, obs::PhaseAggregate> phases;
 };
 
 template <typename SortFn>
@@ -114,8 +119,15 @@ int main(int argc, char** argv) {
       // Time every method first, then express speedups against both
       // baselines (the seed TreeSort engine and pure comparator sorting).
       std::vector<double> seconds;
+      std::vector<std::map<std::string, obs::PhaseAggregate>> phase_maps;
       for (const Method& method : methods) {
         seconds.push_back(best_of(repeats, base, method.run));
+        // One extra, untimed rep with the span recorder on for the
+        // per-phase breakdown.
+        phase_maps.push_back(bench::trace_phases([&] {
+          auto data = base;
+          method.run(data);
+        }));
       }
       const double comparator_seconds = seconds[0];
       const double tablewalk_seconds = seconds[1];
@@ -128,6 +140,7 @@ int main(int argc, char** argv) {
         r.elements_per_second = static_cast<double>(n) / seconds[m];
         r.speedup_vs_tablewalk = tablewalk_seconds / seconds[m];
         r.speedup_vs_comparator = comparator_seconds / seconds[m];
+        r.phases = std::move(phase_maps[m]);
         results.push_back(r);
         table.add_row({r.distribution, std::to_string(n), r.method,
                        util::Table::fmt(r.best_seconds, 4),
@@ -154,8 +167,9 @@ int main(int argc, char** argv) {
          << ", \"seconds\": " << r.best_seconds
          << ", \"elements_per_second\": " << r.elements_per_second
          << ", \"speedup_vs_tablewalk\": " << r.speedup_vs_tablewalk
-         << ", \"speedup_vs_comparator\": " << r.speedup_vs_comparator << "}"
-         << (i + 1 < results.size() ? ",\n" : "\n");
+         << ", \"speedup_vs_comparator\": " << r.speedup_vs_comparator << ", ";
+    bench::write_phases_json(json, r.phases);
+    json << "}" << (i + 1 < results.size() ? ",\n" : "\n");
   }
   json << "  ]\n}\n";
   std::printf("wrote %s\n", json_path.c_str());

@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -48,6 +49,9 @@ struct Result {
   double elements_per_second = 0.0;
   double exposed_comm_fraction = 1.0;  ///< wait / total exchange, cohort-wide
   double exchange_share = 0.0;         ///< exchange / (compute + exchange)
+  /// Span-recorder breakdown from one extra instrumented rep (the timed
+  /// reps run with tracing disabled, so the numbers above are unaffected).
+  std::map<std::string, obs::PhaseAggregate> phases;
 };
 
 struct RunOutcome {
@@ -157,6 +161,10 @@ int main(int argc, char** argv) {
           static_cast<double>(tree.size()) * iterations / best.seconds;
       r.exposed_comm_fraction = best.exposed_fraction;
       r.exchange_share = best.exchange_share;
+      // One extra rep with the span recorder on, for the per-phase
+      // breakdown; the timed reps above ran with tracing disabled.
+      r.phases = bench::trace_phases(
+          [&] { (void)run_variant(variants[v], p, meshes, u0, iterations); });
     }
     for (const Result& r : row) {
       table.add_row({std::to_string(p), r.variant, util::Table::fmt(r.best_seconds, 4),
@@ -183,8 +191,9 @@ int main(int argc, char** argv) {
          << ", \"elements\": " << r.elements << ", \"seconds\": " << r.best_seconds
          << ", \"elements_per_second\": " << r.elements_per_second
          << ", \"exposed_comm_fraction\": " << r.exposed_comm_fraction
-         << ", \"exchange_share\": " << r.exchange_share << "}"
-         << (i + 1 < results.size() ? ",\n" : "\n");
+         << ", \"exchange_share\": " << r.exchange_share << ", ";
+    bench::write_phases_json(json, r.phases);
+    json << "}" << (i + 1 < results.size() ? ",\n" : "\n");
   }
   json << "  ]\n}\n";
   std::printf("wrote %s\n", json_path.c_str());

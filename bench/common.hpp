@@ -9,9 +9,13 @@
 //  * optionally mirrors each table to CSV via --csv-dir=<path>.
 #pragma once
 
+#include <map>
+#include <ostream>
 #include <string>
 
 #include "machine/perf_model.hpp"
+#include "obs/model_validation.hpp"
+#include "obs/recorder.hpp"
 #include "octree/balance.hpp"
 #include "octree/generate.hpp"
 #include "octree/treesort.hpp"
@@ -75,6 +79,39 @@ std::vector<SweepPoint> tolerance_sweep(const std::vector<octree::Octant>& tree,
                                         const machine::PerfModel& model,
                                         const std::vector<double>& tolerances,
                                         int iterations, double sample_hz);
+
+/// Run `fn` once with the span recorder enabled and return the per-phase
+/// aggregate of the events it recorded. Benches call this AFTER their
+/// timed repetitions: the timed reps run with tracing disabled (the
+/// recorder's default), so the reported throughput numbers are unaffected
+/// and only this extra rep pays the instrumentation cost.
+template <typename Fn>
+std::map<std::string, obs::PhaseAggregate> trace_phases(Fn&& fn) {
+  obs::set_enabled(true);
+  obs::clear();
+  fn();
+  obs::set_enabled(false);
+  auto phases = obs::aggregate_phases(obs::snapshot());
+  obs::clear();
+  return phases;
+}
+
+/// Emit a `"phases": {...}` JSON fragment (no trailing comma/newline) for
+/// a BENCH_*.json result row.
+inline void write_phases_json(
+    std::ostream& out, const std::map<std::string, obs::PhaseAggregate>& phases) {
+  out << "\"phases\": {";
+  bool first = true;
+  for (const auto& [name, agg] : phases) {
+    out << (first ? "" : ", ") << '"' << name
+        << "\": {\"seconds\": " << agg.total_seconds
+        << ", \"max_rank_seconds\": " << agg.max_rank_seconds
+        << ", \"spans\": " << agg.span_count << ", \"bytes\": " << agg.comm_bytes
+        << ", \"msgs\": " << agg.comm_messages << '}';
+    first = false;
+  }
+  out << '}';
+}
 
 /// Print the table and optionally mirror it to <csv-dir>/<name>.csv.
 inline void emit(const util::Table& table, const util::Args& args,

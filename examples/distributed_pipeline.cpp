@@ -12,12 +12,15 @@
 // gathers the pieces and verifies the epoch against the sequential engine.
 //
 // Run: ./examples/distributed_pipeline [--p 8] [--points-per-rank 4000]
-//      [--iterations 20]
+//      [--iterations 20] [--trace trace.json]
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 
 #include "fem/laplacian.hpp"
 #include "mesh/mesh.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace_export.hpp"
 #include "octree/treesort.hpp"
 #include "simmpi/dist_balance.hpp"
 #include "simmpi/dist_fem.hpp"
@@ -34,7 +37,9 @@ int main(int argc, char** argv) {
   const int p = static_cast<int>(args.get_int("p", 8));
   const std::size_t per_rank = static_cast<std::size_t>(args.get_int("points-per-rank", 4000));
   const int iterations = static_cast<int>(args.get_int("iterations", 20));
+  const std::string trace_path = args.get("trace", "");
   const sfc::Curve curve(sfc::CurveKind::kHilbert, 3);
+  if (!trace_path.empty()) obs::set_enabled(true);
 
   std::vector<std::vector<octree::Octant>> pieces(static_cast<std::size_t>(p));
   std::vector<std::vector<double>> results(static_cast<std::size_t>(p));
@@ -94,6 +99,12 @@ int main(int argc, char** argv) {
     meshes[static_cast<std::size_t>(comm.rank())] = mesh;
   });
   const double pipeline_s = timer.seconds();
+  if (!trace_path.empty()) {
+    obs::set_enabled(false);
+    std::ofstream out(trace_path);
+    obs::write_chrome_trace(out, obs::snapshot());
+    std::printf("wrote %s (open at https://ui.perfetto.dev)\n", trace_path.c_str());
+  }
 
   // Cross-check: the gathered pieces form a complete tree, and the epoch
   // matches the sequential engine bit for bit.

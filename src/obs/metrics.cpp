@@ -1,0 +1,197 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "energy/sampler.hpp"
+#include "partition/metrics.hpp"
+#include "simmpi/comm.hpp"
+#include "simmpi/dist_fem.hpp"
+
+namespace amr::obs {
+
+namespace {
+
+/// JSON-safe number: finite doubles as shortest round-trip-ish form,
+/// non-finite as null (JSON has no inf/nan).
+void write_number(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "null";
+    return;
+  }
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    out << static_cast<long long>(v);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out << buf;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+void pad(std::ostream& out, int indent) {
+  for (int i = 0; i < indent; ++i) out << ' ';
+}
+
+}  // namespace
+
+RunMetrics& RunMetrics::child(const std::string& name) {
+  for (RunMetrics& c : children_) {
+    if (c.name_ == name) return c;
+  }
+  children_.emplace_back(name);
+  return children_.back();
+}
+
+const RunMetrics* RunMetrics::find(const std::string& name) const {
+  for (const RunMetrics& c : children_) {
+    if (c.name_ == name) return &c;
+  }
+  return nullptr;
+}
+
+void RunMetrics::set(const std::string& key, double value) {
+  for (auto& [k, v] : values_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  values_.emplace_back(key, value);
+}
+
+double RunMetrics::get(const std::string& key, double fallback) const {
+  for (const auto& [k, v] : values_) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+void RunMetrics::to_json(std::ostream& out, int indent) const {
+  out << "{\n";
+  bool first = true;
+  for (const auto& [k, v] : values_) {
+    if (!first) out << ",\n";
+    first = false;
+    pad(out, indent + 2);
+    write_string(out, k);
+    out << ": ";
+    write_number(out, v);
+  }
+  for (const RunMetrics& c : children_) {
+    if (!first) out << ",\n";
+    first = false;
+    pad(out, indent + 2);
+    write_string(out, c.name_);
+    out << ": ";
+    c.to_json(out, indent + 2);
+  }
+  out << "\n";
+  pad(out, indent);
+  out << "}";
+}
+
+void RunMetrics::to_text(std::ostream& out, int indent) const {
+  if (!name_.empty()) {
+    pad(out, indent);
+    out << name_ << ":\n";
+    indent += 2;
+  }
+  for (const auto& [k, v] : values_) {
+    pad(out, indent);
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    out << k << " = " << buf << "\n";
+  }
+  for (const RunMetrics& c : children_) c.to_text(out, indent);
+}
+
+std::string RunMetrics::json() const {
+  std::ostringstream out;
+  to_json(out);
+  out << "\n";
+  return out.str();
+}
+
+std::string RunMetrics::text() const {
+  std::ostringstream out;
+  to_text(out);
+  return out.str();
+}
+
+void append_ledger(RunMetrics& node, const simmpi::CostLedger& ledger) {
+  node.set("collective_bytes_sent", static_cast<double>(ledger.bytes_sent));
+  node.set("collective_messages", static_cast<double>(ledger.messages_sent));
+  node.set("collectives", static_cast<double>(ledger.collectives));
+  node.set("p2p_bytes_sent", static_cast<double>(ledger.p2p_bytes_sent));
+  node.set("p2p_messages_sent", static_cast<double>(ledger.p2p_messages_sent));
+  node.set("p2p_bytes_received", static_cast<double>(ledger.p2p_bytes_received));
+  node.set("p2p_messages_received",
+           static_cast<double>(ledger.p2p_messages_received));
+  node.set("total_bytes_sent", static_cast<double>(ledger.total_bytes_sent()));
+}
+
+void append_ledgers(RunMetrics& node, std::span<const simmpi::CostLedger> ledgers) {
+  simmpi::CostLedger total;
+  std::uint64_t max_bytes = 0;
+  for (const simmpi::CostLedger& l : ledgers) {
+    total.bytes_sent += l.bytes_sent;
+    total.messages_sent += l.messages_sent;
+    total.collectives += l.collectives;
+    total.p2p_bytes_sent += l.p2p_bytes_sent;
+    total.p2p_messages_sent += l.p2p_messages_sent;
+    total.p2p_bytes_received += l.p2p_bytes_received;
+    total.p2p_messages_received += l.p2p_messages_received;
+    max_bytes = std::max(max_bytes, l.total_bytes_sent());
+  }
+  append_ledger(node.child("total"), total);
+  node.set("ranks", static_cast<double>(ledgers.size()));
+  node.set("max_rank_bytes_sent", static_cast<double>(max_bytes));
+  node.set("total_bytes_sent", static_cast<double>(total.total_bytes_sent()));
+  node.set("total_messages_sent",
+           static_cast<double>(total.total_messages_sent()));
+  for (std::size_t r = 0; r < ledgers.size(); ++r) {
+    append_ledger(node.child("rank_" + std::to_string(r)), ledgers[r]);
+  }
+}
+
+void append_fem_report(RunMetrics& node, const simmpi::DistFemReport& report) {
+  node.set("compute_seconds", report.compute_seconds);
+  node.set("exchange_seconds", report.exchange_seconds);
+  node.set("post_seconds", report.post_seconds);
+  node.set("exchange_wait_seconds", report.exchange_wait_seconds);
+  node.set("interior_compute_seconds", report.interior_compute_seconds);
+  node.set("boundary_compute_seconds", report.boundary_compute_seconds);
+  node.set("ghost_elements_sent", static_cast<double>(report.ghost_elements_sent));
+  node.set("exposed_comm_fraction", report.exposed_comm_fraction());
+}
+
+void append_partition_metrics(RunMetrics& node, const partition::Metrics& metrics) {
+  node.set("w_max", metrics.w_max);
+  node.set("c_max", metrics.c_max);
+  node.set("m_max", metrics.m_max);
+  node.set("load_imbalance", metrics.load_imbalance);
+  node.set("comm_imbalance", metrics.comm_imbalance);
+  node.set("total_boundary", metrics.total_boundary);
+}
+
+void append_energy_report(RunMetrics& node, const energy::EnergyReport& report) {
+  node.set("duration_s", report.duration_s);
+  node.set("total_joules", report.total_joules);
+  node.set("comm_joules", report.comm_joules);
+  node.set("samples", static_cast<double>(report.samples));
+  node.set("nodes", static_cast<double>(report.per_node_joules.size()));
+}
+
+}  // namespace amr::obs

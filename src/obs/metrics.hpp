@@ -1,0 +1,70 @@
+// RunMetrics: one tree that unifies the repo's scattered run accounting --
+// simmpi CostLedgers, DistFemReport phase timings, partition quality
+// metrics, the energy sampler's report -- so a pipeline run dumps a single
+// JSON/pretty-text document instead of four ad-hoc printf formats
+// (DESIGN.md §11).
+//
+// The tree is deliberately dumb: named nodes holding ordered (key, double)
+// scalars. Builders for each subsystem live here so call sites stay one
+// line; serialization is stable (insertion order) so diffs between runs
+// are meaningful.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace amr::simmpi {
+struct CostLedger;
+struct DistFemReport;
+}  // namespace amr::simmpi
+namespace amr::partition {
+struct Metrics;
+}
+namespace amr::energy {
+struct EnergyReport;
+}
+
+namespace amr::obs {
+
+class RunMetrics {
+ public:
+  RunMetrics() = default;
+  explicit RunMetrics(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Find-or-create a child node.
+  RunMetrics& child(const std::string& name);
+  [[nodiscard]] const RunMetrics* find(const std::string& name) const;
+
+  /// Set (insert or overwrite) one scalar.
+  void set(const std::string& key, double value);
+  [[nodiscard]] double get(const std::string& key, double fallback = 0.0) const;
+
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& values() const {
+    return values_;
+  }
+  [[nodiscard]] const std::vector<RunMetrics>& children() const { return children_; }
+
+  void to_json(std::ostream& out, int indent = 0) const;
+  void to_text(std::ostream& out, int indent = 0) const;
+  [[nodiscard]] std::string json() const;
+  [[nodiscard]] std::string text() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> values_;
+  std::vector<RunMetrics> children_;
+};
+
+/// Builders: fold one subsystem's report into `node`.
+void append_ledger(RunMetrics& node, const simmpi::CostLedger& ledger);
+void append_ledgers(RunMetrics& node, std::span<const simmpi::CostLedger> ledgers);
+void append_fem_report(RunMetrics& node, const simmpi::DistFemReport& report);
+void append_partition_metrics(RunMetrics& node, const partition::Metrics& metrics);
+void append_energy_report(RunMetrics& node, const energy::EnergyReport& report);
+
+}  // namespace amr::obs

@@ -1,0 +1,145 @@
+#include "obs/model_validation.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <ostream>
+
+namespace amr::obs {
+
+namespace {
+
+/// "<phase>/bytes" or "<phase>/msgs" -> "<phase>" + which; empty phase if
+/// the counter is neither.
+struct CounterKey {
+  std::string phase;
+  bool is_msgs = false;
+};
+
+CounterKey phase_of_counter(const char* name) {
+  const char* slash = std::strrchr(name, '/');
+  if (slash == nullptr) return {};
+  CounterKey key;
+  if (std::strcmp(slash, "/bytes") == 0) {
+    key.is_msgs = false;
+  } else if (std::strcmp(slash, "/msgs") == 0) {
+    key.is_msgs = true;
+  } else {
+    return {};
+  }
+  key.phase.assign(name, static_cast<std::size_t>(slash - name));
+  return key;
+}
+
+}  // namespace
+
+std::map<std::string, PhaseAggregate> aggregate_phases(const Snapshot& snap) {
+  std::map<std::string, PhaseAggregate> phases;
+  for (const Event& e : snap.events) {
+    if (e.type == EventType::kSpan) {
+      PhaseAggregate& agg = phases[e.name];
+      const double seconds = static_cast<double>(e.dur_ns) * 1e-9;
+      agg.total_seconds += seconds;
+      agg.rank_seconds[e.rank] += seconds;
+      ++agg.span_count;
+    } else if (e.type == EventType::kCounter) {
+      const CounterKey key = phase_of_counter(e.name);
+      if (!key.phase.empty()) {
+        if (key.is_msgs) {
+          phases[key.phase].comm_messages += static_cast<std::uint64_t>(e.value);
+        } else {
+          phases[key.phase].comm_bytes += static_cast<std::uint64_t>(e.value);
+        }
+      }
+    }
+  }
+  for (auto& [name, agg] : phases) {
+    for (const auto& [rank, seconds] : agg.rank_seconds) {
+      agg.max_rank_seconds = std::max(agg.max_rank_seconds, seconds);
+    }
+  }
+  return phases;
+}
+
+bool ModelValidationReport::all_within_band() const {
+  return std::all_of(rows.begin(), rows.end(),
+                     [](const PhaseRow& r) { return r.within_band; });
+}
+
+util::Table ModelValidationReport::to_table() const {
+  util::Table table({"phase", "predicted_s", "measured_s", "ratio", "comm_bytes",
+                     "msgs", "spans", "in_band"});
+  for (const PhaseRow& r : rows) {
+    table.add_row({r.phase, util::Table::fmt(r.predicted_seconds, 6),
+                   util::Table::fmt(r.measured_seconds, 6),
+                   util::Table::fmt(r.ratio, 3),
+                   util::Table::fmt_int(static_cast<long long>(r.comm_bytes)),
+                   util::Table::fmt_int(static_cast<long long>(r.comm_messages)),
+                   util::Table::fmt_int(static_cast<long long>(r.span_count)),
+                   r.within_band ? "yes" : "NO"});
+  }
+  for (const std::string& m : missing) {
+    table.add_row({m, "-", "MISSING", "-", "-", "-", "0", "NO"});
+  }
+  return table;
+}
+
+void ModelValidationReport::to_json(std::ostream& out) const {
+  out << "{\n  \"band\": [" << band_low << ", " << band_high << "],\n"
+      << "  \"complete\": " << (complete() ? "true" : "false") << ",\n"
+      << "  \"all_within_band\": " << (all_within_band() ? "true" : "false")
+      << ",\n  \"missing_phases\": [";
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    out << (i != 0 ? ", " : "") << '"' << missing[i] << '"';
+  }
+  out << "],\n  \"phases\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const PhaseRow& r = rows[i];
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"phase\": \"%s\", \"predicted_seconds\": %.9g, "
+                  "\"measured_seconds\": %.9g, \"ratio\": %.6g, "
+                  "\"comm_bytes\": %llu, \"comm_messages\": %llu, "
+                  "\"spans\": %llu, \"within_band\": %s}",
+                  r.phase.c_str(), r.predicted_seconds, r.measured_seconds, r.ratio,
+                  static_cast<unsigned long long>(r.comm_bytes),
+                  static_cast<unsigned long long>(r.comm_messages),
+                  static_cast<unsigned long long>(r.span_count),
+                  r.within_band ? "true" : "false");
+    out << buf << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+}
+
+ModelValidationReport validate_model(const Snapshot& snap,
+                                     std::span<const PhaseExpectation> expected,
+                                     const ValidationOptions& options) {
+  const auto phases = aggregate_phases(snap);
+  ModelValidationReport report;
+  report.band_low = options.band_low;
+  report.band_high = options.band_high;
+  for (const PhaseExpectation& exp : expected) {
+    const auto it = phases.find(exp.phase);
+    if (it == phases.end() || it->second.span_count == 0) {
+      report.missing.push_back(exp.phase);
+      continue;
+    }
+    const PhaseAggregate& agg = it->second;
+    PhaseRow row;
+    row.phase = exp.phase;
+    row.predicted_seconds = exp.predicted_seconds;
+    row.measured_seconds = agg.max_rank_seconds;
+    row.ratio = row.measured_seconds > 0.0
+                    ? row.predicted_seconds / row.measured_seconds
+                    : 0.0;
+    row.comm_bytes = agg.comm_bytes;
+    row.comm_messages = agg.comm_messages;
+    row.span_count = agg.span_count;
+    row.within_band =
+        row.ratio >= options.band_low && row.ratio <= options.band_high;
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+}  // namespace amr::obs

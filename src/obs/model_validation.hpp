@@ -1,0 +1,96 @@
+// Model-validation report: the join between what the performance model
+// predicted and what the instrumented code actually did (DESIGN.md §11).
+//
+// The paper's argument rests on Eq. 3 -- Tp = alpha*tc*Wmax + tw*Cmax --
+// and OptiPart chooses partitions by it, so every distributed_pipeline
+// run should double as an audit of the model. The flow:
+//
+//   1. Instrumented phases (AMR_SPAN names, a stable public contract) are
+//      aggregated from a recorder Snapshot: per phase, the per-rank span
+//      totals, the max over ranks (what a bulk-synchronous model
+//      predicts), and the communication bytes attributed to the phase by
+//      the "<phase>/bytes" ledger-delta counters.
+//   2. The caller supplies one PhaseExpectation per phase it can price
+//      (treesort phases via Eq. 2's breakdown, the matvec epoch via the
+//      overlap-aware Eq. 3 extension, exchange phases via tw/ts on the
+//      measured volume).
+//   3. validate_model joins the two into predicted/measured/ratio rows,
+//      flags rows whose ratio leaves the configured band, and lists
+//      expected phases with no measurement (instrumentation rot -- CI
+//      fails on it).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/recorder.hpp"
+#include "util/table.hpp"
+
+namespace amr::obs {
+
+/// Aggregate of one span name over a Snapshot.
+struct PhaseAggregate {
+  double max_rank_seconds = 0.0;    ///< max over ranks of per-rank span total
+  double total_seconds = 0.0;       ///< sum over all ranks/threads
+  std::uint64_t span_count = 0;
+  std::uint64_t comm_bytes = 0;     ///< sum of "<phase>/bytes" counters
+  std::uint64_t comm_messages = 0;  ///< sum of "<phase>/msgs" counters
+  std::map<int, double> rank_seconds;
+};
+
+/// Span totals + byte counters per phase name. Counter events named
+/// "<phase>/bytes" ("/msgs") are folded into the phase's comm_bytes
+/// (comm_messages); other counters and instants are ignored here (the
+/// trace keeps them).
+[[nodiscard]] std::map<std::string, PhaseAggregate> aggregate_phases(
+    const Snapshot& snap);
+
+struct PhaseExpectation {
+  std::string phase;
+  double predicted_seconds = 0.0;
+};
+
+struct ValidationOptions {
+  /// Acceptable predicted/measured ratio band. The defaults are wide on
+  /// purpose: the machine model prices a modeled interconnect, not this
+  /// host, so the report's job is to catch order-of-magnitude breaks and
+  /// trends, not 5% noise.
+  double band_low = 0.1;
+  double band_high = 10.0;
+};
+
+struct PhaseRow {
+  std::string phase;
+  double predicted_seconds = 0.0;
+  double measured_seconds = 0.0;  ///< max over ranks
+  double ratio = 0.0;             ///< predicted / measured
+  std::uint64_t comm_bytes = 0;
+  std::uint64_t comm_messages = 0;
+  std::uint64_t span_count = 0;
+  bool within_band = false;
+};
+
+struct ModelValidationReport {
+  std::vector<PhaseRow> rows;
+  std::vector<std::string> missing;  ///< expected phases never measured
+  double band_low = 0.0;
+  double band_high = 0.0;
+
+  /// Every expected phase was measured at least once.
+  [[nodiscard]] bool complete() const { return missing.empty(); }
+  [[nodiscard]] bool all_within_band() const;
+
+  [[nodiscard]] util::Table to_table() const;
+  void to_json(std::ostream& out) const;
+};
+
+/// Join measured phase aggregates against the model's predictions.
+[[nodiscard]] ModelValidationReport validate_model(
+    const Snapshot& snap, std::span<const PhaseExpectation> expected,
+    const ValidationOptions& options = {});
+
+}  // namespace amr::obs

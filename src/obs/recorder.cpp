@@ -1,0 +1,179 @@
+#include "obs/recorder.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "util/thread_id.hpp"
+
+namespace amr::obs {
+
+namespace {
+
+constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t c = 1;
+  while (c < n) c <<= 1;
+  return c;
+}
+
+/// Single-writer ring buffer. The owning thread is the only writer; the
+/// snapshot reader synchronizes through the release store of head_ (and,
+/// in the supported usage, through the join/batch-completion that made
+/// the owner quiescent).
+class ThreadBuffer {
+ public:
+  explicit ThreadBuffer(std::size_t capacity)
+      : mask_(capacity - 1), slots_(capacity) {}
+
+  void push(const Event& event) noexcept {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    slots_[static_cast<std::size_t>(h) & mask_] = event;
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  void collect(std::vector<Event>& out, std::uint64_t& dropped) const {
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    const std::uint64_t capacity = mask_ + 1;
+    const std::uint64_t kept = h < capacity ? h : capacity;
+    dropped += h - kept;
+    for (std::uint64_t i = h - kept; i < h; ++i) {
+      out.push_back(slots_[static_cast<std::size_t>(i) & mask_]);
+    }
+  }
+
+  void reset() noexcept { head_.store(0, std::memory_order_release); }
+
+  /// Set by the owning thread's exit hook; clear() prunes dead buffers.
+  std::atomic<bool> owner_alive{true};
+
+ private:
+  std::atomic<std::uint64_t> head_{0};
+  std::size_t mask_;
+  std::vector<Event> slots_;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::size_t capacity = 0;  ///< 0 = resolve from env on first buffer
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: threads may outlive statics
+  return *r;
+}
+
+std::size_t resolve_capacity() {
+  Registry& r = registry();
+  if (r.capacity == 0) {
+    std::size_t cap = kDefaultCapacity;
+    if (const char* env = std::getenv("AMR_TRACE_BUFFER")) {
+      const long long v = std::atoll(env);
+      if (v > 0) cap = static_cast<std::size_t>(v);
+    }
+    r.capacity = round_up_pow2(std::max<std::size_t>(cap, 8));
+  }
+  return r.capacity;
+}
+
+/// Thread-local handle; its destructor marks the buffer as orphaned so a
+/// later clear() can prune it, while snapshot() still sees the events of
+/// finished threads (simmpi rank threads are gone by the time the tool
+/// exports the trace).
+struct LocalHandle {
+  std::shared_ptr<ThreadBuffer> buffer;
+  ~LocalHandle() {
+    if (buffer) buffer->owner_alive.store(false, std::memory_order_release);
+  }
+};
+
+ThreadBuffer& local_buffer() {
+  thread_local LocalHandle handle;
+  if (!handle.buffer) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    handle.buffer = std::make_shared<ThreadBuffer>(resolve_capacity());
+    r.buffers.push_back(handle.buffer);
+  }
+  return *handle.buffer;
+}
+
+std::int64_t epoch_ns() noexcept {
+  static const std::int64_t epoch =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  return epoch;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<int> g_enabled{-1};
+
+int resolve_enabled_slow() noexcept {
+  const char* env = std::getenv("AMR_TRACE");
+  const int v = (env != nullptr && env[0] != '\0' && env[0] != '0') ? 1 : 0;
+  int expected = -1;
+  g_enabled.compare_exchange_strong(expected, v, std::memory_order_relaxed);
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+std::int64_t now_ns() noexcept {
+  const std::int64_t t = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now().time_since_epoch())
+                             .count();
+  return t - epoch_ns();
+}
+
+void record(const Event& event) noexcept {
+  Event stamped = event;
+  stamped.rank = util::current_rank();
+  stamped.tid = util::current_tid();
+  local_buffer().push(stamped);
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void set_buffer_capacity(std::size_t events) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.capacity = round_up_pow2(std::max<std::size_t>(events, 8));
+}
+
+void clear() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::erase_if(r.buffers, [](const std::shared_ptr<ThreadBuffer>& b) {
+    return !b->owner_alive.load(std::memory_order_acquire);
+  });
+  for (const auto& b : r.buffers) b->reset();
+}
+
+std::size_t buffer_count() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.buffers.size();
+}
+
+Snapshot snapshot() {
+  Registry& r = registry();
+  Snapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (const auto& b : r.buffers) b->collect(snap.events, snap.dropped);
+  }
+  std::stable_sort(snap.events.begin(), snap.events.end(),
+                   [](const Event& a, const Event& b) { return a.ts_ns < b.ts_ns; });
+  return snap;
+}
+
+}  // namespace amr::obs

@@ -1,0 +1,163 @@
+// obs: per-rank span recorder -- the tracing half of the observability
+// subsystem (DESIGN.md §11).
+//
+// Instrumented code records three kinds of events:
+//   * spans    -- AMR_SPAN("treesort.exchange") opens an RAII scope; one
+//                 complete event (begin timestamp + duration) is recorded
+//                 when the scope closes. Spans may carry an int64 payload
+//                 (e.g. bytes moved by the op).
+//   * instants -- AMR_INSTANT("optipart.round") marks a point in time.
+//   * counters -- AMR_COUNTER("treesort.exchange/bytes", n) records an
+//                 int64 sample (rendered as a counter track in the trace
+//                 viewer; summed by the metrics aggregation).
+//
+// Recording is lock-free and allocation-free on the hot path: every
+// thread owns a fixed-capacity ring buffer it alone writes (oldest events
+// are overwritten on wrap, with a dropped count), created on the thread's
+// first recorded event. Timestamps come from one process-wide
+// steady-clock epoch. Each event is stamped with the thread's tid and the
+// simmpi rank it was acting as (util/thread_id), which is how the Chrome
+// exporter lays one pid per simulated rank.
+//
+// When tracing is disabled (the default; enable with AMR_TRACE=1 or
+// obs::set_enabled(true)) every macro reduces to one relaxed atomic load
+// -- no clock read, no buffer creation, no allocation.
+//
+// Span and counter names must have static storage duration (string
+// literals): the recorder stores the pointer, not a copy.
+//
+// snapshot() may be called at any time, but sees a consistent, complete
+// picture only for threads that are quiescent or have finished (the
+// normal use: after run_ranks joins / ThreadPool::run returns, whose
+// synchronization orders the workers' writes before the reader).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace amr::obs {
+
+enum class EventType : std::uint8_t {
+  kSpan = 0,     ///< complete scope: [ts_ns, ts_ns + dur_ns)
+  kInstant = 1,  ///< point event at ts_ns
+  kCounter = 2,  ///< int64 sample at ts_ns (value)
+};
+
+struct Event {
+  const char* name = nullptr;  ///< static-storage string
+  std::int64_t ts_ns = 0;      ///< nanoseconds since the recorder epoch
+  std::int64_t dur_ns = 0;     ///< spans only
+  std::int64_t value = 0;      ///< counter sample / optional span payload
+  std::int32_t rank = -1;      ///< simmpi rank, -1 = host
+  std::int32_t tid = 0;        ///< process-unique small thread id
+  EventType type = EventType::kSpan;
+};
+
+namespace detail {
+/// -1 = unresolved (consult AMR_TRACE on first query), 0 = off, 1 = on.
+extern std::atomic<int> g_enabled;
+int resolve_enabled_slow() noexcept;
+void record(const Event& event) noexcept;
+[[nodiscard]] std::int64_t now_ns() noexcept;
+}  // namespace detail
+
+/// Fast global switch; one relaxed load on the disabled path.
+[[nodiscard]] inline bool enabled() noexcept {
+  int v = detail::g_enabled.load(std::memory_order_relaxed);
+  if (v < 0) v = detail::resolve_enabled_slow();
+  return v == 1;
+}
+
+void set_enabled(bool on) noexcept;
+
+/// Capacity (events) of rings created after this call; rounded up to a
+/// power of two, default 1<<16 (or AMR_TRACE_BUFFER). Existing buffers
+/// keep their size.
+void set_buffer_capacity(std::size_t events);
+
+/// Drop all recorded events and retire buffers of threads that have
+/// exited. Callers must ensure no thread is concurrently recording.
+void clear();
+
+/// Number of thread ring buffers ever created and still tracked (test
+/// hook: disabled-mode recording must create none).
+[[nodiscard]] std::size_t buffer_count();
+
+struct Snapshot {
+  std::vector<Event> events;    ///< all retained events, ascending ts_ns
+  std::uint64_t dropped = 0;    ///< events lost to ring wraparound
+};
+
+/// Collect every retained event from every thread buffer.
+[[nodiscard]] Snapshot snapshot();
+
+inline void instant(const char* name) noexcept {
+  if (!enabled()) return;
+  Event e;
+  e.name = name;
+  e.ts_ns = detail::now_ns();
+  e.type = EventType::kInstant;
+  detail::record(e);
+}
+
+inline void counter(const char* name, std::int64_t value) noexcept {
+  if (!enabled()) return;
+  Event e;
+  e.name = name;
+  e.ts_ns = detail::now_ns();
+  e.value = value;
+  e.type = EventType::kCounter;
+  detail::record(e);
+}
+
+/// RAII span. The enabled() decision is latched at construction so a
+/// scope that straddles a toggle stays internally consistent.
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name) noexcept {
+    if (!enabled()) return;
+    name_ = name;
+    start_ns_ = detail::now_ns();
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  /// Attach an int64 payload (e.g. bytes moved) to the span event.
+  void set_value(std::int64_t value) noexcept { value_ = value; }
+
+  /// Record the span now instead of at scope exit. Idempotent.
+  void close() noexcept {
+    if (name_ == nullptr) return;
+    Event e;
+    e.name = name_;
+    e.ts_ns = start_ns_;
+    e.dur_ns = detail::now_ns() - start_ns_;
+    e.value = value_;
+    e.type = EventType::kSpan;
+    detail::record(e);
+    name_ = nullptr;
+  }
+
+  ~SpanScope() { close(); }
+
+ private:
+  const char* name_ = nullptr;  ///< null = recording skipped
+  std::int64_t start_ns_ = 0;
+  std::int64_t value_ = 0;
+};
+
+}  // namespace amr::obs
+
+#define AMR_OBS_CONCAT_IMPL(a, b) a##b
+#define AMR_OBS_CONCAT(a, b) AMR_OBS_CONCAT_IMPL(a, b)
+
+/// Open a span for the rest of the enclosing scope.
+#define AMR_SPAN(name) ::amr::obs::SpanScope AMR_OBS_CONCAT(amr_span_, __COUNTER__)(name)
+
+/// Open a span bound to a local variable (so .set_value can be called).
+#define AMR_SPAN_NAMED(var, name) ::amr::obs::SpanScope var(name)
+
+#define AMR_INSTANT(name) ::amr::obs::instant(name)
+#define AMR_COUNTER(name, value) ::amr::obs::counter((name), (value))

@@ -1,0 +1,109 @@
+#include "obs/trace_export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <set>
+
+#include "util/log.hpp"
+
+namespace amr::obs {
+
+namespace {
+
+/// Escape a string for a JSON literal (names are ASCII identifiers in
+/// practice, but the exporter must never emit invalid JSON).
+std::string json_escape(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// ns -> trace microseconds, exact: "1234.567".
+std::string micros(std::int64_t ns) {
+  const bool neg = ns < 0;
+  const std::int64_t abs = neg ? -ns : ns;
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%s%lld.%03lld", neg ? "-" : "",
+                static_cast<long long>(abs / 1000), static_cast<long long>(abs % 1000));
+  return buf;
+}
+
+int pid_of(const Event& e) { return e.rank + 1; }  // host (-1) -> 0
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const Snapshot& snap) {
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  const auto sep = [&]() -> std::ostream& {
+    if (!first) out << ",\n";
+    first = false;
+    return out;
+  };
+
+  // Metadata: name the processes so the viewer shows ranks, not pids.
+  std::set<int> pids;
+  for (const Event& e : snap.events) pids.insert(pid_of(e));
+  for (const int pid : pids) {
+    sep() << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+          << ",\"tid\":0,\"args\":{\"name\":\""
+          << (pid == 0 ? std::string("host") : "rank " + std::to_string(pid - 1))
+          << "\"}}";
+    sep() << "{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":" << pid
+          << ",\"tid\":0,\"args\":{\"sort_index\":" << pid << "}}";
+  }
+
+  for (const Event& e : snap.events) {
+    const std::string name = json_escape(e.name);
+    switch (e.type) {
+      case EventType::kSpan:
+        sep() << "{\"name\":\"" << name << "\",\"cat\":\"amr\",\"ph\":\"X\",\"ts\":"
+              << micros(e.ts_ns) << ",\"dur\":" << micros(e.dur_ns)
+              << ",\"pid\":" << pid_of(e) << ",\"tid\":" << e.tid;
+        if (e.value != 0) out << ",\"args\":{\"value\":" << e.value << "}";
+        out << "}";
+        break;
+      case EventType::kInstant:
+        sep() << "{\"name\":\"" << name << "\",\"cat\":\"amr\",\"ph\":\"i\",\"ts\":"
+              << micros(e.ts_ns) << ",\"pid\":" << pid_of(e) << ",\"tid\":" << e.tid
+              << ",\"s\":\"t\"}";
+        break;
+      case EventType::kCounter:
+        sep() << "{\"name\":\"" << name << "\",\"cat\":\"amr\",\"ph\":\"C\",\"ts\":"
+              << micros(e.ts_ns) << ",\"pid\":" << pid_of(e) << ",\"tid\":" << e.tid
+              << ",\"args\":{\"value\":" << e.value << "}}";
+        break;
+    }
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":"
+      << snap.dropped << "}}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path, const Snapshot& snap) {
+  std::ofstream out(path);
+  if (!out) {
+    AMR_LOG_ERROR << "trace_export: cannot open " << path;
+    return false;
+  }
+  write_chrome_trace(out, snap);
+  return static_cast<bool>(out);
+}
+
+}  // namespace amr::obs

@@ -1,0 +1,28 @@
+// Chrome trace_event exporter: renders a recorder Snapshot as the JSON
+// object format understood by chrome://tracing and https://ui.perfetto.dev
+// (DESIGN.md §11).
+//
+// Layout: one trace "process" per simulated simmpi rank (pid = rank + 1;
+// pid 0 is the host -- main thread, ThreadPool workers, bench harness),
+// one trace "thread" per real thread (tid from util/thread_id). Spans
+// become complete events ("ph":"X"), instants "i", counters "C"; process
+// rows are labeled with metadata events so Perfetto shows "rank 3"
+// instead of a bare pid.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/recorder.hpp"
+
+namespace amr::obs {
+
+/// Write `snap` as Chrome trace JSON. Timestamps are emitted in
+/// microseconds (the trace_event unit) with nanosecond precision kept in
+/// the fractional digits.
+void write_chrome_trace(std::ostream& out, const Snapshot& snap);
+
+/// Convenience: write to `path`; returns false (and logs) on failure.
+bool write_chrome_trace_file(const std::string& path, const Snapshot& snap);
+
+}  // namespace amr::obs

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "util/thread_pool.hpp"
+#include "obs/recorder.hpp"
 
 namespace amr::octree {
 
@@ -300,6 +301,7 @@ void keyed_tree_sort(std::vector<Octant>& elements, const sfc::Curve& curve,
   // Encode, fusing the wide-pass histogram into the same loop: the packed
   // key is in a register anyway, so counting here saves a full re-read of
   // the 16 MB items array.
+  obs::SpanScope encode_span("keysort.encode");
   std::vector<std::uint32_t> cursor;                 // sequential histogram
   std::vector<std::vector<std::size_t>> cursors;     // per-chunk histograms
   if (parallel) {
@@ -340,6 +342,9 @@ void keyed_tree_sort(std::vector<Octant>& elements, const sfc::Curve& curve,
     }
   }
 
+  encode_span.close();
+
+  obs::SpanScope sort_span("keysort.sort");
   if (generic) {
     // Default case: full-depth ordering == plain integer order of the
     // packed keys, so use plain MSD radix. The leaf cutoff is an internal
@@ -431,6 +436,8 @@ void keyed_tree_sort(std::vector<Octant>& elements, const sfc::Curve& curve,
       }
       pool.run(std::move(finish_tasks));
     }
+    sort_span.close();
+    AMR_SPAN("keysort.copy_back");
     copy_back();
     return;
   }
@@ -502,6 +509,8 @@ void keyed_tree_sort(std::vector<Octant>& elements, const sfc::Curve& curve,
   } else {
     gather(items, 0, n);
   }
+  sort_span.close();
+  AMR_SPAN("keysort.copy_back");
   copy_back();
 }
 

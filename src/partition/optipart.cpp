@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/recorder.hpp"
+
 namespace amr::partition {
 
 Partition optipart_partition(std::span<const octree::Octant> tree,
                              const sfc::Curve& curve, int p,
                              const machine::PerfModel& model,
                              const OptiPartOptions& options, OptiPartTrace* trace) {
+  AMR_SPAN("optipart.sweep");
   // Encode the tree's curve keys once: every refinement round re-probes the
   // bucket structure, and the key digits make each probe a shift+mask.
   const std::vector<sfc::CurveKey> keys = sfc::keys_of(curve, tree);
@@ -39,6 +42,7 @@ Partition optipart_partition(std::span<const octree::Octant> tree,
   int unchanged_rounds = 0;
   Partition previous = best;
   for (int d = depth + 1; d <= options.max_depth; ++d) {
+    AMR_SPAN("optipart.round");
     Partition candidate = partition_at_depth(search, p, d);
     // A round that exposes no new cuts cannot change the model estimate; a
     // couple of those in a row means the splitters have converged (deeper

@@ -181,7 +181,10 @@ bool Request::test() {
 void Request::wait() {
   for (Op& op : ops_) {
     if (op.complete) continue;
-    complete_op(op, op.context->take(op.src, op.dst, op.tag));
+    AMR_SPAN_NAMED(span, "simmpi.wait");
+    std::vector<std::byte> payload = op.context->take(op.src, op.dst, op.tag);
+    span.set_value(static_cast<std::int64_t>(payload.size()));
+    complete_op(op, std::move(payload));
   }
 }
 

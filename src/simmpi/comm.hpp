@@ -46,6 +46,7 @@
 #include <tuple>
 #include <vector>
 
+#include "obs/recorder.hpp"
 #include "util/rng.hpp"
 
 namespace amr::simmpi {
@@ -83,6 +84,10 @@ struct CostLedger {
 
   [[nodiscard]] std::uint64_t total_bytes_sent() const {
     return bytes_sent + p2p_bytes_sent;
+  }
+
+  [[nodiscard]] std::uint64_t total_messages_sent() const {
+    return messages_sent + p2p_messages_sent;
   }
 };
 
@@ -254,6 +259,7 @@ class Comm {
   /// Broadcast root's `data` (resized on non-roots).
   template <typename T>
   void bcast(std::vector<T>& data, int root) {
+    AMR_SPAN_NAMED(span, "simmpi.bcast");
     publish(data.data(), data.size());
     if (rank_ != root) {
       const auto* src = static_cast<const T*>(context_->slots[static_cast<std::size_t>(root)]);
@@ -262,6 +268,7 @@ class Comm {
       ledger().record(data.size() * sizeof(T) * static_cast<std::size_t>(size() - 1),
                       static_cast<std::size_t>(size() - 1));
     }
+    span.set_value(static_cast<std::int64_t>(data.size() * sizeof(T)));
     barrier();
   }
 
@@ -271,6 +278,8 @@ class Comm {
   /// reading our published input.
   template <typename T>
   void allreduce(std::span<const T> in, std::span<T> out, ReduceOp op) {
+    AMR_SPAN_NAMED(span, "simmpi.allreduce");
+    span.set_value(static_cast<std::int64_t>(in.size() * sizeof(T)));
     publish(in.data(), in.size());
     std::vector<T> acc(in.begin(), in.end());
     for (int r = 0; r < size(); ++r) {
@@ -295,6 +304,7 @@ class Comm {
   /// Exclusive prefix sum across ranks of a single value.
   template <typename T>
   [[nodiscard]] T exscan_sum(T value) {
+    AMR_SPAN("simmpi.exscan");
     publish(&value, 1);
     T acc{};
     for (int r = 0; r < rank_; ++r) {
@@ -308,6 +318,7 @@ class Comm {
   /// Gather one value from every rank (available on all ranks).
   template <typename T>
   [[nodiscard]] std::vector<T> allgather_one(T value) {
+    AMR_SPAN("simmpi.allgather");
     publish(&value, 1);
     std::vector<T> out(static_cast<std::size_t>(size()));
     for (int r = 0; r < size(); ++r) {
@@ -322,6 +333,8 @@ class Comm {
   /// Variable-length allgather.
   template <typename T>
   [[nodiscard]] std::vector<T> allgatherv(std::span<const T> mine) {
+    AMR_SPAN_NAMED(span, "simmpi.allgatherv");
+    span.set_value(static_cast<std::int64_t>(mine.size() * sizeof(T)));
     publish(mine.data(), mine.size());
     std::vector<T> out;
     for (int r = 0; r < size(); ++r) {
@@ -338,6 +351,7 @@ class Comm {
   template <typename T>
   [[nodiscard]] std::vector<std::vector<T>> alltoallv(
       const std::vector<std::vector<T>>& send) {
+    AMR_SPAN_NAMED(span, "simmpi.alltoallv");
     publish(&send, 1);
     std::vector<std::vector<T>> recv(static_cast<std::size_t>(size()));
     for (int r = 0; r < size(); ++r) {
@@ -353,6 +367,7 @@ class Comm {
       ++messages;
     }
     ledger().record(bytes, messages);
+    span.set_value(static_cast<std::int64_t>(bytes));
     barrier();
     return recv;
   }
@@ -362,6 +377,8 @@ class Comm {
   template <typename T>
   void send(std::span<const T> data, int dst, int tag = 0) {
     static_assert(std::is_trivially_copyable_v<T>);
+    AMR_SPAN_NAMED(span, "simmpi.send");
+    span.set_value(static_cast<std::int64_t>(data.size() * sizeof(T)));
     std::vector<std::byte> payload(data.size() * sizeof(T));
     if (!data.empty()) std::memcpy(payload.data(), data.data(), payload.size());
     context_->post(rank_, dst, tag, std::move(payload));
@@ -374,7 +391,9 @@ class Comm {
   template <typename T>
   [[nodiscard]] std::vector<T> recv(int src, int tag = 0) {
     static_assert(std::is_trivially_copyable_v<T>);
+    AMR_SPAN_NAMED(span, "simmpi.recv");
     const std::vector<std::byte> payload = context_->take(src, rank_, tag);
+    span.set_value(static_cast<std::int64_t>(payload.size()));
     ledger().record_p2p_recv(payload.size());
     std::vector<T> data(payload.size() / sizeof(T));
     if (!data.empty()) std::memcpy(data.data(), payload.data(), payload.size());

@@ -5,6 +5,7 @@
 
 #include "octree/search.hpp"
 #include "partition/partition.hpp"
+#include "simmpi/phase_trace.hpp"
 
 namespace amr::simmpi {
 
@@ -40,8 +41,11 @@ std::vector<Octant> dist_balance_octree(std::vector<Octant> local,
     return partition::owner_by_keys(splitters, o, curve);
   };
 
+  PhaseScope phase(comm, "balance.ripple", "balance.ripple/bytes",
+                   "balance.ripple/msgs");
   for (;;) {
     ++stats.rounds;
+    AMR_SPAN("balance.round");
 
     // (1) Shell exchange: push leaves whose neighbor regions cross ranks.
     std::vector<std::vector<Octant>> push(static_cast<std::size_t>(p));

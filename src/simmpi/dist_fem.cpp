@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "fem/laplacian.hpp"
+#include "simmpi/phase_trace.hpp"
 #include "util/timer.hpp"
 
 namespace amr::simmpi {
@@ -17,21 +18,25 @@ DistFemReport dist_matvec_loop(const mesh::LocalMesh& mesh, Comm& comm, int iter
 
   for (int it = 0; it < iterations; ++it) {
     timer.reset();
-    std::vector<std::vector<double>> send(static_cast<std::size_t>(comm.size()));
-    for (std::size_t k = 0; k < mesh.peers.size(); ++k) {
-      auto& payload = send[static_cast<std::size_t>(mesh.peers[k])];
-      payload.reserve(mesh.send_lists[k].size());
-      for (const std::uint32_t idx : mesh.send_lists[k]) {
-        payload.push_back(u[idx]);
+    {
+      PhaseScope exchange_phase(comm, "matvec.exchange", "matvec.exchange/bytes",
+                                "matvec.exchange/msgs");
+      std::vector<std::vector<double>> send(static_cast<std::size_t>(comm.size()));
+      for (std::size_t k = 0; k < mesh.peers.size(); ++k) {
+        auto& payload = send[static_cast<std::size_t>(mesh.peers[k])];
+        payload.reserve(mesh.send_lists[k].size());
+        for (const std::uint32_t idx : mesh.send_lists[k]) {
+          payload.push_back(u[idx]);
+        }
+        report.ghost_elements_sent += mesh.send_lists[k].size();
       }
-      report.ghost_elements_sent += mesh.send_lists[k].size();
-    }
-    auto recv = comm.alltoallv(send);
-    for (std::size_t k = 0; k < mesh.peers.size(); ++k) {
-      const auto& payload = recv[static_cast<std::size_t>(mesh.peers[k])];
-      assert(payload.size() == mesh.recv_lists[k].size());
-      for (std::size_t i = 0; i < payload.size(); ++i) {
-        ghosts[mesh.recv_lists[k][i]] = payload[i];
+      auto recv = comm.alltoallv(send);
+      for (std::size_t k = 0; k < mesh.peers.size(); ++k) {
+        const auto& payload = recv[static_cast<std::size_t>(mesh.peers[k])];
+        assert(payload.size() == mesh.recv_lists[k].size());
+        for (std::size_t i = 0; i < payload.size(); ++i) {
+          ghosts[mesh.recv_lists[k][i]] = payload[i];
+        }
       }
     }
     const double exchange = timer.seconds();
@@ -39,7 +44,10 @@ DistFemReport dist_matvec_loop(const mesh::LocalMesh& mesh, Comm& comm, int iter
     report.exchange_wait_seconds += exchange;  // blocking: fully exposed
 
     timer.reset();
-    fem::apply_local(mesh, u, ghosts, out);
+    {
+      AMR_SPAN("matvec.compute");
+      fem::apply_local(mesh, u, ghosts, out);
+    }
     std::swap(u, out);
     report.compute_seconds += timer.seconds();
   }
@@ -57,22 +65,27 @@ DistFemReport dist_matvec_loop_p2p(const mesh::LocalMesh& mesh, Comm& comm,
 
   for (int it = 0; it < iterations; ++it) {
     timer.reset();
-    // Post all sends, then drain all receives: buffered sends cannot
-    // deadlock, and per-channel FIFO keeps iterations ordered.
-    for (std::size_t k = 0; k < mesh.peers.size(); ++k) {
-      if (mesh.send_lists[k].empty()) continue;
-      payload.clear();
-      payload.reserve(mesh.send_lists[k].size());
-      for (const std::uint32_t idx : mesh.send_lists[k]) payload.push_back(u[idx]);
-      comm.send<double>(payload, mesh.peers[k], /*tag=*/0);
-      report.ghost_elements_sent += payload.size();
-    }
-    for (std::size_t k = 0; k < mesh.peers.size(); ++k) {
-      if (mesh.recv_lists[k].empty()) continue;
-      const std::vector<double> incoming = comm.recv<double>(mesh.peers[k], /*tag=*/0);
-      assert(incoming.size() == mesh.recv_lists[k].size());
-      for (std::size_t i = 0; i < incoming.size(); ++i) {
-        ghosts[mesh.recv_lists[k][i]] = incoming[i];
+    {
+      PhaseScope exchange_phase(comm, "matvec.exchange", "matvec.exchange/bytes",
+                                "matvec.exchange/msgs");
+      // Post all sends, then drain all receives: buffered sends cannot
+      // deadlock, and per-channel FIFO keeps iterations ordered.
+      for (std::size_t k = 0; k < mesh.peers.size(); ++k) {
+        if (mesh.send_lists[k].empty()) continue;
+        payload.clear();
+        payload.reserve(mesh.send_lists[k].size());
+        for (const std::uint32_t idx : mesh.send_lists[k]) payload.push_back(u[idx]);
+        comm.send<double>(payload, mesh.peers[k], /*tag=*/0);
+        report.ghost_elements_sent += payload.size();
+      }
+      for (std::size_t k = 0; k < mesh.peers.size(); ++k) {
+        if (mesh.recv_lists[k].empty()) continue;
+        const std::vector<double> incoming =
+            comm.recv<double>(mesh.peers[k], /*tag=*/0);
+        assert(incoming.size() == mesh.recv_lists[k].size());
+        for (std::size_t i = 0; i < incoming.size(); ++i) {
+          ghosts[mesh.recv_lists[k][i]] = incoming[i];
+        }
       }
     }
     const double exchange = timer.seconds();
@@ -80,7 +93,10 @@ DistFemReport dist_matvec_loop_p2p(const mesh::LocalMesh& mesh, Comm& comm,
     report.exchange_wait_seconds += exchange;  // blocking: fully exposed
 
     timer.reset();
-    fem::apply_local(mesh, u, ghosts, out);
+    {
+      AMR_SPAN("matvec.compute");
+      fem::apply_local(mesh, u, ghosts, out);
+    }
     std::swap(u, out);
     report.compute_seconds += timer.seconds();
   }
@@ -118,6 +134,8 @@ DistFemReport dist_matvec_loop_overlapped(const mesh::LocalMesh& mesh, Comm& com
     // a matched test/wait can complete as soon as the peer's send lands;
     // isend is buffered and cannot stall.
     timer.reset();
+    PhaseScope post_phase(comm, "matvec.post", "matvec.post/bytes",
+                          "matvec.post/msgs");
     requests.clear();
     for (std::size_t k = 0; k < mesh.peers.size(); ++k) {
       if (mesh.recv_lists[k].empty()) continue;
@@ -138,30 +156,40 @@ DistFemReport dist_matvec_loop_overlapped(const mesh::LocalMesh& mesh, Comm& com
       requests.push_back(comm.isend<double>(payload, mesh.peers[k], /*tag=*/0));
       report.ghost_elements_sent += payload.size();
     }
+    post_phase.close();
     report.post_seconds += timer.seconds();
 
     // Phase 2: interior rows read no ghost values -- compute them while
     // the messages travel.
     timer.reset();
-    fem::apply_local_interior(mesh, u, out);
+    {
+      AMR_SPAN("matvec.interior");
+      fem::apply_local_interior(mesh, u, out);
+    }
     report.interior_compute_seconds += timer.seconds();
 
     // Phase 3: the exposed part of the exchange. Contiguous peers are
     // already in place; only irregular recv lists need the scatter pass.
     timer.reset();
-    wait_all(requests);
-    for (std::size_t k = 0; k < mesh.peers.size(); ++k) {
-      if (contiguous[k] || mesh.recv_lists[k].empty()) continue;
-      assert(incoming[k].size() == mesh.recv_lists[k].size());
-      for (std::size_t i = 0; i < incoming[k].size(); ++i) {
-        ghosts[mesh.recv_lists[k][i]] = incoming[k][i];
+    {
+      AMR_SPAN("matvec.wait");
+      wait_all(requests);
+      for (std::size_t k = 0; k < mesh.peers.size(); ++k) {
+        if (contiguous[k] || mesh.recv_lists[k].empty()) continue;
+        assert(incoming[k].size() == mesh.recv_lists[k].size());
+        for (std::size_t i = 0; i < incoming[k].size(); ++i) {
+          ghosts[mesh.recv_lists[k][i]] = incoming[k][i];
+        }
       }
     }
     report.exchange_wait_seconds += timer.seconds();
 
     // Phase 4: boundary rows, now that the halo is current.
     timer.reset();
-    fem::apply_local_boundary(mesh, u, ghosts, out);
+    {
+      AMR_SPAN("matvec.boundary");
+      fem::apply_local_boundary(mesh, u, ghosts, out);
+    }
     report.boundary_compute_seconds += timer.seconds();
     std::swap(u, out);
   }

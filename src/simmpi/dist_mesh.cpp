@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 
+
 #include "octree/search.hpp"
 #include "partition/partition.hpp"
+#include "simmpi/phase_trace.hpp"
 
 namespace amr::simmpi {
 
@@ -35,6 +37,7 @@ mesh::LocalMesh dist_build_local_mesh(const std::vector<Octant>& local,
   mesh::LocalMesh out;
   out.rank = me;
   out.elements = local;
+  PhaseScope push_phase(comm, "mesh.push", "mesh.push/bytes", "mesh.push/msgs");
   out.global_begin = comm.exscan_sum<std::uint64_t>(local.size());
 
   const auto owner_of = [&](const Octant& o) {
@@ -82,7 +85,9 @@ mesh::LocalMesh dist_build_local_mesh(const std::vector<Octant>& local,
   }
   std::sort(merged.begin(), merged.end(), curve.comparator());
   merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  push_phase.close();
 
+  obs::SpanScope filter_span("mesh.filter");
   // --- Filter: a shell octant is a ghost iff it is face-adjacent to one
   // of our leaves. Also collect the faces while we are at it. ---
   const auto is_local = [&](const Octant& o) { return owner_of(o) == me; };
@@ -159,8 +164,11 @@ mesh::LocalMesh dist_build_local_mesh(const std::vector<Octant>& local,
 
   // --- Round 2: echo kept keys to their owners; owners reply with their
   // global indices and assemble send lists. ---
+  filter_span.close();
+  PhaseScope keep_phase(comm, "mesh.keep", "mesh.keep/bytes", "mesh.keep/msgs");
   std::vector<std::vector<Octant>> requests;
   comm.ialltoallv(keep, requests, kTagMeshKeep).wait();
+  keep_phase.close();
   std::vector<std::vector<std::uint64_t>> reply(static_cast<std::size_t>(p));
   std::vector<std::vector<std::uint32_t>> send_for(static_cast<std::size_t>(p));
   for (int q = 0; q < p; ++q) {
@@ -173,6 +181,7 @@ mesh::LocalMesh dist_build_local_mesh(const std::vector<Octant>& local,
       reply[static_cast<std::size_t>(q)].push_back(out.global_begin + idx);
     }
   }
+  PhaseScope ids_phase(comm, "mesh.ids", "mesh.ids/bytes", "mesh.ids/msgs");
   std::vector<std::vector<std::uint64_t>> global_ids;
   Request id_round = comm.ialltoallv(reply, global_ids, kTagMeshIds);
 
@@ -193,6 +202,7 @@ mesh::LocalMesh dist_build_local_mesh(const std::vector<Octant>& local,
     out.send_lists[k] = std::move(send_for[static_cast<std::size_t>(q)]);
   }
   id_round.wait();
+  ids_phase.close();
 
   // Fill ghost_global from the owners' replies (same per-channel order).
   for (std::size_t k = 0; k < out.peers.size(); ++k) {

@@ -4,6 +4,8 @@
 
 #include "octree/treesort.hpp"
 #include "sfc/key.hpp"
+
+#include "simmpi/phase_trace.hpp"
 #include "util/timer.hpp"
 
 namespace amr::simmpi {
@@ -46,10 +48,16 @@ SampleSortReport dist_samplesort(std::vector<octree::Octant>& local, Comm& comm,
   const int p = comm.size();
 
   util::Timer timer;
-  const std::vector<sfc::CurveKey> local_keys = key_sort(local, curve);
+  std::vector<sfc::CurveKey> local_keys;
+  {
+    AMR_SPAN("samplesort.local_sort");
+    local_keys = key_sort(local, curve);
+  }
   report.local_sort_seconds = timer.seconds();
 
   timer.reset();
+  PhaseScope splitter_phase(comm, "samplesort.splitter",
+                            "samplesort.splitter/bytes", "samplesort.splitter/msgs");
   report.global_elements = comm.allreduce_one<std::uint64_t>(local.size(), ReduceOp::kSum);
 
   // p-1 equally spaced local samples; gathered everywhere.
@@ -76,9 +84,12 @@ SampleSortReport dist_samplesort(std::vector<octree::Octant>& local, Comm& comm,
               static_cast<unsigned>(s) / static_cast<unsigned>(p))]);
     }
   }
+  splitter_phase.close();
   report.splitter_seconds = timer.seconds();
 
   timer.reset();
+  PhaseScope exchange_phase(comm, "samplesort.exchange",
+                            "samplesort.exchange/bytes", "samplesort.exchange/msgs");
   // Nonblocking exchange without staging copies: `local` is key-sorted and
   // the splitter codes are monotone, so destination q's elements are the
   // contiguous slice [lower_bound(codes[q-1]), lower_bound(codes[q]))
@@ -134,10 +145,14 @@ SampleSortReport dist_samplesort(std::vector<octree::Octant>& local, Comm& comm,
     merged.insert(merged.end(), piece.begin(), piece.end());
   }
   local = std::move(merged);
+  exchange_phase.close();
   report.exchange_seconds = timer.seconds();
 
   timer.reset();
-  octree::tree_sort(local, curve);
+  {
+    AMR_SPAN("samplesort.local_sort");
+    octree::tree_sort(local, curve);
+  }
   report.local_sort_seconds += timer.seconds();
   report.local_elements = local.size();
   return report;

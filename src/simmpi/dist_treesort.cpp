@@ -6,6 +6,7 @@
 
 #include "octree/treesort.hpp"
 #include "sfc/key.hpp"
+#include "simmpi/phase_trace.hpp"
 #include "util/timer.hpp"
 
 namespace amr::simmpi {
@@ -361,6 +362,8 @@ void exchange_and_sort(std::vector<Octant>& local,
                        const sfc::Curve& curve, const SplitterSet& splitters,
                        DistSortReport& report) {
   util::Timer timer;
+  PhaseScope phase(comm, "treesort.exchange", "treesort.exchange/bytes",
+                   "treesort.exchange/msgs");
   const int p = comm.size();
   const int me = comm.rank();
 
@@ -406,10 +409,14 @@ void exchange_and_sort(std::vector<Octant>& local,
     merged.insert(merged.end(), piece.begin(), piece.end());
   }
   local = std::move(merged);
+  phase.close();  // close the exchange phase before the local re-sort
   report.exchange_seconds = timer.seconds();
 
   timer.reset();
-  octree::tree_sort(local, curve);
+  {
+    AMR_SPAN("treesort.local_sort");
+    octree::tree_sort(local, curve);
+  }
   report.local_sort_seconds += timer.seconds();
   report.local_elements = local.size();
   report.splitters = splitters.keys;
@@ -422,29 +429,39 @@ DistSortReport dist_treesort(std::vector<Octant>& local, Comm& comm,
                              const sfc::Curve& curve, const DistSortOptions& options) {
   DistSortReport report;
   util::Timer timer;
-  const std::vector<sfc::CurveKey> local_keys = octree::tree_sort_with_keys(local, curve);
+  std::vector<sfc::CurveKey> local_keys;
+  {
+    AMR_SPAN("treesort.local_sort");
+    local_keys = octree::tree_sort_with_keys(local, curve);
+  }
   report.local_sort_seconds = timer.seconds();
 
   timer.reset();
-  SplitterSearch search(local, local_keys, comm, curve);
-  report.global_elements = search.global_elements();
-  const double grain =
-      static_cast<double>(search.global_elements()) / static_cast<double>(comm.size());
-  search.set_tolerance(static_cast<std::size_t>(options.tolerance * grain));
-  search.set_max_per_round(options.max_splitters_per_round);
-  search.init_targets();
-  int depth = 1;
-  for (; depth <= options.max_depth; ++depth) {
-    bool any = search.refine_round(depth);
-    while (search.stage_remaining()) {
-      any = search.refine_round(depth) || any;
+  SplitterSet splitters;
+  {
+    PhaseScope splitter_phase(comm, "treesort.splitter", "treesort.splitter/bytes",
+                              "treesort.splitter/msgs");
+    SplitterSearch search(local, local_keys, comm, curve);
+    report.global_elements = search.global_elements();
+    const double grain = static_cast<double>(search.global_elements()) /
+                         static_cast<double>(comm.size());
+    search.set_tolerance(static_cast<std::size_t>(options.tolerance * grain));
+    search.set_max_per_round(options.max_splitters_per_round);
+    search.init_targets();
+    int depth = 1;
+    for (; depth <= options.max_depth; ++depth) {
+      bool any = search.refine_round(depth);
+      while (search.stage_remaining()) {
+        any = search.refine_round(depth) || any;
+      }
+      if (!any) break;
     }
-    if (!any) break;
+    report.levels_used = depth - 1;
+    splitters = search.splitters();
   }
-  report.levels_used = depth - 1;
   report.splitter_seconds = timer.seconds();
 
-  exchange_and_sort(local, local_keys, comm, curve, search.splitters(), report);
+  exchange_and_sort(local, local_keys, comm, curve, splitters, report);
   return report;
 }
 
@@ -453,56 +470,68 @@ DistSortReport dist_optipart(std::vector<Octant>& local, Comm& comm,
                              int max_depth, DistOptiPartTrace* trace) {
   DistSortReport report;
   util::Timer timer;
-  const std::vector<sfc::CurveKey> local_keys = octree::tree_sort_with_keys(local, curve);
+  std::vector<sfc::CurveKey> local_keys;
+  {
+    AMR_SPAN("treesort.local_sort");
+    local_keys = octree::tree_sort_with_keys(local, curve);
+  }
   report.local_sort_seconds = timer.seconds();
 
   timer.reset();
-  SplitterSearch search(local, local_keys, comm, curve);
-  report.global_elements = search.global_elements();
-  search.set_tolerance(0);
-  search.init_targets();
+  SplitterSet best;
+  {
+    PhaseScope sweep_phase(comm, "optipart.sweep", "optipart.sweep/bytes",
+                           "optipart.sweep/msgs");
+    SplitterSearch search(local, local_keys, comm, curve);
+    report.global_elements = search.global_elements();
+    search.set_tolerance(0);
+    search.init_targets();
 
-  // Initial refinement: enough rounds to expose >= p buckets (Alg. 3 l. 2).
-  const int children = curve.num_children();
-  int depth = 0;
-  std::size_t buckets = 1;
-  while (buckets < static_cast<std::size_t>(comm.size()) && depth < max_depth) {
-    ++depth;
-    buckets *= static_cast<std::size_t>(children);
-    search.refine_round(depth);
-  }
+    // Initial refinement: enough rounds to expose >= p buckets (Alg. 3 l. 2).
+    const int children = curve.num_children();
+    int depth = 0;
+    std::size_t buckets = 1;
+    while (buckets < static_cast<std::size_t>(comm.size()) && depth < max_depth) {
+      ++depth;
+      buckets *= static_cast<std::size_t>(children);
+      search.refine_round(depth);
+    }
 
-  SplitterSet best = search.splitters();
-  Quality best_quality = partition_quality(local, local_keys, comm, curve, best, model);
-  int best_depth = depth;
-  if (trace != nullptr) {
-    trace->rounds.push_back(
-        {depth, best_quality.w_max, best_quality.c_max, best_quality.time});
-  }
-
-  // `while default >= current`: refine while the model keeps improving.
-  while (depth < max_depth) {
-    ++depth;
-    if (!search.refine_round(depth)) break;
-    const SplitterSet candidate = search.splitters();
-    const Quality q = partition_quality(local, local_keys, comm, curve, candidate, model);
+    best = search.splitters();
+    Quality best_quality =
+        partition_quality(local, local_keys, comm, curve, best, model);
+    int best_depth = depth;
     if (trace != nullptr) {
-      trace->rounds.push_back({depth, q.w_max, q.c_max, q.time});
+      trace->rounds.push_back(
+          {depth, best_quality.w_max, best_quality.c_max, best_quality.time});
     }
-    if (q.time <= best_quality.time) {
-      best = candidate;
-      best_quality = q;
-      best_depth = depth;
-    } else {
-      break;
+
+    // `while default >= current`: refine while the model keeps improving.
+    while (depth < max_depth) {
+      ++depth;
+      AMR_INSTANT("optipart.round");
+      if (!search.refine_round(depth)) break;
+      const SplitterSet candidate = search.splitters();
+      const Quality q =
+          partition_quality(local, local_keys, comm, curve, candidate, model);
+      if (trace != nullptr) {
+        trace->rounds.push_back({depth, q.w_max, q.c_max, q.time});
+      }
+      if (q.time <= best_quality.time) {
+        best = candidate;
+        best_quality = q;
+        best_depth = depth;
+      } else {
+        break;
+      }
+    }
+    report.levels_used = depth;
+    if (trace != nullptr) {
+      trace->chosen_depth = best_depth;
+      trace->chosen_time = best_quality.time;
     }
   }
-  report.levels_used = depth;
   report.splitter_seconds = timer.seconds();
-  if (trace != nullptr) {
-    trace->chosen_depth = best_depth;
-    trace->chosen_time = best_quality.time;
-  }
 
   exchange_and_sort(local, local_keys, comm, curve, best, report);
   return report;

@@ -1,0 +1,67 @@
+// PhaseScope: a traced pipeline phase with exact communication-byte
+// attribution (DESIGN.md §11).
+//
+// Opens an AMR_SPAN for the scope and, when tracing is enabled, snapshots
+// the rank's CostLedger at entry and emits a "<phase>/bytes" counter with
+// the delta of total_bytes_sent() at exit. Because the ledger is the
+// single source of truth for every byte simmpi moves, phases that tile
+// all communication of a run satisfy an exact conservation law: per rank,
+// the sum of the phase byte counters equals the final ledger total (the
+// obs report test pins this).
+//
+// All names must be string literals (the recorder stores pointers); by
+// convention the counter names are the span name + "/bytes" and
+// "/msgs", which is what obs::aggregate_phases joins on. The message
+// counter feeds the ts * M latency term of the validation report's
+// predictions.
+#pragma once
+
+#include "obs/recorder.hpp"
+#include "simmpi/comm.hpp"
+
+namespace amr::simmpi {
+
+class PhaseScope {
+ public:
+  PhaseScope(Comm& comm, const char* span_name, const char* bytes_counter_name,
+             const char* msgs_counter_name = nullptr)
+      : span_(span_name) {
+    if (!obs::enabled()) return;
+    comm_ = &comm;
+    counter_name_ = bytes_counter_name;
+    msgs_name_ = msgs_counter_name;
+    start_bytes_ = comm.ledger().total_bytes_sent();
+    start_msgs_ = comm.ledger().total_messages_sent();
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+  /// Emit the byte counter and record the span now instead of at scope
+  /// exit. Idempotent.
+  void close() {
+    if (comm_ != nullptr) {
+      const std::uint64_t moved = comm_->ledger().total_bytes_sent() - start_bytes_;
+      obs::counter(counter_name_, static_cast<std::int64_t>(moved));
+      if (msgs_name_ != nullptr) {
+        obs::counter(msgs_name_, static_cast<std::int64_t>(
+                                     comm_->ledger().total_messages_sent() -
+                                     start_msgs_));
+      }
+      span_.set_value(static_cast<std::int64_t>(moved));
+      comm_ = nullptr;
+    }
+    span_.close();
+  }
+
+  ~PhaseScope() { close(); }
+
+ private:
+  Comm* comm_ = nullptr;
+  const char* counter_name_ = nullptr;
+  const char* msgs_name_ = nullptr;
+  std::uint64_t start_bytes_ = 0;
+  std::uint64_t start_msgs_ = 0;
+  obs::SpanScope span_;  ///< declared last: destroyed first, after the counter
+};
+
+}  // namespace amr::simmpi

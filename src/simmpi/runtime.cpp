@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "util/log.hpp"
+#include "util/thread_id.hpp"
 
 namespace amr::simmpi {
 
@@ -18,6 +19,9 @@ RunResult run_ranks(int num_ranks, const ContextOptions& options,
 
   for (int r = 0; r < num_ranks; ++r) {
     threads.emplace_back([&, r] {
+      // Stamp the thread with its rank so trace events and log lines
+      // written inside the body carry the rank they acted for.
+      const util::ScopedRank rank_scope(r);
       Comm comm(context, r);
       try {
         body(comm);

@@ -4,19 +4,30 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <utility>
+
+#include "util/thread_id.hpp"
 
 namespace amr::util {
 
 namespace {
 
-LogLevel initial_threshold() {
-  const char* env = std::getenv("AMR_LOG");
-  if (env == nullptr) return LogLevel::kInfo;
+LogLevel parse_level(const char* env, LogLevel fallback) {
+  if (env == nullptr || *env == '\0') return fallback;
   if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
   if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
   if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
   if (std::strcmp(env, "error") == 0) return LogLevel::kError;
-  return LogLevel::kInfo;
+  return fallback;
+}
+
+LogLevel initial_threshold() {
+  // AMR_LOG_LEVEL is the documented knob; AMR_LOG is the older spelling
+  // and still honoured when the new one is absent.
+  const char* env = std::getenv("AMR_LOG_LEVEL");
+  if (env == nullptr) env = std::getenv("AMR_LOG");
+  return parse_level(env, LogLevel::kInfo);
 }
 
 std::atomic<LogLevel>& threshold_storage() {
@@ -34,20 +45,76 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::function<void(const std::string&)>& sink_storage() {
+  static std::function<void(const std::string&)> sink;
+  return sink;
+}
+
+void default_sink(const std::string& text) {
+  // One fwrite per message: stderr is unbuffered, so a single call keeps
+  // the whole block contiguous even across processes sharing the fd.
+  std::fwrite(text.data(), 1, text.size(), stderr);
+}
+
+/// "[warn r2/t5] " for a simmpi rank thread, "[warn host/t0] " otherwise.
+std::string prefix_of(LogLevel level) {
+  std::string prefix = "[";
+  prefix += level_name(level);
+  prefix += ' ';
+  const int rank = current_rank();
+  if (rank >= 0) {
+    prefix += 'r';
+    prefix += std::to_string(rank);
+  } else {
+    prefix += "host";
+  }
+  prefix += "/t";
+  prefix += std::to_string(current_tid());
+  prefix += "] ";
+  return prefix;
+}
+
 }  // namespace
 
 LogLevel log_threshold() noexcept { return threshold_storage().load(); }
 
 void set_log_threshold(LogLevel level) noexcept { threshold_storage().store(level); }
 
+void set_log_sink(std::function<void(const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_storage() = std::move(sink);
+}
+
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_threshold())) return;
-  std::string line = "[";
-  line += level_name(level);
-  line += "] ";
-  line += message;
-  line += "\n";
-  std::fwrite(line.data(), 1, line.size(), stderr);
+
+  const std::string prefix = prefix_of(level);
+  std::string text;
+  text.reserve(message.size() + prefix.size() + 8);
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t end = message.find('\n', begin);
+    text += prefix;
+    text.append(message, begin,
+                (end == std::string::npos ? message.size() : end) - begin);
+    text += '\n';
+    if (end == std::string::npos) break;
+    begin = end + 1;
+    if (begin == message.size()) break;  // trailing newline: no empty line
+  }
+
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  const auto& sink = sink_storage();
+  if (sink) {
+    sink(text);
+  } else {
+    default_sink(text);
+  }
 }
 
 }  // namespace amr::util

@@ -2,8 +2,20 @@
 //
 // The benches print machine-readable rows on stdout; diagnostics go to
 // stderr through this logger so the two streams never mix.
+//
+// Every message is assembled into its final form -- one "[level rX/tY]"
+// prefix per line, covering multi-line messages too -- and handed to a
+// single process-wide sink under a mutex in one call, so concurrent
+// ThreadPool workers and simmpi rank threads can never interleave
+// fragments of their lines. The rank/thread tags come from
+// util/thread_id: rank threads show the simmpi rank they act for, the
+// host thread shows "host".
+//
+// The threshold defaults to kInfo and honours AMR_LOG_LEVEL (or the
+// older AMR_LOG spelling): debug|info|warn|error.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -12,13 +24,19 @@ namespace amr::util {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 /// Global threshold; messages below it are dropped. Defaults to kInfo and
-/// can be overridden with the AMR_LOG environment variable
-/// (debug|info|warn|error).
+/// can be overridden with AMR_LOG_LEVEL (or legacy AMR_LOG).
 LogLevel log_threshold() noexcept;
 void set_log_threshold(LogLevel level) noexcept;
 
-/// Emit one formatted line ("[level] message") to stderr. Thread-safe:
-/// the line is assembled first and written with a single call.
+/// Replace the sink that receives formatted log text (default: stderr).
+/// Passing nullptr restores the default. The sink is invoked under the
+/// logger mutex with the complete, newline-terminated text of one
+/// message, so it needs no locking of its own.
+void set_log_sink(std::function<void(const std::string&)> sink);
+
+/// Emit one message. Each line of `message` is prefixed with
+/// "[level rR/tT] " (or "host" for threads outside a simmpi rank) and the
+/// whole block reaches the sink in a single call.
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {

@@ -1,0 +1,26 @@
+#include "util/thread_id.hpp"
+
+#include <atomic>
+
+namespace amr::util {
+
+namespace {
+std::atomic<int> g_next_tid{0};
+thread_local int t_tid = -1;
+thread_local int t_rank = -1;
+}  // namespace
+
+int current_tid() noexcept {
+  if (t_tid < 0) t_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return t_tid;
+}
+
+int current_rank() noexcept { return t_rank; }
+
+void set_current_rank(int rank) noexcept { t_rank = rank; }
+
+ScopedRank::ScopedRank(int rank) noexcept : previous_(t_rank) { t_rank = rank; }
+
+ScopedRank::~ScopedRank() { t_rank = previous_; }
+
+}  // namespace amr::util

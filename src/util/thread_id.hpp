@@ -1,0 +1,35 @@
+// Per-thread identity shared by the tracing recorder and the log sink.
+//
+// Two coordinates name a thread in this codebase:
+//   * tid  -- a small process-unique integer, assigned on first use and
+//             stable for the thread's lifetime (0 is the first thread that
+//             asked, normally main). Chrome-trace tids and log prefixes
+//             both use it, so a line in the log and a track in the trace
+//             viewer refer to the same thread by the same number.
+//   * rank -- the simmpi rank this thread is currently acting as, or -1
+//             when it is not inside a rank body (main thread, ThreadPool
+//             workers). simmpi::run_ranks sets it for each rank thread.
+#pragma once
+
+namespace amr::util {
+
+/// Small sequential id of the calling thread (assigned on first call).
+[[nodiscard]] int current_tid() noexcept;
+
+/// simmpi rank the calling thread acts as; -1 outside any rank body.
+[[nodiscard]] int current_rank() noexcept;
+void set_current_rank(int rank) noexcept;
+
+/// RAII rank assignment for a thread that becomes a simmpi rank.
+class ScopedRank {
+ public:
+  explicit ScopedRank(int rank) noexcept;
+  ~ScopedRank();
+  ScopedRank(const ScopedRank&) = delete;
+  ScopedRank& operator=(const ScopedRank&) = delete;
+
+ private:
+  int previous_;
+};
+
+}  // namespace amr::util

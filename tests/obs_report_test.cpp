@@ -1,0 +1,258 @@
+// Observability report tests: the exact byte/message conservation law
+// between phase counters and cost ledgers on a deterministic distributed
+// run, model-validation band flagging and missing-phase detection, and
+// the RunMetrics tree.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/model_validation.hpp"
+#include "obs/recorder.hpp"
+#include "octree/generate.hpp"
+#include "simmpi/dist_balance.hpp"
+#include "simmpi/dist_fem.hpp"
+#include "simmpi/dist_mesh.hpp"
+#include "simmpi/dist_octree.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace amr {
+namespace {
+
+/// The instrumented pipeline of tools/amr_report, shrunk for a test.
+simmpi::RunResult run_instrumented_pipeline(int p, std::size_t per_rank,
+                                            int iterations) {
+  const sfc::Curve curve(sfc::CurveKind::kHilbert, 3);
+  return simmpi::run_ranks(p, [&](simmpi::Comm& comm) {
+    octree::GenerateOptions gen;
+    gen.seed = 100 + static_cast<std::uint64_t>(comm.rank());
+    gen.distribution = octree::PointDistribution::kNormal;
+    auto points = octree::generate_points(per_rank, gen);
+
+    simmpi::DistOctreeOptions build;
+    build.max_points_per_leaf = 4;
+    build.max_level = 8;
+    auto built = simmpi::dist_points_to_octree(std::move(points), comm, curve, build);
+
+    built.leaves = simmpi::dist_balance_octree(std::move(built.leaves),
+                                               built.splitters, comm, curve, nullptr);
+
+    const mesh::LocalMesh mesh = simmpi::dist_build_local_mesh(
+        built.leaves, built.splitters, comm, curve, nullptr);
+
+    std::vector<double> u(mesh.elements.size());
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      const auto a = mesh.elements[i].anchor_unit();
+      u[i] = std::sin(6.28 * a[0]) * std::cos(6.28 * a[1]);
+    }
+    (void)simmpi::dist_matvec_loop_overlapped(mesh, comm, iterations, u);
+  });
+}
+
+/// Sum counter events whose name ends in `suffix`, bucketed by rank.
+std::map<int, std::uint64_t> counters_by_rank(const obs::Snapshot& snap,
+                                              const char* suffix) {
+  std::map<int, std::uint64_t> sums;
+  const std::size_t suffix_len = std::strlen(suffix);
+  for (const obs::Event& e : snap.events) {
+    if (e.type != obs::EventType::kCounter) continue;
+    const std::size_t len = std::strlen(e.name);
+    if (len < suffix_len || std::strcmp(e.name + len - suffix_len, suffix) != 0) {
+      continue;
+    }
+    sums[e.rank] += static_cast<std::uint64_t>(e.value);
+  }
+  return sums;
+}
+
+TEST(ObsReportConservation, PhaseByteCountersEqualLedgerTotalsPerRank) {
+  obs::set_enabled(true);
+  obs::clear();
+  const int p = 4;
+  const simmpi::RunResult run = run_instrumented_pipeline(p, 1500, 5);
+  obs::set_enabled(false);
+
+  const obs::Snapshot snap = obs::snapshot();
+  EXPECT_EQ(snap.dropped, 0u);
+
+  // The phases tile every byte the ledger charged: per rank, the sum of
+  // the "<phase>/bytes" counters equals the ledger total EXACTLY.
+  const auto bytes = counters_by_rank(snap, "/bytes");
+  const auto msgs = counters_by_rank(snap, "/msgs");
+  ASSERT_EQ(run.ledgers.size(), static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    const auto& ledger = run.ledgers[static_cast<std::size_t>(r)];
+    const auto it = bytes.find(r);
+    ASSERT_NE(it, bytes.end()) << "rank " << r << " recorded no byte counters";
+    EXPECT_EQ(it->second, ledger.total_bytes_sent()) << "rank " << r;
+    const auto mt = msgs.find(r);
+    ASSERT_NE(mt, msgs.end()) << "rank " << r << " recorded no msg counters";
+    EXPECT_EQ(mt->second, ledger.total_messages_sent()) << "rank " << r;
+  }
+  obs::clear();
+}
+
+TEST(ObsReportConservation, InstrumentedPhasesAreAllPresent) {
+  obs::set_enabled(true);
+  obs::clear();
+  const simmpi::RunResult run = run_instrumented_pipeline(4, 1500, 5);
+  obs::set_enabled(false);
+  (void)run;
+
+  const obs::Snapshot snap = obs::snapshot();
+  const auto phases = obs::aggregate_phases(snap);
+
+  // The stable span taxonomy of the pipeline (DESIGN.md §11): a missing
+  // name here means instrumentation rot.
+  for (const char* name :
+       {"treesort.local_sort", "treesort.splitter", "treesort.exchange",
+        "balance.ripple", "mesh.push", "mesh.filter", "mesh.keep", "mesh.ids",
+        "matvec.post", "matvec.interior", "matvec.wait", "matvec.boundary"}) {
+    const auto it = phases.find(name);
+    ASSERT_NE(it, phases.end()) << "phase never recorded: " << name;
+    EXPECT_GT(it->second.span_count, 0u) << name;
+    EXPECT_GT(it->second.max_rank_seconds, 0.0) << name;
+  }
+  obs::clear();
+}
+
+// --- validate_model on synthesized snapshots ------------------------------
+
+obs::Snapshot one_second_span(const char* name) {
+  obs::Snapshot snap;
+  obs::Event e;
+  e.name = name;
+  e.ts_ns = 0;
+  e.dur_ns = 1'000'000'000;  // 1 s
+  e.rank = 0;
+  e.type = obs::EventType::kSpan;
+  snap.events.push_back(e);
+  return snap;
+}
+
+TEST(ObsModelValidation, FlagsRatiosOutsideTheBand) {
+  const obs::Snapshot snap = one_second_span("x.phase");
+  const std::vector<obs::PhaseExpectation> expected = {{"x.phase", 0.5}};
+
+  obs::ValidationOptions wide;  // default 0.1 .. 10
+  const auto ok = obs::validate_model(snap, expected, wide);
+  ASSERT_EQ(ok.rows.size(), 1u);
+  EXPECT_NEAR(ok.rows[0].ratio, 0.5, 1e-9);
+  EXPECT_TRUE(ok.rows[0].within_band);
+  EXPECT_TRUE(ok.all_within_band());
+  EXPECT_TRUE(ok.complete());
+
+  obs::ValidationOptions narrow;
+  narrow.band_low = 0.9;
+  narrow.band_high = 1.1;
+  const auto flagged = obs::validate_model(snap, expected, narrow);
+  ASSERT_EQ(flagged.rows.size(), 1u);
+  EXPECT_FALSE(flagged.rows[0].within_band);
+  EXPECT_FALSE(flagged.all_within_band());
+  EXPECT_TRUE(flagged.complete());
+}
+
+TEST(ObsModelValidation, ReportsExpectedButUnmeasuredPhases) {
+  const obs::Snapshot snap = one_second_span("present.phase");
+  const std::vector<obs::PhaseExpectation> expected = {
+      {"present.phase", 1.0}, {"absent.phase", 1.0}};
+  const auto report = obs::validate_model(snap, expected, {});
+  EXPECT_EQ(report.rows.size(), 1u);
+  ASSERT_EQ(report.missing.size(), 1u);
+  EXPECT_EQ(report.missing[0], "absent.phase");
+  EXPECT_FALSE(report.complete());
+}
+
+TEST(ObsModelValidation, AggregatesBytesAndMessagesPerPhase) {
+  obs::Snapshot snap = one_second_span("y.phase");
+  obs::Event bytes;
+  bytes.name = "y.phase/bytes";
+  bytes.value = 1000;
+  bytes.rank = 0;
+  bytes.type = obs::EventType::kCounter;
+  snap.events.push_back(bytes);
+  bytes.rank = 1;
+  bytes.value = 500;
+  snap.events.push_back(bytes);
+  obs::Event msgs;
+  msgs.name = "y.phase/msgs";
+  msgs.value = 3;
+  msgs.rank = 0;
+  msgs.type = obs::EventType::kCounter;
+  snap.events.push_back(msgs);
+
+  const auto phases = obs::aggregate_phases(snap);
+  const auto it = phases.find("y.phase");
+  ASSERT_NE(it, phases.end());
+  EXPECT_EQ(it->second.comm_bytes, 1500u);
+  EXPECT_EQ(it->second.comm_messages, 3u);
+  EXPECT_EQ(it->second.span_count, 1u);
+}
+
+TEST(ObsModelValidation, TableAndJsonRender) {
+  const obs::Snapshot snap = one_second_span("z.phase");
+  const std::vector<obs::PhaseExpectation> expected = {{"z.phase", 2.0},
+                                                       {"gone.phase", 1.0}};
+  const auto report = obs::validate_model(snap, expected, {});
+
+  const std::string table = report.to_table().to_string();
+  EXPECT_NE(table.find("z.phase"), std::string::npos);
+  EXPECT_NE(table.find("gone.phase"), std::string::npos);
+  EXPECT_NE(table.find("MISSING"), std::string::npos);
+
+  std::ostringstream json;
+  report.to_json(json);
+  const std::string text = json.str();
+  EXPECT_NE(text.find("\"complete\": false"), std::string::npos);
+  EXPECT_NE(text.find("\"gone.phase\""), std::string::npos);
+  EXPECT_NE(text.find("\"ratio\": 2"), std::string::npos);
+}
+
+// --- RunMetrics tree ------------------------------------------------------
+
+TEST(ObsRunMetrics, TreeSetGetAndSerialization) {
+  obs::RunMetrics root("run");
+  root.set("answer", 42.0);
+  root.child("sub").set("pi", 3.5);
+  root.child("sub").set("pi", 3.25);  // overwrite, no duplicate key
+
+  EXPECT_EQ(root.get("answer"), 42.0);
+  EXPECT_EQ(root.child("sub").get("pi"), 3.25);
+  EXPECT_EQ(root.get("nope", -1.0), -1.0);
+  ASSERT_NE(root.find("sub"), nullptr);
+  EXPECT_EQ(root.find("missing"), nullptr);
+
+  const std::string json = root.json();
+  EXPECT_NE(json.find("\"answer\""), std::string::npos);
+  EXPECT_NE(json.find("\"sub\""), std::string::npos);
+  EXPECT_NE(json.find("3.25"), std::string::npos);
+
+  const std::string text = root.text();
+  EXPECT_NE(text.find("answer"), std::string::npos);
+}
+
+TEST(ObsRunMetrics, LedgerBuilderFoldsTotals) {
+  simmpi::CostLedger a;
+  a.record(1000, 4);          // one collective, 1000 B over 4 messages
+  a.record_p2p_send(250);
+  simmpi::CostLedger b;
+  b.record_p2p_send(750);
+
+  obs::RunMetrics node("comm");
+  const std::vector<simmpi::CostLedger> ledgers = {a, b};
+  append_ledgers(node, ledgers);
+
+  EXPECT_EQ(node.get("total_bytes_sent"), 2000.0);
+  EXPECT_EQ(node.get("max_rank_bytes_sent"), 1250.0);
+  EXPECT_EQ(node.get("ranks"), 2.0);
+  ASSERT_NE(node.find("rank_0"), nullptr);
+  EXPECT_EQ(node.find("rank_0")->get("total_bytes_sent"), 1250.0);
+}
+
+}  // namespace
+}  // namespace amr
