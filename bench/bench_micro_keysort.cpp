@@ -52,6 +52,7 @@ struct Result {
   std::string distribution;
   std::size_t elements = 0;
   double best_seconds = 0.0;
+  double median_seconds = 0.0;
   double elements_per_second = 0.0;
   double speedup_vs_tablewalk = 0.0;
   double speedup_vs_comparator = 0.0;
@@ -61,16 +62,24 @@ struct Result {
   std::map<std::string, obs::PhaseAggregate> phases;
 };
 
+struct Timing {
+  double best = 0.0;
+  double median = 0.0;
+};
+
 template <typename SortFn>
-double best_of(int repeats, const std::vector<octree::Octant>& base, SortFn sort_fn) {
-  double best = 1e300;
+Timing time_reps(int repeats, const std::vector<octree::Octant>& base, SortFn sort_fn) {
+  std::vector<double> rep_seconds;
   for (int r = 0; r < repeats; ++r) {
     auto data = base;
     const util::Timer timer;
     sort_fn(data);
-    best = std::min(best, timer.seconds());
+    rep_seconds.push_back(timer.seconds());
   }
-  return best;
+  Timing t;
+  t.best = *std::min_element(rep_seconds.begin(), rep_seconds.end());
+  t.median = bench::median(rep_seconds);
+  return t;
 }
 
 }  // namespace
@@ -118,10 +127,10 @@ int main(int argc, char** argv) {
       };
       // Time every method first, then express speedups against both
       // baselines (the seed TreeSort engine and pure comparator sorting).
-      std::vector<double> seconds;
+      std::vector<Timing> seconds;
       std::vector<std::map<std::string, obs::PhaseAggregate>> phase_maps;
       for (const Method& method : methods) {
-        seconds.push_back(best_of(repeats, base, method.run));
+        seconds.push_back(time_reps(repeats, base, method.run));
         // One extra, untimed rep with the span recorder on for the
         // per-phase breakdown.
         phase_maps.push_back(bench::trace_phases([&] {
@@ -129,17 +138,18 @@ int main(int argc, char** argv) {
           method.run(data);
         }));
       }
-      const double comparator_seconds = seconds[0];
-      const double tablewalk_seconds = seconds[1];
+      const double comparator_seconds = seconds[0].best;
+      const double tablewalk_seconds = seconds[1].best;
       for (std::size_t m = 0; m < methods.size(); ++m) {
         Result r;
         r.method = methods[m].name;
         r.distribution = octree::to_string(distribution);
         r.elements = n;
-        r.best_seconds = seconds[m];
-        r.elements_per_second = static_cast<double>(n) / seconds[m];
-        r.speedup_vs_tablewalk = tablewalk_seconds / seconds[m];
-        r.speedup_vs_comparator = comparator_seconds / seconds[m];
+        r.best_seconds = seconds[m].best;
+        r.median_seconds = seconds[m].median;
+        r.elements_per_second = static_cast<double>(n) / seconds[m].best;
+        r.speedup_vs_tablewalk = tablewalk_seconds / seconds[m].best;
+        r.speedup_vs_comparator = comparator_seconds / seconds[m].best;
         r.phases = std::move(phase_maps[m]);
         results.push_back(r);
         table.add_row({r.distribution, std::to_string(n), r.method,
@@ -156,15 +166,15 @@ int main(int argc, char** argv) {
                   std::to_string(util::ThreadPool::global().size()) + ")");
 
   std::ofstream json(json_path);
-  json << "{\n  \"bench\": \"treesort_keysort\",\n  \"curve\": \""
-       << sfc::to_string(curve.kind()) << "\",\n  \"threads\": "
-       << util::ThreadPool::global().size() << ",\n  \"repeats\": " << repeats
-       << ",\n  \"results\": [\n";
+  bench::write_bench_preamble(json, "treesort_keysort", repeats);
+  json << "  \"curve\": \"" << sfc::to_string(curve.kind()) << "\",\n  \"threads\": "
+       << util::ThreadPool::global().size() << ",\n  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
     json << "    {\"method\": \"" << r.method << "\", \"distribution\": \""
          << r.distribution << "\", \"elements\": " << r.elements
          << ", \"seconds\": " << r.best_seconds
+         << ", \"median_seconds\": " << r.median_seconds
          << ", \"elements_per_second\": " << r.elements_per_second
          << ", \"speedup_vs_tablewalk\": " << r.speedup_vs_tablewalk
          << ", \"speedup_vs_comparator\": " << r.speedup_vs_comparator << ", ";

@@ -46,6 +46,7 @@ struct Result {
   int p = 0;
   std::size_t elements = 0;
   double best_seconds = 0.0;
+  double median_seconds = 0.0;
   double elements_per_second = 0.0;
   double exposed_comm_fraction = 1.0;  ///< wait / total exchange, cohort-wide
   double exchange_share = 0.0;         ///< exchange / (compute + exchange)
@@ -139,8 +140,10 @@ int main(int argc, char** argv) {
     for (std::size_t v = 0; v < variants.size(); ++v) {
       RunOutcome best;
       best.seconds = 1e300;
+      std::vector<double> rep_seconds;
       for (int rep = 0; rep < repeats; ++rep) {
         RunOutcome outcome = run_variant(variants[v], p, meshes, u0, iterations);
+        rep_seconds.push_back(outcome.seconds);
         if (outcome.seconds < best.seconds) best = std::move(outcome);
       }
       if (v == 0) {
@@ -157,6 +160,7 @@ int main(int argc, char** argv) {
       r.p = p;
       r.elements = tree.size();
       r.best_seconds = best.seconds;
+      r.median_seconds = bench::median(rep_seconds);
       r.elements_per_second =
           static_cast<double>(tree.size()) * iterations / best.seconds;
       r.exposed_comm_fraction = best.exposed_fraction;
@@ -181,14 +185,15 @@ int main(int argc, char** argv) {
                   " iterations (best of " + std::to_string(repeats) + ")");
 
   std::ofstream json(json_path);
-  json << "{\n  \"bench\": \"matvec_exchange\",\n  \"curve\": \""
-       << sfc::to_string(curve.kind()) << "\",\n  \"elements\": " << tree.size()
-       << ",\n  \"iterations\": " << iterations << ",\n  \"repeats\": " << repeats
-       << ",\n  \"results\": [\n";
+  bench::write_bench_preamble(json, "matvec_exchange", repeats);
+  json << "  \"curve\": \"" << sfc::to_string(curve.kind())
+       << "\",\n  \"elements\": " << tree.size()
+       << ",\n  \"iterations\": " << iterations << ",\n  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
     json << "    {\"variant\": \"" << r.variant << "\", \"p\": " << r.p
          << ", \"elements\": " << r.elements << ", \"seconds\": " << r.best_seconds
+         << ", \"median_seconds\": " << r.median_seconds
          << ", \"elements_per_second\": " << r.elements_per_second
          << ", \"exposed_comm_fraction\": " << r.exposed_comm_fraction
          << ", \"exchange_share\": " << r.exchange_share << ", ";

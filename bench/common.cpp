@@ -1,11 +1,40 @@
 #include "common.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <thread>
+
 #include "mesh/adjacency.hpp"
 #include "mesh/comm_matrix.hpp"
 #include "partition/metrics.hpp"
 #include "sim/matvec_sim.hpp"
+#include "util/thread_pool.hpp"
 
 namespace amr::bench {
+
+double median(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t mid = samples.size() / 2;
+  return samples.size() % 2 == 1 ? samples[mid]
+                                 : 0.5 * (samples[mid - 1] + samples[mid]);
+}
+
+void write_bench_preamble(std::ostream& out, const std::string& bench_name,
+                          int repeats) {
+  char hostname[256] = "unknown";
+  if (gethostname(hostname, sizeof(hostname) - 1) != 0) {
+    hostname[0] = '\0';
+  }
+  hostname[sizeof(hostname) - 1] = '\0';
+  out << "{\n  \"bench\": \"" << bench_name << "\",\n  \"repeats\": " << repeats
+      << ",\n  \"aggregation\": \"median\",\n  \"host\": {\"hostname\": \""
+      << hostname << "\", \"hardware_threads\": "
+      << std::thread::hardware_concurrency()
+      << ", \"pool_width\": " << util::ThreadPool::global().size()
+      << ", \"compiler\": \"" << __VERSION__ << "\"},\n";
+}
 
 std::vector<SweepPoint> tolerance_sweep(const std::vector<octree::Octant>& tree,
                                         const sfc::Curve& curve, int p,

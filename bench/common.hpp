@@ -12,6 +12,7 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "machine/perf_model.hpp"
 #include "obs/model_validation.hpp"
@@ -112,6 +113,21 @@ inline void write_phases_json(
   }
   out << '}';
 }
+
+/// Median of `samples` (middle element, or the mean of the two middles).
+/// BENCH_*.json records the median of the timed reps, not the mean: a
+/// single descheduled rep on a shared runner shifts a mean arbitrarily
+/// but leaves the median alone. The per-variant "best" is kept alongside
+/// as the machine-capability number.
+[[nodiscard]] double median(std::vector<double> samples);
+
+/// Open a BENCH_*.json object and write the provenance fields every bench
+/// records: the bench name, rep count, the aggregation rule ("median"),
+/// and the host the numbers came from (hostname, hardware threads, the
+/// shared pool's width, compiler). Callers continue with their own
+/// key/value pairs and close the object themselves.
+void write_bench_preamble(std::ostream& out, const std::string& bench_name,
+                          int repeats);
 
 /// Print the table and optionally mirror it to <csv-dir>/<name>.csv.
 inline void emit(const util::Table& table, const util::Args& args,

@@ -2,25 +2,36 @@
 
 #include <cmath>
 
-#include "fem/laplacian.hpp"
 #include "fem/vector.hpp"
 
 namespace amr::fem {
 
-CgResult conjugate_gradient(const mesh::GlobalMesh& mesh, std::span<const double> b,
+namespace {
+
+ParOptions par_of(const CgOptions& options) {
+  ParOptions par;
+  par.num_threads = options.num_threads;
+  par.pool = options.pool;
+  return par;
+}
+
+}  // namespace
+
+CgResult conjugate_gradient(const KernelPlan& plan, std::span<const double> b,
                             std::vector<double>& x, const CgOptions& options) {
-  const std::size_t n = mesh.elements.size();
+  const std::size_t n = plan.num_rows();
+  const ParOptions par = par_of(options);
   x.resize(n, 0.0);
 
   std::vector<double> r(n);
   std::vector<double> p(n);
   std::vector<double> ap(n);
 
-  apply_global(mesh, x, r);
+  plan.apply(x, r, par);
   for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
   p = r;
 
-  const double b_norm = norm2(b);
+  const double b_norm = norm2_det(b, par);
   CgResult result;
   if (b_norm == 0.0) {
     fill(x, 0.0);
@@ -28,22 +39,78 @@ CgResult conjugate_gradient(const mesh::GlobalMesh& mesh, std::span<const double
     return result;
   }
 
-  double rho = dot(r, r);
+  double rho = dot_det(r, r, par);
   for (int it = 0; it < options.max_iterations; ++it) {
-    apply_global(mesh, p, ap);
-    const double denom = dot(p, ap);
+    plan.apply(p, ap, par);
+    const double denom = dot_det(p, ap, par);
     if (denom <= 0.0) break;  // loss of positive-definiteness: bail out
     const double alpha = rho / denom;
-    axpy(alpha, p, x);
-    axpy(-alpha, ap, r);
-    const double rho_next = dot(r, r);
+    axpy(alpha, p, x, par);
+    // Fused residual update + new rho: one sweep instead of two.
+    const double rho_next = axpy_dot(-alpha, ap, r, par);
     result.iterations = it + 1;
     result.relative_residual = std::sqrt(rho_next) / b_norm;
+    result.residual_history.push_back(result.relative_residual);
     if (result.relative_residual <= options.rel_tolerance) {
       result.converged = true;
       return result;
     }
-    xpby(r, rho_next / rho, p);
+    xpby(r, rho_next / rho, p, par);
+    rho = rho_next;
+  }
+  return result;
+}
+
+CgResult conjugate_gradient(const mesh::GlobalMesh& mesh, std::span<const double> b,
+                            std::vector<double>& x, const CgOptions& options) {
+  return conjugate_gradient(KernelPlan::build(mesh), b, x, options);
+}
+
+CgResult preconditioned_conjugate_gradient(const KernelPlan& plan,
+                                           std::span<const double> b,
+                                           std::vector<double>& x,
+                                           const CgOptions& options) {
+  const std::size_t n = plan.num_rows();
+  const ParOptions par = par_of(options);
+  x.resize(n, 0.0);
+
+  const std::span<const double> inv_diag = plan.inv_diagonal();
+
+  std::vector<double> r(n);
+  std::vector<double> z(n);
+  std::vector<double> p(n);
+  std::vector<double> ap(n);
+
+  plan.apply(x, r, par);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+
+  const double b_norm = norm2_det(b, par);
+  CgResult result;
+  if (b_norm == 0.0) {
+    fill(x, 0.0);
+    result.converged = true;
+    return result;
+  }
+
+  // z = M^-1 r and rho = (r, z) in one pass.
+  double rho = scale_dot(inv_diag, r, z, par);
+  p = z;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    plan.apply(p, ap, par);
+    const double denom = dot_det(p, ap, par);
+    if (denom <= 0.0) break;
+    const double alpha = rho / denom;
+    axpy(alpha, p, x, par);
+    const double r_norm2 = axpy_dot(-alpha, ap, r, par);
+    result.iterations = it + 1;
+    result.relative_residual = std::sqrt(r_norm2) / b_norm;
+    result.residual_history.push_back(result.relative_residual);
+    if (result.relative_residual <= options.rel_tolerance) {
+      result.converged = true;
+      return result;
+    }
+    const double rho_next = scale_dot(inv_diag, r, z, par);
+    xpby(z, rho_next / rho, p, par);
     rho = rho_next;
   }
   return result;
@@ -53,53 +120,7 @@ CgResult preconditioned_conjugate_gradient(const mesh::GlobalMesh& mesh,
                                            std::span<const double> b,
                                            std::vector<double>& x,
                                            const CgOptions& options) {
-  const std::size_t n = mesh.elements.size();
-  x.resize(n, 0.0);
-
-  const std::vector<double> diag = operator_diagonal(mesh);
-  std::vector<double> inv_diag(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    inv_diag[i] = diag[i] > 0.0 ? 1.0 / diag[i] : 1.0;
-  }
-
-  std::vector<double> r(n);
-  std::vector<double> z(n);
-  std::vector<double> p(n);
-  std::vector<double> ap(n);
-
-  apply_global(mesh, x, r);
-  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
-  for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
-  p = z;
-
-  const double b_norm = norm2(b);
-  CgResult result;
-  if (b_norm == 0.0) {
-    fill(x, 0.0);
-    result.converged = true;
-    return result;
-  }
-
-  double rho = dot(r, z);
-  for (int it = 0; it < options.max_iterations; ++it) {
-    apply_global(mesh, p, ap);
-    const double denom = dot(p, ap);
-    if (denom <= 0.0) break;
-    const double alpha = rho / denom;
-    axpy(alpha, p, x);
-    axpy(-alpha, ap, r);
-    result.iterations = it + 1;
-    result.relative_residual = norm2(r) / b_norm;
-    if (result.relative_residual <= options.rel_tolerance) {
-      result.converged = true;
-      return result;
-    }
-    for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
-    const double rho_next = dot(r, z);
-    xpby(z, rho_next / rho, p);
-    rho = rho_next;
-  }
-  return result;
+  return preconditioned_conjugate_gradient(KernelPlan::build(mesh), b, x, options);
 }
 
 }  // namespace amr::fem

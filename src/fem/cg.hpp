@@ -1,11 +1,21 @@
 // Conjugate gradients on the global Laplacian: the iterative-solver use
 // case the paper motivates (every Krylov solve is a series of matvecs,
 // §5.3). Used by the Poisson example and the integration tests.
+//
+// Both solvers run on a fem::KernelPlan (engine.hpp): the matvec is the
+// threaded SoA kernel and every reduction is the deterministic blocked
+// pairwise form (vector.hpp), so the iterate history -- every alpha,
+// beta, residual, and the solution itself -- is bit-identical for any
+// thread count. The mesh-taking overloads build a plan internally
+// (convenient for one-shot solves); callers that solve repeatedly should
+// build the plan once and pass it, which also reuses the extracted
+// Jacobi diagonal instead of re-deriving it per call.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "fem/engine.hpp"
 #include "mesh/mesh.hpp"
 
 namespace amr::fem {
@@ -13,22 +23,37 @@ namespace amr::fem {
 struct CgOptions {
   int max_iterations = 500;
   double rel_tolerance = 1.0e-8;
+  /// Engine width: 0 uses the shared pool's width, 1 forces the inline
+  /// sequential path. The solve's results are identical either way.
+  int num_threads = 0;
+  /// Pool to run on; nullptr means util::ThreadPool::global().
+  util::ThreadPool* pool = nullptr;
 };
 
 struct CgResult {
   int iterations = 0;
   double relative_residual = 0.0;
   bool converged = false;
+  /// Relative residual after each iteration; deterministic across thread
+  /// counts (asserted by test).
+  std::vector<double> residual_history;
 };
 
-/// Solve L x = b for the cell-centered Laplacian on `mesh`. `x` is the
-/// initial guess on entry and the solution on exit.
+/// Solve L x = b for the cell-centered Laplacian. `x` is the initial
+/// guess on entry and the solution on exit.
+CgResult conjugate_gradient(const KernelPlan& plan, std::span<const double> b,
+                            std::vector<double>& x, const CgOptions& options = {});
 CgResult conjugate_gradient(const mesh::GlobalMesh& mesh, std::span<const double> b,
                             std::vector<double>& x, const CgOptions& options = {});
 
 /// Jacobi-preconditioned CG: on strongly graded adaptive meshes the
 /// operator diagonal varies by orders of magnitude across levels, and
-/// scaling by it cuts the iteration count substantially.
+/// scaling by it cuts the iteration count substantially. Uses the plan's
+/// diagonal, extracted once at plan build.
+CgResult preconditioned_conjugate_gradient(const KernelPlan& plan,
+                                           std::span<const double> b,
+                                           std::vector<double>& x,
+                                           const CgOptions& options = {});
 CgResult preconditioned_conjugate_gradient(const mesh::GlobalMesh& mesh,
                                            std::span<const double> b,
                                            std::vector<double>& x,

@@ -1,0 +1,266 @@
+#include "fem/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+#include "util/thread_pool.hpp"
+
+namespace amr::fem {
+
+namespace {
+
+std::atomic<std::uint64_t> g_diagonal_builds{0};
+
+/// List rows per pool task (apply_interior / apply_tail). The partition
+/// is position-based; rows are independent, so it never affects results.
+constexpr std::size_t kRowsPerTask = 8192;
+
+}  // namespace
+
+std::uint64_t KernelPlan::total_diagonal_builds() {
+  return g_diagonal_builds.load(std::memory_order_relaxed);
+}
+
+void KernelPlan::finish_build() {
+  // Diagonal in the same per-row term order the apply loops use (face
+  // refs then walls) -- matches operator_diagonal's scatter bit for bit.
+  diag_.assign(num_rows_, 0.0);
+  inv_diag_.assign(num_rows_, 1.0);
+  for (std::size_t r = 0; r < num_rows_; ++r) {
+    double d = 0.0;
+    for (std::uint32_t j = row_offsets_[r]; j < row_offsets_[r + 1]; ++j) {
+      d += coef_[j];
+    }
+    for (std::uint32_t w = wall_offsets_[r]; w < wall_offsets_[r + 1]; ++w) {
+      d += wall_coef_[w];
+    }
+    diag_[r] = d;
+    if (d > 0.0) inv_diag_[r] = 1.0 / d;
+  }
+  g_diagonal_builds.fetch_add(1, std::memory_order_relaxed);
+}
+
+KernelPlan KernelPlan::build(const mesh::GlobalMesh& mesh) {
+  KernelPlan plan;
+  const std::size_t n = mesh.elements.size();
+  plan.num_rows_ = n;
+  plan.num_ghosts_ = 0;
+
+  // Two-pass CSR fill in face-list order, so each row's term order equals
+  // the order apply_global's scatter touches it.
+  plan.row_offsets_.assign(n + 1, 0);
+  for (const mesh::Face& f : mesh.faces) {
+    plan.row_offsets_[f.a + 1]++;
+    plan.row_offsets_[f.b + 1]++;
+  }
+  plan.wall_offsets_.assign(n + 1, 0);
+  for (const mesh::BoundaryFace& f : mesh.boundary_faces) {
+    plan.wall_offsets_[f.a + 1]++;
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    plan.row_offsets_[r + 1] += plan.row_offsets_[r];
+    plan.wall_offsets_[r + 1] += plan.wall_offsets_[r];
+  }
+  plan.coef_.resize(plan.row_offsets_[n]);
+  plan.other_.resize(plan.row_offsets_[n]);
+  plan.wall_coef_.resize(plan.wall_offsets_[n]);
+  std::vector<std::uint32_t> cursor(plan.row_offsets_.begin(),
+                                    plan.row_offsets_.end() - 1);
+  for (const mesh::Face& f : mesh.faces) {
+    const double k = f.area / f.dist;
+    plan.coef_[cursor[f.a]] = k;
+    plan.other_[cursor[f.a]++] = f.b;
+    plan.coef_[cursor[f.b]] = k;
+    plan.other_[cursor[f.b]++] = f.a;
+  }
+  std::vector<std::uint32_t> wall_cursor(plan.wall_offsets_.begin(),
+                                         plan.wall_offsets_.end() - 1);
+  for (const mesh::BoundaryFace& f : mesh.boundary_faces) {
+    plan.wall_coef_[wall_cursor[f.a]++] = f.area / f.dist;
+  }
+
+  plan.finish_build();
+  return plan;
+}
+
+KernelPlan KernelPlan::build(const mesh::LocalMesh& mesh) {
+  assert(mesh.has_overlap_split());
+  KernelPlan plan;
+  const std::size_t n = mesh.elements.size();
+  plan.num_rows_ = n;
+  plan.num_ghosts_ = mesh.ghosts.size();
+
+  // The mesh's gather CSR already lists each row's terms in face-list
+  // order with precomputed k; re-encode ghost refs as n + slot so the
+  // apply loops select the value array with one compare.
+  plan.row_offsets_ = mesh.face_ref_offsets;
+  plan.coef_.resize(mesh.gather_refs.size());
+  plan.other_.resize(mesh.gather_refs.size());
+  for (std::size_t j = 0; j < mesh.gather_refs.size(); ++j) {
+    const mesh::LocalMesh::GatherRef& g = mesh.gather_refs[j];
+    plan.coef_[j] = g.k;
+    plan.other_[j] =
+        g.ghost != 0 ? static_cast<std::uint32_t>(n) + g.other : g.other;
+  }
+  plan.wall_offsets_ = mesh.wall_offsets;
+  plan.wall_coef_ = mesh.wall_coeffs;
+  plan.interior_rows_ = mesh.interior_elements;
+  plan.tail_rows_ = mesh.boundary_elements;
+
+  plan.finish_build();
+  return plan;
+}
+
+void KernelPlan::run_row_blocks(
+    const ParOptions& par,
+    const std::function<void(std::size_t, std::size_t)>& body) const {
+  util::ThreadPool& pool =
+      par.pool != nullptr ? *par.pool : util::ThreadPool::global();
+  const int width = par.num_threads > 0 ? par.num_threads : pool.size();
+  const std::size_t total_terms = coef_.size() + wall_coef_.size() + num_rows_;
+  if (par.num_threads == 1 || width <= 1 || total_terms < par.parallel_cutoff ||
+      num_rows_ < 2) {
+    body(0, num_rows_);
+    return;
+  }
+  // Ref-balanced contiguous row blocks: cut where the face-term prefix
+  // crosses equal shares, so a few huge rows (graded meshes reach ~24
+  // refs) can't serialize one task.
+  const std::size_t num_tasks =
+      std::min(num_rows_, 4 * static_cast<std::size_t>(width));
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(num_tasks);
+  std::size_t prev = 0;
+  for (std::size_t t = 1; t <= num_tasks; ++t) {
+    std::size_t r1 = num_rows_;
+    if (t < num_tasks) {
+      const auto target = static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(coef_.size()) * t / num_tasks);
+      r1 = static_cast<std::size_t>(
+          std::lower_bound(row_offsets_.begin() + 1, row_offsets_.end(), target) -
+          row_offsets_.begin());
+      r1 = std::min(r1, num_rows_);
+    }
+    if (r1 <= prev) continue;
+    tasks.push_back([&body, prev, r1] { body(prev, r1); });
+    prev = r1;
+  }
+  pool.run(std::move(tasks));
+}
+
+void KernelPlan::run_list_blocks(
+    std::span<const std::uint32_t> rows, const ParOptions& par,
+    const std::function<void(std::size_t, std::size_t)>& body) const {
+  util::ThreadPool& pool =
+      par.pool != nullptr ? *par.pool : util::ThreadPool::global();
+  const int width = par.num_threads > 0 ? par.num_threads : pool.size();
+  // ~7 face terms per row on a balanced octree; position-based blocks are
+  // close enough to ref-balanced for the list kernels.
+  if (par.num_threads == 1 || width <= 1 ||
+      rows.size() * 8 < par.parallel_cutoff) {
+    body(0, rows.size());
+    return;
+  }
+  pool.run_ranges(rows.size(), kRowsPerTask, body);
+}
+
+void KernelPlan::apply(std::span<const double> u, std::span<double> out,
+                       const ParOptions& par) const {
+  assert(built() && num_ghosts_ == 0);
+  assert(u.size() == num_rows_ && out.size() == num_rows_);
+  run_row_blocks(par, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      const double ue = u[r];
+      double acc = 0.0;
+      for (std::uint32_t j = row_offsets_[r]; j < row_offsets_[r + 1]; ++j) {
+        acc += coef_[j] * (ue - u[other_[j]]);
+      }
+      for (std::uint32_t w = wall_offsets_[r]; w < wall_offsets_[r + 1]; ++w) {
+        acc += wall_coef_[w] * ue;
+      }
+      out[r] = acc;
+    }
+  });
+}
+
+void KernelPlan::apply(std::span<const double> u, std::span<const double> ghost_u,
+                       std::span<double> out, const ParOptions& par) const {
+  assert(built());
+  assert(u.size() == num_rows_ && out.size() == num_rows_);
+  assert(ghost_u.size() == num_ghosts_);
+  const std::size_t n = num_rows_;
+  run_row_blocks(par, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      const double ue = u[r];
+      double acc = 0.0;
+      for (std::uint32_t j = row_offsets_[r]; j < row_offsets_[r + 1]; ++j) {
+        const std::uint32_t o = other_[j];
+        const double uo = o < n ? u[o] : ghost_u[o - n];
+        acc += coef_[j] * (ue - uo);
+      }
+      for (std::uint32_t w = wall_offsets_[r]; w < wall_offsets_[r + 1]; ++w) {
+        acc += wall_coef_[w] * ue;
+      }
+      out[r] = acc;
+    }
+  });
+}
+
+void KernelPlan::apply_interior(std::span<const double> u, std::span<double> out,
+                                const ParOptions& par) const {
+  assert(built());
+  assert(u.size() == num_rows_ && out.size() == num_rows_);
+  run_list_blocks(interior_rows_, par, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const std::size_t r = interior_rows_[i];
+      const double ue = u[r];
+      double acc = 0.0;
+      // Interior rows reference owned values only (build_overlap_split
+      // invariant), so the fetch needs no ghost select.
+      for (std::uint32_t j = row_offsets_[r]; j < row_offsets_[r + 1]; ++j) {
+        acc += coef_[j] * (ue - u[other_[j]]);
+      }
+      for (std::uint32_t w = wall_offsets_[r]; w < wall_offsets_[r + 1]; ++w) {
+        acc += wall_coef_[w] * ue;
+      }
+      out[r] = acc;
+    }
+  });
+}
+
+void KernelPlan::apply_tail(std::span<const double> u,
+                            std::span<const double> ghost_u, std::span<double> out,
+                            const ParOptions& par) const {
+  assert(built());
+  assert(u.size() == num_rows_ && out.size() == num_rows_);
+  assert(ghost_u.size() == num_ghosts_);
+  const std::size_t n = num_rows_;
+  run_list_blocks(tail_rows_, par, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const std::size_t r = tail_rows_[i];
+      const double ue = u[r];
+      double acc = 0.0;
+      for (std::uint32_t j = row_offsets_[r]; j < row_offsets_[r + 1]; ++j) {
+        const std::uint32_t o = other_[j];
+        const double uo = o < n ? u[o] : ghost_u[o - n];
+        acc += coef_[j] * (ue - uo);
+      }
+      for (std::uint32_t w = wall_offsets_[r]; w < wall_offsets_[r + 1]; ++w) {
+        acc += wall_coef_[w] * ue;
+      }
+      out[r] = acc;
+    }
+  });
+}
+
+std::size_t KernelPlan::matvec_bytes() const {
+  // Per face ref: the 12-byte SoA term plus one 8-byte gathered value;
+  // per row: both CSR offsets, the ue read and the out write; per wall
+  // ref: its coefficient.
+  return coef_.size() * (sizeof(double) + sizeof(std::uint32_t) + sizeof(double)) +
+         wall_coef_.size() * sizeof(double) +
+         num_rows_ * (2 * sizeof(std::uint32_t) + 2 * sizeof(double));
+}
+
+}  // namespace amr::fem

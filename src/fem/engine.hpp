@@ -1,0 +1,142 @@
+// Threaded, SIMD-friendly FEM execution engine (DESIGN.md §12).
+//
+// KernelPlan is the structure-of-arrays form of the Laplacian matvec,
+// built once per mesh and applied many times: per matvec row (element) a
+// CSR slice of precomputed transmissibilities k = area/dist plus the
+// paired value index, with domain-wall coefficients in a parallel CSR.
+// The AoS Face records (32 bytes, plus a divide per face per call) are
+// touched only at build time; the apply loops stream 12-byte
+// (double k, uint32 other) terms and gather 8-byte values.
+//
+// Execution model -- the no-atomics ownership argument: the plan is
+// row-parallel. Each row accumulates all of its own flux terms (gather
+// form), so a thread that owns a contiguous row range writes only
+// out[r0, r1) and reads only u/ghost_u -- no write is ever shared, no
+// atomic or lock appears in any kernel. Per row the terms are added in
+// the mesh's face-list order followed by wall order, the exact per-row
+// order the fused sequential kernels (apply_global / apply_local) see, so
+// the result is bit-identical to the sequential engine for ANY thread
+// count by construction (IEEE addition is non-associative across rows'
+// interleavings, but rows are independent and within a row the order is
+// fixed).
+//
+// The PR 3 owned-prefix/ghost-tail split is preserved: interior rows
+// reference no ghost slots (their kernel takes no ghost array at all),
+// so dist_matvec_loop_overlapped can stream them on the pool while the
+// halo is in flight, then finish the boundary rows.
+//
+// The operator diagonal (Jacobi preconditioner) is extracted once at
+// build -- preconditioned CG no longer re-derives it per solve.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "fem/vector.hpp"
+#include "mesh/mesh.hpp"
+
+namespace amr::fem {
+
+class KernelPlan {
+ public:
+  KernelPlan() = default;
+
+  /// Plan for the undistributed mesh (no ghosts; every row owned).
+  [[nodiscard]] static KernelPlan build(const mesh::GlobalMesh& mesh);
+  /// Plan for one rank's mesh. Requires mesh.build_overlap_split() (both
+  /// mesh constructions run it); reuses the mesh's gather/wall CSR, with
+  /// ghost references re-encoded as num_rows() + slot so the inner loops
+  /// are branch-predictable single-compare selects.
+  [[nodiscard]] static KernelPlan build(const mesh::LocalMesh& mesh);
+
+  [[nodiscard]] std::size_t num_rows() const { return num_rows_; }
+  [[nodiscard]] std::size_t num_ghosts() const { return num_ghosts_; }
+  [[nodiscard]] std::size_t num_refs() const { return coef_.size(); }
+  [[nodiscard]] bool built() const { return row_offsets_.size() == num_rows_ + 1; }
+
+  /// out = L u on a ghost-free plan (global mesh). Every row is assigned
+  /// exactly once; out is not read.
+  void apply(std::span<const double> u, std::span<double> out,
+             const ParOptions& par = {}) const;
+
+  /// Fused local matvec: out = L(u, ghost_u). Bit-identical to
+  /// fem::apply_local on the same mesh.
+  void apply(std::span<const double> u, std::span<const double> ghost_u,
+             std::span<double> out, const ParOptions& par = {}) const;
+
+  /// Interior rows only (rows that reference no ghost slot): each listed
+  /// row of `out` is fully assigned, others untouched. Takes no ghost
+  /// array -- the structural guarantee the overlap schedule relies on.
+  void apply_interior(std::span<const double> u, std::span<double> out,
+                      const ParOptions& par = {}) const;
+
+  /// Boundary rows, once the halo is current. apply_interior + apply_tail
+  /// together equal one fused apply() bit for bit.
+  void apply_tail(std::span<const double> u, std::span<const double> ghost_u,
+                  std::span<double> out, const ParOptions& par = {}) const;
+
+  /// Operator diagonal and its reciprocal (Jacobi preconditioner),
+  /// computed once at build time.
+  [[nodiscard]] std::span<const double> diagonal() const { return diag_; }
+  [[nodiscard]] std::span<const double> inv_diagonal() const { return inv_diag_; }
+
+  [[nodiscard]] std::span<const std::uint32_t> interior_rows() const {
+    return interior_rows_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> tail_rows() const { return tail_rows_; }
+
+  /// Bytes one apply() streams through memory (roofline estimate): per
+  /// face ref the 12-byte SoA term plus the 8-byte gathered value, per
+  /// row the 4-byte offsets and the 8-byte ue read + out write, plus the
+  /// wall CSR. Gathered u reads are counted once each; cache reuse makes
+  /// this an upper bound on true DRAM traffic, so a bandwidth figure
+  /// computed from it is an effective (gathered-bytes) rate and can
+  /// exceed the stream roofline when the working set fits in cache.
+  [[nodiscard]] std::size_t matvec_bytes() const;
+
+  /// Process-lifetime count of diagonal extractions (== plan builds).
+  /// Regression hook: tests assert repeated PCG solves on one plan do not
+  /// grow it.
+  [[nodiscard]] static std::uint64_t total_diagonal_builds();
+
+ private:
+  /// Compute diag_/inv_diag_ and bump the build counter. Requires the CSR
+  /// arrays to be final.
+  void finish_build();
+
+  /// Partition the contiguous rows [0, num_rows_) into ref-balanced
+  /// blocks and run `body(r0, r1)` over the pool (or inline when the plan
+  /// is small / the width is pinned to 1). Rows are independent, so the
+  /// partition never affects results.
+  void run_row_blocks(const ParOptions& par,
+                      const std::function<void(std::size_t, std::size_t)>& body) const;
+  /// Same, over positions of a row list (interior_rows_ / tail_rows_).
+  void run_list_blocks(std::span<const std::uint32_t> rows, const ParOptions& par,
+                       const std::function<void(std::size_t, std::size_t)>& body) const;
+
+  std::size_t num_rows_ = 0;
+  std::size_t num_ghosts_ = 0;
+
+  // Face-term CSR: refs of row r live in [row_offsets_[r], row_offsets_[r+1]).
+  std::vector<std::uint32_t> row_offsets_;  ///< size num_rows_ + 1
+  std::vector<double> coef_;                ///< k = area/dist, precomputed
+  /// Paired value index: < num_rows_ reads u, otherwise ghost slot
+  /// other_ - num_rows_.
+  std::vector<std::uint32_t> other_;
+
+  // Wall-term CSR, same shape. Kept as individual terms (not folded into
+  // one coefficient per row): multi-wall rows must accumulate each term
+  // separately to stay bit-identical to the sequential kernel.
+  std::vector<std::uint32_t> wall_offsets_;  ///< size num_rows_ + 1
+  std::vector<double> wall_coef_;
+
+  std::vector<std::uint32_t> interior_rows_;  ///< rows with no ghost refs
+  std::vector<std::uint32_t> tail_rows_;      ///< rows with >= 1 ghost ref
+
+  std::vector<double> diag_;
+  std::vector<double> inv_diag_;  ///< 1/diag, 1.0 where diag <= 0
+};
+
+}  // namespace amr::fem

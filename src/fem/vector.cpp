@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/thread_pool.hpp"
+
 namespace amr::fem {
 
 double dot(std::span<const double> a, std::span<const double> b) {
@@ -26,6 +28,141 @@ void xpby(std::span<const double> x, double beta, std::span<double> y) {
 
 void fill(std::span<double> v, double value) {
   for (double& x : v) x = value;
+}
+
+namespace {
+
+util::ThreadPool& resolve_pool(const ParOptions& par) {
+  return par.pool != nullptr ? *par.pool : util::ThreadPool::global();
+}
+
+/// True when the op should fork the pool: wide enough pool, long enough
+/// vector, and the caller didn't pin the width to 1.
+bool go_parallel(std::size_t n, const ParOptions& par, util::ThreadPool& pool) {
+  if (par.num_threads == 1) return false;
+  if (n < par.parallel_cutoff) return false;
+  const int width = par.num_threads > 0 ? par.num_threads : pool.size();
+  return width > 1;
+}
+
+/// Blocks per pool task: enough blocks that the partition is always the
+/// same function of n (it never depends on width), small enough that wide
+/// pools still spread the work. 4 blocks = 16k elements per task.
+constexpr std::size_t kBlocksPerTask = 4;
+
+/// Combine block partials with a fixed-shape pairwise tree: adjacent pairs
+/// are summed repeatedly until one value remains, an odd tail carried
+/// through unchanged. The shape depends only on the partial count.
+double pairwise_combine(std::vector<double>& s) {
+  std::size_t m = s.size();
+  if (m == 0) return 0.0;
+  while (m > 1) {
+    const std::size_t half = m / 2;
+    for (std::size_t i = 0; i < half; ++i) s[i] = s[2 * i] + s[2 * i + 1];
+    if ((m & 1) != 0) {
+      s[half] = s[m - 1];
+      m = half + 1;
+    } else {
+      m = half;
+    }
+  }
+  return s[0];
+}
+
+/// Run `block_body(block_index)` for every kReduceBlock-sized block and
+/// return the pairwise combination of the per-block partials it returns.
+template <typename BlockBody>
+double blocked_reduce(std::size_t n, const ParOptions& par, BlockBody&& block_body) {
+  if (n == 0) return 0.0;
+  const std::size_t num_blocks = (n + kReduceBlock - 1) / kReduceBlock;
+  std::vector<double> partial(num_blocks);
+  util::ThreadPool& pool = resolve_pool(par);
+  if (go_parallel(n, par, pool)) {
+    pool.run_ranges(num_blocks, kBlocksPerTask, [&](std::size_t b0, std::size_t b1) {
+      for (std::size_t b = b0; b < b1; ++b) partial[b] = block_body(b);
+    });
+  } else {
+    for (std::size_t b = 0; b < num_blocks; ++b) partial[b] = block_body(b);
+  }
+  return pairwise_combine(partial);
+}
+
+std::size_t block_end(std::size_t b, std::size_t n) {
+  return std::min(n, (b + 1) * kReduceBlock);
+}
+
+}  // namespace
+
+double dot_det(std::span<const double> a, std::span<const double> b,
+               const ParOptions& par) {
+  assert(a.size() == b.size());
+  return blocked_reduce(a.size(), par, [&](std::size_t blk) {
+    double s = 0.0;
+    for (std::size_t i = blk * kReduceBlock; i < block_end(blk, a.size()); ++i) {
+      s += a[i] * b[i];
+    }
+    return s;
+  });
+}
+
+double norm2_det(std::span<const double> a, const ParOptions& par) {
+  return std::sqrt(dot_det(a, a, par));
+}
+
+double axpy_dot(double alpha, std::span<const double> x, std::span<double> y,
+                const ParOptions& par) {
+  assert(x.size() == y.size());
+  return blocked_reduce(x.size(), par, [&](std::size_t blk) {
+    double s = 0.0;
+    for (std::size_t i = blk * kReduceBlock; i < block_end(blk, x.size()); ++i) {
+      y[i] += alpha * x[i];
+      s += y[i] * y[i];
+    }
+    return s;
+  });
+}
+
+double scale_dot(std::span<const double> d, std::span<const double> r,
+                 std::span<double> z, const ParOptions& par) {
+  assert(d.size() == r.size() && r.size() == z.size());
+  return blocked_reduce(r.size(), par, [&](std::size_t blk) {
+    double s = 0.0;
+    for (std::size_t i = blk * kReduceBlock; i < block_end(blk, r.size()); ++i) {
+      z[i] = d[i] * r[i];
+      s += r[i] * z[i];
+    }
+    return s;
+  });
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y,
+          const ParOptions& par) {
+  assert(x.size() == y.size());
+  util::ThreadPool& pool = resolve_pool(par);
+  if (!go_parallel(x.size(), par, pool)) {
+    axpy(alpha, x, y);
+    return;
+  }
+  pool.run_ranges(x.size(), kBlocksPerTask * kReduceBlock,
+                  [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) y[i] += alpha * x[i];
+                  });
+}
+
+void xpby(std::span<const double> x, double beta, std::span<double> y,
+          const ParOptions& par) {
+  assert(x.size() == y.size());
+  util::ThreadPool& pool = resolve_pool(par);
+  if (!go_parallel(x.size(), par, pool)) {
+    xpby(x, beta, y);
+    return;
+  }
+  pool.run_ranges(x.size(), kBlocksPerTask * kReduceBlock,
+                  [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) {
+                      y[i] = x[i] + beta * y[i];
+                    }
+                  });
 }
 
 }  // namespace amr::fem

@@ -1,10 +1,26 @@
 // Dense vector helpers for the FEM solvers. One double per element
 // (cell-centered discretization); kept free-standing so both the global
 // reference path and the per-rank distributed path share them.
+//
+// Two tiers live here:
+//  * the original scalar ops (dot/norm2/axpy/xpby/fill) -- the sequential
+//    reference the rest of the code is pinned against;
+//  * deterministic parallel ops (suffix _det, plus fused passes) used by
+//    the threaded CG. Reductions are blocked: the vector is cut into
+//    fixed kReduceBlock-element blocks, each block is summed sequentially
+//    in index order, and the block partials are combined by a fixed-shape
+//    pairwise tree. Both the block boundaries and the tree shape depend
+//    only on the vector length -- never on thread count or scheduling --
+//    so the result is bit-identical for any AMR_THREADS (including 1).
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <vector>
+
+namespace amr::util {
+class ThreadPool;
+}  // namespace amr::util
 
 namespace amr::fem {
 
@@ -17,5 +33,52 @@ void axpy(double alpha, std::span<const double> x, std::span<double> y);
 void xpby(std::span<const double> x, double beta, std::span<double> y);
 
 void fill(std::span<double> v, double value);
+
+/// Execution knobs shared by the deterministic parallel ops and the
+/// KernelPlan engine (fem/engine.hpp). The defaults mean "the shared
+/// process pool at its full width"; num_threads == 1 forces the inline
+/// sequential path (no pool traffic at all). Whatever the values, the
+/// floating-point results are identical -- these knobs only pick how many
+/// workers execute the fixed work decomposition.
+struct ParOptions {
+  /// 0: use the pool's width; 1: run inline on the caller.
+  int num_threads = 0;
+  /// Pool to run on; nullptr means util::ThreadPool::global().
+  util::ThreadPool* pool = nullptr;
+  /// Below this many elements the op runs inline: forking the pool costs
+  /// more than the sweep. Tests force it to 0 to exercise the parallel
+  /// path on small vectors.
+  std::size_t parallel_cutoff = std::size_t{1} << 14;
+};
+
+/// Elements per reduction block. Fixed (not derived from thread count) so
+/// the reduction shape -- and therefore the IEEE result -- is the same for
+/// every execution width.
+inline constexpr std::size_t kReduceBlock = 4096;
+
+/// Deterministic dot product: blocked partials + fixed pairwise tree.
+/// Note the result differs from the scalar dot() above (different
+/// association), but is the SAME for every num_threads.
+[[nodiscard]] double dot_det(std::span<const double> a, std::span<const double> b,
+                             const ParOptions& par = {});
+[[nodiscard]] double norm2_det(std::span<const double> a, const ParOptions& par = {});
+
+/// Fused y += alpha * x; returns dot_det(y, y) of the updated y. One pass
+/// over the vectors instead of an axpy sweep plus a dot sweep -- this is
+/// the CG residual update + convergence check.
+double axpy_dot(double alpha, std::span<const double> x, std::span<double> y,
+                const ParOptions& par = {});
+
+/// Fused z = d .* r (elementwise); returns dot_det(r, z). The Jacobi
+/// preconditioner application + rho update of PCG in one pass.
+double scale_dot(std::span<const double> d, std::span<const double> r,
+                 std::span<double> z, const ParOptions& par = {});
+
+/// Threaded elementwise updates (same arithmetic per element as the
+/// scalar versions, elements are independent => identical results).
+void axpy(double alpha, std::span<const double> x, std::span<double> y,
+          const ParOptions& par);
+void xpby(std::span<const double> x, double beta, std::span<double> y,
+          const ParOptions& par);
 
 }  // namespace amr::fem

@@ -1,7 +1,11 @@
 #include "machine/perf_model.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
 
 namespace amr::machine {
 
@@ -26,6 +30,21 @@ PerfModel::TreesortBreakdown PerfModel::treesort_breakdown(double n, double p, d
   // so latency amortizes over log p stages).
   b.all2all = machine_.tw * grain_bytes + machine_.ts * log_p;
   return b;
+}
+
+double measure_memcpy_bandwidth(std::size_t bytes, int reps) {
+  std::vector<char> src(bytes, 1);
+  std::vector<char> dst(bytes);
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::memcpy(dst.data(), src.data(), bytes);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    if (s > 0.0) best = std::max(best, static_cast<double>(bytes) / s);
+    if ((rep & 1) != 0 && dst[0] != 1) std::abort();  // keep the copy alive
+  }
+  return best > 0.0 ? best : 1.0e10;
 }
 
 double measure_alpha_from_rates(double kernel_bytes_per_second,

@@ -14,6 +14,7 @@
 // measured with ApplicationProfile::measure_alpha.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "machine/machine_model.hpp"
@@ -114,5 +115,13 @@ class PerfModel {
 [[nodiscard]] double measure_alpha_from_rates(double kernel_bytes_per_second,
                                               double stream_bytes_per_second,
                                               double accesses_per_element_stream = 1.0);
+
+/// Host memory bandwidth (bytes/s) from a few large memcpy passes -- the
+/// stream rate alpha is measured against, and (since simmpi moves every
+/// "network" byte through memory) the honest host stand-in for 1/tc and
+/// 1/tw. Shared by amr_report's host calibration and the fem bench's
+/// roofline. Best of `reps` over a `bytes`-sized copy.
+[[nodiscard]] double measure_memcpy_bandwidth(std::size_t bytes = std::size_t{64} << 20,
+                                              int reps = 3);
 
 }  // namespace amr::machine

@@ -173,6 +173,7 @@ void append_fem_report(RunMetrics& node, const simmpi::DistFemReport& report) {
   node.set("exchange_wait_seconds", report.exchange_wait_seconds);
   node.set("interior_compute_seconds", report.interior_compute_seconds);
   node.set("boundary_compute_seconds", report.boundary_compute_seconds);
+  node.set("plan_seconds", report.plan_seconds);
   node.set("ghost_elements_sent", static_cast<double>(report.ghost_elements_sent));
   node.set("exposed_comm_fraction", report.exposed_comm_fraction());
 }

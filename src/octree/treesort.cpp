@@ -270,16 +270,12 @@ void keyed_tree_sort(std::vector<Octant>& elements, const sfc::Curve& curve,
   // (already page-warm) storage instead of handing over a fresh vector.
   const auto copy_back = [&] {
     if (parallel) {
-      std::vector<std::function<void()>> copy_tasks;
-      for (std::size_t begin = 0; begin < n; begin += chunk) {
-        const std::size_t end = std::min(n, begin + chunk);
-        copy_tasks.push_back([&elements, sorted, begin, end] {
-          std::copy(sorted.begin() + static_cast<std::ptrdiff_t>(begin),
-                    sorted.begin() + static_cast<std::ptrdiff_t>(end),
-                    elements.begin() + static_cast<std::ptrdiff_t>(begin));
-        });
-      }
-      pool.run(std::move(copy_tasks));
+      pool.run_ranges(n, chunk,
+                      [&elements, sorted](std::size_t begin, std::size_t end) {
+                        std::copy(sorted.begin() + static_cast<std::ptrdiff_t>(begin),
+                                  sorted.begin() + static_cast<std::ptrdiff_t>(end),
+                                  elements.begin() + static_cast<std::ptrdiff_t>(begin));
+                      });
     } else {
       std::copy(sorted.begin(), sorted.end(), elements.begin());
     }
@@ -308,26 +304,21 @@ void keyed_tree_sort(std::vector<Octant>& elements, const sfc::Curve& curve,
     if (top_bits > 0) {
       cursors.assign(num_chunks, std::vector<std::size_t>(num_buckets, 0));
     }
-    std::vector<std::function<void()>> encode_tasks;
-    for (std::size_t c = 0; c < num_chunks; ++c) {
-      encode_tasks.push_back([&, c] {
-        const std::size_t end = std::min(n, (c + 1) * chunk);
-        if (top_bits > 0) {
-          auto& counts = cursors[c];
-          for (std::size_t i = c * chunk; i < end; ++i) {
-            const PackedKey v =
-                (static_cast<PackedKey>(encoder.key(elements[i])) << kIndexBits) | i;
-            items[i] = v;
-            counts[static_cast<std::size_t>(v >> top_shift)]++;
-          }
-        } else {
-          for (std::size_t i = c * chunk; i < end; ++i) {
-            items[i] = (static_cast<PackedKey>(encoder.key(elements[i])) << kIndexBits) | i;
-          }
+    pool.run_ranges(n, chunk, [&](std::size_t begin, std::size_t end) {
+      if (top_bits > 0) {
+        auto& counts = cursors[begin / chunk];
+        for (std::size_t i = begin; i < end; ++i) {
+          const PackedKey v =
+              (static_cast<PackedKey>(encoder.key(elements[i])) << kIndexBits) | i;
+          items[i] = v;
+          counts[static_cast<std::size_t>(v >> top_shift)]++;
         }
-      });
-    }
-    pool.run(std::move(encode_tasks));
+      } else {
+        for (std::size_t i = begin; i < end; ++i) {
+          items[i] = (static_cast<PackedKey>(encoder.key(elements[i])) << kIndexBits) | i;
+        }
+      }
+    });
   } else if (top_bits > 0) {
     cursor.assign(num_buckets, 0);
     for (std::size_t i = 0; i < n; ++i) {
@@ -395,18 +386,13 @@ void keyed_tree_sort(std::vector<Octant>& elements, const sfc::Curve& curve,
         }
       }
       offsets[num_buckets] = sum;
-      std::vector<std::function<void()>> scatter_tasks;
-      for (std::size_t c = 0; c < num_chunks; ++c) {
-        scatter_tasks.push_back([&, c] {
-          auto& cur = cursors[c];
-          const std::size_t end = std::min(n, (c + 1) * chunk);
-          for (std::size_t i = c * chunk; i < end; ++i) {
-            const PackedKey v = items[i];
-            scratch[cur[static_cast<std::size_t>(v >> top_shift)]++] = v;
-          }
-        });
-      }
-      pool.run(std::move(scatter_tasks));
+      pool.run_ranges(n, chunk, [&](std::size_t begin, std::size_t end) {
+        auto& cur = cursors[begin / chunk];
+        for (std::size_t i = begin; i < end; ++i) {
+          const PackedKey v = items[i];
+          scratch[cur[static_cast<std::size_t>(v >> top_shift)]++] = v;
+        }
+      });
       // Finish buckets concurrently, grouped into ~grain-sized tasks; each
       // task gathers its buckets right after sorting them (disjoint output
       // ranges, so tasks never race).
@@ -500,12 +486,9 @@ void keyed_tree_sort(std::vector<Octant>& elements, const sfc::Curve& curve,
 
   // Gather the octants through the permutation carried in the low bits.
   if (parallel) {
-    std::vector<std::function<void()>> gather_tasks;
-    for (std::size_t begin = 0; begin < n; begin += chunk) {
-      const std::size_t end = std::min(n, begin + chunk);
-      gather_tasks.push_back([&gather, items, begin, end] { gather(items, begin, end); });
-    }
-    pool.run(std::move(gather_tasks));
+    pool.run_ranges(n, chunk, [&gather, items](std::size_t begin, std::size_t end) {
+      gather(items, begin, end);
+    });
   } else {
     gather(items, 0, n);
   }

@@ -49,7 +49,7 @@ struct TreeSortOptions {
   /// Which recursion engine to use.
   TreeSortEngine engine = TreeSortEngine::kKeyed;
   /// Sorting width for the keyed engine: 1 forces sequential, 0 uses the
-  /// shared pool's width (AMR_SORT_THREADS or hardware concurrency, see
+  /// shared pool's width (AMR_THREADS or hardware concurrency, see
   /// util/thread_pool.hpp). Ignored by kTableWalk.
   int num_threads = 0;
   /// Inputs smaller than this sort sequentially even when threads are

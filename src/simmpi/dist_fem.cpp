@@ -2,15 +2,40 @@
 
 #include <cassert>
 
-#include "fem/laplacian.hpp"
 #include "simmpi/phase_trace.hpp"
 #include "util/timer.hpp"
 
 namespace amr::simmpi {
 
+namespace {
+
+/// Build the mesh's KernelPlan, recorded as the fem.plan span and charged
+/// to report.plan_seconds -- the once-per-mesh setup cost the prebuilt-
+/// plan overloads amortize away.
+fem::KernelPlan timed_plan(const mesh::LocalMesh& mesh, DistFemReport& report) {
+  const util::Timer timer;
+  AMR_SPAN("fem.plan");
+  fem::KernelPlan plan = fem::KernelPlan::build(mesh);
+  report.plan_seconds = timer.seconds();
+  return plan;
+}
+
+}  // namespace
+
 DistFemReport dist_matvec_loop(const mesh::LocalMesh& mesh, Comm& comm, int iterations,
                                std::vector<double>& u) {
+  DistFemReport report;
+  const fem::KernelPlan plan = timed_plan(mesh, report);
+  DistFemReport loop = dist_matvec_loop(mesh, plan, comm, iterations, u);
+  loop.plan_seconds = report.plan_seconds;
+  return loop;
+}
+
+DistFemReport dist_matvec_loop(const mesh::LocalMesh& mesh,
+                               const fem::KernelPlan& plan, Comm& comm,
+                               int iterations, std::vector<double>& u) {
   assert(u.size() == mesh.elements.size());
+  assert(plan.num_rows() == mesh.elements.size());
   DistFemReport report;
   std::vector<double> ghosts(mesh.ghosts.size());
   std::vector<double> out(u.size());
@@ -46,7 +71,7 @@ DistFemReport dist_matvec_loop(const mesh::LocalMesh& mesh, Comm& comm, int iter
     timer.reset();
     {
       AMR_SPAN("matvec.compute");
-      fem::apply_local(mesh, u, ghosts, out);
+      plan.apply(u, ghosts, out);
     }
     std::swap(u, out);
     report.compute_seconds += timer.seconds();
@@ -56,7 +81,18 @@ DistFemReport dist_matvec_loop(const mesh::LocalMesh& mesh, Comm& comm, int iter
 
 DistFemReport dist_matvec_loop_p2p(const mesh::LocalMesh& mesh, Comm& comm,
                                    int iterations, std::vector<double>& u) {
+  DistFemReport report;
+  const fem::KernelPlan plan = timed_plan(mesh, report);
+  DistFemReport loop = dist_matvec_loop_p2p(mesh, plan, comm, iterations, u);
+  loop.plan_seconds = report.plan_seconds;
+  return loop;
+}
+
+DistFemReport dist_matvec_loop_p2p(const mesh::LocalMesh& mesh,
+                                   const fem::KernelPlan& plan, Comm& comm,
+                                   int iterations, std::vector<double>& u) {
   assert(u.size() == mesh.elements.size());
+  assert(plan.num_rows() == mesh.elements.size());
   DistFemReport report;
   std::vector<double> ghosts(mesh.ghosts.size());
   std::vector<double> out(u.size());
@@ -95,7 +131,7 @@ DistFemReport dist_matvec_loop_p2p(const mesh::LocalMesh& mesh, Comm& comm,
     timer.reset();
     {
       AMR_SPAN("matvec.compute");
-      fem::apply_local(mesh, u, ghosts, out);
+      plan.apply(u, ghosts, out);
     }
     std::swap(u, out);
     report.compute_seconds += timer.seconds();
@@ -105,8 +141,19 @@ DistFemReport dist_matvec_loop_p2p(const mesh::LocalMesh& mesh, Comm& comm,
 
 DistFemReport dist_matvec_loop_overlapped(const mesh::LocalMesh& mesh, Comm& comm,
                                           int iterations, std::vector<double>& u) {
+  DistFemReport report;
+  const fem::KernelPlan plan = timed_plan(mesh, report);
+  DistFemReport loop = dist_matvec_loop_overlapped(mesh, plan, comm, iterations, u);
+  loop.plan_seconds = report.plan_seconds;
+  return loop;
+}
+
+DistFemReport dist_matvec_loop_overlapped(const mesh::LocalMesh& mesh,
+                                          const fem::KernelPlan& plan, Comm& comm,
+                                          int iterations, std::vector<double>& u) {
   assert(u.size() == mesh.elements.size());
   assert(mesh.has_overlap_split());
+  assert(plan.num_rows() == mesh.elements.size());
   DistFemReport report;
   std::vector<double> ghosts(mesh.ghosts.size());
   std::vector<double> out(u.size());
@@ -159,12 +206,13 @@ DistFemReport dist_matvec_loop_overlapped(const mesh::LocalMesh& mesh, Comm& com
     post_phase.close();
     report.post_seconds += timer.seconds();
 
-    // Phase 2: interior rows read no ghost values -- compute them while
-    // the messages travel.
+    // Phase 2: interior rows read no ghost values -- stream them on the
+    // shared pool while the messages travel.
     timer.reset();
     {
       AMR_SPAN("matvec.interior");
-      fem::apply_local_interior(mesh, u, out);
+      AMR_SPAN("fem.interior");
+      plan.apply_interior(u, out);
     }
     report.interior_compute_seconds += timer.seconds();
 
@@ -188,7 +236,8 @@ DistFemReport dist_matvec_loop_overlapped(const mesh::LocalMesh& mesh, Comm& com
     timer.reset();
     {
       AMR_SPAN("matvec.boundary");
-      fem::apply_local_boundary(mesh, u, ghosts, out);
+      AMR_SPAN("fem.tail");
+      plan.apply_tail(u, ghosts, out);
     }
     report.boundary_compute_seconds += timer.seconds();
     std::swap(u, out);

@@ -1,12 +1,15 @@
-// Threaded distributed FEM matvec: the same LocalMesh kernel as
+// Threaded distributed FEM matvec: the same operator as
 // fem::DistributedLaplacian, but with the ghost exchange done through
-// simmpi's Alltoallv by concurrently running ranks. Used by the
-// integration tests and examples to validate that the sequential "global
-// engine" and a genuinely parallel execution agree bit-for-bit.
+// simmpi's Alltoallv by concurrently running ranks, and the compute side
+// executed by the SoA KernelPlan engine (fem/engine.hpp) on the shared
+// process pool. Used by the integration tests and examples to validate
+// that the sequential "global engine" and a genuinely parallel execution
+// agree bit-for-bit.
 #pragma once
 
 #include <vector>
 
+#include "fem/engine.hpp"
 #include "mesh/mesh.hpp"
 #include "simmpi/comm.hpp"
 
@@ -24,6 +27,8 @@ struct DistFemReport {
   double exchange_wait_seconds = 0.0;
   double interior_compute_seconds = 0.0;
   double boundary_compute_seconds = 0.0;
+  /// KernelPlan build time (zero when the caller passed a prebuilt plan).
+  double plan_seconds = 0.0;
 
   std::uint64_t ghost_elements_sent = 0;
 
@@ -37,9 +42,15 @@ struct DistFemReport {
 /// Run `iterations` matvecs of u <- L u on this rank's piece of the mesh.
 /// `u` holds the local values on entry and the result on exit. The ghost
 /// exchange goes through Alltoallv (a collective, like the staged exchange
-/// of the partitioners).
+/// of the partitioners). Each variant has a second overload taking a
+/// prebuilt KernelPlan for the mesh: the loop epochs of a solver should
+/// build the plan once and amortize it, while the mesh-only overloads
+/// build it on entry (recorded as the fem.plan span / plan_seconds).
 DistFemReport dist_matvec_loop(const mesh::LocalMesh& mesh, Comm& comm, int iterations,
                                std::vector<double>& u);
+DistFemReport dist_matvec_loop(const mesh::LocalMesh& mesh,
+                               const fem::KernelPlan& plan, Comm& comm,
+                               int iterations, std::vector<double>& u);
 
 /// Same computation, but the halo moves over tagged point-to-point
 /// messages between actual neighbor pairs only -- the sparse exchange most
@@ -48,17 +59,22 @@ DistFemReport dist_matvec_loop(const mesh::LocalMesh& mesh, Comm& comm, int iter
 /// communication matrix's non-zeros.
 DistFemReport dist_matvec_loop_p2p(const mesh::LocalMesh& mesh, Comm& comm,
                                    int iterations, std::vector<double>& u);
+DistFemReport dist_matvec_loop_p2p(const mesh::LocalMesh& mesh,
+                                   const fem::KernelPlan& plan, Comm& comm,
+                                   int iterations, std::vector<double>& u);
 
-/// Overlapped variant: post irecv/isend for the halo, stream the
-/// owned-face prefix (which reads no ghosts) while the messages are in
-/// flight, wait, then stream the ghost-face tail. Contiguous recv lists
+/// Overlapped variant: post irecv/isend for the halo, stream the plan's
+/// interior rows on the pool (they read no ghosts) while the messages are
+/// in flight, wait, then stream the ghost-row tail. Contiguous recv lists
 /// land via irecv_into directly in their ghost slots, skipping the
 /// scatter pass. Bit-identical to both blocking variants and the
-/// sequential engine -- the stable face partition preserves each row's
-/// accumulation order exactly (see fem::apply_local_interior /
-/// apply_local_boundary). Requires mesh.build_overlap_split(), which
-/// both mesh constructions run.
+/// sequential engine -- the plan preserves each row's accumulation order
+/// exactly (see fem/engine.hpp). Requires mesh.build_overlap_split(),
+/// which both mesh constructions run.
 DistFemReport dist_matvec_loop_overlapped(const mesh::LocalMesh& mesh, Comm& comm,
+                                          int iterations, std::vector<double>& u);
+DistFemReport dist_matvec_loop_overlapped(const mesh::LocalMesh& mesh,
+                                          const fem::KernelPlan& plan, Comm& comm,
                                           int iterations, std::vector<double>& u);
 
 }  // namespace amr::simmpi

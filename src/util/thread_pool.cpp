@@ -3,12 +3,25 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "util/log.hpp"
+
 namespace amr::util {
 
 int ThreadPool::default_num_threads() {
-  if (const char* env = std::getenv("AMR_SORT_THREADS")) {
+  if (const char* env = std::getenv("AMR_THREADS")) {
     const int parsed = std::atoi(env);
     if (parsed > 0) return parsed;
+  }
+  if (const char* env = std::getenv("AMR_SORT_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) {
+      static std::once_flag warned;
+      std::call_once(warned, [] {
+        AMR_LOG_WARN << "AMR_SORT_THREADS is deprecated (the pool is shared by "
+                        "sort and fem now); use AMR_THREADS";
+      });
+      return parsed;
+    }
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
@@ -75,6 +88,23 @@ void ThreadPool::run(std::vector<std::function<void()>> tasks) {
   work_available_.notify_all();
   drain(lock, batch);
   batch->done.wait(lock, [&] { return batch->remaining == 0; });
+}
+
+void ThreadPool::run_ranges(std::size_t n, std::size_t chunk,
+                            const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (chunk == 0) chunk = 1;
+  if (workers_.empty() || n <= chunk) {
+    body(0, n);
+    return;
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve((n + chunk - 1) / chunk);
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    const std::size_t end = std::min(n, begin + chunk);
+    tasks.push_back([&body, begin, end] { body(begin, end); });
+  }
+  run(std::move(tasks));
 }
 
 }  // namespace amr::util

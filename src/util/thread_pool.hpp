@@ -1,19 +1,22 @@
 // A small reusable thread pool for fork-join batches.
 //
-// Built for TreeSort's parallel buckets: a caller hands run() a batch of
-// independent tasks, the calling thread participates in executing them, and
-// run() returns when the whole batch is done. Multiple threads may call
-// run() on the same pool concurrently (simmpi ranks are real threads and
-// each may tree_sort at the same time); batches are drained FIFO and each
-// caller blocks only on its own batch.
+// One process-wide pool (global()) is shared by every parallel subsystem:
+// TreeSort's bucket passes, the fem KernelPlan matvec/CG engine, and the
+// per-rank interior compute of the overlapped ghost exchange. Sharing one
+// pool keeps simulated ranks (which are real threads and may all reach a
+// parallel region at once) from oversubscribing the machine with one
+// thread team each: batches from concurrent callers are drained FIFO and
+// each caller blocks only on its own batch while helping execute.
 //
-// The pool is sized once: explicit count, else the AMR_SORT_THREADS
-// environment variable, else std::thread::hardware_concurrency(). A size of
-// 1 means no worker threads at all -- run() executes inline, which keeps
-// the sequential path allocation- and synchronization-free.
+// The pool is sized once: explicit count, else the AMR_THREADS environment
+// variable (AMR_SORT_THREADS is honoured as a deprecated alias and warned
+// about once), else std::thread::hardware_concurrency(). A size of 1 means
+// no worker threads at all -- run() executes inline, which keeps the
+// sequential path allocation- and synchronization-free.
 #pragma once
 
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -40,10 +43,19 @@ class ThreadPool {
   /// run() on the same pool (no nested batches).
   void run(std::vector<std::function<void()>> tasks);
 
+  /// Partition [0, n) into contiguous `chunk`-sized ranges and run
+  /// body(begin, end) for each across the pool (the caller participates).
+  /// The partition is a function of (n, chunk) alone -- never of pool
+  /// width or scheduling -- so callers whose per-range work is
+  /// independent get scheduling-independent results by construction.
+  void run_ranges(std::size_t n, std::size_t chunk,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
   /// Process-wide shared pool, created on first use.
   static ThreadPool& global();
 
-  /// AMR_SORT_THREADS if set and positive, else hardware concurrency.
+  /// AMR_THREADS if set and positive (AMR_SORT_THREADS accepted as a
+  /// deprecated alias, warned once), else hardware concurrency.
   [[nodiscard]] static int default_num_threads();
 
  private:

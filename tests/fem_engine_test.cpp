@@ -1,0 +1,406 @@
+// FEM engine tests: the KernelPlan's bit-identity contract (SoA plan ==
+// fused sequential kernels, exactly, for any thread count), the
+// interior/tail split, the deterministic parallel reductions, CG iterate
+// histories that do not depend on AMR_THREADS, the hoisted Jacobi
+// diagonal, and the simmpi overlapped schedule against the sequential
+// oracle (the suite the TSan job replays under schedule perturbation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "fem/cg.hpp"
+#include "fem/engine.hpp"
+#include "fem/laplacian.hpp"
+#include "fem/vector.hpp"
+#include "fuzz/generators.hpp"
+#include "fuzz/harness.hpp"
+#include "mesh/mesh.hpp"
+#include "octree/balance.hpp"
+#include "octree/generate.hpp"
+#include "octree/octant.hpp"
+#include "octree/treesort.hpp"
+#include "partition/partition.hpp"
+#include "simmpi/dist_fem.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace amr::fem {
+namespace {
+
+using mesh::GlobalMesh;
+using partition::ideal_partition;
+using sfc::Curve;
+using sfc::CurveKind;
+
+GlobalMesh make_mesh(CurveKind kind, std::size_t points, std::uint64_t seed,
+                     int max_level = 6) {
+  const Curve curve(kind, 3);
+  octree::GenerateOptions options;
+  options.seed = seed;
+  options.max_level = max_level;
+  options.max_points_per_leaf = 2;
+  options.distribution = octree::PointDistribution::kNormal;
+  auto tree =
+      octree::balance_octree(octree::random_octree(points, curve, options), curve);
+  return mesh::build_global_mesh(std::move(tree), curve);
+}
+
+std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
+  util::Rng rng = util::make_rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> v(n);
+  for (double& x : v) x = dist(rng);
+  return v;
+}
+
+bool bit_identical(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+/// ParOptions pinned to a private pool of `width` threads, with the
+/// parallel cutoff removed so even small meshes take the threaded path.
+struct WidthFixture {
+  explicit WidthFixture(int width) : pool(width) {
+    par.pool = &pool;
+    par.parallel_cutoff = 0;
+  }
+  util::ThreadPool pool;
+  ParOptions par;
+};
+
+TEST(FemEngine, GlobalPlanMatchesApplyGlobalBitwise) {
+  for (const CurveKind kind : {CurveKind::kHilbert, CurveKind::kMorton}) {
+    const GlobalMesh mesh = make_mesh(kind, 1200, 3);
+    const std::size_t n = mesh.elements.size();
+    const KernelPlan plan = KernelPlan::build(mesh);
+    ASSERT_TRUE(plan.built());
+    EXPECT_EQ(plan.num_rows(), n);
+    EXPECT_EQ(plan.num_ghosts(), 0U);
+
+    const auto u = random_vector(n, 7);
+    std::vector<double> reference(n);
+    apply_global(mesh, u, reference);
+
+    ParOptions seq;
+    seq.num_threads = 1;
+    std::vector<double> out(n, -7.0);
+    plan.apply(u, out, seq);
+    EXPECT_TRUE(bit_identical(reference, out));
+
+    for (const int width : {2, 7}) {
+      WidthFixture fx(width);
+      std::vector<double> threaded(n, -7.0);
+      plan.apply(u, threaded, fx.par);
+      EXPECT_TRUE(bit_identical(reference, threaded)) << "width " << width;
+    }
+  }
+}
+
+TEST(FemEngine, LocalPlanMatchesApplyLocalBitwise) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  octree::GenerateOptions options;
+  options.seed = 23;
+  options.max_level = 6;
+  options.distribution = octree::PointDistribution::kNormal;
+  auto tree =
+      octree::balance_octree(octree::random_octree(1800, curve, options), curve);
+  const auto locals =
+      mesh::build_local_meshes(tree, curve, ideal_partition(tree.size(), 5));
+
+  for (const mesh::LocalMesh& m : locals) {
+    ASSERT_TRUE(m.has_overlap_split());
+    const std::size_t n = m.elements.size();
+    const KernelPlan plan = KernelPlan::build(m);
+    EXPECT_EQ(plan.num_ghosts(), m.ghosts.size());
+    EXPECT_EQ(plan.interior_rows().size(), m.interior_elements.size());
+    EXPECT_EQ(plan.tail_rows().size(), m.boundary_elements.size());
+
+    const auto u = random_vector(n, 90 + static_cast<std::uint64_t>(m.rank));
+    const auto ghost_u =
+        random_vector(m.ghosts.size(), 190 + static_cast<std::uint64_t>(m.rank));
+
+    std::vector<double> fused_ref(n);
+    apply_local(m, u, ghost_u, fused_ref);
+
+    for (const int width : {1, 2, 7}) {
+      WidthFixture fx(width);
+      std::vector<double> fused(n, -7.0);
+      plan.apply(u, ghost_u, fused, fx.par);
+      EXPECT_TRUE(bit_identical(fused_ref, fused)) << "rank " << m.rank
+                                                   << " width " << width;
+
+      // Interior rows take no ghost argument at all; tail finishes the
+      // boundary rows. Together they must equal the fused kernel exactly.
+      std::vector<double> split(n, -7.0);
+      plan.apply_interior(u, split, fx.par);
+      plan.apply_tail(u, ghost_u, split, fx.par);
+      EXPECT_TRUE(bit_identical(fused_ref, split)) << "rank " << m.rank
+                                                   << " width " << width;
+    }
+  }
+}
+
+TEST(FemEngine, DiagonalMatchesOperatorDiagonalBitwise) {
+  const GlobalMesh mesh = make_mesh(CurveKind::kMorton, 900, 11);
+  const KernelPlan plan = KernelPlan::build(mesh);
+  const auto reference = operator_diagonal(mesh);
+  ASSERT_EQ(plan.diagonal().size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(plan.diagonal()[i], reference[i]) << i;
+    EXPECT_EQ(plan.inv_diagonal()[i],
+              reference[i] > 0.0 ? 1.0 / reference[i] : 1.0)
+        << i;
+  }
+}
+
+TEST(FemEngine, DiagonalComputedOncePerPlanAcrossSolves) {
+  // Regression hook for the hoisted Jacobi diagonal: repeated PCG solves
+  // on one plan must not re-derive it.
+  const GlobalMesh mesh = make_mesh(CurveKind::kHilbert, 800, 12);
+  const std::uint64_t before = KernelPlan::total_diagonal_builds();
+  const KernelPlan plan = KernelPlan::build(mesh);
+  EXPECT_EQ(KernelPlan::total_diagonal_builds(), before + 1);
+
+  const std::size_t n = mesh.elements.size();
+  std::vector<double> b(n, 1.0);
+  for (int solve = 0; solve < 3; ++solve) {
+    std::vector<double> x;
+    const CgResult result = preconditioned_conjugate_gradient(plan, b, x, {200, 1e-6});
+    EXPECT_TRUE(result.converged);
+  }
+  EXPECT_EQ(KernelPlan::total_diagonal_builds(), before + 1)
+      << "a PCG solve re-derived the diagonal";
+}
+
+TEST(FemEngine, DeterministicReductionsAcrossWidths) {
+  // dot_det / norm2_det and the fused ops use a fixed-shape blocked
+  // pairwise tree: the bits must not depend on thread count or pool.
+  for (const std::size_t n : {1UL, 5UL, 4096UL, 4097UL, 100000UL}) {
+    const auto a = random_vector(n, 1000 + n);
+    const auto b = random_vector(n, 2000 + n);
+    ParOptions seq;
+    seq.num_threads = 1;
+    const double dot_ref = dot_det(a, b, seq);
+    const double norm_ref = norm2_det(a, seq);
+
+    for (const int width : {2, 7}) {
+      WidthFixture fx(width);
+      EXPECT_EQ(dot_det(a, b, fx.par), dot_ref) << "n=" << n << " width=" << width;
+      EXPECT_EQ(norm2_det(a, fx.par), norm_ref) << "n=" << n << " width=" << width;
+
+      // Fused axpy+dot == axpy then dot, bitwise, at any width.
+      std::vector<double> y1 = b;
+      axpy(0.37, a, y1, fx.par);
+      const double fused_ref = dot_det(y1, y1, seq);
+      std::vector<double> y2 = b;
+      const double fused = axpy_dot(0.37, a, y2, fx.par);
+      EXPECT_EQ(fused, fused_ref) << "n=" << n << " width=" << width;
+      EXPECT_TRUE(bit_identical(y1, y2));
+
+      // scale_dot: z = d .* r and dot(r, z), fused.
+      std::vector<double> z1(n);
+      for (std::size_t i = 0; i < n; ++i) z1[i] = a[i] * b[i];
+      const double sd_ref = dot_det(b, z1, seq);
+      std::vector<double> z2(n);
+      const double sd = scale_dot(a, b, z2, fx.par);
+      EXPECT_EQ(sd, sd_ref) << "n=" << n << " width=" << width;
+      EXPECT_TRUE(bit_identical(z1, z2));
+    }
+  }
+}
+
+TEST(FemEngine, CgHistoryIdenticalAcrossThreadCounts) {
+  const GlobalMesh mesh = make_mesh(CurveKind::kHilbert, 1000, 14);
+  const std::size_t n = mesh.elements.size();
+  const KernelPlan plan = KernelPlan::build(mesh);
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double h = static_cast<double>(mesh.elements[i].size()) /
+                     static_cast<double>(1U << octree::kMaxDepth);
+    b[i] = h * h * h;
+  }
+
+  CgOptions base;
+  base.max_iterations = 300;
+  base.rel_tolerance = 1e-9;
+  base.num_threads = 1;
+  std::vector<double> x_ref;
+  const CgResult ref = conjugate_gradient(plan, b, x_ref, base);
+  std::vector<double> px_ref;
+  const CgResult pref = preconditioned_conjugate_gradient(plan, b, px_ref, base);
+  ASSERT_TRUE(ref.converged);
+  ASSERT_TRUE(pref.converged);
+  ASSERT_FALSE(ref.residual_history.empty());
+
+  for (const int width : {2, 7}) {
+    util::ThreadPool pool(width);
+    CgOptions opts = base;
+    opts.num_threads = 0;
+    opts.pool = &pool;
+
+    std::vector<double> x;
+    const CgResult run = conjugate_gradient(plan, b, x, opts);
+    EXPECT_EQ(run.iterations, ref.iterations) << "width " << width;
+    ASSERT_EQ(run.residual_history.size(), ref.residual_history.size());
+    for (std::size_t i = 0; i < ref.residual_history.size(); ++i) {
+      EXPECT_EQ(run.residual_history[i], ref.residual_history[i])
+          << "width " << width << " iteration " << i;
+    }
+    EXPECT_TRUE(bit_identical(x, x_ref)) << "width " << width;
+
+    std::vector<double> px;
+    const CgResult prun = preconditioned_conjugate_gradient(plan, b, px, opts);
+    EXPECT_EQ(prun.iterations, pref.iterations) << "width " << width;
+    ASSERT_EQ(prun.residual_history.size(), pref.residual_history.size());
+    for (std::size_t i = 0; i < pref.residual_history.size(); ++i) {
+      EXPECT_EQ(prun.residual_history[i], pref.residual_history[i])
+          << "width " << width << " iteration " << i;
+    }
+    EXPECT_TRUE(bit_identical(px, px_ref)) << "width " << width;
+  }
+}
+
+TEST(FemEngine, FuzzCorpusMeshesBitIdenticalAcrossWidths) {
+  // Property test over the fuzz seed corpus: for every corpus case that
+  // exercises the matvec stage (complete balanced-tree unions), the plan
+  // matvec is bit-identical sequential / 1-thread / N-thread, and a short
+  // CG run has an identical iterate history across widths.
+  int cases = 0;
+  for (const fuzz::CaseSpec& spec : fuzz::seed_corpus()) {
+    if (spec.matvec_iterations <= 0) continue;
+    if (++cases > 4) break;
+
+    const Curve curve(spec.curve, spec.dim);
+    auto inputs = fuzz::make_inputs(spec);
+    std::vector<octree::Octant> tree;
+    for (auto& piece : inputs) {
+      tree.insert(tree.end(), piece.begin(), piece.end());
+    }
+    octree::tree_sort(tree, curve);
+    const GlobalMesh mesh = mesh::build_global_mesh(std::move(tree), curve);
+    const std::size_t n = mesh.elements.size();
+    ASSERT_GT(n, 0U);
+    const KernelPlan plan = KernelPlan::build(mesh);
+
+    const auto u = random_vector(n, spec.seed);
+    std::vector<double> reference(n);
+    apply_global(mesh, u, reference);
+
+    std::vector<std::vector<double>> solutions;
+    std::vector<std::vector<double>> histories;
+    for (const int width : {1, 2, 7}) {
+      WidthFixture fx(width);
+      std::vector<double> out(n, -7.0);
+      plan.apply(u, out, fx.par);
+      EXPECT_TRUE(bit_identical(reference, out))
+          << fuzz::to_string(spec) << " width " << width;
+
+      CgOptions opts;
+      opts.max_iterations = 25;
+      opts.rel_tolerance = 0.0;  // fixed-length run: compare full histories
+      opts.pool = &fx.pool;
+      std::vector<double> x;
+      const CgResult run = conjugate_gradient(plan, u, x, opts);
+      solutions.push_back(std::move(x));
+      histories.push_back(run.residual_history);
+    }
+    for (std::size_t w = 1; w < solutions.size(); ++w) {
+      EXPECT_TRUE(bit_identical(solutions[0], solutions[w])) << fuzz::to_string(spec);
+      ASSERT_EQ(histories[0].size(), histories[w].size());
+      for (std::size_t i = 0; i < histories[0].size(); ++i) {
+        EXPECT_EQ(histories[0][i], histories[w][i])
+            << fuzz::to_string(spec) << " iteration " << i;
+      }
+    }
+  }
+  EXPECT_GT(cases, 0) << "seed corpus lost its matvec cases";
+}
+
+TEST(FemEngineOverlap, SimmpiOverlappedMatchesSequentialOracle) {
+  // The overlapped schedule on prebuilt plans, with concurrently running
+  // rank threads, against the sequential "global engine" oracle -- the
+  // test the TSan job replays under AMR_SIMMPI_PERTURB_SEED schedule
+  // perturbation.
+  const Curve curve(CurveKind::kHilbert, 3);
+  octree::GenerateOptions options;
+  options.seed = 44;
+  options.max_level = 6;
+  options.distribution = octree::PointDistribution::kNormal;
+  auto tree =
+      octree::balance_octree(octree::random_octree(2500, curve, options), curve);
+  const int p = 4;
+  const int iterations = 8;
+  const auto locals =
+      mesh::build_local_meshes(tree, curve, ideal_partition(tree.size(), p));
+  std::vector<KernelPlan> plans;
+  plans.reserve(locals.size());
+  for (const auto& m : locals) plans.push_back(KernelPlan::build(m));
+
+  const auto u0 = random_vector(tree.size(), 45);
+  const DistributedLaplacian oracle(locals);
+  auto pieces = oracle.scatter(u0);
+  {
+    auto out = pieces;
+    for (int it = 0; it < iterations; ++it) {
+      oracle.matvec(pieces, out);
+      std::swap(pieces, out);
+    }
+  }
+  const std::vector<double> expected = oracle.gather(pieces);
+
+  std::vector<std::vector<double>> results(static_cast<std::size_t>(p));
+  simmpi::run_ranks(p, [&](simmpi::Comm& comm) {
+    const auto r = static_cast<std::size_t>(comm.rank());
+    const mesh::LocalMesh& m = locals[r];
+    std::vector<double> u(u0.begin() + static_cast<std::ptrdiff_t>(m.global_begin),
+                          u0.begin() + static_cast<std::ptrdiff_t>(
+                                           m.global_begin + m.elements.size()));
+    const auto report =
+        simmpi::dist_matvec_loop_overlapped(m, plans[r], comm, iterations, u);
+    EXPECT_EQ(report.plan_seconds, 0.0);  // prebuilt plan: nothing to build
+    results[r] = std::move(u);
+  });
+  std::vector<double> actual;
+  for (const auto& piece : results) actual.insert(actual.end(), piece.begin(), piece.end());
+  EXPECT_TRUE(bit_identical(actual, expected));
+}
+
+TEST(FemEngineOverlap, InteriorKernelNeverReadsGhosts) {
+  // Structural guarantee behind the overlap: apply_interior has no ghost
+  // parameter, and the rows it writes must be final even when the ghost
+  // array is poisoned for the tail pass of a *different* buffer.
+  const Curve curve(CurveKind::kMorton, 3);
+  octree::GenerateOptions options;
+  options.seed = 55;
+  options.max_level = 6;
+  auto tree =
+      octree::balance_octree(octree::random_octree(1500, curve, options), curve);
+  const auto locals =
+      mesh::build_local_meshes(tree, curve, ideal_partition(tree.size(), 3));
+  for (const mesh::LocalMesh& m : locals) {
+    const KernelPlan plan = KernelPlan::build(m);
+    const std::size_t n = m.elements.size();
+    const auto u = random_vector(n, 60);
+    const auto ghost_u = random_vector(m.ghosts.size(), 61);
+
+    std::vector<double> fused(n);
+    plan.apply(u, ghost_u, fused);
+
+    std::vector<double> split(n, -7.0);
+    plan.apply_interior(u, split);
+    // Interior rows already final and equal to the fused kernel's.
+    for (const std::uint32_t row : plan.interior_rows()) {
+      EXPECT_EQ(split[row], fused[row]);
+    }
+    plan.apply_tail(u, ghost_u, split, {});
+    EXPECT_TRUE(bit_identical(split, fused)) << "rank " << m.rank;
+  }
+}
+
+}  // namespace
+}  // namespace amr::fem

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -76,9 +78,57 @@ TEST(ThreadPool, ConcurrentCallersEachSeeTheirBatchComplete) {
 }
 
 TEST(ThreadPool, DefaultThreadsHonorsEnvironment) {
-  // The global pool is sized from AMR_SORT_THREADS; this only checks the
-  // parser, not the global singleton (which may already exist).
+  // The global pool is sized from AMR_THREADS (AMR_SORT_THREADS kept as a
+  // deprecated alias); this only checks the parser, not the global
+  // singleton (which may already exist). setenv is safe here: the test
+  // binary is single-threaded at this point.
+  const char* saved_threads = std::getenv("AMR_THREADS");
+  const std::string saved_threads_value = saved_threads ? saved_threads : "";
+  const char* saved_sort = std::getenv("AMR_SORT_THREADS");
+  const std::string saved_sort_value = saved_sort ? saved_sort : "";
+
+  setenv("AMR_THREADS", "5", 1);
+  unsetenv("AMR_SORT_THREADS");
+  EXPECT_EQ(ThreadPool::default_num_threads(), 5);
+
+  // Deprecated alias still honored when AMR_THREADS is absent...
+  unsetenv("AMR_THREADS");
+  setenv("AMR_SORT_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_num_threads(), 3);
+
+  // ...and AMR_THREADS wins when both are set.
+  setenv("AMR_THREADS", "2", 1);
+  EXPECT_EQ(ThreadPool::default_num_threads(), 2);
+
+  if (saved_threads) {
+    setenv("AMR_THREADS", saved_threads_value.c_str(), 1);
+  } else {
+    unsetenv("AMR_THREADS");
+  }
+  if (saved_sort) {
+    setenv("AMR_SORT_THREADS", saved_sort_value.c_str(), 1);
+  } else {
+    unsetenv("AMR_SORT_THREADS");
+  }
   EXPECT_GE(ThreadPool::default_num_threads(), 1);
+}
+
+TEST(ThreadPool, RunRangesCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.run_ranges(hits.size(), 256, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // Degenerate shapes: empty range, single chunk, chunk 0 (clamped to 1).
+  bool ran = false;
+  pool.run_ranges(0, 16, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  std::atomic<int> count{0};
+  pool.run_ranges(7, 0, [&](std::size_t begin, std::size_t end) {
+    count += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(count.load(), 7);
 }
 
 // The end-to-end consumer: parallel TreeSort on the shared pool from

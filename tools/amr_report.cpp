@@ -21,7 +21,12 @@
 // Run: ./tools/amr_report [--p 4] [--points-per-rank 2000]
 //      [--iterations 10] [--trace trace.json] [--report report.json]
 //      [--band-low 0.1] [--band-high 10] [--machine host|titan|...]
-//      [--require-complete]
+//      [--alpha 8|<value>|auto] [--require-complete]
+//
+// --alpha sets the application profile's accesses-per-element; "auto"
+// re-measures it on this host (a sequential KernelPlan matvec timed
+// against the memcpy stream rate, §3.3) so the report is priced with the
+// engine actually being validated.
 //
 // Exit codes: 0 ok; 2 when --require-complete is set and an expected
 // phase was never measured (instrumentation rot -- CI fails on it).
@@ -34,8 +39,10 @@
 #include <vector>
 
 #include "energy/sampler.hpp"
+#include "fem/engine.hpp"
 #include "machine/machine_model.hpp"
 #include "machine/perf_model.hpp"
+#include "mesh/mesh.hpp"
 #include "obs/metrics.hpp"
 #include "obs/model_validation.hpp"
 #include "obs/recorder.hpp"
@@ -55,23 +62,34 @@ using namespace amr;
 
 namespace {
 
-/// Host memory bandwidth from a few large memcpy passes. simmpi moves
-/// every "network" byte through memory, so 1/bandwidth is the honest
-/// stand-in for both tc and tw on this host.
-double measure_memcpy_bandwidth() {
-  const std::size_t bytes = std::size_t{64} << 20;
-  std::vector<char> src(bytes, 1);
-  std::vector<char> dst(bytes);
-  double best = 0.0;
-  for (int rep = 0; rep < 3; ++rep) {
-    const auto t0 = std::chrono::steady_clock::now();
-    std::memcpy(dst.data(), src.data(), bytes);
-    const auto t1 = std::chrono::steady_clock::now();
-    const double s = std::chrono::duration<double>(t1 - t0).count();
-    if (s > 0.0) best = std::max(best, static_cast<double>(bytes) / s);
-    if ((rep & 1) != 0 && dst[0] != 1) std::abort();  // keep the copy alive
+/// Re-measure the paper's alpha on this host (§3.3): a sequential
+/// KernelPlan matvec on a small adaptive mesh, timed against the memcpy
+/// stream rate. Runs before tracing is enabled.
+double calibrate_alpha(double stream_bytes_per_second) {
+  const sfc::Curve curve(sfc::CurveKind::kHilbert, 3);
+  octree::GenerateOptions gen;
+  gen.distribution = octree::PointDistribution::kNormal;
+  gen.seed = 12345;
+  auto tree = octree::random_octree(60000, curve, gen);
+  const mesh::GlobalMesh mesh = mesh::build_global_mesh(std::move(tree), curve);
+  const fem::KernelPlan plan = fem::KernelPlan::build(mesh);
+  std::vector<double> u(plan.num_rows(), 1.0);
+  std::vector<double> out(plan.num_rows());
+  fem::ParOptions seq;
+  seq.num_threads = 1;
+  plan.apply(u, out, seq);  // warm
+  const int iters = 10;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    plan.apply(u, out, seq);
+    std::swap(u, out);
   }
-  return best > 0.0 ? best : 1.0e10;
+  const double s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (s <= 0.0) return 8.0;
+  const double element_rate = static_cast<double>(plan.num_rows()) * iters / s;
+  return machine::measure_alpha_from_rates(element_rate * 8.0,
+                                           stream_bytes_per_second);
 }
 
 /// Per-message cost of simmpi's transport (a mutex+condvar handoff, not a
@@ -120,18 +138,27 @@ int main(int argc, char** argv) {
   // ts) so predicted/measured ratios are about the model, not about the
   // gap between this host and a 2016 testbed.
   machine::MachineModel machine;
+  double host_bw = 0.0;
   if (machine_name == "host") {
     machine = machine::wisconsin8();
     machine.name = "host-calibrated";
-    const double bw = measure_memcpy_bandwidth();
-    machine.tc = 1.0 / bw;
-    machine.tw = 1.0 / bw;
+    host_bw = machine::measure_memcpy_bandwidth();
+    machine.tc = 1.0 / host_bw;
+    machine.tw = 1.0 / host_bw;
     machine.ts = measure_simmpi_ts();
   } else {
     machine = machine::machine_by_name(machine_name);
   }
   machine::ApplicationProfile profile;  // alpha=8, 8 B/element
   profile.include_latency_term = true;  // simmpi is latency-dominated
+  const std::string alpha_arg = args.get("alpha", "");
+  if (alpha_arg == "auto") {
+    if (host_bw == 0.0) host_bw = machine::measure_memcpy_bandwidth();
+    profile.alpha = calibrate_alpha(host_bw);
+    std::printf("alpha (re-measured on this host): %.2f\n", profile.alpha);
+  } else if (!alpha_arg.empty()) {
+    profile.alpha = args.get_double("alpha", profile.alpha);
+  }
   const machine::PerfModel model(machine, profile);
 
   // --- instrumented pipeline ------------------------------------------
@@ -223,6 +250,26 @@ int main(int argc, char** argv) {
         {"matvec.boundary", model.compute_time(static_cast<double>(boundary_max)) *
                                 iterations});
     expected.push_back({"matvec.wait", step.exposed_comm * iterations});
+
+    // The engine's own phases: fem.interior/fem.tail are the kernel time
+    // inside the matvec.interior/boundary wrappers (same prices), and
+    // fem.plan is the once-per-rank SoA build -- roughly three passes over
+    // the largest rank's matvec footprint (read the AoS faces, write the
+    // SoA CSR, extract the diagonal).
+    expected.push_back(
+        {"fem.interior", model.compute_time(static_cast<double>(interior_max)) *
+                             iterations});
+    expected.push_back(
+        {"fem.tail", model.compute_time(static_cast<double>(boundary_max)) *
+                         iterations});
+    std::size_t plan_bytes_max = 0;
+    for (const auto& mesh : meshes) {
+      plan_bytes_max = std::max(
+          plan_bytes_max, mesh.gather_refs.size() * 20 +
+                              mesh.wall_coeffs.size() * 8 + mesh.elements.size() * 24);
+    }
+    expected.push_back(
+        {"fem.plan", machine.tc * 3.0 * static_cast<double>(plan_bytes_max)});
 
     // Volume-priced rounds: tw on the bytes and ts on the messages the
     // ledger attributed to the phase (averaged per rank -- the counters
