@@ -54,10 +54,7 @@ struct Result {
   double roofline_fraction = 0.0;          ///< achieved / memcpy stream
 };
 
-struct Timing {
-  double best = 0.0;
-  double median = 0.0;
-};
+using bench::Timing;
 
 /// Time `repeats` runs of `iterations` matvec sweeps; returns the final
 /// vector of the last rep (identical across reps -- same input, pure
@@ -77,11 +74,7 @@ Timing time_loop(int repeats, int iterations, const std::vector<double>& u0,
     rep_seconds.push_back(timer.seconds());
     if (rep + 1 == repeats) final_u = std::move(u);
   }
-  Timing t;
-  t.best = rep_seconds[0];
-  for (const double s : rep_seconds) t.best = std::min(t.best, s);
-  t.median = bench::median(rep_seconds);
-  return t;
+  return bench::timing_of(std::move(rep_seconds));
 }
 
 bool bit_identical(const std::vector<double>& a, const std::vector<double>& b) {

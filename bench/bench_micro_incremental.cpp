@@ -1,0 +1,320 @@
+// Incremental repartitioning microbench (DESIGN.md §13): the sorted-merge
+// splice + migration-aware partition refresh vs the from-scratch pipeline,
+// swept across change fractions on a >= 1M-octant stream. Emits
+// BENCH_incremental.json so the README's results row and the fallback
+// threshold default (IncrementalSortOptions::fallback_change_fraction)
+// trace back to a committed measurement.
+//
+//   variants, per change fraction f (delta = f * N octants of AMR-shaped
+//   edits: refine = delete a leaf + insert its children, coarsen = delete):
+//     sort.merge       tree_sort_incremental forced onto the merge path
+//     sort.full        the same delta through the full-resort fallback
+//                      (survivor compaction + keyed radix re-sort)
+//     part.refresh     keep the previous cuts: binary-search them into the
+//                      new keyed order, count migration with the cached
+//                      keys, price the keep-vs-adopt objective
+//     part.scratch     from-scratch OptiPart over the edited stream
+//
+//   The headline columns: sort_speedup = sort.full/sort.merge and
+//   step_speedup = (sort.full + part.scratch)/(sort.merge + part.refresh).
+//
+// Usage: bench_micro_incremental [--elements N] [--ranks P] [--repeats K]
+//          [--curve hilbert] [--json PATH] [--csv-dir DIR] [--smoke]
+//
+// --smoke shrinks the sweep for CI and exits 1 if the merge path loses to
+// the full re-sort at any change fraction <= 5% -- the regression gate for
+// the incremental path's reason to exist.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "machine/machine_model.hpp"
+#include "machine/perf_model.hpp"
+#include "octree/balance.hpp"
+#include "octree/generate.hpp"
+#include "octree/incremental.hpp"
+#include "octree/treesort.hpp"
+#include "partition/optipart.hpp"
+#include "partition/partition.hpp"
+#include "sfc/key.hpp"
+#include "sim/adapt_sim.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace amr;
+using octree::Octant;
+
+/// Adaptive tree of exactly `n` leaves: a normal-point octree, 2:1
+/// balanced, truncated to n in SFC order (the truncation only trims the
+/// tail region; every remaining octant is still a valid non-overlapping
+/// leaf, which the partition-quality estimator requires).
+std::vector<Octant> workload_stream(std::size_t n, const sfc::Curve& curve) {
+  octree::GenerateOptions gen;
+  gen.distribution = octree::PointDistribution::kNormal;
+  gen.seed = 42;
+  gen.max_level = 9;
+  auto tree = octree::random_octree(n, curve, gen);
+  tree = octree::balance_octree(std::move(tree), curve);
+  if (tree.size() > n) tree.resize(n);
+  return tree;
+}
+
+/// AMR-shaped delta against the sorted stream: half the edit budget spent
+/// refining leaves (delete the parent, insert its children) and half
+/// coarsening (delete leaves), at distinct random positions.
+octree::DeltaStream make_delta(const std::vector<Octant>& base,
+                               std::size_t changes, int dim,
+                               std::uint64_t seed) {
+  const int children = 1 << dim;
+  octree::DeltaStream delta;
+  util::Rng rng = util::make_rng(seed);
+  const std::size_t refines =
+      changes / (2 * static_cast<std::size_t>(children + 1));
+  const std::size_t coarsens = changes > refines * (children + 1)
+                                   ? changes - refines * (children + 1)
+                                   : 0;
+  std::vector<std::size_t> positions;
+  positions.reserve(refines + coarsens);
+  for (std::size_t i = 0; i < refines + coarsens; ++i) {
+    positions.push_back(rng() % base.size());
+  }
+  std::sort(positions.begin(), positions.end());
+  positions.erase(std::unique(positions.begin(), positions.end()),
+                  positions.end());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    delta.delete_positions.push_back(positions[i]);
+    if (i < refines && base[positions[i]].level < octree::kMaxDepth) {
+      for (int c = 0; c < children; ++c) {
+        delta.inserts.push_back(base[positions[i]].child(c, dim));
+      }
+    }
+  }
+  return delta;
+}
+
+/// Keep-previous partition step: place the previous splitter codes in the
+/// new keyed order (p binary searches), count what the *candidate* ideal
+/// cuts would move using the cached keys, and price keep vs adopt with the
+/// migration-aware objective. This is the per-adapt-step work when the
+/// decision is "keep"; OptiPart only reruns when adopting pays.
+struct RefreshResult {
+  partition::Partition part;
+  std::size_t candidate_moved = 0;
+  bool keep = false;
+};
+
+RefreshResult refresh_partition(const std::vector<Octant>& elements,
+                                const std::vector<sfc::CurveKey>& keys,
+                                const sfc::Curve& curve,
+                                const std::vector<sfc::CurveKey>& prev_codes,
+                                const std::vector<Octant>& prev_splitters,
+                                const machine::PerfModel& model) {
+  const int p = static_cast<int>(prev_codes.size());
+  RefreshResult r;
+  r.part.offsets.resize(static_cast<std::size_t>(p) + 1);
+  r.part.offsets[0] = 0;
+  for (int rank = 1; rank < p; ++rank) {
+    r.part.offsets[static_cast<std::size_t>(rank)] = static_cast<std::size_t>(
+        std::lower_bound(keys.begin(), keys.end(),
+                         prev_codes[static_cast<std::size_t>(rank)]) -
+        keys.begin());
+  }
+  r.part.offsets[static_cast<std::size_t>(p)] = elements.size();
+  // Candidate = the rebalanced ideal cuts; its migration volume against the
+  // previous ownership is what adopting would move.
+  const auto candidate = partition::ideal_partition(elements.size(), p);
+  r.candidate_moved =
+      partition::migration_volume(elements, keys, curve, prev_splitters, candidate);
+  const double prev_step = model.application_time(
+      static_cast<double>(r.part.w_max()), 0.0);
+  const double cand_step = model.application_time(
+      static_cast<double>(candidate.w_max()), 0.0);
+  r.keep = model.repartition_objective(prev_step, 0.0) <
+           model.repartition_objective(cand_step,
+                                       static_cast<double>(r.candidate_moved));
+  return r;
+}
+
+struct Row {
+  double fraction = 0.0;
+  std::size_t changes = 0;
+  bench::Timing merge;
+  bench::Timing full;
+  bench::Timing refresh;
+  bench::Timing scratch;
+  bool default_route_merge = false;
+  double predicted_merge = 0.0;
+  double predicted_full = 0.0;
+  std::map<std::string, obs::PhaseAggregate> phases;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const bool smoke = args.get_bool("smoke", false);
+  const sfc::Curve curve(sfc::curve_kind_from_string(args.get("curve", "hilbert")), 3);
+  const auto n = static_cast<std::size_t>(
+      args.get_int("elements", smoke ? 200000 : 1000000));
+  const int p = static_cast<int>(args.get_int("ranks", 64));
+  const int repeats = static_cast<int>(args.get_int("repeats", smoke ? 2 : 3));
+  const std::string json_path = args.get("json", "BENCH_incremental.json");
+
+  std::vector<double> fractions = {0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5};
+  if (smoke) fractions = {0.01, 0.05};
+
+  const machine::PerfModel model(machine::wisconsin8(),
+                                 machine::ApplicationProfile{});
+  // Alg. 2's quality estimator runs exact (stride 1) at test sizes but
+  // samples at bench scale: the stride keeps each OptiPart refinement
+  // round's boundary estimate ~20k probes whatever n is.
+  partition::OptiPartOptions opti;
+  opti.quality_sample_stride =
+      std::max(1, static_cast<int>(n / 20000));
+
+  // The previous epoch: a sorted, key-cached stream partitioned by OptiPart.
+  auto base = workload_stream(n, curve);
+  const auto base_keys = octree::tree_sort_with_keys(base, curve);
+  const partition::Partition prev_part =
+      partition::optipart_partition(base, curve, p, model, opti);
+  const auto prev_splitters = partition::splitter_keys(base, prev_part);
+  const auto prev_codes = sfc::keys_of(curve, prev_splitters);
+
+  octree::IncrementalSortOptions force_merge;
+  force_merge.fallback_change_fraction = 1e9;
+  octree::IncrementalSortOptions force_full;
+  force_full.fallback_change_fraction = 0.0;
+
+  std::vector<Row> rows;
+  util::Table table({"fraction", "changes", "merge_s", "full_s", "sort_x",
+                     "refresh_s", "scratch_s", "step_x", "route"});
+  for (const double fraction : fractions) {
+    const auto changes = static_cast<std::size_t>(
+        fraction * static_cast<double>(n));
+    const auto delta = make_delta(base, changes, curve.dim(), 1000 + changes);
+
+    Row row;
+    row.fraction = fraction;
+    row.changes = changes;
+
+    const auto time_splice = [&](const octree::IncrementalSortOptions& options,
+                                 bool* used_merge) {
+      std::vector<double> rep_seconds;
+      for (int r = 0; r < repeats; ++r) {
+        auto elements = base;   // copies outside the timed region
+        auto keys = base_keys;
+        const util::Timer timer;
+        const auto report =
+            octree::tree_sort_incremental(elements, keys, curve, delta, options);
+        rep_seconds.push_back(timer.seconds());
+        if (used_merge != nullptr) *used_merge = report.used_merge;
+      }
+      return bench::timing_of(std::move(rep_seconds));
+    };
+    row.merge = time_splice(force_merge, nullptr);
+    row.full = time_splice(force_full, nullptr);
+    {  // the default options' route at this fraction
+      auto elements = base;
+      auto keys = base_keys;
+      const auto report =
+          octree::tree_sort_incremental(elements, keys, curve, delta, {});
+      row.default_route_merge = report.used_merge;
+    }
+
+    // The partition step over the spliced stream.
+    auto edited = base;
+    auto edited_keys = base_keys;
+    (void)octree::tree_sort_incremental(edited, edited_keys, curve, delta,
+                                        force_merge);
+    row.refresh = bench::time_reps(repeats, [&] {
+      (void)refresh_partition(edited, edited_keys, curve, prev_codes,
+                              prev_splitters, model);
+    });
+    row.scratch = bench::time_reps(repeats, [&] {
+      (void)partition::optipart_partition(edited, curve, p, model, opti);
+    });
+
+    const auto predicted = sim::predict_adapt_step(n, changes, 0, model);
+    row.predicted_merge = predicted.merge_seconds;
+    row.predicted_full = predicted.full_sort_seconds;
+
+    // One untimed instrumented rep: the sort.merge span breakdown.
+    row.phases = bench::trace_phases([&] {
+      auto elements = base;
+      auto keys = base_keys;
+      (void)octree::tree_sort_incremental(elements, keys, curve, delta,
+                                          force_merge);
+    });
+
+    rows.push_back(row);
+    const double sort_x = row.full.best / row.merge.best;
+    const double step_x = (row.full.best + row.scratch.best) /
+                          (row.merge.best + row.refresh.best);
+    table.add_row({util::Table::fmt(fraction, 3), std::to_string(changes),
+                   util::Table::fmt(row.merge.best, 4),
+                   util::Table::fmt(row.full.best, 4),
+                   util::Table::fmt(sort_x, 2),
+                   util::Table::fmt(row.refresh.best, 4),
+                   util::Table::fmt(row.scratch.best, 4),
+                   util::Table::fmt(step_x, 2),
+                   row.default_route_merge ? "merge" : "full"});
+  }
+  bench::emit(table, args, "micro_incremental",
+              "Incremental splice + partition refresh vs from-scratch (n=" +
+                  std::to_string(n) + ", p=" + std::to_string(p) +
+                  ", best of " + std::to_string(repeats) + ", threads=" +
+                  std::to_string(util::ThreadPool::global().size()) + ")");
+
+  const double predicted_crossover =
+      sim::predicted_crossover_fraction(n, 0, model);
+
+  std::ofstream json(json_path);
+  bench::write_bench_preamble(json, "incremental_repartition", repeats);
+  json << "  \"curve\": \"" << sfc::to_string(curve.kind())
+       << "\",\n  \"elements\": " << n << ",\n  \"ranks\": " << p
+       << ",\n  \"threads\": " << util::ThreadPool::global().size()
+       << ",\n  \"predicted_crossover_fraction\": " << predicted_crossover
+       << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    json << "    {\"change_fraction\": " << r.fraction
+         << ", \"changes\": " << r.changes
+         << ", \"merge_seconds\": " << r.merge.best
+         << ", \"merge_median_seconds\": " << r.merge.median
+         << ", \"full_sort_seconds\": " << r.full.best
+         << ", \"full_sort_median_seconds\": " << r.full.median
+         << ", \"sort_speedup\": " << r.full.best / r.merge.best
+         << ", \"partition_refresh_seconds\": " << r.refresh.best
+         << ", \"partition_scratch_seconds\": " << r.scratch.best
+         << ", \"step_speedup\": "
+         << (r.full.best + r.scratch.best) / (r.merge.best + r.refresh.best)
+         << ", \"default_route\": \""
+         << (r.default_route_merge ? "merge" : "full")
+         << "\", \"predicted_merge_seconds\": " << r.predicted_merge
+         << ", \"predicted_full_sort_seconds\": " << r.predicted_full << ", ";
+    bench::write_phases_json(json, r.phases);
+    json << "}" << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+
+  // Regression gate: at small change fractions the merge path must beat
+  // the full re-sort, or the incremental path has rotted.
+  int rc = 0;
+  for (const Row& r : rows) {
+    if (r.fraction <= 0.05 && r.merge.best >= r.full.best) {
+      std::fprintf(stderr,
+                   "FAIL: merge path lost to full re-sort at change fraction "
+                   "%.3f (%.4fs vs %.4fs)\n",
+                   r.fraction, r.merge.best, r.full.best);
+      rc = 1;
+    }
+  }
+  return rc;
+}

@@ -62,24 +62,18 @@ struct Result {
   std::map<std::string, obs::PhaseAggregate> phases;
 };
 
-struct Timing {
-  double best = 0.0;
-  double median = 0.0;
-};
+using bench::Timing;
 
 template <typename SortFn>
 Timing time_reps(int repeats, const std::vector<octree::Octant>& base, SortFn sort_fn) {
   std::vector<double> rep_seconds;
   for (int r = 0; r < repeats; ++r) {
-    auto data = base;
+    auto data = base;  // copy outside the timed region
     const util::Timer timer;
     sort_fn(data);
     rep_seconds.push_back(timer.seconds());
   }
-  Timing t;
-  t.best = *std::min_element(rep_seconds.begin(), rep_seconds.end());
-  t.median = bench::median(rep_seconds);
-  return t;
+  return bench::timing_of(std::move(rep_seconds));
 }
 
 }  // namespace

@@ -21,6 +21,14 @@ double median(std::vector<double> samples) {
                                  : 0.5 * (samples[mid - 1] + samples[mid]);
 }
 
+Timing timing_of(std::vector<double> rep_seconds) {
+  Timing t;
+  if (rep_seconds.empty()) return t;
+  t.best = *std::min_element(rep_seconds.begin(), rep_seconds.end());
+  t.median = median(std::move(rep_seconds));
+  return t;
+}
+
 void write_bench_preamble(std::ostream& out, const std::string& bench_name,
                           int repeats) {
   char hostname[256] = "unknown";

@@ -23,6 +23,7 @@
 #include "sfc/curve.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 namespace amr::bench {
 
@@ -120,6 +121,32 @@ inline void write_phases_json(
 /// but leaves the median alone. The per-variant "best" is kept alongside
 /// as the machine-capability number.
 [[nodiscard]] double median(std::vector<double> samples);
+
+/// Aggregate of a variant's timed repetitions. One shared definition (and
+/// one aggregation rule) for every BENCH_*.json, instead of per-bench
+/// copies that could drift.
+struct Timing {
+  double best = 0.0;    ///< fastest rep: the machine-capability number
+  double median = 0.0;  ///< reported headline: robust to one noisy rep
+};
+
+/// Fold raw per-rep seconds into the best/median pair.
+[[nodiscard]] Timing timing_of(std::vector<double> rep_seconds);
+
+/// Time `repeats` calls of `fn()` end to end. Benches whose reps need
+/// untimed per-rep setup (copying the input back, re-seeding) keep their
+/// own loop and call timing_of on the samples instead.
+template <typename Fn>
+Timing time_reps(int repeats, Fn&& fn) {
+  std::vector<double> rep_seconds;
+  rep_seconds.reserve(static_cast<std::size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    const util::Timer timer;
+    fn();
+    rep_seconds.push_back(timer.seconds());
+  }
+  return timing_of(std::move(rep_seconds));
+}
 
 /// Open a BENCH_*.json object and write the provenance fields every bench
 /// records: the bench name, rep count, the aggregation rule ("median"),

@@ -27,6 +27,15 @@ constexpr struct {
     {InputShape::kBalancedTree, "balanced_tree"},
 };
 
+constexpr struct {
+  DeltaShape shape;
+  const char* name;
+} kDeltaShapeNames[] = {
+    {DeltaShape::kMixed, "mixed"},
+    {DeltaShape::kInsertsOnly, "inserts_only"},
+    {DeltaShape::kDeletesOneRank, "deletes_one_rank"},
+};
+
 /// Random octants at random levels, quantized to their level grid. z is
 /// forced to 0 in 2D so the octants are valid quadrants.
 std::vector<Octant> random_octants(std::size_t n, int dim, std::uint64_t seed) {
@@ -71,13 +80,29 @@ std::optional<InputShape> shape_from_string(const std::string& name) {
   return std::nullopt;
 }
 
+std::string to_string(DeltaShape shape) {
+  for (const auto& entry : kDeltaShapeNames) {
+    if (entry.shape == shape) return entry.name;
+  }
+  return "unknown";
+}
+
+std::optional<DeltaShape> delta_shape_from_string(const std::string& name) {
+  for (const auto& entry : kDeltaShapeNames) {
+    if (name == entry.name) return entry.shape;
+  }
+  return std::nullopt;
+}
+
 std::string to_string(const CaseSpec& spec) {
   std::ostringstream out;
   out << "curve=" << sfc::to_string(spec.curve) << " dim=" << spec.dim
       << " p=" << spec.ranks << " shape=" << to_string(spec.shape)
       << " n=" << spec.elements_per_rank << " tol=" << spec.tolerance
       << " stage=" << spec.max_splitters_per_round << " seed=" << spec.seed
-      << " perturb=" << spec.perturb_seed << " matvec=" << spec.matvec_iterations;
+      << " perturb=" << spec.perturb_seed << " matvec=" << spec.matvec_iterations
+      << " delta=" << spec.change_fraction
+      << " delta_shape=" << to_string(spec.delta_shape);
   return out.str();
 }
 
@@ -115,6 +140,12 @@ std::optional<CaseSpec> case_from_string(const std::string& line) {
         spec.perturb_seed = std::stoull(value);
       } else if (key == "matvec") {
         spec.matvec_iterations = std::stoi(value);
+      } else if (key == "delta") {
+        spec.change_fraction = std::stod(value);
+      } else if (key == "delta_shape") {
+        const auto shape = delta_shape_from_string(value);
+        if (!shape.has_value()) return std::nullopt;
+        spec.delta_shape = *shape;
       } else {
         return std::nullopt;
       }
@@ -126,6 +157,7 @@ std::optional<CaseSpec> case_from_string(const std::string& line) {
   if (!any) return std::nullopt;
   if (spec.dim != 2 && spec.dim != 3) return std::nullopt;
   if (spec.ranks < 1 || spec.ranks > 64) return std::nullopt;
+  if (spec.change_fraction < 0.0 || spec.change_fraction > 4.0) return std::nullopt;
   return spec;
 }
 
@@ -207,6 +239,55 @@ std::vector<std::vector<Octant>> make_inputs(const CaseSpec& spec) {
   return inputs;
 }
 
+octree::DeltaStream make_delta(const CaseSpec& spec, int rank,
+                               std::size_t local_size) {
+  octree::DeltaStream delta;
+  if (spec.change_fraction <= 0.0) return delta;
+  const auto changes = static_cast<std::size_t>(
+      spec.change_fraction * static_cast<double>(local_size));
+  util::Rng rng = util::make_rng(spec.seed ^ 0x9e3779b97f4a7c15ULL,
+                                 static_cast<std::uint64_t>(rank));
+  // Split the edit budget per shape. Deletes draw positions with
+  // replacement -- duplicates are the sanitizer's job to drop, and
+  // regenerating the stream must reproduce them bit-for-bit.
+  std::size_t inserts = 0;
+  std::size_t deletes = 0;
+  switch (spec.delta_shape) {
+    case DeltaShape::kMixed:
+      inserts = changes / 2;
+      deletes = changes - inserts;
+      break;
+    case DeltaShape::kInsertsOnly:
+      inserts = changes;
+      break;
+    case DeltaShape::kDeletesOneRank:
+      if (rank == 0) {
+        deletes = changes;
+      } else {
+        inserts = changes;
+      }
+      break;
+  }
+  if (local_size == 0) deletes = 0;
+  delta.inserts =
+      random_octants(inserts, spec.dim, util::split_seed(rng(), 17));
+  if (spec.shape == InputShape::kDuplicateHeavy && !delta.inserts.empty()) {
+    // Keep the duplicate pressure on: half the inserts re-add octants from
+    // the same tiny pool the inputs were drawn from.
+    const std::size_t pool_size = 1 + spec.seed % 3;
+    const auto pool = random_octants(pool_size, spec.dim,
+                                     util::split_seed(spec.seed, 1000));
+    for (std::size_t i = 0; i < delta.inserts.size(); i += 2) {
+      delta.inserts[i] = pool[rng() % pool.size()];
+    }
+  }
+  delta.delete_positions.reserve(deletes);
+  for (std::size_t i = 0; i < deletes; ++i) {
+    delta.delete_positions.push_back(rng() % local_size);
+  }
+  return delta;
+}
+
 CaseSpec random_case(util::Rng& rng) {
   CaseSpec spec;
   constexpr sfc::CurveKind kCurves[] = {sfc::CurveKind::kMorton,
@@ -235,6 +316,16 @@ CaseSpec random_case(util::Rng& rng) {
   // guarantees one, so only those cases draw iterations.
   if (spec.shape == InputShape::kBalancedTree && (rng() & 1U) != 0) {
     spec.matvec_iterations = 1 + static_cast<int>(rng() % 4);
+  }
+  // Half the cases also exercise the incremental stage, sweeping change
+  // fractions across the merge/full-fallback boundary.
+  if ((rng() & 1U) != 0) {
+    constexpr double kFractions[] = {0.005, 0.02, 0.1, 0.3, 0.6};
+    constexpr DeltaShape kDeltaShapes[] = {DeltaShape::kMixed,
+                                           DeltaShape::kInsertsOnly,
+                                           DeltaShape::kDeletesOneRank};
+    spec.change_fraction = kFractions[rng() % std::size(kFractions)];
+    spec.delta_shape = kDeltaShapes[rng() % std::size(kDeltaShapes)];
   }
   return spec;
 }

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "octree/incremental.hpp"
 #include "octree/octant.hpp"
 #include "sfc/curve.hpp"
 #include "util/rng.hpp"
@@ -40,6 +41,17 @@ enum class InputShape {
 [[nodiscard]] std::string to_string(InputShape shape);
 [[nodiscard]] std::optional<InputShape> shape_from_string(const std::string& name);
 
+/// How the incremental stage's per-rank delta stream is composed.
+/// Serialized as `delta_shape=`.
+enum class DeltaShape {
+  kMixed,             ///< inserts and deletes interleaved on every rank
+  kInsertsOnly,       ///< refinement burst: no deletes anywhere
+  kDeletesOneRank,    ///< every delete lands on rank 0; others insert only
+};
+
+[[nodiscard]] std::string to_string(DeltaShape shape);
+[[nodiscard]] std::optional<DeltaShape> delta_shape_from_string(const std::string& name);
+
 struct CaseSpec {
   sfc::CurveKind curve = sfc::CurveKind::kHilbert;
   int dim = 3;
@@ -54,6 +66,12 @@ struct CaseSpec {
   /// iterations after the sort (needs a complete union; other shapes
   /// skip the stage). Serialized as `matvec=`.
   int matvec_iterations = 0;
+  /// > 0 runs the incremental-repartitioning differential stage: after the
+  /// from-scratch sort, each rank applies a delta of about this fraction of
+  /// its local size and the incremental path is checked bit-identical to a
+  /// full re-sort of the edited stream. Serialized as `delta=`.
+  double change_fraction = 0.0;
+  DeltaShape delta_shape = DeltaShape::kMixed;
 };
 
 /// One-line `key=value` form, parseable by case_from_string.
@@ -67,6 +85,15 @@ struct CaseSpec {
 /// array before any distributed call. Point-cloud shapes adapt an octree
 /// per rank, so sizes track (not equal) elements_per_rank.
 [[nodiscard]] std::vector<std::vector<octree::Octant>> make_inputs(const CaseSpec& spec);
+
+/// Deterministic per-rank delta for the incremental stage: roughly
+/// change_fraction * local_size edits, composed per delta_shape. Inserts
+/// are fresh random octants (plus, for duplicate-heavy inputs, re-inserts
+/// of already-present octants via the shared seed pool); delete positions
+/// index the rank's current sorted local array. Pure function of
+/// (spec, rank, local_size) so the oracle can regenerate it.
+[[nodiscard]] octree::DeltaStream make_delta(const CaseSpec& spec, int rank,
+                                             std::size_t local_size);
 
 /// Draw a random spec for the time-boxed fuzz mode: random curve x dim x
 /// p x shape x knobs, sized to stay fast, with data and perturbation

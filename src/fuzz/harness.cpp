@@ -1,5 +1,6 @@
 #include "fuzz/harness.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <utility>
@@ -254,6 +255,229 @@ void run_matvec_case(const CaseSpec& spec,
   }
 }
 
+/// Local replay of tree_sort_incremental's delete sanitizer + edit
+/// application, so the oracle can build the edited stream independently.
+std::vector<Octant> apply_delta(const std::vector<Octant>& elements,
+                                const octree::DeltaStream& delta) {
+  std::vector<std::size_t> del = delta.delete_positions;
+  std::sort(del.begin(), del.end());
+  del.erase(std::unique(del.begin(), del.end()), del.end());
+  while (!del.empty() && del.back() >= elements.size()) del.pop_back();
+  std::vector<Octant> out;
+  out.reserve(elements.size() - del.size() + delta.inserts.size());
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    if (d < del.size() && del[d] == i) {
+      ++d;
+      continue;
+    }
+    out.push_back(elements[i]);
+  }
+  out.insert(out.end(), delta.inserts.begin(), delta.inserts.end());
+  return out;
+}
+
+/// Incremental-repartitioning differential stage. Establishes the previous
+/// epoch with a from-scratch tolerance-0 sort, derives each rank's delta
+/// from the spec, then pins:
+///   1. dist_treesort_incremental bit-identical, element for element, to a
+///      from-scratch dist_treesort over the edited stream (both routes --
+///      merge and full fallback -- land here, whichever the change
+///      fraction selects);
+///   2. the returned key cache equal to keys_of(curve, local) per rank;
+///   3. rank agreement on the route, the change count, and the splitters;
+///   4. dist_optipart_incremental with migration_cost_factor = 0
+///      bit-identical to from-scratch dist_optipart on the edited stream
+///      (the migration term off must reproduce the seed partitioner), and
+///      with the default profile: conservation + rank agreement on the
+///      keep/adopt decision, with kept cuts routing back to previous codes.
+void run_incremental_case(const CaseSpec& spec,
+                          const std::vector<std::vector<Octant>>& inputs,
+                          CaseResult& result) {
+  if (spec.change_fraction <= 0.0) return;
+  const sfc::Curve curve(spec.curve, spec.dim);
+  const std::size_t p = inputs.size();
+
+  // Previous epoch: tolerance 0 so the starting split is deterministic.
+  std::vector<std::vector<Octant>> prev(p);
+  std::vector<simmpi::DistSortReport> prev_reports(p);
+  try {
+    simmpi::run_ranks(spec.ranks, context_options(spec), [&](simmpi::Comm& comm) {
+      const std::size_t r = static_cast<std::size_t>(comm.rank());
+      auto local = inputs[r];
+      prev_reports[r] =
+          simmpi::dist_treesort(local, comm, curve, simmpi::DistSortOptions{});
+      prev[r] = std::move(local);
+    });
+  } catch (const simmpi::DeadlockError& e) {
+    result.oracles.fail(std::string("incremental: watchdog stall in setup: ") +
+                        e.what());
+    return;
+  }
+
+  std::vector<octree::DeltaStream> deltas(p);
+  std::vector<std::vector<Octant>> edited(p);
+  for (std::size_t r = 0; r < p; ++r) {
+    deltas[r] = make_delta(spec, static_cast<int>(r), prev[r].size());
+    edited[r] = apply_delta(prev[r], deltas[r]);
+  }
+
+  // From-scratch ground truth over the edited stream.
+  std::vector<std::vector<Octant>> scratch(p);
+  std::vector<simmpi::DistSortReport> scratch_reports(p);
+  std::vector<std::vector<Octant>> inc(p);
+  std::vector<std::vector<sfc::CurveKey>> inc_keys(p);
+  std::vector<simmpi::DistIncrementalReport> inc_reports(p);
+  try {
+    simmpi::run_ranks(spec.ranks, context_options(spec), [&](simmpi::Comm& comm) {
+      const std::size_t r = static_cast<std::size_t>(comm.rank());
+      auto local = edited[r];
+      scratch_reports[r] =
+          simmpi::dist_treesort(local, comm, curve, simmpi::DistSortOptions{});
+      scratch[r] = std::move(local);
+    });
+    simmpi::run_ranks(spec.ranks, context_options(spec), [&](simmpi::Comm& comm) {
+      const std::size_t r = static_cast<std::size_t>(comm.rank());
+      auto local = prev[r];
+      auto keys = sfc::keys_of(curve, local);
+      inc_reports[r] = simmpi::dist_treesort_incremental(local, keys, comm, curve,
+                                                         deltas[r]);
+      inc[r] = std::move(local);
+      inc_keys[r] = std::move(keys);
+    });
+  } catch (const simmpi::DeadlockError& e) {
+    result.oracles.fail(std::string("incremental: watchdog stall in sort: ") +
+                        e.what());
+    return;
+  }
+
+  OracleResult o;
+  for (std::size_t r = 0; r < p; ++r) {
+    if (inc[r] != scratch[r]) {
+      o.fail("incremental sort diverges from from-scratch on rank " +
+             std::to_string(r));
+      break;
+    }
+  }
+  for (std::size_t r = 0; r < p; ++r) {
+    if (inc_keys[r] != sfc::keys_of(curve, inc[r])) {
+      o.fail("returned key cache is stale on rank " + std::to_string(r));
+      break;
+    }
+  }
+  check_conservation(edited, inc, o);
+  for (std::size_t r = 1; r < p; ++r) {
+    if (inc_reports[r].merge_path != inc_reports[0].merge_path ||
+        inc_reports[r].global_changes != inc_reports[0].global_changes) {
+      o.fail("ranks disagree on the merge/full route (rank " + std::to_string(r) +
+             ")");
+      break;
+    }
+  }
+  for (std::size_t r = 0; r < p; ++r) {
+    if (inc_reports[r].sort.splitter_set.codes !=
+            scratch_reports[r].splitter_set.codes ||
+        inc_reports[r].sort.splitter_set.cuts !=
+            scratch_reports[r].splitter_set.cuts) {
+      o.fail("incremental splitters differ from from-scratch (rank " +
+             std::to_string(r) + ")");
+      break;
+    }
+  }
+
+  // Migration term off: the incremental partitioner must reproduce the
+  // from-scratch OptiPart result exactly.
+  machine::ApplicationProfile app0;
+  app0.migration_cost_factor = 0.0;
+  const machine::PerfModel model0(machine::wisconsin8(), app0);
+  std::vector<std::vector<Octant>> opt_scratch(p);
+  std::vector<std::vector<Octant>> opt_inc(p);
+  std::vector<simmpi::RepartitionDecision> decisions0(p);
+  try {
+    simmpi::run_ranks(spec.ranks, context_options(spec), [&](simmpi::Comm& comm) {
+      const std::size_t r = static_cast<std::size_t>(comm.rank());
+      auto local = edited[r];
+      (void)simmpi::dist_optipart(local, comm, curve, model0, octree::kMaxDepth);
+      opt_scratch[r] = std::move(local);
+    });
+    simmpi::run_ranks(spec.ranks, context_options(spec), [&](simmpi::Comm& comm) {
+      const std::size_t r = static_cast<std::size_t>(comm.rank());
+      auto local = prev[r];
+      auto keys = sfc::keys_of(curve, local);
+      (void)simmpi::dist_optipart_incremental(
+          local, keys, comm, curve, model0, prev_reports[r].splitter_set,
+          deltas[r], {}, nullptr, &decisions0[r]);
+      opt_inc[r] = std::move(local);
+    });
+  } catch (const simmpi::DeadlockError& e) {
+    result.oracles.fail(std::string("incremental: watchdog stall in optipart: ") +
+                        e.what());
+    return;
+  }
+  for (std::size_t r = 0; r < p; ++r) {
+    if (decisions0[r].kept_previous) {
+      o.fail("migration factor 0 kept the previous cuts on rank " +
+             std::to_string(r));
+      break;
+    }
+  }
+  for (std::size_t r = 0; r < p; ++r) {
+    if (opt_inc[r] != opt_scratch[r]) {
+      o.fail("factor-0 incremental OptiPart diverges from from-scratch on rank " +
+             std::to_string(r));
+      break;
+    }
+  }
+
+  // Default profile: the keep/adopt decision is collective and conservative.
+  const machine::PerfModel model1(machine::wisconsin8(),
+                                  machine::ApplicationProfile{});
+  std::vector<std::vector<Octant>> opt_mig(p);
+  std::vector<simmpi::DistIncrementalReport> mig_reports(p);
+  std::vector<simmpi::RepartitionDecision> decisions1(p);
+  try {
+    simmpi::run_ranks(spec.ranks, context_options(spec), [&](simmpi::Comm& comm) {
+      const std::size_t r = static_cast<std::size_t>(comm.rank());
+      auto local = prev[r];
+      auto keys = sfc::keys_of(curve, local);
+      mig_reports[r] = simmpi::dist_optipart_incremental(
+          local, keys, comm, curve, model1, prev_reports[r].splitter_set,
+          deltas[r], {}, nullptr, &decisions1[r]);
+      opt_mig[r] = std::move(local);
+    });
+  } catch (const simmpi::DeadlockError& e) {
+    result.oracles.fail(
+        std::string("incremental: watchdog stall in migration decision: ") +
+        e.what());
+    return;
+  }
+  check_conservation(edited, opt_mig, o);
+  for (std::size_t r = 1; r < p; ++r) {
+    if (decisions1[r].kept_previous != decisions1[0].kept_previous ||
+        decisions1[r].moved_elements != decisions1[0].moved_elements) {
+      o.fail("ranks disagree on the migration decision (rank " +
+             std::to_string(r) + ")");
+      break;
+    }
+  }
+  if (decisions1[0].kept_previous) {
+    if (!(decisions1[0].previous_objective < decisions1[0].candidate_objective)) {
+      o.fail("kept the previous cuts without a better objective");
+    }
+    for (std::size_t r = 0; r < p; ++r) {
+      if (mig_reports[r].sort.splitter_set.codes !=
+          prev_reports[r].splitter_set.codes) {
+        o.fail("kept-previous result does not route by the previous codes (rank " +
+               std::to_string(r) + ")");
+        break;
+      }
+    }
+  }
+  for (std::string& f : o.failures) {
+    result.oracles.fail("incremental: " + std::move(f));
+  }
+}
+
 }  // namespace
 
 CaseResult run_case(const CaseSpec& spec) {
@@ -268,6 +492,7 @@ CaseResult run_case(const CaseSpec& spec) {
   run_samplesort_case(spec, inputs, reference, result);
   run_optipart_case(spec, inputs, reference, result);
   run_matvec_case(spec, inputs, reference, result);
+  run_incremental_case(spec, inputs, result);
   return result;
 }
 
@@ -378,6 +603,58 @@ std::vector<CaseSpec> seed_corpus() {
     spec.matvec_iterations = 2;
     spec.perturb_seed = 46;
     spec.seed = seed++;
+    corpus.push_back(spec);
+  }
+  // Incremental-repartitioning differential stage: the corpus cases the
+  // issue names (duplicate-heavy deltas, an empty rank, every delete on one
+  // rank), a change fraction on each side of the merge/full-fallback
+  // threshold, and perturbed-schedule replays so the threaded merge and the
+  // migration-decision allreduce get adversarial interleavings.
+  {
+    CaseSpec spec;
+    spec.shape = InputShape::kDuplicateHeavy;
+    spec.ranks = 8;
+    spec.elements_per_rank = 150;
+    spec.seed = 2;
+    spec.change_fraction = 0.05;
+    spec.delta_shape = DeltaShape::kMixed;
+    corpus.push_back(spec);
+    spec.shape = InputShape::kSingleRankEmpty;
+    spec.ranks = 4;
+    spec.elements_per_rank = 300;
+    spec.seed = seed++;
+    spec.change_fraction = 0.02;
+    spec.delta_shape = DeltaShape::kInsertsOnly;
+    corpus.push_back(spec);
+    spec.shape = InputShape::kRandomOctants;
+    spec.seed = seed++;
+    spec.change_fraction = 0.1;
+    spec.delta_shape = DeltaShape::kDeletesOneRank;
+    corpus.push_back(spec);
+    // Above the fallback threshold: the full-resort route must agree too.
+    spec.curve = sfc::CurveKind::kMorton;
+    spec.dim = 2;
+    spec.seed = seed++;
+    spec.change_fraction = 0.6;
+    spec.delta_shape = DeltaShape::kMixed;
+    corpus.push_back(spec);
+    // Perturbed replays of the hardest two.
+    spec.curve = sfc::CurveKind::kHilbert;
+    spec.dim = 3;
+    spec.shape = InputShape::kDuplicateHeavy;
+    spec.ranks = 8;
+    spec.elements_per_rank = 150;
+    spec.seed = 2;
+    spec.change_fraction = 0.05;
+    spec.perturb_seed = 47;
+    corpus.push_back(spec);
+    spec.shape = InputShape::kRandomOctants;
+    spec.ranks = 4;
+    spec.elements_per_rank = 300;
+    spec.seed = seed++;
+    spec.change_fraction = 0.1;
+    spec.delta_shape = DeltaShape::kDeletesOneRank;
+    spec.perturb_seed = 48;
     corpus.push_back(spec);
   }
   return corpus;

@@ -33,6 +33,15 @@ struct ApplicationProfile {
   /// makes moderate tolerances win in the *measured* epochs even when the
   /// byte-volume terms alone favor the ideal split.
   bool include_latency_term = false;
+  /// Application steps run between repartitions: the horizon over which a
+  /// better partition's per-step win must amortize the one-time cost of
+  /// migrating elements into it (the dynamic load-balancing trade-off of
+  /// §5; cf. Borrell et al.).
+  double steps_per_repartition = 10.0;
+  /// Scales the migration term of the repartition objective. 0 means data
+  /// movement is free, which recovers the seed OptiPart rule exactly: the
+  /// model-best fresh partition is always adopted.
+  double migration_cost_factor = 1.0;
 };
 
 class PerfModel {
@@ -87,6 +96,31 @@ class PerfModel {
     step.hidden_comm = comm - step.exposed_comm;
     step.seconds = interior + step.exposed_comm + boundary;
     return step;
+  }
+
+  /// One-time cost of moving `volume_elements` (the max per-rank in+out
+  /// element volume of a repartition) over the interconnect in `messages`
+  /// point-to-point transfers: bytes moved x the machine's measured link
+  /// time-per-byte, plus per-message latency.
+  [[nodiscard]] double migration_time(double volume_elements,
+                                      double messages = 0.0) const {
+    return machine_.tw * app_.bytes_per_element * volume_elements +
+           machine_.ts * messages;
+  }
+
+  /// Migration-aware repartition objective (Eq. 3 extended): total cost of
+  /// adopting a partition whose per-step time is `step_seconds` when doing
+  /// so moves `migration_volume_elements` -- the per-step model amortized
+  /// over the profile's repartition horizon plus the scaled one-time
+  /// migration. Comparing this value for "keep previous cuts" vs "move to
+  /// the refined candidate" is what decides whether a better partition
+  /// pays for itself.
+  [[nodiscard]] double repartition_objective(double step_seconds,
+                                             double migration_volume_elements,
+                                             double messages = 0.0) const {
+    return app_.steps_per_repartition * step_seconds +
+           app_.migration_cost_factor *
+               migration_time(migration_volume_elements, messages);
   }
 
   /// Eq. 2: expected distributed TreeSort runtime for N elements over p

@@ -13,7 +13,10 @@
 //   2. The caller supplies one PhaseExpectation per phase it can price
 //      (treesort phases via Eq. 2's breakdown, the matvec epoch via the
 //      overlap-aware Eq. 3 extension, exchange phases via tw/ts on the
-//      measured volume).
+//      measured volume, and the incremental adapt epoch's rows --
+//      sort.merge via one read+write pass over octants plus the 128-bit
+//      key cache, part.migrate via the two migration-quality sweeps and
+//      their reductions; DESIGN.md §13).
 //   3. validate_model joins the two into predicted/measured/ratio rows,
 //      flags rows whose ratio leaves the configured band, and lists
 //      expected phases with no measurement (instrumentation rot -- CI

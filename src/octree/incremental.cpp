@@ -1,0 +1,189 @@
+#include "octree/incremental.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+#include "obs/recorder.hpp"
+#include "util/thread_pool.hpp"
+
+namespace amr::octree {
+
+namespace {
+
+/// One chunk of the parallel merge: old indices [ob, oe) with the deletes
+/// in del[db, de), inserts [ib, ie), writing out from offset `w`.
+struct MergeRange {
+  std::size_t ob = 0, oe = 0;
+  std::size_t db = 0, de = 0;
+  std::size_t ib = 0, ie = 0;
+  std::size_t w = 0;
+};
+
+/// Core streaming merge: out = sorted union of (old minus deletes) and
+/// ins, by key. `del` must be sorted, unique and < old.size(); ins must be
+/// key-sorted. Chunks of the old index space merge independently into
+/// disjoint output slices; chunk boundaries route inserts by binary search
+/// on the boundary key, so the split is consistent whatever the chunking
+/// (and keys are injective, so the output octant sequence is unique).
+void merge_with_deletes(std::span<const Octant> old_e,
+                        std::span<const sfc::CurveKey> old_k,
+                        std::span<const std::size_t> del,
+                        std::span<const Octant> ins_e,
+                        std::span<const sfc::CurveKey> ins_k,
+                        std::span<Octant> out_e, std::span<sfc::CurveKey> out_k,
+                        int num_threads, std::size_t parallel_cutoff) {
+  const std::size_t n = old_e.size();
+  assert(out_e.size() == n - del.size() + ins_e.size());
+
+  const auto merge_range = [&](const MergeRange& r) {
+    std::size_t o = r.ob, d = r.db, j = r.ib, w = r.w;
+    while (o < r.oe) {
+      if (d < r.de && del[d] == o) {
+        ++d;
+        ++o;
+        continue;
+      }
+      const sfc::CurveKey survivor = old_k[o];
+      while (j < r.ie && ins_k[j] < survivor) {
+        out_e[w] = ins_e[j];
+        out_k[w] = ins_k[j];
+        ++j;
+        ++w;
+      }
+      out_e[w] = old_e[o];
+      out_k[w] = survivor;
+      ++w;
+      ++o;
+    }
+    for (; j < r.ie; ++j, ++w) {
+      out_e[w] = ins_e[j];
+      out_k[w] = ins_k[j];
+    }
+  };
+
+  util::ThreadPool& pool = util::ThreadPool::global();
+  const int width = num_threads > 0 ? num_threads : pool.size();
+  const bool parallel = width > 1 && out_e.size() >= parallel_cutoff && n > 0;
+  if (!parallel) {
+    merge_range({0, n, 0, del.size(), 0, ins_e.size(), 0});
+    return;
+  }
+
+  // A few chunks per thread evens out skew from uneven insert routing.
+  const std::size_t num_chunks =
+      std::min<std::size_t>(static_cast<std::size_t>(width) * 4, n);
+  const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
+  std::vector<MergeRange> ranges;
+  ranges.reserve(num_chunks);
+  std::size_t prev_ins = 0;
+  std::size_t prev_del = 0;
+  for (std::size_t b = 0; b < n; b += chunk) {
+    const std::size_t e = std::min(n, b + chunk);
+    // Inserts with keys below the next chunk's boundary key belong here;
+    // equal keys can go either side (identical octants).
+    const std::size_t ie =
+        e >= n ? ins_e.size()
+               : static_cast<std::size_t>(
+                     std::lower_bound(ins_k.begin(), ins_k.end(), old_k[e]) -
+                     ins_k.begin());
+    const std::size_t de = static_cast<std::size_t>(
+        std::lower_bound(del.begin(), del.end(), e) - del.begin());
+    ranges.push_back({b, e, prev_del, de, prev_ins, ie, (b - prev_del) + prev_ins});
+    prev_ins = ie;
+    prev_del = de;
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(ranges.size());
+  for (const MergeRange& r : ranges) {
+    tasks.push_back([&merge_range, r] { merge_range(r); });
+  }
+  pool.run(std::move(tasks));
+}
+
+}  // namespace
+
+IncrementalSortReport tree_sort_incremental(std::vector<Octant>& elements,
+                                            std::vector<sfc::CurveKey>& keys,
+                                            const sfc::Curve& curve,
+                                            const DeltaStream& delta,
+                                            const IncrementalSortOptions& options) {
+  assert(keys.size() == elements.size() &&
+         "key cache must be aligned with the sorted elements");
+  const std::size_t n = elements.size();
+
+  std::vector<std::size_t> del = delta.delete_positions;
+  std::sort(del.begin(), del.end());
+  del.erase(std::unique(del.begin(), del.end()), del.end());
+  while (!del.empty() && del.back() >= n) del.pop_back();
+
+  IncrementalSortReport report;
+  report.inserted = delta.inserts.size();
+  report.deleted = del.size();
+
+  const std::size_t change = del.size() + delta.inserts.size();
+  const bool merge =
+      n > 0 && static_cast<double>(change) <=
+                   options.fallback_change_fraction * static_cast<double>(n);
+  TreeSortOptions sort_options;
+  sort_options.num_threads = options.num_threads;
+
+  if (!merge) {
+    // Change fraction past the crossover (or nothing to merge into): the
+    // cache-blocked radix over the whole edited array wins. Same result,
+    // different route.
+    std::vector<Octant> all;
+    all.reserve(n - del.size() + delta.inserts.size());
+    std::size_t d = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (d < del.size() && del[d] == i) {
+        ++d;
+        continue;
+      }
+      all.push_back(elements[i]);
+    }
+    all.insert(all.end(), delta.inserts.begin(), delta.inserts.end());
+    keys = tree_sort_with_keys(all, curve, sort_options);
+    elements = std::move(all);
+    report.total = elements.size();
+    return report;
+  }
+
+  AMR_SPAN("sort.merge");
+  report.used_merge = true;
+  // Radix-sort the Δ inserts alone (O(Δ log Δ) work instead of N), then
+  // one streaming merge pass splices them into the surviving order.
+  std::vector<Octant> ins = delta.inserts;
+  const std::vector<sfc::CurveKey> ins_keys =
+      tree_sort_with_keys(ins, curve, sort_options);
+
+  const std::size_t total = n - del.size() + ins.size();
+  std::vector<Octant> out_e(total);
+  std::vector<sfc::CurveKey> out_k(total);
+  merge_with_deletes(elements, keys, del, ins, ins_keys, out_e, out_k,
+                     options.num_threads, options.parallel_cutoff);
+  assert(sfc::is_key_sorted(out_k) &&
+         "merge postcondition: spliced key cache is in curve order");
+  elements = std::move(out_e);
+  keys = std::move(out_k);
+  report.total = total;
+  return report;
+}
+
+void merge_keyed_runs(std::span<const Octant> a, std::span<const sfc::CurveKey> a_keys,
+                      std::span<const Octant> b, std::span<const sfc::CurveKey> b_keys,
+                      std::vector<Octant>& out, std::vector<sfc::CurveKey>& out_keys,
+                      int num_threads) {
+  assert(a.size() == a_keys.size() && b.size() == b_keys.size());
+  out.resize(a.size() + b.size());
+  out_keys.resize(a.size() + b.size());
+  if (a.empty()) {
+    std::copy(b.begin(), b.end(), out.begin());
+    std::copy(b_keys.begin(), b_keys.end(), out_keys.begin());
+    return;
+  }
+  merge_with_deletes(a, a_keys, {}, b, b_keys, out, out_keys, num_threads,
+                     std::size_t{1} << 15);
+}
+
+}  // namespace amr::octree

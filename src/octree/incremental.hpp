@@ -1,0 +1,92 @@
+// Incremental TreeSort: splice an insert/delete octant stream into a
+// previously sorted, key-cached array by threaded sorted-merge instead of
+// re-running the full radix sort.
+//
+// Between AMR steps only a small fraction of octants changes (refinement
+// creates a few children, coarsening removes a few), so the per-step
+// O(N log N) re-sort is mostly re-deriving an order that is already known.
+// With the 128-bit key cache from the keyed engine (sfc/key.hpp) the delta
+// path is a sorted merge: sort the Δ inserts (radix over Δ, not N), then
+// merge them into the surviving prefix of the previous order in one
+// streaming pass -- O(Δ log Δ + N) with no key re-encoding for survivors.
+//
+// The merge is threaded on util::ThreadPool::global(): the old index space
+// is cut into contiguous chunks, each chunk's output offset follows from
+// (deletes before it, inserts routed before it) -- both binary searches on
+// sorted arrays -- and every chunk then merges independently into a
+// disjoint output slice. Curve keys are injective (key_test.cpp), so equal
+// keys are *identical* octants and no tie-break rule can change the output
+// element sequence: the result is bit-identical to a from-scratch
+// tree_sort of (survivors + inserts) by construction, whatever the chunking
+// or schedule.
+//
+// Above a change-fraction threshold the merge's O(N) streaming pass loses
+// to the cache-blocked radix (which touches far fewer bytes per resolved
+// element at high entropy), so tree_sort_incremental falls back to the full
+// keyed sort automatically; the result is identical either way, only the
+// route differs (reported in IncrementalSortReport::used_merge).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "octree/octant.hpp"
+#include "octree/treesort.hpp"
+#include "sfc/curve.hpp"
+#include "sfc/key.hpp"
+
+namespace amr::octree {
+
+/// One AMR step's worth of structural change against a sorted array:
+/// octants to add (any order) and positions (indices into the *previous*
+/// sorted order) to remove. Duplicate or out-of-range delete positions are
+/// ignored.
+struct DeltaStream {
+  std::vector<Octant> inserts;
+  std::vector<std::size_t> delete_positions;
+};
+
+struct IncrementalSortOptions {
+  /// Merge/fallback crossover: when (inserts + deletes) exceeds this
+  /// fraction of the previous size, re-sort from scratch instead of
+  /// merging. The default comes from the measured crossover of
+  /// bench_micro_incremental (BENCH_incremental.json): the merge wins
+  /// clearly through ~10% change and the two paths meet near 25%.
+  /// Set to a huge value to force the merge path, 0 to force the full
+  /// sort; the sorted result is identical either way.
+  double fallback_change_fraction = 0.25;
+  /// Threading width for the merge: 1 forces sequential, 0 uses the shared
+  /// pool's width (AMR_THREADS), mirroring TreeSortOptions::num_threads.
+  int num_threads = 0;
+  /// Inputs smaller than this merge sequentially.
+  std::size_t parallel_cutoff = 1u << 15;
+};
+
+struct IncrementalSortReport {
+  bool used_merge = false;     ///< merge path taken (vs full-sort fallback)
+  std::size_t inserted = 0;    ///< inserts applied
+  std::size_t deleted = 0;     ///< delete positions applied (deduplicated)
+  std::size_t total = 0;       ///< resulting element count
+};
+
+/// Splice `delta` into `elements` (previously sorted for `curve`) keeping
+/// the aligned key cache `keys` up to date. On return `elements` is the
+/// sorted union of survivors and inserts, bit-identical to
+/// tree_sort(survivors + inserts), and keys[i] == curve_key(elements[i]).
+/// Requires keys.size() == elements.size() on entry.
+IncrementalSortReport tree_sort_incremental(
+    std::vector<Octant>& elements, std::vector<sfc::CurveKey>& keys,
+    const sfc::Curve& curve, const DeltaStream& delta,
+    const IncrementalSortOptions& options = {});
+
+/// Threaded two-way merge of two key-sorted runs into `out`: the building
+/// block the distributed incremental exchange reuses to assemble its kept
+/// slice with the (small) incoming pieces without a full local re-sort.
+/// a_keys/b_keys must be aligned with a/b and non-decreasing.
+void merge_keyed_runs(std::span<const Octant> a, std::span<const sfc::CurveKey> a_keys,
+                      std::span<const Octant> b, std::span<const sfc::CurveKey> b_keys,
+                      std::vector<Octant>& out, std::vector<sfc::CurveKey>& out_keys,
+                      int num_threads = 0);
+
+}  // namespace amr::octree

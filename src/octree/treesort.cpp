@@ -587,6 +587,10 @@ std::vector<sfc::CurveKey> tree_sort_with_keys(std::vector<Octant>& elements,
   return keys;
 }
 
+bool is_sfc_sorted(std::span<const sfc::CurveKey> keys) {
+  return sfc::is_key_sorted(keys);
+}
+
 bool is_sfc_sorted(std::span<const Octant> elements, const sfc::Curve& curve) {
   if (elements.empty()) return true;
   const sfc::KeyEncoder encoder(curve);

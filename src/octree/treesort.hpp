@@ -74,6 +74,11 @@ void tree_sort(std::vector<Octant>& elements, const sfc::Curve& curve,
 [[nodiscard]] bool is_sfc_sorted(std::span<const Octant> elements,
                                  const sfc::Curve& curve);
 
+/// Keyed overload: when the caller already holds the elements' curve keys
+/// (tree_sort_with_keys, the incremental merge), sortedness is just the
+/// keys being non-decreasing -- no re-encoding.
+[[nodiscard]] bool is_sfc_sorted(std::span<const sfc::CurveKey> keys);
+
 /// True if `elements` is a *linear* octree: sorted and overlap-free.
 [[nodiscard]] bool is_linear(std::span<const Octant> elements, const sfc::Curve& curve);
 

@@ -234,15 +234,25 @@ std::size_t migration_volume(std::span<const octree::Octant> tree,
                              const sfc::Curve& curve,
                              std::span<const octree::Octant> old_keys,
                              const Partition& new_part) {
-  // Encode the splitters once; each element then needs one key encoding and
-  // one integer binary search instead of log(p) table-walking comparisons.
+  const std::vector<sfc::CurveKey> tree_keys = sfc::keys_of(curve, tree);
+  return migration_volume(tree, tree_keys, curve, old_keys, new_part);
+}
+
+std::size_t migration_volume(std::span<const octree::Octant> tree,
+                             std::span<const sfc::CurveKey> tree_keys,
+                             const sfc::Curve& curve,
+                             std::span<const octree::Octant> old_keys,
+                             const Partition& new_part) {
+  // Encode the splitters once; each element then needs one integer binary
+  // search instead of a key encoding plus log(p) table-walking comparisons.
+  (void)tree;
   const std::vector<sfc::CurveKey> codes = sfc::keys_of(curve, old_keys);
   std::size_t moved = 0;
   for (int r = 0; r < new_part.num_ranks(); ++r) {
     const std::size_t begin = new_part.offsets[static_cast<std::size_t>(r)];
     const std::size_t end = new_part.offsets[static_cast<std::size_t>(r) + 1];
     for (std::size_t i = begin; i < end; ++i) {
-      if (owner_by_key_codes(codes, sfc::curve_key(curve, tree[i])) != r) ++moved;
+      if (owner_by_key_codes(codes, tree_keys[i]) != r) ++moved;
     }
   }
   return moved;

@@ -138,4 +138,14 @@ struct TreeSortPartitionOptions {
                                            std::span<const octree::Octant> old_keys,
                                            const Partition& new_part);
 
+/// Key-cached form: `tree_keys` is the aligned 128-bit key cache of `tree`
+/// (tree_sort_with_keys / the incremental merge keep one current), so no
+/// element is re-encoded -- only the p splitter keys are. This is the form
+/// the incremental repartition loop calls every adapt step.
+[[nodiscard]] std::size_t migration_volume(std::span<const octree::Octant> tree,
+                                           std::span<const sfc::CurveKey> tree_keys,
+                                           const sfc::Curve& curve,
+                                           std::span<const octree::Octant> old_keys,
+                                           const Partition& new_part);
+
 }  // namespace amr::partition

@@ -56,6 +56,17 @@ inline constexpr int kKeyLevelBits = 8;
 /// splitter sentinel).
 [[nodiscard]] constexpr CurveKey key_supremum() { return ~CurveKey{0}; }
 
+/// Whether a key sequence is in curve order (non-decreasing). Keys are
+/// injective over octants, so a sorted key cache certifies the element
+/// order it is aligned with -- this is the predicate the keyed
+/// is_sfc_sorted and the incremental merge's postcondition reduce to.
+[[nodiscard]] constexpr bool is_key_sorted(std::span<const CurveKey> keys) {
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    if (keys[i] < keys[i - 1]) return false;
+  }
+  return true;
+}
+
 /// Encode one octant. O(level) table lookups, done once; afterwards every
 /// comparison is a single integer compare.
 [[nodiscard]] CurveKey curve_key(const Curve& curve, const octree::Octant& o);

@@ -1,0 +1,82 @@
+#include "sim/adapt_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "octree/octant.hpp"
+#include "sfc/key.hpp"
+#include "util/thread_pool.hpp"
+
+namespace amr::sim {
+
+namespace {
+
+/// Bytes the keyed engine streams per element: the octant payload plus its
+/// aligned 128-bit key, read and written once per pass.
+constexpr double kElementBytes =
+    static_cast<double>(sizeof(octree::Octant) + sizeof(sfc::CurveKey));
+
+double effective_threads(int threads) {
+  const int width = threads > 0
+                        ? threads
+                        : static_cast<int>(util::ThreadPool::global().size());
+  return static_cast<double>(std::max(1, width));
+}
+
+/// MSD byte-radix passes until buckets reach insertion-sort size: one pass
+/// resolves 8 key bits, and log2(n) bits distinguish n uniform elements.
+double radix_passes(double n) {
+  if (n < 2.0) return 1.0;
+  return std::max(1.0, std::ceil(std::log2(n) / 8.0));
+}
+
+/// Keyed radix sort of n elements: encode (read octant, write packed key),
+/// one read+write sweep per radix pass, and the final payload permutation.
+double keyed_sort_seconds(double n, double width, const machine::PerfModel& model) {
+  const double passes = radix_passes(n);
+  const double bytes = n * kElementBytes * (1.0 + 2.0 * passes + 2.0);
+  return model.machine().tc * bytes / width;
+}
+
+}  // namespace
+
+AdaptStepPrediction predict_adapt_step(std::size_t n, std::size_t changes,
+                                       int threads,
+                                       const machine::PerfModel& model) {
+  const double width = effective_threads(threads);
+  const double nd = static_cast<double>(n);
+  const double delta = static_cast<double>(changes);
+  // The splice streams the old order once (read element + key) and writes
+  // the merged order once; the inserts additionally pay a radix sort over
+  // the delta alone.
+  const double splice_bytes = 2.0 * (nd + delta) * kElementBytes;
+  AdaptStepPrediction p;
+  p.merge_seconds = model.machine().tc * splice_bytes / width +
+                    keyed_sort_seconds(delta, width, model);
+  p.full_sort_seconds = keyed_sort_seconds(nd + delta, width, model);
+  p.speedup = p.merge_seconds > 0.0 ? p.full_sort_seconds / p.merge_seconds : 1.0;
+  p.merge_wins = p.merge_seconds < p.full_sort_seconds;
+  return p;
+}
+
+double predicted_crossover_fraction(std::size_t n, int threads,
+                                    const machine::PerfModel& model) {
+  // merge_seconds grows monotonically in the change count while the full
+  // sort barely moves, so the break-even fraction bisects cleanly.
+  double lo = 0.0;
+  double hi = 1.0;
+  const auto wins = [&](double fraction) {
+    const auto changes =
+        static_cast<std::size_t>(fraction * static_cast<double>(n));
+    return predict_adapt_step(n, changes, threads, model).merge_wins;
+  };
+  if (!wins(lo)) return 0.0;
+  if (wins(hi)) return 1.0;
+  for (int i = 0; i < 40; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (wins(mid) ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace amr::sim

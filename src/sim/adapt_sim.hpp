@@ -1,0 +1,47 @@
+// Cost model of one incremental adapt step (DESIGN.md §13).
+//
+// Between AMR steps the application changes a fraction of its octants and
+// must restore the global SFC order. Two routes exist:
+//
+//   merge  -- sort the delta (radix over Δ), then one streaming splice
+//             through the surviving prefix of the previous keyed order:
+//             O(Δ log Δ + N) with no key re-encoding for survivors;
+//   full   -- re-run the keyed radix sort over all N' = N + Δi - Δd
+//             elements: O(N' · passes), each pass touching every element.
+//
+// This module prices both with the machine model's time-per-byte (tc), the
+// same constant Eq. 2 uses for the local-sort term, so
+// bench_micro_incremental can print a predicted column next to the
+// measured one and the crossover default of
+// IncrementalSortOptions::fallback_change_fraction has a model behind the
+// measurement.
+#pragma once
+
+#include <cstddef>
+
+#include "machine/perf_model.hpp"
+
+namespace amr::sim {
+
+struct AdaptStepPrediction {
+  double merge_seconds = 0.0;      ///< delta sort + streaming splice
+  double full_sort_seconds = 0.0;  ///< keyed radix re-sort of the edited stream
+  double speedup = 1.0;            ///< full / merge
+  bool merge_wins = false;
+};
+
+/// Price an adapt step that edits `changes` octants (inserts + deletes) of
+/// a previously sorted array of `n` octants. `threads` mirrors
+/// IncrementalSortOptions::num_threads: <= 0 uses the shared pool's width.
+[[nodiscard]] AdaptStepPrediction predict_adapt_step(
+    std::size_t n, std::size_t changes, int threads,
+    const machine::PerfModel& model);
+
+/// Change fraction at which the two routes break even under the model
+/// (bisection on predict_adapt_step). The measured counterpart is
+/// BENCH_incremental.json's crossover; IncrementalSortOptions'
+/// fallback_change_fraction default sits at the measured value.
+[[nodiscard]] double predicted_crossover_fraction(std::size_t n, int threads,
+                                                  const machine::PerfModel& model);
+
+}  // namespace amr::sim

@@ -29,6 +29,10 @@ struct BoxState {
   std::size_t ghi = 0;
   std::size_t llo = 0;   ///< local element range of box
   std::size_t lhi = 0;
+  /// Digit field of the box's curve key (level byte excluded): the visit
+  /// ranks of the descent path, maintained incrementally so splitter codes
+  /// never need a curve_key() re-encode.
+  sfc::CurveKey digits = 0;
 };
 
 struct TargetState {
@@ -38,6 +42,7 @@ struct TargetState {
   std::size_t best_pos = 0;
   std::size_t best_dev = kNoPos;
   Octant best_key;            ///< first octant of the right-hand side
+  sfc::CurveKey best_code = 0;  ///< curve key of best_key, cached from the descent
   bool key_infinite = false;  ///< cut at N: nothing to the right
   BoxState cur;
 };
@@ -85,6 +90,7 @@ class SplitterSearch {
         t.best_pos = 0;
         t.best_dev = t.target;
         t.best_key = octree::root_octant();
+        t.best_code = 0;  // curve key of the root: zero digits, level 0
       } else {
         t.best_pos = static_cast<std::size_t>(n_global_);
         t.best_dev = static_cast<std::size_t>(n_global_) - t.target;
@@ -177,6 +183,10 @@ class SplitterSearch {
             child_start[static_cast<std::size_t>(j)] + counts[j + 1];
       }
 
+      // Child j's curve key extends the box's digit string with visit rank
+      // j at this depth (the key digit *is* the rank, orientation already
+      // folded in) and a level byte of `depth`.
+      const int digit_shift = sfc::kKeyLevelBits + dim * (octree::kMaxDepth - depth);
       for (const std::size_t ti : box_targets) {
         TargetState& t = targets_[ti];
         if (t.done || t.cur.glo != rep.glo) continue;
@@ -188,6 +198,9 @@ class SplitterSearch {
             t.best_dev = dev;
             t.best_pos = cut;
             t.best_key = rep.box.child(curve_.child_at(rep.state, j), curve_.dim());
+            t.best_code = rep.digits |
+                          (static_cast<sfc::CurveKey>(j) << digit_shift) |
+                          static_cast<unsigned>(depth);
             t.key_infinite = false;
           }
         }
@@ -214,6 +227,8 @@ class SplitterSearch {
         const int child = curve_.child_at(rep.state, descend);
         t.cur.box = rep.box.child(child, curve_.dim());
         t.cur.state = curve_.next_state(rep.state, child);
+        t.cur.digits =
+            rep.digits | (static_cast<sfc::CurveKey>(descend) << digit_shift);
         t.cur.glo = child_start[static_cast<std::size_t>(descend)];
         t.cur.ghi = child_start[static_cast<std::size_t>(descend) + 1];
         t.cur.llo = bounds[descend + 1];
@@ -250,11 +265,14 @@ class SplitterSearch {
       s.cuts[static_cast<std::size_t>(r)] = t.best_pos;
     }
     s.codes.resize(static_cast<std::size_t>(p));
-    for (int r = 0; r < p; ++r) {
+    s.codes[0] = 0;  // root splitter: minus infinity
+    for (int r = 1; r < p; ++r) {
+      const TargetState& t = targets_[static_cast<std::size_t>(r) - 1];
+      // The code was cached along the descent (best_code tracks best_key);
+      // no curve_key re-encode. check_splitters recomputes codes from keys
+      // independently, pinning the two in sync.
       s.codes[static_cast<std::size_t>(r)] =
-          s.infinite[static_cast<std::size_t>(r)] != 0
-              ? sfc::key_supremum()
-              : sfc::curve_key(curve_, s.keys[static_cast<std::size_t>(r)]);
+          t.key_infinite ? sfc::key_supremum() : t.best_code;
     }
     // Ordered selection: cuts AND codes must both be non-decreasing.
     // Targets converge independently, so two of them can settle on the
@@ -300,18 +318,37 @@ struct Quality {
   double time = 0.0;
 };
 
-Quality partition_quality(std::span<const Octant> local,
-                          std::span<const sfc::CurveKey> local_keys, Comm& comm,
-                          const sfc::Curve& curve, const SplitterSet& splitters,
-                          const machine::PerfModel& model) {
+/// Quality plus the data-migration profile of adopting the splitters from
+/// the *current* element placement: per-rank work counts (prefix-summable
+/// into fresh cuts), the global number of elements that would change rank,
+/// and the bottleneck per-rank in+out volume the migration term prices.
+struct MigrationQuality {
+  Quality q;
+  std::vector<std::uint64_t> work;  ///< per-rank element counts under the cuts
+  std::uint64_t moved_total = 0;    ///< global elements changing rank
+  std::uint64_t volume_max = 0;     ///< max per-rank in+out element volume
+};
+
+MigrationQuality partition_quality_mig(std::span<const Octant> local,
+                                       std::span<const sfc::CurveKey> local_keys,
+                                       Comm& comm, const sfc::Curve& curve,
+                                       const SplitterSet& splitters,
+                                       const machine::PerfModel& model) {
   const int p = comm.size();
-  std::vector<std::uint64_t> counts(2 * static_cast<std::size_t>(p), 0);
+  const std::size_t me = static_cast<std::size_t>(comm.rank());
+  const std::size_t sp = static_cast<std::size_t>(p);
+  // Four p-wide sections in one reduction: [work | boundary | stay | n],
+  // where stay[r] counts rank r's residents that the splitters keep on r
+  // and n[r] is rank r's current element count. in = work - stay and
+  // out = n - stay then give the migration volumes.
+  std::vector<std::uint64_t> counts(4 * sp, 0);
   const int faces = curve.dim() == 3 ? 6 : 4;
 
   for (std::size_t i = 0; i < local.size(); ++i) {
     const Octant& o = local[i];
     const int r = splitters.dest_of_key(local_keys[i]);
     counts[static_cast<std::size_t>(r)]++;
+    if (static_cast<std::size_t>(r) == me) counts[2 * sp + me]++;
     bool boundary = false;
     for (int face = 0; face < faces && !boundary; ++face) {
       Octant region;
@@ -326,20 +363,94 @@ Quality partition_quality(std::span<const Octant> local,
         boundary = true;
       }
     }
-    if (boundary) counts[static_cast<std::size_t>(p + r)]++;
+    if (boundary) counts[sp + static_cast<std::size_t>(r)]++;
   }
+  counts[3 * sp + me] = local.size();
 
   std::vector<std::uint64_t> global(counts.size());
   comm.allreduce<std::uint64_t>(counts, global, ReduceOp::kSum);
 
-  Quality q;
-  for (int r = 0; r < p; ++r) {
-    q.w_max = std::max(q.w_max, static_cast<double>(global[static_cast<std::size_t>(r)]));
-    q.c_max =
-        std::max(q.c_max, static_cast<double>(global[static_cast<std::size_t>(p + r)]));
+  MigrationQuality m;
+  m.work.assign(global.begin(), global.begin() + static_cast<std::ptrdiff_t>(sp));
+  for (std::size_t r = 0; r < sp; ++r) {
+    const std::uint64_t work = global[r];
+    const std::uint64_t stay = global[2 * sp + r];
+    const std::uint64_t n = global[3 * sp + r];
+    const std::uint64_t in = work - stay;
+    const std::uint64_t out = n - stay;
+    m.moved_total += in;
+    m.volume_max = std::max(m.volume_max, in + out);
+    m.q.w_max = std::max(m.q.w_max, static_cast<double>(work));
+    m.q.c_max = std::max(m.q.c_max, static_cast<double>(global[sp + r]));
   }
-  q.time = model.application_time(q.w_max, q.c_max);
-  return q;
+  m.q.time = model.application_time(m.q.w_max, m.q.c_max);
+  return m;
+}
+
+Quality partition_quality(std::span<const Octant> local,
+                          std::span<const sfc::CurveKey> local_keys, Comm& comm,
+                          const sfc::Curve& curve, const SplitterSet& splitters,
+                          const machine::PerfModel& model) {
+  return partition_quality_mig(local, local_keys, comm, curve, splitters, model).q;
+}
+
+/// The Alg. 3 refine loop shared by dist_optipart and its incremental
+/// variant: refine to >= p buckets, then keep refining while the Eq. 3
+/// model keeps improving. Factoring it guarantees the incremental path's
+/// candidate search is *identical* to the from-scratch one (the
+/// migration-term-zero equivalence the property tests pin).
+struct RefineResult {
+  SplitterSet best;
+  Quality best_quality;
+  int best_depth = 0;
+  int levels_used = 0;
+};
+
+RefineResult optipart_refine(SplitterSearch& search, std::span<const Octant> local,
+                             std::span<const sfc::CurveKey> local_keys, Comm& comm,
+                             const sfc::Curve& curve, const machine::PerfModel& model,
+                             int max_depth, DistOptiPartTrace* trace) {
+  // Initial refinement: enough rounds to expose >= p buckets (Alg. 3 l. 2).
+  const int children = curve.num_children();
+  int depth = 0;
+  std::size_t buckets = 1;
+  while (buckets < static_cast<std::size_t>(comm.size()) && depth < max_depth) {
+    ++depth;
+    buckets *= static_cast<std::size_t>(children);
+    search.refine_round(depth);
+  }
+
+  RefineResult result;
+  result.best = search.splitters();
+  result.best_quality =
+      partition_quality(local, local_keys, comm, curve, result.best, model);
+  result.best_depth = depth;
+  if (trace != nullptr) {
+    trace->rounds.push_back({depth, result.best_quality.w_max,
+                             result.best_quality.c_max, result.best_quality.time});
+  }
+
+  // `while default >= current`: refine while the model keeps improving.
+  while (depth < max_depth) {
+    ++depth;
+    AMR_INSTANT("optipart.round");
+    if (!search.refine_round(depth)) break;
+    const SplitterSet candidate = search.splitters();
+    const Quality q =
+        partition_quality(local, local_keys, comm, curve, candidate, model);
+    if (trace != nullptr) {
+      trace->rounds.push_back({depth, q.w_max, q.c_max, q.time});
+    }
+    if (q.time <= result.best_quality.time) {
+      result.best = candidate;
+      result.best_quality = q;
+      result.best_depth = depth;
+    } else {
+      break;
+    }
+  }
+  result.levels_used = depth;
+  return result;
 }
 
 /// Tag of the element exchange's point-to-point messages. Distinct from
@@ -423,6 +534,148 @@ void exchange_and_sort(std::vector<Octant>& local,
   report.splitter_set = splitters;
 }
 
+/// Incremental counterpart of exchange_and_sort: the key cache rides along,
+/// and the final assembly is a tournament merge of the kept slice with the
+/// incoming sorted pieces instead of a full local re-sort. Keys are
+/// re-encoded only for received elements (O(moved), not O(N/p)). Curve keys
+/// are injective, so the merged octant sequence is bit-identical to the
+/// from-scratch sort of the same multiset.
+void exchange_and_merge(std::vector<Octant>& local, std::vector<sfc::CurveKey>& keys,
+                        Comm& comm, const sfc::Curve& curve,
+                        const SplitterSet& splitters, DistSortReport& report) {
+  util::Timer timer;
+  const int p = comm.size();
+  const int me = comm.rank();
+
+  std::vector<std::vector<Octant>> incoming(static_cast<std::size_t>(p));
+  std::size_t keep_lo = 0;
+  std::size_t keep_hi = 0;
+  {
+    PhaseScope phase(comm, "treesort.exchange", "treesort.exchange/bytes",
+                     "treesort.exchange/msgs");
+    std::vector<Request> recvs(static_cast<std::size_t>(p));
+    for (int q = 0; q < p; ++q) {
+      if (q == me) continue;
+      recvs[static_cast<std::size_t>(q)] =
+          comm.irecv<Octant>(incoming[static_cast<std::size_t>(q)], q,
+                             kTagElementExchange);
+    }
+    std::size_t begin = 0;
+    for (int q = 0; q < p; ++q) {
+      const std::size_t end =
+          partition_point_index(begin, local.size(), [&](std::size_t i) {
+            return splitters.dest_of_key(keys[i]) <= q;
+          });
+      if (q == me) {
+        keep_lo = begin;
+        keep_hi = end;
+      } else {
+        Request sent = comm.isend<Octant>(
+            std::span<const Octant>(local.data() + begin, end - begin), q,
+            kTagElementExchange);
+        (void)sent;  // buffered: complete at post
+      }
+      begin = end;
+    }
+    for (int q = 0; q < p; ++q) {
+      if (q != me) recvs[static_cast<std::size_t>(q)].wait();
+    }
+  }
+  report.exchange_seconds = timer.seconds();
+
+  timer.reset();
+  {
+    AMR_SPAN("sort.merge");
+    struct Run {
+      std::vector<Octant> e;
+      std::vector<sfc::CurveKey> k;
+    };
+    std::vector<Run> runs;
+    runs.reserve(static_cast<std::size_t>(p));
+    for (int q = 0; q < p; ++q) {
+      if (q == me) {
+        if (keep_hi == keep_lo) continue;
+        Run r;
+        r.e.assign(local.begin() + static_cast<std::ptrdiff_t>(keep_lo),
+                   local.begin() + static_cast<std::ptrdiff_t>(keep_hi));
+        r.k.assign(keys.begin() + static_cast<std::ptrdiff_t>(keep_lo),
+                   keys.begin() + static_cast<std::ptrdiff_t>(keep_hi));
+        runs.push_back(std::move(r));
+      } else if (!incoming[static_cast<std::size_t>(q)].empty()) {
+        Run r;
+        r.e = std::move(incoming[static_cast<std::size_t>(q)]);
+        r.k = sfc::keys_of(curve, r.e);
+        runs.push_back(std::move(r));
+      }
+    }
+    // Pieces from different sources can interleave in key space (the delta
+    // strays), so merge pairwise, tournament style -- O(total log p).
+    while (runs.size() > 1) {
+      std::vector<Run> next;
+      next.reserve((runs.size() + 1) / 2);
+      for (std::size_t i = 0; i + 1 < runs.size(); i += 2) {
+        Run merged;
+        octree::merge_keyed_runs(runs[i].e, runs[i].k, runs[i + 1].e,
+                                 runs[i + 1].k, merged.e, merged.k);
+        next.push_back(std::move(merged));
+      }
+      if (runs.size() % 2 != 0) next.push_back(std::move(runs.back()));
+      runs = std::move(next);
+    }
+    if (runs.empty()) {
+      local.clear();
+      keys.clear();
+    } else {
+      local = std::move(runs[0].e);
+      keys = std::move(runs[0].k);
+    }
+  }
+  report.local_sort_seconds += timer.seconds();
+  report.local_elements = local.size();
+  report.splitters = splitters.keys;
+  report.splitter_set = splitters;
+}
+
+/// Shared head of the incremental entry points: agree globally on the
+/// merge-vs-fallback route (one allreduce -- the decision must be identical
+/// on every rank even though local change fractions differ), then splice
+/// the delta into the local slice.
+struct SpliceResult {
+  bool merge_path = false;
+  std::uint64_t global_changes = 0;
+  double seconds = 0.0;
+};
+
+SpliceResult splice_local_delta(std::vector<Octant>& local,
+                                std::vector<sfc::CurveKey>& keys, Comm& comm,
+                                const sfc::Curve& curve,
+                                const octree::DeltaStream& delta,
+                                const DistIncrementalOptions& options) {
+  util::Timer timer;
+  const std::vector<std::uint64_t> stats = {
+      static_cast<std::uint64_t>(delta.inserts.size() +
+                                 delta.delete_positions.size()),
+      static_cast<std::uint64_t>(local.size())};
+  std::vector<std::uint64_t> gstats(2);
+  comm.allreduce<std::uint64_t>(stats, gstats, ReduceOp::kSum);
+
+  SpliceResult result;
+  result.global_changes = gstats[0];
+  result.merge_path =
+      gstats[1] > 0 && static_cast<double>(gstats[0]) <=
+                           options.fallback_change_fraction *
+                               static_cast<double>(gstats[1]);
+  // Pin the local route to the *global* decision: a rank whose own slice
+  // churned heavily still merges when the fleet merges (and vice versa),
+  // keeping every rank on the same side of the span taxonomy.
+  octree::IncrementalSortOptions iopt;
+  iopt.fallback_change_fraction =
+      result.merge_path ? std::numeric_limits<double>::infinity() : 0.0;
+  octree::tree_sort_incremental(local, keys, curve, delta, iopt);
+  result.seconds = timer.seconds();
+  return result;
+}
+
 }  // namespace
 
 DistSortReport dist_treesort(std::vector<Octant>& local, Comm& comm,
@@ -487,54 +740,137 @@ DistSortReport dist_optipart(std::vector<Octant>& local, Comm& comm,
     search.set_tolerance(0);
     search.init_targets();
 
-    // Initial refinement: enough rounds to expose >= p buckets (Alg. 3 l. 2).
-    const int children = curve.num_children();
-    int depth = 0;
-    std::size_t buckets = 1;
-    while (buckets < static_cast<std::size_t>(comm.size()) && depth < max_depth) {
-      ++depth;
-      buckets *= static_cast<std::size_t>(children);
-      search.refine_round(depth);
-    }
-
-    best = search.splitters();
-    Quality best_quality =
-        partition_quality(local, local_keys, comm, curve, best, model);
-    int best_depth = depth;
+    RefineResult refined = optipart_refine(search, local, local_keys, comm, curve,
+                                           model, max_depth, trace);
+    best = std::move(refined.best);
+    report.levels_used = refined.levels_used;
     if (trace != nullptr) {
-      trace->rounds.push_back(
-          {depth, best_quality.w_max, best_quality.c_max, best_quality.time});
-    }
-
-    // `while default >= current`: refine while the model keeps improving.
-    while (depth < max_depth) {
-      ++depth;
-      AMR_INSTANT("optipart.round");
-      if (!search.refine_round(depth)) break;
-      const SplitterSet candidate = search.splitters();
-      const Quality q =
-          partition_quality(local, local_keys, comm, curve, candidate, model);
-      if (trace != nullptr) {
-        trace->rounds.push_back({depth, q.w_max, q.c_max, q.time});
-      }
-      if (q.time <= best_quality.time) {
-        best = candidate;
-        best_quality = q;
-        best_depth = depth;
-      } else {
-        break;
-      }
-    }
-    report.levels_used = depth;
-    if (trace != nullptr) {
-      trace->chosen_depth = best_depth;
-      trace->chosen_time = best_quality.time;
+      trace->chosen_depth = refined.best_depth;
+      trace->chosen_time = refined.best_quality.time;
     }
   }
   report.splitter_seconds = timer.seconds();
 
   exchange_and_sort(local, local_keys, comm, curve, best, report);
   return report;
+}
+
+DistIncrementalReport dist_treesort_incremental(std::vector<Octant>& local,
+                                                std::vector<sfc::CurveKey>& keys,
+                                                Comm& comm, const sfc::Curve& curve,
+                                                const octree::DeltaStream& delta,
+                                                const DistIncrementalOptions& options) {
+  DistIncrementalReport inc;
+  const SpliceResult spliced =
+      splice_local_delta(local, keys, comm, curve, delta, options);
+  inc.merge_path = spliced.merge_path;
+  inc.global_changes = spliced.global_changes;
+  inc.merge_seconds = spliced.seconds;
+  inc.sort.local_sort_seconds = spliced.seconds;
+
+  util::Timer timer;
+  SplitterSet splitters;
+  {
+    PhaseScope splitter_phase(comm, "treesort.splitter", "treesort.splitter/bytes",
+                              "treesort.splitter/msgs");
+    SplitterSearch search(local, keys, comm, curve);
+    inc.sort.global_elements = search.global_elements();
+    const double grain = static_cast<double>(search.global_elements()) /
+                         static_cast<double>(comm.size());
+    search.set_tolerance(
+        static_cast<std::size_t>(options.sort.tolerance * grain));
+    search.set_max_per_round(options.sort.max_splitters_per_round);
+    search.init_targets();
+    int depth = 1;
+    for (; depth <= options.sort.max_depth; ++depth) {
+      bool any = search.refine_round(depth);
+      while (search.stage_remaining()) {
+        any = search.refine_round(depth) || any;
+      }
+      if (!any) break;
+    }
+    inc.sort.levels_used = depth - 1;
+    splitters = search.splitters();
+  }
+  inc.sort.splitter_seconds = timer.seconds();
+
+  exchange_and_merge(local, keys, comm, curve, splitters, inc.sort);
+  return inc;
+}
+
+DistIncrementalReport dist_optipart_incremental(
+    std::vector<Octant>& local, std::vector<sfc::CurveKey>& keys, Comm& comm,
+    const sfc::Curve& curve, const machine::PerfModel& model,
+    const SplitterSet& previous, const octree::DeltaStream& delta,
+    const DistIncrementalOptions& options, DistOptiPartTrace* trace,
+    RepartitionDecision* decision) {
+  DistIncrementalReport inc;
+  const SpliceResult spliced =
+      splice_local_delta(local, keys, comm, curve, delta, options);
+  inc.merge_path = spliced.merge_path;
+  inc.global_changes = spliced.global_changes;
+  inc.merge_seconds = spliced.seconds;
+  inc.sort.local_sort_seconds = spliced.seconds;
+
+  util::Timer timer;
+  SplitterSet chosen;
+  RepartitionDecision dec;
+  {
+    PhaseScope sweep_phase(comm, "optipart.sweep", "optipart.sweep/bytes",
+                           "optipart.sweep/msgs");
+    SplitterSearch search(local, keys, comm, curve);
+    inc.sort.global_elements = search.global_elements();
+    search.set_tolerance(0);
+    search.init_targets();
+
+    RefineResult refined = optipart_refine(search, local, keys, comm, curve, model,
+                                           options.sort.max_depth, trace);
+    inc.sort.levels_used = refined.levels_used;
+    if (trace != nullptr) {
+      trace->chosen_depth = refined.best_depth;
+      trace->chosen_time = refined.best_quality.time;
+    }
+
+    // Migration-aware adoption: price both the previous cuts and the
+    // refined candidate on the post-delta data, amortizing each step model
+    // over the repartition horizon and charging the candidate (and the
+    // previous cuts, which still have to re-home the delta strays) for the
+    // bytes it moves. All inputs are allreduced, so ranks agree.
+    AMR_SPAN("part.migrate");
+    const MigrationQuality prev_q =
+        partition_quality_mig(local, keys, comm, curve, previous, model);
+    const MigrationQuality cand_q =
+        partition_quality_mig(local, keys, comm, curve, refined.best, model);
+    dec.previous_step_seconds = prev_q.q.time;
+    dec.candidate_step_seconds = cand_q.q.time;
+    dec.previous_objective = model.repartition_objective(
+        prev_q.q.time, static_cast<double>(prev_q.volume_max));
+    dec.candidate_objective = model.repartition_objective(
+        cand_q.q.time, static_cast<double>(cand_q.volume_max));
+    // Factor 0 means data movement is free: always adopt the model-best
+    // candidate, which is exactly the seed OptiPart rule.
+    dec.kept_previous = model.app().migration_cost_factor > 0.0 &&
+                        dec.previous_objective < dec.candidate_objective;
+    const MigrationQuality& chosen_q = dec.kept_previous ? prev_q : cand_q;
+    dec.moved_elements = chosen_q.moved_total;
+    dec.predicted_migration_seconds =
+        model.migration_time(static_cast<double>(chosen_q.volume_max));
+    chosen = dec.kept_previous ? previous : refined.best;
+    if (dec.kept_previous) {
+      // The previous splitters' global cut positions are stale after the
+      // delta; refresh them from the per-rank work counts just evaluated
+      // (the codes, which actually route elements, are unchanged).
+      chosen.cuts.assign(static_cast<std::size_t>(comm.size()) + 1, 0);
+      for (std::size_t r = 0; r < chosen_q.work.size(); ++r) {
+        chosen.cuts[r + 1] = chosen.cuts[r] + chosen_q.work[r];
+      }
+    }
+  }
+  inc.sort.splitter_seconds = timer.seconds();
+  if (decision != nullptr) *decision = dec;
+
+  exchange_and_merge(local, keys, comm, curve, chosen, inc.sort);
+  return inc;
 }
 
 }  // namespace amr::simmpi

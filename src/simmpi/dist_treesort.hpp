@@ -20,9 +20,11 @@
 // Both finish with the Alltoallv element exchange and a local TreeSort.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "machine/perf_model.hpp"
+#include "octree/incremental.hpp"
 #include "octree/octant.hpp"
 #include "sfc/curve.hpp"
 #include "sfc/key.hpp"
@@ -101,5 +103,69 @@ DistSortReport dist_optipart(std::vector<octree::Octant>& local, Comm& comm,
                              const sfc::Curve& curve, const machine::PerfModel& model,
                              int max_depth = octree::kMaxDepth,
                              DistOptiPartTrace* trace = nullptr);
+
+// ---------------------------------------------------------------------------
+// Incremental path: splice an AMR delta into the previous keyed order by
+// sorted-merge instead of re-sorting, and let the migration-augmented model
+// decide whether new cuts pay for the data they move (DESIGN.md §13).
+// ---------------------------------------------------------------------------
+
+struct DistIncrementalOptions {
+  DistSortOptions sort;
+  /// Global change-fraction crossover: when the allreduced delta exceeds
+  /// this fraction of the previous global element count, every rank takes
+  /// the from-scratch radix path instead of the merge (the measured
+  /// crossover of bench_micro_incremental). The result is element-wise
+  /// identical either way.
+  double fallback_change_fraction = 0.25;
+};
+
+struct DistIncrementalReport {
+  DistSortReport sort;        ///< same shape as the from-scratch report
+  bool merge_path = false;    ///< global route decision, identical on all ranks
+  std::uint64_t global_changes = 0;  ///< allreduced inserts + deletes
+  double merge_seconds = 0.0;        ///< local splice (merge or fallback sort)
+};
+
+/// Incremental distributed TreeSort. `local`/`keys` hold this rank's slice
+/// of the previous globally sorted order with its aligned 128-bit key
+/// cache; `delta` is this rank's insert/delete stream (delete positions
+/// index the local slice). On return they hold the rank's slice of the
+/// re-sorted global order -- element-wise identical to dist_treesort run
+/// from scratch on the edited stream -- and the key cache stays aligned, so
+/// successive AMR steps remain incremental.
+DistIncrementalReport dist_treesort_incremental(
+    std::vector<octree::Octant>& local, std::vector<sfc::CurveKey>& keys,
+    Comm& comm, const sfc::Curve& curve, const octree::DeltaStream& delta,
+    const DistIncrementalOptions& options = {});
+
+/// Outcome of the migration-aware repartition decision. All inputs are
+/// allreduced, so every rank computes the identical decision.
+struct RepartitionDecision {
+  bool kept_previous = false;  ///< previous cuts beat the refined candidate
+  std::uint64_t moved_elements = 0;  ///< global elements changing rank (chosen cuts)
+  double predicted_migration_seconds = 0.0;  ///< migration_time of the choice
+  double previous_step_seconds = 0.0;   ///< Eq. 3 Tp of the previous cuts
+  double candidate_step_seconds = 0.0;  ///< Eq. 3 Tp of the refined candidate
+  double previous_objective = 0.0;   ///< horizon*Tp + migration, keep branch
+  double candidate_objective = 0.0;  ///< horizon*Tp + migration, move branch
+};
+
+/// Migration-aware incremental OptiPart: splice `delta` (sorted-merge, as
+/// dist_treesort_incremental), re-run the Alg. 3 refine loop for the
+/// model-best candidate cuts, then choose between the *previous* cuts and
+/// the candidate by PerfModel::repartition_objective -- the candidate only
+/// wins if its per-step advantage over the repartition horizon covers the
+/// one-time bytes it moves across the interconnect. With
+/// migration_cost_factor == 0 the candidate is adopted unconditionally,
+/// reproducing dist_optipart's cuts exactly. `trace` records the refine
+/// rounds of the candidate search (not the keep/move decision, which lands
+/// in `decision`).
+DistIncrementalReport dist_optipart_incremental(
+    std::vector<octree::Octant>& local, std::vector<sfc::CurveKey>& keys,
+    Comm& comm, const sfc::Curve& curve, const machine::PerfModel& model,
+    const SplitterSet& previous, const octree::DeltaStream& delta,
+    const DistIncrementalOptions& options = {}, DistOptiPartTrace* trace = nullptr,
+    RepartitionDecision* decision = nullptr);
 
 }  // namespace amr::simmpi

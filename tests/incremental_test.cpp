@@ -1,0 +1,379 @@
+// Properties of the incremental sort/repartition path that the fuzz
+// harness pins differentially but that deserve named, deterministic tests:
+// the merge route is bit-identical to the full sort, the fallback
+// threshold actually routes (merge above the threshold must never run),
+// migration-term-zero reproduces the seed OptiPart exactly, and a
+// migration-dominated model keeps the previous cuts.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "machine/machine_model.hpp"
+#include "machine/perf_model.hpp"
+#include "octree/balance.hpp"
+#include "octree/generate.hpp"
+#include "octree/incremental.hpp"
+#include "octree/octant.hpp"
+#include "octree/treesort.hpp"
+#include "sfc/curve.hpp"
+#include "sfc/key.hpp"
+#include "simmpi/dist_treesort.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace amr;
+using octree::Octant;
+
+std::vector<Octant> random_octants(std::size_t n, std::uint64_t seed) {
+  util::Rng rng = util::make_rng(seed);
+  std::uniform_int_distribution<std::uint32_t> coord(0,
+                                                     (1U << octree::kMaxDepth) - 1);
+  std::uniform_int_distribution<int> lvl(1, 14);
+  std::vector<Octant> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(octree::octant_from_point(coord(rng), coord(rng), coord(rng),
+                                            lvl(rng)));
+  }
+  return out;
+}
+
+octree::DeltaStream random_delta(std::size_t inserts, std::size_t deletes,
+                                 std::size_t base_size, std::uint64_t seed) {
+  octree::DeltaStream delta;
+  delta.inserts = random_octants(inserts, seed);
+  util::Rng rng = util::make_rng(seed, 99);
+  for (std::size_t i = 0; i < deletes; ++i) {
+    delta.delete_positions.push_back(rng() % base_size);
+  }
+  return delta;
+}
+
+/// The edited stream the incremental splice must agree with: survivors of
+/// the (deduplicated, range-checked) delete set plus the inserts.
+std::vector<Octant> edited_stream(const std::vector<Octant>& base,
+                                  const octree::DeltaStream& delta) {
+  std::vector<bool> dead(base.size(), false);
+  for (const std::size_t pos : delta.delete_positions) {
+    if (pos < base.size()) dead[pos] = true;
+  }
+  std::vector<Octant> out;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (!dead[i]) out.push_back(base[i]);
+  }
+  out.insert(out.end(), delta.inserts.begin(), delta.inserts.end());
+  return out;
+}
+
+TEST(IncrementalSort, MergeMatchesFullSortAcrossChangeFractions) {
+  const sfc::Curve curve(sfc::CurveKind::kHilbert, 3);
+  auto base = random_octants(20000, 7);
+  auto keys = octree::tree_sort_with_keys(base, curve);
+  for (const double fraction : {0.001, 0.01, 0.1, 0.4}) {
+    const auto changes =
+        static_cast<std::size_t>(fraction * static_cast<double>(base.size()));
+    const auto delta = random_delta(changes / 2 + 1, changes / 2 + 1,
+                                    base.size(), 1000 + changes);
+    auto expected = edited_stream(base, delta);
+    octree::tree_sort(expected, curve);
+
+    auto elements = base;
+    auto element_keys = keys;
+    octree::IncrementalSortOptions options;
+    options.fallback_change_fraction = std::numeric_limits<double>::infinity();
+    const auto report =
+        octree::tree_sort_incremental(elements, element_keys, curve, delta, options);
+    EXPECT_TRUE(report.used_merge);
+    EXPECT_EQ(elements, expected) << "fraction " << fraction;
+    EXPECT_EQ(element_keys, sfc::keys_of(curve, elements));
+    EXPECT_TRUE(octree::is_sfc_sorted(element_keys));
+  }
+}
+
+TEST(IncrementalSort, FallbackThresholdRoutes) {
+  const sfc::Curve curve(sfc::CurveKind::kMorton, 3);
+  auto base = random_octants(10000, 11);
+  auto keys = octree::tree_sort_with_keys(base, curve);
+  octree::IncrementalSortOptions options;
+  options.fallback_change_fraction = 0.25;
+
+  // Just under the threshold: the merge must run.
+  {
+    const auto delta = random_delta(1200, 1200, base.size(), 21);
+    auto elements = base;
+    auto element_keys = keys;
+    const auto report =
+        octree::tree_sort_incremental(elements, element_keys, curve, delta, options);
+    EXPECT_TRUE(report.used_merge);
+  }
+  // Over the threshold: the merge path must never run.
+  {
+    const auto delta = random_delta(1500, 1500, base.size(), 22);
+    auto elements = base;
+    auto element_keys = keys;
+    const auto report =
+        octree::tree_sort_incremental(elements, element_keys, curve, delta, options);
+    EXPECT_FALSE(report.used_merge);
+    // ...and the fallback still produces the right answer with a fresh cache.
+    auto expected = edited_stream(base, delta);
+    octree::tree_sort(expected, curve);
+    EXPECT_EQ(elements, expected);
+    EXPECT_EQ(element_keys, sfc::keys_of(curve, elements));
+  }
+}
+
+TEST(IncrementalSort, DeleteSanitizerIgnoresDuplicatesAndOutOfRange) {
+  const sfc::Curve curve(sfc::CurveKind::kHilbert, 3);
+  auto base = random_octants(500, 3);
+  auto keys = octree::tree_sort_with_keys(base, curve);
+  octree::DeltaStream delta;
+  delta.delete_positions = {4, 4, 4, 10, 9999, 500, 10};
+  auto elements = base;
+  const auto report = octree::tree_sort_incremental(elements, keys, curve, delta);
+  EXPECT_EQ(report.deleted, 2U);  // positions 4 and 10, once each
+  EXPECT_EQ(report.total, base.size() - 2);
+  auto expected = edited_stream(base, delta);
+  octree::tree_sort(expected, curve);
+  EXPECT_EQ(elements, expected);
+}
+
+TEST(IncrementalSort, EmptyBaseAndFullDeletion) {
+  const sfc::Curve curve(sfc::CurveKind::kHilbert, 3);
+  // Insert into an empty array.
+  {
+    std::vector<Octant> elements;
+    std::vector<sfc::CurveKey> keys;
+    octree::DeltaStream delta;
+    delta.inserts = random_octants(100, 5);
+    auto expected = delta.inserts;
+    octree::tree_sort(expected, curve);
+    (void)octree::tree_sort_incremental(elements, keys, curve, delta);
+    EXPECT_EQ(elements, expected);
+    EXPECT_EQ(keys, sfc::keys_of(curve, elements));
+  }
+  // Delete everything.
+  {
+    auto elements = random_octants(64, 6);
+    auto keys = octree::tree_sort_with_keys(elements, curve);
+    octree::DeltaStream delta;
+    for (std::size_t i = 0; i < 64; ++i) delta.delete_positions.push_back(i);
+    octree::IncrementalSortOptions options;
+    options.fallback_change_fraction = std::numeric_limits<double>::infinity();
+    const auto report =
+        octree::tree_sort_incremental(elements, keys, curve, delta, options);
+    EXPECT_TRUE(elements.empty());
+    EXPECT_TRUE(keys.empty());
+    EXPECT_EQ(report.total, 0U);
+  }
+}
+
+TEST(IncrementalSort, MergeKeyedRunsMatchesSort) {
+  const sfc::Curve curve(sfc::CurveKind::kMoore, 3);
+  auto a = random_octants(5000, 13);
+  auto b = random_octants(300, 14);
+  const auto a_keys = octree::tree_sort_with_keys(a, curve);
+  const auto b_keys = octree::tree_sort_with_keys(b, curve);
+  std::vector<Octant> out;
+  std::vector<sfc::CurveKey> out_keys;
+  octree::merge_keyed_runs(a, a_keys, b, b_keys, out, out_keys);
+
+  std::vector<Octant> expected = a;
+  expected.insert(expected.end(), b.begin(), b.end());
+  octree::tree_sort(expected, curve);
+  EXPECT_EQ(out, expected);
+  EXPECT_EQ(out_keys, sfc::keys_of(curve, out));
+  EXPECT_TRUE(octree::is_sfc_sorted(out_keys));
+}
+
+// --- Distributed properties -------------------------------------------------
+
+struct DistCase {
+  std::vector<std::vector<Octant>> prev;
+  std::vector<simmpi::SplitterSet> prev_splitters;
+  std::vector<octree::DeltaStream> deltas;
+  std::vector<std::vector<Octant>> edited;
+};
+
+DistCase make_dist_case(int ranks, std::size_t per_rank, const sfc::Curve& curve,
+                        std::size_t insert_count, std::size_t delete_count) {
+  DistCase c;
+  const auto p = static_cast<std::size_t>(ranks);
+  std::vector<std::vector<Octant>> inputs(p);
+  for (std::size_t r = 0; r < p; ++r) {
+    inputs[r] = random_octants(per_rank, util::split_seed(77, r));
+  }
+  c.prev.resize(p);
+  c.prev_splitters.resize(p);
+  simmpi::run_ranks(ranks, [&](simmpi::Comm& comm) {
+    const std::size_t r = static_cast<std::size_t>(comm.rank());
+    auto local = inputs[r];
+    const auto report = simmpi::dist_treesort(local, comm, curve);
+    c.prev_splitters[r] = report.splitter_set;
+    c.prev[r] = std::move(local);
+  });
+  c.deltas.resize(p);
+  c.edited.resize(p);
+  for (std::size_t r = 0; r < p; ++r) {
+    c.deltas[r] = random_delta(insert_count, delete_count, c.prev[r].size(),
+                               util::split_seed(123, r));
+    c.edited[r] = edited_stream(c.prev[r], c.deltas[r]);
+  }
+  return c;
+}
+
+TEST(IncrementalDist, MergeAndFullRoutesAgree) {
+  const sfc::Curve curve(sfc::CurveKind::kHilbert, 3);
+  constexpr int kRanks = 4;
+  const DistCase c = make_dist_case(kRanks, 600, curve, 20, 20);
+
+  const auto run = [&](double fallback) {
+    std::vector<std::vector<Octant>> out(kRanks);
+    std::vector<simmpi::DistIncrementalReport> reports(kRanks);
+    simmpi::run_ranks(kRanks, [&](simmpi::Comm& comm) {
+      const std::size_t r = static_cast<std::size_t>(comm.rank());
+      auto local = c.prev[r];
+      auto keys = sfc::keys_of(curve, local);
+      simmpi::DistIncrementalOptions options;
+      options.fallback_change_fraction = fallback;
+      reports[r] =
+          simmpi::dist_treesort_incremental(local, keys, comm, curve, c.deltas[r],
+                                            options);
+      out[r] = std::move(local);
+    });
+    return std::pair(out, reports);
+  };
+
+  const auto [merged, merged_reports] = run(1e9);
+  const auto [full, full_reports] = run(0.0);
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_TRUE(merged_reports[static_cast<std::size_t>(r)].merge_path);
+    EXPECT_FALSE(full_reports[static_cast<std::size_t>(r)].merge_path);
+    EXPECT_EQ(merged[static_cast<std::size_t>(r)], full[static_cast<std::size_t>(r)]);
+  }
+}
+
+TEST(IncrementalDist, MigrationTermZeroReproducesSeedOptiPart) {
+  const sfc::Curve curve(sfc::CurveKind::kHilbert, 3);
+  constexpr int kRanks = 4;
+  const DistCase c = make_dist_case(kRanks, 500, curve, 15, 15);
+
+  machine::ApplicationProfile app;
+  app.migration_cost_factor = 0.0;
+  const machine::PerfModel model(machine::wisconsin8(), app);
+
+  std::vector<std::vector<Octant>> scratch(kRanks);
+  std::vector<simmpi::DistSortReport> scratch_reports(kRanks);
+  simmpi::run_ranks(kRanks, [&](simmpi::Comm& comm) {
+    const std::size_t r = static_cast<std::size_t>(comm.rank());
+    auto local = c.edited[r];
+    scratch_reports[r] = simmpi::dist_optipart(local, comm, curve, model);
+    scratch[r] = std::move(local);
+  });
+
+  std::vector<std::vector<Octant>> inc(kRanks);
+  std::vector<simmpi::DistIncrementalReport> inc_reports(kRanks);
+  std::vector<simmpi::RepartitionDecision> decisions(kRanks);
+  simmpi::run_ranks(kRanks, [&](simmpi::Comm& comm) {
+    const std::size_t r = static_cast<std::size_t>(comm.rank());
+    auto local = c.prev[r];
+    auto keys = sfc::keys_of(curve, local);
+    inc_reports[r] = simmpi::dist_optipart_incremental(
+        local, keys, comm, curve, model, c.prev_splitters[r], c.deltas[r], {},
+        nullptr, &decisions[r]);
+    inc[r] = std::move(local);
+  });
+
+  for (std::size_t r = 0; r < kRanks; ++r) {
+    EXPECT_FALSE(decisions[r].kept_previous);
+    EXPECT_EQ(inc[r], scratch[r]) << "rank " << r;
+    EXPECT_EQ(inc_reports[r].sort.splitter_set.cuts,
+              scratch_reports[r].splitter_set.cuts);
+    EXPECT_EQ(inc_reports[r].sort.splitter_set.codes,
+              scratch_reports[r].splitter_set.codes);
+  }
+}
+
+TEST(IncrementalDist, MigrationDominatedModelKeepsPreviousCuts) {
+  const sfc::Curve curve(sfc::CurveKind::kHilbert, 3);
+  constexpr int kRanks = 8;
+  // A 2:1-balanced tree gives OptiPart's comm term something to optimize:
+  // its candidate cuts deviate from the previous ideal split, so adopting
+  // them moves data. The data is already laid out by the previous cuts and
+  // the delta is tiny, so keeping them moves (almost) nothing -- under a
+  // migration-dominated model the decision must be to keep.
+  octree::GenerateOptions gen;
+  gen.seed = 5;
+  auto tree = octree::random_octree(4000, curve, gen);
+  tree = octree::balance_octree(std::move(tree), curve);
+  DistCase c;
+  {
+    const std::size_t p = kRanks;
+    std::vector<std::vector<Octant>> inputs(p);
+    const std::size_t chunk = tree.size() / p;
+    for (std::size_t r = 0; r < p; ++r) {
+      const std::size_t lo = r * chunk;
+      const std::size_t hi = r + 1 == p ? tree.size() : lo + chunk;
+      inputs[r].assign(tree.begin() + static_cast<std::ptrdiff_t>(lo),
+                       tree.begin() + static_cast<std::ptrdiff_t>(hi));
+    }
+    c.prev.resize(p);
+    c.prev_splitters.resize(p);
+    simmpi::run_ranks(kRanks, [&](simmpi::Comm& comm) {
+      const std::size_t r = static_cast<std::size_t>(comm.rank());
+      auto local = inputs[r];
+      const auto report = simmpi::dist_treesort(local, comm, curve);
+      c.prev_splitters[r] = report.splitter_set;
+      c.prev[r] = std::move(local);
+    });
+    c.deltas.resize(p);
+    c.edited.resize(p);
+    c.deltas[0].inserts = random_octants(2, 999);
+    for (std::size_t r = 0; r < p; ++r) {
+      c.edited[r] = edited_stream(c.prev[r], c.deltas[r]);
+    }
+  }
+
+  machine::ApplicationProfile app;
+  app.migration_cost_factor = 1e9;  // a byte moved costs more than any step
+  app.steps_per_repartition = 1e-9;
+  const machine::PerfModel model(machine::wisconsin8(), app);
+
+  std::vector<std::vector<Octant>> out(kRanks);
+  std::vector<simmpi::DistIncrementalReport> reports(kRanks);
+  std::vector<simmpi::RepartitionDecision> decisions(kRanks);
+  simmpi::run_ranks(kRanks, [&](simmpi::Comm& comm) {
+    const std::size_t r = static_cast<std::size_t>(comm.rank());
+    auto local = c.prev[r];
+    auto keys = sfc::keys_of(curve, local);
+    reports[r] = simmpi::dist_optipart_incremental(
+        local, keys, comm, curve, model, c.prev_splitters[r], c.deltas[r], {},
+        nullptr, &decisions[r]);
+    out[r] = std::move(local);
+  });
+
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(decisions[r].kept_previous, decisions[0].kept_previous);
+    total += out[r].size();
+  }
+  ASSERT_TRUE(decisions[0].kept_previous);
+  EXPECT_LE(decisions[0].previous_objective, decisions[0].candidate_objective);
+  std::size_t edited_total = 0;
+  for (const auto& e : c.edited) edited_total += e.size();
+  EXPECT_EQ(total, edited_total);
+  for (std::size_t r = 0; r < kRanks; ++r) {
+    // Every element a rank ends with must route there by the *previous*
+    // codes: the kept decision really did keep the old partition.
+    EXPECT_EQ(reports[r].sort.splitter_set.codes, c.prev_splitters[r].codes);
+    for (const Octant& oct : out[r]) {
+      EXPECT_EQ(c.prev_splitters[r].dest_of_key(sfc::curve_key(curve, oct)),
+                static_cast<int>(r));
+    }
+  }
+}
+
+}  // namespace

@@ -30,6 +30,7 @@
 //
 // Exit codes: 0 ok; 2 when --require-complete is set and an expected
 // phase was never measured (instrumentation rot -- CI fails on it).
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -54,9 +55,11 @@
 #include "simmpi/dist_fem.hpp"
 #include "simmpi/dist_mesh.hpp"
 #include "simmpi/dist_octree.hpp"
+#include "simmpi/dist_treesort.hpp"
 #include "simmpi/runtime.hpp"
 #include "util/args.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
 
 using namespace amr;
 
@@ -203,6 +206,48 @@ int main(int argc, char** argv) {
         fem_reports[r] = fem_report;
       });
 
+  // --- incremental adapt epoch ----------------------------------------
+  // One AMR step on the pipeline's own leaves: every rank refines ~1% of
+  // its slice (delete a leaf, insert its children), the delta is spliced
+  // by sorted-merge (sort.merge spans) and the migration-aware OptiPart
+  // decides keep-vs-adopt (part.migrate spans) -- so the report audits the
+  // incremental path (DESIGN.md §13) alongside the from-scratch pipeline.
+  std::vector<simmpi::DistIncrementalReport> inc_reports(static_cast<std::size_t>(p));
+  std::vector<simmpi::RepartitionDecision> inc_decisions(static_cast<std::size_t>(p));
+  std::vector<std::size_t> inc_local_sizes(static_cast<std::size_t>(p));
+  const simmpi::RunResult inc_run = simmpi::run_ranks(p, [&](simmpi::Comm& comm) {
+    const auto r = static_cast<std::size_t>(comm.rank());
+    auto local = pieces[r];
+    // Re-derive the previous epoch's splitter state over the same stream
+    // (tolerance 0), then key the slice it leaves behind.
+    const auto prev = simmpi::dist_treesort(local, comm, curve);
+    auto keys = sfc::keys_of(curve, local);
+
+    octree::DeltaStream delta;
+    if (!local.empty()) {
+      util::Rng rng = util::make_rng(4242, comm.rank());
+      const std::size_t refines = std::max<std::size_t>(1, local.size() / 900);
+      std::vector<std::size_t> positions;
+      for (std::size_t i = 0; i < refines; ++i) {
+        positions.push_back(rng() % local.size());
+      }
+      std::sort(positions.begin(), positions.end());
+      positions.erase(std::unique(positions.begin(), positions.end()),
+                      positions.end());
+      for (const std::size_t pos : positions) {
+        if (local[pos].level >= octree::kMaxDepth) continue;
+        delta.delete_positions.push_back(pos);
+        for (int c = 0; c < curve.num_children(); ++c) {
+          delta.inserts.push_back(local[pos].child(c, curve.dim()));
+        }
+      }
+    }
+    inc_reports[r] = simmpi::dist_optipart_incremental(
+        local, keys, comm, curve, model, prev.splitter_set, delta, {}, nullptr,
+        &inc_decisions[r]);
+    inc_local_sizes[r] = local.size();
+  });
+
   const obs::Snapshot snap = obs::snapshot();
   const auto phases = obs::aggregate_phases(snap);
 
@@ -271,6 +316,27 @@ int main(int argc, char** argv) {
     expected.push_back(
         {"fem.plan", machine.tc * 3.0 * static_cast<double>(plan_bytes_max)});
 
+    // Incremental adapt epoch: the merge splice streams the largest
+    // post-split slice once through memory, octants plus the 128-bit key
+    // cache, read + write (Eq. 2's bandwidth term specialized to one merge
+    // pass).
+    std::size_t inc_w_max = 0;
+    for (const std::size_t s : inc_local_sizes) inc_w_max = std::max(inc_w_max, s);
+    expected.push_back(
+        {"sort.merge",
+         machine.tc * 2.0 * static_cast<double>(inc_w_max) *
+             static_cast<double>(sizeof(octree::Octant) + sizeof(sfc::CurveKey))});
+
+    // part.migrate: two migration-quality sweeps (previous cuts and the
+    // refined candidate), each streaming the slice once to classify every
+    // octant and its face neighbors against the cuts (7 lookups in 3D),
+    // then a 4p-section uint64 reduction.
+    expected.push_back(
+        {"part.migrate",
+         2.0 * (machine.tc * 7.0 * static_cast<double>(inc_w_max) *
+                    static_cast<double>(sizeof(sfc::CurveKey)) +
+                machine.tw * 32.0 * p + machine.ts)});
+
     // Volume-priced rounds: tw on the bytes and ts on the messages the
     // ledger attributed to the phase (averaged per rank -- the counters
     // sum over ranks).
@@ -327,6 +393,21 @@ int main(int argc, char** argv) {
                              partition::compute_metrics(tree, curve, part));
     metrics.child("partition").set("total_leaves", static_cast<double>(tree.size()));
 
+    // The incremental adapt epoch's outcome (decision fields are
+    // allreduced, so rank 0's copy is everyone's).
+    auto& inc = metrics.child("incremental");
+    double merge_seconds = 0.0;
+    for (const auto& r : inc_reports) {
+      merge_seconds = std::max(merge_seconds, r.merge_seconds);
+    }
+    inc.set("merge_seconds", merge_seconds);
+    inc.set("global_changes", static_cast<double>(inc_reports[0].global_changes));
+    inc.set("merge_path", inc_reports[0].merge_path ? 1.0 : 0.0);
+    inc.set("kept_previous", inc_decisions[0].kept_previous ? 1.0 : 0.0);
+    inc.set("moved_elements", static_cast<double>(inc_decisions[0].moved_elements));
+    inc.set("predicted_migration_seconds",
+            inc_decisions[0].predicted_migration_seconds);
+
     // Simulated energy: each rank contributes a compute stretch and a
     // communication stretch (its measured matvec phases) to its node's
     // activity timeline, sampled at the paper's 1 Hz.
@@ -375,6 +456,7 @@ int main(int argc, char** argv) {
   for (const auto& [name, agg] : phases) attributed += agg.comm_bytes;
   std::uint64_t ledger_total = 0;
   for (const auto& ledger : run.ledgers) ledger_total += ledger.total_bytes_sent();
+  for (const auto& ledger : inc_run.ledgers) ledger_total += ledger.total_bytes_sent();
 
   validation.to_table().print("model validation (" + machine.name + ")");
   std::printf("\n%zu trace events (%llu dropped); %llu of %llu ledger bytes "
