@@ -1,0 +1,241 @@
+// Dynamic AMR driver campaign bench: whole campaigns of the amr::Driver
+// loop (adapt -> diff -> repartition) over the three scenario generators,
+// comparing the incremental repartition route against from-scratch and
+// OptiPart against the equal-split default. Emits BENCH_driver.json so the
+// README's dynamic-AMR results table traces back to a committed
+// measurement.
+//
+//   campaigns, per scenario (gaussian / blast / slotted):
+//     inc.opti     incremental route + OptiPart, migration term off --
+//                  the full system, adopting the model-best cuts each step
+//     scr.opti     from-scratch route + OptiPart (route comparison: same
+//                  cuts bit for bit, different sort/partition work)
+//     inc.equal    incremental route + tolerance-0 TreeSort (partitioner
+//                  comparison: the paper's equal-split default)
+//
+//   The headline columns: sort_x = from-scratch local-sort seconds over
+//   incremental splice seconds summed over the campaign (the incremental
+//   path's reason to exist), and Tp_x = equal-split total predicted Eq. 3
+//   step time over OptiPart's (what model-guided cuts buy per step).
+//
+// The campaigns sweep a *partial* scenario trajectory (--t-end, default
+// 0.12): a real AMR step is CFL-bounded, so the tracked feature moves about
+// one fine cell per step and the adaptation delta stays a small fraction of
+// the mesh -- the regime incremental repartitioning exists for. Sweeping
+// the full t in [0,1] over ~10 steps teleports the feature many cells per
+// step, every delta blows past the merge/fallback crossover, and both
+// routes degenerate to full sorts (try --t-end 1 to see it).
+//
+// Usage: bench_micro_driver [--steps N] [--ranks P] [--min-level L]
+//          [--max-level L] [--t-end T] [--repeats K] [--json PATH]
+//          [--csv-dir DIR] [--smoke]
+//
+// --smoke shrinks the campaigns for CI and exits 1 if (a) the incremental
+// route's summed splice time loses to the from-scratch route's summed
+// local sort while the mean per-step change stays small (<= 15%), or (b)
+// OptiPart's campaign-total predicted step time exceeds equal-split's by
+// more than 5% -- either means the driver's reason to exist has rotted.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "driver/driver.hpp"
+#include "machine/machine_model.hpp"
+#include "machine/perf_model.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace amr;
+
+struct Campaign {
+  driver::CampaignResult result;
+  double total_sort = 0.0;       ///< best-of-repeats summed splice/sort
+  double total_repartition = 0.0;
+};
+
+struct Row {
+  driver::ScenarioKind kind = driver::ScenarioKind::kMovingGaussian;
+  std::size_t final_leaves = 0;
+  double mean_change = 0.0;
+  double mean_migrated_fraction = 0.0;
+  Campaign inc_opti;
+  Campaign scr_opti;
+  Campaign inc_equal;
+};
+
+Campaign run_campaign(const driver::Scenario& scenario, const sfc::Curve& curve,
+                      const machine::PerfModel& model,
+                      const driver::DriverOptions& options, int repeats) {
+  Campaign best;
+  for (int r = 0; r < repeats; ++r) {
+    driver::Driver drv(scenario, curve, model, options);
+    driver::CampaignResult result = drv.run();
+    const double sort = result.total_sort_seconds();
+    if (r == 0 || sort < best.total_sort) {
+      best.total_sort = sort;
+      best.total_repartition = result.total_repartition_seconds();
+      best.result = std::move(result);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const bool smoke = args.get_bool("smoke", false);
+  const sfc::Curve curve(sfc::curve_kind_from_string(args.get("curve", "hilbert")), 3);
+  const int steps = static_cast<int>(args.get_int("steps", smoke ? 6 : 10));
+  const int p = static_cast<int>(args.get_int("ranks", smoke ? 8 : 32));
+  const int repeats = static_cast<int>(args.get_int("repeats", smoke ? 2 : 3));
+  const std::string json_path = args.get("json", "BENCH_driver.json");
+
+  driver::DriverOptions base;
+  base.ranks = p;
+  base.steps = steps;
+  base.min_level = static_cast<int>(args.get_int("min-level", smoke ? 3 : 4));
+  base.max_level = static_cast<int>(args.get_int("max-level", smoke ? 6 : 7));
+  base.t_end = args.get_double("t-end", 0.12);
+  base.matvec_iterations = 0;  // partition-focused: the solve is benched by
+                               // bench_micro_fem, not here
+  base.deref_count = 2;
+
+  // Migration term off so every step adopts the model-best cuts: the
+  // OptiPart-vs-equal comparison is then a pure partitioner comparison and
+  // the incremental route stays bit-identical to from-scratch (the
+  // driver_test / fuzz-pinned property this bench rides on).
+  machine::ApplicationProfile app;
+  app.migration_cost_factor = 0.0;
+  const machine::PerfModel model(machine::wisconsin8(), app);
+
+  std::vector<Row> rows;
+  util::Table table({"scenario", "leaves", "mean d%", "inc_sort_s", "scr_sort_s",
+                     "sort_x", "Tp_opti", "Tp_equal", "Tp_x", "migrated%"});
+  for (const driver::ScenarioKind kind : driver::all_scenarios()) {
+    const driver::Scenario scenario = driver::make_scenario(kind, 3);
+
+    driver::DriverOptions inc_opti = base;
+    inc_opti.route = driver::RepartitionRoute::kIncremental;
+    inc_opti.partitioner = driver::Partitioner::kOptiPart;
+    driver::DriverOptions scr_opti = inc_opti;
+    scr_opti.route = driver::RepartitionRoute::kFromScratch;
+    driver::DriverOptions inc_equal = inc_opti;
+    inc_equal.partitioner = driver::Partitioner::kEqualSplit;
+
+    Row row;
+    row.kind = kind;
+    row.inc_opti = run_campaign(scenario, curve, model, inc_opti, repeats);
+    row.scr_opti = run_campaign(scenario, curve, model, scr_opti, repeats);
+    row.inc_equal = run_campaign(scenario, curve, model, inc_equal, repeats);
+
+    const auto& steps_run = row.inc_opti.result.steps;
+    row.final_leaves = steps_run.empty() ? 0 : steps_run.back().leaves;
+    row.mean_change = row.inc_opti.result.mean_change_fraction();
+    double migrated = 0.0;
+    std::size_t later_steps = 0;
+    for (const driver::StepMetrics& m : steps_run) {
+      if (m.first_epoch || m.leaves == 0) continue;
+      migrated += static_cast<double>(m.migrated) / static_cast<double>(m.leaves);
+      ++later_steps;
+    }
+    row.mean_migrated_fraction =
+        later_steps > 0 ? migrated / static_cast<double>(later_steps) : 0.0;
+
+    const double tp_opti = row.inc_opti.result.total_predicted_seconds();
+    const double tp_equal = row.inc_equal.result.total_predicted_seconds();
+    table.add_row(
+        {driver::to_string(kind), std::to_string(row.final_leaves),
+         util::Table::fmt(100.0 * row.mean_change, 1),
+         util::Table::fmt(row.inc_opti.total_sort, 4),
+         util::Table::fmt(row.scr_opti.total_sort, 4),
+         util::Table::fmt(row.scr_opti.total_sort /
+                              std::max(row.inc_opti.total_sort, 1e-12),
+                          2),
+         util::Table::fmt(tp_opti, 4), util::Table::fmt(tp_equal, 4),
+         util::Table::fmt(tp_equal / std::max(tp_opti, 1e-12), 2),
+         util::Table::fmt(100.0 * row.mean_migrated_fraction, 1)});
+    rows.push_back(std::move(row));
+  }
+  bench::emit(table, args, "micro_driver",
+              "Dynamic AMR driver campaigns (p=" + std::to_string(p) +
+                  ", steps=" + std::to_string(steps) + ", levels " +
+                  std::to_string(base.min_level) + ".." +
+                  std::to_string(base.max_level) + ", t_end " +
+                  util::Table::fmt(base.t_end, 2) + ", best of " +
+                  std::to_string(repeats) + ", threads=" +
+                  std::to_string(util::ThreadPool::global().size()) + ")");
+
+  std::ofstream json(json_path);
+  bench::write_bench_preamble(json, "driver_campaign", repeats);
+  json << "  \"curve\": \"" << sfc::to_string(curve.kind())
+       << "\",\n  \"ranks\": " << p << ",\n  \"steps\": " << steps
+       << ",\n  \"min_level\": " << base.min_level
+       << ",\n  \"max_level\": " << base.max_level
+       << ",\n  \"t_end\": " << base.t_end
+       << ",\n  \"threads\": " << util::ThreadPool::global().size()
+       << ",\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    const double tp_opti = r.inc_opti.result.total_predicted_seconds();
+    const double tp_equal = r.inc_equal.result.total_predicted_seconds();
+    json << "    {\"scenario\": \"" << driver::to_string(r.kind)
+         << "\", \"final_leaves\": " << r.final_leaves
+         << ", \"mean_change_fraction\": " << r.mean_change
+         << ", \"mean_migrated_fraction\": " << r.mean_migrated_fraction
+         << ", \"incremental_sort_seconds\": " << r.inc_opti.total_sort
+         << ", \"scratch_sort_seconds\": " << r.scr_opti.total_sort
+         << ", \"sort_speedup\": "
+         << r.scr_opti.total_sort / std::max(r.inc_opti.total_sort, 1e-12)
+         << ", \"incremental_repartition_seconds\": "
+         << r.inc_opti.total_repartition
+         << ", \"scratch_repartition_seconds\": " << r.scr_opti.total_repartition
+         << ", \"predicted_step_seconds_optipart\": " << tp_opti
+         << ", \"predicted_step_seconds_equal\": " << tp_equal
+         << ", \"optipart_step_advantage\": "
+         << tp_equal / std::max(tp_opti, 1e-12) << ",\n      \"steps\": [\n";
+    for (std::size_t s = 0; s < r.inc_opti.result.steps.size(); ++s) {
+      const driver::StepMetrics& m = r.inc_opti.result.steps[s];
+      json << "        {\"step\": " << m.step << ", \"leaves\": " << m.leaves
+           << ", \"change_fraction\": " << m.change_fraction
+           << ", \"migrated\": " << m.migrated
+           << ", \"merge_route\": " << (m.merge_route ? "true" : "false")
+           << ", \"load_imbalance\": " << m.load_imbalance
+           << ", \"c_max\": " << m.c_max
+           << ", \"predicted_step_seconds\": " << m.predicted_step_seconds
+           << "}" << (s + 1 < r.inc_opti.result.steps.size() ? ",\n" : "\n");
+    }
+    json << "      ]}" << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+
+  // Regression gates (CI runs these under --smoke).
+  int rc = 0;
+  for (const Row& r : rows) {
+    if (r.mean_change <= 0.15 &&
+        r.inc_opti.total_sort >= r.scr_opti.total_sort) {
+      std::fprintf(stderr,
+                   "FAIL: incremental route lost to from-scratch on %s "
+                   "(%.4fs vs %.4fs at mean change %.3f)\n",
+                   driver::to_string(r.kind).c_str(), r.inc_opti.total_sort,
+                   r.scr_opti.total_sort, r.mean_change);
+      rc = 1;
+    }
+    const double tp_opti = r.inc_opti.result.total_predicted_seconds();
+    const double tp_equal = r.inc_equal.result.total_predicted_seconds();
+    if (tp_opti > 1.05 * tp_equal) {
+      std::fprintf(stderr,
+                   "FAIL: OptiPart predicted step time exceeds equal-split "
+                   "by >5%% on %s (%.6fs vs %.6fs)\n",
+                   driver::to_string(r.kind).c_str(), tp_opti, tp_equal);
+      rc = 1;
+    }
+  }
+  return rc;
+}

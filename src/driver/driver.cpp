@@ -1,0 +1,428 @@
+#include "driver/driver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+#include "mesh/mesh.hpp"
+#include "obs/recorder.hpp"
+#include "octree/adapt.hpp"
+#include "octree/generate.hpp"
+#include "octree/treesort.hpp"
+#include "partition/metrics.hpp"
+#include "partition/partition.hpp"
+#include "simmpi/dist_fem.hpp"
+#include "simmpi/dist_mesh.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/timer.hpp"
+
+namespace amr::driver {
+
+namespace {
+
+/// Carry per-leaf counters across an adaptation: leaves present in both
+/// orders (equal keys -- keys are injective, so equal means identical)
+/// keep their counter, everything the adaptation created starts at zero.
+std::vector<int> remap_counters(std::span<const sfc::CurveKey> old_keys,
+                                std::span<const int> old_counters,
+                                std::span<const sfc::CurveKey> new_keys) {
+  std::vector<int> out(new_keys.size(), 0);
+  std::size_t i = 0;
+  for (std::size_t j = 0; j < new_keys.size(); ++j) {
+    while (i < old_keys.size() && old_keys[i] < new_keys[j]) ++i;
+    if (i < old_keys.size() && old_keys[i] == new_keys[j]) out[j] = old_counters[i];
+  }
+  return out;
+}
+
+/// Cell center of a leaf in unit coordinates (z = 0.5 in 2D so the 3D
+/// scenario fields evaluate on the mid-plane).
+std::array<double, 3> center_of(const octree::Octant& o, int dim) {
+  const double h = static_cast<double>(o.size()) /
+                   static_cast<double>(1U << octree::kMaxDepth);
+  auto c = o.anchor_unit();
+  c[0] += 0.5 * h;
+  c[1] += 0.5 * h;
+  c[2] = dim == 3 ? c[2] + 0.5 * h : 0.5;
+  return c;
+}
+
+}  // namespace
+
+std::string to_string(RepartitionRoute route) {
+  return route == RepartitionRoute::kIncremental ? "incremental" : "scratch";
+}
+
+std::string to_string(Partitioner partitioner) {
+  return partitioner == Partitioner::kOptiPart ? "optipart" : "equal";
+}
+
+double CampaignResult::total_repartition_seconds() const {
+  double s = 0.0;
+  for (const StepMetrics& m : steps) s += m.repartition_seconds;
+  return s;
+}
+
+double CampaignResult::total_sort_seconds() const {
+  double s = 0.0;
+  for (const StepMetrics& m : steps) s += m.sort_seconds;
+  return s;
+}
+
+double CampaignResult::total_predicted_seconds() const {
+  double s = 0.0;
+  for (const StepMetrics& m : steps) s += m.predicted_step_seconds;
+  return s;
+}
+
+double CampaignResult::mean_change_fraction() const {
+  double s = 0.0;
+  std::size_t n = 0;
+  for (const StepMetrics& m : steps) {
+    if (m.first_epoch) continue;
+    s += m.change_fraction;
+    ++n;
+  }
+  return n > 0 ? s / static_cast<double>(n) : 0.0;
+}
+
+Driver::Driver(const Scenario& scenario, const sfc::Curve& curve,
+               const machine::PerfModel& model, const DriverOptions& options)
+    : scenario_(scenario), curve_(curve), model_(model), options_(options) {
+  assert(options_.ranks > 0 && options_.min_level >= 0 &&
+         options_.min_level <= options_.max_level &&
+         options_.max_level <= octree::kMaxDepth);
+  tree_ = octree::uniform_octree(options_.min_level, curve_);
+  octree::refine_to_fixpoint(tree_, curve_, [&](const octree::Octant& o) {
+    return o.level < options_.max_level &&
+           scenario_.error(o, 0.0) > options_.refine_threshold;
+  });
+  tree_ = octree::balance_octree(std::move(tree_), curve_, nullptr,
+                                 options_.balance_mode);
+  tree_keys_ = sfc::keys_of(curve_, tree_);
+  deref_.assign(tree_.size(), 0);
+}
+
+void Driver::adapt(double t, StepMetrics& m) {
+  AMR_SPAN("driver.adapt");
+  util::Timer timer;
+  const int children = curve_.num_children();
+
+  // Flag pass: refresh the hysteresis counters from this step's indicator.
+  // A leaf asks to coarsen only while its error stays below the coarsen
+  // threshold; any louder step resets its streak.
+  std::vector<double> err(tree_.size());
+  for (std::size_t i = 0; i < tree_.size(); ++i) {
+    err[i] = scenario_.error(tree_[i], t);
+    deref_[i] = err[i] < options_.coarsen_threshold ? deref_[i] + 1 : 0;
+  }
+
+  // Coarsen: a complete sibling group merges only when every child has
+  // asked for deref_count consecutive steps and the parent stays within
+  // the refinement band.
+  const std::size_t before_coarsen = tree_.size();
+  std::vector<octree::Octant> coarsened = octree::coarsen_octree_if(
+      tree_, curve_,
+      [&](const octree::Octant& parent, std::size_t group_begin) {
+        if (static_cast<int>(parent.level) < options_.min_level) return false;
+        for (int c = 0; c < children; ++c) {
+          if (deref_[group_begin + static_cast<std::size_t>(c)] <
+              options_.deref_count) {
+            return false;
+          }
+        }
+        return true;
+      });
+  m.coarsened = (before_coarsen - coarsened.size()) /
+                static_cast<std::size_t>(children - 1);
+
+  // Refine to the fixpoint of this step's indicator (the predicate
+  // re-evaluates the field, so fresh children that are still too coarse
+  // for a fast-moving feature split again within the same step).
+  std::vector<octree::Octant> refined = coarsened;
+  octree::refine_to_fixpoint(refined, curve_, [&](const octree::Octant& o) {
+    return o.level < options_.max_level &&
+           scenario_.error(o, t) > options_.refine_threshold;
+  });
+  m.refined =
+      (refined.size() - coarsened.size()) / static_cast<std::size_t>(children - 1);
+
+  octree::BalanceStats stats;
+  std::vector<octree::Octant> balanced =
+      octree::balance_octree(std::move(refined), curve_, &stats, options_.balance_mode);
+  m.balance_splits = stats.leaves_split;
+
+  // One counter remap old -> new: survivors (coarsen kept them, refine /
+  // balance did not split them) carry their streak, every created leaf --
+  // merged parent, refined child, balance split -- starts a fresh one.
+  std::vector<sfc::CurveKey> new_keys = sfc::keys_of(curve_, balanced);
+  deref_ = remap_counters(tree_keys_, deref_, new_keys);
+  tree_ = std::move(balanced);
+  tree_keys_ = std::move(new_keys);
+  m.leaves = tree_.size();
+  m.adapt_seconds = timer.seconds();
+}
+
+void Driver::repartition(const octree::DeltaStream& global_delta, StepMetrics& m) {
+  AMR_SPAN("driver.repartition");
+  util::Timer timer;
+  const int p = options_.ranks;
+  const bool scratch =
+      !have_epoch_ || options_.route == RepartitionRoute::kFromScratch;
+
+  // Previous epoch's splitters, kept for the migration accounting below.
+  const std::vector<octree::Octant> previous_keys = splitters_.keys;
+  const simmpi::SplitterSet previous = splitters_;
+
+  std::vector<simmpi::DistSortReport> reports(static_cast<std::size_t>(p));
+  std::vector<simmpi::DistIncrementalReport> inc_reports(static_cast<std::size_t>(p));
+  std::vector<simmpi::RepartitionDecision> decisions(static_cast<std::size_t>(p));
+
+  if (scratch) {
+    // From-scratch epoch: every rank starts from its current slice with its
+    // share of the delta applied positionally (step 0: equal chunks of the
+    // fresh tree, no delta) and re-sorts / re-partitions from nothing.
+    std::vector<std::vector<octree::Octant>> start(static_cast<std::size_t>(p));
+    if (!have_epoch_) {
+      const partition::Partition init =
+          partition::ideal_partition(tree_.size(), p);
+      for (int r = 0; r < p; ++r) {
+        start[static_cast<std::size_t>(r)].assign(
+            tree_.begin() + static_cast<std::ptrdiff_t>(init.offsets[r]),
+            tree_.begin() + static_cast<std::ptrdiff_t>(init.offsets[r + 1]));
+      }
+    } else {
+      const std::vector<sfc::CurveKey> ins_keys =
+          sfc::keys_of(curve_, global_delta.inserts);
+      for (int r = 0; r < p; ++r) {
+        start[static_cast<std::size_t>(r)] = slices_[static_cast<std::size_t>(r)];
+      }
+      // Delete positions index the previous *global* order; peel each
+      // rank's range off against its cut, erasing back-to-front so the
+      // positional indices stay valid.
+      for (int r = 0; r < p; ++r) {
+        auto& mine = start[static_cast<std::size_t>(r)];
+        const std::size_t lo = previous.cuts[static_cast<std::size_t>(r)];
+        const std::size_t hi = previous.cuts[static_cast<std::size_t>(r) + 1];
+        const auto begin = std::lower_bound(global_delta.delete_positions.begin(),
+                                            global_delta.delete_positions.end(), lo);
+        const auto end = std::lower_bound(global_delta.delete_positions.begin(),
+                                          global_delta.delete_positions.end(), hi);
+        for (auto it = end; it != begin;) {
+          --it;
+          mine.erase(mine.begin() + static_cast<std::ptrdiff_t>(*it - lo));
+        }
+      }
+      for (std::size_t i = 0; i < global_delta.inserts.size(); ++i) {
+        const int r = previous.dest_of_key(ins_keys[i]);
+        start[static_cast<std::size_t>(r)].push_back(global_delta.inserts[i]);
+      }
+    }
+
+    simmpi::run_ranks(p, [&](simmpi::Comm& comm) {
+      const int r = comm.rank();
+      std::vector<octree::Octant>& local = start[static_cast<std::size_t>(r)];
+      if (options_.partitioner == Partitioner::kOptiPart) {
+        reports[static_cast<std::size_t>(r)] = simmpi::dist_optipart(
+            local, comm, curve_, model_, options_.optipart_max_depth);
+      } else {
+        reports[static_cast<std::size_t>(r)] =
+            simmpi::dist_treesort(local, comm, curve_, options_.incremental.sort);
+      }
+      slices_[static_cast<std::size_t>(r)] = std::move(local);
+      slice_keys_[static_cast<std::size_t>(r)] =
+          sfc::keys_of(curve_, slices_[static_cast<std::size_t>(r)]);
+    });
+    splitters_ = reports[0].splitter_set;
+    m.sort_seconds = 0.0;
+    for (const auto& rep : reports) {
+      m.sort_seconds = std::max(m.sort_seconds, rep.local_sort_seconds);
+    }
+  } else {
+    // Incremental epoch: split the global delta along the previous cuts
+    // (deletes are positional) and by the previous splitters (inserts may
+    // land on any rank; the previous owner keeps the merges local), then
+    // splice + refresh in place.
+    std::vector<octree::DeltaStream> local_delta(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      const std::size_t lo = splitters_.cuts[static_cast<std::size_t>(r)];
+      const std::size_t hi = splitters_.cuts[static_cast<std::size_t>(r) + 1];
+      const auto begin = std::lower_bound(global_delta.delete_positions.begin(),
+                                          global_delta.delete_positions.end(), lo);
+      const auto end = std::lower_bound(global_delta.delete_positions.begin(),
+                                        global_delta.delete_positions.end(), hi);
+      auto& mine = local_delta[static_cast<std::size_t>(r)].delete_positions;
+      mine.reserve(static_cast<std::size_t>(end - begin));
+      for (auto it = begin; it != end; ++it) mine.push_back(*it - lo);
+    }
+    const std::vector<sfc::CurveKey> ins_keys =
+        sfc::keys_of(curve_, global_delta.inserts);
+    for (std::size_t i = 0; i < global_delta.inserts.size(); ++i) {
+      const int r = splitters_.dest_of_key(ins_keys[i]);
+      local_delta[static_cast<std::size_t>(r)].inserts.push_back(
+          global_delta.inserts[i]);
+    }
+
+    simmpi::run_ranks(p, [&](simmpi::Comm& comm) {
+      const int r = comm.rank();
+      auto& local = slices_[static_cast<std::size_t>(r)];
+      auto& keys = slice_keys_[static_cast<std::size_t>(r)];
+      if (options_.partitioner == Partitioner::kOptiPart) {
+        inc_reports[static_cast<std::size_t>(r)] = simmpi::dist_optipart_incremental(
+            local, keys, comm, curve_, model_, previous,
+            local_delta[static_cast<std::size_t>(r)], options_.incremental, nullptr,
+            &decisions[static_cast<std::size_t>(r)]);
+      } else {
+        inc_reports[static_cast<std::size_t>(r)] = simmpi::dist_treesort_incremental(
+            local, keys, comm, curve_, local_delta[static_cast<std::size_t>(r)],
+            options_.incremental);
+      }
+    });
+    splitters_ = inc_reports[0].sort.splitter_set;
+    m.merge_route = inc_reports[0].merge_path;
+    m.decision = decisions[0];
+    m.kept_previous = decisions[0].kept_previous;
+    m.sort_seconds = 0.0;
+    for (const auto& rep : inc_reports) {
+      m.sort_seconds = std::max(m.sort_seconds, rep.merge_seconds);
+    }
+  }
+
+  m.first_epoch = !have_epoch_;
+  if (have_epoch_) {
+    m.migrated = partition::migration_volume(
+        tree_, tree_keys_, curve_, previous_keys,
+        partition::Partition{splitters_.cuts});
+  }
+  have_epoch_ = true;
+  m.repartition_seconds = timer.seconds();
+
+  const partition::Partition part{splitters_.cuts};
+  partition::QualityOptions quality;
+  quality.sample_stride = options_.quality_sample_stride;
+  const partition::Metrics metrics =
+      partition::compute_metrics(tree_, curve_, part, quality);
+  m.load_imbalance = metrics.load_imbalance;
+  m.c_max = metrics.c_max;
+  m.predicted_step_seconds = metrics.predicted_time(model_);
+}
+
+void Driver::solve_epoch(StepMetrics& m) {
+  if (options_.matvec_iterations <= 0) return;
+  AMR_SPAN("driver.solve");
+  util::Timer timer;
+  const double t = m.t;
+  simmpi::run_ranks(options_.ranks, [&](simmpi::Comm& comm) {
+    const int r = comm.rank();
+    const mesh::LocalMesh mesh = simmpi::dist_build_local_mesh(
+        slices_[static_cast<std::size_t>(r)], splitters_.keys, comm, curve_);
+    std::vector<double> u(mesh.elements.size());
+    for (std::size_t i = 0; i < mesh.elements.size(); ++i) {
+      u[i] = scenario_.value(center_of(mesh.elements[i], curve_.dim()), t);
+    }
+    simmpi::dist_matvec_loop_overlapped(mesh, comm, options_.matvec_iterations, u);
+  });
+  m.solve_seconds = timer.seconds();
+}
+
+StepMetrics Driver::step() {
+  StepMetrics m;
+  m.step = steps_done_;
+  const int last = options_.steps - 1;
+  m.t = last > 0 ? options_.t_end * std::min(1.0, static_cast<double>(steps_done_) /
+                                                      static_cast<double>(last))
+                 : 0.0;
+
+  if (slices_.empty()) {
+    slices_.resize(static_cast<std::size_t>(options_.ranks));
+    slice_keys_.resize(static_cast<std::size_t>(options_.ranks));
+  }
+
+  octree::DeltaStream delta;
+  if (!have_epoch_) {
+    // Step 0: the constructor already built the t=0 mesh; establish the
+    // first epoch from scratch (there is no previous order to diff).
+    m.leaves = tree_.size();
+  } else {
+    const std::vector<octree::Octant> old_tree = tree_;
+    const std::vector<sfc::CurveKey> old_keys = tree_keys_;
+    adapt(m.t, m);
+    {
+      AMR_SPAN("driver.diff");
+      util::Timer timer;
+      delta = octree::diff_sorted(old_tree, old_keys, tree_, tree_keys_);
+      m.diff_seconds = timer.seconds();
+    }
+    m.delta_inserts = delta.inserts.size();
+    m.delta_deletes = delta.delete_positions.size();
+    m.change_fraction =
+        old_tree.empty()
+            ? 0.0
+            : static_cast<double>(delta.inserts.size() +
+                                  delta.delete_positions.size()) /
+                  static_cast<double>(old_tree.size());
+  }
+
+  repartition(delta, m);
+  solve_epoch(m);
+  ++steps_done_;
+  return m;
+}
+
+CampaignResult Driver::run() {
+  CampaignResult result;
+  result.steps.reserve(static_cast<std::size_t>(options_.steps));
+  while (steps_done_ < options_.steps) result.steps.push_back(step());
+  return result;
+}
+
+void Driver::append_campaign(obs::RunMetrics& node, const CampaignResult& result,
+                             const DriverOptions& options, const Scenario& scenario) {
+  obs::RunMetrics& d = node.child("driver");
+  obs::RunMetrics& config = d.child("config");
+  config.set("ranks", options.ranks);
+  config.set("steps", options.steps);
+  config.set("min_level", options.min_level);
+  config.set("max_level", options.max_level);
+  config.set("deref_count", options.deref_count);
+  config.set("route_incremental",
+             options.route == RepartitionRoute::kIncremental ? 1.0 : 0.0);
+  config.set("partitioner_optipart",
+             options.partitioner == Partitioner::kOptiPart ? 1.0 : 0.0);
+  config.set("scenario", static_cast<double>(static_cast<int>(scenario.kind)));
+  config.set("dim", scenario.dim);
+
+  for (const StepMetrics& m : result.steps) {
+    obs::RunMetrics& s = d.child("step." + std::to_string(m.step));
+    s.set("t", m.t);
+    s.set("leaves", static_cast<double>(m.leaves));
+    s.set("refined", static_cast<double>(m.refined));
+    s.set("coarsened", static_cast<double>(m.coarsened));
+    s.set("balance_splits", static_cast<double>(m.balance_splits));
+    s.set("delta_inserts", static_cast<double>(m.delta_inserts));
+    s.set("delta_deletes", static_cast<double>(m.delta_deletes));
+    s.set("change_fraction", m.change_fraction);
+    s.set("first_epoch", m.first_epoch ? 1.0 : 0.0);
+    s.set("merge_route", m.merge_route ? 1.0 : 0.0);
+    s.set("kept_previous", m.kept_previous ? 1.0 : 0.0);
+    s.set("migrated", static_cast<double>(m.migrated));
+    s.set("load_imbalance", m.load_imbalance);
+    s.set("c_max", m.c_max);
+    s.set("predicted_step_seconds", m.predicted_step_seconds);
+    s.set("adapt_seconds", m.adapt_seconds);
+    s.set("diff_seconds", m.diff_seconds);
+    s.set("repartition_seconds", m.repartition_seconds);
+    s.set("sort_seconds", m.sort_seconds);
+    s.set("solve_seconds", m.solve_seconds);
+  }
+
+  obs::RunMetrics& totals = d.child("totals");
+  totals.set("steps", static_cast<double>(result.steps.size()));
+  totals.set("repartition_seconds", result.total_repartition_seconds());
+  totals.set("sort_seconds", result.total_sort_seconds());
+  totals.set("predicted_seconds", result.total_predicted_seconds());
+  totals.set("mean_change_fraction", result.mean_change_fraction());
+}
+
+}  // namespace amr::driver

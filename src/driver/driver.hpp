@@ -1,0 +1,194 @@
+// amr::Driver -- the dynamic AMR time-stepping loop with repartitioning in
+// the loop (DESIGN.md §14; ROADMAP item 1).
+//
+// The paper's premise is meshes that *change*: "applications requiring
+// repeated partitioning, such as Adaptive Mesh Refinement" (§1). This
+// driver closes that loop. Every step:
+//
+//   1. estimate  -- the scenario's face-sampled error indicator per leaf
+//   2. flag      -- refine where err > refine_threshold; count consecutive
+//                   coarsen requests (err < coarsen_threshold) per leaf and
+//                   only derefine a sibling group once every child has
+//                   asked for deref_count straight steps (the Athena
+//                   `deref_count` hysteresis, SNIPPETS.md §1-2, which stops
+//                   newly refined cells from collapsing right back)
+//   3. adapt     -- coarsen eligible groups, refine flagged leaves,
+//                   re-establish the 2:1 balance; all three preserve curve
+//                   order, so the adapted tree is itself a sorted array
+//   4. diff      -- octree::diff_sorted turns (old, new) into a DeltaStream
+//                   and the stream is split per rank along the previous cuts
+//   5. repartition -- dist_treesort_incremental / dist_optipart_incremental
+//                   splice the delta by sorted-merge and decide keep-vs-move
+//                   with the migration-aware objective (or, on the
+//                   from-scratch route, re-sort and re-partition from
+//                   nothing -- bit-identical result, the fuzz-pinned oracle)
+//   6. solve     -- a distributed matvec epoch on the new partition
+//                   (dist_build_local_mesh + dist_matvec_loop_overlapped)
+//   7. account   -- per-step StepMetrics: adaptation sizes, delta size,
+//                   route taken, keep/move decision, migrated elements,
+//                   partition quality, Eq. 3 prediction, wall times
+//
+// The adaptation runs on the global tree (the driver is a campaign
+// harness; simmpi ranks are threads in this process), while sorting,
+// partitioning, meshing and the solve run genuinely distributed. Step 0
+// establishes the first epoch from scratch on both routes, so campaigns
+// with the same scenario and options differ only in how steps >= 1
+// repartition.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "driver/scenario.hpp"
+#include "machine/perf_model.hpp"
+#include "obs/metrics.hpp"
+#include "octree/balance.hpp"
+#include "octree/incremental.hpp"
+#include "octree/octant.hpp"
+#include "sfc/curve.hpp"
+#include "sfc/key.hpp"
+#include "simmpi/dist_treesort.hpp"
+
+namespace amr::driver {
+
+/// How each step's repartition reaches the new epoch. Both routes produce
+/// the same global element order; with migration_cost_factor == 0 they are
+/// bit-identical per rank and per splitter (driver_test + fuzz pin this).
+enum class RepartitionRoute {
+  kIncremental,  ///< sorted-merge splice + migration-aware refresh (PR 6)
+  kFromScratch,  ///< full re-sort + fresh partition every step
+};
+
+enum class Partitioner {
+  kOptiPart,    ///< Alg. 3 model-guided cuts
+  kEqualSplit,  ///< tolerance-0 distributed TreeSort (the paper's default)
+};
+
+[[nodiscard]] std::string to_string(RepartitionRoute route);
+[[nodiscard]] std::string to_string(Partitioner partitioner);
+
+struct DriverOptions {
+  int ranks = 8;
+  int steps = 8;
+  /// Refinement band: leaves refine up to max_level and never coarsen
+  /// below min_level (which is also the starting uniform level).
+  int max_level = 6;
+  int min_level = 3;
+  /// Campaign time reached by the last step: t advances linearly from 0 to
+  /// t_end over `steps`. 1.0 sweeps the scenario's whole trajectory; CFL-
+  /// realistic campaigns (the feature moves ~1 fine cell per step, the
+  /// regime incremental repartitioning targets) use a partial sweep --
+  /// e.g. the bench's campaigns -- since per-step change tracks feature
+  /// speed x step count, not wall-clock ambition.
+  double t_end = 1.0;
+  double refine_threshold = 0.10;
+  double coarsen_threshold = 0.02;
+  /// Hysteresis: steps a leaf must consecutively ask to coarsen before its
+  /// sibling group may merge (Athena's deref_count).
+  int deref_count = 2;
+  RepartitionRoute route = RepartitionRoute::kIncremental;
+  Partitioner partitioner = Partitioner::kOptiPart;
+  /// Distributed matvec iterations per step; 0 skips mesh build + solve
+  /// (partition-only campaigns, e.g. the bench's route comparison).
+  int matvec_iterations = 4;
+  /// Incremental-route knobs (merge/fallback crossover, sort options).
+  simmpi::DistIncrementalOptions incremental;
+  /// OptiPart refinement cap.
+  int optipart_max_depth = octree::kMaxDepth;
+  octree::BalanceMode balance_mode = octree::BalanceMode::kFace;
+  /// Partition-quality sampling stride (1 = exact; benches at large n may
+  /// sample, like OptiPart's own estimator).
+  int quality_sample_stride = 1;
+};
+
+/// One step's accounting. Sizes are global; seconds are wall times of this
+/// campaign harness (the distributed phases run p ranks on threads).
+struct StepMetrics {
+  int step = 0;
+  double t = 0.0;               ///< campaign time in [0, 1]
+  std::size_t leaves = 0;       ///< after adaptation
+  std::size_t refined = 0;      ///< leaves split by the error flags
+  std::size_t coarsened = 0;    ///< sibling groups merged
+  std::size_t balance_splits = 0;
+  std::size_t delta_inserts = 0;
+  std::size_t delta_deletes = 0;
+  double change_fraction = 0.0;  ///< (inserts+deletes) / previous leaves
+  bool first_epoch = false;      ///< step 0: partitioned from scratch
+  bool merge_route = false;      ///< incremental splice took the merge path
+  bool kept_previous = false;    ///< migration-aware decision kept old cuts
+  /// Elements whose owner changed between the previous and the new cuts
+  /// (keyed migration_volume; meaningless on the first epoch).
+  std::size_t migrated = 0;
+  double load_imbalance = 1.0;
+  double c_max = 0.0;
+  double predicted_step_seconds = 0.0;  ///< Eq. 3 of the adopted partition
+  double adapt_seconds = 0.0;
+  double diff_seconds = 0.0;
+  double repartition_seconds = 0.0;  ///< whole distributed sort+partition epoch
+  double sort_seconds = 0.0;   ///< local splice/sort portion (max over ranks)
+  double solve_seconds = 0.0;  ///< distributed matvec epoch (0 if skipped)
+  simmpi::RepartitionDecision decision;  ///< incremental route only
+};
+
+struct CampaignResult {
+  std::vector<StepMetrics> steps;
+
+  [[nodiscard]] double total_repartition_seconds() const;
+  [[nodiscard]] double total_sort_seconds() const;
+  [[nodiscard]] double total_predicted_seconds() const;
+  [[nodiscard]] double mean_change_fraction() const;  ///< over steps >= 1
+};
+
+class Driver {
+ public:
+  /// Builds the initial mesh: uniform at min_level, refined to the t=0
+  /// error fixpoint (capped at max_level), 2:1 balanced.
+  Driver(const Scenario& scenario, const sfc::Curve& curve,
+         const machine::PerfModel& model, const DriverOptions& options);
+
+  /// Advance one step; returns its metrics. Steps past options.steps keep
+  /// advancing with t clamped to 1.
+  StepMetrics step();
+
+  /// Run the remaining steps of the campaign and collect the results.
+  [[nodiscard]] CampaignResult run();
+
+  [[nodiscard]] int steps_done() const { return steps_done_; }
+  /// The adapted global tree (sorted, complete, 2:1 balanced).
+  [[nodiscard]] const std::vector<octree::Octant>& tree() const { return tree_; }
+  /// Hysteresis counters aligned with tree() (for tests).
+  [[nodiscard]] std::span<const int> deref_counters() const { return deref_; }
+  /// Per-rank slices of the current epoch (concatenation == tree()).
+  [[nodiscard]] const std::vector<std::vector<octree::Octant>>& slices() const {
+    return slices_;
+  }
+  [[nodiscard]] const simmpi::SplitterSet& splitters() const { return splitters_; }
+
+  /// Fold a campaign's per-step metrics into a RunMetrics subtree
+  /// ("driver" node: config, per-step children, campaign totals).
+  static void append_campaign(obs::RunMetrics& node, const CampaignResult& result,
+                              const DriverOptions& options, const Scenario& scenario);
+
+ private:
+  void adapt(double t, StepMetrics& m);
+  void repartition(const octree::DeltaStream& global_delta, StepMetrics& m);
+  void solve_epoch(StepMetrics& m);
+
+  Scenario scenario_;
+  sfc::Curve curve_;
+  machine::PerfModel model_;
+  DriverOptions options_;
+
+  std::vector<octree::Octant> tree_;
+  std::vector<sfc::CurveKey> tree_keys_;
+  std::vector<int> deref_;  ///< aligned with tree_
+
+  std::vector<std::vector<octree::Octant>> slices_;
+  std::vector<std::vector<sfc::CurveKey>> slice_keys_;
+  simmpi::SplitterSet splitters_;
+  bool have_epoch_ = false;
+  int steps_done_ = 0;
+};
+
+}  // namespace amr::driver

@@ -1,0 +1,109 @@
+#include "driver/scenario.hpp"
+
+#include <cmath>
+
+namespace amr::driver {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Smooth step: 0 far below the edge, 1 far above, transition width w.
+double edge(double signed_distance, double w) {
+  return 0.5 * (1.0 + std::tanh(signed_distance / w));
+}
+
+double sq(double v) { return v * v; }
+
+}  // namespace
+
+std::string to_string(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kMovingGaussian: return "gaussian";
+    case ScenarioKind::kBlastShell: return "blast";
+    case ScenarioKind::kSlottedCylinder: return "slotted";
+  }
+  return "?";
+}
+
+std::optional<ScenarioKind> scenario_from_string(const std::string& name) {
+  if (name == "gaussian") return ScenarioKind::kMovingGaussian;
+  if (name == "blast") return ScenarioKind::kBlastShell;
+  if (name == "slotted") return ScenarioKind::kSlottedCylinder;
+  return std::nullopt;
+}
+
+double Scenario::value(const std::array<double, 3>& x, double t) const {
+  switch (kind) {
+    case ScenarioKind::kMovingGaussian: {
+      // Bump center sweeps the main diagonal from 0.2 to 0.8.
+      const double c = 0.2 + 0.6 * t;
+      double d2 = sq(x[0] - c) + sq(x[1] - c);
+      if (dim == 3) d2 += sq(x[2] - 0.5);
+      const double sigma = 2.0 * width;
+      return std::exp(-d2 / (2.0 * sigma * sigma));
+    }
+    case ScenarioKind::kBlastShell: {
+      // Shell radius grows from 0.1 to 0.4: the refined band expands and
+      // its area (so the leaf count) grows with it.
+      double d2 = sq(x[0] - 0.5) + sq(x[1] - 0.5);
+      if (dim == 3) d2 += sq(x[2] - 0.5);
+      const double r = 0.1 + 0.3 * t;
+      return std::exp(-sq((std::sqrt(d2) - r) / width));
+    }
+    case ScenarioKind::kSlottedCylinder: {
+      // A disk of radius 0.15 orbiting the domain center at radius 0.25,
+      // with a slot of half-width 0.025 cut from its leading half. The
+      // disk rotates rigidly (one revolution over the campaign), so the
+      // slot's orientation co-rotates: u is the along-slot coordinate.
+      const double theta = 2.0 * kPi * t;
+      const double cx = 0.5 + 0.25 * std::cos(theta);
+      const double cy = 0.5 + 0.25 * std::sin(theta);
+      const double px = x[0] - cx;
+      const double py = x[1] - cy;
+      double d2 = sq(px) + sq(py);
+      if (dim == 3) d2 += sq(x[2] - 0.5);
+      const double disk = edge(0.15 - std::sqrt(d2), width);
+      // Rotate into the disk frame: u across the slot, v along it.
+      const double u = px * std::cos(theta) + py * std::sin(theta);
+      const double v = -px * std::sin(theta) + py * std::cos(theta);
+      const double slot =
+          edge(0.025 - std::abs(u), width) * edge(v, width);
+      return disk * (1.0 - slot);
+    }
+  }
+  return 0.0;
+}
+
+double Scenario::error(const octree::Octant& o, double t) const {
+  const double h = static_cast<double>(o.size()) /
+                   static_cast<double>(1U << octree::kMaxDepth);
+  auto center = o.anchor_unit();
+  center[0] += 0.5 * h;
+  center[1] += 0.5 * h;
+  if (dim == 3) center[2] += 0.5 * h;
+  const double phi_c = value(center, t);
+  double err = 0.0;
+  for (int axis = 0; axis < dim; ++axis) {
+    for (const double sign : {-0.5, 0.5}) {
+      auto s = center;
+      s[static_cast<std::size_t>(axis)] += sign * h;
+      err = std::max(err, std::abs(value(s, t) - phi_c));
+    }
+  }
+  return err;
+}
+
+Scenario make_scenario(ScenarioKind kind, int dim) {
+  Scenario s;
+  s.kind = kind;
+  s.dim = dim;
+  return s;
+}
+
+std::array<ScenarioKind, 3> all_scenarios() {
+  return {ScenarioKind::kMovingGaussian, ScenarioKind::kBlastShell,
+          ScenarioKind::kSlottedCylinder};
+}
+
+}  // namespace amr::driver

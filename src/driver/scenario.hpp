@@ -1,0 +1,62 @@
+// Time-dependent scenario generators for the dynamic AMR driver.
+//
+// A Scenario is an analytic field phi(x, t) over the unit cube whose sharp
+// feature moves as t advances from 0 to 1 -- the solution stand-in that
+// drives refinement. The three kinds cover the classic dynamic-AMR motions
+// (cf. the Athena problem generators referenced in SNIPPETS.md §1-2):
+//
+//   kMovingGaussian   a Gaussian bump translating along the main diagonal
+//                     (the amr_cycle example's moving front, made a field)
+//   kBlastShell       a thin spherical shell expanding from the center --
+//                     the blast-wave shape: the refined region *grows*
+//   kSlottedCylinder  a Zalesak-style slotted disk rotating about the
+//                     domain center -- rigid rotation, so the refined
+//                     region translates without changing size, and the
+//                     slot keeps a sub-feature in play
+//
+// The driver never sees the field directly: it asks for an error indicator
+// per leaf, a face-sampled gradient estimate err = max_f |phi(face_f) -
+// phi(center)| (the discrete-derivative detector of Athena's
+// RefinementCondition, SNIPPETS.md §1). err scales with h*|grad phi|, so
+// refining a flagged cell halves its indicator -- exactly the feedback a
+// threshold pair (refine above, coarsen below) needs to converge to a
+// graded mesh that tracks the feature.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "octree/octant.hpp"
+
+namespace amr::driver {
+
+enum class ScenarioKind { kMovingGaussian, kBlastShell, kSlottedCylinder };
+
+[[nodiscard]] std::string to_string(ScenarioKind kind);
+[[nodiscard]] std::optional<ScenarioKind> scenario_from_string(const std::string& name);
+
+struct Scenario {
+  ScenarioKind kind = ScenarioKind::kMovingGaussian;
+  int dim = 3;
+
+  /// Feature sharpness: the length scale of the field's transition band.
+  /// Cells with h >> width get large indicators near the feature.
+  double width = 0.03;
+
+  /// Field value at unit-cube point `x` and campaign time `t` in [0, 1].
+  [[nodiscard]] double value(const std::array<double, 3>& x, double t) const;
+
+  /// Face-sampled error indicator for a leaf: the largest field difference
+  /// between the cell center and its 2*dim face midpoints. In [0, ~1] for
+  /// the unit-amplitude fields above.
+  [[nodiscard]] double error(const octree::Octant& o, double t) const;
+};
+
+/// A scenario of the given kind with the default feature parameters.
+[[nodiscard]] Scenario make_scenario(ScenarioKind kind, int dim = 3);
+
+/// All three kinds, for campaign sweeps.
+[[nodiscard]] std::array<ScenarioKind, 3> all_scenarios();
+
+}  // namespace amr::driver

@@ -9,6 +9,7 @@
 #include "machine/machine_model.hpp"
 #include "machine/perf_model.hpp"
 #include "mesh/mesh.hpp"
+#include "octree/incremental.hpp"
 #include "octree/treesort.hpp"
 #include "partition/partition.hpp"
 #include "simmpi/dist_fem.hpp"
@@ -255,27 +256,9 @@ void run_matvec_case(const CaseSpec& spec,
   }
 }
 
-/// Local replay of tree_sort_incremental's delete sanitizer + edit
-/// application, so the oracle can build the edited stream independently.
-std::vector<Octant> apply_delta(const std::vector<Octant>& elements,
-                                const octree::DeltaStream& delta) {
-  std::vector<std::size_t> del = delta.delete_positions;
-  std::sort(del.begin(), del.end());
-  del.erase(std::unique(del.begin(), del.end()), del.end());
-  while (!del.empty() && del.back() >= elements.size()) del.pop_back();
-  std::vector<Octant> out;
-  out.reserve(elements.size() - del.size() + delta.inserts.size());
-  std::size_t d = 0;
-  for (std::size_t i = 0; i < elements.size(); ++i) {
-    if (d < del.size() && del[d] == i) {
-      ++d;
-      continue;
-    }
-    out.push_back(elements[i]);
-  }
-  out.insert(out.end(), delta.inserts.begin(), delta.inserts.end());
-  return out;
-}
+/// The oracle builds the edited stream with the library's own positional
+/// replay (octree::apply_delta), which mirrors tree_sort_incremental's
+/// delete sanitizer exactly.
 
 /// Incremental-repartitioning differential stage. Establishes the previous
 /// epoch with a from-scratch tolerance-0 sort, derives each rank's delta
@@ -319,7 +302,7 @@ void run_incremental_case(const CaseSpec& spec,
   std::vector<std::vector<Octant>> edited(p);
   for (std::size_t r = 0; r < p; ++r) {
     deltas[r] = make_delta(spec, static_cast<int>(r), prev[r].size());
-    edited[r] = apply_delta(prev[r], deltas[r]);
+    edited[r] = octree::apply_delta(prev[r], deltas[r]);
   }
 
   // From-scratch ground truth over the edited stream.
@@ -382,6 +365,36 @@ void run_incremental_case(const CaseSpec& spec,
       o.fail("incremental splitters differ from from-scratch (rank " +
              std::to_string(r) + ")");
       break;
+    }
+  }
+
+  // diff_sorted differential oracle (the driver's adaptation -> delta
+  // glue): diffing the previous global order against the edited+re-sorted
+  // one must yield a delta whose replay through tree_sort_incremental
+  // reproduces the new order -- elements and key cache -- bit for bit.
+  {
+    std::vector<Octant> old_all;
+    std::vector<Octant> new_all;
+    for (std::size_t r = 0; r < p; ++r) {
+      old_all.insert(old_all.end(), prev[r].begin(), prev[r].end());
+      new_all.insert(new_all.end(), scratch[r].begin(), scratch[r].end());
+    }
+    const auto old_keys = sfc::keys_of(curve, old_all);
+    const auto new_keys = sfc::keys_of(curve, new_all);
+    const octree::DeltaStream global_delta =
+        octree::diff_sorted(old_all, old_keys, new_all, new_keys);
+    if (old_all.size() - global_delta.delete_positions.size() +
+            global_delta.inserts.size() !=
+        new_all.size()) {
+      o.fail("diff_sorted delta sizes are inconsistent with the two orders");
+    }
+    std::vector<Octant> replay = old_all;
+    std::vector<sfc::CurveKey> replay_keys = old_keys;
+    (void)octree::tree_sort_incremental(replay, replay_keys, curve, global_delta);
+    if (replay != new_all) {
+      o.fail("replaying the diff_sorted delta does not reproduce the new order");
+    } else if (replay_keys != new_keys) {
+      o.fail("replaying the diff_sorted delta left a stale key cache");
     }
   }
 

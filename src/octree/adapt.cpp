@@ -1,13 +1,22 @@
 #include "octree/adapt.hpp"
 
-#include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace amr::octree {
 
 std::vector<Octant> refine_octree(std::span<const Octant> tree, const sfc::Curve& curve,
                                   const std::function<bool(const Octant&)>& should_refine) {
+  // Pre-count split leaves so the reservation is exact: each split replaces
+  // one leaf with 2^dim children, so reserving tree.size() under-reserves
+  // by (children-1) per split and refine-heavy steps reallocate repeatedly.
+  const std::size_t children = static_cast<std::size_t>(curve.num_children());
+  std::size_t splits = 0;
+  for (const Octant& leaf : tree) {
+    if (static_cast<int>(leaf.level) < kMaxDepth && should_refine(leaf)) ++splits;
+  }
   std::vector<Octant> out;
-  out.reserve(tree.size());
+  out.reserve(tree.size() + splits * (children - 1));
   for (const Octant& leaf : tree) {
     if (static_cast<int>(leaf.level) < kMaxDepth && should_refine(leaf)) {
       const int state = curve.state_at(leaf, leaf.level);
@@ -21,9 +30,26 @@ std::vector<Octant> refine_octree(std::span<const Octant> tree, const sfc::Curve
   return out;
 }
 
-std::vector<Octant> coarsen_octree_if(std::span<const Octant> tree,
-                                      const sfc::Curve& curve,
-                                      const std::function<bool(const Octant&)>& may_coarsen) {
+int refine_to_fixpoint(std::vector<Octant>& tree, const sfc::Curve& curve,
+                       const std::function<bool(const Octant&)>& should_refine) {
+  int rounds = 0;
+  // Each productive round deepens at least one leaf and kMaxDepth leaves
+  // never split, so kMaxDepth rounds bound any possible progress; the
+  // explicit cap makes the loop terminate even under a predicate that
+  // always answers true.
+  for (int r = 0; r < kMaxDepth; ++r) {
+    auto refined = refine_octree(tree, curve, should_refine);
+    if (refined.size() == tree.size()) break;
+    tree = std::move(refined);
+    ++rounds;
+  }
+  return rounds;
+}
+
+std::vector<Octant> coarsen_octree_if(
+    std::span<const Octant> tree, const sfc::Curve& curve,
+    const std::function<bool(const Octant& parent, std::size_t group_begin)>&
+        may_coarsen) {
   const auto children = static_cast<std::size_t>(curve.num_children());
   std::vector<Octant> out;
   out.reserve(tree.size());
@@ -40,7 +66,7 @@ std::vector<Octant> coarsen_octree_if(std::span<const Octant> tree,
         const Octant& sib = tree[i + k];
         group = sib.level == leaf.level && sib.level > 0 && sib.parent() == parent;
       }
-      if (group && may_coarsen(parent)) {
+      if (group && may_coarsen(parent, i)) {
         out.push_back(parent);
         i += children;
         merged = true;
@@ -52,6 +78,14 @@ std::vector<Octant> coarsen_octree_if(std::span<const Octant> tree,
     }
   }
   return out;
+}
+
+std::vector<Octant> coarsen_octree_if(std::span<const Octant> tree,
+                                      const sfc::Curve& curve,
+                                      const std::function<bool(const Octant&)>& may_coarsen) {
+  return coarsen_octree_if(
+      tree, curve,
+      [&](const Octant& parent, std::size_t) { return may_coarsen(parent); });
 }
 
 std::vector<Octant> coarsen_octree(std::span<const Octant> tree, const sfc::Curve& curve,
@@ -71,16 +105,31 @@ std::vector<std::pair<std::size_t, std::size_t>> coarse_to_fine_ranges(
   std::vector<std::pair<std::size_t, std::size_t>> ranges;
   ranges.reserve(coarse.size());
   std::size_t cursor = 0;
-  for (const Octant& cell : coarse) {
+  for (std::size_t c = 0; c < coarse.size(); ++c) {
+    const Octant& cell = coarse[c];
     const std::size_t begin = cursor;
     while (cursor < fine.size() &&
            (fine[cursor] == cell || cell.is_ancestor_of(fine[cursor]))) {
       ++cursor;
     }
-    assert(cursor > begin && "coarse cell covers no fine leaves");
+    if (cursor == begin) {
+      // An empty coarse cell means the inputs are not a coarse/fine pair of
+      // the same domain (or are sorted by different curves). Returning a
+      // zero-width range would silently mis-map every later cell, so fail
+      // loudly in every build type.
+      throw std::invalid_argument(
+          "coarse_to_fine_ranges: coarse cell " + std::to_string(c) + " (" +
+          cell.to_string() + ") covers no fine leaves at fine index " +
+          std::to_string(cursor));
+    }
     ranges.emplace_back(begin, cursor);
   }
-  assert(cursor == fine.size() && "fine leaves left uncovered");
+  if (cursor != fine.size()) {
+    throw std::invalid_argument(
+        "coarse_to_fine_ranges: " + std::to_string(fine.size() - cursor) +
+        " fine leaves from index " + std::to_string(cursor) +
+        " are covered by no coarse cell");
+  }
   (void)curve;
   return ranges;
 }

@@ -21,10 +21,19 @@ namespace amr::octree {
 
 /// Split every leaf for which `should_refine` returns true (children are
 /// emitted in curve order; output stays complete, linear, sorted). Leaves
-/// at kMaxDepth are never split.
+/// at kMaxDepth are never split. The output reservation is exact (split
+/// leaves are pre-counted), so refine-heavy steps do not reallocate.
 [[nodiscard]] std::vector<Octant> refine_octree(
     std::span<const Octant> tree, const sfc::Curve& curve,
     const std::function<bool(const Octant&)>& should_refine);
+
+/// Repeated refinement until no leaf asks to split (children created by one
+/// round are offered to `should_refine` in the next). Guaranteed to
+/// terminate: levels only grow and kMaxDepth leaves never split, so at most
+/// kMaxDepth rounds can make progress; a further no-progress round ends the
+/// loop. Returns the number of rounds that changed the tree.
+int refine_to_fixpoint(std::vector<Octant>& tree, const sfc::Curve& curve,
+                       const std::function<bool(const Octant&)>& should_refine);
 
 /// Merge every complete group of 2^dim sibling leaves for which
 /// `may_coarsen(parent)` returns true into its parent. One sweep; call
@@ -33,6 +42,15 @@ namespace amr::octree {
     std::span<const Octant> tree, const sfc::Curve& curve,
     const std::function<bool(const Octant&)>& may_coarsen);
 
+/// Indexed overload: the predicate also receives the index (into `tree`) of
+/// the group's first leaf, so callers holding per-leaf state aligned with
+/// the tree (error indicators, hysteresis counters) can inspect all 2^dim
+/// children of a candidate group without a search.
+[[nodiscard]] std::vector<Octant> coarsen_octree_if(
+    std::span<const Octant> tree, const sfc::Curve& curve,
+    const std::function<bool(const Octant& parent, std::size_t group_begin)>&
+        may_coarsen);
+
 /// Merge complete sibling groups unconditionally, `levels` times.
 [[nodiscard]] std::vector<Octant> coarsen_octree(std::span<const Octant> tree,
                                                  const sfc::Curve& curve, int levels);
@@ -40,7 +58,10 @@ namespace amr::octree {
 /// For each coarse cell, the index range [begin, end) of fine leaves it
 /// covers. Precondition: every fine leaf is contained in exactly one
 /// coarse cell (e.g. coarse = coarsen_octree(fine)). Both trees sorted by
-/// the same curve.
+/// the same curve. A violated precondition (a coarse cell covering no fine
+/// leaves, or fine leaves no coarse cell covers) throws
+/// std::invalid_argument in every build type -- silently wrong ranges are
+/// never returned.
 [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> coarse_to_fine_ranges(
     std::span<const Octant> fine, std::span<const Octant> coarse,
     const sfc::Curve& curve);

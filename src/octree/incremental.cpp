@@ -170,6 +170,54 @@ IncrementalSortReport tree_sort_incremental(std::vector<Octant>& elements,
   return report;
 }
 
+DeltaStream diff_sorted(std::span<const Octant> old_elements,
+                        std::span<const sfc::CurveKey> old_keys,
+                        std::span<const Octant> new_elements,
+                        std::span<const sfc::CurveKey> new_keys) {
+  assert(old_elements.size() == old_keys.size() &&
+         new_elements.size() == new_keys.size() &&
+         "key caches must be aligned with their arrays");
+  assert(sfc::is_key_sorted(old_keys) && sfc::is_key_sorted(new_keys) &&
+         "diff_sorted requires both sides in curve order");
+  DeltaStream delta;
+  std::size_t i = 0, j = 0;
+  while (i < old_elements.size() && j < new_elements.size()) {
+    if (old_keys[i] == new_keys[j]) {  // survivor (duplicates pair up)
+      ++i;
+      ++j;
+    } else if (old_keys[i] < new_keys[j]) {  // gone from the new tree
+      delta.delete_positions.push_back(i);
+      ++i;
+    } else {  // created by the adaptation
+      delta.inserts.push_back(new_elements[j]);
+      ++j;
+    }
+  }
+  for (; i < old_elements.size(); ++i) delta.delete_positions.push_back(i);
+  for (; j < new_elements.size(); ++j) delta.inserts.push_back(new_elements[j]);
+  return delta;
+}
+
+std::vector<Octant> apply_delta(std::span<const Octant> elements,
+                                const DeltaStream& delta) {
+  std::vector<std::size_t> del = delta.delete_positions;
+  std::sort(del.begin(), del.end());
+  del.erase(std::unique(del.begin(), del.end()), del.end());
+  while (!del.empty() && del.back() >= elements.size()) del.pop_back();
+  std::vector<Octant> out;
+  out.reserve(elements.size() - del.size() + delta.inserts.size());
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    if (d < del.size() && del[d] == i) {
+      ++d;
+      continue;
+    }
+    out.push_back(elements[i]);
+  }
+  out.insert(out.end(), delta.inserts.begin(), delta.inserts.end());
+  return out;
+}
+
 void merge_keyed_runs(std::span<const Octant> a, std::span<const sfc::CurveKey> a_keys,
                       std::span<const Octant> b, std::span<const sfc::CurveKey> b_keys,
                       std::vector<Octant>& out, std::vector<sfc::CurveKey>& out_keys,

@@ -80,6 +80,33 @@ IncrementalSortReport tree_sort_incremental(
     const sfc::Curve& curve, const DeltaStream& delta,
     const IncrementalSortOptions& options = {});
 
+/// The structural difference of two sorted, key-cached arrays as a
+/// DeltaStream against `old_elements`: delete_positions are the indices of
+/// old elements absent from `new_elements`, inserts are the new elements
+/// absent from the old array (in key order). This is the glue between a
+/// mesh adaptation step -- refine/coarsen/balance all preserve curve order,
+/// so the adapted tree is itself a sorted array -- and the incremental
+/// sort/partition path: applying the returned delta via
+/// tree_sort_incremental reproduces `new_elements` bit for bit (the
+/// differential oracle pinned by the fuzz harness). Keys must be aligned
+/// with their arrays and non-decreasing; duplicates pair up positionally,
+/// so only the surplus on either side becomes a delete or insert. One
+/// two-pointer streaming pass, O(|old| + |new|).
+[[nodiscard]] DeltaStream diff_sorted(std::span<const Octant> old_elements,
+                                      std::span<const sfc::CurveKey> old_keys,
+                                      std::span<const Octant> new_elements,
+                                      std::span<const sfc::CurveKey> new_keys);
+
+/// Apply `delta` to `elements` positionally *without* sorting: survivors
+/// (in their original order) followed by the inserts (in delta order).
+/// Delete positions are sanitized exactly like tree_sort_incremental
+/// (sorted, deduplicated, out-of-range dropped), so for any delta
+/// tree_sort(apply_delta(elements, delta)) equals the array
+/// tree_sort_incremental produces -- the replay both the fuzz oracles and
+/// the driver's from-scratch route use to build the edited stream.
+[[nodiscard]] std::vector<Octant> apply_delta(std::span<const Octant> elements,
+                                              const DeltaStream& delta);
+
 /// Threaded two-way merge of two key-sorted runs into `out`: the building
 /// block the distributed incremental exchange reuses to assemble its kept
 /// slice with the (small) incoming pieces without a full local re-sort.

@@ -651,7 +651,6 @@ SpliceResult splice_local_delta(std::vector<Octant>& local,
                                 const sfc::Curve& curve,
                                 const octree::DeltaStream& delta,
                                 const DistIncrementalOptions& options) {
-  util::Timer timer;
   const std::vector<std::uint64_t> stats = {
       static_cast<std::uint64_t>(delta.inserts.size() +
                                  delta.delete_positions.size()),
@@ -671,6 +670,12 @@ SpliceResult splice_local_delta(std::vector<Octant>& local,
   octree::IncrementalSortOptions iopt;
   iopt.fallback_change_fraction =
       result.merge_path ? std::numeric_limits<double>::infinity() : 0.0;
+  // Time only the local splice: merge_seconds is compared against the
+  // from-scratch route's local_sort_seconds, which likewise excludes
+  // communication, so the route-decision allreduce above must not be
+  // charged to the merge (at small slices the barrier would dominate and
+  // drown the very effect the timer exists to show).
+  util::Timer timer;
   octree::tree_sort_incremental(local, keys, curve, delta, iopt);
   result.seconds = timer.seconds();
   return result;

@@ -3,6 +3,9 @@
 // range mapping is exact.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <utility>
+
 #include "octree/adapt.hpp"
 #include "octree/generate.hpp"
 #include "octree/treesort.hpp"
@@ -127,6 +130,113 @@ TEST(Adapt, CoarseToFineRangesCoverExactly) {
     }
     EXPECT_EQ(cursor, fine.size());
   }
+}
+
+TEST(Adapt, RefineReservationIsExact) {
+  // The reservation pre-counts split leaves, so refine-heavy rounds must
+  // come back with capacity == size (no reallocation, no over-reserve).
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto tree = make_tree(CurveKind::kHilbert, 3000, 5);
+  for (const double fraction : {0.0, 0.3, 1.0}) {
+    const auto refined = refine_octree(tree, curve, [&](const Octant& o) {
+      return o.anchor_unit()[0] < fraction && o.level < 10;
+    });
+    EXPECT_EQ(refined.capacity(), refined.size()) << "fraction " << fraction;
+  }
+}
+
+TEST(Adapt, RefineToFixpointStopsAtPredicateFixpoint) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  std::vector<Octant> tree{root_octant()};
+  const int rounds = refine_to_fixpoint(
+      tree, curve, [](const Octant& o) { return o.level < 4; });
+  EXPECT_EQ(rounds, 4);
+  EXPECT_EQ(tree.size(), std::size_t{1} << 12);  // uniform level 4
+  EXPECT_TRUE(is_complete(tree, curve));
+}
+
+TEST(Adapt, RefineToFixpointTerminatesAtMaxDepth) {
+  // An always-eager predicate along one corner chain wants to refine
+  // forever; kMaxDepth leaves cannot split, so the loop must end on its
+  // own after exactly kMaxDepth productive rounds.
+  const Curve curve(CurveKind::kMorton, 3);
+  std::vector<Octant> tree{root_octant()};
+  const int rounds = refine_to_fixpoint(tree, curve, [](const Octant& o) {
+    return o.x == 0 && o.y == 0 && o.z == 0;  // the origin chain, any level
+  });
+  EXPECT_EQ(rounds, kMaxDepth);
+  EXPECT_EQ(tree.size(), 1U + 7U * static_cast<unsigned>(kMaxDepth));
+  for (const Octant& o : tree) EXPECT_LE(static_cast<int>(o.level), kMaxDepth);
+  EXPECT_TRUE(is_complete(tree, curve));
+}
+
+TEST(Adapt, IndexedCoarsenSeesTheWholeSiblingGroup) {
+  // The indexed overload must hand back the position of each *complete*
+  // group's first leaf even when partial sibling runs (split children)
+  // sit right next to it.
+  const Curve curve(CurveKind::kHilbert, 3);
+  auto tree = uniform_octree(1, curve);
+  // Split one child: its 8 grandchildren form a complete group; the 7
+  // remaining level-1 leaves are a partial run of the root's group.
+  tree = refine_octree(tree, curve,
+                       [&](const Octant& o) { return o == root_octant().child(0); });
+  std::vector<std::pair<Octant, std::size_t>> offers;
+  const auto coarsened = coarsen_octree_if(
+      tree, curve, [&](const Octant& parent, std::size_t group_begin) {
+        offers.emplace_back(parent, group_begin);
+        // Every offered group must be 8 consecutive children of `parent`.
+        for (int c = 0; c < 8; ++c) {
+          EXPECT_TRUE(parent.is_ancestor_of(tree[group_begin + c]));
+          EXPECT_EQ(static_cast<int>(tree[group_begin + c].level),
+                    static_cast<int>(parent.level) + 1);
+        }
+        return false;  // observe only
+      });
+  // Only the split child's group is complete; the root's partial run of 7
+  // level-1 leaves must never be offered.
+  ASSERT_EQ(offers.size(), 1U);
+  EXPECT_EQ(offers[0].first, root_octant().child(0));
+  EXPECT_EQ(coarsened, tree);  // predicate declined: nothing merged
+}
+
+TEST(Adapt, IndexedCoarsenHonorsPerLeafState) {
+  // Per-leaf counters aligned with the tree (the driver's hysteresis):
+  // only groups whose every child passes the counter check may merge.
+  const Curve curve(CurveKind::kMorton, 3);
+  const auto tree = uniform_octree(2, curve);  // 8 complete groups of 8
+  std::vector<int> counters(tree.size(), 0);
+  // Arm all counters of the first two groups, and 7/8 of the third.
+  for (std::size_t i = 0; i < 23; ++i) counters[i] = 1;
+  const auto coarsened = coarsen_octree_if(
+      tree, curve, [&](const Octant&, std::size_t group_begin) {
+        for (std::size_t c = 0; c < 8; ++c) {
+          if (counters[group_begin + c] < 1) return false;
+        }
+        return true;
+      });
+  // Two groups merge (16 leaves -> 2 parents); the 7/8 group survives.
+  EXPECT_EQ(coarsened.size(), tree.size() - 2 * 8 + 2);
+  EXPECT_TRUE(is_complete(coarsened, curve));
+}
+
+TEST(Adapt, CoarseToFineRangesThrowsOnEmptyCoarseCell) {
+  // Regression: precondition violations used to be assert-only, returning
+  // silently wrong ranges in release builds. A coarse tree *deeper* than
+  // the fine tree has cells covering no fine leaf -> must throw.
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto fine = uniform_octree(1, curve);
+  const auto coarse = uniform_octree(2, curve);
+  EXPECT_THROW((void)coarse_to_fine_ranges(fine, coarse, curve),
+               std::invalid_argument);
+}
+
+TEST(Adapt, CoarseToFineRangesThrowsOnUncoveredFineLeaves) {
+  const Curve curve(CurveKind::kHilbert, 3);
+  const auto fine = uniform_octree(2, curve);
+  auto coarse = uniform_octree(1, curve);
+  coarse.pop_back();  // the last coarse cell's fine leaves are now orphans
+  EXPECT_THROW((void)coarse_to_fine_ranges(fine, coarse, curve),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,268 @@
+// Dynamic AMR driver tests: scenario indicator sanity, hysteresis
+// counters across steps, invariant preservation over a campaign, the
+// diff_sorted / apply_delta differential oracle, and bit-identity of the
+// incremental repartition route against the from-scratch route with the
+// migration term off.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "driver/driver.hpp"
+#include "machine/machine_model.hpp"
+#include "octree/adapt.hpp"
+#include "octree/balance.hpp"
+#include "octree/generate.hpp"
+#include "octree/incremental.hpp"
+#include "octree/treesort.hpp"
+
+namespace amr::driver {
+namespace {
+
+machine::PerfModel model_with_factor(double migration_cost_factor) {
+  machine::ApplicationProfile app;
+  app.migration_cost_factor = migration_cost_factor;
+  return {machine::wisconsin8(), app};
+}
+
+DriverOptions small_options() {
+  DriverOptions options;
+  options.ranks = 4;
+  options.steps = 4;
+  options.min_level = 2;
+  options.max_level = 5;
+  options.matvec_iterations = 0;  // partition-only: keep the test fast
+  return options;
+}
+
+TEST(Scenario, FieldsAreBoundedAndFeatureLocalized) {
+  for (const ScenarioKind kind : all_scenarios()) {
+    const Scenario s = make_scenario(kind, 2);
+    for (const double t : {0.0, 0.5, 1.0}) {
+      double max_value = 0.0;
+      for (int i = 0; i < 32; ++i) {
+        for (int j = 0; j < 32; ++j) {
+          const double v =
+              s.value({(i + 0.5) / 32.0, (j + 0.5) / 32.0, 0.5}, t);
+          EXPECT_GE(v, -1e-12) << to_string(kind);
+          EXPECT_LE(v, 1.0 + 1e-12) << to_string(kind);
+          max_value = std::max(max_value, v);
+        }
+      }
+      // The feature is somewhere in the domain at every time.
+      EXPECT_GT(max_value, 0.5) << to_string(kind) << " t=" << t;
+    }
+  }
+}
+
+TEST(Scenario, ErrorIndicatorHalvesWithRefinement) {
+  // err ~ h*|grad phi|: a leaf's indicator should dominate its children's.
+  const sfc::Curve curve(sfc::CurveKind::kHilbert, 2);
+  const Scenario s = make_scenario(ScenarioKind::kMovingGaussian, 2);
+  auto tree = octree::uniform_octree(3, curve);
+  double flagged = 0.0;
+  for (const auto& o : tree) {
+    const double err = s.error(o, 0.0);
+    if (err < 0.05) continue;
+    ++flagged;
+    double child_max = 0.0;
+    for (int c = 0; c < 4; ++c) {
+      child_max = std::max(child_max, s.error(o.child(c, 2), 0.0));
+    }
+    EXPECT_LT(child_max, 1.5 * err);
+  }
+  EXPECT_GT(flagged, 0.0);  // the bump flags someone at level 3
+}
+
+TEST(Driver, CampaignPreservesInvariantsAndConservation) {
+  const sfc::Curve curve(sfc::CurveKind::kHilbert, 2);
+  const Scenario s = make_scenario(ScenarioKind::kMovingGaussian, 2);
+  Driver drv(s, curve, model_with_factor(1.0), small_options());
+  for (int i = 0; i < 4; ++i) {
+    const StepMetrics m = drv.step();
+    EXPECT_TRUE(octree::is_complete(drv.tree(), curve));
+    EXPECT_TRUE(octree::is_face_balanced(drv.tree(), curve));
+    EXPECT_EQ(m.leaves, drv.tree().size());
+    // Conservation: the rank slices concatenate to exactly the global tree.
+    std::vector<octree::Octant> all;
+    for (const auto& slice : drv.slices()) {
+      all.insert(all.end(), slice.begin(), slice.end());
+    }
+    EXPECT_EQ(all, drv.tree());
+    // Splitter cuts partition the global size.
+    ASSERT_EQ(drv.splitters().cuts.size(), 5U);
+    EXPECT_EQ(drv.splitters().cuts.back(), drv.tree().size());
+    // Counters stay aligned and bounded by the adapt steps taken.
+    ASSERT_EQ(drv.deref_counters().size(), drv.tree().size());
+    for (const int c : drv.deref_counters()) {
+      EXPECT_GE(c, 0);
+      EXPECT_LE(c, i);
+    }
+  }
+}
+
+TEST(Driver, FirstStepIsFirstEpochWithNoMigration) {
+  const sfc::Curve curve(sfc::CurveKind::kHilbert, 2);
+  const Scenario s = make_scenario(ScenarioKind::kBlastShell, 2);
+  Driver drv(s, curve, model_with_factor(1.0), small_options());
+  const StepMetrics m0 = drv.step();
+  EXPECT_TRUE(m0.first_epoch);
+  EXPECT_EQ(m0.migrated, 0U);
+  EXPECT_EQ(m0.delta_inserts, 0U);
+  EXPECT_EQ(m0.delta_deletes, 0U);
+  const StepMetrics m1 = drv.step();
+  EXPECT_FALSE(m1.first_epoch);
+  EXPECT_GT(m1.delta_inserts + m1.delta_deletes, 0U);
+}
+
+TEST(Driver, HysteresisDelaysCoarsening) {
+  // With an effectively infinite deref_count nothing ever coarsens; with
+  // deref_count 1 the mesh coarsens behind the moving feature. Identical
+  // options otherwise, so the difference is the hysteresis counter alone.
+  const sfc::Curve curve(sfc::CurveKind::kHilbert, 2);
+  const Scenario s = make_scenario(ScenarioKind::kMovingGaussian, 2);
+
+  DriverOptions frozen = small_options();
+  frozen.steps = 5;
+  frozen.deref_count = 1000000;
+  Driver locked(s, curve, model_with_factor(1.0), frozen);
+  std::size_t coarsened_locked = 0;
+  for (int i = 0; i < 5; ++i) coarsened_locked += locked.step().coarsened;
+  EXPECT_EQ(coarsened_locked, 0U);
+
+  DriverOptions eager = small_options();
+  eager.steps = 5;
+  eager.deref_count = 1;
+  Driver moving(s, curve, model_with_factor(1.0), eager);
+  std::size_t coarsened_eager = 0;
+  for (int i = 0; i < 5; ++i) coarsened_eager += moving.step().coarsened;
+  EXPECT_GT(coarsened_eager, 0U);
+}
+
+TEST(Driver, DerefCountDelaysTheFirstMerge) {
+  // A group can only merge once its children have asked deref_count
+  // consecutive times; step 0 runs no adaptation and each later step
+  // increments the streak at most once, so no coarsening can happen
+  // before global step K.
+  const sfc::Curve curve(sfc::CurveKind::kHilbert, 2);
+  const Scenario s = make_scenario(ScenarioKind::kMovingGaussian, 2);
+  DriverOptions options = small_options();
+  options.steps = 6;
+  options.deref_count = 3;
+  Driver drv(s, curve, model_with_factor(1.0), options);
+  for (int i = 0; i < 6; ++i) {
+    const StepMetrics m = drv.step();
+    if (m.step < options.deref_count) {
+      EXPECT_EQ(m.coarsened, 0U) << "step " << m.step;
+    }
+  }
+}
+
+TEST(Driver, DiffAndReplayRoundTrip) {
+  // diff_sorted of consecutive driver trees replayed through
+  // tree_sort_incremental must reproduce the new tree bit for bit.
+  const sfc::Curve curve(sfc::CurveKind::kHilbert, 2);
+  const Scenario s = make_scenario(ScenarioKind::kSlottedCylinder, 2);
+  DriverOptions options = small_options();
+  options.deref_count = 1;
+  Driver drv(s, curve, model_with_factor(1.0), options);
+  std::vector<octree::Octant> old_tree = drv.tree();
+  std::vector<sfc::CurveKey> old_keys = sfc::keys_of(curve, old_tree);
+  for (int i = 0; i < 4; ++i) {
+    (void)drv.step();
+    const auto& new_tree = drv.tree();
+    const auto new_keys = sfc::keys_of(curve, new_tree);
+    const octree::DeltaStream delta =
+        octree::diff_sorted(old_tree, old_keys, new_tree, new_keys);
+    auto replay = old_tree;
+    auto replay_keys = old_keys;
+    (void)octree::tree_sort_incremental(replay, replay_keys, curve, delta);
+    EXPECT_EQ(replay, new_tree);
+    EXPECT_EQ(replay_keys, new_keys);
+    // apply_delta + full sort agrees too (unsorted replay of the same delta).
+    auto edited = octree::apply_delta(old_tree, delta);
+    octree::tree_sort(edited, curve);
+    EXPECT_EQ(edited, new_tree);
+    old_tree = new_tree;
+    old_keys = new_keys;
+  }
+}
+
+class RouteIdentityTest : public ::testing::TestWithParam<Partitioner> {};
+
+TEST_P(RouteIdentityTest, IncrementalMatchesFromScratchWithFactorZero) {
+  // With migration_cost_factor 0 the incremental route must adopt the
+  // model-best candidate unconditionally, making the whole campaign --
+  // slices, cuts, splitter codes -- bit-identical to re-partitioning from
+  // scratch every step (the fuzz-pinned property, driven end to end).
+  const sfc::Curve curve(sfc::CurveKind::kHilbert, 2);
+  const Scenario s = make_scenario(ScenarioKind::kMovingGaussian, 2);
+  DriverOptions inc_options = small_options();
+  inc_options.partitioner = GetParam();
+  inc_options.deref_count = 1;
+  inc_options.route = RepartitionRoute::kIncremental;
+  DriverOptions scratch_options = inc_options;
+  scratch_options.route = RepartitionRoute::kFromScratch;
+
+  const machine::PerfModel model0 = model_with_factor(0.0);
+  Driver inc(s, curve, model0, inc_options);
+  Driver scratch(s, curve, model0, scratch_options);
+  for (int i = 0; i < 4; ++i) {
+    const StepMetrics mi = inc.step();
+    const StepMetrics ms = scratch.step();
+    ASSERT_EQ(inc.tree(), scratch.tree()) << "step " << i;
+    EXPECT_EQ(inc.splitters().cuts, scratch.splitters().cuts) << "step " << i;
+    EXPECT_EQ(inc.splitters().codes, scratch.splitters().codes) << "step " << i;
+    for (std::size_t r = 0; r < inc.slices().size(); ++r) {
+      EXPECT_EQ(inc.slices()[r], scratch.slices()[r])
+          << "step " << i << " rank " << r;
+    }
+    EXPECT_EQ(mi.migrated, ms.migrated) << "step " << i;
+    EXPECT_FALSE(mi.kept_previous);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPartitioners, RouteIdentityTest,
+                         ::testing::Values(Partitioner::kOptiPart,
+                                           Partitioner::kEqualSplit),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(Driver, AppendCampaignFoldsTotalsAndSteps) {
+  const sfc::Curve curve(sfc::CurveKind::kHilbert, 2);
+  const Scenario s = make_scenario(ScenarioKind::kBlastShell, 2);
+  DriverOptions options = small_options();
+  options.steps = 3;
+  Driver drv(s, curve, model_with_factor(1.0), options);
+  const CampaignResult result = drv.run();
+  ASSERT_EQ(result.steps.size(), 3U);
+  EXPECT_GT(result.total_repartition_seconds(), 0.0);
+  EXPECT_GT(result.total_predicted_seconds(), 0.0);
+
+  obs::RunMetrics root("run");
+  Driver::append_campaign(root, result, options, s);
+  const obs::RunMetrics* d = root.find("driver");
+  ASSERT_NE(d, nullptr);
+  ASSERT_NE(d->find("config"), nullptr);
+  ASSERT_NE(d->find("totals"), nullptr);
+  EXPECT_EQ(d->find("totals")->get("steps"), 3.0);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_NE(d->find("step." + std::to_string(i)), nullptr) << i;
+  }
+}
+
+TEST(Driver, SolveEpochRunsOnTheNewPartition) {
+  const sfc::Curve curve(sfc::CurveKind::kHilbert, 2);
+  const Scenario s = make_scenario(ScenarioKind::kMovingGaussian, 2);
+  DriverOptions options = small_options();
+  options.steps = 2;
+  options.matvec_iterations = 2;
+  Driver drv(s, curve, model_with_factor(1.0), options);
+  const CampaignResult result = drv.run();
+  for (const StepMetrics& m : result.steps) {
+    EXPECT_GT(m.solve_seconds, 0.0) << "step " << m.step;
+  }
+}
+
+}  // namespace
+}  // namespace amr::driver

@@ -19,9 +19,16 @@
 // --machine <preset> to price against a paper machine instead.
 //
 // Run: ./tools/amr_report [--p 4] [--points-per-rank 2000]
-//      [--iterations 10] [--trace trace.json] [--report report.json]
-//      [--band-low 0.1] [--band-high 10] [--machine host|titan|...]
-//      [--alpha 8|<value>|auto] [--require-complete]
+//      [--iterations 10] [--driver-steps 3] [--trace trace.json]
+//      [--report report.json] [--band-low 0.1] [--band-high 10]
+//      [--machine host|titan|...] [--alpha 8|<value>|auto]
+//      [--require-complete]
+//
+// --driver-steps runs a short dynamic-AMR driver campaign (moving-Gaussian
+// scenario, adapt -> diff -> incremental repartition -> solve) so the trace
+// and the validation table also cover the driver's own spans (driver.adapt,
+// driver.diff) and report.json carries the per-step "driver" subtree; 0
+// skips the stage.
 //
 // --alpha sets the application profile's accesses-per-element; "auto"
 // re-measures it on this host (a sequential KernelPlan matvec timed
@@ -39,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "driver/driver.hpp"
 #include "energy/sampler.hpp"
 #include "fem/engine.hpp"
 #include "machine/machine_model.hpp"
@@ -125,6 +133,7 @@ int main(int argc, char** argv) {
   const std::size_t per_rank =
       static_cast<std::size_t>(args.get_int("points-per-rank", 2000));
   const int iterations = static_cast<int>(args.get_int("iterations", 10));
+  const int driver_steps = static_cast<int>(args.get_int("driver-steps", 3));
   const std::string trace_path = args.get("trace", "trace.json");
   const std::string report_path = args.get("report", "report.json");
   const std::string machine_name = args.get("machine", "host");
@@ -248,6 +257,28 @@ int main(int argc, char** argv) {
     inc_local_sizes[r] = local.size();
   });
 
+  // --- dynamic driver campaign -----------------------------------------
+  // A short amr::Driver campaign so the trace covers the dynamic-AMR
+  // loop's own spans (driver.adapt, driver.diff) and the report carries
+  // the per-step "driver" subtree (DESIGN.md §14). CFL-ish partial sweep:
+  // the Gaussian moves about a fine cell per step, keeping the deltas in
+  // the sorted-merge regime the incremental route audits above.
+  const driver::Scenario scenario =
+      driver::make_scenario(driver::ScenarioKind::kMovingGaussian, 3);
+  driver::DriverOptions driver_options;
+  driver::CampaignResult campaign;
+  if (driver_steps > 0) {
+    driver_options.ranks = p;
+    driver_options.steps = driver_steps;
+    driver_options.min_level = 2;
+    driver_options.max_level = 5;
+    driver_options.t_end = 0.05 * driver_steps;
+    driver_options.deref_count = 1;
+    driver_options.matvec_iterations = 1;
+    driver::Driver drv(scenario, curve, model, driver_options);
+    campaign = drv.run();
+  }
+
   const obs::Snapshot snap = obs::snapshot();
   const auto phases = obs::aggregate_phases(snap);
 
@@ -337,6 +368,25 @@ int main(int argc, char** argv) {
                     static_cast<double>(sizeof(sfc::CurveKey)) +
                 machine.tw * 32.0 * p + machine.ts)});
 
+    // Driver campaign spans. driver.adapt is dominated by the error
+    // estimate -- seven scenario evaluations per leaf (six face samples
+    // plus the center), priced like an alpha-weighted compute pass --
+    // with the structural passes (coarsen/refine/balance) folded in as a
+    // second sweep. driver.diff is the keyed two-pointer walk over the
+    // old and new sorted trees, one streaming pass over both.
+    if (driver_steps > 0 && !campaign.steps.empty()) {
+      double adapted_leaves = 0.0;
+      for (const driver::StepMetrics& m : campaign.steps) {
+        if (!m.first_epoch) adapted_leaves += static_cast<double>(m.leaves);
+      }
+      expected.push_back(
+          {"driver.adapt", 2.0 * model.compute_time(7.0 * adapted_leaves)});
+      expected.push_back(
+          {"driver.diff",
+           machine.tc * 2.0 * adapted_leaves *
+               static_cast<double>(sizeof(octree::Octant) + sizeof(sfc::CurveKey))});
+    }
+
     // Volume-priced rounds: tw on the bytes and ts on the messages the
     // ledger attributed to the phase (averaged per rank -- the counters
     // sum over ranks).
@@ -407,6 +457,11 @@ int main(int argc, char** argv) {
     inc.set("moved_elements", static_cast<double>(inc_decisions[0].moved_elements));
     inc.set("predicted_migration_seconds",
             inc_decisions[0].predicted_migration_seconds);
+
+    // The dynamic driver campaign's per-step ledger (DESIGN.md §14).
+    if (driver_steps > 0 && !campaign.steps.empty()) {
+      driver::Driver::append_campaign(metrics, campaign, driver_options, scenario);
+    }
 
     // Simulated energy: each rank contributes a compute stretch and a
     // communication stretch (its measured matvec phases) to its node's
