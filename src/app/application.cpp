@@ -1,0 +1,29 @@
+#include "app/application.hpp"
+
+#include "app/matvec_app.hpp"
+#include "app/multigrid.hpp"
+
+namespace amr::app {
+
+const Application& matvec_app() {
+  static const MatvecApplication app;
+  return app;
+}
+
+const Application& multigrid_app() {
+  static const MultigridApplication app;
+  return app;
+}
+
+const Application* application_by_name(const std::string& name) {
+  for (const Application* app : all_applications()) {
+    if (name == app->name()) return app;
+  }
+  return nullptr;
+}
+
+std::vector<const Application*> all_applications() {
+  return {&matvec_app(), &multigrid_app()};
+}
+
+}  // namespace amr::app

@@ -1,0 +1,92 @@
+// The application-kernel interface (DESIGN.md §15; ROADMAP item 2).
+//
+// OptiPart's thesis is that the *application's* memory-access ratio alpha
+// changes the optimal machine-aware partition (Eq. 3), so "the
+// application" must be a first-class axis: something that can run a
+// distributed solve epoch on a rank's mesh, be profiled for its alpha, and
+// hand the partitioner an ApplicationProfile. This interface extracts that
+// axis out of the FEM layer. Two families implement it:
+//
+//   * MatvecApplication (app/matvec_app.hpp) -- the original 7-point
+//     Laplacian matvec loop. Its run_epoch is exactly
+//     dist_matvec_loop_overlapped, so the port is bit-identical to the
+//     pre-refactor driver (pinned by AppIdentity tests and the fuzz
+//     matvec stage).
+//   * MultigridApplication (app/multigrid.hpp) -- an octree geometric
+//     multigrid V-cycle whose coarse levels and repeated fine-grid
+//     smoothing give it a genuinely different (larger) alpha.
+//
+// Epoch contract: `u` carries the application's input state per owned
+// element on entry and its output state on exit (the matvec loop iterates
+// u <- L u; multigrid reads u as the right-hand side and returns the
+// V-cycle iterate). Every implementation must be bit-identical for any
+// AMR_THREADS and any simmpi schedule, and must provide a sequential
+// oracle the fuzz harness can memcmp the distributed epoch against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/perf_model.hpp"
+#include "mesh/mesh.hpp"
+#include "sfc/curve.hpp"
+#include "simmpi/comm.hpp"
+
+namespace amr::app {
+
+struct EpochReport {
+  double compute_seconds = 0.0;   ///< all kernel time
+  double exchange_seconds = 0.0;  ///< all halo time (post + exposed wait)
+  double plan_seconds = 0.0;      ///< per-mesh setup (KernelPlan / hierarchy)
+  std::uint64_t ghost_elements_sent = 0;
+  int levels = 1;  ///< grid levels touched (1 for single-level apps)
+};
+
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+  /// Span-taxonomy prefix of the epoch's phases ("matvec" -> matvec.post /
+  /// matvec.interior / matvec.wait / matvec.boundary; "mg" likewise).
+  [[nodiscard]] virtual const char* span_prefix() const = 0;
+
+  /// One distributed solve epoch on this rank's piece of the mesh, run
+  /// concurrently by every rank of `comm`: `iterations` applications of
+  /// the kernel (matvec sweeps / V-cycles) with owned-prefix/ghost-tail
+  /// overlap on the fine grid. `u` is input state on entry, output state
+  /// on exit.
+  virtual EpochReport run_epoch(const mesh::LocalMesh& mesh, const sfc::Curve& curve,
+                                simmpi::Comm& comm, int iterations,
+                                std::vector<double>& u) const = 0;
+
+  /// Sequential oracle: the same epoch over all ranks' meshes advanced in
+  /// one thread, ghost channels copied positionally. The distributed epoch
+  /// must match this bit for bit per rank (the fuzz harness pins it).
+  [[nodiscard]] virtual std::vector<std::vector<double>> run_epoch_sequential(
+      const std::vector<mesh::LocalMesh>& meshes, const sfc::Curve& curve,
+      int iterations, const std::vector<std::vector<double>>& u) const = 0;
+
+  /// Measure this application's alpha on the given mesh (paper §3.3): time
+  /// the sequential kernel per element against a pure streaming pass at
+  /// `stream_bytes_per_second` (see machine::measure_alpha_from_rates).
+  [[nodiscard]] virtual double measure_alpha(const mesh::GlobalMesh& mesh,
+                                             const sfc::Curve& curve,
+                                             double stream_bytes_per_second,
+                                             int iterations = 10) const = 0;
+
+  /// The profile Eq. 3 consumes: nominal alpha (measure_alpha refines it),
+  /// payload bytes per element, repartition-horizon knobs.
+  [[nodiscard]] virtual machine::ApplicationProfile profile() const = 0;
+};
+
+/// Process-wide default instances (stateless; safe to share).
+[[nodiscard]] const Application& matvec_app();
+[[nodiscard]] const Application& multigrid_app();
+
+/// "matvec" / "multigrid"; nullptr for anything else.
+[[nodiscard]] const Application* application_by_name(const std::string& name);
+/// Every registered application, for per-app report/bench sweeps.
+[[nodiscard]] std::vector<const Application*> all_applications();
+
+}  // namespace amr::app

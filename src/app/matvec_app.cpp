@@ -1,0 +1,67 @@
+#include "app/matvec_app.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "fem/engine.hpp"
+#include "fem/laplacian.hpp"
+#include "simmpi/dist_fem.hpp"
+
+namespace amr::app {
+
+EpochReport MatvecApplication::run_epoch(const mesh::LocalMesh& mesh,
+                                         const sfc::Curve& /*curve*/,
+                                         simmpi::Comm& comm, int iterations,
+                                         std::vector<double>& u) const {
+  const simmpi::DistFemReport fem =
+      simmpi::dist_matvec_loop_overlapped(mesh, comm, iterations, u);
+  EpochReport report;
+  report.compute_seconds = fem.compute_seconds;
+  report.exchange_seconds = fem.exchange_seconds;
+  report.plan_seconds = fem.plan_seconds;
+  report.ghost_elements_sent = fem.ghost_elements_sent;
+  return report;
+}
+
+std::vector<std::vector<double>> MatvecApplication::run_epoch_sequential(
+    const std::vector<mesh::LocalMesh>& meshes, const sfc::Curve& /*curve*/,
+    int iterations, const std::vector<std::vector<double>>& u) const {
+  const fem::DistributedLaplacian engine(meshes);
+  std::vector<std::vector<double>> x = u;
+  std::vector<std::vector<double>> tmp;
+  for (int it = 0; it < iterations; ++it) {
+    engine.matvec(x, tmp);
+    std::swap(x, tmp);
+  }
+  return x;
+}
+
+double MatvecApplication::measure_alpha(const mesh::GlobalMesh& mesh,
+                                        const sfc::Curve& /*curve*/,
+                                        double stream_bytes_per_second,
+                                        int iterations) const {
+  const fem::KernelPlan plan = fem::KernelPlan::build(mesh);
+  std::vector<double> u(plan.num_rows(), 1.0);
+  std::vector<double> out(plan.num_rows());
+  fem::ParOptions seq;
+  seq.num_threads = 1;
+  plan.apply(u, out, seq);  // warm
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iterations; ++i) {
+    plan.apply(u, out, seq);
+    std::swap(u, out);
+  }
+  const double s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (s <= 0.0 || plan.num_rows() == 0) return profile().alpha;
+  const double element_rate =
+      static_cast<double>(plan.num_rows()) * iterations / s;
+  return machine::measure_alpha_from_rates(
+      element_rate * profile().bytes_per_element, stream_bytes_per_second);
+}
+
+machine::ApplicationProfile MatvecApplication::profile() const {
+  return machine::ApplicationProfile{};  // alpha 8: the 7-point stencil, §3.3
+}
+
+}  // namespace amr::app

@@ -1,0 +1,34 @@
+// The original application family: the 7-point Laplacian matvec loop
+// (paper §5.3), ported onto app::Application with bitwise-identical
+// results -- run_epoch is exactly simmpi::dist_matvec_loop_overlapped, so
+// a driver epoch through this class produces the same doubles, per rank
+// and per iteration, as the pre-refactor direct call (AppIdentity tests
+// and the fuzz matvec stage pin this).
+#pragma once
+
+#include "app/application.hpp"
+
+namespace amr::app {
+
+class MatvecApplication final : public Application {
+ public:
+  [[nodiscard]] const char* name() const override { return "matvec"; }
+  [[nodiscard]] const char* span_prefix() const override { return "matvec"; }
+
+  EpochReport run_epoch(const mesh::LocalMesh& mesh, const sfc::Curve& curve,
+                        simmpi::Comm& comm, int iterations,
+                        std::vector<double>& u) const override;
+
+  [[nodiscard]] std::vector<std::vector<double>> run_epoch_sequential(
+      const std::vector<mesh::LocalMesh>& meshes, const sfc::Curve& curve,
+      int iterations, const std::vector<std::vector<double>>& u) const override;
+
+  [[nodiscard]] double measure_alpha(const mesh::GlobalMesh& mesh,
+                                     const sfc::Curve& curve,
+                                     double stream_bytes_per_second,
+                                     int iterations = 10) const override;
+
+  [[nodiscard]] machine::ApplicationProfile profile() const override;
+};
+
+}  // namespace amr::app

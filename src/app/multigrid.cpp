@@ -1,0 +1,376 @@
+#include "app/multigrid.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <utility>
+
+#include "octree/adapt.hpp"
+#include "simmpi/halo.hpp"
+#include "simmpi/phase_trace.hpp"
+#include "util/timer.hpp"
+
+namespace amr::app {
+
+// ---------------------------------------------------------------------------
+// MultigridHierarchy
+
+MultigridHierarchy MultigridHierarchy::build(fem::KernelPlan fine_plan,
+                                             std::vector<octree::Octant> fine_tree,
+                                             const sfc::Curve& curve,
+                                             const MultigridOptions& options) {
+  MultigridHierarchy h;
+  {
+    Level fine;
+    fine.tree = std::move(fine_tree);
+    fine.plan = std::move(fine_plan);
+    fine.x.resize(fine.plan.num_rows());
+    fine.b.resize(fine.plan.num_rows());
+    fine.scratch.resize(fine.plan.num_rows());
+    h.levels_.push_back(std::move(fine));
+  }
+  while (static_cast<int>(h.levels_.size()) < options.max_levels) {
+    const std::vector<octree::Octant>& fine = h.levels_.back().tree;
+    std::vector<octree::Octant> coarse = octree::coarsen_octree(fine, curve, 1);
+    // Stop when coarsening makes no progress (no complete sibling group in
+    // this rank's slice) or the level would be too small to pay for itself.
+    if (coarse.size() == fine.size() || coarse.size() < options.min_coarse_elements) {
+      break;
+    }
+    Level level;
+    level.to_fine = octree::coarse_to_fine_ranges(fine, coarse, curve);
+    // Re-discretize on the coarse leaves with the one shared assembly path.
+    // On a partial (slice) tree, faces whose neighbor is absent are simply
+    // omitted -- natural Neumann walls at slice borders -- so the plan is
+    // well-formed without any remote information.
+    level.plan = fem::KernelPlan::build(mesh::build_global_mesh(coarse, curve));
+    level.tree = std::move(coarse);
+    level.x.resize(level.plan.num_rows());
+    level.b.resize(level.plan.num_rows());
+    level.scratch.resize(level.plan.num_rows());
+    h.levels_.push_back(std::move(level));
+  }
+  return h;
+}
+
+void MultigridHierarchy::smooth(std::size_t l, int sweeps,
+                                const MultigridOptions& options) {
+  Level& lev = levels_[l];
+  const std::span<const double> inv_diag = lev.plan.inv_diagonal();
+  for (int s = 0; s < sweeps; ++s) {
+    lev.plan.apply(lev.x, lev.scratch, options.par);
+    // Damped Jacobi; elementwise with no reduction, so the fixed loop
+    // order is trivially deterministic.
+    for (std::size_t i = 0; i < lev.x.size(); ++i) {
+      lev.x[i] += options.omega * inv_diag[i] * (lev.b[i] - lev.scratch[i]);
+    }
+  }
+}
+
+void MultigridHierarchy::residual(std::size_t l, const MultigridOptions& options) {
+  Level& lev = levels_[l];
+  lev.plan.apply(lev.x, lev.scratch, options.par);
+  for (std::size_t i = 0; i < lev.scratch.size(); ++i) {
+    lev.scratch[i] = lev.b[i] - lev.scratch[i];
+  }
+}
+
+void MultigridHierarchy::transfer_down(std::size_t l) {
+  const Level& fine = levels_[l];
+  Level& coarse = levels_[l + 1];
+  // Summation restriction: the residual is an integrated quantity, and the
+  // integral over a parent cell is the sum over its children.
+  for (std::size_t c = 0; c < coarse.to_fine.size(); ++c) {
+    double sum = 0.0;
+    for (std::size_t f = coarse.to_fine[c].first; f < coarse.to_fine[c].second; ++f) {
+      sum += fine.scratch[f];
+    }
+    coarse.b[c] = sum;
+  }
+  std::fill(coarse.x.begin(), coarse.x.end(), 0.0);
+}
+
+void MultigridHierarchy::transfer_up(std::size_t l) {
+  Level& fine = levels_[l];
+  const Level& coarse = levels_[l + 1];
+  // Piecewise-constant injection: each child inherits its parent's
+  // correction.
+  for (std::size_t c = 0; c < coarse.to_fine.size(); ++c) {
+    for (std::size_t f = coarse.to_fine[c].first; f < coarse.to_fine[c].second; ++f) {
+      fine.x[f] += coarse.x[c];
+    }
+  }
+}
+
+void MultigridHierarchy::descend(std::size_t l, const MultigridOptions& options) {
+  if (l + 1 == levels_.size()) {
+    // Coarsest level: a fixed block of Jacobi sweeps stands in for the
+    // direct solve (deterministic, and plenty on O(min_coarse) unknowns).
+    smooth(l, l == 0 ? options.pre_smooth + options.post_smooth
+                     : options.coarse_sweeps,
+           options);
+    return;
+  }
+  smooth(l, options.pre_smooth, options);
+  residual(l, options);
+  transfer_down(l);
+  descend(l + 1, options);
+  transfer_up(l);
+  smooth(l, options.post_smooth, options);
+}
+
+void MultigridHierarchy::coarse_correction(const MultigridOptions& options) {
+  if (levels_.size() > 1) descend(1, options);
+}
+
+void MultigridHierarchy::restrict_fine_residual() {
+  assert(levels_.size() > 1);
+  transfer_down(0);
+}
+
+void MultigridHierarchy::prolong_to_fine() {
+  assert(levels_.size() > 1);
+  transfer_up(0);
+}
+
+void MultigridHierarchy::vcycle(std::vector<double>& x, const std::vector<double>& b,
+                                const MultigridOptions& options) {
+  assert(x.size() == levels_[0].plan.num_rows());
+  assert(b.size() == levels_[0].plan.num_rows());
+  levels_[0].x = x;
+  levels_[0].b = b;
+  descend(0, options);
+  x = levels_[0].x;
+}
+
+// ---------------------------------------------------------------------------
+// MultigridApplication
+
+namespace {
+
+/// Fill every rank's ghost array from the current iterates, walking each
+/// (owner -> needer) channel positionally -- the DistributedLaplacian
+/// exchange, reused as the oracle's stand-in for one collective halo
+/// exchange.
+void oracle_exchange(const std::vector<mesh::LocalMesh>& meshes,
+                     const std::vector<std::vector<double>>& x,
+                     std::vector<std::vector<double>>& ghosts) {
+  for (std::size_t owner = 0; owner < meshes.size(); ++owner) {
+    const mesh::LocalMesh& om = meshes[owner];
+    for (std::size_t k = 0; k < om.peers.size(); ++k) {
+      const auto& send = om.send_lists[k];
+      if (send.empty()) continue;
+      const int needer = om.peers[k];
+      const mesh::LocalMesh& nm = meshes[static_cast<std::size_t>(needer)];
+      const auto it = std::lower_bound(nm.peers.begin(), nm.peers.end(),
+                                       static_cast<int>(owner));
+      assert(it != nm.peers.end() && *it == static_cast<int>(owner));
+      const auto& recv =
+          nm.recv_lists[static_cast<std::size_t>(it - nm.peers.begin())];
+      assert(recv.size() == send.size());
+      auto& ghost = ghosts[static_cast<std::size_t>(needer)];
+      for (std::size_t idx = 0; idx < send.size(); ++idx) {
+        ghost[recv[idx]] = x[owner][send[idx]];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+EpochReport MultigridApplication::run_epoch(const mesh::LocalMesh& mesh,
+                                            const sfc::Curve& curve,
+                                            simmpi::Comm& comm, int iterations,
+                                            std::vector<double>& u) const {
+  assert(u.size() == mesh.elements.size());
+  assert(mesh.has_overlap_split());
+  EpochReport report;
+  util::Timer timer;
+
+  MultigridHierarchy hierarchy = [&] {
+    AMR_SPAN("mg.plan");
+    return MultigridHierarchy::build(fem::KernelPlan::build(mesh), mesh.elements,
+                                     curve, options_);
+  }();
+  report.plan_seconds = timer.seconds();
+  report.levels = static_cast<int>(hierarchy.num_levels());
+
+  MultigridHierarchy::Level& fine = hierarchy.level(0);
+  fine.b = u;  // incoming state is the right-hand side
+  std::fill(fine.x.begin(), fine.x.end(), 0.0);
+  std::vector<double> ghosts(mesh.ghosts.size());
+  simmpi::HaloExchange halo(mesh);
+
+  // A x on the fine level with the shared overlapped halo schedule:
+  // recvs/sends in flight, interior rows streamed meanwhile, then the
+  // boundary tail. Every rank performs exactly pre + 1 + post of these per
+  // V-cycle -- the residual pass runs even on single-level ranks so the
+  // collective wire schedule never depends on a rank's local level count.
+  const auto fine_apply = [&] {
+    timer.reset();
+    simmpi::PhaseScope post_phase(comm, "mg.post", "mg.post/bytes", "mg.post/msgs");
+    report.ghost_elements_sent += halo.post(comm, fine.x, ghosts);
+    post_phase.close();
+    report.exchange_seconds += timer.seconds();
+
+    timer.reset();
+    {
+      AMR_SPAN("mg.interior");
+      fine.plan.apply_interior(fine.x, fine.scratch, options_.par);
+    }
+    report.compute_seconds += timer.seconds();
+
+    timer.reset();
+    {
+      AMR_SPAN("mg.wait");
+      halo.finish(ghosts);
+    }
+    report.exchange_seconds += timer.seconds();
+
+    timer.reset();
+    {
+      AMR_SPAN("mg.boundary");
+      fine.plan.apply_tail(fine.x, ghosts, fine.scratch, options_.par);
+    }
+    report.compute_seconds += timer.seconds();
+  };
+  const std::span<const double> inv_diag = fine.plan.inv_diagonal();
+  const auto fine_smooth = [&](int sweeps) {
+    for (int s = 0; s < sweeps; ++s) {
+      fine_apply();
+      timer.reset();
+      for (std::size_t i = 0; i < fine.x.size(); ++i) {
+        fine.x[i] += options_.omega * inv_diag[i] * (fine.b[i] - fine.scratch[i]);
+      }
+      report.compute_seconds += timer.seconds();
+    }
+  };
+
+  for (int it = 0; it < iterations; ++it) {
+    fine_smooth(options_.pre_smooth);
+    fine_apply();
+    timer.reset();
+    for (std::size_t i = 0; i < fine.scratch.size(); ++i) {
+      fine.scratch[i] = fine.b[i] - fine.scratch[i];
+    }
+    if (hierarchy.num_levels() > 1) {
+      AMR_SPAN("mg.coarse");
+      hierarchy.restrict_fine_residual();
+      hierarchy.coarse_correction(options_);
+      hierarchy.prolong_to_fine();
+    }
+    report.compute_seconds += timer.seconds();
+    fine_smooth(options_.post_smooth);
+  }
+  u = fine.x;
+  return report;
+}
+
+std::vector<std::vector<double>> MultigridApplication::run_epoch_sequential(
+    const std::vector<mesh::LocalMesh>& meshes, const sfc::Curve& curve,
+    int iterations, const std::vector<std::vector<double>>& u) const {
+  const std::size_t p = meshes.size();
+  MultigridOptions seq = options_;
+  seq.par.num_threads = 1;  // the oracle is genuinely single-threaded
+
+  std::vector<MultigridHierarchy> hierarchy;
+  hierarchy.reserve(p);
+  std::vector<std::vector<double>> x(p);
+  std::vector<std::vector<double>> ghosts(p);
+  for (std::size_t r = 0; r < p; ++r) {
+    hierarchy.push_back(MultigridHierarchy::build(
+        fem::KernelPlan::build(meshes[r]), meshes[r].elements, curve, seq));
+    MultigridHierarchy::Level& fine = hierarchy[r].level(0);
+    assert(u[r].size() == meshes[r].elements.size());
+    fine.b = u[r];
+    std::fill(fine.x.begin(), fine.x.end(), 0.0);
+    ghosts[r].resize(meshes[r].ghosts.size());
+    x[r].resize(meshes[r].elements.size());
+  }
+
+  // Lockstep replica of run_epoch: at every point where the distributed
+  // epoch exchanges the halo, fill all ranks' ghosts, then advance every
+  // rank one step. The fused apply(u, ghost, out) is bit-identical to the
+  // distributed interior+tail pair by the engine's guarantee.
+  const auto gather_x = [&] {
+    for (std::size_t r = 0; r < p; ++r) x[r] = hierarchy[r].level(0).x;
+  };
+  const auto fine_apply_all = [&] {
+    gather_x();
+    oracle_exchange(meshes, x, ghosts);
+    for (std::size_t r = 0; r < p; ++r) {
+      MultigridHierarchy::Level& fine = hierarchy[r].level(0);
+      fine.plan.apply(fine.x, ghosts[r], fine.scratch, seq.par);
+    }
+  };
+  const auto fine_smooth_all = [&](int sweeps) {
+    for (int s = 0; s < sweeps; ++s) {
+      fine_apply_all();
+      for (std::size_t r = 0; r < p; ++r) {
+        MultigridHierarchy::Level& fine = hierarchy[r].level(0);
+        const std::span<const double> inv_diag = fine.plan.inv_diagonal();
+        for (std::size_t i = 0; i < fine.x.size(); ++i) {
+          fine.x[i] += seq.omega * inv_diag[i] * (fine.b[i] - fine.scratch[i]);
+        }
+      }
+    }
+  };
+
+  for (int it = 0; it < iterations; ++it) {
+    fine_smooth_all(seq.pre_smooth);
+    fine_apply_all();
+    for (std::size_t r = 0; r < p; ++r) {
+      MultigridHierarchy::Level& fine = hierarchy[r].level(0);
+      for (std::size_t i = 0; i < fine.scratch.size(); ++i) {
+        fine.scratch[i] = fine.b[i] - fine.scratch[i];
+      }
+      if (hierarchy[r].num_levels() > 1) {
+        hierarchy[r].restrict_fine_residual();
+        hierarchy[r].coarse_correction(seq);
+        hierarchy[r].prolong_to_fine();
+      }
+    }
+    fine_smooth_all(seq.post_smooth);
+  }
+  gather_x();
+  return x;
+}
+
+double MultigridApplication::measure_alpha(const mesh::GlobalMesh& mesh,
+                                           const sfc::Curve& curve,
+                                           double stream_bytes_per_second,
+                                           int iterations) const {
+  MultigridOptions probe = options_;
+  probe.par.num_threads = 1;
+  MultigridHierarchy hierarchy = MultigridHierarchy::build(
+      fem::KernelPlan::build(mesh), mesh.elements, curve, probe);
+  const std::size_t n = hierarchy.fine_plan().num_rows();
+  std::vector<double> x(n, 0.0);
+  std::vector<double> b(n, 1.0);
+  hierarchy.vcycle(x, b, probe);  // warm
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iterations; ++i) {
+    hierarchy.vcycle(x, b, probe);
+  }
+  const double s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (s <= 0.0 || n == 0) return profile().alpha;
+  // Alpha charges the whole V-cycle (coarse levels, transfers, smoother
+  // passes) to the fine elements the partitioner counts -- that per-element
+  // markup over a streaming pass IS the application's alpha (paper §3.3).
+  const double element_rate = static_cast<double>(n) * iterations / s;
+  return machine::measure_alpha_from_rates(
+      element_rate * profile().bytes_per_element, stream_bytes_per_second);
+}
+
+machine::ApplicationProfile MultigridApplication::profile() const {
+  machine::ApplicationProfile profile;
+  // Per V-cycle each fine element is touched by pre+post+1 operator
+  // applications plus the Jacobi updates and transfers, and the coarse
+  // hierarchy adds ~1/7 of the fine work again -- about 6x the single
+  // matvec sweep's accesses. 6 * 8 = 48.
+  profile.alpha = 48.0;
+  return profile;
+}
+
+}  // namespace amr::app

@@ -1,0 +1,148 @@
+// Octree geometric multigrid V-cycle: the second application family
+// (DESIGN.md §15; ROADMAP item 2; cf. Holke et al., arXiv:1803.04970 for
+// tree-based multigrid on adaptive octrees).
+//
+// The level hierarchy comes straight from the octree: level 0 is the given
+// fine tree, and each coarser level merges every complete sibling group
+// (octree::coarsen_octree), with inter-level transfer over
+// octree::coarse_to_fine_ranges. The discretization is re-derived per
+// level by mesh::build_global_mesh + fem::KernelPlan::build -- one shared
+// operator-assembly path for every level of every application, no second
+// kernel (the satellite-1 requirement). The transfer pair is the standard
+// cell-centered choice: restriction sums child residuals (residuals are
+// integrated quantities, and the integral over a parent is the sum over
+// its children), prolongation injects the parent correction into each
+// child.
+//
+// Distributed execution: only the fine level talks to other ranks. Each
+// damped-Jacobi sweep and the residual evaluation exchange the halo with
+// the same owned-prefix/ghost-tail overlap schedule as the matvec epoch
+// (simmpi::HaloExchange + apply_interior/apply_tail). Coarse levels are
+// built from the rank's owned slice alone: build_global_mesh on a partial
+// tree simply omits faces whose neighbor is absent, so slice borders act
+// as natural Neumann walls and the coarse correction is additive across
+// ranks -- no coarse-level communication, which is exactly what makes the
+// application latency/traversal-heavy per fine element and gives it a
+// measurably different alpha than the matvec.
+//
+// Determinism: every kernel is a KernelPlan apply (bit-identical for any
+// thread count by construction), transfers and Jacobi updates are
+// fixed-order elementwise loops, and the epoch contains no global
+// reductions (fixed sweep counts, no convergence tests) -- so the epoch is
+// bit-identical for any AMR_THREADS and any simmpi schedule, and equal to
+// the sequential oracle per rank (fuzz-pinned via tests/corpus/mg.case).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "app/application.hpp"
+#include "fem/engine.hpp"
+#include "octree/octant.hpp"
+
+namespace amr::app {
+
+struct MultigridOptions {
+  int max_levels = 3;     ///< fine level included
+  int pre_smooth = 2;     ///< damped-Jacobi sweeps before coarse correction
+  int post_smooth = 2;    ///< sweeps after
+  int coarse_sweeps = 8;  ///< Jacobi sweeps standing in for the coarse solve
+  /// Damped-Jacobi weight; 2/3-ish damps the high-frequency half of the
+  /// 7-point stencil's spectrum, which is all a smoother must do.
+  double omega = 0.6;
+  /// Stop coarsening once a level would have fewer elements than this.
+  std::size_t min_coarse_elements = 8;
+  /// Kernel execution knobs; results are identical for every value.
+  fem::ParOptions par;
+};
+
+/// The once-per-mesh level hierarchy: coarsened trees, one KernelPlan per
+/// level (built by the same assembly path as every other consumer), the
+/// coarse->fine transfer ranges, and per-level work vectors. Shared by the
+/// distributed epoch, the sequential oracle, and the alpha probe so the
+/// per-level setup exists exactly once.
+class MultigridHierarchy {
+ public:
+  /// Hierarchy over a rank's owned slice (or a whole tree at p=1).
+  /// `fine_plan` is the level-0 operator -- for a distributed mesh, build
+  /// it from the LocalMesh so it carries the ghost columns.
+  [[nodiscard]] static MultigridHierarchy build(fem::KernelPlan fine_plan,
+                                                std::vector<octree::Octant> fine_tree,
+                                                const sfc::Curve& curve,
+                                                const MultigridOptions& options);
+
+  struct Level {
+    std::vector<octree::Octant> tree;
+    fem::KernelPlan plan;
+    /// This level's cell c covers the next-finer level's range
+    /// [to_fine[c].first, to_fine[c].second). Empty at level 0.
+    std::vector<std::pair<std::size_t, std::size_t>> to_fine;
+    // Work vectors, sized to the level.
+    std::vector<double> x;
+    std::vector<double> b;
+    std::vector<double> scratch;  ///< A x, then the residual in place
+  };
+
+  [[nodiscard]] std::size_t num_levels() const { return levels_.size(); }
+  [[nodiscard]] const fem::KernelPlan& fine_plan() const { return levels_[0].plan; }
+  [[nodiscard]] Level& level(std::size_t l) { return levels_[l]; }
+
+  /// One V-cycle below the fine level: assumes the caller has already
+  /// pre-smoothed level 0 and deposited the restricted fine residual in
+  /// level(1).b. No-op when the hierarchy has a single level.
+  void coarse_correction(const MultigridOptions& options);
+
+  /// Restrict the fine residual (in level(0).scratch) into level(1).b and
+  /// zero level(1).x. Requires num_levels() > 1.
+  void restrict_fine_residual();
+  /// Add level(1).x into the fine iterate (injection).
+  void prolong_to_fine();
+
+  /// Ghost-free V-cycle for undistributed (p=1 / probe) use: x <- V(x, b).
+  void vcycle(std::vector<double>& x, const std::vector<double>& b,
+              const MultigridOptions& options);
+
+ private:
+  // All helpers operate on the levels' own x/b/scratch vectors. Level 0
+  // variants require a ghost-free fine plan (the probe path); the
+  // distributed epoch drives level 0 itself, halo included.
+  void smooth(std::size_t l, int sweeps, const MultigridOptions& options);
+  void residual(std::size_t l, const MultigridOptions& options);
+  void transfer_down(std::size_t l);  ///< scratch[l] -> b[l+1], x[l+1] = 0
+  void transfer_up(std::size_t l);    ///< x[l] += inject(x[l+1])
+  void descend(std::size_t l, const MultigridOptions& options);
+
+  std::vector<Level> levels_;
+};
+
+class MultigridApplication final : public Application {
+ public:
+  MultigridApplication() = default;
+  explicit MultigridApplication(MultigridOptions options) : options_(options) {}
+
+  [[nodiscard]] const char* name() const override { return "multigrid"; }
+  [[nodiscard]] const char* span_prefix() const override { return "mg"; }
+  [[nodiscard]] const MultigridOptions& options() const { return options_; }
+
+  /// `iterations` V-cycles on A x = b with b = the incoming u and x0 = 0;
+  /// u holds the final iterate on exit.
+  EpochReport run_epoch(const mesh::LocalMesh& mesh, const sfc::Curve& curve,
+                        simmpi::Comm& comm, int iterations,
+                        std::vector<double>& u) const override;
+
+  [[nodiscard]] std::vector<std::vector<double>> run_epoch_sequential(
+      const std::vector<mesh::LocalMesh>& meshes, const sfc::Curve& curve,
+      int iterations, const std::vector<std::vector<double>>& u) const override;
+
+  [[nodiscard]] double measure_alpha(const mesh::GlobalMesh& mesh,
+                                     const sfc::Curve& curve,
+                                     double stream_bytes_per_second,
+                                     int iterations = 10) const override;
+
+  [[nodiscard]] machine::ApplicationProfile profile() const override;
+
+ private:
+  MultigridOptions options_;
+};
+
+}  // namespace amr::app

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "app/application.hpp"
 #include "mesh/mesh.hpp"
 #include "obs/recorder.hpp"
 #include "octree/adapt.hpp"
@@ -313,6 +314,8 @@ void Driver::solve_epoch(StepMetrics& m) {
   AMR_SPAN("driver.solve");
   util::Timer timer;
   const double t = m.t;
+  const app::Application& application =
+      options_.application != nullptr ? *options_.application : app::matvec_app();
   simmpi::run_ranks(options_.ranks, [&](simmpi::Comm& comm) {
     const int r = comm.rank();
     const mesh::LocalMesh mesh = simmpi::dist_build_local_mesh(
@@ -321,7 +324,7 @@ void Driver::solve_epoch(StepMetrics& m) {
     for (std::size_t i = 0; i < mesh.elements.size(); ++i) {
       u[i] = scenario_.value(center_of(mesh.elements[i], curve_.dim()), t);
     }
-    simmpi::dist_matvec_loop_overlapped(mesh, comm, options_.matvec_iterations, u);
+    application.run_epoch(mesh, curve_, comm, options_.matvec_iterations, u);
   });
   m.solve_seconds = timer.seconds();
 }

@@ -22,8 +22,9 @@
 //                   with the migration-aware objective (or, on the
 //                   from-scratch route, re-sort and re-partition from
 //                   nothing -- bit-identical result, the fuzz-pinned oracle)
-//   6. solve     -- a distributed matvec epoch on the new partition
-//                   (dist_build_local_mesh + dist_matvec_loop_overlapped)
+//   6. solve     -- a distributed application epoch on the new partition
+//                   (dist_build_local_mesh + app::Application::run_epoch;
+//                   the default matvec app is dist_matvec_loop_overlapped)
 //   7. account   -- per-step StepMetrics: adaptation sizes, delta size,
 //                   route taken, keep/move decision, migrated elements,
 //                   partition quality, Eq. 3 prediction, wall times
@@ -49,6 +50,10 @@
 #include "sfc/curve.hpp"
 #include "sfc/key.hpp"
 #include "simmpi/dist_treesort.hpp"
+
+namespace amr::app {
+class Application;
+}
 
 namespace amr::driver {
 
@@ -89,9 +94,14 @@ struct DriverOptions {
   int deref_count = 2;
   RepartitionRoute route = RepartitionRoute::kIncremental;
   Partitioner partitioner = Partitioner::kOptiPart;
-  /// Distributed matvec iterations per step; 0 skips mesh build + solve
-  /// (partition-only campaigns, e.g. the bench's route comparison).
+  /// Distributed solve iterations (matvec sweeps / V-cycles) per step; 0
+  /// skips mesh build + solve (partition-only campaigns, e.g. the bench's
+  /// route comparison).
   int matvec_iterations = 4;
+  /// The application kernel the solve epoch runs (app::Application);
+  /// nullptr means app::matvec_app(), the pre-refactor behavior bit for
+  /// bit.
+  const app::Application* application = nullptr;
   /// Incremental-route knobs (merge/fallback crossover, sort options).
   simmpi::DistIncrementalOptions incremental;
   /// OptiPart refinement cap.

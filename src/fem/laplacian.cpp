@@ -75,88 +75,6 @@ void apply_local(const mesh::LocalMesh& mesh, std::span<const double> u,
   }
 }
 
-void apply_local_subset(const mesh::LocalMesh& mesh,
-                        std::span<const std::uint32_t> elems,
-                        std::span<const double> u, std::span<const double> ghost_u,
-                        std::span<double> out) {
-  assert(u.size() == mesh.elements.size() && out.size() == u.size());
-  assert(ghost_u.size() == mesh.ghosts.size());
-  assert(mesh.has_overlap_split());
-  for (const std::uint32_t e : elems) {
-    // Accumulate in the element's face-list order over the precomputed
-    // gather table; each term is the exact IEEE value apply_local adds.
-    // For side-1 refs the table pairs this element with the face's `a`,
-    // and k*(u_e - u_other) == -flux exactly (negation commutes through
-    // IEEE subtraction and multiplication), so acc += term reproduces
-    // apply_local's acc -= flux bit for bit.
-    const double ue = u[e];
-    double acc = 0.0;
-    const mesh::LocalMesh::GatherRef* g =
-        mesh.gather_refs.data() + mesh.face_ref_offsets[e];
-    const mesh::LocalMesh::GatherRef* const g_end =
-        mesh.gather_refs.data() + mesh.face_ref_offsets[e + 1];
-    for (; g != g_end; ++g) {
-      if (g->ghost != 0) {
-        acc += g->k * (ue - ghost_u[g->other]);
-      } else {
-        const double flux = g->k * (ue - u[g->other]);
-        acc += flux;
-      }
-    }
-    const double* wk = mesh.wall_coeffs.data() + mesh.wall_offsets[e];
-    const double* const wk_end = mesh.wall_coeffs.data() + mesh.wall_offsets[e + 1];
-    for (; wk != wk_end; ++wk) {
-      acc += *wk * ue;
-    }
-    out[e] = acc;
-  }
-}
-
-void apply_local_interior(const mesh::LocalMesh& mesh, std::span<const double> u,
-                          std::span<double> out) {
-  assert(u.size() == mesh.elements.size() && out.size() == u.size());
-  assert(mesh.has_overlap_split());
-  fill(out, 0.0);
-  // The owned-face prefix is ghost-free by the build_overlap_split
-  // invariant, so this is the exact else-branch of apply_local streamed
-  // branch-free over the same records in the same order.
-  const mesh::Face* const faces = mesh.faces.data();
-  for (std::size_t i = 0; i < mesh.num_owned_faces; ++i) {
-    const mesh::Face& f = faces[i];
-    const double k = f.area / f.dist;
-    const double flux = k * (u[f.a] - u[f.b]);
-    out[f.a] += flux;
-    out[f.b] -= flux;
-  }
-  const mesh::BoundaryFace* const walls = mesh.boundary_faces.data();
-  for (std::size_t i = 0; i < mesh.num_interior_walls; ++i) {
-    const mesh::BoundaryFace& f = walls[i];
-    out[f.a] += f.area / f.dist * u[f.a];
-  }
-}
-
-void apply_local_boundary(const mesh::LocalMesh& mesh, std::span<const double> u,
-                          std::span<const double> ghost_u, std::span<double> out) {
-  assert(u.size() == mesh.elements.size() && out.size() == u.size());
-  assert(ghost_u.size() == mesh.ghosts.size());
-  assert(mesh.has_overlap_split());
-  // Ghost-face tail: every face from num_owned_faces on has its owned
-  // element on the `a` side and its `b` in the ghost array.
-  const mesh::Face* const faces = mesh.faces.data();
-  const std::size_t num_faces = mesh.faces.size();
-  for (std::size_t i = mesh.num_owned_faces; i < num_faces; ++i) {
-    const mesh::Face& f = faces[i];
-    const double k = f.area / f.dist;
-    out[f.a] += k * (u[f.a] - ghost_u[f.b]);
-  }
-  const mesh::BoundaryFace* const walls = mesh.boundary_faces.data();
-  const std::size_t num_walls = mesh.boundary_faces.size();
-  for (std::size_t i = mesh.num_interior_walls; i < num_walls; ++i) {
-    const mesh::BoundaryFace& f = walls[i];
-    out[f.a] += f.area / f.dist * u[f.a];
-  }
-}
-
 DistributedLaplacian::DistributedLaplacian(const std::vector<mesh::LocalMesh>& meshes)
     : meshes_(&meshes), ghost_values_(meshes.size()) {
   for (std::size_t r = 0; r < meshes.size(); ++r) {

@@ -17,6 +17,11 @@
 //    (the "global engine"), and the per-step work / traffic it records is
 //    what the machine & energy models consume. The simmpi engine runs the
 //    identical LocalMesh kernel with real threads.
+//
+// These AoS kernels are the readable reference; every hot path (the
+// overlapped matvec, the smoothers, PCG) runs fem::KernelPlan, the SoA
+// engine built from the same mesh records and pinned bit-identical to
+// apply_local / apply_global by the EngineEquivalence tests.
 #pragma once
 
 #include <span>
@@ -44,42 +49,6 @@ void apply_global_varcoef(const mesh::GlobalMesh& mesh, std::span<const double> 
 /// One rank's matvec given its ghost values.
 void apply_local(const mesh::LocalMesh& mesh, std::span<const double> u,
                  std::span<const double> ghost_u, std::span<double> out);
-
-/// Matvec restricted to `elems` (the mesh's interior or boundary element
-/// list): out[e] is fully assigned for each listed element, other entries
-/// untouched. Gathers over the mesh's element->face CSR in face-list
-/// order, which makes it bit-identical to apply_local on the covered rows
-/// -- the overlapped exchange computes interior rows while the halo is in
-/// flight and boundary rows after, and the two calls together must equal
-/// one fused apply_local exactly. Requires mesh.build_overlap_split().
-/// `ghost_u` may be stale for interior elements (they never read it).
-void apply_local_subset(const mesh::LocalMesh& mesh,
-                        std::span<const std::uint32_t> elems,
-                        std::span<const double> u, std::span<const double> ghost_u,
-                        std::span<double> out);
-
-/// Phase 1 of the overlapped matvec: zero `out`, scatter the owned-face
-/// prefix faces[0, num_owned_faces) with apply_local's exact flux
-/// expression, and add the interior-row wall terms. Takes no ghost values
-/// at all, which is the structural guarantee that this phase never
-/// depends on the halo. Interior rows of `out` are final afterwards;
-/// boundary rows hold their owned-flux partial sums. Because
-/// build_overlap_split partitions the face list stably, the work here
-/// plus apply_local_boundary is exactly one pass over the same records
-/// apply_local streams -- no term is computed twice and no branch tests a
-/// mask. Requires mesh.build_overlap_split().
-void apply_local_interior(const mesh::LocalMesh& mesh, std::span<const double> u,
-                          std::span<double> out);
-
-/// Phase 2 of the overlapped matvec: accumulate the ghost-face tail
-/// faces[num_owned_faces, end) -- each adds k * (u_a - ghost_b) to its
-/// owned row -- and the boundary rows' wall terms. Every row accumulates
-/// owned fluxes, then ghost fluxes, then walls: the same per-row order
-/// the fused kernel sees on the partitioned list, so after
-/// apply_local_interior + apply_local_boundary, `out` equals one fused
-/// apply_local bit for bit.
-void apply_local_boundary(const mesh::LocalMesh& mesh, std::span<const double> u,
-                          std::span<const double> ghost_u, std::span<double> out);
 
 /// Per-step cost record for the models: elements of work per rank and
 /// ghost elements sent per rank (the Alltoallv payload).

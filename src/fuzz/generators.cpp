@@ -36,6 +36,14 @@ constexpr struct {
     {DeltaShape::kDeletesOneRank, "deletes_one_rank"},
 };
 
+constexpr struct {
+  AppKind app;
+  const char* name;
+} kAppNames[] = {
+    {AppKind::kMatvec, "matvec"},
+    {AppKind::kMultigrid, "multigrid"},
+};
+
 /// Random octants at random levels, quantized to their level grid. z is
 /// forced to 0 in 2D so the octants are valid quadrants.
 std::vector<Octant> random_octants(std::size_t n, int dim, std::uint64_t seed) {
@@ -94,6 +102,20 @@ std::optional<DeltaShape> delta_shape_from_string(const std::string& name) {
   return std::nullopt;
 }
 
+std::string to_string(AppKind app) {
+  for (const auto& entry : kAppNames) {
+    if (entry.app == app) return entry.name;
+  }
+  return "unknown";
+}
+
+std::optional<AppKind> app_kind_from_string(const std::string& name) {
+  for (const auto& entry : kAppNames) {
+    if (name == entry.name) return entry.app;
+  }
+  return std::nullopt;
+}
+
 std::string to_string(const CaseSpec& spec) {
   std::ostringstream out;
   out << "curve=" << sfc::to_string(spec.curve) << " dim=" << spec.dim
@@ -102,7 +124,8 @@ std::string to_string(const CaseSpec& spec) {
       << " stage=" << spec.max_splitters_per_round << " seed=" << spec.seed
       << " perturb=" << spec.perturb_seed << " matvec=" << spec.matvec_iterations
       << " delta=" << spec.change_fraction
-      << " delta_shape=" << to_string(spec.delta_shape);
+      << " delta_shape=" << to_string(spec.delta_shape)
+      << " app=" << to_string(spec.app);
   return out.str();
 }
 
@@ -146,6 +169,10 @@ std::optional<CaseSpec> case_from_string(const std::string& line) {
         const auto shape = delta_shape_from_string(value);
         if (!shape.has_value()) return std::nullopt;
         spec.delta_shape = *shape;
+      } else if (key == "app") {
+        const auto app = app_kind_from_string(value);
+        if (!app.has_value()) return std::nullopt;
+        spec.app = *app;
       } else {
         return std::nullopt;
       }
@@ -312,10 +339,12 @@ CaseSpec random_case(util::Rng& rng) {
       (rng() & 3U) == 0 ? 1 + static_cast<int>(rng() % 4) : 0;
   spec.seed = rng();
   spec.perturb_seed = (rng() & 1U) != 0 ? rng() | 1U : 0;
-  // The matvec stage needs a complete union; only the balanced-tree shape
-  // guarantees one, so only those cases draw iterations.
+  // The solve stage needs a complete union; only the balanced-tree shape
+  // guarantees one, so only those cases draw iterations -- half of them
+  // running the multigrid epoch instead of the matvec loop.
   if (spec.shape == InputShape::kBalancedTree && (rng() & 1U) != 0) {
     spec.matvec_iterations = 1 + static_cast<int>(rng() % 4);
+    spec.app = (rng() & 1U) != 0 ? AppKind::kMultigrid : AppKind::kMatvec;
   }
   // Half the cases also exercise the incremental stage, sweeping change
   // fractions across the merge/full-fallback boundary.

@@ -52,6 +52,16 @@ enum class DeltaShape {
 [[nodiscard]] std::string to_string(DeltaShape shape);
 [[nodiscard]] std::optional<DeltaShape> delta_shape_from_string(const std::string& name);
 
+/// Which app::Application the solve stage checks against its sequential
+/// oracle. Serialized as `app=`.
+enum class AppKind {
+  kMatvec,     ///< overlapped matvec loop vs DistributedLaplacian
+  kMultigrid,  ///< V-cycle epoch vs the lockstep sequential V-cycle
+};
+
+[[nodiscard]] std::string to_string(AppKind app);
+[[nodiscard]] std::optional<AppKind> app_kind_from_string(const std::string& name);
+
 struct CaseSpec {
   sfc::CurveKind curve = sfc::CurveKind::kHilbert;
   int dim = 3;
@@ -62,10 +72,12 @@ struct CaseSpec {
   int max_splitters_per_round = 0;  ///< staged-splitter cap (0 = unstaged)
   std::uint64_t seed = 1;
   std::uint64_t perturb_seed = 0;   ///< 0 = no schedule perturbation
-  /// > 0 runs the overlapped-matvec differential stage for this many
-  /// iterations after the sort (needs a complete union; other shapes
-  /// skip the stage). Serialized as `matvec=`.
+  /// > 0 runs the distributed-solve differential stage (the `app=` kernel)
+  /// for this many iterations after the sort (needs a complete union;
+  /// other shapes skip the stage). Serialized as `matvec=`.
   int matvec_iterations = 0;
+  /// Which application kernel the solve stage runs.
+  AppKind app = AppKind::kMatvec;
   /// > 0 runs the incremental-repartitioning differential stage: after the
   /// from-scratch sort, each rank applies a delta of about this fraction of
   /// its local size and the incremental path is checked bit-identical to a

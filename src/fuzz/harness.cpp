@@ -5,6 +5,7 @@
 #include <cstring>
 #include <utility>
 
+#include "app/application.hpp"
 #include "fem/laplacian.hpp"
 #include "machine/machine_model.hpp"
 #include "machine/perf_model.hpp"
@@ -155,7 +156,7 @@ void run_optipart_case(const CaseSpec& spec,
 void run_matvec_case(const CaseSpec& spec,
                      const std::vector<std::vector<Octant>>& inputs,
                      const std::vector<Octant>& reference, CaseResult& result) {
-  if (spec.matvec_iterations <= 0) return;
+  if (spec.matvec_iterations <= 0 || spec.app != AppKind::kMatvec) return;
   const sfc::Curve curve(spec.curve, spec.dim);
   if (!octree::is_complete(reference, curve)) return;
 
@@ -253,6 +254,91 @@ void run_matvec_case(const CaseSpec& spec,
   compare(collective, "collective");
   for (std::string& f : o.failures) {
     result.oracles.fail("matvec: " + std::move(f));
+  }
+}
+
+/// Differential multigrid stage (`app=multigrid`): sort + mesh the case's
+/// union, run the distributed V-cycle epoch on real threads, and demand it
+/// bit-identical, per rank, to the application's lockstep sequential
+/// oracle -- the coarsened hierarchies, transfers, smoother sweeps and the
+/// overlapped fine-level halo schedule all pinned with one memcmp. Skipped
+/// under the same completeness rule as the matvec stage.
+void run_multigrid_case(const CaseSpec& spec,
+                        const std::vector<std::vector<Octant>>& inputs,
+                        const std::vector<Octant>& reference, CaseResult& result) {
+  if (spec.matvec_iterations <= 0 || spec.app != AppKind::kMultigrid) return;
+  const sfc::Curve curve(spec.curve, spec.dim);
+  if (!octree::is_complete(reference, curve)) return;
+
+  const std::size_t p = inputs.size();
+  std::vector<mesh::LocalMesh> meshes(p);
+  try {
+    simmpi::run_ranks(spec.ranks, context_options(spec), [&](simmpi::Comm& comm) {
+      const std::size_t r = static_cast<std::size_t>(comm.rank());
+      auto local = inputs[r];
+      const simmpi::DistSortOptions options;  // tolerance 0: same split always
+      const auto report = simmpi::dist_treesort(local, comm, curve, options);
+      meshes[r] =
+          simmpi::dist_build_local_mesh(local, report.splitters, comm, curve, nullptr);
+    });
+  } catch (const simmpi::DeadlockError& e) {
+    result.oracles.fail(std::string("multigrid: watchdog stall in sort/mesh: ") +
+                        e.what());
+    return;
+  }
+
+  // The incoming state is the V-cycle right-hand side.
+  const auto init_u = [](const mesh::LocalMesh& m) {
+    std::vector<double> u(m.elements.size());
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      const auto a = m.elements[i].anchor_unit();
+      u[i] = std::sin(6.28 * a[0]) * std::cos(6.28 * a[1]);
+    }
+    return u;
+  };
+
+  const app::Application& mg = app::multigrid_app();
+  std::vector<std::vector<double>> distributed(p);
+  try {
+    simmpi::run_ranks(spec.ranks, context_options(spec), [&](simmpi::Comm& comm) {
+      const std::size_t r = static_cast<std::size_t>(comm.rank());
+      std::vector<double> u = init_u(meshes[r]);
+      (void)mg.run_epoch(meshes[r], curve, comm, spec.matvec_iterations, u);
+      distributed[r] = std::move(u);
+    });
+  } catch (const simmpi::DeadlockError& e) {
+    result.oracles.fail(std::string("multigrid: watchdog stall in epoch: ") +
+                        e.what());
+    return;
+  }
+
+  std::vector<std::vector<double>> init(p);
+  for (std::size_t r = 0; r < p; ++r) init[r] = init_u(meshes[r]);
+  const std::vector<std::vector<double>> ref =
+      mg.run_epoch_sequential(meshes, curve, spec.matvec_iterations, init);
+
+  OracleResult o;
+  for (std::size_t r = 0; r < p; ++r) {
+    if (distributed[r].size() != ref[r].size()) {
+      o.fail("rank " + std::to_string(r) + " piece size mismatch");
+      break;
+    }
+    if (!distributed[r].empty() &&
+        std::memcmp(distributed[r].data(), ref[r].data(),
+                    distributed[r].size() * sizeof(double)) != 0) {
+      for (std::size_t i = 0; i < distributed[r].size(); ++i) {
+        if (std::memcmp(&distributed[r][i], &ref[r][i], sizeof(double)) != 0) {
+          o.fail("rank " + std::to_string(r) +
+                 " diverges from the sequential V-cycle at element " +
+                 std::to_string(i));
+          break;
+        }
+      }
+      break;
+    }
+  }
+  for (std::string& f : o.failures) {
+    result.oracles.fail("multigrid: " + std::move(f));
   }
 }
 
@@ -505,6 +591,7 @@ CaseResult run_case(const CaseSpec& spec) {
   run_samplesort_case(spec, inputs, reference, result);
   run_optipart_case(spec, inputs, reference, result);
   run_matvec_case(spec, inputs, reference, result);
+  run_multigrid_case(spec, inputs, reference, result);
   run_incremental_case(spec, inputs, result);
   return result;
 }
@@ -615,6 +702,39 @@ std::vector<CaseSpec> seed_corpus() {
     spec.elements_per_rank = 150;
     spec.matvec_iterations = 2;
     spec.perturb_seed = 46;
+    spec.seed = seed++;
+    corpus.push_back(spec);
+  }
+  // Multigrid differential stage: the same balanced complete trees, but
+  // the V-cycle epoch against its lockstep sequential oracle -- coarse
+  // hierarchies differ per rank (only complete sibling groups inside a
+  // slice coarsen), so these also pin that the wire schedule is
+  // independent of a rank's local level count. Both dims, a perturbed
+  // schedule, and a rank count high enough to leave some ranks too small
+  // to coarsen at all.
+  {
+    CaseSpec spec;
+    spec.shape = InputShape::kBalancedTree;
+    spec.app = AppKind::kMultigrid;
+    spec.ranks = 4;
+    spec.dim = 3;
+    spec.elements_per_rank = 250;
+    spec.matvec_iterations = 2;
+    spec.seed = seed++;
+    corpus.push_back(spec);
+    spec.curve = sfc::CurveKind::kMorton;
+    spec.dim = 2;
+    spec.ranks = 6;
+    spec.matvec_iterations = 3;
+    spec.perturb_seed = 49;
+    spec.seed = seed++;
+    corpus.push_back(spec);
+    spec.curve = sfc::CurveKind::kMoore;
+    spec.dim = 3;
+    spec.ranks = 12;
+    spec.elements_per_rank = 120;
+    spec.matvec_iterations = 2;
+    spec.perturb_seed = 50;
     spec.seed = seed++;
     corpus.push_back(spec);
   }

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "simmpi/halo.hpp"
 #include "simmpi/phase_trace.hpp"
 #include "util/timer.hpp"
 
@@ -157,52 +158,17 @@ DistFemReport dist_matvec_loop_overlapped(const mesh::LocalMesh& mesh,
   DistFemReport report;
   std::vector<double> ghosts(mesh.ghosts.size());
   std::vector<double> out(u.size());
-  std::vector<double> payload;
-  std::vector<std::vector<double>> incoming(mesh.peers.size());
-  std::vector<Request> requests;
+  HaloExchange halo(mesh);
   util::Timer timer;
 
-  // Ghost slots are ascending by global index and each peer owns one
-  // contiguous global range, so a peer's recv list is normally a
-  // contiguous block of the ghost array: those payloads can land in their
-  // final slots in one copy (irecv_into) with no scatter pass.
-  std::vector<bool> contiguous(mesh.peers.size(), false);
-  for (std::size_t k = 0; k < mesh.peers.size(); ++k) {
-    const auto& list = mesh.recv_lists[k];
-    bool is_run = !list.empty();
-    for (std::size_t i = 1; is_run && i < list.size(); ++i) {
-      is_run = list[i] == list[0] + i;
-    }
-    contiguous[k] = is_run;
-  }
-
   for (int it = 0; it < iterations; ++it) {
-    // Phase 1: put the whole halo in flight. Receives are posted first so
-    // a matched test/wait can complete as soon as the peer's send lands;
-    // isend is buffered and cannot stall.
+    // Phase 1: put the whole halo in flight (receives posted first so a
+    // matched wait can complete as soon as the peer's send lands; isend is
+    // buffered and cannot stall -- see simmpi/halo.hpp).
     timer.reset();
     PhaseScope post_phase(comm, "matvec.post", "matvec.post/bytes",
                           "matvec.post/msgs");
-    requests.clear();
-    for (std::size_t k = 0; k < mesh.peers.size(); ++k) {
-      if (mesh.recv_lists[k].empty()) continue;
-      if (contiguous[k]) {
-        requests.push_back(comm.irecv_into<double>(
-            std::span<double>(ghosts.data() + mesh.recv_lists[k][0],
-                              mesh.recv_lists[k].size()),
-            mesh.peers[k], /*tag=*/0));
-      } else {
-        requests.push_back(comm.irecv<double>(incoming[k], mesh.peers[k], /*tag=*/0));
-      }
-    }
-    for (std::size_t k = 0; k < mesh.peers.size(); ++k) {
-      if (mesh.send_lists[k].empty()) continue;
-      payload.clear();
-      payload.reserve(mesh.send_lists[k].size());
-      for (const std::uint32_t idx : mesh.send_lists[k]) payload.push_back(u[idx]);
-      requests.push_back(comm.isend<double>(payload, mesh.peers[k], /*tag=*/0));
-      report.ghost_elements_sent += payload.size();
-    }
+    report.ghost_elements_sent += halo.post(comm, u, ghosts);
     post_phase.close();
     report.post_seconds += timer.seconds();
 
@@ -221,14 +187,7 @@ DistFemReport dist_matvec_loop_overlapped(const mesh::LocalMesh& mesh,
     timer.reset();
     {
       AMR_SPAN("matvec.wait");
-      wait_all(requests);
-      for (std::size_t k = 0; k < mesh.peers.size(); ++k) {
-        if (contiguous[k] || mesh.recv_lists[k].empty()) continue;
-        assert(incoming[k].size() == mesh.recv_lists[k].size());
-        for (std::size_t i = 0; i < incoming[k].size(); ++i) {
-          ghosts[mesh.recv_lists[k][i]] = incoming[k][i];
-        }
-      }
+      halo.finish(ghosts);
     }
     report.exchange_wait_seconds += timer.seconds();
 

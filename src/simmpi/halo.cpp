@@ -1,0 +1,66 @@
+#include "simmpi/halo.hpp"
+
+#include <cassert>
+
+namespace amr::simmpi {
+
+HaloExchange::HaloExchange(const mesh::LocalMesh& mesh) : mesh_(&mesh) {
+  assert(mesh.has_overlap_split());
+  // Ghost slots are ascending by global index and each peer owns one
+  // contiguous global range, so a peer's recv list is normally a
+  // contiguous block of the ghost array: those payloads can land in their
+  // final slots in one copy (irecv_into) with no scatter pass.
+  contiguous_.assign(mesh.peers.size(), false);
+  for (std::size_t k = 0; k < mesh.peers.size(); ++k) {
+    const auto& list = mesh.recv_lists[k];
+    bool is_run = !list.empty();
+    for (std::size_t i = 1; is_run && i < list.size(); ++i) {
+      is_run = list[i] == list[0] + i;
+    }
+    contiguous_[k] = is_run;
+  }
+  incoming_.resize(mesh.peers.size());
+}
+
+std::uint64_t HaloExchange::post(Comm& comm, std::span<const double> u,
+                                 std::span<double> ghosts) {
+  assert(mesh_ != nullptr);
+  const mesh::LocalMesh& mesh = *mesh_;
+  std::uint64_t sent = 0;
+  requests_.clear();
+  for (std::size_t k = 0; k < mesh.peers.size(); ++k) {
+    if (mesh.recv_lists[k].empty()) continue;
+    if (contiguous_[k]) {
+      requests_.push_back(comm.irecv_into<double>(
+          std::span<double>(ghosts.data() + mesh.recv_lists[k][0],
+                            mesh.recv_lists[k].size()),
+          mesh.peers[k], /*tag=*/0));
+    } else {
+      requests_.push_back(comm.irecv<double>(incoming_[k], mesh.peers[k], /*tag=*/0));
+    }
+  }
+  for (std::size_t k = 0; k < mesh.peers.size(); ++k) {
+    if (mesh.send_lists[k].empty()) continue;
+    payload_.clear();
+    payload_.reserve(mesh.send_lists[k].size());
+    for (const std::uint32_t idx : mesh.send_lists[k]) payload_.push_back(u[idx]);
+    requests_.push_back(comm.isend<double>(payload_, mesh.peers[k], /*tag=*/0));
+    sent += payload_.size();
+  }
+  return sent;
+}
+
+void HaloExchange::finish(std::span<double> ghosts) {
+  assert(mesh_ != nullptr);
+  const mesh::LocalMesh& mesh = *mesh_;
+  wait_all(requests_);
+  for (std::size_t k = 0; k < mesh.peers.size(); ++k) {
+    if (contiguous_[k] || mesh.recv_lists[k].empty()) continue;
+    assert(incoming_[k].size() == mesh.recv_lists[k].size());
+    for (std::size_t i = 0; i < incoming_[k].size(); ++i) {
+      ghosts[mesh.recv_lists[k][i]] = incoming_[k][i];
+    }
+  }
+}
+
+}  // namespace amr::simmpi

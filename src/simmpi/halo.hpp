@@ -1,0 +1,52 @@
+// HaloExchange: the reusable nonblocking ghost-exchange schedule every
+// distributed application kernel shares (DESIGN.md §15).
+//
+// Extracted from dist_matvec_loop_overlapped so the matvec epoch and the
+// multigrid fine-level smoother run the exact same wire schedule: receives
+// posted first (a matched wait can complete as soon as the peer's send
+// lands), buffered sends that cannot stall, and contiguous recv lists
+// landing via irecv_into directly in their final ghost slots with no
+// scatter pass. The contiguity analysis runs once at construction; post()
+// and finish() bracket the overlap window (the caller streams
+// ghost-independent work between them).
+//
+// The helper records no spans of its own -- callers own the span taxonomy
+// (matvec.post/matvec.wait vs mg.post/mg.wait) because the recorder stores
+// literal name pointers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+#include "simmpi/comm.hpp"
+
+namespace amr::simmpi {
+
+class HaloExchange {
+ public:
+  HaloExchange() = default;
+  /// Precompute which peers' recv lists are contiguous ghost runs. The
+  /// mesh must outlive the exchange.
+  explicit HaloExchange(const mesh::LocalMesh& mesh);
+
+  /// Put the whole halo of `u` in flight: post every irecv (contiguous
+  /// lists straight into `ghosts`), then every buffered isend. `ghosts`
+  /// must stay valid until finish() returns. Returns the number of ghost
+  /// elements sent (the Cmax unit of Eq. 3).
+  std::uint64_t post(Comm& comm, std::span<const double> u, std::span<double> ghosts);
+
+  /// Wait for every request, then scatter the non-contiguous payloads into
+  /// their ghost slots. After this `ghosts` is current.
+  void finish(std::span<double> ghosts);
+
+ private:
+  const mesh::LocalMesh* mesh_ = nullptr;
+  std::vector<bool> contiguous_;
+  std::vector<std::vector<double>> incoming_;  ///< non-contiguous payloads
+  std::vector<double> payload_;                ///< send scratch (isend buffers)
+  std::vector<Request> requests_;
+};
+
+}  // namespace amr::simmpi

@@ -154,76 +154,6 @@ INSTANTIATE_TEST_SUITE_P(RankCounts, DistributedMatvecTest,
                            return "p" + std::to_string(info.param);
                          });
 
-TEST(OverlapSplit, SubsetKernelMatchesFusedBitwise) {
-  // apply_local_subset over interior then boundary must reproduce the
-  // fused apply_local EXACTLY (bit-identical, not just within tolerance):
-  // the overlapped matvec swaps one for the other mid-iteration and the
-  // fuzz oracle pins all variants together with memcmp. Interior rows are
-  // computed against a garbage ghost vector to prove they never read it.
-  const Curve curve(CurveKind::kHilbert, 3);
-  octree::GenerateOptions options;
-  options.seed = 23;
-  options.max_level = 6;
-  options.distribution = octree::PointDistribution::kNormal;
-  auto tree = octree::balance_octree(octree::random_octree(1800, curve, options), curve);
-  const auto locals =
-      mesh::build_local_meshes(tree, curve, ideal_partition(tree.size(), 5));
-
-  for (const mesh::LocalMesh& m : locals) {
-    ASSERT_TRUE(m.has_overlap_split());
-    const std::size_t n = m.elements.size();
-    const auto u = random_vector(n, 90 + static_cast<std::uint64_t>(m.rank));
-    const auto ghost_u =
-        random_vector(m.ghosts.size(), 190 + static_cast<std::uint64_t>(m.rank));
-
-    std::vector<double> fused(n);
-    apply_local(m, u, ghost_u, fused);
-
-    std::vector<double> split(n, -7.0);  // poison: every row must be assigned
-    const std::vector<double> stale(m.ghosts.size(),
-                                    std::numeric_limits<double>::quiet_NaN());
-    apply_local_subset(m, m.interior_elements, u, stale, split);
-    apply_local_subset(m, m.boundary_elements, u, ghost_u, split);
-
-    for (std::size_t i = 0; i < n; ++i) {
-      EXPECT_EQ(fused[i], split[i]) << "rank " << m.rank << " element " << i;
-    }
-  }
-}
-
-TEST(OverlapSplit, PhaseKernelsMatchFusedBitwise) {
-  // The streaming phase kernels the overlapped matvec actually runs:
-  // apply_local_interior (owned-face prefix, no ghost argument at all)
-  // followed by apply_local_boundary (ghost-face tail) must equal one
-  // fused apply_local bit for bit, via memcmp -- signed zeros included.
-  const Curve curve(CurveKind::kMorton, 3);
-  octree::GenerateOptions options;
-  options.seed = 77;
-  options.max_level = 6;
-  options.distribution = octree::PointDistribution::kNormal;
-  auto tree = octree::balance_octree(octree::random_octree(2200, curve, options), curve);
-  const auto locals =
-      mesh::build_local_meshes(tree, curve, ideal_partition(tree.size(), 6));
-
-  for (const mesh::LocalMesh& m : locals) {
-    ASSERT_TRUE(m.has_overlap_split());
-    const std::size_t n = m.elements.size();
-    const auto u = random_vector(n, 31 + static_cast<std::uint64_t>(m.rank));
-    const auto ghost_u =
-        random_vector(m.ghosts.size(), 131 + static_cast<std::uint64_t>(m.rank));
-
-    std::vector<double> fused(n);
-    apply_local(m, u, ghost_u, fused);
-
-    std::vector<double> split(n, -7.0);
-    apply_local_interior(m, u, split);
-    apply_local_boundary(m, u, ghost_u, split);
-
-    ASSERT_EQ(std::memcmp(fused.data(), split.data(), n * sizeof(double)), 0)
-        << "rank " << m.rank;
-  }
-}
-
 TEST(ConjugateGradient, SolvesPoissonProblem) {
   const GlobalMesh mesh = make_mesh(CurveKind::kHilbert, 1200, 14);
   const std::size_t n = mesh.elements.size();

@@ -11,18 +11,23 @@
 //
 // The validation rows audit the paper's Eq. 3 machinery against the
 // instrumented reality: TreeSort phases are priced with Eq. 2's
-// breakdown, the matvec epoch with the overlap-aware Eq. 3 extension, and
-// the ghost/balance rounds with tw on the volume the cost ledger actually
-// attributed to them. By default the machine constants tc/tw are
-// calibrated from this host's memcpy bandwidth (simmpi's "network" is a
-// memcpy through shared memory), so ratios are meaningful; pass
-// --machine <preset> to price against a paper machine instead.
+// breakdown, the matvec and multigrid epochs with the overlap-aware Eq. 3
+// extension, and the ghost/balance rounds with tw on the volume the cost
+// ledger actually attributed to them. By default the machine constants
+// tc/tw are calibrated from this host's memcpy bandwidth (simmpi's
+// "network" is a memcpy through shared memory), so ratios are meaningful;
+// pass --machine <preset> to price against a paper machine instead.
+//
+// Every registered application family (app/application.hpp) is also
+// alpha-calibrated on this host (§3.3) -- the per-app rows land in
+// report.json under metrics.apps, which is where the application-aware
+// partitioning claim gets its measured inputs.
 //
 // Run: ./tools/amr_report [--p 4] [--points-per-rank 2000]
-//      [--iterations 10] [--driver-steps 3] [--trace trace.json]
-//      [--report report.json] [--band-low 0.1] [--band-high 10]
-//      [--machine host|titan|...] [--alpha 8|<value>|auto]
-//      [--require-complete]
+//      [--iterations 10] [--mg-iterations 2] [--driver-steps 3]
+//      [--trace trace.json] [--report report.json] [--band-low 0.1]
+//      [--band-high 10] [--machine host|titan|...]
+//      [--alpha 8|<value>|auto] [--require-complete]
 //
 // --driver-steps runs a short dynamic-AMR driver campaign (moving-Gaussian
 // scenario, adapt -> diff -> incremental repartition -> solve) so the trace
@@ -31,9 +36,9 @@
 // skips the stage.
 //
 // --alpha sets the application profile's accesses-per-element; "auto"
-// re-measures it on this host (a sequential KernelPlan matvec timed
-// against the memcpy stream rate, §3.3) so the report is priced with the
-// engine actually being validated.
+// prices the report with the matvec application's re-measured alpha (the
+// same app::Application::measure_alpha probe the per-app calibration rows
+// use) so the model is fed by the engine actually being validated.
 //
 // Exit codes: 0 ok; 2 when --require-complete is set and an expected
 // phase was never measured (instrumentation rot -- CI fails on it).
@@ -46,9 +51,10 @@
 #include <string>
 #include <vector>
 
+#include "app/application.hpp"
+#include "app/multigrid.hpp"
 #include "driver/driver.hpp"
 #include "energy/sampler.hpp"
-#include "fem/engine.hpp"
 #include "machine/machine_model.hpp"
 #include "machine/perf_model.hpp"
 #include "mesh/mesh.hpp"
@@ -56,6 +62,7 @@
 #include "obs/model_validation.hpp"
 #include "obs/recorder.hpp"
 #include "obs/trace_export.hpp"
+#include "octree/adapt.hpp"
 #include "octree/generate.hpp"
 #include "octree/octant.hpp"
 #include "partition/metrics.hpp"
@@ -73,34 +80,14 @@ using namespace amr;
 
 namespace {
 
-/// Re-measure the paper's alpha on this host (§3.3): a sequential
-/// KernelPlan matvec on a small adaptive mesh, timed against the memcpy
-/// stream rate. Runs before tracing is enabled.
-double calibrate_alpha(double stream_bytes_per_second) {
-  const sfc::Curve curve(sfc::CurveKind::kHilbert, 3);
+/// Probe mesh for the §3.3 alpha calibration: every registered application
+/// is timed on the same small adaptive mesh against the host's memcpy
+/// stream rate. Built (and probed) before tracing is enabled.
+mesh::GlobalMesh build_alpha_probe_mesh(const sfc::Curve& curve) {
   octree::GenerateOptions gen;
   gen.distribution = octree::PointDistribution::kNormal;
   gen.seed = 12345;
-  auto tree = octree::random_octree(60000, curve, gen);
-  const mesh::GlobalMesh mesh = mesh::build_global_mesh(std::move(tree), curve);
-  const fem::KernelPlan plan = fem::KernelPlan::build(mesh);
-  std::vector<double> u(plan.num_rows(), 1.0);
-  std::vector<double> out(plan.num_rows());
-  fem::ParOptions seq;
-  seq.num_threads = 1;
-  plan.apply(u, out, seq);  // warm
-  const int iters = 10;
-  const auto t0 = std::chrono::steady_clock::now();
-  for (int i = 0; i < iters; ++i) {
-    plan.apply(u, out, seq);
-    std::swap(u, out);
-  }
-  const double s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-  if (s <= 0.0) return 8.0;
-  const double element_rate = static_cast<double>(plan.num_rows()) * iters / s;
-  return machine::measure_alpha_from_rates(element_rate * 8.0,
-                                           stream_bytes_per_second);
+  return mesh::build_global_mesh(octree::random_octree(60000, curve, gen), curve);
 }
 
 /// Per-message cost of simmpi's transport (a mutex+condvar handoff, not a
@@ -133,6 +120,7 @@ int main(int argc, char** argv) {
   const std::size_t per_rank =
       static_cast<std::size_t>(args.get_int("points-per-rank", 2000));
   const int iterations = static_cast<int>(args.get_int("iterations", 10));
+  const int mg_iterations = static_cast<int>(args.get_int("mg-iterations", 2));
   const int driver_steps = static_cast<int>(args.get_int("driver-steps", 3));
   const std::string trace_path = args.get("trace", "trace.json");
   const std::string report_path = args.get("report", "report.json");
@@ -163,11 +151,32 @@ int main(int argc, char** argv) {
   }
   machine::ApplicationProfile profile;  // alpha=8, 8 B/element
   profile.include_latency_term = true;  // simmpi is latency-dominated
+
+  // Per-application alpha calibration (§3.3): every registered family on
+  // the same probe mesh against the host stream rate. These are the
+  // measured inputs of the application-aware partitioning claim; they land
+  // in report.json under metrics.apps.
+  if (host_bw == 0.0) host_bw = machine::measure_memcpy_bandwidth();
+  struct AppAlpha {
+    const app::Application* application = nullptr;
+    double measured = 0.0;
+  };
+  std::vector<AppAlpha> app_alphas;
+  {
+    const sfc::Curve probe_curve(sfc::CurveKind::kHilbert, 3);
+    const mesh::GlobalMesh probe_mesh = build_alpha_probe_mesh(probe_curve);
+    for (const app::Application* application : app::all_applications()) {
+      const double measured =
+          application->measure_alpha(probe_mesh, probe_curve, host_bw);
+      app_alphas.push_back({application, measured});
+      std::printf("alpha[%s] measured on this host: %.2f (nominal %.1f)\n",
+                  application->name(), measured, application->profile().alpha);
+    }
+  }
+
   const std::string alpha_arg = args.get("alpha", "");
   if (alpha_arg == "auto") {
-    if (host_bw == 0.0) host_bw = machine::measure_memcpy_bandwidth();
-    profile.alpha = calibrate_alpha(host_bw);
-    std::printf("alpha (re-measured on this host): %.2f\n", profile.alpha);
+    profile.alpha = app_alphas.front().measured;  // the matvec epoch's app
   } else if (!alpha_arg.empty()) {
     profile.alpha = args.get_double("alpha", profile.alpha);
   }
@@ -214,6 +223,27 @@ int main(int argc, char** argv) {
         meshes[r] = mesh;
         fem_reports[r] = fem_report;
       });
+
+  // --- multigrid epoch --------------------------------------------------
+  // The second application family over the same local meshes: a few
+  // distributed V-cycles (app/multigrid.hpp), so the trace and validation
+  // table also cover the mg.* span taxonomy -- the overlapped fine-level
+  // halo (mg.post/mg.interior/mg.wait/mg.boundary) plus the rank-local
+  // coarse hierarchy (mg.coarse).
+  std::vector<app::EpochReport> mg_reports(static_cast<std::size_t>(p));
+  simmpi::RunResult mg_run;
+  if (mg_iterations > 0) {
+    mg_run = simmpi::run_ranks(p, [&](simmpi::Comm& comm) {
+      const auto r = static_cast<std::size_t>(comm.rank());
+      std::vector<double> u(meshes[r].elements.size());
+      for (std::size_t i = 0; i < u.size(); ++i) {
+        const auto a = meshes[r].elements[i].anchor_unit();
+        u[i] = std::sin(6.28 * a[0]) * std::cos(6.28 * a[1]);
+      }
+      mg_reports[r] =
+          app::multigrid_app().run_epoch(meshes[r], curve, comm, mg_iterations, u);
+    });
+  }
 
   // --- incremental adapt epoch ----------------------------------------
   // One AMR step on the pipeline's own leaves: every rank refines ~1% of
@@ -347,6 +377,62 @@ int main(int argc, char** argv) {
     expected.push_back(
         {"fem.plan", machine.tc * 3.0 * static_cast<double>(plan_bytes_max)});
 
+    // Multigrid epoch. The fine level runs pre + 1 (residual) + post
+    // overlapped halo'd applies per V-cycle -- on every rank, whatever its
+    // local hierarchy depth (the wire-schedule invariant) -- so the fine
+    // phases are priced exactly like the matvec's, scaled by that count.
+    // The coarse correction is rank-local: price mg.coarse by replaying
+    // the coarsening ladder over each rank's slice and charging the
+    // Jacobi/residual applies each coarse level actually runs.
+    if (mg_iterations > 0) {
+      const app::MultigridOptions mg_options;
+      const double fine_applies =
+          static_cast<double>(mg_options.pre_smooth + 1 + mg_options.post_smooth) *
+          mg_iterations;
+      const auto mg_step = model.application_time_overlapped(
+          static_cast<double>(interior_max), static_cast<double>(boundary_max),
+          c_max_per_iter, static_cast<double>(m_max));
+      expected.push_back(
+          {"mg.interior",
+           model.compute_time(static_cast<double>(interior_max)) * fine_applies});
+      expected.push_back(
+          {"mg.boundary",
+           model.compute_time(static_cast<double>(boundary_max)) * fine_applies});
+      expected.push_back({"mg.wait", mg_step.exposed_comm * fine_applies});
+
+      int mg_levels_max = 1;
+      for (const auto& rep : mg_reports) mg_levels_max = std::max(mg_levels_max, rep.levels);
+      if (mg_levels_max > 1) {
+        double coarse_work_max = 0.0;
+        for (const auto& mesh : meshes) {
+          std::vector<std::size_t> level_sizes{mesh.elements.size()};
+          std::vector<octree::Octant> fine(mesh.elements.begin(), mesh.elements.end());
+          while (level_sizes.size() <
+                 static_cast<std::size_t>(mg_options.max_levels)) {
+            auto coarse = octree::coarsen_octree(fine, curve, 1);
+            if (coarse.size() == fine.size() ||
+                coarse.size() < mg_options.min_coarse_elements) {
+              break;
+            }
+            level_sizes.push_back(coarse.size());
+            fine = std::move(coarse);
+          }
+          double work = 0.0;
+          for (std::size_t l = 1; l < level_sizes.size(); ++l) {
+            const bool bottom = l + 1 == level_sizes.size();
+            const double applies =
+                bottom ? static_cast<double>(mg_options.coarse_sweeps)
+                       : static_cast<double>(mg_options.pre_smooth + 1 +
+                                             mg_options.post_smooth);
+            work += applies * static_cast<double>(level_sizes[l]);
+          }
+          coarse_work_max = std::max(coarse_work_max, work);
+        }
+        expected.push_back(
+            {"mg.coarse", model.compute_time(coarse_work_max) * mg_iterations});
+      }
+    }
+
     // Incremental adapt epoch: the merge splice streams the largest
     // post-split slice once through memory, octants plus the 128-bit key
     // cache, read + write (Eq. 2's bandwidth term specialized to one merge
@@ -390,8 +476,10 @@ int main(int argc, char** argv) {
     // Volume-priced rounds: tw on the bytes and ts on the messages the
     // ledger attributed to the phase (averaged per rank -- the counters
     // sum over ranks).
-    for (const char* phase :
-         {"mesh.push", "mesh.keep", "mesh.ids", "balance.ripple", "matvec.post"}) {
+    std::vector<const char*> volume_phases{"mesh.push", "mesh.keep", "mesh.ids",
+                                           "balance.ripple", "matvec.post"};
+    if (mg_iterations > 0) volume_phases.push_back("mg.post");
+    for (const char* phase : volume_phases) {
       const auto it = phases.find(phase);
       const double bytes =
           it != phases.end() ? static_cast<double>(it->second.comm_bytes) / p : 0.0;
@@ -430,6 +518,38 @@ int main(int argc, char** argv) {
       slowest.ghost_elements_sent += r.ghost_elements_sent;
     }
     append_fem_report(metrics.child("fem"), slowest);
+
+    // Per-application alpha calibration rows (measured before tracing).
+    auto& apps_node = metrics.child("apps");
+    for (const AppAlpha& a : app_alphas) {
+      auto& child = apps_node.child(a.application->name());
+      child.set("alpha_measured", a.measured);
+      child.set("alpha_nominal", a.application->profile().alpha);
+      child.set("bytes_per_element", a.application->profile().bytes_per_element);
+    }
+
+    // Multigrid epoch timings (max over ranks, like the matvec's).
+    if (mg_iterations > 0) {
+      app::EpochReport mg_slowest;
+      int mg_levels_max = 1;
+      for (const auto& r : mg_reports) {
+        mg_slowest.compute_seconds =
+            std::max(mg_slowest.compute_seconds, r.compute_seconds);
+        mg_slowest.exchange_seconds =
+            std::max(mg_slowest.exchange_seconds, r.exchange_seconds);
+        mg_slowest.plan_seconds = std::max(mg_slowest.plan_seconds, r.plan_seconds);
+        mg_slowest.ghost_elements_sent += r.ghost_elements_sent;
+        mg_levels_max = std::max(mg_levels_max, r.levels);
+      }
+      auto& mg_node = metrics.child("mg");
+      mg_node.set("iterations", mg_iterations);
+      mg_node.set("compute_seconds", mg_slowest.compute_seconds);
+      mg_node.set("exchange_seconds", mg_slowest.exchange_seconds);
+      mg_node.set("plan_seconds", mg_slowest.plan_seconds);
+      mg_node.set("ghost_elements_sent",
+                  static_cast<double>(mg_slowest.ghost_elements_sent));
+      mg_node.set("levels_max", mg_levels_max);
+    }
 
     // Partition quality of the pieces the pipeline actually produced.
     std::vector<octree::Octant> tree;
@@ -511,6 +631,7 @@ int main(int argc, char** argv) {
   for (const auto& [name, agg] : phases) attributed += agg.comm_bytes;
   std::uint64_t ledger_total = 0;
   for (const auto& ledger : run.ledgers) ledger_total += ledger.total_bytes_sent();
+  for (const auto& ledger : mg_run.ledgers) ledger_total += ledger.total_bytes_sent();
   for (const auto& ledger : inc_run.ledgers) ledger_total += ledger.total_bytes_sent();
 
   validation.to_table().print("model validation (" + machine.name + ")");
