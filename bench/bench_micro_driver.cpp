@@ -28,7 +28,12 @@
 //
 // Usage: bench_micro_driver [--steps N] [--ranks P] [--min-level L]
 //          [--max-level L] [--t-end T] [--repeats K] [--json PATH]
-//          [--csv-dir DIR] [--smoke]
+//          [--csv-dir DIR] [--smoke] [--trace PATH]
+//
+// --trace PATH turns on full span recording for the run and exports the
+// Chrome trace of every campaign to PATH; pair it with AMR_TIMELINE=FILE
+// to also stream the per-step campaign timeline (JSONL) -- the two
+// artifacts CI uploads from the smoke run.
 //
 // --smoke shrinks the campaigns for CI and exits 1 if (a) the incremental
 // route's summed splice time loses to the from-scratch route's summed
@@ -45,6 +50,8 @@
 #include "driver/driver.hpp"
 #include "machine/machine_model.hpp"
 #include "machine/perf_model.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace_export.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -95,6 +102,8 @@ int main(int argc, char** argv) {
   const int p = static_cast<int>(args.get_int("ranks", smoke ? 8 : 32));
   const int repeats = static_cast<int>(args.get_int("repeats", smoke ? 2 : 3));
   const std::string json_path = args.get("json", "BENCH_driver.json");
+  const std::string trace_path = args.get("trace", "");
+  if (!trace_path.empty()) obs::set_mode(obs::RecordMode::kFull);
 
   driver::DriverOptions base;
   base.ranks = p;
@@ -214,6 +223,11 @@ int main(int argc, char** argv) {
   }
   json << "  ]\n}\n";
   std::printf("wrote %s\n", json_path.c_str());
+
+  if (!trace_path.empty()) {
+    if (!obs::write_chrome_trace_file(trace_path, obs::snapshot())) return 1;
+    std::printf("wrote %s\n", trace_path.c_str());
+  }
 
   // Regression gates (CI runs these under --smoke).
   int rc = 0;

@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <thread>
 
 #include "mesh/adjacency.hpp"
@@ -36,10 +37,23 @@ void write_bench_preamble(std::ostream& out, const std::string& bench_name,
     hostname[0] = '\0';
   }
   hostname[sizeof(hostname) - 1] = '\0';
+// Build provenance, stamped by bench/CMakeLists.txt so bench_diff can
+// refuse to compare incommensurable runs (different build type / thread
+// budget) and flag cross-commit comparisons.
+#ifndef AMR_GIT_SHA
+#define AMR_GIT_SHA "unknown"
+#endif
+#ifndef AMR_BUILD_TYPE
+#define AMR_BUILD_TYPE "unknown"
+#endif
+
+  const char* amr_threads = std::getenv("AMR_THREADS");
   out << "{\n  \"bench\": \"" << bench_name << "\",\n  \"repeats\": " << repeats
-      << ",\n  \"aggregation\": \"median\",\n  \"host\": {\"hostname\": \""
-      << hostname << "\", \"hardware_threads\": "
-      << std::thread::hardware_concurrency()
+      << ",\n  \"aggregation\": \"median\",\n  \"git_sha\": \"" << AMR_GIT_SHA
+      << "\",\n  \"build_type\": \"" << AMR_BUILD_TYPE << "\",\n  \"amr_threads\": \""
+      << (amr_threads != nullptr ? amr_threads : "")
+      << "\",\n  \"host\": {\"hostname\": \"" << hostname
+      << "\", \"hardware_threads\": " << std::thread::hardware_concurrency()
       << ", \"pool_width\": " << util::ThreadPool::global().size()
       << ", \"compiler\": \"" << __VERSION__ << "\"},\n";
 }

@@ -4,10 +4,13 @@
 #include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <ostream>
 
 #include "app/application.hpp"
 #include "mesh/mesh.hpp"
 #include "obs/recorder.hpp"
+#include "obs/telemetry.hpp"
 #include "octree/adapt.hpp"
 #include "octree/generate.hpp"
 #include "octree/treesort.hpp"
@@ -47,6 +50,39 @@ std::array<double, 3> center_of(const octree::Octant& o, int dim) {
   c[1] += 0.5 * h;
   c[2] = dim == 3 ? c[2] + 0.5 * h : 0.5;
   return c;
+}
+
+/// Telemetry histogram ids of the driver's per-step phases (nanosecond
+/// samples, cumulative over every campaign in the process).
+struct PhaseMetricIds {
+  obs::MetricId adapt;
+  obs::MetricId diff;
+  obs::MetricId repartition;
+  obs::MetricId sort;
+  obs::MetricId solve;
+};
+
+const PhaseMetricIds& phase_metric_ids() {
+  static const PhaseMetricIds ids{
+      obs::Registry::global().histogram("driver.adapt_ns"),
+      obs::Registry::global().histogram("driver.diff_ns"),
+      obs::Registry::global().histogram("driver.repartition_ns"),
+      obs::Registry::global().histogram("driver.sort_ns"),
+      obs::Registry::global().histogram("driver.solve_ns"),
+  };
+  return ids;
+}
+
+std::int64_t seconds_to_ns(double seconds) {
+  return static_cast<std::int64_t>(std::llround(seconds * 1e9));
+}
+
+void write_phase_snapshot(std::ostream& out, const char* name, obs::MetricId id,
+                          bool& first) {
+  if (!first) out << ", ";
+  first = false;
+  out << "\"" << name << "\": ";
+  obs::Registry::global().histogram_value(id).to_json(out);
 }
 
 }  // namespace
@@ -103,6 +139,29 @@ Driver::Driver(const Scenario& scenario, const sfc::Curve& curve,
                                  options_.balance_mode);
   tree_keys_ = sfc::keys_of(curve_, tree_);
   deref_.assign(tree_.size(), 0);
+
+  timeline_ = options_.timeline;
+  if (timeline_ == nullptr) {
+    if (const char* env = std::getenv("AMR_TIMELINE");
+        env != nullptr && env[0] != '\0') {
+      owned_timeline_ = std::make_unique<std::ofstream>(env, std::ios::app);
+      if (*owned_timeline_) timeline_ = owned_timeline_.get();
+    }
+  }
+  if (timeline_ != nullptr) {
+    // The timeline embeds per-phase histogram snapshots, so streaming it
+    // implies recording them.
+    obs::set_telemetry_enabled(true);
+    *timeline_ << "{\"type\": \"campaign\", \"scenario\": \""
+               << to_string(scenario_.kind) << "\", \"dim\": " << scenario_.dim
+               << ", \"ranks\": " << options_.ranks
+               << ", \"steps\": " << options_.steps << ", \"route\": \""
+               << to_string(options_.route) << "\", \"partitioner\": \""
+               << to_string(options_.partitioner)
+               << "\", \"min_level\": " << options_.min_level
+               << ", \"max_level\": " << options_.max_level << "}\n";
+    timeline_->flush();
+  }
 }
 
 void Driver::adapt(double t, StepMetrics& m) {
@@ -370,6 +429,22 @@ StepMetrics Driver::step() {
   repartition(delta, m);
   solve_epoch(m);
   ++steps_done_;
+
+  // Feed the cumulative per-phase histograms (no-ops when telemetry is
+  // off) and stream the step's timeline record before handing metrics
+  // back, so a campaign that dies mid-run has every completed step on
+  // disk.
+  const PhaseMetricIds& ids = phase_metric_ids();
+  obs::Registry& registry = obs::Registry::global();
+  registry.observe(ids.adapt, seconds_to_ns(m.adapt_seconds));
+  registry.observe(ids.diff, seconds_to_ns(m.diff_seconds));
+  registry.observe(ids.repartition, seconds_to_ns(m.repartition_seconds));
+  registry.observe(ids.sort, seconds_to_ns(m.sort_seconds));
+  registry.observe(ids.solve, seconds_to_ns(m.solve_seconds));
+  if (timeline_ != nullptr) {
+    write_timeline_record(*timeline_, m, options_.route);
+    timeline_->flush();
+  }
   return m;
 }
 
@@ -426,6 +501,49 @@ void Driver::append_campaign(obs::RunMetrics& node, const CampaignResult& result
   totals.set("sort_seconds", result.total_sort_seconds());
   totals.set("predicted_seconds", result.total_predicted_seconds());
   totals.set("mean_change_fraction", result.mean_change_fraction());
+}
+
+void write_timeline_record(std::ostream& out, const StepMetrics& m,
+                           RepartitionRoute configured_route) {
+  // The route the step actually took, which StepMetrics alone cannot
+  // name: step 0 always partitions from scratch, and the incremental
+  // route may have spliced (merge) or fallen back to a full local sort.
+  const char* route = "full";
+  if (m.first_epoch) {
+    route = "first";
+  } else if (configured_route == RepartitionRoute::kFromScratch) {
+    route = "scratch";
+  } else if (m.merge_route) {
+    route = "merge";
+  }
+
+  const double measured = m.adapt_seconds + m.diff_seconds +
+                          m.repartition_seconds + m.solve_seconds;
+  out << "{\"type\": \"step\", \"step\": " << m.step << ", \"t\": " << m.t
+      << ", \"route\": \"" << route << "\", \"leaves\": " << m.leaves
+      << ", \"refined\": " << m.refined << ", \"coarsened\": " << m.coarsened
+      << ", \"balance_splits\": " << m.balance_splits
+      << ", \"delta_inserts\": " << m.delta_inserts
+      << ", \"delta_deletes\": " << m.delta_deletes
+      << ", \"change_fraction\": " << m.change_fraction
+      << ", \"kept_previous\": " << (m.kept_previous ? "true" : "false")
+      << ", \"migrated\": " << m.migrated
+      << ", \"load_imbalance\": " << m.load_imbalance << ", \"c_max\": " << m.c_max
+      << ", \"predicted_step_seconds\": " << m.predicted_step_seconds
+      << ", \"measured_step_seconds\": " << measured
+      << ", \"adapt_seconds\": " << m.adapt_seconds
+      << ", \"diff_seconds\": " << m.diff_seconds
+      << ", \"repartition_seconds\": " << m.repartition_seconds
+      << ", \"sort_seconds\": " << m.sort_seconds
+      << ", \"solve_seconds\": " << m.solve_seconds << ", \"phases\": {";
+  const PhaseMetricIds& ids = phase_metric_ids();
+  bool first = true;
+  write_phase_snapshot(out, "adapt_ns", ids.adapt, first);
+  write_phase_snapshot(out, "diff_ns", ids.diff, first);
+  write_phase_snapshot(out, "repartition_ns", ids.repartition, first);
+  write_phase_snapshot(out, "sort_ns", ids.sort, first);
+  write_phase_snapshot(out, "solve_ns", ids.solve, first);
+  out << "}}\n";
 }
 
 }  // namespace amr::driver

@@ -38,6 +38,8 @@
 #pragma once
 
 #include <cstddef>
+#include <fstream>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -110,6 +112,12 @@ struct DriverOptions {
   /// Partition-quality sampling stride (1 = exact; benches at large n may
   /// sample, like OptiPart's own estimator).
   int quality_sample_stride = 1;
+  /// Campaign-timeline sink: one JSONL record per completed step (plus one
+  /// campaign header), streamed as the campaign runs -- long campaigns are
+  /// observable mid-flight and a crash loses at most the current step.
+  /// nullptr consults AMR_TIMELINE (a path, opened in append mode so
+  /// multi-campaign benches interleave whole campaigns, not bytes).
+  std::ostream* timeline = nullptr;
 };
 
 /// One step's accounting. Sizes are global; seconds are wall times of this
@@ -180,6 +188,10 @@ class Driver {
   static void append_campaign(obs::RunMetrics& node, const CampaignResult& result,
                               const DriverOptions& options, const Scenario& scenario);
 
+  /// The timeline sink in effect (options.timeline, or the AMR_TIMELINE
+  /// file the constructor opened), nullptr when the timeline is off.
+  [[nodiscard]] std::ostream* timeline_sink() const { return timeline_; }
+
  private:
   void adapt(double t, StepMetrics& m);
   void repartition(const octree::DeltaStream& global_delta, StepMetrics& m);
@@ -199,6 +211,20 @@ class Driver {
   simmpi::SplitterSet splitters_;
   bool have_epoch_ = false;
   int steps_done_ = 0;
+
+  std::ostream* timeline_ = nullptr;
+  std::unique_ptr<std::ofstream> owned_timeline_;  ///< AMR_TIMELINE file
 };
+
+/// Serialize one step's StepMetrics as a single campaign-timeline JSONL
+/// record (one line, newline-terminated): step identity, adaptation and
+/// delta sizes, the repartition route actually taken ("first" / "scratch"
+/// / "merge" / "full"), keep-vs-adopt, migration volume, Eq. 3 predicted
+/// vs measured seconds, wall times, and a snapshot of the cumulative
+/// per-phase latency histograms from the telemetry registry. Schema in
+/// DESIGN.md §16; driver_test checks each line parses and carries the
+/// required fields.
+void write_timeline_record(std::ostream& out, const StepMetrics& m,
+                           RepartitionRoute configured_route);
 
 }  // namespace amr::driver

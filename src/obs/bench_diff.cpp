@@ -1,0 +1,203 @@
+#include "obs/bench_diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <string_view>
+
+namespace amr::obs {
+
+namespace {
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool contains(std::string_view s, std::string_view needle) {
+  return s.find(needle) != std::string_view::npos;
+}
+
+struct FieldClass {
+  int direction = 0;  ///< -1 lower-better, +1 higher-better, 0 not compared
+  bool host_dependent = false;
+  bool time_like = false;  ///< subject to the seconds noise floor
+};
+
+FieldClass classify(std::string_view key) {
+  if (contains(key, "speedup") || contains(key, "advantage")) {
+    return {+1, false, false};
+  }
+  if (ends_with(key, "_per_s") || contains(key, "throughput")) {
+    return {+1, true, false};
+  }
+  if (ends_with(key, "seconds") || ends_with(key, "_ns") || ends_with(key, "_ms") ||
+      ends_with(key, "joules") || key == "median" || key == "best") {
+    return {-1, true, true};
+  }
+  return {};
+}
+
+/// Top-level string field, or empty when absent / not a string.
+std::string_view string_field(const util::Json& doc, std::string_view key) {
+  const util::Json* v = doc.find(key);
+  return (v != nullptr && v->is_string()) ? std::string_view(v->str())
+                                          : std::string_view{};
+}
+
+/// Provenance fields refuse comparison only when both sides carry a real
+/// value (older baselines predate the fields; "unknown" stamps say
+/// nothing either way).
+bool provenance_conflicts(std::string_view a, std::string_view b) {
+  if (a.empty() || b.empty()) return false;
+  if (a == "unknown" || b == "unknown") return false;
+  if (a == "unspecified" || b == "unspecified") return false;
+  return a != b;
+}
+
+struct Walker {
+  const BenchDiffOptions& options;
+  DiffReport& report;
+
+  void compare_leaf(const std::string& path, std::string_view key, double base,
+                    double cand) {
+    const FieldClass cls = classify(key);
+    if (cls.direction == 0) return;
+
+    DiffRow row;
+    row.path = path;
+    row.baseline = base;
+    row.candidate = cand;
+    row.ratio = base != 0.0 ? cand / base : 0.0;
+
+    const bool demoted = cls.host_dependent && report.host_mismatch;
+    const bool below_floor = cls.time_like &&
+                             std::max(std::abs(base), std::abs(cand)) <
+                                 options.min_time_seconds;
+    if (demoted || below_floor) {
+      row.status = DiffRowStatus::kInfo;
+      row.note = demoted ? "host mismatch: informational" : "below noise floor";
+      report.rows.push_back(std::move(row));
+      return;
+    }
+
+    // Ratio of the worse side over the better side, oriented so > 1 means
+    // the candidate moved in the named direction.
+    double worse_ratio = 0.0;   // how much worse the candidate got
+    double better_ratio = 0.0;  // how much better
+    if (base > 0.0 && cand > 0.0) {
+      if (cls.direction < 0) {  // lower is better
+        worse_ratio = cand / base;
+        better_ratio = base / cand;
+      } else {
+        worse_ratio = base / cand;
+        better_ratio = cand / base;
+      }
+    }
+    if (worse_ratio > options.ratio_threshold) {
+      row.status = DiffRowStatus::kRegressed;
+      ++report.regressions;
+    } else if (better_ratio > options.ratio_threshold) {
+      row.status = DiffRowStatus::kImproved;
+      ++report.improvements;
+    }
+    report.rows.push_back(std::move(row));
+  }
+
+  void walk(const std::string& path, const util::Json& base, const util::Json& cand) {
+    if (base.is_object() && cand.is_object()) {
+      for (const auto& [key, value] : base.items()) {
+        const util::Json* other = cand.find(key);
+        if (other == nullptr) continue;
+        const std::string child = path.empty() ? key : path + "." + key;
+        if (value.is_number() && other->is_number()) {
+          compare_leaf(child, key, value.number(), other->number());
+        } else {
+          walk(child, value, *other);
+        }
+      }
+      return;
+    }
+    if (base.is_array() && cand.is_array()) {
+      const std::size_t n = std::min(base.array().size(), cand.array().size());
+      for (std::size_t i = 0; i < n; ++i) {
+        walk(path + "[" + std::to_string(i) + "]", base.array()[i], cand.array()[i]);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+DiffReport diff_bench(const util::Json& baseline, const util::Json& candidate,
+                      const BenchDiffOptions& options) {
+  DiffReport report;
+
+  const std::string_view base_bench = string_field(baseline, "bench");
+  const std::string_view cand_bench = string_field(candidate, "bench");
+  if (base_bench != cand_bench) {
+    report.incommensurable = true;
+    report.reason = "bench name mismatch: '" + std::string(base_bench) + "' vs '" +
+                    std::string(cand_bench) + "'";
+    return report;
+  }
+  if (provenance_conflicts(string_field(baseline, "build_type"),
+                           string_field(candidate, "build_type"))) {
+    report.incommensurable = true;
+    report.reason = "build_type mismatch: '" +
+                    std::string(string_field(baseline, "build_type")) + "' vs '" +
+                    std::string(string_field(candidate, "build_type")) + "'";
+    return report;
+  }
+  if (provenance_conflicts(string_field(baseline, "amr_threads"),
+                           string_field(candidate, "amr_threads"))) {
+    report.incommensurable = true;
+    report.reason = "AMR_THREADS mismatch: '" +
+                    std::string(string_field(baseline, "amr_threads")) + "' vs '" +
+                    std::string(string_field(candidate, "amr_threads")) + "'";
+    return report;
+  }
+
+  const util::Json* base_host = baseline.find("host");
+  const util::Json* cand_host = candidate.find("host");
+  if (base_host != nullptr && cand_host != nullptr) {
+    const std::string_view a = string_field(*base_host, "hostname");
+    const std::string_view b = string_field(*cand_host, "hostname");
+    report.host_mismatch = !a.empty() && !b.empty() && a != b;
+  }
+
+  Walker walker{options, report};
+  walker.walk("", baseline, candidate);
+  return report;
+}
+
+void print_report(std::ostream& out, const DiffReport& report, bool show_ok_rows) {
+  if (report.incommensurable) {
+    out << "bench_diff: incommensurable runs: " << report.reason << "\n";
+    return;
+  }
+  if (report.host_mismatch) {
+    out << "bench_diff: hostnames differ; wall-time rows are informational, "
+           "ratio rows still gate\n";
+  }
+  for (const DiffRow& row : report.rows) {
+    const char* tag = nullptr;
+    switch (row.status) {
+      case DiffRowStatus::kRegressed: tag = "REGRESSED"; break;
+      case DiffRowStatus::kImproved: tag = "improved"; break;
+      case DiffRowStatus::kInfo: tag = "info"; break;
+      case DiffRowStatus::kOk:
+        if (!show_ok_rows) continue;
+        tag = "ok";
+        break;
+    }
+    out << "  [" << tag << "] " << row.path << ": " << row.baseline << " -> "
+        << row.candidate;
+    if (row.ratio > 0.0) out << " (x" << row.ratio << ")";
+    if (!row.note.empty()) out << " [" << row.note << "]";
+    out << "\n";
+  }
+  out << "bench_diff: " << report.rows.size() << " compared, " << report.regressions
+      << " regressed, " << report.improvements << " improved\n";
+}
+
+}  // namespace amr::obs

@@ -1,0 +1,77 @@
+// obs: noise-aware BENCH_*.json comparison -- the perf-regression gate
+// (DESIGN.md §16).
+//
+// The bench harnesses emit one JSON document per family; CI commits them
+// as baselines. diff_bench() walks two documents' matching numeric leaf
+// paths and classifies each field by its name:
+//
+//   * lower-better, host-dependent  -- *_seconds, *_ns, *_joules, median,
+//     best: wall-clock and energy. Comparable only between runs on the
+//     same host.
+//   * higher-better, host-portable  -- *speedup*, *advantage*: ratios of
+//     two timings from the same run, so they survive a host change.
+//   * higher-better, host-dependent -- *_per_s, *throughput*.
+//   * everything else               -- shape/config fields, not compared.
+//
+// A directional field regresses when it moves the wrong way by more than
+// `ratio_threshold` AND (for time fields) both sides sit above the noise
+// floor `min_time_seconds` -- sub-100us medians flap on shared runners
+// and gate nothing. When the hostnames differ, host-dependent rows are
+// demoted to informational and only the portable ratios gate.
+//
+// Runs are refused outright (incommensurable) when bench name, build
+// type, or the effective AMR_THREADS differ -- comparing a Debug run to
+// a Release baseline is not a regression signal. Fields absent on either
+// side (older baselines) are simply not compared.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace amr::obs {
+
+struct BenchDiffOptions {
+  /// Flag when the wrong-direction ratio exceeds this (1.5 = 50% worse).
+  double ratio_threshold = 1.5;
+  /// Time rows where both sides are below this many seconds never gate.
+  double min_time_seconds = 1e-4;
+};
+
+enum class DiffRowStatus {
+  kOk,         ///< within threshold
+  kRegressed,  ///< moved the wrong way beyond threshold
+  kImproved,   ///< moved the right way beyond threshold
+  kInfo,       ///< reported but never gates (host mismatch / noise floor)
+};
+
+struct DiffRow {
+  std::string path;        ///< dotted JSON path, e.g. "scenarios[0].sort_speedup"
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double ratio = 0.0;      ///< candidate / baseline (0 when baseline is 0)
+  DiffRowStatus status = DiffRowStatus::kOk;
+  std::string note;
+};
+
+struct DiffReport {
+  std::vector<DiffRow> rows;     ///< every directional field found in both docs
+  bool incommensurable = false;
+  std::string reason;            ///< set when incommensurable
+  bool host_mismatch = false;    ///< hostnames differ; time rows demoted
+  int regressions = 0;
+  int improvements = 0;
+};
+
+/// Compare candidate against baseline (both parsed BENCH_*.json docs).
+[[nodiscard]] DiffReport diff_bench(const util::Json& baseline,
+                                    const util::Json& candidate,
+                                    const BenchDiffOptions& options = {});
+
+/// Human-readable rendering: one line per non-kOk row plus a verdict.
+void print_report(std::ostream& out, const DiffReport& report,
+                  bool show_ok_rows = false);
+
+}  // namespace amr::obs

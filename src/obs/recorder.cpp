@@ -55,10 +55,13 @@ class ThreadBuffer {
   std::vector<Event> slots_;
 };
 
+constexpr std::size_t kDefaultFlightCapacity = 256;
+
 struct Registry {
   std::mutex mutex;
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  std::size_t capacity = 0;  ///< 0 = resolve from env on first buffer
+  std::size_t capacity = 0;         ///< 0 = resolve from env on first buffer
+  std::size_t flight_capacity = 0;  ///< 0 = resolve from env on first buffer
 };
 
 Registry& registry() {
@@ -68,6 +71,17 @@ Registry& registry() {
 
 std::size_t resolve_capacity() {
   Registry& r = registry();
+  if (amr::obs::mode() == amr::obs::RecordMode::kFlight) {
+    if (r.flight_capacity == 0) {
+      std::size_t cap = kDefaultFlightCapacity;
+      if (const char* env = std::getenv("AMR_FLIGHT_RECORDER")) {
+        const long long v = std::atoll(env);
+        if (v > 1) cap = static_cast<std::size_t>(v);
+      }
+      r.flight_capacity = round_up_pow2(std::max<std::size_t>(cap, 8));
+    }
+    return r.flight_capacity;
+  }
   if (r.capacity == 0) {
     std::size_t cap = kDefaultCapacity;
     if (const char* env = std::getenv("AMR_TRACE_BUFFER")) {
@@ -116,8 +130,14 @@ namespace detail {
 std::atomic<int> g_enabled{-1};
 
 int resolve_enabled_slow() noexcept {
-  const char* env = std::getenv("AMR_TRACE");
-  const int v = (env != nullptr && env[0] != '\0' && env[0] != '0') ? 1 : 0;
+  const char* trace = std::getenv("AMR_TRACE");
+  const char* flight = std::getenv("AMR_FLIGHT_RECORDER");
+  int v = 0;
+  if (trace != nullptr && trace[0] != '\0' && trace[0] != '0') {
+    v = static_cast<int>(RecordMode::kFull);
+  } else if (flight != nullptr && flight[0] != '\0' && flight[0] != '0') {
+    v = static_cast<int>(RecordMode::kFlight);
+  }
   int expected = -1;
   g_enabled.compare_exchange_strong(expected, v, std::memory_order_relaxed);
   return g_enabled.load(std::memory_order_relaxed);
@@ -140,13 +160,31 @@ void record(const Event& event) noexcept {
 }  // namespace detail
 
 void set_enabled(bool on) noexcept {
-  detail::g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+  detail::g_enabled.store(
+      static_cast<int>(on ? RecordMode::kFull : RecordMode::kOff),
+      std::memory_order_relaxed);
+}
+
+void set_mode(RecordMode mode) noexcept {
+  detail::g_enabled.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+RecordMode mode() noexcept {
+  int v = detail::g_enabled.load(std::memory_order_relaxed);
+  if (v < 0) v = detail::resolve_enabled_slow();
+  return static_cast<RecordMode>(v);
 }
 
 void set_buffer_capacity(std::size_t events) {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mutex);
   r.capacity = round_up_pow2(std::max<std::size_t>(events, 8));
+}
+
+void set_flight_capacity(std::size_t events) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.flight_capacity = round_up_pow2(std::max<std::size_t>(events, 8));
 }
 
 void clear() {

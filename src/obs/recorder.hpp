@@ -23,6 +23,15 @@
 // obs::set_enabled(true)) every macro reduces to one relaxed atomic load
 // -- no clock read, no buffer creation, no allocation.
 //
+// A third mode sits between off and full tracing: the *flight recorder*
+// (AMR_FLIGHT_RECORDER=1, or =N for an N-event ring; obs::set_mode).
+// Recording runs through exactly the same hot path, but each thread's
+// ring is tiny (default 256 events), so the process retains only the
+// last-events tail per thread -- bounded memory, always-on. The simmpi
+// stall watchdog appends this tail to every DeadlockError diagnostic
+// (obs::flight_dump, telemetry.hpp), turning a would-be hang into a
+// readable "last N events per rank" post-mortem.
+//
 // Span and counter names must have static storage duration (string
 // literals): the recorder stores the pointer, not a copy.
 //
@@ -55,27 +64,43 @@ struct Event {
   EventType type = EventType::kSpan;
 };
 
+/// How (and whether) events are being retained.
+enum class RecordMode : int {
+  kOff = 0,     ///< macros are one relaxed load, nothing recorded
+  kFull = 1,    ///< full-trace rings (default 1<<16 events per thread)
+  kFlight = 2,  ///< flight-recorder rings (default 256 events per thread)
+};
+
 namespace detail {
-/// -1 = unresolved (consult AMR_TRACE on first query), 0 = off, 1 = on.
+/// -1 = unresolved (consult AMR_TRACE / AMR_FLIGHT_RECORDER on first
+/// query), else the RecordMode as an int.
 extern std::atomic<int> g_enabled;
 int resolve_enabled_slow() noexcept;
 void record(const Event& event) noexcept;
 [[nodiscard]] std::int64_t now_ns() noexcept;
 }  // namespace detail
 
-/// Fast global switch; one relaxed load on the disabled path.
+/// Fast global switch; one relaxed load on the disabled path. True in
+/// both full-trace and flight-recorder modes.
 [[nodiscard]] inline bool enabled() noexcept {
   int v = detail::g_enabled.load(std::memory_order_relaxed);
   if (v < 0) v = detail::resolve_enabled_slow();
-  return v == 1;
+  return v > 0;
 }
 
-void set_enabled(bool on) noexcept;
+void set_enabled(bool on) noexcept;  ///< kFull / kOff (legacy toggle)
+void set_mode(RecordMode mode) noexcept;
+[[nodiscard]] RecordMode mode() noexcept;
 
-/// Capacity (events) of rings created after this call; rounded up to a
-/// power of two, default 1<<16 (or AMR_TRACE_BUFFER). Existing buffers
-/// keep their size.
+/// Capacity (events) of full-trace rings created after this call; rounded
+/// up to a power of two, default 1<<16 (or AMR_TRACE_BUFFER). Existing
+/// buffers keep their size.
 void set_buffer_capacity(std::size_t events);
+
+/// Capacity of flight-recorder rings created after this call; rounded up
+/// to a power of two, default 256 (or the numeric value of
+/// AMR_FLIGHT_RECORDER when > 1).
+void set_flight_capacity(std::size_t events);
 
 /// Drop all recorded events and retire buffers of threads that have
 /// exited. Callers must ensure no thread is concurrently recording.

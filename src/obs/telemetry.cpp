@@ -1,0 +1,403 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/recorder.hpp"
+
+namespace amr::obs {
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+
+int LatencyHistogram::bucket_of(std::int64_t value) noexcept {
+  if (value < 0) return 0;
+  const auto u = static_cast<std::uint64_t>(value);
+  if (u < kSubBuckets) return static_cast<int>(u);
+  const int e = 63 - std::countl_zero(u);  // exponent of the leading bit
+  return (e - kSubBits + 1) * kSubBuckets +
+         static_cast<int>((u >> (e - kSubBits)) & (kSubBuckets - 1));
+}
+
+std::int64_t LatencyHistogram::bucket_lower_bound(int bucket) noexcept {
+  if (bucket < kSubBuckets) return bucket;
+  const int e = bucket / kSubBuckets + kSubBits - 1;
+  const int sub = bucket % kSubBuckets;
+  return static_cast<std::int64_t>(kSubBuckets + sub) << (e - kSubBits);
+}
+
+std::int64_t LatencyHistogram::bucket_upper_bound(int bucket) noexcept {
+  if (bucket >= kBucketCount - 1) return std::numeric_limits<std::int64_t>::max();
+  return bucket_lower_bound(bucket + 1) - 1;
+}
+
+void LatencyHistogram::record(std::int64_t value) noexcept {
+  ++buckets_[static_cast<std::size_t>(bucket_of(value))];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::int64_t LatencyHistogram::value_at_quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    cumulative += buckets_[static_cast<std::size_t>(i)];
+    if (cumulative >= target) {
+      // Clamping by the observed max only tightens the answer: the max lives
+      // in this bucket or a later one, so the result stays within-bucket.
+      return std::min(bucket_upper_bound(i), max_);
+    }
+  }
+  return max_;  // unreachable when the invariants hold
+}
+
+bool LatencyHistogram::operator==(const LatencyHistogram& other) const {
+  if (count_ != other.count_ || sum_ != other.sum_ || buckets_ != other.buckets_) {
+    return false;
+  }
+  return count_ == 0 || (min_ == other.min_ && max_ == other.max_);
+}
+
+void LatencyHistogram::to_json(std::ostream& out) const {
+  out << "{\"count\": " << count_ << ", \"sum\": " << (count_ > 0 ? sum_ : 0)
+      << ", \"min\": " << min() << ", \"max\": " << max() << ", \"mean\": " << mean()
+      << ", \"p50\": " << p50() << ", \"p99\": " << p99() << ", \"p999\": " << p999()
+      << "}";
+}
+
+LatencyHistogram LatencyHistogram::from_parts(
+    const std::array<std::uint64_t, kBucketCount>& buckets, std::uint64_t count,
+    std::int64_t sum, std::int64_t min, std::int64_t max) {
+  LatencyHistogram h;
+  h.buckets_ = buckets;
+  h.count_ = count;
+  if (count > 0) {
+    h.sum_ = sum;
+    h.min_ = min;
+    h.max_ = max;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+namespace detail {
+
+std::atomic<int> g_telemetry_enabled{-1};
+
+int resolve_telemetry_slow() noexcept {
+  const char* env = std::getenv("AMR_TELEMETRY");
+  const int v = (env != nullptr && env[0] != '\0' && env[0] != '0') ? 1 : 0;
+  int expected = -1;
+  g_telemetry_enabled.compare_exchange_strong(expected, v, std::memory_order_relaxed);
+  return g_telemetry_enabled.load(std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+void set_telemetry_enabled(bool on) noexcept {
+  detail::g_telemetry_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Histogram state of one (shard, metric) pair. Owner-only writes with
+/// relaxed atomics; a concurrent collect() reads a racy-but-defined view
+/// and a quiescent-writer collect() reads an exact one (the same contract
+/// as the span recorder's snapshot()).
+struct ShardHist {
+  std::array<std::atomic<std::uint64_t>, LatencyHistogram::kBucketCount> buckets{};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::int64_t> sum{0};
+  std::atomic<std::int64_t> min{std::numeric_limits<std::int64_t>::max()};
+  std::atomic<std::int64_t> max{std::numeric_limits<std::int64_t>::min()};
+};
+
+}  // namespace
+
+struct Registry::Impl {
+  struct MetricInfo {
+    const char* name = nullptr;  ///< static-storage string, not copied
+    MetricKind kind = MetricKind::kCounter;
+  };
+
+  /// One thread's private slice of every counter/histogram metric. Fixed
+  /// arrays so the update path never resizes; histograms allocate lazily
+  /// (one acquire load per observe, one allocation per (thread, metric)).
+  struct Shard {
+    std::array<std::atomic<std::int64_t>, kMaxMetrics> counters{};
+    std::array<std::atomic<ShardHist*>, kMaxMetrics> hists{};
+    std::atomic<bool> owner_alive{true};
+
+    ~Shard() {
+      for (auto& slot : hists) delete slot.load(std::memory_order_acquire);
+    }
+  };
+
+  mutable std::mutex mutex;
+  std::vector<MetricInfo> metrics;
+  std::vector<std::shared_ptr<Shard>> shards;
+  std::array<std::atomic<std::int64_t>, kMaxMetrics> gauges{};
+
+  MetricId register_metric(const char* name, MetricKind kind) {
+    std::lock_guard<std::mutex> lock(mutex);
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+      if (std::strcmp(metrics[i].name, name) == 0) {
+        if (metrics[i].kind != kind) {
+          throw std::logic_error(std::string("telemetry metric '") + name +
+                                 "' re-registered with a different kind");
+        }
+        return static_cast<MetricId>(i);
+      }
+    }
+    if (metrics.size() >= kMaxMetrics) {
+      throw std::length_error("telemetry registry full (kMaxMetrics)");
+    }
+    metrics.push_back(MetricInfo{name, kind});
+    return static_cast<MetricId>(metrics.size() - 1);
+  }
+};
+
+namespace {
+
+/// Thread-local shard handle. There is exactly one Registry (the leaked
+/// global), so one handle per thread suffices; the destructor orphans the
+/// shard so reset() can prune it once the thread is gone, while collect()
+/// still folds the finished thread's contribution.
+struct ShardHandle {
+  std::shared_ptr<Registry::Impl::Shard> shard;
+  ~ShardHandle() {
+    if (shard) shard->owner_alive.store(false, std::memory_order_release);
+  }
+};
+
+Registry::Impl::Shard& local_shard(Registry::Impl& impl) {
+  thread_local ShardHandle handle;
+  if (!handle.shard) {
+    std::lock_guard<std::mutex> lock(impl.mutex);
+    handle.shard = std::make_shared<Registry::Impl::Shard>();
+    impl.shards.push_back(handle.shard);
+  }
+  return *handle.shard;
+}
+
+/// Fold one shard's histogram state into an exact-value LatencyHistogram.
+LatencyHistogram fold_shard_hist(const ShardHist& sh) {
+  std::array<std::uint64_t, LatencyHistogram::kBucketCount> buckets{};
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    buckets[i] = sh.buckets[i].load(std::memory_order_relaxed);
+  }
+  return LatencyHistogram::from_parts(
+      buckets, sh.count.load(std::memory_order_relaxed),
+      sh.sum.load(std::memory_order_relaxed), sh.min.load(std::memory_order_relaxed),
+      sh.max.load(std::memory_order_relaxed));
+}
+
+}  // namespace
+
+Registry::Registry() : impl_(new Impl) {}
+
+Registry& Registry::global() {
+  static Registry* r = new Registry;  // leaked: threads may outlive statics
+  return *r;
+}
+
+MetricId Registry::counter(const char* name) {
+  return impl_->register_metric(name, MetricKind::kCounter);
+}
+
+MetricId Registry::gauge(const char* name) {
+  return impl_->register_metric(name, MetricKind::kGauge);
+}
+
+MetricId Registry::histogram(const char* name) {
+  return impl_->register_metric(name, MetricKind::kHistogram);
+}
+
+void Registry::add(MetricId id, std::int64_t delta) noexcept {
+  if (!telemetry_enabled()) return;
+  if (id < 0 || static_cast<std::size_t>(id) >= kMaxMetrics) return;
+  local_shard(*impl_).counters[static_cast<std::size_t>(id)].fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+void Registry::set_gauge(MetricId id, std::int64_t value) noexcept {
+  if (!telemetry_enabled()) return;
+  if (id < 0 || static_cast<std::size_t>(id) >= kMaxMetrics) return;
+  impl_->gauges[static_cast<std::size_t>(id)].store(value, std::memory_order_relaxed);
+}
+
+void Registry::observe(MetricId id, std::int64_t value) noexcept {
+  if (!telemetry_enabled()) return;
+  if (id < 0 || static_cast<std::size_t>(id) >= kMaxMetrics) return;
+  Impl::Shard& shard = local_shard(*impl_);
+  auto& slot = shard.hists[static_cast<std::size_t>(id)];
+  ShardHist* h = slot.load(std::memory_order_acquire);
+  if (h == nullptr) {
+    h = new ShardHist;
+    slot.store(h, std::memory_order_release);  // owner is the only writer
+  }
+  h->buckets[static_cast<std::size_t>(LatencyHistogram::bucket_of(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  h->count.fetch_add(1, std::memory_order_relaxed);
+  h->sum.fetch_add(value, std::memory_order_relaxed);
+  if (value < h->min.load(std::memory_order_relaxed)) {
+    h->min.store(value, std::memory_order_relaxed);
+  }
+  if (value > h->max.load(std::memory_order_relaxed)) {
+    h->max.store(value, std::memory_order_relaxed);
+  }
+}
+
+std::vector<MetricValue> Registry::collect() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<MetricValue> out;
+  out.reserve(impl_->metrics.size());
+  for (std::size_t id = 0; id < impl_->metrics.size(); ++id) {
+    MetricValue v;
+    v.name = impl_->metrics[id].name;
+    v.kind = impl_->metrics[id].kind;
+    switch (v.kind) {
+      case MetricKind::kCounter:
+        for (const auto& shard : impl_->shards) {
+          v.value += shard->counters[id].load(std::memory_order_relaxed);
+        }
+        break;
+      case MetricKind::kGauge:
+        v.value = impl_->gauges[id].load(std::memory_order_relaxed);
+        break;
+      case MetricKind::kHistogram:
+        for (const auto& shard : impl_->shards) {
+          if (const ShardHist* h = shard->hists[id].load(std::memory_order_acquire)) {
+            v.histogram.merge(fold_shard_hist(*h));
+          }
+        }
+        v.value = static_cast<std::int64_t>(v.histogram.count());
+        break;
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+LatencyHistogram Registry::histogram_value(MetricId id) const {
+  LatencyHistogram merged;
+  if (id < 0 || static_cast<std::size_t>(id) >= kMaxMetrics) return merged;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const auto& shard : impl_->shards) {
+    if (const ShardHist* h =
+            shard->hists[static_cast<std::size_t>(id)].load(std::memory_order_acquire)) {
+      merged.merge(fold_shard_hist(*h));
+    }
+  }
+  return merged;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::erase_if(impl_->shards, [](const std::shared_ptr<Impl::Shard>& s) {
+    return !s->owner_alive.load(std::memory_order_acquire);
+  });
+  for (const auto& shard : impl_->shards) {
+    for (std::size_t i = 0; i < kMaxMetrics; ++i) {
+      shard->counters[i].store(0, std::memory_order_relaxed);
+      if (ShardHist* h = shard->hists[i].load(std::memory_order_acquire)) {
+        for (auto& b : h->buckets) b.store(0, std::memory_order_relaxed);
+        h->count.store(0, std::memory_order_relaxed);
+        h->sum.store(0, std::memory_order_relaxed);
+        h->min.store(std::numeric_limits<std::int64_t>::max(),
+                     std::memory_order_relaxed);
+        h->max.store(std::numeric_limits<std::int64_t>::min(),
+                     std::memory_order_relaxed);
+      }
+    }
+  }
+  for (auto& g : impl_->gauges) g.store(0, std::memory_order_relaxed);
+}
+
+std::size_t Registry::shard_count() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->shards.size();
+}
+
+std::size_t Registry::metric_count() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->metrics.size();
+}
+
+// ---------------------------------------------------------------------------
+// flight_dump
+
+std::string flight_dump(std::size_t per_rank) {
+  std::ostringstream out;
+  const RecordMode m = mode();
+  if (m == RecordMode::kOff) {
+    out << "flight recorder: off (set AMR_FLIGHT_RECORDER=1 to retain a "
+           "per-thread event tail)\n";
+    return out.str();
+  }
+  const Snapshot snap = snapshot();
+  out << "flight recorder (" << (m == RecordMode::kFlight ? "flight" : "full-trace")
+      << " mode, " << snap.events.size() << " events retained, " << snap.dropped
+      << " overwritten):\n";
+  if (snap.events.empty()) {
+    out << "  (no events recorded)\n";
+    return out.str();
+  }
+  std::map<int, std::vector<const Event*>> by_rank;
+  for (const Event& e : snap.events) by_rank[e.rank].push_back(&e);
+  for (const auto& [rank, events] : by_rank) {
+    const std::size_t n = std::min(per_rank, events.size());
+    out << "  ";
+    if (rank < 0) {
+      out << "host";
+    } else {
+      out << "rank " << rank;
+    }
+    out << " -- last " << n << " of " << events.size() << " events:\n";
+    for (std::size_t i = events.size() - n; i < events.size(); ++i) {
+      const Event& e = *events[i];
+      out << "    t+" << e.ts_ns << "ns tid=" << e.tid << ' ';
+      switch (e.type) {
+        case EventType::kSpan:
+          out << "span " << e.name << " dur=" << e.dur_ns << "ns";
+          if (e.value != 0) out << " value=" << e.value;
+          break;
+        case EventType::kInstant:
+          out << "instant " << e.name;
+          break;
+        case EventType::kCounter:
+          out << "counter " << e.name << " = " << e.value;
+          break;
+      }
+      out << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace amr::obs

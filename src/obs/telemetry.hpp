@@ -1,0 +1,195 @@
+// obs: streaming telemetry -- the always-on half of the observability
+// subsystem (DESIGN.md §16).
+//
+// The span recorder (recorder.hpp) answers "what happened, in order"
+// after a run; this module answers quantile and rate questions *during*
+// one, at hot-kernel cost. Three pieces:
+//
+//  * obs::LatencyHistogram -- a log-bucketed histogram of non-negative
+//    int64 samples (nanoseconds, bytes, counts). Buckets are 16 linear
+//    sub-buckets per power of two (values < 16 are exact), so any
+//    reported quantile is within one bucket -- <= 1/16 relative error --
+//    of the exact order statistic. Histograms merge by bucket-wise
+//    addition: the merge is associative and commutative, a merged
+//    histogram is bit-for-bit the histogram of the concatenated streams,
+//    and so is every quantile read from it. That associativity is what
+//    lets per-thread shards fold into a process view and process views
+//    fold across simmpi ranks (simmpi/dist_telemetry.hpp) without any
+//    coordination on the write path.
+//
+//  * obs::Registry -- a process-wide named-metric registry of counters,
+//    gauges, and latency histograms. Names resolve to small ids once
+//    (under a mutex; call sites cache the id in a static). Updates are
+//    lock-free and stay on thread-private shards: each thread that
+//    records gets one shard per lifetime, only that thread writes it,
+//    and collect() merges all shards on demand. Gauges are last-write
+//    process globals (sharding a "current value" is meaningless).
+//
+//  * The disabled path: every update begins with one relaxed atomic load
+//    of the telemetry switch (AMR_TELEMETRY=1 / set_telemetry_enabled)
+//    and returns immediately when off -- no allocation, no shard touch,
+//    no clock read -- so the macros/calls are safe to leave in the
+//    hottest kernels (telemetry_test pins this).
+//
+// flight_dump() renders the recorder's retained events (normally the
+// flight-recorder tail, recorder.hpp) as the human-readable per-rank
+// post-mortem the simmpi stall watchdog appends to DeadlockError.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace amr::obs {
+
+/// Log-bucketed latency/size histogram. Value type: copy, merge, compare
+/// freely. All counts are exact; only the value axis is quantized.
+class LatencyHistogram {
+ public:
+  /// 2^kSubBits linear sub-buckets per octave: relative quantization
+  /// error of a reported value is at most 2^-kSubBits (6.25%).
+  static constexpr int kSubBits = 4;
+  static constexpr int kSubBuckets = 1 << kSubBits;
+  /// Exponents kSubBits..62 (int64 max) plus the exact [0, 16) range.
+  static constexpr int kBucketCount = (62 - kSubBits + 1) * kSubBuckets + kSubBuckets;
+
+  /// Bucket index of a sample; negatives clamp to bucket 0.
+  [[nodiscard]] static int bucket_of(std::int64_t value) noexcept;
+  /// Smallest / largest value mapping to `bucket`.
+  [[nodiscard]] static std::int64_t bucket_lower_bound(int bucket) noexcept;
+  [[nodiscard]] static std::int64_t bucket_upper_bound(int bucket) noexcept;
+
+  void record(std::int64_t value) noexcept;
+  void merge(const LatencyHistogram& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::int64_t sum() const { return sum_; }
+  /// Min/max of recorded samples (0 when empty).
+  [[nodiscard]] std::int64_t min() const { return count_ > 0 ? min_ : 0; }
+  [[nodiscard]] std::int64_t max() const { return count_ > 0 ? max_ : 0; }
+  [[nodiscard]] double mean() const {
+    return count_ > 0 ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Value at quantile q in [0, 1]: the upper bound of the bucket holding
+  /// the ceil(q * count)-th smallest sample -- within one bucket of the
+  /// exact order statistic by construction. 0 when empty.
+  [[nodiscard]] std::int64_t value_at_quantile(double q) const noexcept;
+  [[nodiscard]] std::int64_t p50() const { return value_at_quantile(0.50); }
+  [[nodiscard]] std::int64_t p99() const { return value_at_quantile(0.99); }
+  [[nodiscard]] std::int64_t p999() const { return value_at_quantile(0.999); }
+
+  /// Bitwise state comparison (buckets, count, sum, min, max) -- what the
+  /// merge-algebra tests pin.
+  [[nodiscard]] bool operator==(const LatencyHistogram& other) const;
+
+  [[nodiscard]] const std::array<std::uint64_t, kBucketCount>& buckets() const {
+    return buckets_;
+  }
+
+  /// One `{"count": ..., "p50": ..., ...}` JSON object (no newline).
+  void to_json(std::ostream& out) const;
+
+  /// Rebuild from the wire image dist_telemetry reduces: the bucket array
+  /// plus the scalar tail. Used by allreduce_histogram.
+  static LatencyHistogram from_parts(const std::array<std::uint64_t, kBucketCount>& buckets,
+                                     std::uint64_t count, std::int64_t sum,
+                                     std::int64_t min, std::int64_t max);
+
+ private:
+  std::array<std::uint64_t, kBucketCount> buckets_{};
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = std::numeric_limits<std::int64_t>::max();
+  std::int64_t max_ = std::numeric_limits<std::int64_t>::min();
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// Stable small id of a registered metric; resolve once, update many.
+using MetricId = int;
+
+/// One metric's merged-across-shards view.
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::int64_t value = 0;     ///< counter total / gauge last write
+  LatencyHistogram histogram; ///< kHistogram only
+};
+
+namespace detail {
+/// -1 = unresolved (consult AMR_TELEMETRY on first query), 0/1 = off/on.
+extern std::atomic<int> g_telemetry_enabled;
+int resolve_telemetry_slow() noexcept;
+}  // namespace detail
+
+/// Fast global switch for Registry updates; one relaxed load when off.
+[[nodiscard]] inline bool telemetry_enabled() noexcept {
+  int v = detail::g_telemetry_enabled.load(std::memory_order_relaxed);
+  if (v < 0) v = detail::resolve_telemetry_slow();
+  return v == 1;
+}
+
+void set_telemetry_enabled(bool on) noexcept;
+
+class Registry {
+ public:
+  /// The process-wide registry (leaked, like the recorder's: recording
+  /// threads may outlive static destruction).
+  [[nodiscard]] static Registry& global();
+
+  /// Resolve (registering on first use) a metric name to its id. Names
+  /// must have static storage duration; the registry keeps the pointer.
+  /// Re-registering a name with a different kind throws std::logic_error.
+  [[nodiscard]] MetricId counter(const char* name);
+  [[nodiscard]] MetricId gauge(const char* name);
+  [[nodiscard]] MetricId histogram(const char* name);
+
+  /// Hot-path updates: one relaxed load when telemetry is off; otherwise
+  /// lock-free writes to the calling thread's shard (gauge: one relaxed
+  /// store to a process global).
+  void add(MetricId id, std::int64_t delta = 1) noexcept;
+  void set_gauge(MetricId id, std::int64_t value) noexcept;
+  void observe(MetricId id, std::int64_t value) noexcept;
+
+  /// Merge every shard into one value per metric, in registration order.
+  /// Sees a consistent picture for quiescent/finished writer threads (the
+  /// recorder's snapshot contract).
+  [[nodiscard]] std::vector<MetricValue> collect() const;
+
+  /// Merged view of one histogram metric.
+  [[nodiscard]] LatencyHistogram histogram_value(MetricId id) const;
+
+  /// Zero every metric and retire shards of exited threads. Callers must
+  /// ensure no thread is concurrently recording (test hook).
+  void reset();
+
+  /// Shards ever created and still tracked (test hook: the disabled path
+  /// must create none).
+  [[nodiscard]] std::size_t shard_count() const;
+
+  /// Registered metric count (ids are 0..metric_count()-1).
+  [[nodiscard]] std::size_t metric_count() const;
+
+  /// Hard cap on distinct metrics: shards are fixed-size arrays so the
+  /// update path never resizes anything.
+  static constexpr std::size_t kMaxMetrics = 256;
+
+  struct Impl;  ///< definition private to telemetry.cpp
+
+ private:
+  Registry();
+  Impl* impl_;  ///< leaked with the registry
+};
+
+/// Render the recorder's retained events (the flight-recorder tail when
+/// mode is kFlight, or whatever full tracing retained) as a per-rank
+/// "last events" listing; at most `per_rank` newest events per rank.
+/// States plainly when nothing was retained because recording is off.
+[[nodiscard]] std::string flight_dump(std::size_t per_rank = 64);
+
+}  // namespace amr::obs

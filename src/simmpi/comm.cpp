@@ -4,6 +4,8 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/telemetry.hpp"
+
 namespace amr::simmpi {
 
 namespace {
@@ -110,7 +112,7 @@ void Context::throw_deadlock(const char* where, int rank) {
   std::ostringstream out;
   out << "simmpi watchdog: rank " << rank << " stalled in " << where << " for "
       << options_.watchdog.count() << " ms; cohort state:\n"
-      << dump_state();
+      << dump_state() << obs::flight_dump();
   throw DeadlockError(out.str());
 }
 

@@ -1,0 +1,48 @@
+#include "simmpi/dist_telemetry.hpp"
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace amr::simmpi {
+
+obs::LatencyHistogram allreduce_histogram(Comm& comm,
+                                          const obs::LatencyHistogram& local) {
+  using obs::LatencyHistogram;
+  constexpr std::size_t kBuckets = LatencyHistogram::kBucketCount;
+
+  // Wire image: [buckets..., count, sum] under one kSum reduction. Bucket
+  // counts and the total are non-negative and far below 2^63; the sample
+  // sum is a plain int64 addition either way.
+  std::vector<std::int64_t> wire(kBuckets + 2);
+  const auto& buckets = local.buckets();
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    wire[i] = static_cast<std::int64_t>(buckets[i]);
+  }
+  wire[kBuckets] = static_cast<std::int64_t>(local.count());
+  wire[kBuckets + 1] = local.count() > 0 ? local.sum() : 0;
+
+  std::vector<std::int64_t> reduced(wire.size());
+  comm.allreduce(std::span<const std::int64_t>(wire), std::span<std::int64_t>(reduced),
+                 ReduceOp::kSum);
+
+  // Empty ranks contribute the identity sentinels so kMin/kMax ignore them.
+  const std::int64_t my_min =
+      local.count() > 0 ? local.min() : std::numeric_limits<std::int64_t>::max();
+  const std::int64_t my_max =
+      local.count() > 0 ? local.max() : std::numeric_limits<std::int64_t>::min();
+  const std::int64_t global_min = comm.allreduce_one(my_min, ReduceOp::kMin);
+  const std::int64_t global_max = comm.allreduce_one(my_max, ReduceOp::kMax);
+
+  std::array<std::uint64_t, LatencyHistogram::kBucketCount> merged_buckets{};
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    merged_buckets[i] = static_cast<std::uint64_t>(reduced[i]);
+  }
+  return LatencyHistogram::from_parts(
+      merged_buckets, static_cast<std::uint64_t>(reduced[kBuckets]),
+      reduced[kBuckets + 1], global_min, global_max);
+}
+
+}  // namespace amr::simmpi

@@ -1,0 +1,28 @@
+// simmpi: cross-rank telemetry reduction (DESIGN.md §16).
+//
+// A LatencyHistogram is a fixed array of bucket counts plus four scalar
+// moments, and its merge is bucket-wise addition -- exactly the shape of
+// an allreduce. allreduce_histogram() folds every rank's local histogram
+// into the identical global histogram on all ranks: the bucket array,
+// count, and sum ride one kSum vector reduction; min and max ride kMin /
+// kMax scalar reductions. Because the merge is associative and
+// commutative, the reduced histogram (and so every quantile read from it)
+// is bit-for-bit the histogram of all ranks' samples ingested as one
+// stream -- telemetry_test pins this against a single-stream oracle.
+//
+// This is the fleet-wide-quantile primitive a service front end needs:
+// each rank keeps recording lock-free, and one collective per reporting
+// interval yields exact-within-bucket global p50/p99/p999.
+#pragma once
+
+#include "obs/telemetry.hpp"
+#include "simmpi/comm.hpp"
+
+namespace amr::simmpi {
+
+/// Reduce each rank's `local` histogram to the global merge on all ranks.
+/// Collective: every rank of `comm` must call with its own local state.
+[[nodiscard]] obs::LatencyHistogram allreduce_histogram(
+    Comm& comm, const obs::LatencyHistogram& local);
+
+}  // namespace amr::simmpi

@@ -1,0 +1,64 @@
+// util: minimal JSON document parser.
+//
+// The observability tools consume their own JSON output -- BENCH_*.json
+// files (bench_diff), amr_report --json, and campaign-timeline JSONL
+// records (driver_test's schema check) -- so the repo needs a reader to
+// match its writers. This is a small recursive-descent DOM parser:
+// strict enough for well-formed input (throws std::runtime_error with a
+// byte offset on malformed text), with object members kept in document
+// order so report diffs walk fields deterministically. Numbers are
+// doubles (every value we emit fits), strings handle the standard
+// escapes including \uXXXX (encoded as UTF-8).
+//
+// Not a general-purpose library: no serialization (writers hand-format,
+// as before), no comments, no trailing commas, no streaming.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace amr::util {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parse one complete JSON document (trailing whitespace allowed,
+  /// trailing garbage rejected). Throws std::runtime_error on error.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+  Json() = default;
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw std::runtime_error on a type mismatch.
+  [[nodiscard]] bool boolean() const;
+  [[nodiscard]] double number() const;
+  [[nodiscard]] const std::string& str() const;
+  [[nodiscard]] const std::vector<Json>& array() const;
+  /// Object members in document order.
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& items() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const Json* find(std::string_view key) const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace amr::util

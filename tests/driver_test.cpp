@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
+#include <string>
 
 #include "driver/driver.hpp"
 #include "machine/machine_model.hpp"
@@ -14,6 +16,7 @@
 #include "octree/generate.hpp"
 #include "octree/incremental.hpp"
 #include "octree/treesort.hpp"
+#include "util/json.hpp"
 
 namespace amr::driver {
 namespace {
@@ -249,6 +252,70 @@ TEST(Driver, AppendCampaignFoldsTotalsAndSteps) {
   for (int i = 0; i < 3; ++i) {
     ASSERT_NE(d->find("step." + std::to_string(i)), nullptr) << i;
   }
+}
+
+TEST(Driver, TimelineStreamsOneValidJsonlRecordPerStep) {
+  const sfc::Curve curve(sfc::CurveKind::kHilbert, 2);
+  const Scenario s = make_scenario(ScenarioKind::kMovingGaussian, 2);
+  DriverOptions options = small_options();
+  std::ostringstream timeline;
+  options.timeline = &timeline;
+  Driver drv(s, curve, model_with_factor(1.0), options);
+  for (int i = 0; i < options.steps; ++i) (void)drv.step();
+
+  // One line per record: a campaign header, then exactly one step record
+  // per completed step, each independently parseable JSON.
+  std::istringstream lines(timeline.str());
+  std::string line;
+  int step_records = 0;
+  bool saw_campaign = false;
+  while (std::getline(lines, line)) {
+    const util::Json record = util::Json::parse(line);
+    ASSERT_TRUE(record.is_object()) << line;
+    const std::string type = record.find("type")->str();
+    if (type == "campaign") {
+      EXPECT_FALSE(saw_campaign);  // header comes once, first
+      EXPECT_EQ(step_records, 0);
+      saw_campaign = true;
+      EXPECT_EQ(static_cast<int>(record.find("ranks")->number()),
+                options.ranks);
+      EXPECT_NE(record.find("scenario"), nullptr);
+      EXPECT_NE(record.find("partitioner"), nullptr);
+      continue;
+    }
+    ASSERT_EQ(type, "step") << line;
+    // Schema: every analysis-relevant StepMetrics field is present.
+    for (const char* key :
+         {"step", "t", "route", "leaves", "refined", "coarsened",
+          "balance_splits", "delta_inserts", "delta_deletes",
+          "change_fraction", "kept_previous", "migrated", "load_imbalance",
+          "c_max", "predicted_step_seconds", "measured_step_seconds",
+          "adapt_seconds", "diff_seconds", "repartition_seconds",
+          "sort_seconds", "solve_seconds", "phases"}) {
+      EXPECT_NE(record.find(key), nullptr) << key << " missing in " << line;
+    }
+    EXPECT_EQ(static_cast<int>(record.find("step")->number()), step_records);
+    const std::string route = record.find("route")->str();
+    EXPECT_TRUE(route == "first" || route == "scratch" || route == "merge" ||
+                route == "full")
+        << route;
+    if (step_records == 0) {
+      EXPECT_EQ(route, "first");
+    }
+    // Per-phase histogram snapshots carry counts covering the steps so far.
+    const util::Json* phases = record.find("phases");
+    ASSERT_TRUE(phases->is_object());
+    for (const char* phase : {"adapt_ns", "diff_ns", "repartition_ns",
+                              "sort_ns", "solve_ns"}) {
+      const util::Json* h = phases->find(phase);
+      ASSERT_NE(h, nullptr) << phase;
+      EXPECT_GE(h->find("count")->number(), step_records + 1) << phase;
+      EXPECT_NE(h->find("p50"), nullptr) << phase;
+    }
+    ++step_records;
+  }
+  EXPECT_TRUE(saw_campaign);
+  EXPECT_EQ(step_records, options.steps);
 }
 
 TEST(Driver, SolveEpochRunsOnTheNewPartition) {

@@ -1,0 +1,458 @@
+// Streaming-telemetry tests (DESIGN.md §16): histogram bucket geometry
+// and merge algebra (associative, commutative, bitwise-equal to
+// single-stream ingest -- including across simmpi ranks via the
+// reduction), quantile accuracy on a million lognormal samples, the
+// registry's shard fold, the single-relaxed-load disabled path for both
+// the recorder macros and the registry, the flight recorder's bounded
+// rings, its dump inside the watchdog's DeadlockError, and the
+// bench_diff regression gate. The perturbed TSan CI job runs these
+// suites (Telemetry*) to pin that concurrent shard writes are clean.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/bench_diff.hpp"
+#include "obs/recorder.hpp"
+#include "obs/telemetry.hpp"
+#include "simmpi/dist_telemetry.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/json.hpp"
+
+namespace amr {
+namespace {
+
+using obs::LatencyHistogram;
+
+std::vector<std::int64_t> lognormal_samples(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::lognormal_distribution<double> dist(0.0, 1.0);
+  std::vector<std::int64_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<std::int64_t>(dist(rng) * 1.0e5));
+  }
+  return out;
+}
+
+LatencyHistogram ingest(const std::vector<std::int64_t>& samples) {
+  LatencyHistogram h;
+  for (const std::int64_t v : samples) h.record(v);
+  return h;
+}
+
+TEST(TelemetryHistogram, BucketGeometryRoundTrips) {
+  // Every probed value lands in a bucket whose bounds contain it, the
+  // bounds map back to the same bucket, and the bucket is narrow enough
+  // for the advertised <= 1/16 relative resolution.
+  std::vector<std::int64_t> probes;
+  for (std::int64_t v = 0; v < 200; ++v) probes.push_back(v);
+  for (int e = 8; e < 62; ++e) {
+    const std::int64_t p = std::int64_t{1} << e;
+    probes.insert(probes.end(), {p - 1, p, p + 1, p + p / 3});
+  }
+  for (const std::int64_t v : probes) {
+    const int b = LatencyHistogram::bucket_of(v);
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, LatencyHistogram::kBucketCount);
+    const std::int64_t lo = LatencyHistogram::bucket_lower_bound(b);
+    const std::int64_t hi = LatencyHistogram::bucket_upper_bound(b);
+    EXPECT_LE(lo, v) << v;
+    EXPECT_GE(hi, v) << v;
+    EXPECT_EQ(LatencyHistogram::bucket_of(lo), b) << v;
+    if (hi < std::numeric_limits<std::int64_t>::max()) {
+      EXPECT_EQ(LatencyHistogram::bucket_of(hi), b) << v;
+      if (v >= LatencyHistogram::kSubBuckets) {
+        // Bucket width relative to its lower bound bounds the error.
+        EXPECT_LE(static_cast<double>(hi - lo + 1),
+                  static_cast<double>(lo) / LatencyHistogram::kSubBuckets + 1.0)
+            << v;
+      }
+    }
+  }
+  EXPECT_EQ(LatencyHistogram::bucket_of(-5), 0);
+}
+
+TEST(TelemetryHistogram, MergeIsAssociativeCommutativeAndMatchesSingleStream) {
+  const auto sa = lognormal_samples(4000, 1);
+  const auto sb = lognormal_samples(3000, 2);
+  const auto sc = lognormal_samples(5000, 3);
+  const LatencyHistogram a = ingest(sa), b = ingest(sb), c = ingest(sc);
+
+  LatencyHistogram ab = a;
+  ab.merge(b);
+  LatencyHistogram ba = b;
+  ba.merge(a);
+  EXPECT_TRUE(ab == ba);  // commutative, bitwise
+
+  LatencyHistogram ab_c = ab;
+  ab_c.merge(c);
+  LatencyHistogram bc = b;
+  bc.merge(c);
+  LatencyHistogram a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_TRUE(ab_c == a_bc);  // associative, bitwise
+
+  // Merged state is the concatenated stream's state, so every quantile
+  // read from it matches the single-stream oracle exactly.
+  std::vector<std::int64_t> all = sa;
+  all.insert(all.end(), sb.begin(), sb.end());
+  all.insert(all.end(), sc.begin(), sc.end());
+  const LatencyHistogram single = ingest(all);
+  EXPECT_TRUE(ab_c == single);
+  EXPECT_EQ(ab_c.p50(), single.p50());
+  EXPECT_EQ(ab_c.p99(), single.p99());
+  EXPECT_EQ(ab_c.p999(), single.p999());
+
+  // Merging an empty histogram is the identity.
+  LatencyHistogram with_empty = ab_c;
+  with_empty.merge(LatencyHistogram{});
+  EXPECT_TRUE(with_empty == ab_c);
+}
+
+TEST(TelemetryHistogram, QuantilesWithinOneBucketOfExactOnLognormal) {
+  auto samples = lognormal_samples(1'000'000, 42);
+  const LatencyHistogram h = ingest(samples);
+  ASSERT_EQ(h.count(), samples.size());
+
+  std::sort(samples.begin(), samples.end());
+  EXPECT_EQ(h.min(), samples.front());
+  EXPECT_EQ(h.max(), samples.back());
+
+  for (const double q : {0.50, 0.99, 0.999}) {
+    const std::size_t rank = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(q * static_cast<double>(samples.size()))));
+    const std::int64_t exact = samples[rank - 1];
+    const std::int64_t reported = h.value_at_quantile(q);
+    // Within one bucket: the reported bucket is the exact value's bucket
+    // (the upper bound read can only stay inside it).
+    EXPECT_EQ(LatencyHistogram::bucket_of(reported),
+              LatencyHistogram::bucket_of(exact))
+        << "q=" << q;
+    // And therefore within the advertised relative resolution.
+    EXPECT_NEAR(static_cast<double>(reported), static_cast<double>(exact),
+                static_cast<double>(exact) / LatencyHistogram::kSubBuckets + 1.0)
+        << "q=" << q;
+  }
+}
+
+TEST(TelemetryHistogram, RankMergeEqualsSingleStreamIngestBitwise) {
+  constexpr int kRanks = 4;
+  std::vector<std::vector<std::int64_t>> per_rank;
+  std::vector<std::int64_t> all;
+  for (int r = 0; r < kRanks; ++r) {
+    per_rank.push_back(lognormal_samples(2500 + 100 * static_cast<std::size_t>(r),
+                                         100 + static_cast<std::uint64_t>(r)));
+    all.insert(all.end(), per_rank.back().begin(), per_rank.back().end());
+  }
+  const LatencyHistogram oracle = ingest(all);
+
+  std::vector<LatencyHistogram> reduced(kRanks);
+  simmpi::run_ranks(kRanks, [&](simmpi::Comm& comm) {
+    const auto r = static_cast<std::size_t>(comm.rank());
+    const LatencyHistogram local = ingest(per_rank[r]);
+    reduced[r] = simmpi::allreduce_histogram(comm, local);
+  });
+
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_TRUE(reduced[static_cast<std::size_t>(r)] == oracle) << "rank " << r;
+    EXPECT_EQ(reduced[static_cast<std::size_t>(r)].p99(), oracle.p99());
+  }
+
+  // Ranks with no samples contribute the identity.
+  std::vector<LatencyHistogram> sparse(kRanks);
+  simmpi::run_ranks(kRanks, [&](simmpi::Comm& comm) {
+    const auto r = static_cast<std::size_t>(comm.rank());
+    LatencyHistogram local;
+    if (r == 2) local = ingest(per_rank[0]);
+    sparse[r] = simmpi::allreduce_histogram(comm, local);
+  });
+  EXPECT_TRUE(sparse[0] == ingest(per_rank[0]));
+}
+
+TEST(TelemetryRegistry, CountersGaugesAndHistogramsFoldAcrossThreads) {
+  obs::Registry& reg = obs::Registry::global();
+  obs::set_telemetry_enabled(true);
+  reg.reset();
+
+  const obs::MetricId jobs = reg.counter("test.jobs");
+  const obs::MetricId depth = reg.gauge("test.depth");
+  const obs::MetricId lat = reg.histogram("test.latency_ns");
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        reg.add(jobs);
+        reg.observe(lat, 1000 + t);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  reg.set_gauge(depth, 17);
+
+  const std::vector<obs::MetricValue> values = reg.collect();
+  ASSERT_GE(values.size(), 3u);
+  bool saw_counter = false, saw_gauge = false, saw_hist = false;
+  for (const obs::MetricValue& v : values) {
+    if (v.name == "test.jobs") {
+      saw_counter = true;
+      EXPECT_EQ(v.kind, obs::MetricKind::kCounter);
+      EXPECT_EQ(v.value, kThreads * kPerThread);
+    } else if (v.name == "test.depth") {
+      saw_gauge = true;
+      EXPECT_EQ(v.value, 17);
+    } else if (v.name == "test.latency_ns") {
+      saw_hist = true;
+      EXPECT_EQ(v.histogram.count(),
+                static_cast<std::uint64_t>(kThreads * kPerThread));
+      EXPECT_EQ(v.histogram.min(), 1000);
+      EXPECT_EQ(v.histogram.max(), 1000 + kThreads - 1);
+    }
+  }
+  EXPECT_TRUE(saw_counter && saw_gauge && saw_hist);
+
+  // Re-registering the same name returns the same id; a kind change is an
+  // instrumentation bug and throws.
+  EXPECT_EQ(reg.counter("test.jobs"), jobs);
+  EXPECT_THROW((void)reg.gauge("test.jobs"), std::logic_error);
+
+  reg.reset();
+  EXPECT_EQ(reg.histogram_value(lat).count(), 0u);
+  obs::set_telemetry_enabled(false);
+}
+
+TEST(TelemetryRegistry, DisabledPathTouchesNoShardAndAllocatesNothing) {
+  obs::Registry& reg = obs::Registry::global();
+  obs::set_telemetry_enabled(true);
+  const obs::MetricId counter = reg.counter("test.disabled_counter");
+  const obs::MetricId hist = reg.histogram("test.disabled_hist");
+  reg.reset();
+  obs::set_telemetry_enabled(false);
+
+  // A thread that only ever records while telemetry is off must not
+  // create a shard: the whole update is one relaxed load of the switch.
+  const std::size_t shards_before = reg.shard_count();
+  std::thread t([&] {
+    for (int i = 0; i < 1000; ++i) {
+      reg.add(counter, 3);
+      reg.observe(hist, 12345);
+      reg.set_gauge(counter, 1);  // wrong kind on purpose: also a no-op
+    }
+  });
+  t.join();
+  EXPECT_EQ(reg.shard_count(), shards_before);
+
+  obs::set_telemetry_enabled(true);
+  for (const obs::MetricValue& v : reg.collect()) {
+    if (v.name == "test.disabled_counter") {
+      EXPECT_EQ(v.value, 0);
+    }
+    if (v.name == "test.disabled_hist") {
+      EXPECT_EQ(v.histogram.count(), 0u);
+    }
+  }
+  obs::set_telemetry_enabled(false);
+}
+
+TEST(TelemetryRecorder, DisabledMacrosCreateNoBuffers) {
+  // The satellite guard for the tracing half: with recording off, the
+  // span/counter macros are a single relaxed load -- no ring buffer is
+  // ever created, even from a fresh thread.
+  obs::set_enabled(false);
+  obs::clear();
+  const std::size_t buffers_before = obs::buffer_count();
+  std::thread t([] {
+    for (int i = 0; i < 1000; ++i) {
+      AMR_SPAN("disabled.span");
+      AMR_COUNTER("disabled.counter", 7);
+    }
+  });
+  t.join();
+  EXPECT_EQ(obs::buffer_count(), buffers_before);
+  EXPECT_TRUE(obs::snapshot().events.empty());
+}
+
+TEST(TelemetryFlight, RingRetainsOnlyTheTail) {
+  obs::set_mode(obs::RecordMode::kFlight);
+  obs::set_flight_capacity(16);
+  obs::clear();
+
+  // A fresh thread gets a flight-size ring; 100 instants overflow it.
+  std::thread t([] {
+    for (int i = 0; i < 99; ++i) AMR_INSTANT("flight.early");
+    AMR_INSTANT("flight.last");
+  });
+  t.join();
+
+  const obs::Snapshot snap = obs::snapshot();
+  std::size_t mine = 0;
+  bool saw_last = false;
+  for (const obs::Event& e : snap.events) {
+    if (std::string(e.name).rfind("flight.", 0) == 0) {
+      ++mine;
+      if (std::string(e.name) == "flight.last") saw_last = true;
+    }
+  }
+  EXPECT_LE(mine, 16u);
+  EXPECT_GT(mine, 0u);
+  EXPECT_TRUE(saw_last);
+  EXPECT_GE(snap.dropped, 84u);
+
+  const std::string dump = obs::flight_dump();
+  EXPECT_NE(dump.find("flight recorder"), std::string::npos);
+  EXPECT_NE(dump.find("flight.last"), std::string::npos);
+
+  obs::set_mode(obs::RecordMode::kOff);
+  obs::clear();
+}
+
+TEST(TelemetryFlight, DumpIsInsideWatchdogDeadlockError) {
+  obs::set_mode(obs::RecordMode::kFlight);
+  obs::clear();
+
+  simmpi::ContextOptions options;
+  options.watchdog = std::chrono::milliseconds(200);
+  options.perturb_seed = 0;
+  try {
+    simmpi::run_ranks(2, options, [](simmpi::Comm& comm) {
+      if (comm.rank() == 1) {
+        AMR_INSTANT("telemetry.pre_stall");
+        (void)comm.recv<std::uint8_t>(0, 9);  // never sent
+      }
+      comm.barrier();
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const simmpi::DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("simmpi watchdog"), std::string::npos);
+    EXPECT_NE(what.find("flight recorder"), std::string::npos);
+    // The stalled rank's last recorded event is in the post-mortem.
+    EXPECT_NE(what.find("telemetry.pre_stall"), std::string::npos);
+  }
+
+  obs::set_mode(obs::RecordMode::kOff);
+  obs::clear();
+}
+
+TEST(TelemetryFlight, DumpSaysOffWhenRecordingIsOff) {
+  obs::set_mode(obs::RecordMode::kOff);
+  const std::string dump = obs::flight_dump();
+  EXPECT_NE(dump.find("off"), std::string::npos);
+}
+
+TEST(TelemetryHistogram, ToJsonIsParseableAndCarriesQuantiles) {
+  const LatencyHistogram h = ingest(lognormal_samples(1000, 7));
+  std::ostringstream out;
+  h.to_json(out);
+  const util::Json doc = util::Json::parse(out.str());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(static_cast<std::uint64_t>(doc.find("count")->number()), h.count());
+  EXPECT_EQ(static_cast<std::int64_t>(doc.find("p50")->number()), h.p50());
+  EXPECT_EQ(static_cast<std::int64_t>(doc.find("p999")->number()), h.p999());
+  EXPECT_NE(doc.find("mean"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// bench_diff
+
+util::Json bench_doc(double median_seconds, double speedup,
+                     const std::string& host = "vm",
+                     const std::string& build_type = "Release") {
+  std::ostringstream out;
+  out << "{\"bench\": \"demo\", \"build_type\": \"" << build_type
+      << "\", \"amr_threads\": \"\", \"host\": {\"hostname\": \"" << host
+      << "\"}, \"results\": [{\"merge_median_seconds\": " << median_seconds
+      << ", \"sort_speedup\": " << speedup << ", \"elements\": 1000}]}";
+  return util::Json::parse(out.str());
+}
+
+TEST(TelemetryBenchDiff, PassesOnIdenticalInputs) {
+  const util::Json doc = bench_doc(0.010, 2.0);
+  const obs::DiffReport report = obs::diff_bench(doc, doc);
+  EXPECT_FALSE(report.incommensurable);
+  EXPECT_EQ(report.regressions, 0);
+  EXPECT_EQ(report.improvements, 0);
+  EXPECT_FALSE(report.rows.empty());
+}
+
+TEST(TelemetryBenchDiff, FlagsSyntheticTwoTimesMedianRegression) {
+  const obs::DiffReport report =
+      obs::diff_bench(bench_doc(0.010, 2.0), bench_doc(0.020, 2.0));
+  EXPECT_FALSE(report.incommensurable);
+  EXPECT_EQ(report.regressions, 1);
+  bool found = false;
+  for (const obs::DiffRow& row : report.rows) {
+    if (row.status == obs::DiffRowStatus::kRegressed) {
+      found = true;
+      EXPECT_EQ(row.path, "results[0].merge_median_seconds");
+      EXPECT_NEAR(row.ratio, 2.0, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TelemetryBenchDiff, ImprovementAndSpeedupDirections) {
+  // Faster wall time is an improvement, not a regression...
+  EXPECT_EQ(obs::diff_bench(bench_doc(0.020, 2.0), bench_doc(0.010, 2.0))
+                .regressions,
+            0);
+  // ...and a halved speedup is a regression even with times unchanged.
+  const obs::DiffReport report =
+      obs::diff_bench(bench_doc(0.010, 2.0), bench_doc(0.010, 0.9));
+  EXPECT_EQ(report.regressions, 1);
+}
+
+TEST(TelemetryBenchDiff, NoiseFloorSuppressesTinyTimes) {
+  // 20us vs 50us is under the 100us floor: informational, not a gate.
+  const obs::DiffReport report =
+      obs::diff_bench(bench_doc(20e-6, 2.0), bench_doc(50e-6, 2.0));
+  EXPECT_EQ(report.regressions, 0);
+  bool saw_info = false;
+  for (const obs::DiffRow& row : report.rows) {
+    if (row.status == obs::DiffRowStatus::kInfo) saw_info = true;
+  }
+  EXPECT_TRUE(saw_info);
+}
+
+TEST(TelemetryBenchDiff, HostMismatchDemotesTimesButGatesRatios) {
+  // Different hosts: the 3x slower median is informational (different
+  // silicon), but the halved speedup -- a within-run ratio -- still gates.
+  const obs::DiffReport report = obs::diff_bench(
+      bench_doc(0.010, 2.0, "vm"), bench_doc(0.030, 0.9, "ci-runner"));
+  EXPECT_TRUE(report.host_mismatch);
+  EXPECT_EQ(report.regressions, 1);
+  for (const obs::DiffRow& row : report.rows) {
+    if (row.path == "results[0].merge_median_seconds") {
+      EXPECT_EQ(row.status, obs::DiffRowStatus::kInfo);
+    }
+    if (row.path == "results[0].sort_speedup") {
+      EXPECT_EQ(row.status, obs::DiffRowStatus::kRegressed);
+    }
+  }
+}
+
+TEST(TelemetryBenchDiff, RefusesIncommensurableRuns) {
+  // Different bench entirely.
+  util::Json other = util::Json::parse("{\"bench\": \"other\"}");
+  EXPECT_TRUE(obs::diff_bench(bench_doc(0.01, 2.0), other).incommensurable);
+  // Same bench, different build type.
+  const obs::DiffReport report = obs::diff_bench(
+      bench_doc(0.010, 2.0, "vm", "Release"), bench_doc(0.010, 2.0, "vm", "Debug"));
+  EXPECT_TRUE(report.incommensurable);
+  EXPECT_NE(report.reason.find("build_type"), std::string::npos);
+  // Old baseline without provenance fields: compared, not refused.
+  util::Json old = util::Json::parse(
+      "{\"bench\": \"demo\", \"results\": [{\"merge_median_seconds\": 0.010}]}");
+  EXPECT_FALSE(obs::diff_bench(old, bench_doc(0.010, 2.0)).incommensurable);
+}
+
+}  // namespace
+}  // namespace amr

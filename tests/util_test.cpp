@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/args.hpp"
+#include "util/json.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -133,6 +134,40 @@ TEST(Timer, MeasuresMonotonicallyAndResets) {
   timer.reset();
   EXPECT_LT(timer.seconds(), first + 1.0);  // reset restarts the clock
   (void)sink;
+}
+
+TEST(Json, ParsesScalarsContainersAndEscapes) {
+  const Json doc = Json::parse(
+      "{\"s\": \"a\\n\\\"b\\\" \\u0041\", \"n\": -2.5e2, \"t\": true,"
+      " \"z\": null, \"arr\": [1, 2, 3], \"obj\": {\"k\": 1, \"k2\": 2}}");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("s")->str(), "a\n\"b\" A");
+  EXPECT_DOUBLE_EQ(doc.find("n")->number(), -250.0);
+  EXPECT_TRUE(doc.find("t")->boolean());
+  EXPECT_TRUE(doc.find("z")->is_null());
+  ASSERT_EQ(doc.find("arr")->array().size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.find("arr")->array()[2].number(), 3.0);
+  // Object members keep document order (bench_diff walks them aligned).
+  const auto& items = doc.find("obj")->items();
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].first, "k");
+  EXPECT_EQ(items[1].first, "k2");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(Json, RejectsMalformedInputWithOffset) {
+  EXPECT_THROW((void)Json::parse(""), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("{\"a\": 1"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("[1, 2,]"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("\"unterminated"), std::runtime_error);
+  try {
+    (void)Json::parse("[1, x]");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    // The message carries a byte offset so bad bench files are locatable.
+    EXPECT_NE(std::string(e.what()).find("at byte"), std::string::npos);
+  }
 }
 
 TEST(Rng, StreamsAreIndependentAndStable) {

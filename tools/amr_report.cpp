@@ -27,7 +27,11 @@
 //      [--iterations 10] [--mg-iterations 2] [--driver-steps 3]
 //      [--trace trace.json] [--report report.json] [--band-low 0.1]
 //      [--band-high 10] [--machine host|titan|...]
-//      [--alpha 8|<value>|auto] [--require-complete]
+//      [--alpha 8|<value>|auto] [--require-complete] [--json [PATH]]
+//
+// --json additionally emits the validation rows and the per-app alpha
+// calibration machine-readably (to PATH, or to stdout after the table
+// when given bare) so CI asserts on rows instead of grepping the table.
 //
 // --driver-steps runs a short dynamic-AMR driver campaign (moving-Gaussian
 // scenario, adapt -> diff -> incremental repartition -> solve) so the trace
@@ -48,6 +52,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -126,6 +131,7 @@ int main(int argc, char** argv) {
   const std::string report_path = args.get("report", "report.json");
   const std::string machine_name = args.get("machine", "host");
   const bool require_complete = args.get_bool("require-complete", false);
+  const std::string json_out = args.get("json", "");
 
   obs::ValidationOptions validation_options;
   validation_options.band_low = args.get_double("band-low", validation_options.band_low);
@@ -644,6 +650,31 @@ int main(int argc, char** argv) {
                                      static_cast<double>(ledger_total)
                                : 0.0);
   std::printf("trace:  %s\nreport: %s\n", trace_path.c_str(), report_path.c_str());
+
+  if (!json_out.empty()) {
+    std::ofstream json_file;
+    std::ostream* jout = &std::cout;
+    if (json_out != "true") {  // bare --json parses as "true" -> stdout
+      json_file.open(json_out);
+      if (!json_file) {
+        AMR_LOG_ERROR << "amr_report: cannot write " << json_out;
+        return 1;
+      }
+      jout = &json_file;
+    }
+    *jout << "{\n\"machine\": \"" << machine.name << "\",\n\"apps\": [\n";
+    for (std::size_t i = 0; i < app_alphas.size(); ++i) {
+      const AppAlpha& a = app_alphas[i];
+      *jout << "  {\"name\": \"" << a.application->name()
+            << "\", \"alpha_measured\": " << a.measured
+            << ", \"alpha_nominal\": " << a.application->profile().alpha
+            << ", \"bytes_per_element\": " << a.application->profile().bytes_per_element
+            << "}" << (i + 1 < app_alphas.size() ? ",\n" : "\n");
+    }
+    *jout << "],\n\"validation\": ";
+    validation.to_json(*jout);
+    *jout << "}\n";
+  }
 
   if (!validation.complete()) {
     for (const auto& name : validation.missing) {

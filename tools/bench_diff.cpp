@@ -1,0 +1,104 @@
+// bench_diff: the perf-regression gate over BENCH_*.json files.
+//
+// Two modes:
+//   bench_diff BASELINE.json CANDIDATE.json
+//       compare one pair
+//   bench_diff --baseline-dir DIR CANDIDATE.json [CANDIDATE2.json ...]
+//       compare each candidate against the same-named file in DIR
+//       (candidates with no baseline are reported and skipped)
+//
+// Options:
+//   --threshold=R   wrong-direction ratio that flags a row (default 1.5)
+//   --min-time=S    noise floor in seconds for wall-time rows (default 1e-4)
+//   --show-ok       print within-threshold rows too
+//
+// Exit codes: 0 no regression, 1 regression found, 2 parse/IO error,
+// 3 incommensurable runs (bench name / build type / AMR_THREADS differ).
+// CI runs this after the smoke benches with the committed baselines
+// snapshot as --baseline-dir (see .github/workflows/ci.yml).
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/bench_diff.hpp"
+#include "util/args.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitRegression = 1;
+constexpr int kExitError = 2;
+constexpr int kExitIncommensurable = 3;
+
+amr::util::Json load_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return amr::util::Json::parse(buffer.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const amr::util::Args args(argc, argv);
+
+  amr::obs::BenchDiffOptions options;
+  options.ratio_threshold = args.get_double("threshold", options.ratio_threshold);
+  options.min_time_seconds = args.get_double("min-time", options.min_time_seconds);
+  const bool show_ok = args.get_bool("show-ok", false);
+  const std::string baseline_dir = args.get("baseline-dir", "");
+
+  std::vector<std::pair<std::string, std::string>> pairs;  // (baseline, candidate)
+  if (!baseline_dir.empty()) {
+    if (args.positional().empty()) {
+      std::cerr << "bench_diff: --baseline-dir needs candidate files\n";
+      return kExitError;
+    }
+    for (const std::string& candidate : args.positional()) {
+      const std::filesystem::path base =
+          std::filesystem::path(baseline_dir) /
+          std::filesystem::path(candidate).filename();
+      if (!std::filesystem::exists(base)) {
+        std::cout << "bench_diff: no baseline for "
+                  << std::filesystem::path(candidate).filename().string()
+                  << " in " << baseline_dir << "; skipping\n";
+        continue;
+      }
+      pairs.emplace_back(base.string(), candidate);
+    }
+  } else {
+    if (args.positional().size() != 2) {
+      std::cerr << "usage: bench_diff BASELINE.json CANDIDATE.json\n"
+                   "       bench_diff --baseline-dir DIR CANDIDATE.json ...\n";
+      return kExitError;
+    }
+    pairs.emplace_back(args.positional()[0], args.positional()[1]);
+  }
+
+  int exit_code = kExitOk;
+  for (const auto& [baseline_path, candidate_path] : pairs) {
+    amr::util::Json baseline;
+    amr::util::Json candidate;
+    try {
+      baseline = load_json(baseline_path);
+      candidate = load_json(candidate_path);
+    } catch (const std::exception& e) {
+      std::cerr << "bench_diff: " << e.what() << "\n";
+      return kExitError;
+    }
+
+    std::cout << "== " << baseline_path << " vs " << candidate_path << "\n";
+    const amr::obs::DiffReport report =
+        amr::obs::diff_bench(baseline, candidate, options);
+    amr::obs::print_report(std::cout, report, show_ok);
+    if (report.incommensurable) return kExitIncommensurable;
+    if (report.regressions > 0) exit_code = kExitRegression;
+  }
+  return exit_code;
+}

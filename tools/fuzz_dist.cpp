@@ -4,6 +4,11 @@
 //   fuzz_dist                          run the built-in seed corpus
 //   fuzz_dist --corpus DIR             run every case line in DIR/*.case
 //   fuzz_dist --random 20 --seed 7     time-boxed random fuzzing (seconds)
+//   fuzz_dist --stall-demo             deliberately stall a cohort under a
+//                                      short watchdog with the flight
+//                                      recorder on; exits 0 iff the
+//                                      DeadlockError diagnostic carries the
+//                                      per-rank last-events dump
 //
 // Every case is printed as its one-line spec before it runs, so any
 // failure (including a crash) identifies the case to replay. Failures
@@ -19,6 +24,8 @@
 #include <vector>
 
 #include "fuzz/harness.hpp"
+#include "obs/recorder.hpp"
+#include "simmpi/runtime.hpp"
 #include "util/args.hpp"
 #include "util/rng.hpp"
 
@@ -89,6 +96,45 @@ int run_corpus_dir(const std::string& dir, bool verbose, Totals& totals) {
   return 0;
 }
 
+/// Provoke a watchdog expiry with the flight recorder armed: rank 1 does
+/// a little recorded work and then receives a message rank 0 never sends.
+/// The DeadlockError must carry each rank's last-events tail -- the
+/// post-mortem a real hang at scale would produce.
+int run_stall_demo() {
+  namespace obs = amr::obs;
+  namespace simmpi = amr::simmpi;
+  obs::set_mode(obs::RecordMode::kFlight);
+  obs::clear();
+
+  simmpi::ContextOptions options;
+  options.watchdog = std::chrono::milliseconds(250);
+  options.perturb_seed = 0;
+  try {
+    simmpi::run_ranks(2, options, [](simmpi::Comm& comm) {
+      {
+        AMR_SPAN("stall_demo.setup");
+        AMR_COUNTER("stall_demo.rank", comm.rank());
+      }
+      if (comm.rank() == 1) {
+        AMR_INSTANT("stall_demo.before_recv");
+        (void)comm.recv<std::uint8_t>(0, 7);  // never sent: stalls
+      }
+      comm.barrier();
+    });
+  } catch (const simmpi::DeadlockError& e) {
+    const std::string what = e.what();
+    std::cout << what << std::endl;
+    const bool has_dump = what.find("flight recorder") != std::string::npos &&
+                          what.find("stall_demo.before_recv") != std::string::npos;
+    std::cout << "stall-demo: flight-recorder dump "
+              << (has_dump ? "present" : "MISSING") << std::endl;
+    return has_dump ? 0 : 1;
+  }
+  std::cout << "stall-demo: cohort did not stall (expected DeadlockError)"
+            << std::endl;
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -96,6 +142,9 @@ int main(int argc, char** argv) {
   const bool verbose = args.get_bool("verbose", false);
   Totals totals;
 
+  if (args.has("stall-demo")) {
+    return run_stall_demo();
+  }
   if (args.has("corpus")) {
     const int rc = run_corpus_dir(args.get("corpus", ""), verbose, totals);
     if (rc != 0) return rc;
