@@ -1,0 +1,338 @@
+// Full-scale analytic sweeps (paper Figs. 4/5/6/9 at their *published*
+// sizes): weak scaling to 262,144 ranks over 262 billion elements, strong
+// scaling, the SampleSort comparison and the tolerance/energy trade, for
+// all four machine presets of §4 -- in seconds of wall time, because the
+// sweeps run on sim::Cluster's memoized histogram tree instead of
+// materialized octants (cluster.hpp).
+//
+// Splitter cuts are machine-independent, so each ladder point resolves its
+// cuts once and charges all machines from the same partition; the tree is
+// shared across every ladder point of the sweep.
+//
+// Emits BENCH_scale.json. The output is fully deterministic (analytic
+// model, no timing inputs), so CI regenerates it and bench_diff hard-fails
+// on any drift of the portable *advantage* ratios against the committed
+// baseline; absolute seconds are model predictions, recorded for the
+// curves. The binary additionally self-gates the paper anchor bands:
+//
+//   * Titan weak scaling at 262k ranks lands at ~4 s (band [1, 10] s) and
+//     is exchange-dominated (all2all >= half the total, Fig. 5's shape),
+//   * Titan strong scaling efficiency at 64x scale-up decays into
+//     [30%, 60%] (Fig. 4 reports ~43%),
+//   * TreeSort beats the SampleSort baseline at 262k ranks on every
+//     machine (Fig. 6),
+//   * tolerance 0.3 cuts the tolerance-sensitive splitter phases' energy
+//     on both CloudLab machines (Fig. 9's mechanism; the exchange is
+//     tolerance-independent and excluded),
+//   * the whole sweep generates in seconds (hard cap below), i.e. the
+//     analytic path never regresses into anything element-proportional.
+//
+// Usage: bench_fig_scale [--grain N] [--max-p P] [--json PATH]
+//          [--csv-dir DIR] [--smoke]
+// --smoke runs the identical sweep (it is already fast and must produce
+// the identical JSON for bench_diff); the flag exists for CI symmetry.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "machine/machine_model.hpp"
+#include "sim/cluster.hpp"
+#include "sim/splitter_sim.hpp"
+
+using namespace amr;
+
+namespace {
+
+struct WeakPoint {
+  int ranks = 0;
+  std::uint64_t elements = 0;
+  int levels = 0;
+  sim::SimBreakdown time;
+  double load_imbalance = 1.0;
+  double step_seconds = 0.0;  ///< Eq. 3 on the resolved cuts
+};
+
+struct StrongPoint {
+  int ranks = 0;
+  double total_seconds = 0.0;
+  double efficiency = 1.0;  ///< vs the first ladder point
+};
+
+struct MachineSeries {
+  machine::MachineModel machine;
+  std::vector<WeakPoint> weak;
+  std::vector<StrongPoint> strong;
+  double samplesort_seconds_262k = 0.0;
+  double treesort_seconds_262k = 0.0;
+};
+
+/// Energy of the tolerance-sensitive splitter phases (local bucketing +
+/// splitter rounds; the exchange does not depend on tolerance) for one
+/// node: every core busy for the phase duration.
+double splitter_phase_joules(const sim::SimBreakdown& time,
+                             const machine::MachineModel& m) {
+  const double seconds = time.local_sort + time.splitter;
+  return (m.idle_watts + m.core_active_watts * m.cores_per_node) * seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  (void)args.get_bool("smoke", false);  // identical sweep either way
+  const auto grain = static_cast<std::uint64_t>(args.get_int("grain", 1'000'000));
+  const int max_p = static_cast<int>(args.get_int("max-p", 262144));
+  const auto strong_n = static_cast<std::uint64_t>(args.get_int("strong-n", 16'000'000));
+  const std::string json_path = args.get("json", "BENCH_scale.json");
+  const util::Timer sweep_timer;
+
+  octree::GenerateOptions distribution = bench::workload_options(args);
+  sim::Cluster cluster(distribution, sfc::CurveKind::kHilbert);
+
+  std::vector<MachineSeries> series;
+  for (machine::MachineModel& m : machine::paper_machines()) {
+    series.push_back({std::move(m), {}, {}, 0.0, 0.0});
+  }
+
+  // --- Fig. 5: weak scaling, grain elements per rank, 16 -> max_p ---
+  for (int p = 16; p <= max_p; p *= 2) {
+    const std::uint64_t n = grain * static_cast<std::uint64_t>(p);
+    const sim::AnalyticPartition cuts = cluster.resolve_cuts(n, p, 0.0);
+    sim::Cluster::TreesortQuery query;
+    query.n = n;
+    query.p = p;
+    for (MachineSeries& s : series) {
+      WeakPoint point;
+      point.ranks = p;
+      point.elements = n;
+      point.levels = cuts.levels_used;
+      point.time = sim::Cluster::charge_treesort(query, cuts.levels_used, s.machine);
+      const machine::PerfModel model(s.machine, machine::ApplicationProfile{});
+      const sim::ScaleStepModel step = cluster.step_model(cuts, n, model);
+      point.load_imbalance = step.load_imbalance;
+      point.step_seconds = step.step_seconds;
+      s.weak.push_back(point);
+    }
+  }
+
+  // --- Fig. 6: the SampleSort baseline at the weak-scaling endpoint ---
+  {
+    sim::SimConfig config;
+    config.distribution = distribution;
+    config.p = max_p;
+    config.n = grain * static_cast<std::uint64_t>(max_p);
+    for (MachineSeries& s : series) {
+      s.treesort_seconds_262k = s.weak.back().time.total();
+      s.samplesort_seconds_262k = sim::simulate_samplesort(config, s.machine).time.total();
+    }
+  }
+
+  // --- Fig. 4: strong scaling, fixed N, 16 -> 1024 ranks ---
+  for (int p = 16; p <= 1024; p *= 2) {
+    const sim::AnalyticPartition cuts = cluster.resolve_cuts(strong_n, p, 0.0);
+    sim::Cluster::TreesortQuery query;
+    query.n = strong_n;
+    query.p = p;
+    for (MachineSeries& s : series) {
+      StrongPoint point;
+      point.ranks = p;
+      point.total_seconds =
+          sim::Cluster::charge_treesort(query, cuts.levels_used, s.machine).total();
+      const StrongPoint& base = s.strong.empty() ? point : s.strong.front();
+      point.efficiency = (base.total_seconds / point.total_seconds) /
+                         (static_cast<double>(p) / (s.strong.empty() ? p : base.ranks));
+      s.strong.push_back(point);
+    }
+  }
+
+  // --- Fig. 9 mechanism: tolerance vs splitter-phase energy + per-node
+  // epoch energy on the CloudLab machines (256 tasks / 8 nodes Wisconsin,
+  // 1792 / 32 Clemson) ---
+  struct EnergyPanel {
+    std::string machine;
+    int ranks = 0;
+    double splitter_joules_ideal = 0.0;
+    double splitter_joules_tol = 0.0;
+    int levels_ideal = 0;
+    int levels_tol = 0;
+    sim::ScaleEpochResult epoch_ideal;
+    sim::ScaleEpochResult epoch_tol;
+  };
+  const double tolerance = 0.3;
+  std::vector<EnergyPanel> energy;
+  for (const auto& [name, ranks] :
+       std::vector<std::pair<std::string, int>>{{"wisconsin8", 256}, {"clemson32", 1792}}) {
+    const machine::MachineModel m = machine::machine_by_name(name);
+    const machine::PerfModel model(m, machine::ApplicationProfile{});
+    const std::uint64_t n = grain * static_cast<std::uint64_t>(ranks);
+    EnergyPanel panel;
+    panel.machine = name;
+    panel.ranks = ranks;
+    sim::Cluster::TreesortQuery query;
+    query.n = n;
+    query.p = ranks;
+    const sim::AnalyticPartition ideal = cluster.resolve_cuts(n, ranks, 0.0);
+    const sim::AnalyticPartition flexible = cluster.resolve_cuts(n, ranks, tolerance);
+    panel.levels_ideal = ideal.levels_used;
+    panel.levels_tol = flexible.levels_used;
+    panel.splitter_joules_ideal = splitter_phase_joules(
+        sim::Cluster::charge_treesort(query, ideal.levels_used, m), m);
+    panel.splitter_joules_tol = splitter_phase_joules(
+        sim::Cluster::charge_treesort(query, flexible.levels_used, m), m);
+    panel.epoch_ideal = cluster.epoch(ideal, n, 100, model);
+    panel.epoch_tol = cluster.epoch(flexible, n, 100, model);
+    energy.push_back(panel);
+  }
+
+  const double sweep_seconds = sweep_timer.seconds();
+
+  // --- tables ---
+  for (const MachineSeries& s : series) {
+    util::Table table({"ranks", "N", "partition (s)", "all2all (s)", "total (s)",
+                       "levels", "lambda", "Eq3 step (s)"});
+    for (const WeakPoint& w : s.weak) {
+      table.add_row({std::to_string(w.ranks),
+                     util::Table::fmt(static_cast<double>(w.elements) / 1e9, 3) + "B",
+                     util::Table::fmt(w.time.local_sort + w.time.splitter, 4),
+                     util::Table::fmt(w.time.all2all, 4),
+                     util::Table::fmt(w.time.total(), 4), std::to_string(w.levels),
+                     util::Table::fmt(w.load_imbalance, 3),
+                     util::Table::fmt(w.step_seconds, 5)});
+    }
+    bench::emit(table, args, "scale_weak_" + s.machine.name,
+                "weak scaling, machine=" + s.machine.name + ", grain=" +
+                    std::to_string(grain) + " elements/rank");
+  }
+  std::printf("sweep generated in %.2f s (histogram tree: %zu nodes)\n\n",
+              sweep_seconds, cluster.node_count());
+
+  // --- JSON ---
+  std::ofstream json(json_path);
+  bench::write_bench_preamble(json, "scale", 1);
+  json << "  \"grain_per_rank\": " << grain << ",\n  \"max_ranks\": " << max_p
+       << ",\n  \"strong_n\": " << strong_n
+       << ",\n  \"curve\": \"hilbert\",\n  \"distribution\": \""
+       << octree::to_string(distribution.distribution)
+       << "\",\n  \"tree_nodes\": " << cluster.node_count()
+       << ",\n  \"sweep_generation_seconds\": " << sweep_seconds
+       << ",\n  \"machines\": [\n";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const MachineSeries& s = series[i];
+    json << "    {\"name\": \"" << s.machine.name << "\",\n     \"weak\": [\n";
+    for (std::size_t w = 0; w < s.weak.size(); ++w) {
+      const WeakPoint& point = s.weak[w];
+      json << "       {\"ranks\": " << point.ranks << ", \"elements\": "
+           << point.elements << ", \"levels\": " << point.levels
+           << ", \"partition_model_s\": " << point.time.local_sort + point.time.splitter
+           << ", \"all2all_model_s\": " << point.time.all2all
+           << ", \"total_model_s\": " << point.time.total()
+           << ", \"load_imbalance\": " << point.load_imbalance
+           << ", \"eq3_step_model_s\": " << point.step_seconds << "}"
+           << (w + 1 < s.weak.size() ? ",\n" : "\n");
+    }
+    json << "     ],\n     \"strong\": [\n";
+    for (std::size_t t = 0; t < s.strong.size(); ++t) {
+      const StrongPoint& point = s.strong[t];
+      json << "       {\"ranks\": " << point.ranks << ", \"total_model_s\": "
+           << point.total_seconds << ", \"efficiency\": " << point.efficiency << "}"
+           << (t + 1 < s.strong.size() ? ",\n" : "\n");
+    }
+    const double samplesort_advantage =
+        s.samplesort_seconds_262k / s.treesort_seconds_262k;
+    const WeakPoint& last = s.weak.back();
+    json << "     ],\n     \"samplesort_model_s_262k\": " << s.samplesort_seconds_262k
+         << ",\n     \"samplesort_advantage_262k\": " << samplesort_advantage
+         << ",\n     \"all2all_fraction_262k\": " << last.time.all2all / last.time.total()
+         << ",\n     \"strong_efficiency_64x\": " << s.strong.back().efficiency
+         << "}" << (i + 1 < series.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n  \"energy\": [\n";
+  for (std::size_t i = 0; i < energy.size(); ++i) {
+    const EnergyPanel& panel = energy[i];
+    json << "    {\"machine\": \"" << panel.machine << "\", \"ranks\": " << panel.ranks
+         << ", \"levels_ideal\": " << panel.levels_ideal
+         << ", \"levels_tol03\": " << panel.levels_tol
+         << ",\n     \"splitter_joules_ideal\": " << panel.splitter_joules_ideal
+         << ", \"splitter_joules_tol03\": " << panel.splitter_joules_tol
+         << ",\n     \"splitter_energy_advantage\": "
+         << panel.splitter_joules_ideal / panel.splitter_joules_tol
+         << ",\n     \"epoch_node_joules_ideal\": {\"min\": "
+         << panel.epoch_ideal.node_joules_min
+         << ", \"mean\": " << panel.epoch_ideal.node_joules_mean
+         << ", \"max\": " << panel.epoch_ideal.node_joules_max
+         << ", \"nodes\": " << panel.epoch_ideal.nodes
+         << "},\n     \"epoch_node_joules_tol03\": {\"min\": "
+         << panel.epoch_tol.node_joules_min
+         << ", \"mean\": " << panel.epoch_tol.node_joules_mean
+         << ", \"max\": " << panel.epoch_tol.node_joules_max
+         << ", \"nodes\": " << panel.epoch_tol.nodes << "}}"
+         << (i + 1 < energy.size() ? ",\n" : "\n");
+  }
+  const MachineSeries& titan_series = series.front();
+  const double titan_total_262k = titan_series.weak.back().time.total();
+  json << "  ],\n  \"paper_weak_titan_262k_advantage\": " << 4.0 / titan_total_262k
+       << ",\n  \"strong_efficiency_advantage_titan\": "
+       << titan_series.strong.back().efficiency / 0.43 << "\n}\n";
+  json.close();
+  std::printf("wrote %s\n", json_path.c_str());
+
+  // --- paper anchor gates ---
+  int rc = 0;
+  if (max_p >= 262144) {
+    if (titan_total_262k < 1.0 || titan_total_262k > 10.0) {
+      std::fprintf(stderr,
+                   "FAIL: Titan weak scaling at 262k ranks predicts %.2f s, "
+                   "outside the paper band [1, 10] s (paper: ~4 s)\n",
+                   titan_total_262k);
+      rc = 1;
+    }
+    const double all2all_fraction =
+        titan_series.weak.back().time.all2all / titan_total_262k;
+    if (all2all_fraction < 0.5) {
+      std::fprintf(stderr,
+                   "FAIL: weak scaling no longer exchange-dominated "
+                   "(all2all fraction %.2f < 0.5 at 262k ranks)\n",
+                   all2all_fraction);
+      rc = 1;
+    }
+    for (const MachineSeries& s : series) {
+      if (s.samplesort_seconds_262k <= s.treesort_seconds_262k) {
+        std::fprintf(stderr,
+                     "FAIL: TreeSort no longer beats SampleSort at 262k ranks "
+                     "on %s (%.3f s vs %.3f s)\n",
+                     s.machine.name.c_str(), s.treesort_seconds_262k,
+                     s.samplesort_seconds_262k);
+        rc = 1;
+      }
+    }
+  }
+  const double efficiency_64x = titan_series.strong.back().efficiency;
+  if (efficiency_64x < 0.30 || efficiency_64x > 0.60) {
+    std::fprintf(stderr,
+                 "FAIL: Titan strong-scaling efficiency at 64x is %.0f%%, "
+                 "outside the paper band [30%%, 60%%] (paper: ~43%%)\n",
+                 100.0 * efficiency_64x);
+    rc = 1;
+  }
+  for (const EnergyPanel& panel : energy) {
+    if (panel.splitter_joules_tol >= panel.splitter_joules_ideal) {
+      std::fprintf(stderr,
+                   "FAIL: tolerance 0.3 no longer reduces splitter-phase "
+                   "energy on %s (%.1f J -> %.1f J)\n",
+                   panel.machine.c_str(), panel.splitter_joules_ideal,
+                   panel.splitter_joules_tol);
+      rc = 1;
+    }
+  }
+  if (sweep_seconds > 120.0) {
+    std::fprintf(stderr,
+                 "FAIL: analytic sweep took %.1f s (> 120 s cap) -- the scale "
+                 "path has regressed into element-proportional work\n",
+                 sweep_seconds);
+    rc = 1;
+  }
+  return rc;
+}

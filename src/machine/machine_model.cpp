@@ -86,17 +86,44 @@ MachineModel slow_network() {
   return m;
 }
 
+const std::vector<MachinePreset>& preset_registry() {
+  static const std::vector<MachinePreset> registry = {
+      {"titan", "ORNL Titan: Cray XK7, 16-core Opteron/node, Gemini, 18688 nodes",
+       true, &titan},
+      {"stampede", "TACC Stampede: 2x8-core Xeon/node, FDR InfiniBand, 6400 nodes",
+       true, &stampede},
+      {"wisconsin8", "CloudLab Wisconsin: 8 nodes, 2x E5-2630 v3, 10 GbE", true,
+       &wisconsin8},
+      {"clemson32", "CloudLab Clemson: 32 nodes, 2x E5-2683 v3 (56 ranks/node), 10 GbE",
+       true, &clemson32},
+      {"slow", "synthetic communication-bound machine for tests/ablations", false,
+       &slow_network},
+  };
+  return registry;
+}
+
 MachineModel machine_by_name(const std::string& name) {
-  if (name == "titan") return titan();
-  if (name == "stampede") return stampede();
-  if (name == "wisconsin8") return wisconsin8();
-  if (name == "clemson32") return clemson32();
-  if (name == "slow") return slow_network();
-  throw std::invalid_argument("unknown machine: " + name);
+  std::string known;
+  for (const MachinePreset& preset : preset_registry()) {
+    if (name == preset.name) return preset.make();
+    known += known.empty() ? preset.name : std::string(", ") + preset.name;
+  }
+  throw std::invalid_argument("unknown machine: " + name + " (known: " + known + ")");
 }
 
 std::vector<MachineModel> all_machines() {
-  return {titan(), stampede(), wisconsin8(), clemson32(), slow_network()};
+  std::vector<MachineModel> machines;
+  machines.reserve(preset_registry().size());
+  for (const MachinePreset& preset : preset_registry()) machines.push_back(preset.make());
+  return machines;
+}
+
+std::vector<MachineModel> paper_machines() {
+  std::vector<MachineModel> machines;
+  for (const MachinePreset& preset : preset_registry()) {
+    if (preset.paper_machine) machines.push_back(preset.make());
+  }
+  return machines;
 }
 
 }  // namespace amr::machine

@@ -63,11 +63,33 @@ struct MachineModel {
 /// A deliberately communication-heavy machine for tests and ablations.
 [[nodiscard]] MachineModel slow_network();
 
+/// One entry of the preset registry: the single place a shipped machine
+/// model is declared. Everything that enumerates or resolves machines --
+/// machine_by_name, all_machines, amrpart's `machines` listing, the
+/// bench_fig* sweeps and the amr_serve job decoder -- goes through this
+/// table, so adding a machine is one line here and nowhere else.
+struct MachinePreset {
+  const char* name;        ///< lookup key (stable, lowercase)
+  const char* summary;     ///< one-line provenance for listings
+  bool paper_machine;      ///< one of the four §4 evaluation machines
+  MachineModel (*make)();  ///< factory for a fresh model instance
+};
+
+/// The registry itself: the four paper machines first (Table 1 order),
+/// then auxiliary models. Order is stable and part of the API (benches
+/// index sweeps by it).
+[[nodiscard]] const std::vector<MachinePreset>& preset_registry();
+
 /// Preset lookup by name ("titan", "stampede", "wisconsin8", "clemson32",
-/// "slow"); throws std::invalid_argument otherwise.
+/// "slow"); throws std::invalid_argument (listing the known names)
+/// otherwise.
 [[nodiscard]] MachineModel machine_by_name(const std::string& name);
 
-/// All shipped presets (for sweeps over machines).
+/// All shipped presets (for sweeps over machines), in registry order.
 [[nodiscard]] std::vector<MachineModel> all_machines();
+
+/// The four machines of the paper's evaluation (§4), in registry order --
+/// what the scale sweeps iterate.
+[[nodiscard]] std::vector<MachineModel> paper_machines();
 
 }  // namespace amr::machine

@@ -42,6 +42,12 @@ struct ApplicationProfile {
   /// movement is free, which recovers the seed OptiPart rule exactly: the
   /// model-best fresh partition is always adopted.
   double migration_cost_factor = 1.0;
+
+  /// Field-wise equality: profiles are part of the serve-layer cache keys
+  /// (serve/serve.hpp), where two jobs may share partition artifacts only
+  /// if *every* model input matches.
+  friend bool operator==(const ApplicationProfile&,
+                         const ApplicationProfile&) = default;
 };
 
 class PerfModel {

@@ -1,0 +1,277 @@
+#include "serve/serve.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "octree/balance.hpp"
+#include "octree/treesort.hpp"
+#include "partition/optipart.hpp"
+#include "util/timer.hpp"
+
+namespace amr::serve {
+
+namespace {
+
+/// Boost-style hash combiner; keys are compared field-wise afterwards, so
+/// the hash only spreads buckets and can never alias artifacts.
+std::size_t combine(std::size_t seed, std::size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
+std::size_t hash_double(double v) { return std::hash<double>{}(v); }
+
+MeshArtifact build_mesh(const MeshSpec& spec) {
+  const sfc::Curve curve(spec.curve, spec.dim);
+  MeshArtifact artifact;
+  artifact.tree = octree::random_octree(spec.points, curve, spec.generate_options());
+  if (spec.balance) artifact.tree = octree::balance_octree(artifact.tree, curve);
+  artifact.keys = octree::tree_sort_with_keys(artifact.tree, curve);
+  return artifact;
+}
+
+JobResult partition_mesh(const MeshArtifact& artifact, const JobSpec& spec,
+                         const machine::MachineModel& machine) {
+  const sfc::Curve curve(spec.mesh.curve, spec.mesh.dim);
+  const machine::PerfModel model(machine, spec.profile);
+  JobResult result;
+  if (spec.partitioner == Partitioner::kTreeSort) {
+    partition::TreeSortPartitionOptions options;
+    options.tolerance = spec.tolerance;
+    result.cuts = partition::treesort_partition(artifact.tree, artifact.keys, curve,
+                                                spec.ranks, options);
+  } else {
+    result.cuts =
+        partition::optipart_partition(artifact.tree, curve, spec.ranks, model);
+  }
+  result.metrics = partition::compute_metrics(artifact.tree, curve, result.cuts);
+  result.predicted_seconds = result.metrics.predicted_time(model);
+  result.mesh_elements = artifact.tree.size();
+  return result;
+}
+
+}  // namespace
+
+octree::GenerateOptions MeshSpec::generate_options() const {
+  octree::GenerateOptions options;
+  options.distribution = distribution;
+  options.seed = seed;
+  options.max_points_per_leaf = max_points_per_leaf;
+  options.max_level = max_level;
+  options.dim = dim;
+  options.normal_mean = normal_mean;
+  options.normal_sigma = normal_sigma;
+  options.lognormal_m = lognormal_m;
+  options.lognormal_s = lognormal_s;
+  return options;
+}
+
+std::string to_string(Partitioner p) {
+  return p == Partitioner::kTreeSort ? "treesort" : "optipart";
+}
+
+std::size_t MeshSpecHash::operator()(const MeshSpec& spec) const noexcept {
+  std::size_t h = std::hash<std::size_t>{}(spec.points);
+  h = combine(h, static_cast<std::size_t>(spec.distribution));
+  h = combine(h, std::hash<std::uint64_t>{}(spec.seed));
+  h = combine(h, static_cast<std::size_t>(spec.max_level));
+  h = combine(h, spec.max_points_per_leaf);
+  h = combine(h, static_cast<std::size_t>(spec.dim));
+  h = combine(h, hash_double(spec.normal_mean));
+  h = combine(h, hash_double(spec.normal_sigma));
+  h = combine(h, hash_double(spec.lognormal_m));
+  h = combine(h, hash_double(spec.lognormal_s));
+  h = combine(h, static_cast<std::size_t>(spec.curve));
+  h = combine(h, spec.balance ? 1u : 0u);
+  return h;
+}
+
+std::size_t PartitionKeyHash::operator()(const PartitionKey& key) const noexcept {
+  std::size_t h = MeshSpecHash{}(key.spec.mesh);
+  h = combine(h, std::hash<std::string>{}(key.spec.machine));
+  h = combine(h, static_cast<std::size_t>(key.spec.ranks));
+  h = combine(h, static_cast<std::size_t>(key.spec.partitioner));
+  h = combine(h, hash_double(key.spec.tolerance));
+  h = combine(h, hash_double(key.spec.profile.alpha));
+  h = combine(h, hash_double(key.spec.profile.bytes_per_element));
+  h = combine(h, key.spec.profile.include_latency_term ? 1u : 0u);
+  h = combine(h, hash_double(key.spec.profile.steps_per_repartition));
+  h = combine(h, hash_double(key.spec.profile.migration_cost_factor));
+  h = combine(h, hash_double(key.tc));
+  h = combine(h, hash_double(key.ts));
+  h = combine(h, hash_double(key.tw));
+  h = combine(h, static_cast<std::size_t>(key.cores_per_node));
+  h = combine(h, static_cast<std::size_t>(key.total_nodes));
+  return h;
+}
+
+JobResult execute_job(const JobSpec& spec) {
+  const machine::MachineModel machine = machine::machine_by_name(spec.machine);
+  const MeshArtifact artifact = build_mesh(spec.mesh);
+  return partition_mesh(artifact, spec, machine);
+}
+
+Server::Server(ServerOptions options) : options_(options) {
+  if (options_.dispatchers < 1) options_.dispatchers = 1;
+  if (options_.queue_capacity < 1) options_.queue_capacity = 1;
+  dispatchers_.reserve(static_cast<std::size_t>(options_.dispatchers));
+  for (int i = 0; i < options_.dispatchers; ++i) {
+    dispatchers_.emplace_back([this] { dispatcher_loop(); });
+  }
+}
+
+Server::~Server() {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_work_.notify_all();
+  queue_space_.notify_all();
+  for (std::thread& dispatcher : dispatchers_) dispatcher.join();
+}
+
+std::future<JobResult> Server::submit(JobSpec spec) {
+  Pending pending;
+  pending.spec = std::move(spec);
+  std::future<JobResult> future = pending.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    queue_space_.wait(lock, [this] {
+      return stopping_ || queue_.size() < options_.queue_capacity;
+    });
+    if (stopping_) throw std::runtime_error("serve::Server is shutting down");
+    queue_.push_back(std::move(pending));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.submitted;
+  }
+  queue_work_.notify_one();
+  return future;
+}
+
+void Server::dispatcher_loop() {
+  for (;;) {
+    Pending job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, and the backlog is drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    queue_space_.notify_one();
+
+    const util::Timer timer;
+    try {
+      JobResult result = execute(job.spec);
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.completed;
+        stats_.latency_ns.record(static_cast<std::int64_t>(timer.seconds() * 1e9));
+      }
+      job.promise.set_value(std::move(result));
+    } catch (...) {
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.completed;
+      }
+      job.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+std::shared_ptr<const MeshArtifact> Server::mesh_for(const MeshSpec& spec, bool* hit) {
+  std::shared_future<std::shared_ptr<const MeshArtifact>> future;
+  std::promise<std::shared_ptr<const MeshArtifact>> mine;
+  bool owner = false;
+  {
+    const std::lock_guard<std::mutex> lock(mesh_mutex_);
+    const auto it = mesh_cache_.find(spec);
+    if (it != mesh_cache_.end()) {
+      future = it->second;
+    } else {
+      future = mine.get_future().share();
+      mesh_cache_.emplace(spec, future);
+      owner = true;
+    }
+  }
+  *hit = !owner;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++(owner ? stats_.mesh_cache_misses : stats_.mesh_cache_hits);
+  }
+  if (!owner) return future.get();  // may block on a concurrent builder
+  try {
+    auto artifact = std::make_shared<const MeshArtifact>(build_mesh(spec));
+    mine.set_value(artifact);
+    return artifact;
+  } catch (...) {
+    mine.set_exception(std::current_exception());
+    const std::lock_guard<std::mutex> lock(mesh_mutex_);
+    mesh_cache_.erase(spec);  // failures are not cached; waiters still see it
+    throw;
+  }
+}
+
+JobResult Server::execute(const JobSpec& spec) {
+  // Resolve the machine before touching any cache: an unknown name throws
+  // here and is never memoized.
+  const machine::MachineModel machine = machine::machine_by_name(spec.machine);
+  if (!options_.cache_enabled) {
+    return partition_mesh(build_mesh(spec.mesh), spec, machine);
+  }
+
+  PartitionKey key;
+  key.spec = spec;
+  key.tc = machine.tc;
+  key.ts = machine.ts;
+  key.tw = machine.tw;
+  key.cores_per_node = machine.cores_per_node;
+  key.total_nodes = machine.total_nodes;
+
+  std::shared_future<std::shared_ptr<const JobResult>> future;
+  std::promise<std::shared_ptr<const JobResult>> mine;
+  bool owner = false;
+  {
+    const std::lock_guard<std::mutex> lock(partition_mutex_);
+    const auto it = partition_cache_.find(key);
+    if (it != partition_cache_.end()) {
+      future = it->second;
+    } else {
+      future = mine.get_future().share();
+      partition_cache_.emplace(key, future);
+      owner = true;
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++(owner ? stats_.partition_cache_misses : stats_.partition_cache_hits);
+  }
+
+  if (!owner) {
+    JobResult result = *future.get();
+    result.partition_cache_hit = true;
+    return result;
+  }
+  try {
+    bool mesh_hit = false;
+    const std::shared_ptr<const MeshArtifact> mesh = mesh_for(spec.mesh, &mesh_hit);
+    auto cached = std::make_shared<const JobResult>(partition_mesh(*mesh, spec, machine));
+    mine.set_value(cached);
+    JobResult result = *cached;
+    result.mesh_cache_hit = mesh_hit;
+    return result;
+  } catch (...) {
+    mine.set_exception(std::current_exception());
+    const std::lock_guard<std::mutex> lock(partition_mutex_);
+    partition_cache_.erase(key);
+    throw;
+  }
+}
+
+ServerStats Server::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace amr::serve

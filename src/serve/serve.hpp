@@ -1,0 +1,220 @@
+// Partitioner-as-a-service (DESIGN.md §17): a batch front-end that takes
+// many concurrent partition jobs -- mesh spec x machine model x
+// application profile -- and schedules them over the process-wide compute
+// pool with bounded admission and a keyed artifact cache.
+//
+// Layering. A Server owns a small set of *dispatcher* threads that pull
+// jobs from a bounded queue and run the pipeline (generate -> sort ->
+// partition -> metrics). The pipeline's own parallelism (tree_sort's
+// bucket passes, metrics) lands on ThreadPool::global() as usual:
+// dispatchers are deliberately NOT pool threads, because pool tasks must
+// never call run() on their own pool (thread_pool.hpp's no-nesting rule).
+// Dispatcher count bounds how many jobs are *in flight*; the global pool
+// bounds how many cores any of them use; queue capacity bounds admission
+// (submit() blocks when the backlog is full -- backpressure instead of
+// unbounded memory).
+//
+// Caching. Two levels, keyed by exact field-wise equality (never by hash
+// alone, so collisions cannot alias artifacts):
+//
+//   MeshSpec            -> MeshArtifact: the sorted tree + its aligned
+//                          128-bit curve keys. Shared by every job that
+//                          differs only in machine/ranks/profile/
+//                          tolerance -- KernelPlan- and machine-
+//                          independent partition *input*.
+//   PartitionKey        -> JobResult: the cuts + exact metrics. Keyed by
+//                          the mesh key PLUS ranks, partitioner,
+//                          tolerance, the application profile and the
+//                          *resolved* machine constants (tc/ts/tw, node
+//                          shape) as well as the machine name -- two jobs
+//                          differing in any model input never share cuts.
+//
+// Entries hold shared_futures: the first job to need an artifact computes
+// it, concurrent identical jobs block on the same future, so a burst of
+// duplicate shapes does the work once and every caller observes the
+// identical (bit-for-bit) result. All pipeline stages are deterministic
+// (seeded generation, bit-deterministic sort/partition for any thread
+// count), which is what makes a warm hit exactly the cold computation.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "machine/machine_model.hpp"
+#include "machine/perf_model.hpp"
+#include "obs/telemetry.hpp"
+#include "octree/generate.hpp"
+#include "partition/metrics.hpp"
+#include "partition/partition.hpp"
+#include "sfc/curve.hpp"
+
+namespace amr::serve {
+
+/// Everything that determines a mesh, value-wise. Generation is a pure
+/// function of these fields (seeded), so the spec doubles as the mesh
+/// cache key.
+struct MeshSpec {
+  std::size_t points = 4000;
+  octree::PointDistribution distribution = octree::PointDistribution::kNormal;
+  std::uint64_t seed = 42;
+  int max_level = 9;
+  std::size_t max_points_per_leaf = 1;
+  int dim = 3;
+  double normal_mean = 0.5;
+  double normal_sigma = 0.125;
+  double lognormal_m = 0.0;
+  double lognormal_s = 0.5;
+  sfc::CurveKind curve = sfc::CurveKind::kHilbert;
+  bool balance = true;  ///< 2:1 balance after generation
+
+  friend bool operator==(const MeshSpec&, const MeshSpec&) = default;
+
+  [[nodiscard]] octree::GenerateOptions generate_options() const;
+};
+
+enum class Partitioner { kTreeSort, kOptiPart };
+
+[[nodiscard]] std::string to_string(Partitioner p);
+
+/// One partition request: which mesh, on which machine, for which
+/// application, with which partitioner.
+struct JobSpec {
+  MeshSpec mesh;
+  std::string machine = "wisconsin8";  ///< preset name (machine_by_name)
+  int ranks = 16;
+  Partitioner partitioner = Partitioner::kOptiPart;
+  double tolerance = 0.0;  ///< TreeSort flexibility (ignored by OptiPart)
+  machine::ApplicationProfile profile;
+
+  friend bool operator==(const JobSpec&, const JobSpec&) = default;
+};
+
+/// Machine-independent product of the mesh stage: the sorted (optionally
+/// balanced) tree plus its aligned 128-bit curve keys.
+struct MeshArtifact {
+  std::vector<octree::Octant> tree;
+  std::vector<sfc::CurveKey> keys;
+};
+
+struct JobResult {
+  partition::Partition cuts;
+  partition::Metrics metrics;       ///< exact (stride 1)
+  double predicted_seconds = 0.0;   ///< Eq. 3 under the job's own model
+  std::size_t mesh_elements = 0;
+  // Per-serve observability (not part of the cached artifact):
+  bool mesh_cache_hit = false;
+  bool partition_cache_hit = false;
+};
+
+/// Full partition-artifact key: the job spec (which embeds the mesh key,
+/// profile and tolerance) plus the *resolved* machine constants. The name
+/// alone would suffice while the registry is immutable; pinning tc/ts/tw
+/// and the node shape means a re-parameterized preset can never serve
+/// stale artifacts.
+struct PartitionKey {
+  JobSpec spec;
+  double tc = 0.0;
+  double ts = 0.0;
+  double tw = 0.0;
+  int cores_per_node = 0;
+  int total_nodes = 0;
+
+  friend bool operator==(const PartitionKey&, const PartitionKey&) = default;
+};
+
+struct MeshSpecHash {
+  std::size_t operator()(const MeshSpec& spec) const noexcept;
+};
+struct PartitionKeyHash {
+  std::size_t operator()(const PartitionKey& key) const noexcept;
+};
+
+struct ServerOptions {
+  /// Dispatcher (in-flight job) threads. Compute within a job still runs
+  /// on ThreadPool::global().
+  int dispatchers = 4;
+  /// Bounded admission: submit() blocks while this many jobs are queued
+  /// (in-flight jobs do not count against it).
+  std::size_t queue_capacity = 64;
+  bool cache_enabled = true;
+};
+
+struct ServerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t mesh_cache_hits = 0;
+  std::uint64_t mesh_cache_misses = 0;
+  std::uint64_t partition_cache_hits = 0;
+  std::uint64_t partition_cache_misses = 0;
+  obs::LatencyHistogram latency_ns;  ///< per-job service latency
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  /// Drains every queued job (all futures complete), then joins.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueue a job; blocks while the queue is at capacity. The future
+  /// carries the result or the pipeline's exception (e.g. an unknown
+  /// machine name).
+  std::future<JobResult> submit(JobSpec spec);
+
+  /// Snapshot of the counters and the latency histogram.
+  [[nodiscard]] ServerStats stats() const;
+
+  [[nodiscard]] const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    JobSpec spec;
+    std::promise<JobResult> promise;
+  };
+
+  void dispatcher_loop();
+  JobResult execute(const JobSpec& spec);
+  std::shared_ptr<const MeshArtifact> mesh_for(const MeshSpec& spec, bool* hit);
+
+  ServerOptions options_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_space_;
+  std::condition_variable queue_work_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+
+  std::mutex mesh_mutex_;
+  std::unordered_map<MeshSpec,
+                     std::shared_future<std::shared_ptr<const MeshArtifact>>,
+                     MeshSpecHash>
+      mesh_cache_;
+  std::mutex partition_mutex_;
+  std::unordered_map<PartitionKey,
+                     std::shared_future<std::shared_ptr<const JobResult>>,
+                     PartitionKeyHash>
+      partition_cache_;
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+
+  std::vector<std::thread> dispatchers_;
+};
+
+/// Run the full pipeline for one spec inline (no queue, no cache) -- the
+/// reference computation the cache-correctness tests compare bitwise
+/// against Server results.
+[[nodiscard]] JobResult execute_job(const JobSpec& spec);
+
+}  // namespace amr::serve

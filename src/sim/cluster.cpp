@@ -1,0 +1,260 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace amr::sim {
+
+namespace {
+
+double log2p(int p) { return p > 1 ? std::log2(static_cast<double>(p)) : 1.0; }
+
+}  // namespace
+
+Cluster::Cluster(const octree::GenerateOptions& distribution, sfc::CurveKind kind)
+    : density_(distribution), curve_(kind, distribution.dim) {
+  nodes_.push_back(Node{1.0, -1, 0});  // root: the unit cube, curve state 0
+}
+
+std::int32_t Cluster::expand(std::int32_t index, const std::array<double, 3>& lo,
+                             const std::array<double, 3>& hi) {
+  const std::int32_t cached = nodes_[static_cast<std::size_t>(index)].first_child;
+  if (cached >= 0) return cached;
+
+  const int children = curve_.num_children();
+  if (nodes_.size() + static_cast<std::size_t>(children) >
+      static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max())) {
+    throw std::length_error("sim::Cluster histogram tree exceeds int32 indexing");
+  }
+
+  // One CDF evaluation per axis endpoint, shared by all children. Child
+  // masses must match Density::box_probability bit for bit (the descent
+  // must stay exactly the one simulate_treesort always ran), so each axis
+  // factor is the same cdf(hi) - cdf(lo) subtraction under the same
+  // max(0.0, .) clamp, multiplied in axis order.
+  const int dim = density_.dim();
+  std::array<double, 3> cdf_lo{};
+  std::array<double, 3> cdf_mid{};
+  std::array<double, 3> cdf_hi{};
+  for (int axis = 0; axis < dim; ++axis) {
+    const auto a = static_cast<std::size_t>(axis);
+    cdf_lo[a] = density_.axis_cdf(lo[a]);
+    cdf_mid[a] = density_.axis_cdf(0.5 * (lo[a] + hi[a]));
+    cdf_hi[a] = density_.axis_cdf(hi[a]);
+  }
+
+  const auto first = static_cast<std::int32_t>(nodes_.size());
+  const int state = nodes_[static_cast<std::size_t>(index)].state;
+  for (int j = 0; j < children; ++j) {
+    const int c = curve_.child_at(state, j);
+    double mass = 1.0;
+    for (int axis = 0; axis < dim; ++axis) {
+      const auto a = static_cast<std::size_t>(axis);
+      const double p = ((c >> axis) & 1) != 0 ? cdf_hi[a] - cdf_mid[a]
+                                              : cdf_mid[a] - cdf_lo[a];
+      mass *= std::max(0.0, p);
+    }
+    Node child;
+    child.mass = mass;
+    child.state = static_cast<std::uint8_t>(curve_.next_state(state, c));
+    nodes_.push_back(child);  // children contiguous, in curve visit order
+  }
+  nodes_[static_cast<std::size_t>(index)].first_child = first;
+  return first;
+}
+
+Cluster::CutResult Cluster::descend_target(double u, double tol_mass,
+                                           double min_bucket_mass, int max_depth) {
+  std::int32_t index = 0;
+  std::array<double, 3> lo{0.0, 0.0, 0.0};
+  std::array<double, 3> hi{1.0, 1.0, 1.0};
+  double mass_before = 0.0;
+  double best_dev = std::min(u, 1.0 - u);  // domain ends are always cuts
+  double best_cut = u <= 1.0 - u ? 0.0 : 1.0;
+  int level = 0;
+  const int children = curve_.num_children();
+  while (level < max_depth) {
+    if (best_dev <= tol_mass) break;
+    if (nodes_[static_cast<std::size_t>(index)].mass <= min_bucket_mass) break;
+    ++level;
+
+    const std::int32_t first = expand(index, lo, hi);
+    const int state = nodes_[static_cast<std::size_t>(index)].state;
+    double cursor = mass_before;
+    bool found = false;
+    std::int32_t next_index = -1;
+    std::array<double, 3> next_lo{};
+    std::array<double, 3> next_hi{};
+    double next_before = 0.0;
+    for (int j = 0; j < children; ++j) {
+      const double child_mass = nodes_[static_cast<std::size_t>(first + j)].mass;
+      if (std::abs(cursor - u) < best_dev) {  // cut before child
+        best_dev = std::abs(cursor - u);
+        best_cut = cursor;
+      }
+      if (!found && u >= cursor && u < cursor + child_mass) {
+        const int c = curve_.child_at(state, j);
+        next_lo = lo;
+        next_hi = hi;
+        for (int axis = 0; axis < 3; ++axis) {
+          const auto a = static_cast<std::size_t>(axis);
+          const double mid = 0.5 * (lo[a] + hi[a]);
+          if (((c >> axis) & 1) != 0) {
+            next_lo[a] = mid;
+          } else {
+            next_hi[a] = mid;
+          }
+        }
+        next_index = first + j;
+        next_before = cursor;
+        found = true;
+      }
+      cursor += child_mass;
+    }
+    if (std::abs(cursor - u) < best_dev) {  // cut after last child
+      best_dev = std::abs(cursor - u);
+      best_cut = cursor;
+    }
+    if (!found) break;  // u fell into truncation slack; cuts won't improve
+    index = next_index;
+    lo = next_lo;
+    hi = next_hi;
+    mass_before = next_before;
+  }
+  return {level, best_dev, best_cut};
+}
+
+AnalyticPartition Cluster::resolve_cuts(std::uint64_t n, int p, double tolerance,
+                                        int max_depth) {
+  const double nd = static_cast<double>(n);
+  const double grain_mass = 1.0 / static_cast<double>(p);
+  const double tol_mass = tolerance * grain_mass;
+  const double min_bucket_mass = 1.0 / nd;  // ~one element
+
+  AnalyticPartition part;
+  part.cut_mass.resize(static_cast<std::size_t>(p) + 1);
+  part.cut_mass.front() = 0.0;
+  part.cut_mass.back() = 1.0;
+  for (int r = 1; r < p; ++r) {
+    const double u = static_cast<double>(r) / static_cast<double>(p);
+    const CutResult cut = descend_target(u, tol_mass, min_bucket_mass, max_depth);
+    part.levels_used = std::max(part.levels_used, cut.levels);
+    part.max_deviation_mass = std::max(part.max_deviation_mass, cut.deviation_mass);
+    // Adjacent targets can in principle round to the same (or, at extreme
+    // tolerances, crossing) bucket boundaries; keep the cut sequence
+    // non-decreasing so per-rank work is never negative.
+    part.cut_mass[static_cast<std::size_t>(r)] =
+        std::max(part.cut_mass[static_cast<std::size_t>(r) - 1], cut.cut_mass);
+  }
+  return part;
+}
+
+SimBreakdown Cluster::charge_treesort(const TreesortQuery& query, int levels_used,
+                                      const machine::MachineModel& machine) {
+  const double n = static_cast<double>(query.n);
+  const double grain_bytes = n / query.p * query.element_bytes;
+  const int k = query.staged_splitters > 0 ? query.staged_splitters
+                                           : std::min(query.p, 4096);
+  const double levels = std::max(1, levels_used);
+  SimBreakdown time;
+  time.local_sort = machine.tc * grain_bytes * levels;
+  time.splitter = (machine.ts + machine.tw * k * 8.0) * log2p(query.p) * levels;
+  // Staged personalized exchange (Bruck, paper refs [4][34]): log p rounds,
+  // each moving about half the grain -- this is why the exchange, not the
+  // splitter selection, dominates the paper's weak scaling (Fig. 5).
+  time.all2all = machine.tw * grain_bytes * std::max(1.0, 0.5 * log2p(query.p)) +
+                 machine.ts * log2p(query.p);
+  return time;
+}
+
+SimResult Cluster::treesort_result(const TreesortQuery& query,
+                                   const machine::MachineModel& machine) {
+  const AnalyticPartition cuts =
+      resolve_cuts(query.n, query.p, query.tolerance, query.max_depth);
+  const double n = static_cast<double>(query.n);
+  SimResult result;
+  result.levels_used = cuts.levels_used;
+  result.max_deviation_elements = cuts.max_deviation_mass * n;
+  result.achieved_tolerance = result.max_deviation_elements / (n / query.p);
+  result.time = charge_treesort(query, cuts.levels_used, machine);
+  return result;
+}
+
+ScaleStepModel Cluster::step_model(const AnalyticPartition& cuts, std::uint64_t n,
+                                   const machine::PerfModel& model) const {
+  const double nd = static_cast<double>(n);
+  const int dim = density_.dim();
+  const double surface = dim == 2 ? 4.0 : 6.0;
+  const double exponent = dim == 2 ? 0.5 : 2.0 / 3.0;
+  const int p = cuts.num_ranks();
+
+  ScaleStepModel step;
+  step.w_min = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < p; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    const double w = (cuts.cut_mass[i + 1] - cuts.cut_mass[i]) * nd;
+    const double c = w > 0.0 ? surface * std::pow(w, exponent) : 0.0;
+    step.w_max = std::max(step.w_max, w);
+    step.w_min = std::min(step.w_min, w);
+    step.c_max = std::max(step.c_max, c);
+    step.total_boundary += c;
+  }
+  // lambda vs the *ideal* grain (Wmax / (N/p)): finite even when a coarse
+  // tolerance leaves some rank empty.
+  step.load_imbalance = step.w_max / (nd / p);
+  step.step_seconds = model.application_time(step.w_max, step.c_max);
+  return step;
+}
+
+ScaleEpochResult Cluster::epoch(const AnalyticPartition& cuts, std::uint64_t n,
+                                int iterations, const machine::PerfModel& model) const {
+  ScaleEpochResult result;
+  result.step = step_model(cuts, n, model);
+
+  const machine::MachineModel& m = model.machine();
+  const double nd = static_cast<double>(n);
+  const int dim = density_.dim();
+  const double surface = dim == 2 ? 4.0 : 6.0;
+  const double exponent = dim == 2 ? 0.5 : 2.0 / 3.0;
+  const int p = cuts.num_ranks();
+  const double iters = static_cast<double>(iterations);
+
+  result.total_seconds = iters * result.step.step_seconds;
+  result.compute_seconds = iters * model.compute_time(result.step.w_max);
+  result.comm_seconds = iters * model.comm_time(result.step.c_max);
+
+  const std::size_t nodes =
+      (static_cast<std::size_t>(p) + static_cast<std::size_t>(m.cores_per_node) - 1) /
+      static_cast<std::size_t>(m.cores_per_node);
+  result.nodes = nodes;
+  std::vector<double> busy_core_seconds(nodes, 0.0);  // per node, one epoch
+  std::vector<double> nic_bytes(nodes, 0.0);
+  for (int r = 0; r < p; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    const double w = (cuts.cut_mass[i + 1] - cuts.cut_mass[i]) * nd;
+    const double c = w > 0.0 ? surface * std::pow(w, exponent) : 0.0;
+    const auto node = static_cast<std::size_t>(m.node_of_rank(r));
+    busy_core_seconds[node] += iters * model.compute_time(w);
+    nic_bytes[node] += iters * c * model.app().bytes_per_element;
+  }
+
+  // Same constants the materialized epoch simulator charges
+  // (power_model.hpp): idle draw for the whole epoch, active-core draw over
+  // busy core-seconds, NIC draw per Gbit/s -- which integrates to a
+  // rate-independent watts_per_gbps * gigabits moved.
+  result.node_joules_min = std::numeric_limits<double>::infinity();
+  for (std::size_t node = 0; node < nodes; ++node) {
+    const double joules = m.idle_watts * result.total_seconds +
+                          m.core_active_watts * busy_core_seconds[node] +
+                          m.nic_watts_per_gbps * nic_bytes[node] * 8.0e-9;
+    result.total_joules += joules;
+    result.node_joules_min = std::min(result.node_joules_min, joules);
+    result.node_joules_max = std::max(result.node_joules_max, joules);
+  }
+  result.node_joules_mean = result.total_joules / static_cast<double>(nodes);
+  return result;
+}
+
+}  // namespace amr::sim

@@ -1,0 +1,166 @@
+// sim::Cluster -- the analytic scale-out substrate (DESIGN.md §17).
+//
+// The paper's headline numbers live at 262,144 ranks over 262 *billion*
+// elements, far beyond anything this repo can materialize. What the
+// splitter-selection control flow actually consumes, though, is only the
+// expected element mass of dyadic boxes in curve visit order -- so the
+// whole 262k-rank regime is answerable from a *histogram tree over the
+// analytic density* (density.hpp): a lazily expanded tree whose node
+// holds the expected mass of one curve-ordered box.
+//
+// Cluster owns one such tree per (distribution, curve) and shares it
+// across every query: all p-1 cut descents of one partition walk the same
+// tree, every (n, p, tolerance) sweep point re-walks it, and expansions
+// are memoized so a full weak-scaling sweep 16 -> 262,144 ranks costs one
+// tree of a few million nodes (16 bytes each) instead of 2^62 octants.
+// Per expansion the per-axis CDF is evaluated at lo/mid/hi once and child
+// masses are formed exactly as Density::box_probability would -- the
+// descent is bit-for-bit the one simulate_treesort always ran, which now
+// delegates here (splitter_sim.cpp).
+//
+// Beyond splitter depth/deviation, Cluster reports the chosen *positions*
+// (mass coordinates) of every cut, which is what turns the analytic run
+// into partition-quality and energy curves: per-rank work is a cut-mass
+// difference, per-rank communication follows the discrete surface-to-
+// volume bound of SFC partitions (c_r ~ s * w_r^{(d-1)/d}, the analytic
+// route of Gadouleau & Weinzierl, arXiv:2106.12856), and the per-node
+// energy integral is the same idle/core/NIC power model the materialized
+// epoch simulator charges (power_model.hpp) -- evaluated in O(p) instead
+// of O(N).
+//
+// Not thread-safe: expansion mutates the shared tree. All element counts
+// are 64-bit (std::uint64_t / double mass fractions); nothing in here may
+// ever hold an element count in an int -- see the ScaleSim overflow-canary
+// tests pinning p=262,144 x 1e6-element grains.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "machine/perf_model.hpp"
+#include "octree/generate.hpp"
+#include "octree/octant.hpp"
+#include "sfc/curve.hpp"
+#include "sim/density.hpp"
+#include "sim/splitter_sim.hpp"
+
+namespace amr::sim {
+
+/// One analytic partition: cut_mass[r] is the global mass coordinate of
+/// splitter r (cut_mass[0] = 0, cut_mass[p] = 1), so rank r owns mass
+/// cut_mass[r+1] - cut_mass[r] and w_r = that times N.
+struct AnalyticPartition {
+  std::vector<double> cut_mass;         ///< size p+1, non-decreasing
+  int levels_used = 0;                  ///< deepest refinement any cut needed
+  double max_deviation_mass = 0.0;      ///< worst |cut - target| in mass
+  [[nodiscard]] int num_ranks() const { return static_cast<int>(cut_mass.size()) - 1; }
+};
+
+/// Analytic Alg. 2 / Eq. 3 view of one partition at N elements.
+struct ScaleStepModel {
+  double w_max = 0.0;            ///< max per-rank elements
+  double w_min = 0.0;
+  double load_imbalance = 1.0;   ///< lambda = w_max / w_min
+  double c_max = 0.0;            ///< surface-model max per-rank ghost elements
+  double total_boundary = 0.0;   ///< sum of per-rank boundaries
+  double step_seconds = 0.0;     ///< Eq. 3 with the analytic Wmax/Cmax
+};
+
+/// An `iterations`-step bulk-synchronous epoch plus its energy integral.
+struct ScaleEpochResult {
+  double total_seconds = 0.0;
+  double compute_seconds = 0.0;   ///< iterations x max-rank compute
+  double comm_seconds = 0.0;      ///< iterations x max-rank exchange
+  double total_joules = 0.0;
+  std::size_t nodes = 0;          ///< ceil(p / cores_per_node)
+  double node_joules_min = 0.0;
+  double node_joules_mean = 0.0;
+  double node_joules_max = 0.0;
+  ScaleStepModel step;
+};
+
+class Cluster {
+ public:
+  Cluster(const octree::GenerateOptions& distribution, sfc::CurveKind kind);
+
+  /// Everything one distributed-TreeSort pricing needs besides the machine.
+  /// Mirrors SimConfig minus the fields the Cluster was constructed with.
+  struct TreesortQuery {
+    std::uint64_t n = 1'000'000;  ///< global element count (64-bit: the
+                                  ///< 262k-rank sweeps exceed 2^37)
+    int p = 64;
+    double tolerance = 0.0;
+    int staged_splitters = 0;     ///< Eq. 2's k; 0 means min(p, 4096)
+    int max_depth = octree::kMaxDepth;
+    double element_bytes = 32.0;
+  };
+
+  /// Resolve all p-1 target cuts against the shared histogram tree:
+  /// bit-for-bit the refinement simulate_treesort executes, plus the
+  /// chosen cut positions. Expansions are memoized across calls.
+  [[nodiscard]] AnalyticPartition resolve_cuts(std::uint64_t n, int p,
+                                               double tolerance,
+                                               int max_depth = octree::kMaxDepth);
+
+  /// Eq. 2 phase charging for a treesort whose descent used `levels_used`
+  /// levels. Pure function of the query + machine (no tree access), so a
+  /// multi-machine sweep resolves cuts once and charges per machine.
+  [[nodiscard]] static SimBreakdown charge_treesort(const TreesortQuery& query,
+                                                    int levels_used,
+                                                    const machine::MachineModel& machine);
+
+  /// resolve_cuts + charge_treesort in simulate_treesort's SimResult shape
+  /// (the function simulate_treesort now delegates to).
+  [[nodiscard]] SimResult treesort_result(const TreesortQuery& query,
+                                          const machine::MachineModel& machine);
+
+  /// Analytic partition quality at N elements: work from cut masses,
+  /// communication from the discrete surface-to-volume model
+  /// c_r = s_d * w_r^{(d-1)/d} (s_3 = 6, s_2 = 4: the boundary of a
+  /// compact SFC segment of w cells is within a small constant of a
+  /// cube's/square's surface), Eq. 3 from the resulting Wmax/Cmax.
+  [[nodiscard]] ScaleStepModel step_model(const AnalyticPartition& cuts,
+                                          std::uint64_t n,
+                                          const machine::PerfModel& model) const;
+
+  /// `iterations` bulk-synchronous steps (compute barrier exchange) with
+  /// the per-node energy integral: idle draw over the epoch, active-core
+  /// draw over each rank's busy time, NIC draw per byte moved -- the same
+  /// constants power_model.hpp charges, evaluated in O(p).
+  [[nodiscard]] ScaleEpochResult epoch(const AnalyticPartition& cuts, std::uint64_t n,
+                                       int iterations,
+                                       const machine::PerfModel& model) const;
+
+  /// Histogram-tree nodes expanded so far (memoization observability).
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  [[nodiscard]] const sfc::Curve& curve() const { return curve_; }
+
+ private:
+  struct Node {
+    double mass = 0.0;
+    std::int32_t first_child = -1;  ///< index of child 0 in nodes_, -1 = leaf
+    std::uint8_t state = 0;         ///< curve orientation state
+  };
+
+  struct CutResult {
+    int levels = 0;
+    double deviation_mass = 0.0;
+    double cut_mass = 0.0;
+  };
+
+  /// Expand `index` (box [lo, hi)) if unexpanded; returns first_child.
+  std::int32_t expand(std::int32_t index, const std::array<double, 3>& lo,
+                      const std::array<double, 3>& hi);
+
+  /// Descend one target cut u, exactly splitter_sim's refinement rule.
+  CutResult descend_target(double u, double tol_mass, double min_bucket_mass,
+                           int max_depth);
+
+  Density density_;
+  sfc::Curve curve_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace amr::sim

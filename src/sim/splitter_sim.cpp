@@ -3,72 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/cluster.hpp"
+
 namespace amr::sim {
 
 namespace {
-
-struct Frame {
-  std::array<double, 3> lo{0.0, 0.0, 0.0};
-  std::array<double, 3> hi{1.0, 1.0, 1.0};
-  int state = 0;
-  double mass_before = 0.0;  ///< global mass preceding this box in SFC order
-  double mass = 1.0;         ///< mass of this box
-};
-
-/// Refine one target cut (mass fraction u) until within tol_mass or the
-/// bucket is down to ~1 expected element. Returns (levels, deviation).
-struct DescentResult {
-  int levels = 0;
-  double deviation_mass = 0.0;
-};
-
-DescentResult descend_target(double u, const Density& density, const sfc::Curve& curve,
-                             double tol_mass, double min_bucket_mass, int max_depth) {
-  Frame frame;
-  double best_dev = std::min(u, 1.0 - u);  // domain ends are always cuts
-  int level = 0;
-  while (level < max_depth) {
-    if (best_dev <= tol_mass) break;
-    if (frame.mass <= min_bucket_mass) break;
-    ++level;
-
-    // Children in curve visit order; pick candidate cuts and the child
-    // containing u.
-    double cursor = frame.mass_before;
-    Frame next;
-    bool found = false;
-    const int children = curve.num_children();
-    for (int j = 0; j < children; ++j) {
-      const int c = curve.child_at(frame.state, j);
-      std::array<double, 3> lo = frame.lo;
-      std::array<double, 3> hi = frame.hi;
-      for (int axis = 0; axis < 3; ++axis) {
-        const double mid = 0.5 * (frame.lo[static_cast<std::size_t>(axis)] +
-                                  frame.hi[static_cast<std::size_t>(axis)]);
-        if (((c >> axis) & 1) != 0) {
-          lo[static_cast<std::size_t>(axis)] = mid;
-        } else {
-          hi[static_cast<std::size_t>(axis)] = mid;
-        }
-      }
-      const double child_mass = density.box_probability(lo, hi);
-      best_dev = std::min(best_dev, std::abs(cursor - u));  // cut before child
-      if (!found && u >= cursor && u < cursor + child_mass) {
-        next.lo = lo;
-        next.hi = hi;
-        next.state = curve.next_state(frame.state, c);
-        next.mass_before = cursor;
-        next.mass = child_mass;
-        found = true;
-      }
-      cursor += child_mass;
-    }
-    best_dev = std::min(best_dev, std::abs(cursor - u));  // cut after last child
-    if (!found) break;  // u fell into truncation slack; cuts won't improve
-    frame = next;
-  }
-  return {level, best_dev};
-}
 
 double log2p(int p) { return p > 1 ? std::log2(static_cast<double>(p)) : 1.0; }
 
@@ -76,37 +15,19 @@ double log2p(int p) { return p > 1 ? std::log2(static_cast<double>(p)) : 1.0; }
 
 SimResult simulate_treesort(const SimConfig& config,
                             const machine::MachineModel& machine) {
-  const Density density(config.distribution);
-  const sfc::Curve curve(config.curve, config.distribution.dim);
-  const double n = static_cast<double>(config.n);
-  const double grain_mass = 1.0 / static_cast<double>(config.p);
-  const double tol_mass = config.tolerance * grain_mass;
-  const double min_bucket_mass = 1.0 / n;  // ~one element
-
-  SimResult result;
-  for (int r = 1; r < config.p; ++r) {
-    const double u = static_cast<double>(r) / static_cast<double>(config.p);
-    const DescentResult d = descend_target(u, density, curve, tol_mass,
-                                           min_bucket_mass, config.max_depth);
-    result.levels_used = std::max(result.levels_used, d.levels);
-    result.max_deviation_elements =
-        std::max(result.max_deviation_elements, d.deviation_mass * n);
-  }
-  result.achieved_tolerance = result.max_deviation_elements / (n / config.p);
-
-  const double grain_bytes = n / config.p * config.element_bytes;
-  const int k = config.staged_splitters > 0 ? config.staged_splitters
-                                            : std::min(config.p, 4096);
-  const double levels = std::max(1, result.levels_used);
-  result.time.local_sort = machine.tc * grain_bytes * levels;
-  result.time.splitter = (machine.ts + machine.tw * k * 8.0) * log2p(config.p) * levels;
-  // Staged personalized exchange (Bruck, paper refs [4][34]): log p rounds,
-  // each moving about half the grain -- this is why the exchange, not the
-  // splitter selection, dominates the paper's weak scaling (Fig. 5).
-  result.time.all2all =
-      machine.tw * grain_bytes * std::max(1.0, 0.5 * log2p(config.p)) +
-      machine.ts * log2p(config.p);
-  return result;
+  // The refinement loop lives in sim::Cluster now (cluster.hpp), answered
+  // from a memoized histogram tree over the analytic density. A one-shot
+  // query builds a throwaway tree; sweeps that hold a Cluster share it
+  // across every (n, p, tolerance, machine) point.
+  Cluster cluster(config.distribution, config.curve);
+  Cluster::TreesortQuery query;
+  query.n = config.n;
+  query.p = config.p;
+  query.tolerance = config.tolerance;
+  query.staged_splitters = config.staged_splitters;
+  query.max_depth = config.max_depth;
+  query.element_bytes = config.element_bytes;
+  return cluster.treesort_result(query, machine);
 }
 
 SimResult simulate_samplesort(const SimConfig& config,

@@ -30,6 +30,35 @@ TEST(MachineModel, LookupByName) {
   EXPECT_THROW(machine_by_name("summit"), std::invalid_argument);
 }
 
+TEST(MachineModel, PresetRegistryIsTheSingleSourceOfTruth) {
+  const auto& registry = preset_registry();
+  ASSERT_GE(registry.size(), 5u);
+  // Every lookup surface agrees with the registry, entry by entry.
+  const auto machines = all_machines();
+  ASSERT_EQ(machines.size(), registry.size());
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    EXPECT_FALSE(std::string(registry[i].summary).empty()) << registry[i].name;
+    EXPECT_EQ(machines[i].name, registry[i].name);
+    const MachineModel by_name = machine_by_name(registry[i].name);
+    const MachineModel by_factory = registry[i].make();
+    EXPECT_EQ(by_name.name, by_factory.name);
+    EXPECT_EQ(by_name.tc, by_factory.tc);
+    EXPECT_EQ(by_name.ts, by_factory.ts);
+    EXPECT_EQ(by_name.tw, by_factory.tw);
+    // Names are unique (cache keys and CLI lookups rely on it).
+    for (std::size_t j = i + 1; j < registry.size(); ++j) {
+      EXPECT_STRNE(registry[i].name, registry[j].name);
+    }
+  }
+  // The paper subset is exactly the four evaluation machines, in order.
+  const auto paper = paper_machines();
+  ASSERT_EQ(paper.size(), 4u);
+  EXPECT_EQ(paper[0].name, "titan");
+  EXPECT_EQ(paper[1].name, "stampede");
+  EXPECT_EQ(paper[2].name, "wisconsin8");
+  EXPECT_EQ(paper[3].name, "clemson32");
+}
+
 TEST(MachineModel, CloudLabEthernetIsMoreCommBoundThanTitan) {
   // The tw/tc ratio decides how much imbalance OptiPart will trade for
   // lower communication; CloudLab's 10 GbE must be more communication

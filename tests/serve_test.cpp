@@ -1,0 +1,237 @@
+// Tests for the partitioner service (serve/serve.hpp): cache-key
+// separation (jobs differing in ANY model input never share artifacts),
+// bitwise cold/warm/uncached agreement, in-flight request coalescing,
+// bounded admission, and failure paths.
+#include "serve/serve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+namespace amr::serve {
+namespace {
+
+JobSpec small_job() {
+  JobSpec job;
+  job.mesh.points = 1500;
+  job.mesh.seed = 7;
+  job.mesh.max_level = 8;
+  job.machine = "wisconsin8";
+  job.ranks = 8;
+  job.partitioner = Partitioner::kOptiPart;
+  return job;
+}
+
+void expect_bitwise_equal(const JobResult& a, const JobResult& b) {
+  EXPECT_EQ(a.cuts.offsets, b.cuts.offsets);
+  EXPECT_EQ(a.metrics.work, b.metrics.work);
+  EXPECT_EQ(a.metrics.boundary, b.metrics.boundary);
+  EXPECT_EQ(a.metrics.degree, b.metrics.degree);
+  EXPECT_EQ(a.metrics.w_max, b.metrics.w_max);
+  EXPECT_EQ(a.metrics.c_max, b.metrics.c_max);
+  EXPECT_EQ(a.metrics.m_max, b.metrics.m_max);
+  EXPECT_EQ(a.metrics.load_imbalance, b.metrics.load_imbalance);
+  EXPECT_EQ(a.metrics.comm_imbalance, b.metrics.comm_imbalance);
+  EXPECT_EQ(a.metrics.total_boundary, b.metrics.total_boundary);
+  EXPECT_EQ(a.predicted_seconds, b.predicted_seconds);
+  EXPECT_EQ(a.mesh_elements, b.mesh_elements);
+}
+
+TEST(Serve, WarmHitIsBitwiseIdenticalToColdAndToUncached) {
+  const JobSpec job = small_job();
+  const JobResult reference = execute_job(job);  // no queue, no cache
+
+  Server server;
+  const JobResult cold = server.submit(job).get();
+  const JobResult warm = server.submit(job).get();
+
+  expect_bitwise_equal(cold, reference);
+  expect_bitwise_equal(warm, reference);
+  EXPECT_FALSE(cold.partition_cache_hit);
+  EXPECT_TRUE(warm.partition_cache_hit);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.partition_cache_misses, 1u);
+  EXPECT_EQ(stats.partition_cache_hits, 1u);
+  EXPECT_EQ(stats.latency_ns.count(), 2u);
+}
+
+TEST(Serve, CacheDisabledServerMatchesCachedServerBitwise) {
+  const JobSpec job = small_job();
+  ServerOptions nocache;
+  nocache.cache_enabled = false;
+  Server reference(nocache);
+  Server cached;
+  expect_bitwise_equal(cached.submit(job).get(), reference.submit(job).get());
+  // The cache-disabled server records every execution as a miss-free run:
+  // no cache counters move.
+  const ServerStats stats = reference.stats();
+  EXPECT_EQ(stats.partition_cache_hits + stats.partition_cache_misses, 0u);
+  EXPECT_EQ(stats.mesh_cache_hits + stats.mesh_cache_misses, 0u);
+}
+
+// The central key-separation property: changing any single model input --
+// alpha, machine, tolerance, curve, partitioner, ranks, seed -- must miss
+// the partition cache and may change the result. No variant pair may ever
+// share cuts through the cache.
+TEST(Serve, EveryModelInputSeparatesThePartitionCache) {
+  const JobSpec base = small_job();
+  std::vector<JobSpec> variants;
+  {
+    JobSpec j = base;
+    j.profile.alpha = 24.0;  // same mesh, same machine: only Eq. 3 changes
+    variants.push_back(j);
+  }
+  {
+    JobSpec j = base;
+    j.machine = "titan";
+    variants.push_back(j);
+  }
+  {
+    JobSpec j = base;
+    j.partitioner = Partitioner::kTreeSort;
+    variants.push_back(j);
+  }
+  {
+    JobSpec j = base;
+    j.partitioner = Partitioner::kTreeSort;
+    j.tolerance = 0.3;
+    variants.push_back(j);
+  }
+  {
+    JobSpec j = base;
+    j.mesh.curve = sfc::CurveKind::kMorton;
+    variants.push_back(j);
+  }
+  {
+    JobSpec j = base;
+    j.ranks = 16;
+    variants.push_back(j);
+  }
+  {
+    JobSpec j = base;
+    j.mesh.seed = 8;
+    variants.push_back(j);
+  }
+
+  Server server;
+  const JobResult base_result = server.submit(base).get();
+  EXPECT_FALSE(base_result.partition_cache_hit);
+  for (const JobSpec& variant : variants) {
+    const JobResult got = server.submit(variant).get();
+    // A hit here would mean two different model inputs aliased one key.
+    EXPECT_FALSE(got.partition_cache_hit);
+    expect_bitwise_equal(got, execute_job(variant));
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.partition_cache_misses, 1u + variants.size());
+  EXPECT_EQ(stats.partition_cache_hits, 0u);
+  // Mesh-level sharing DOES engage for the variants that reuse the base
+  // mesh (alpha/machine/partitioner/tolerance/ranks differ, mesh equal):
+  // 5 of the 7 variants share the base mesh artifact.
+  EXPECT_EQ(stats.mesh_cache_misses, 3u);  // base + curve variant + seed variant
+  EXPECT_EQ(stats.mesh_cache_hits, 5u);
+}
+
+TEST(Serve, ConcurrentIdenticalJobsShareOneComputation) {
+  ServerOptions options;
+  options.dispatchers = 4;
+  Server server(options);
+  const JobSpec job = small_job();
+  std::vector<std::future<JobResult>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(server.submit(job));
+  std::vector<JobResult> results;
+  for (auto& future : futures) results.push_back(future.get());
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    expect_bitwise_equal(results[i], results[0]);
+  }
+  // Exactly one owner computed; everyone else (including concurrent
+  // submitters that arrived before the artifact was ready) hit the same
+  // shared future.
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.partition_cache_misses, 1u);
+  EXPECT_EQ(stats.partition_cache_hits, 7u);
+  EXPECT_EQ(stats.mesh_cache_misses, 1u);
+}
+
+TEST(Serve, BoundedAdmissionBlocksSubmittersAtCapacity) {
+  ServerOptions options;
+  options.dispatchers = 1;
+  options.queue_capacity = 2;
+  Server server(options);
+  // Saturate the single dispatcher with enough work that the queue fills;
+  // a further submit must block until space frees, and every future must
+  // still complete. This can't deadlock: the dispatcher always drains.
+  std::atomic<int> submitted{0};
+  std::vector<std::future<JobResult>> futures;
+  std::thread producer([&] {
+    for (int i = 0; i < 6; ++i) {
+      JobSpec job = small_job();
+      job.ranks = 4 + i;  // unique keys: no cache short-circuit
+      futures.push_back(server.submit(std::move(job)));
+      submitted.fetch_add(1);
+    }
+  });
+  producer.join();
+  EXPECT_EQ(submitted.load(), 6);
+  for (auto& future : futures) (void)future.get();
+  EXPECT_EQ(server.stats().completed, 6u);
+}
+
+TEST(Serve, UnknownMachineFailsTheFutureAndIsNotCached) {
+  Server server;
+  JobSpec job = small_job();
+  job.machine = "no-such-machine";
+  EXPECT_THROW(server.submit(job).get(), std::exception);
+  // The failure was not memoized: a second submit fails again (rather than
+  // returning a cached exception artifact) and no cache counters moved.
+  EXPECT_THROW(server.submit(job).get(), std::exception);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.partition_cache_hits + stats.partition_cache_misses, 0u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(Serve, DestructorDrainsTheBacklog) {
+  std::vector<std::future<JobResult>> futures;
+  {
+    ServerOptions options;
+    options.dispatchers = 2;
+    Server server(options);
+    for (int i = 0; i < 5; ++i) {
+      JobSpec job = small_job();
+      job.ranks = 4 + i;
+      futures.push_back(server.submit(std::move(job)));
+    }
+  }  // ~Server joins only after every queued job ran
+  for (auto& future : futures) {
+    EXPECT_GT(future.get().mesh_elements, 0u);
+  }
+}
+
+TEST(Serve, MeshSpecEqualityDrivesTheMeshCache) {
+  // Two jobs with field-wise equal mesh specs share the mesh artifact even
+  // when everything downstream differs.
+  Server server;
+  JobSpec a = small_job();
+  JobSpec b = small_job();
+  b.machine = "clemson32";
+  b.partitioner = Partitioner::kTreeSort;
+  b.tolerance = 0.1;
+  b.profile.alpha = 12.0;
+  (void)server.submit(a).get();
+  const JobResult second = server.submit(b).get();
+  EXPECT_TRUE(second.mesh_cache_hit);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.mesh_cache_misses, 1u);
+  EXPECT_EQ(stats.mesh_cache_hits, 1u);
+  EXPECT_EQ(stats.partition_cache_misses, 2u);
+}
+
+}  // namespace
+}  // namespace amr::serve

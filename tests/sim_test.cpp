@@ -5,9 +5,11 @@
 
 #include <cmath>
 
+#include "machine/machine_model.hpp"
 #include "mesh/comm_matrix.hpp"
 #include "octree/generate.hpp"
 #include "partition/metrics.hpp"
+#include "sim/cluster.hpp"
 #include "sim/density.hpp"
 #include "sim/matvec_sim.hpp"
 #include "sim/splitter_sim.hpp"
@@ -299,6 +301,164 @@ TEST(MatvecSim, PerNodeEnergyReflectsPlacement) {
   const MatvecSimResult r = simulate_matvec(metrics, comm, model, config);
   ASSERT_EQ(r.energy.per_node_joules.size(), 2U);
   EXPECT_GT(r.energy.per_node_joules[0], r.energy.per_node_joules[1]);
+}
+
+TEST(ScaleSim, ClusterMatchesSimulateTreesortExactly) {
+  // simulate_treesort delegates to Cluster; a Cluster held across queries
+  // must answer bit-for-bit what the one-shot path answers, for every
+  // distribution/curve/tolerance combination.
+  for (const auto dist : {PointDistribution::kUniform, PointDistribution::kNormal,
+                          PointDistribution::kLogNormal}) {
+    SimConfig config;
+    config.distribution.distribution = dist;
+    config.n = 40'000'000;
+    config.p = 256;
+    Cluster cluster(config.distribution, config.curve);
+    for (const double tol : {0.0, 0.1, 0.3}) {
+      config.tolerance = tol;
+      Cluster::TreesortQuery query;
+      query.n = config.n;
+      query.p = config.p;
+      query.tolerance = tol;
+      const SimResult expected = simulate_treesort(config, machine::titan());
+      const SimResult got = cluster.treesort_result(query, machine::titan());
+      EXPECT_EQ(got.levels_used, expected.levels_used);
+      EXPECT_EQ(got.max_deviation_elements, expected.max_deviation_elements);
+      EXPECT_EQ(got.achieved_tolerance, expected.achieved_tolerance);
+      EXPECT_EQ(got.time.local_sort, expected.time.local_sort);
+      EXPECT_EQ(got.time.splitter, expected.time.splitter);
+      EXPECT_EQ(got.time.all2all, expected.time.all2all);
+    }
+  }
+}
+
+TEST(ScaleSim, HistogramTreeIsMemoizedAcrossQueries) {
+  GenerateOptions options;
+  options.distribution = PointDistribution::kNormal;
+  Cluster cluster(options, sfc::CurveKind::kHilbert);
+  const AnalyticPartition first = cluster.resolve_cuts(1'000'000, 64, 0.0);
+  const std::size_t after_first = cluster.node_count();
+  ASSERT_GT(after_first, 1u);
+  // Re-asking the same question expands nothing and answers identically.
+  const AnalyticPartition again = cluster.resolve_cuts(1'000'000, 64, 0.0);
+  EXPECT_EQ(cluster.node_count(), after_first);
+  EXPECT_EQ(again.cut_mass, first.cut_mass);
+  EXPECT_EQ(again.levels_used, first.levels_used);
+  // A coarser query walks existing nodes only (its cuts are a subset of
+  // boundaries the finer query already resolved past).
+  (void)cluster.resolve_cuts(1'000'000, 32, 0.0);
+  EXPECT_EQ(cluster.node_count(), after_first);
+}
+
+TEST(ScaleSim, CutPositionsPartitionTheMassLine) {
+  GenerateOptions options;
+  options.distribution = PointDistribution::kLogNormal;
+  Cluster cluster(options, sfc::CurveKind::kHilbert);
+  const std::uint64_t n = 100'000'000;
+  const int p = 512;
+  const AnalyticPartition cuts = cluster.resolve_cuts(n, p, 0.0);
+  ASSERT_EQ(cuts.num_ranks(), p);
+  EXPECT_EQ(cuts.cut_mass.front(), 0.0);
+  EXPECT_EQ(cuts.cut_mass.back(), 1.0);
+  for (int r = 1; r <= p; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    EXPECT_GE(cuts.cut_mass[i], cuts.cut_mass[i - 1]);
+    if (r < p) {
+      // Every interior cut lands within the reported worst deviation of
+      // its target r/p.
+      const double target = static_cast<double>(r) / p;
+      EXPECT_LE(std::abs(cuts.cut_mass[i] - target),
+                cuts.max_deviation_mass + 1e-15);
+    }
+  }
+}
+
+TEST(ScaleSim, ToleranceBoundsAchievedDeviation) {
+  GenerateOptions options;
+  options.distribution = PointDistribution::kNormal;
+  Cluster cluster(options, sfc::CurveKind::kHilbert);
+  const std::uint64_t n = 1'000'000'000;
+  for (const double tol : {0.01, 0.1, 0.3}) {
+    const AnalyticPartition cuts = cluster.resolve_cuts(n, 128, tol);
+    const double achieved = cuts.max_deviation_mass / (1.0 / 128.0);
+    EXPECT_LE(achieved, tol + 1e-12) << "tolerance " << tol;
+  }
+}
+
+TEST(ScaleSim, ElementCountsSurviveThe32BitBoundary) {
+  // Overflow canary for the scale sweeps: n = 2^32 + 2^20 elements over
+  // 4096 ranks. If any step of the pipeline held the count in 32 bits the
+  // run would silently see n mod 2^32 = 2^20 elements -- 4096x fewer --
+  // and the coarser min-bucket mass would stop refinement about 12 levels
+  // early. The 64-bit path must refine strictly deeper.
+  GenerateOptions options;
+  options.distribution = PointDistribution::kNormal;
+  Cluster cluster(options, sfc::CurveKind::kHilbert);
+  const int p = 4096;
+  const std::uint64_t n = (std::uint64_t{1} << 32) + (std::uint64_t{1} << 20);
+  ASSERT_GT(n, std::uint64_t{0xffffffff});
+  const std::uint64_t truncated = n & 0xffffffffull;
+  ASSERT_NE(truncated, n);
+  const AnalyticPartition full = cluster.resolve_cuts(n, p, 0.0);
+  const AnalyticPartition narrow = cluster.resolve_cuts(truncated, p, 0.0);
+  EXPECT_GT(full.levels_used, narrow.levels_used);
+  // Deviations stay sub-grain at the true count: the refinement really ran
+  // at 8.2e9 elements.
+  EXPECT_LT(full.max_deviation_mass * static_cast<double>(n),
+            static_cast<double>(n) / p);
+  // And the one-shot simulate_treesort sees the same 64-bit count.
+  SimConfig config;
+  config.distribution = options;
+  config.n = n;
+  config.p = p;
+  const SimResult result = simulate_treesort(config, machine::titan());
+  EXPECT_EQ(result.levels_used, full.levels_used);
+}
+
+TEST(ScaleSim, StepModelFollowsEquation3) {
+  GenerateOptions options;
+  options.distribution = PointDistribution::kNormal;
+  Cluster cluster(options, sfc::CurveKind::kHilbert);
+  const std::uint64_t n = 64'000'000;
+  const machine::PerfModel model(machine::wisconsin8(), machine::ApplicationProfile{});
+  const AnalyticPartition ideal = cluster.resolve_cuts(n, 256, 0.0);
+  const ScaleStepModel step = cluster.step_model(ideal, n, model);
+  EXPECT_GT(step.w_max, 0.0);
+  EXPECT_LE(step.w_min, step.w_max);
+  EXPECT_GE(step.load_imbalance, 1.0 - 1e-9);
+  // Surface model: boundaries are sub-linear in the grain.
+  EXPECT_LT(step.c_max, step.w_max);
+  EXPECT_DOUBLE_EQ(step.step_seconds, model.application_time(step.w_max, step.c_max));
+  // A coarse tolerance concentrates more work on some rank.
+  const AnalyticPartition loose = cluster.resolve_cuts(n, 256, 0.3);
+  const ScaleStepModel loose_step = cluster.step_model(loose, n, model);
+  EXPECT_GE(loose_step.w_max, step.w_max);
+  // Both endpoints of a rank may deviate by tol*grain, so Wmax is bounded
+  // by (1 + 2*tol) grains.
+  EXPECT_LE(loose_step.load_imbalance, 1.0 + 2.0 * 0.3 + 1e-9);
+}
+
+TEST(ScaleSim, EpochEnergyScalesWithIterationsAndPlacement) {
+  GenerateOptions options;
+  options.distribution = PointDistribution::kNormal;
+  Cluster cluster(options, sfc::CurveKind::kHilbert);
+  const std::uint64_t n = 64'000'000;
+  const machine::PerfModel model(machine::wisconsin8(), machine::ApplicationProfile{});
+  const AnalyticPartition cuts = cluster.resolve_cuts(n, 256, 0.0);
+  const ScaleEpochResult one = cluster.epoch(cuts, n, 10, model);
+  // 256 ranks on wisconsin8 (32 cores/node) is exactly the paper's 8 nodes.
+  EXPECT_EQ(one.nodes, 8u);
+  EXPECT_GT(one.total_seconds, 0.0);
+  EXPECT_GT(one.total_joules, 0.0);
+  EXPECT_LE(one.node_joules_min, one.node_joules_mean);
+  EXPECT_LE(one.node_joules_mean, one.node_joules_max);
+  // The energy integral is linear in epoch length.
+  const ScaleEpochResult two = cluster.epoch(cuts, n, 20, model);
+  EXPECT_NEAR(two.total_joules, 2.0 * one.total_joules, 1e-9 * one.total_joules);
+  EXPECT_NEAR(two.total_seconds, 2.0 * one.total_seconds, 1e-12);
+  // Sanity: a node is never cheaper than its idle draw over the epoch.
+  EXPECT_GE(one.node_joules_min,
+            model.machine().idle_watts * one.total_seconds - 1e-9);
 }
 
 }  // namespace

@@ -52,7 +52,8 @@ int usage() {
 int cmd_machines() {
   util::Table table({"name", "tc (s/B)", "ts (s)", "tw (s/B)", "tw/tc",
                      "cores/node", "nodes", "idle W", "W/core"});
-  for (const auto& m : machine::all_machines()) {
+  for (const auto& preset : machine::preset_registry()) {
+    const machine::MachineModel m = preset.make();
     table.add_row({m.name, util::Table::fmt(m.tc, 12), util::Table::fmt(m.ts, 8),
                    util::Table::fmt(m.tw, 12), util::Table::fmt(m.tw / m.tc, 1),
                    std::to_string(m.cores_per_node), std::to_string(m.total_nodes),
@@ -60,6 +61,9 @@ int cmd_machines() {
                    util::Table::fmt(m.core_active_watts, 1)});
   }
   table.print("machine presets:");
+  for (const auto& preset : machine::preset_registry()) {
+    std::printf("  %-11s %s\n", preset.name, preset.summary);
+  }
   return 0;
 }
 
